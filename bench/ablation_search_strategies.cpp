@@ -1,0 +1,120 @@
+// Ablations over the design choices DESIGN.md calls out:
+//  * exploration strategy: top-down vs bottom-up vs level-parallel
+//    (messages, sequential rounds, and what the first results look like)
+//  * cumulative browsing vs repeated one-shot searches
+//  * single hypercube vs decomposed (§3.4) indexing
+//  * query cache on/off at fixed threshold
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "index/decomposed.hpp"
+#include "index/logical_index.hpp"
+#include "index/ranking.hpp"
+
+int main() {
+  using namespace hkws;
+  using index::SearchStrategy;
+  const auto corpus = bench::paper_corpus(
+      std::min<std::size_t>(bench::object_count(), 40000));
+  const auto queries = bench::paper_queries(corpus, 1000);
+
+  index::LogicalIndex idx({.r = 10});
+  for (const auto& rec : corpus.records()) idx.insert(rec.id, rec.keywords);
+
+  bench::banner("Strategy ablation (threshold = 20, 30 popular queries)");
+  std::printf("%-14s %10s %10s %10s %14s\n", "strategy", "nodes", "msgs",
+              "rounds", "avg extra kw");
+  for (auto [name, strategy] :
+       std::vector<std::pair<const char*, SearchStrategy>>{
+           {"top-down", SearchStrategy::kTopDownSequential},
+           {"bottom-up", SearchStrategy::kBottomUpSequential},
+           {"level-par", SearchStrategy::kLevelParallel}}) {
+    double nodes = 0, msgs = 0, rounds = 0, extra = 0, hits = 0;
+    int n = 0;
+    for (std::size_t m = 1; m <= 3; ++m) {
+      for (const auto& q : queries.popular_sets(m, 10)) {
+        const auto r = idx.superset_search(q, 20, strategy);
+        nodes += static_cast<double>(r.stats.nodes_contacted);
+        msgs += static_cast<double>(r.stats.messages);
+        rounds += static_cast<double>(r.stats.rounds);
+        for (const auto& h : r.hits)
+          extra += static_cast<double>(h.keywords.size() - q.size());
+        hits += static_cast<double>(r.hits.size());
+        ++n;
+      }
+    }
+    std::printf("%-14s %10.1f %10.1f %10.1f %14.2f\n", name, nodes / n,
+                msgs / n, rounds / n, hits > 0 ? extra / hits : 0.0);
+  }
+  std::printf("(top-down returns general objects first -> low avg extra;\n"
+              " bottom-up returns specific objects first -> high avg extra)\n");
+
+  bench::banner("Cumulative browsing vs repeated one-shot (page size 10)");
+  {
+    const auto q = queries.popular_sets(1, 1).front();
+    const auto full = idx.superset_search(q);
+    const std::size_t pages =
+        std::min<std::size_t>(5, (full.hits.size() + 9) / 10);
+    // One-shot: each page re-runs the search with a larger threshold.
+    double oneshot_nodes = 0;
+    for (std::size_t p = 1; p <= pages; ++p)
+      oneshot_nodes += static_cast<double>(
+          idx.superset_search(q, 10 * p).stats.nodes_contacted);
+    // Cumulative: the root keeps the queue between pages.
+    auto session = idx.begin_cumulative(q);
+    double cumulative_nodes = 0;
+    for (std::size_t p = 0; p < pages && !session.exhausted(); ++p)
+      cumulative_nodes +=
+          static_cast<double>(session.next(10).stats.nodes_contacted);
+    std::printf("query [%s], %zu results, %zu pages of 10\n",
+                q.to_string().c_str(), full.hits.size(), pages);
+    std::printf("one-shot   nodes contacted = %.0f\n", oneshot_nodes);
+    std::printf("cumulative nodes contacted = %.0f\n", cumulative_nodes);
+  }
+
+  bench::banner("Decomposed (4 x r=6) vs monolithic (r=10), full recall");
+  {
+    auto decomposed = index::DecomposedIndex::hashed(4, 6);
+    for (const auto& rec : corpus.records())
+      decomposed.insert(rec.id, rec.keywords);
+    double mono_nodes = 0, deco_nodes = 0;
+    int n = 0;
+    for (std::size_t m = 1; m <= 2; ++m) {
+      for (const auto& q : queries.popular_sets(m, 10)) {
+        mono_nodes +=
+            static_cast<double>(idx.superset_search(q).stats.nodes_contacted);
+        deco_nodes += static_cast<double>(
+            decomposed.superset_search(q).stats.nodes_contacted);
+        ++n;
+      }
+    }
+    std::printf("monolithic avg nodes = %.1f of %llu\n", mono_nodes / n,
+                static_cast<unsigned long long>(idx.cube().node_count()));
+    std::printf("decomposed avg nodes = %.1f of %d per group cube\n",
+                deco_nodes / n, 1 << 6);
+  }
+
+  bench::banner("Query cache off/on (repeat factor ~ top-10 60% log)");
+  {
+    index::LogicalIndex cached({.r = 10, .cache_capacity = 64});
+    for (const auto& rec : corpus.records())
+      cached.insert(rec.id, rec.keywords);
+    const auto log = bench::paper_queries(corpus, 4000).generate();
+    double cold_nodes = 0, warm_nodes = 0;
+    for (const auto& q : log.queries()) {
+      cold_nodes += static_cast<double>(
+          idx.superset_search(q.keywords, 20).stats.nodes_contacted);
+      warm_nodes += static_cast<double>(
+          cached.superset_search(q.keywords, 20).stats.nodes_contacted);
+    }
+    const auto stats = cached.cache_stats();
+    std::printf("cache off: avg nodes/query = %.2f\n",
+                cold_nodes / static_cast<double>(log.size()));
+    std::printf("cache on:  avg nodes/query = %.2f (hit rate %.1f%%)\n",
+                warm_nodes / static_cast<double>(log.size()),
+                100.0 * static_cast<double>(stats.hits) /
+                    static_cast<double>(stats.hits + stats.misses));
+  }
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Ablation: the same keyword-index workload on the three substrates the
+// paper admits (§2.1, §3.2, §3.4):
+//   * Chord-mapped   — hypercube nodes hashed onto a successor-routing DHT
+//   * Pastry-mapped  — same, over prefix routing (generalized-DHT claim)
+//   * HyperCuP       — physical hypercube, tree-forwarding search
+//   * Mirrored       — Chord-mapped with a secondary hypercube (§3.4)
+// Reported: total simulated network messages per publish and per superset
+// query, and the search latency proxy (sequential rounds / tree depth).
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cubenet/hypercup_index.hpp"
+#include "dht/chord_network.hpp"
+#include "dht/dolr.hpp"
+#include "dht/pastry_network.hpp"
+#include "index/mirrored.hpp"
+#include "index/overlay_index.hpp"
+
+namespace {
+
+using namespace hkws;
+
+constexpr int kR = 8;
+constexpr std::size_t kPeers = 64;
+constexpr std::size_t kObjects = 4000;
+
+struct Sample {
+  double publish_msgs = 0;
+  double query_msgs = 0;
+  double query_rounds = 0;
+  double query_hits = 0;
+};
+
+template <typename PublishFn, typename QueryFn>
+Sample run_workload(sim::EventQueue& clock, sim::Network& net,
+                    const workload::Corpus& corpus,
+                    const std::vector<KeywordSet>& queries,
+                    PublishFn&& publish, QueryFn&& query) {
+  Sample s;
+  const auto before_publish = net.metrics().counter("net.messages");
+  for (const auto& rec : corpus.records()) publish(rec);
+  clock.run();
+  s.publish_msgs =
+      static_cast<double>(net.metrics().counter("net.messages") -
+                          before_publish) /
+      static_cast<double>(corpus.size());
+
+  double rounds = 0, hits = 0;
+  const auto before_query = net.metrics().counter("net.messages");
+  for (const auto& q : queries) {
+    const index::SearchResult r = query(q);
+    rounds += static_cast<double>(std::max(r.stats.rounds, r.stats.levels));
+    hits += static_cast<double>(r.hits.size());
+  }
+  s.query_msgs = static_cast<double>(net.metrics().counter("net.messages") -
+                                     before_query) /
+                 static_cast<double>(queries.size());
+  s.query_rounds = rounds / static_cast<double>(queries.size());
+  s.query_hits = hits / static_cast<double>(queries.size());
+  return s;
+}
+
+void print_row(const char* name, const Sample& s) {
+  std::printf("%-14s %14.1f %13.1f %13.1f %11.1f\n", name, s.publish_msgs,
+              s.query_msgs, s.query_rounds, s.query_hits);
+}
+
+}  // namespace
+
+int main() {
+  const auto corpus = bench::paper_corpus(kObjects);
+  const auto gen = bench::paper_queries(corpus, 1000);
+  std::vector<KeywordSet> queries;
+  for (std::size_t m = 1; m <= 3; ++m)
+    for (const auto& q : gen.popular_sets(m, 7)) queries.push_back(q);
+
+  bench::banner("Transport ablation — same index workload, four substrates");
+  std::printf("%-14s %14s %13s %13s %11s\n", "substrate", "publish msg/obj",
+              "query msgs", "latency", "hits");
+
+  {  // Chord-mapped
+    sim::EventQueue clock;
+    sim::Network net(clock);
+    auto chord = dht::ChordNetwork::build(net, kPeers, {});
+    dht::Dolr dolr(chord);
+    index::OverlayIndex idx(dolr, {.r = kR});
+    const auto s = run_workload(
+        clock, net, corpus, queries,
+        [&](const workload::ObjectRecord& rec) {
+          idx.publish(1 + rec.id % kPeers, rec.id, rec.keywords);
+        },
+        [&](const KeywordSet& q) {
+          std::optional<index::SearchResult> out;
+          idx.superset_search(1, q, 0,
+                              index::SearchStrategy::kTopDownSequential,
+                              [&](const index::SearchResult& r) { out = r; });
+          clock.run();
+          return out.value_or(index::SearchResult{});
+        });
+    print_row("Chord", s);
+  }
+  {  // Pastry-mapped
+    sim::EventQueue clock;
+    sim::Network net(clock);
+    auto pastry = dht::PastryNetwork::build(net, kPeers, {});
+    dht::Dolr dolr(pastry);
+    index::OverlayIndex idx(dolr, {.r = kR});
+    const auto s = run_workload(
+        clock, net, corpus, queries,
+        [&](const workload::ObjectRecord& rec) {
+          idx.publish(1 + rec.id % kPeers, rec.id, rec.keywords);
+        },
+        [&](const KeywordSet& q) {
+          std::optional<index::SearchResult> out;
+          idx.superset_search(1, q, 0,
+                              index::SearchStrategy::kTopDownSequential,
+                              [&](const index::SearchResult& r) { out = r; });
+          clock.run();
+          return out.value_or(index::SearchResult{});
+        });
+    print_row("Pastry", s);
+  }
+  {  // Physical hypercube (2^r peers)
+    sim::EventQueue clock;
+    sim::Network net(clock);
+    cubenet::HyperCupNetwork cup(net, {.r = kR});
+    cubenet::HyperCupIndex idx(cup, {});
+    const auto s = run_workload(
+        clock, net, corpus, queries,
+        [&](const workload::ObjectRecord& rec) {
+          idx.insert(rec.id % cup.size(), rec.id, rec.keywords);
+        },
+        [&](const KeywordSet& q) {
+          std::optional<index::SearchResult> out;
+          idx.superset_search(0, q, 0,
+                              [&](const index::SearchResult& r) { out = r; });
+          clock.run();
+          return out.value_or(index::SearchResult{});
+        });
+    print_row("HyperCuP", s);
+  }
+  {  // Mirrored (secondary hypercube) over Chord
+    sim::EventQueue clock;
+    sim::Network net(clock);
+    auto chord = dht::ChordNetwork::build(net, kPeers, {});
+    dht::Dolr dolr(chord);
+    index::MirroredIndex idx(dolr, {.r = kR});
+    const auto s = run_workload(
+        clock, net, corpus, queries,
+        [&](const workload::ObjectRecord& rec) {
+          idx.publish(1 + rec.id % kPeers, rec.id, rec.keywords);
+        },
+        [&](const KeywordSet& q) {
+          std::optional<index::SearchResult> out;
+          idx.superset_search(1, q, 0,
+                              index::SearchStrategy::kTopDownSequential,
+                              [&](const index::SearchResult& r) { out = r; });
+          clock.run();
+          return out.value_or(index::SearchResult{});
+        });
+    print_row("Mirrored", s);
+  }
+
+  std::printf(
+      "\nShape check: Chord and Pastry agree on hits; HyperCuP spends\n"
+      "fewer messages per query (tree edges instead of DHT routing) at\n"
+      "tree-depth latency; Mirrored costs ~2x messages for fault\n"
+      "tolerance of the index itself.\n");
+  return 0;
+}

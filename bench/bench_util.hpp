@@ -1,0 +1,53 @@
+// Shared setup for the experiment harnesses: the paper-scale synthetic
+// corpus (PCHome substitute), environment-based scaling, and table printing.
+//
+// Every harness honours two environment variables so CI or a laptop can run
+// reduced-scale versions:
+//   HYPERKWS_OBJECTS  corpus size       (default 131180, the paper's count)
+//   HYPERKWS_QUERIES  query-log volume  (default 178000, one paper "day")
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "workload/corpus_generator.hpp"
+#include "workload/query_generator.hpp"
+
+namespace hkws::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const long long parsed = std::atoll(value);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+inline std::size_t object_count() {
+  return env_size("HYPERKWS_OBJECTS", 131180);
+}
+
+inline std::size_t query_count() {
+  return env_size("HYPERKWS_QUERIES", 178000);
+}
+
+/// The paper-scale corpus (mean 7.3 keywords, Zipf keyword popularity).
+inline workload::Corpus paper_corpus(std::size_t objects = object_count()) {
+  workload::CorpusConfig cfg;
+  cfg.object_count = objects;
+  return workload::CorpusGenerator(cfg).generate();
+}
+
+/// A paper-scale query log generator over `corpus` (top-10 ~ 60% of volume).
+inline workload::QueryLogGenerator paper_queries(
+    const workload::Corpus& corpus, std::size_t volume = query_count()) {
+  workload::QueryLogConfig cfg;
+  cfg.query_count = volume;
+  return workload::QueryLogGenerator(corpus, cfg);
+}
+
+inline void banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace hkws::bench

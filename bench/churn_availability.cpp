@@ -1,0 +1,172 @@
+// Availability under failures — quantifying the paper's fault-tolerance
+// arguments (§1, §3.4): what fraction of the true result set does a
+// superset search still return after a fraction of peers fail abruptly?
+//
+//   plain        single index entry per object, no reference replication
+//   dolr-rep     reference replication (DOLR, factor 3), single index entry
+//   mirrored     + secondary hypercube (independent h', g') for the index
+//   anti-entropy single index entry, but publishers re-assert entries after
+//                the failure (the repair path)
+//
+// The paper's qualitative claims: a single node failure cannot block a
+// keyword (many nodes per keyword); index replication via a secondary
+// hypercube and DOLR replication each remove a failure mode.
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "dht/chord_network.hpp"
+#include "dht/dolr.hpp"
+#include "index/mirrored.hpp"
+#include "index/overlay_index.hpp"
+
+namespace {
+
+using namespace hkws;
+
+constexpr std::size_t kPeers = 64;
+constexpr int kR = 8;
+
+enum class Mode { kPlain, kDolrRep, kMirrored, kAntiEntropy };
+
+struct Stack {
+  sim::EventQueue clock;
+  std::unique_ptr<sim::Network> net;
+  std::unique_ptr<dht::ChordNetwork> dht;
+  std::unique_ptr<dht::Dolr> dolr;
+  std::unique_ptr<index::OverlayIndex> plain;
+  std::unique_ptr<index::MirroredIndex> mirrored;
+  Mode mode;
+
+  explicit Stack(Mode m) : mode(m) {
+    net = std::make_unique<sim::Network>(clock);
+    dht = std::make_unique<dht::ChordNetwork>(
+        dht::ChordNetwork::build(*net, kPeers, {}));
+    const int rep = (m == Mode::kPlain) ? 1 : 3;
+    dolr = std::make_unique<dht::Dolr>(*dht,
+                                       dht::Dolr::Config{rep});
+    if (m == Mode::kMirrored)
+      mirrored = std::make_unique<index::MirroredIndex>(
+          *dolr, index::OverlayIndex::Config{.r = kR});
+    else
+      plain = std::make_unique<index::OverlayIndex>(
+          *dolr, index::OverlayIndex::Config{.r = kR});
+  }
+
+  void publish(ObjectId id, const KeywordSet& k) {
+    const auto peer = 1 + id % kPeers;
+    if (mirrored)
+      mirrored->publish(peer, id, k);
+    else
+      plain->publish(peer, id, k);
+  }
+
+  std::set<ObjectId> query(sim::EndpointId searcher, const KeywordSet& q) {
+    std::optional<index::SearchResult> result;
+    auto cb = [&](const index::SearchResult& r) { result = r; };
+    if (mirrored)
+      mirrored->superset_search(searcher, q, 0,
+                                index::SearchStrategy::kTopDownSequential, cb);
+    else
+      plain->superset_search(searcher, q, 0,
+                             index::SearchStrategy::kTopDownSequential, cb);
+    clock.run();
+    std::set<ObjectId> ids;
+    if (result)
+      for (const auto& h : result->hits) ids.insert(h.object);
+    return ids;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const auto corpus = bench::paper_corpus(3000);
+  const auto gen = bench::paper_queries(corpus, 500);
+  std::vector<KeywordSet> queries;
+  for (std::size_t m = 1; m <= 2; ++m)
+    for (const auto& q : gen.popular_sets(m, 10)) queries.push_back(q);
+
+  // Ground truth from the corpus itself.
+  auto oracle = [&](const KeywordSet& q) {
+    std::set<ObjectId> out;
+    for (const auto& rec : corpus.records())
+      if (q.subset_of(rec.keywords)) out.insert(rec.id);
+    return out;
+  };
+
+  bench::banner("Search recall after abrupt peer failures (64 peers, r = 8)");
+  std::printf("%-14s", "failures");
+  for (const char* name : {"plain", "dolr-rep", "mirrored", "anti-entropy"})
+    std::printf(" %13s", name);
+  std::printf("\n");
+
+  constexpr int kTrials = 3;  // average over distinct victim sets
+  for (const double fail_frac : {0.05, 0.10, 0.20, 0.30}) {
+    std::printf("%13.0f%%", 100.0 * fail_frac);
+    for (const Mode mode :
+         {Mode::kPlain, Mode::kDolrRep, Mode::kMirrored, Mode::kAntiEntropy}) {
+      double trial_sum = 0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        Stack s(mode);
+        for (const auto& rec : corpus.records())
+          s.publish(rec.id, rec.keywords);
+        s.clock.run();
+
+        // Fail a deterministic random subset of peers (never peer 1, the
+        // searcher/bootstrap).
+        Rng rng(1000 + static_cast<std::uint64_t>(trial));
+        const auto kill = static_cast<std::size_t>(fail_frac * kPeers);
+        std::size_t killed = 0;
+        while (killed < kill) {
+          const auto ids = s.dht->live_ids();
+          const auto victim =
+              s.dht->endpoint_of(ids[rng.next_below(ids.size())]);
+          if (victim == 1) continue;
+          s.dht->fail(victim);
+          ++killed;
+        }
+        for (int round = 0; round < 60; ++round) s.dht->stabilize_all();
+        if (s.mirrored) {
+          s.mirrored->purge_dead();
+          s.mirrored->repair_placement();
+        } else {
+          s.plain->purge_dead();
+          s.plain->repair_placement();
+        }
+        s.dolr->repair_replicas();
+        s.clock.run();
+        if (mode == Mode::kAntiEntropy) {
+          for (const auto& rec : corpus.records())
+            s.plain->reindex(1, rec.id, rec.keywords);
+          s.clock.run();
+        }
+
+        double recall_sum = 0;
+        for (const auto& q : queries) {
+          const auto expected = oracle(q);
+          if (expected.empty()) continue;
+          const auto got = s.query(1, q);
+          std::size_t found = 0;
+          for (ObjectId o : expected)
+            if (got.contains(o)) ++found;
+          recall_sum += static_cast<double>(found) /
+                        static_cast<double>(expected.size());
+        }
+        trial_sum += recall_sum / static_cast<double>(queries.size());
+      }
+      std::printf(" %12.1f%%", 100.0 * trial_sum / kTrials);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nShape check: plain recall degrades ~linearly with the failed\n"
+      "fraction (each object has one index entry); the mirror keeps recall\n"
+      "near 1-f^2; anti-entropy reindexing restores ~100%%.\n");
+  return 0;
+}

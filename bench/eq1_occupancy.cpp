@@ -1,0 +1,66 @@
+// Equation (1) and §3.5 — the occupancy distribution P(|One(F_h(K))| = j)
+// and the expected superset-search space it induces: analytic (stable
+// recurrence), the paper's literal Eq. (1), and Monte-Carlo hashing of real
+// keyword strings, side by side.
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/occupancy.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "index/keyword_hash.hpp"
+
+int main() {
+  using namespace hkws;
+  constexpr int kR = 10;
+  constexpr int kTrials = 100000;
+
+  for (int m : {1, 2, 3, 5, 7, 10, 20}) {
+    char title[64];
+    std::snprintf(title, sizeof title,
+                  "Eq. (1) — r = %d, m = %d keywords", kR, m);
+    bench::banner(title);
+
+    // Monte Carlo with the production keyword hash over synthetic words.
+    index::KeywordHasher hasher(kR);
+    Rng rng(1234 + static_cast<std::uint64_t>(m));
+    std::vector<int> counts(kR + 1, 0);
+    for (int t = 0; t < kTrials; ++t) {
+      std::uint64_t mask = 0;
+      for (int i = 0; i < m; ++i) {
+        mask |= 1ULL << hasher.dim_of(
+                    "w" + std::to_string(rng.next_u64() % 1000000));
+      }
+      ++counts[std::popcount(mask)];
+    }
+
+    std::printf("%-4s %12s %12s %12s\n", "j", "analytic", "eq1", "measured");
+    for (int j = 0; j <= std::min(kR, m); ++j) {
+      std::printf("%-4d %12.6f %12.6f %12.6f\n", j,
+                  analysis::occupancy_pmf(kR, m, j),
+                  analysis::occupancy_pmf_eq1(kR, m, j),
+                  static_cast<double>(counts[j]) / kTrials);
+    }
+    const double expected = analysis::occupancy_expected(kR, m);
+    std::printf("E[|One|] = %.4f  ->  expected search space 2^(r-E) = %.1f "
+                "nodes of %d\n",
+                expected, std::pow(2.0, kR - expected), 1 << kR);
+  }
+
+  bench::banner("Dimension recommendation from the corpus histogram");
+  const auto corpus = bench::paper_corpus(
+      std::min<std::size_t>(bench::object_count(), 20000));
+  const auto sizes = corpus.keyword_size_histogram();
+  std::printf("%-4s %18s\n", "r", "TV(object,node)");
+  for (int r = 6; r <= 16; ++r) {
+    const double tv = analysis::total_variation(
+        analysis::object_one_bits_distribution(r, sizes),
+        analysis::node_one_bits_distribution(r));
+    std::printf("%-4d %18.4f\n", r, tv);
+  }
+  std::printf("recommended r = %d (paper: ~10)\n",
+              analysis::recommend_dimension(sizes, 6, 16));
+  return 0;
+}

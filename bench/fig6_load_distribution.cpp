@@ -1,0 +1,85 @@
+// Figure 6 — load distribution: nodes ranked heavy-to-light, cumulative
+// share of indexed objects vs share of nodes.
+//
+// Series reproduced:
+//  * Hypercube-r (our scheme) for r = 6, 8, 10, 12, 14, 16
+//  * DHT-r (objects hashed directly to nodes) — the balance target
+//  * DII-r (distributed inverted index) for r = 10, 12, 14 — the skewed
+//    baseline
+//  * Perfect — the diagonal
+//
+// Expected shape (paper): Hypercube-10 hugs DHT-10; r < 10 and r > 12
+// deviate; DII is dramatically more concentrated than everything else.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/load_metrics.hpp"
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "dii/inverted_index.hpp"
+#include "index/logical_index.hpp"
+
+namespace {
+
+const std::vector<double> kNodeFractions = {0.05, 0.10, 0.20, 0.30, 0.40,
+                                            0.50, 0.60, 0.80, 1.00};
+
+// Cumulative load share at each of kNodeFractions, from a full curve.
+std::vector<double> sample_curve(const std::vector<std::size_t>& loads) {
+  const auto curve =
+      hkws::ranked_load_curve(hkws::analysis::to_double_loads(loads));
+  std::vector<double> out;
+  std::size_t pos = 0;
+  for (double f : kNodeFractions) {
+    while (pos + 1 < curve.size() && curve[pos].node_fraction < f) ++pos;
+    out.push_back(curve[pos].load_fraction);
+  }
+  return out;
+}
+
+void print_row(const char* name, const std::vector<std::size_t>& loads) {
+  std::printf("%-14s", name);
+  for (double v : sample_curve(loads)) std::printf(" %6.1f%%", 100.0 * v);
+  std::printf("   %.3f\n", hkws::gini(hkws::analysis::to_double_loads(loads)));
+}
+
+}  // namespace
+
+int main() {
+  using namespace hkws;
+  const auto corpus = bench::paper_corpus();
+
+  bench::banner("Figure 6 — cumulative load vs ranked node share");
+  std::printf("%-14s", "scheme");
+  for (double f : kNodeFractions) std::printf(" %6.0f%%", 100.0 * f);
+  std::printf("   gini\n");
+
+  // Perfect balance: every node equal.
+  print_row("Perfect", std::vector<std::size_t>(1024, 1));
+
+  char name[32];
+  for (int r : {6, 8, 10, 12, 14, 16}) {
+    index::LogicalIndex idx({.r = r});
+    for (const auto& rec : corpus.records())
+      idx.insert(rec.id, rec.keywords);
+    std::snprintf(name, sizeof name, "Hypercube-%d", r);
+    print_row(name, idx.loads());
+  }
+  for (int r : {6, 8, 10, 12, 14, 16}) {
+    std::snprintf(name, sizeof name, "DHT-%d", r);
+    print_row(name, analysis::direct_hash_loads(corpus.size(), r,
+                                                /*seed=*/99 + r));
+  }
+  for (int r : {10, 12, 14}) {
+    dii::InvertedIndex idx({.r = r});
+    for (const auto& rec : corpus.records())
+      idx.insert(rec.id, rec.keywords);
+    std::snprintf(name, sizeof name, "DII-%d", r);
+    print_row(name, idx.loads());
+  }
+
+  std::printf(
+      "\nShape check: Hypercube-10 should track DHT-10; DII rows should\n"
+      "concentrate most load in the first few percent of nodes.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Figure 8 — cacheless superset-search cost: percentage of hypercube nodes
+// contacted vs recall rate, for r = 8, 10, 12 and query sizes m = 1..5
+// (popular keyword sets sampled from the query-log universe, as the paper
+// samples from the PCHome logs).
+//
+// Expected shape (paper): at 100% recall the contacted fraction is ~2^-m
+// for r = 10 and 12 (the query's subhypercube), higher than 2^-m for r = 8;
+// the fraction grows roughly linearly with the recall rate because the
+// index load is evenly spread.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/occupancy.hpp"
+#include "bench_util.hpp"
+#include "index/logical_index.hpp"
+
+namespace {
+
+using hkws::Keyword;
+using hkws::KeywordSet;
+
+// "Popular keyword sets of size m" (paper: sampled from the query logs by
+// popularity): sets with the largest keyword-set frequency |O_K|. We build
+// candidates from the records themselves — each record's m globally most
+// frequent keywords — and let the caller rank them by measured |O_K|.
+std::vector<KeywordSet> popular_candidates(const hkws::workload::Corpus& corpus,
+                                           std::size_t m,
+                                           std::size_t max_candidates) {
+  std::unordered_map<Keyword, std::uint64_t> df;
+  for (const auto& [w, c] : corpus.keyword_frequencies()) df[w] = c;
+  std::unordered_set<KeywordSet, hkws::KeywordSetHash> seen;
+  std::vector<KeywordSet> out;
+  const std::size_t stride = std::max<std::size_t>(1, corpus.size() / 4000);
+  for (std::size_t i = 0; i < corpus.size() && out.size() < max_candidates;
+       i += stride) {
+    const auto& words = corpus[i].keywords.words();
+    if (words.size() < m) continue;
+    std::vector<Keyword> sorted = words;
+    std::sort(sorted.begin(), sorted.end(),
+              [&](const Keyword& a, const Keyword& b) { return df[a] > df[b]; });
+    sorted.resize(m);
+    KeywordSet candidate(std::move(sorted));
+    if (seen.insert(candidate).second) out.push_back(std::move(candidate));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hkws;
+  const auto corpus = bench::paper_corpus();
+  constexpr std::size_t kQueriesPerSize = 20;
+  const std::vector<int> kRecalls = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+
+  for (int r : {8, 10, 12}) {
+    index::LogicalIndex idx({.r = r});
+    for (const auto& rec : corpus.records())
+      idx.insert(rec.id, rec.keywords);
+    const double nodes = static_cast<double>(idx.cube().node_count());
+
+    char title[64];
+    std::snprintf(title, sizeof title, "Figure 8 — r = %d (cacheless)", r);
+    bench::banner(title);
+    std::printf("%-8s", "recall");
+    for (std::size_t m = 1; m <= 5; ++m) std::printf("      m=%zu", m);
+    std::printf("\n");
+
+    // One profile per query; every recall point is a prefix of it. Rank
+    // candidates by |O_K| and keep the most popular sets of each size.
+    std::vector<std::vector<index::LogicalIndex::TraversalProfile>> profiles(6);
+    for (std::size_t m = 1; m <= 5; ++m) {
+      std::vector<index::LogicalIndex::TraversalProfile> candidates;
+      for (const auto& q : popular_candidates(corpus, m, 150))
+        candidates.push_back(idx.traversal_profile(q));
+      std::sort(candidates.begin(), candidates.end(),
+                [](const auto& a, const auto& b) {
+                  return a.total_hits > b.total_hits;
+                });
+      if (candidates.size() > kQueriesPerSize)
+        candidates.resize(kQueriesPerSize);
+      profiles[m] = std::move(candidates);
+    }
+
+    for (int recall : kRecalls) {
+      std::printf("%6d%% ", recall);
+      for (std::size_t m = 1; m <= 5; ++m) {
+        double mean_pct = 0;
+        std::size_t n = 0;
+        for (const auto& p : profiles[m]) {
+          if (p.total_hits == 0) continue;
+          const auto target = static_cast<std::uint64_t>(std::ceil(
+              recall / 100.0 * static_cast<double>(p.total_hits)));
+          mean_pct +=
+              100.0 * static_cast<double>(p.nodes_to_collect(target)) / nodes;
+          ++n;
+        }
+        std::printf(" %8.3f", n == 0 ? 0.0 : mean_pct / static_cast<double>(n));
+      }
+      std::printf("\n");
+    }
+    std::printf("2^-m ref ");
+    for (std::size_t m = 1; m <= 5; ++m)
+      std::printf(" %8.3f", 100.0 / std::pow(2.0, static_cast<double>(m)));
+    std::printf("   (paper's rule of thumb at 100%% recall)\n");
+    std::printf("Eq1 ref  ");
+    for (std::size_t m = 1; m <= 5; ++m)
+      std::printf(" %8.3f", 100.0 * hkws::analysis::expected_search_fraction(
+                                        r, static_cast<int>(m)));
+    std::printf("   (exact E[2^-|One|] for this r)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Figure 9 — superset-search cost with per-node FIFO caches, as a function
+// of the relative cache capacity alpha (capacity = alpha * |O| / 2^r cached
+// result entries per node).
+//
+// Policy reproduced (paper §3.4/§4): the root node of a query caches the
+// query's results; a repeated query is answered by the root alone, so only
+// the cache-miss traffic explores the subhypercube. FIFO replacement,
+// occupancy counted in cached result entries — the same unit as the index
+// size the capacity is expressed in.
+//
+// Expected shape (paper): the contacted fraction collapses as alpha grows;
+// with alpha ~ 1/6 of the average index size, under a query log whose
+// top-10 queries are >60% of the volume, fewer than ~1% of nodes are
+// contacted per query even at 100% recall.
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "index/logical_index.hpp"
+#include "index/query_cache.hpp"
+
+namespace {
+
+using hkws::index::CachedTraversal;
+using hkws::index::LogicalIndex;
+using hkws::index::QueryCache;
+
+// Cache-occupancy accounting for one cached query result. The paper's
+// capacity unit ("alpha x the average index size") is ambiguous between:
+//  * per-object accounting — every cached result object is one record,
+//    exactly like the |O|/2^r index-size figure counts objects; and
+//  * combined-entry accounting — a whole cached result list is one entry,
+//    the way index tables combine <K, {sigma_1..sigma_n}> (paper §3.3).
+// The harness reports both; they bracket the paper's setting.
+CachedTraversal result_summary(const LogicalIndex::TraversalProfile& p,
+                               std::uint64_t nodes_visited,
+                               bool per_object_accounting) {
+  CachedTraversal summary;
+  std::uint64_t cached_hits = 0;
+  for (const auto& c : p.contributors) {
+    if (c.position >= nodes_visited) break;
+    cached_hits += c.count;
+    if (per_object_accounting) {
+      for (std::uint32_t i = 0; i < c.count; ++i)
+        summary.contributors.emplace_back(c.node, 1u);
+    }
+  }
+  if (!per_object_accounting && cached_hits > 0)
+    summary.contributors.emplace_back(p.root,
+                                      static_cast<std::uint32_t>(cached_hits));
+  summary.complete = nodes_visited >= p.total_nodes;
+  return summary;
+}
+
+// Results available in a cached summary (works under both accountings).
+std::uint64_t cached_total(const CachedTraversal& c) {
+  std::uint64_t total = 0;
+  for (const auto& [node, count] : c.contributors) total += count;
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hkws;
+  const auto corpus = bench::paper_corpus();
+
+  // Query-eligible keywords are discriminative (df-capped): real users
+  // query specific terms, and this is what makes result caching effective.
+  workload::QueryLogConfig qcfg;
+  qcfg.query_count = bench::query_count();
+  // Selectivity calibration: directory queries resolve to a handful of
+  // entries (PCHome queries are specific site names/topics), so query
+  // keywords are capped at ~0.01% document frequency and multi-keyword
+  // queries dominate. This is what lets popular results fit a small cache.
+  qcfg.max_keyword_df = 0.0001;
+  qcfg.size_weights = {0.25, 0.35, 0.25, 0.10, 0.05};
+  // Repeat-rate calibration: the paper reports only the top-10 share
+  // (>60%/day); the distinct-query count per day is the remaining free
+  // parameter and bounds the best achievable hit rate from below
+  // (first occurrences always miss). ~2000 distinct queries/day gives a
+  // ~1% unavoidable-miss floor at 178k queries.
+  qcfg.distinct_queries = 2000;
+  workload::QueryLogGenerator gen(corpus, qcfg);
+  const auto log = gen.generate();
+  std::printf("query log: %zu queries, %zu distinct, top-10 share %.1f%%\n",
+              log.size(), gen.universe().size(), 100.0 * log.top_share(10));
+
+  const std::vector<double> kAlphas = {0.0,      1.0 / 24, 1.0 / 12, 1.0 / 6,
+                                       1.0 / 3,  1.0 / 2,  1.0,      2.0};
+  for (int r : {10, 12}) {
+    LogicalIndex idx({.r = r});
+    for (const auto& rec : corpus.records())
+      idx.insert(rec.id, rec.keywords);
+    const double nodes = static_cast<double>(idx.cube().node_count());
+    const double avg_index =
+        static_cast<double>(corpus.size()) / nodes;  // |O| / 2^r
+
+    // One traversal profile per distinct query (cost is deterministic).
+    std::unordered_map<KeywordSet, LogicalIndex::TraversalProfile,
+                       KeywordSetHash>
+        profiles;
+    for (const auto& q : gen.universe())
+      profiles.emplace(q, idx.traversal_profile(q));
+
+    for (const bool per_object : {true, false}) {
+      char title[128];
+      std::snprintf(title, sizeof title,
+                    "Figure 9 — r = %d, %s accounting (avg index size %.0f "
+                    "entries/node)",
+                    r, per_object ? "per-object" : "combined-entry",
+                    avg_index);
+      bench::banner(title);
+      std::printf("%-10s %16s %16s %12s\n", "alpha", "recall=100%",
+                  "recall=50%", "hit-rate");
+
+      for (double alpha : kAlphas) {
+        const auto capacity = static_cast<std::size_t>(alpha * avg_index);
+        double sums[2] = {0, 0};
+        double hit_rate_100 = 0;
+        const double recalls[2] = {1.0, 0.5};
+        for (int ri = 0; ri < 2; ++ri) {
+          std::unordered_map<cube::CubeId, QueryCache> caches;
+          std::uint64_t hits = 0;
+          double total_pct = 0;
+          for (const auto& q : log.queries()) {
+            const auto& p = profiles.at(q.keywords);
+            const auto target = static_cast<std::uint64_t>(std::ceil(
+                recalls[ri] * static_cast<double>(p.total_hits)));
+            auto cit = caches.try_emplace(p.root, capacity).first;
+            const CachedTraversal* cached = cit->second.lookup(q.keywords);
+            if (cached != nullptr &&
+                (cached->complete || cached_total(*cached) >= target)) {
+              // Served by the root from its cached results: 1 node.
+              total_pct += 1.0 / nodes;
+              ++hits;
+            } else {
+              const std::uint64_t visited = p.nodes_to_collect(target);
+              total_pct += static_cast<double>(visited) / nodes;
+              cit->second.insert(q.keywords,
+                                 result_summary(p, visited, per_object));
+            }
+          }
+          sums[ri] = 100.0 * total_pct / static_cast<double>(log.size());
+          if (ri == 0)
+            hit_rate_100 = 100.0 * static_cast<double>(hits) /
+                           static_cast<double>(log.size());
+        }
+        std::printf("%-10.4f %15.3f%% %15.3f%% %11.1f%%\n", alpha, sums[0],
+                    sums[1], hit_rate_100);
+      }
+    }
+  }
+  std::printf(
+      "\nShape check: at alpha >= 1/6 and 100%% recall the contacted\n"
+      "fraction should fall to ~1%% or below (paper: <1%%).\n");
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Hot-spot experiment (paper §1 + §3.4 remarks): how is the *query* load —
+// messages received per node — distributed across nodes over a day of
+// skewed queries?
+//
+//  * DII: every query on keyword w hits the single node owning w, so the
+//    nodes owning popular keywords are hammered ("the system is vulnerable
+//    to hot spots").
+//  * Hypercube, cacheless: a query spreads over its whole subhypercube, so
+//    query load is diffused across many nodes.
+//  * Hypercube, cached: repeats collapse onto the query's root node — the
+//    residual hot spot the paper §3.4 acknowledges for "very popular
+//    keyword sets" — but each contact is a cheap cached answer rather than
+//    a posting-list shipment; the per-node byte load stays low.
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/load_metrics.hpp"
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "dii/inverted_index.hpp"
+#include "index/logical_index.hpp"
+#include "index/query_cache.hpp"
+
+namespace {
+
+using namespace hkws;
+
+struct LoadSummary {
+  double gini = 0;
+  double top_share = 0;       // heaviest node's share of all contacts
+  double top5pct_share = 0;   // share of the heaviest 5% of nodes
+};
+
+LoadSummary summarize(const std::vector<double>& loads) {
+  LoadSummary s;
+  s.gini = gini(loads);
+  double total = 0, top = 0;
+  for (double l : loads) {
+    total += l;
+    top = std::max(top, l);
+  }
+  s.top_share = total > 0 ? top / total : 0;
+  const auto curve = ranked_load_curve(loads);
+  for (const auto& p : curve) {
+    if (p.node_fraction >= 0.05) {
+      s.top5pct_share = p.load_fraction;
+      break;
+    }
+  }
+  return s;
+}
+
+void print_row(const char* name, const LoadSummary& s) {
+  std::printf("%-24s %8.3f %12.2f%% %14.1f%%\n", name, s.gini,
+              100.0 * s.top_share, 100.0 * s.top5pct_share);
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kR = 10;
+  const auto corpus = bench::paper_corpus();
+
+  workload::QueryLogConfig qcfg;
+  qcfg.query_count = bench::query_count();
+  qcfg.max_keyword_df = 0.0005;  // discriminative query terms
+  workload::QueryLogGenerator gen(corpus, qcfg);
+  const auto log = gen.generate();
+
+  index::LogicalIndex idx({.r = kR});
+  dii::InvertedIndex dii({.r = kR});
+  for (const auto& rec : corpus.records()) {
+    idx.insert(rec.id, rec.keywords);
+    dii.insert(rec.id, rec.keywords);
+  }
+
+  // Per-distinct-query traversal profiles (visited prefix is deterministic).
+  std::unordered_map<KeywordSet, index::LogicalIndex::TraversalProfile,
+                     KeywordSetHash>
+      profiles;
+  for (const auto& q : gen.universe())
+    profiles.emplace(q, idx.traversal_profile(q));
+  // Precompute each distinct query's full BFS visit order once.
+  std::unordered_map<KeywordSet, std::vector<cube::CubeId>, KeywordSetHash>
+      orders;
+  for (const auto& q : gen.universe()) {
+    const auto& p = profiles.at(q);
+    orders.emplace(q, cube::SpanningBinomialTree(idx.cube(), p.root)
+                          .bfs_order());
+  }
+
+  const std::size_t nodes = 1ULL << kR;
+  std::vector<double> cacheless(nodes, 0), cached(nodes, 0),
+      dii_load(nodes, 0), dii_bytes(nodes, 0), cached_bytes(nodes, 0);
+
+  // Hypercube, cacheless: every query touches its full subcube (100%
+  // recall); bytes ~ entries scanned are omitted (contact count is the
+  // paper's unit).
+  for (const auto& q : log.queries()) {
+    const auto& order = orders.at(q.keywords);
+    for (cube::CubeId w : order) cacheless[static_cast<std::size_t>(w)] += 1;
+  }
+
+  // Hypercube with the alpha = 1/6 result cache (as in Fig. 9).
+  {
+    const auto capacity = static_cast<std::size_t>(
+        (1.0 / 6.0) * static_cast<double>(corpus.size()) /
+        static_cast<double>(nodes));
+    std::unordered_map<cube::CubeId, index::QueryCache> caches;
+    for (const auto& q : log.queries()) {
+      const auto& p = profiles.at(q.keywords);
+      auto cit = caches.try_emplace(p.root, capacity).first;
+      const index::CachedTraversal* hit = cit->second.lookup(q.keywords);
+      if (hit != nullptr && hit->complete) {
+        cached[static_cast<std::size_t>(p.root)] += 1;  // root answers alone
+        cached_bytes[static_cast<std::size_t>(p.root)] +=
+            static_cast<double>(p.total_hits);
+      } else {
+        const auto& order = orders.at(q.keywords);
+        for (cube::CubeId w : order) cached[static_cast<std::size_t>(w)] += 1;
+        index::CachedTraversal summary;
+        summary.contributors.emplace_back(
+            p.root, static_cast<std::uint32_t>(p.total_hits));
+        summary.complete = true;
+        cit->second.insert(q.keywords, std::move(summary));
+      }
+    }
+  }
+
+  // DII: one contact per query keyword at the keyword's node; bytes = the
+  // posting list it ships back.
+  {
+    // Byte proxy per contact: the keyword's posting-list length (what the
+    // node ships to the searcher for intersection).
+    std::unordered_map<Keyword, std::uint64_t> df;
+    for (const auto& [w, c] : corpus.keyword_frequencies()) df[w] = c;
+    for (const auto& q : log.queries()) {
+      for (const auto& w : q.keywords) {
+        const auto n = static_cast<std::size_t>(dii.node_of(w));
+        dii_load[n] += 1;
+        dii_bytes[n] += static_cast<double>(df[w]);
+      }
+    }
+  }
+
+  bench::banner("Query-load distribution across nodes (one day of queries)");
+  std::printf("%-24s %8s %13s %15s\n", "scheme", "gini", "hottest node",
+              "top-5% nodes");
+  print_row("Hypercube (no cache)", summarize(cacheless));
+  print_row("Hypercube (cache 1/6)", summarize(cached));
+  print_row("DII", summarize(dii_load));
+
+  bench::banner("Result-shipping volume (entries sent; absolute counts)");
+  auto shipping_row = [&](const char* name, const std::vector<double>& v) {
+    double total = 0, hottest = 0;
+    for (double x : v) {
+      total += x;
+      hottest = std::max(hottest, x);
+    }
+    std::printf("%-24s %14.0f %18.0f\n", name, total, hottest);
+  };
+  std::printf("%-24s %14s %18s\n", "scheme", "total entries",
+              "hottest node sends");
+  shipping_row("Hypercube (cache 1/6)", cached_bytes);
+  shipping_row("DII (posting lists)", dii_bytes);
+
+  std::printf(
+      "\nShape check: DII concentrates query contacts on the popular\n"
+      "keywords' nodes (hottest node tens of times the hypercube's share),\n"
+      "and every contact ships a full posting list, several times the\n"
+      "total volume the hypercube ships. The hypercube's residual shipping\n"
+      "hot spot is the root of the most popular query (§3.4's caveat),\n"
+      "which sends exact result sets rather than raw posting lists.\n");
+  return 0;
+}

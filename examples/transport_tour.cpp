@@ -1,0 +1,112 @@
+// Transport tour: the same application logic on three deployment
+// substrates (paper §2.1/§3.2) — a Chord-style DHT, a Pastry-style DHT, and
+// a physical HyperCuP hypercube — plus the mirrored (secondary-hypercube,
+// §3.4) configuration. The keyword-search semantics are identical
+// everywhere; only cost profiles differ.
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cubenet/hypercup_index.hpp"
+#include "dht/chord_network.hpp"
+#include "dht/dolr.hpp"
+#include "dht/pastry_network.hpp"
+#include "index/mirrored.hpp"
+#include "index/overlay_index.hpp"
+
+namespace {
+
+using namespace hkws;
+
+struct Item {
+  ObjectId id;
+  KeywordSet keywords;
+};
+
+std::vector<Item> library() {
+  return {
+      {1, KeywordSet({"p2p", "dht", "chord"})},
+      {2, KeywordSet({"p2p", "dht", "pastry"})},
+      {3, KeywordSet({"p2p", "hypercube", "search"})},
+      {4, KeywordSet({"p2p", "dht", "keyword", "search"})},
+      {5, KeywordSet({"database", "btree"})},
+  };
+}
+
+void report(const char* name, const index::SearchResult& r,
+            std::uint64_t wire_messages) {
+  std::printf("%-22s %zu hits, %zu cube nodes, %llu wire messages\n", name,
+              r.hits.size(), r.stats.nodes_contacted,
+              static_cast<unsigned long long>(wire_messages));
+}
+
+template <typename OverlayT>
+void run_dht(const char* name) {
+  sim::EventQueue clock;
+  sim::Network net(clock);
+  auto overlay = OverlayT::build(net, 32, {});
+  dht::Dolr dolr(overlay);
+  index::OverlayIndex index(dolr, {.r = 6});
+  for (const auto& item : library())
+    index.publish(1 + item.id % 32, item.id, item.keywords);
+  clock.run();
+
+  const auto before = net.messages_sent();
+  std::optional<index::SearchResult> result;
+  index.superset_search(1, KeywordSet({"p2p", "dht"}), 0,
+                        index::SearchStrategy::kTopDownSequential,
+                        [&](const index::SearchResult& r) { result = r; });
+  clock.run();
+  report(name, *result, net.messages_sent() - before);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("query [dht,p2p] over %zu published objects\n\n",
+              library().size());
+
+  run_dht<dht::ChordNetwork>("Chord DHT");
+  run_dht<dht::PastryNetwork>("Pastry DHT");
+
+  {  // Physical hypercube: peers ARE the 2^6 cube nodes.
+    sim::EventQueue clock;
+    sim::Network net(clock);
+    cubenet::HyperCupNetwork cup(net, {.r = 6});
+    cubenet::HyperCupIndex index(cup, {});
+    for (const auto& item : library())
+      index.insert(item.id % cup.size(), item.id, item.keywords);
+    clock.run();
+    const auto before = net.messages_sent();
+    std::optional<index::SearchResult> result;
+    index.superset_search(0, KeywordSet({"p2p", "dht"}), 0,
+                          [&](const index::SearchResult& r) { result = r; });
+    clock.run();
+    report("HyperCuP (physical)", *result, net.messages_sent() - before);
+  }
+
+  {  // Mirrored index over Chord: secondary hypercube for fault tolerance.
+    sim::EventQueue clock;
+    sim::Network net(clock);
+    auto chord = dht::ChordNetwork::build(net, 32, {});
+    dht::Dolr dolr(chord);
+    index::MirroredIndex index(dolr, {.r = 6});
+    for (const auto& item : library())
+      index.publish(1 + item.id % 32, item.id, item.keywords);
+    clock.run();
+    const auto before = net.messages_sent();
+    std::optional<index::SearchResult> result;
+    index.superset_search(1, KeywordSet({"p2p", "dht"}), 0,
+                          index::SearchStrategy::kTopDownSequential,
+                          [&](const index::SearchResult& r) { result = r; });
+    clock.run();
+    report("Mirrored over Chord", *result, net.messages_sent() - before);
+  }
+
+  std::printf(
+      "\nSame hits everywhere; HyperCuP pays tree-edge messages, the DHTs\n"
+      "pay routing hops, and the mirror roughly doubles cost for index\n"
+      "fault tolerance.\n");
+  return 0;
+}

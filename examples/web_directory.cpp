@@ -1,0 +1,91 @@
+// Web-directory scenario — the paper's own evaluation setting: a
+// PCHome-like corpus of website records indexed by keyword metadata, a
+// skewed daily query log, cumulative result browsing ("next page"), and
+// query refinement from extra-keyword samples.
+#include <cstdio>
+#include <string>
+
+#include "index/logical_index.hpp"
+#include "index/ranking.hpp"
+#include "workload/corpus_generator.hpp"
+#include "workload/corpus_io.hpp"
+#include "workload/query_generator.hpp"
+
+int main() {
+  using namespace hkws;
+
+  // A scaled-down directory (the full 131k-record experiments live in
+  // bench/); same distributions as the paper's data.
+  workload::CorpusConfig ccfg;
+  ccfg.object_count = 30000;
+  workload::Corpus corpus = workload::CorpusGenerator(ccfg).generate();
+  std::printf("directory: %zu records, %.1f keywords/record, %zu distinct "
+              "keywords\n",
+              corpus.size(), corpus.mean_keywords(), corpus.vocabulary_size());
+
+  // Index it in an r=10 hypercube with a small per-node query cache.
+  index::LogicalIndex idx({.r = 10, .cache_capacity = 21});
+  for (const auto& rec : corpus.records()) idx.insert(rec.id, rec.keywords);
+
+  // A popular query from the daily log.
+  workload::QueryLogConfig qcfg;
+  qcfg.query_count = 2000;
+  qcfg.distinct_queries = 400;
+  workload::QueryLogGenerator queries(corpus, qcfg);
+  const KeywordSet query = queries.universe().front();
+  std::printf("\nuser searches for [%s]\n", query.to_string().c_str());
+
+  // Browse results page by page (cumulative superset search: the root
+  // keeps the traversal queue between pages, §3.3).
+  auto session = idx.begin_cumulative(query);
+  for (int page = 1; page <= 3 && !session.exhausted(); ++page) {
+    const auto batch = session.next(5);
+    if (batch.hits.empty()) break;
+    std::printf("-- page %d (%zu nodes contacted) --\n", page,
+                batch.stats.nodes_contacted);
+    for (const auto& h : batch.hits) {
+      const auto& rec = corpus[static_cast<std::size_t>(h.object - 1)];
+      std::printf("  %-10s %-28s [%s]\n", rec.title.c_str(), rec.url.c_str(),
+                  h.keywords.to_string().c_str());
+    }
+  }
+
+  // Offer refinements based on the extra keywords of the full result set.
+  const auto full = idx.superset_search(query);
+  std::printf("\n%zu total matches; refinements:\n", full.hits.size());
+  for (const auto& s : index::sample_refinements(full.hits, query, 1, 5))
+    std::printf("  +[%s] -> %zu matches\n", s.extra.to_string().c_str(),
+                s.category_size);
+
+  // Repeating the query hits the root's cache: far fewer nodes contacted.
+  const auto cold_nodes = full.stats.nodes_contacted;
+  const auto warm = idx.superset_search(query);
+  std::printf("\nrepeat query: %zu nodes contacted (first time: %zu, "
+              "cache hit: %s)\n",
+              warm.stats.nodes_contacted, cold_nodes,
+              warm.stats.cache_hit ? "yes" : "no");
+
+  // The directory can be exported and re-imported as TSV, so these
+  // experiments can also run on a real data set (see workload/corpus_io.hpp
+  // for the format).
+  const std::string tsv = "/tmp/hyperkws_directory.tsv";
+  workload::save_corpus_tsv(corpus, tsv);
+  const auto reloaded = workload::load_corpus_tsv(tsv);
+  std::printf("\nexported and re-imported %zu records via %s\n",
+              reloaded.size(), tsv.c_str());
+
+  // Replay a day's worth of queries and report the cache's effect.
+  const auto log = queries.generate();
+  std::size_t contacted = 0;
+  for (const auto& q : log.queries())
+    contacted += idx.superset_search(q.keywords, 20).stats.nodes_contacted;
+  const auto stats = idx.cache_stats();
+  std::printf("\nreplayed %zu queries: avg %.1f nodes/query, cache hit rate "
+              "%.1f%%\n",
+              log.size(),
+              static_cast<double>(contacted) /
+                  static_cast<double>(log.size()),
+              100.0 * static_cast<double>(stats.hits) /
+                  static_cast<double>(stats.hits + stats.misses));
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "analysis/load_metrics.hpp"
+
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace hkws::analysis {
+
+std::vector<double> to_double_loads(const std::vector<std::size_t>& loads) {
+  std::vector<double> out;
+  out.reserve(loads.size());
+  for (std::size_t v : loads) out.push_back(static_cast<double>(v));
+  return out;
+}
+
+std::vector<std::size_t> direct_hash_loads(std::size_t objects, int r,
+                                           std::uint64_t seed) {
+  if (r < 1 || r > 30)
+    throw std::invalid_argument("direct_hash_loads: r out of range");
+  std::vector<std::size_t> loads(1ULL << r, 0);
+  hkws::Rng rng(seed);
+  for (std::size_t i = 0; i < objects; ++i)
+    ++loads[static_cast<std::size_t>(rng.next_below(loads.size()))];
+  return loads;
+}
+
+std::vector<double> load_fraction_by_one_bits(
+    const std::vector<std::size_t>& loads, int r) {
+  if (loads.size() != (1ULL << r))
+    throw std::invalid_argument("load_fraction_by_one_bits: size != 2^r");
+  std::vector<double> fractions(static_cast<std::size_t>(r) + 1, 0.0);
+  std::size_t total = 0;
+  for (std::size_t u = 0; u < loads.size(); ++u) {
+    fractions[static_cast<std::size_t>(popcount64(u))] +=
+        static_cast<double>(loads[u]);
+    total += loads[u];
+  }
+  if (total != 0)
+    for (auto& f : fractions) f /= static_cast<double>(total);
+  return fractions;
+}
+
+std::vector<double> node_fraction_by_one_bits(int r) {
+  std::vector<double> fractions(static_cast<std::size_t>(r) + 1, 0.0);
+  const std::size_t n = 1ULL << r;
+  for (std::size_t u = 0; u < n; ++u)
+    fractions[static_cast<std::size_t>(popcount64(u))] += 1.0;
+  for (auto& f : fractions) f /= static_cast<double>(n);
+  return fractions;
+}
+
+}  // namespace hkws::analysis

@@ -1,0 +1,32 @@
+// Load-distribution metrics for the Fig. 6/7 experiments: ranked cumulative
+// load curves per scheme, object-vs-node distributions by |One(u)|, and the
+// reference lines (Perfect, DHT-r).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace hkws::analysis {
+
+/// Converts integer per-node loads into the double vector the curve and
+/// Gini helpers take.
+std::vector<double> to_double_loads(const std::vector<std::size_t>& loads);
+
+/// Fig. 6 reference line "DHT-r": `objects` hashed directly (uniformly at
+/// random) onto 2^r nodes; returns the per-node loads.
+std::vector<std::size_t> direct_hash_loads(std::size_t objects, int r,
+                                           std::uint64_t seed);
+
+/// Fig. 7 "object distribution": given per-cube-node loads, the fraction
+/// of objects indexed at nodes with |One(u)| = x, for x in [0, r].
+std::vector<double> load_fraction_by_one_bits(
+    const std::vector<std::size_t>& loads, int r);
+
+/// Fig. 7 "node distribution" measured (not analytic): the fraction of the
+/// 2^r node IDs with |One(u)| = x. Matches node_one_bits_distribution.
+std::vector<double> node_fraction_by_one_bits(int r);
+
+}  // namespace hkws::analysis

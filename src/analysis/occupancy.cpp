@@ -1,0 +1,134 @@
+#include "analysis/occupancy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hkws::analysis {
+
+namespace {
+long double log_choose(int n, int k) {
+  return std::lgamma(static_cast<long double>(n) + 1) -
+         std::lgamma(static_cast<long double>(k) + 1) -
+         std::lgamma(static_cast<long double>(n - k) + 1);
+}
+}  // namespace
+
+double occupancy_pmf_eq1(int r, int m, int j) {
+  if (r < 1) throw std::invalid_argument("occupancy_pmf_eq1: r must be >= 1");
+  if (m < 0 || j < 0) return 0.0;
+  if (m == 0) return j == 0 ? 1.0 : 0.0;
+  if (j == 0 || j > r || j > m) return 0.0;
+  // Eq. (1): C(r,j) * sum_i (-1)^i C(j,i) ((j-i)/r)^m, term-wise in log
+  // space. The alternating sum cancels catastrophically for large r and m;
+  // use occupancy_pmf for production values.
+  const long double log_crj = log_choose(r, j);
+  long double sum = 0.0L;
+  for (int i = 0; i < j; ++i) {  // i == j term is (0/r)^m = 0
+    const long double log_term =
+        log_choose(j, i) +
+        static_cast<long double>(m) *
+            std::log(static_cast<long double>(j - i) /
+                     static_cast<long double>(r));
+    const long double term = std::exp(log_crj + log_term);
+    sum += (i % 2 == 0) ? term : -term;
+  }
+  if (sum < 0) sum = 0;  // residual cancellation noise
+  return static_cast<double>(sum);
+}
+
+std::vector<double> occupancy_distribution(int r, int m) {
+  if (r < 1)
+    throw std::invalid_argument("occupancy_distribution: r must be >= 1");
+  if (m < 0) throw std::invalid_argument("occupancy_distribution: m < 0");
+  // Drop the m keywords one at a time: a new keyword lands in an already
+  // occupied dimension with probability j/r. Stable for any r, m.
+  std::vector<double> dist(static_cast<std::size_t>(r) + 1, 0.0);
+  dist[0] = 1.0;
+  const double dr = static_cast<double>(r);
+  for (int ball = 0; ball < m; ++ball) {
+    for (int j = std::min(ball + 1, r); j >= 1; --j) {
+      dist[static_cast<std::size_t>(j)] =
+          dist[static_cast<std::size_t>(j)] * (static_cast<double>(j) / dr) +
+          dist[static_cast<std::size_t>(j - 1)] *
+              (dr - static_cast<double>(j - 1)) / dr;
+    }
+    dist[0] = 0.0;
+  }
+  return dist;
+}
+
+double occupancy_pmf(int r, int m, int j) {
+  if (r < 1) throw std::invalid_argument("occupancy_pmf: r must be >= 1");
+  if (m < 0 || j < 0 || j > r) return 0.0;
+  return occupancy_distribution(r, m)[static_cast<std::size_t>(j)];
+}
+
+double occupancy_expected(int r, int m) {
+  // E[|One|] has the closed form r (1 - (1 - 1/r)^m): linearity over the
+  // per-dimension hit indicators. Cheaper and more stable than summing
+  // Eq. (1); tests assert both agree.
+  const double miss = std::pow(1.0 - 1.0 / static_cast<double>(r),
+                               static_cast<double>(m));
+  return static_cast<double>(r) * (1.0 - miss);
+}
+
+double expected_search_fraction(int r, int m) {
+  const auto dist = occupancy_distribution(r, m);
+  double fraction = 0;
+  for (std::size_t j = 0; j < dist.size(); ++j)
+    fraction += dist[j] * std::pow(2.0, -static_cast<double>(j));
+  return fraction;
+}
+
+std::vector<double> node_one_bits_distribution(int r) {
+  std::vector<double> dist(static_cast<std::size_t>(r) + 1, 0.0);
+  for (int x = 0; x <= r; ++x)
+    dist[static_cast<std::size_t>(x)] = static_cast<double>(
+        std::exp(log_choose(r, x) -
+                 static_cast<long double>(r) * std::log(2.0L)));
+  return dist;
+}
+
+std::vector<double> object_one_bits_distribution(int r,
+                                                 const Histogram& set_sizes) {
+  std::vector<double> dist(static_cast<std::size_t>(r) + 1, 0.0);
+  if (set_sizes.empty()) return dist;
+  for (const auto& [m, count] : set_sizes.bins()) {
+    const double weight = static_cast<double>(count) /
+                          static_cast<double>(set_sizes.total());
+    const auto occ = occupancy_distribution(r, static_cast<int>(m));
+    for (std::size_t j = 0; j < dist.size(); ++j) dist[j] += weight * occ[j];
+  }
+  return dist;
+}
+
+double total_variation(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  const std::size_t n = std::max(a.size(), b.size());
+  double tv = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double av = i < a.size() ? a[i] : 0.0;
+    const double bv = i < b.size() ? b[i] : 0.0;
+    tv += std::abs(av - bv);
+  }
+  return tv / 2.0;
+}
+
+int recommend_dimension(const Histogram& set_sizes, int r_min, int r_max) {
+  if (r_min < 1 || r_max < r_min)
+    throw std::invalid_argument("recommend_dimension: bad range");
+  int best_r = r_min;
+  double best_d = 2.0;
+  for (int r = r_min; r <= r_max; ++r) {
+    const double d = total_variation(object_one_bits_distribution(r, set_sizes),
+                                     node_one_bits_distribution(r));
+    if (d < best_d) {
+      best_d = d;
+      best_r = r;
+    }
+  }
+  return best_r;
+}
+
+}  // namespace hkws::analysis

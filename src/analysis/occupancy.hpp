@@ -1,0 +1,60 @@
+// The occupancy analysis of paper §3.5: when m keywords are hashed
+// uniformly onto r dimensions, Eq. (1) gives the distribution of
+// |One(F_h(K))| — "m distinct balls into r distinct buckets, exactly j
+// buckets non-empty" — and from it the expected superset-search space
+// 2^(r - |One|). Also the node-side distribution (binomial) used by
+// Fig. 7 and the dimension-recommendation rule the paper sketches
+// ("by using Equation (1), we can calculate an appropriate r").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace hkws::analysis {
+
+/// P(|One(F_h(K))| = j) for |K| = m keywords over r dimensions.
+/// Returns 0 for j outside [1, min(r, m)] (or j==0 when m==0).
+/// Computed by the numerically stable one-ball-at-a-time recurrence
+/// P_m(j) = P_{m-1}(j) * j/r + P_{m-1}(j-1) * (r-j+1)/r, which equals the
+/// paper's Eq. (1) exactly (tests cross-check against occupancy_pmf_eq1).
+double occupancy_pmf(int r, int m, int j);
+
+/// The paper's Eq. (1) evaluated literally (inclusion-exclusion form).
+/// Subject to catastrophic cancellation for large r and m (~> 40); kept as
+/// the reference form for validation.
+double occupancy_pmf_eq1(int r, int m, int j);
+
+/// The full distribution, indexed by j in [0, r].
+std::vector<double> occupancy_distribution(int r, int m);
+
+/// E[|One(F_h(K))|].
+double occupancy_expected(int r, int m);
+
+/// Expected fraction of hypercube nodes a 100%-recall superset search for
+/// an m-keyword query must visit: E[2^(r-|One|)] / 2^r = E[2^-|One|],
+/// taken over Eq. (1). For m << r this approaches 2^-m — the paper's
+/// Fig. 8 rule of thumb; for small r the collapse of |One| raises it.
+double expected_search_fraction(int r, int m);
+
+/// P(|One(u)| = x) for u uniform over the 2^r hypercube nodes:
+/// binomial(r, 1/2) — the "node distribution" curve of Fig. 7.
+std::vector<double> node_one_bits_distribution(int r);
+
+/// The "object distribution" Fig. 7 predicts analytically: the occupancy
+/// mixture over a keyword-set-size histogram.
+std::vector<double> object_one_bits_distribution(int r,
+                                                 const Histogram& set_sizes);
+
+/// Total-variation distance between two distributions over the same support
+/// (shorter one padded with zeros).
+double total_variation(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// The paper's r-selection rule: pick r in [r_min, r_max] minimizing the
+/// distance between the predicted object distribution and the node
+/// distribution (the two curves of Fig. 7 "most close to each other").
+int recommend_dimension(const Histogram& set_sizes, int r_min, int r_max);
+
+}  // namespace hkws::analysis

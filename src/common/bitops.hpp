@@ -1,0 +1,38 @@
+// Thin wrappers over <bit> plus set-bit iteration used throughout the
+// hypercube layer, where node IDs are r-bit masks in a uint64_t.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace hkws {
+
+/// Number of set bits.
+inline int popcount64(std::uint64_t x) noexcept { return std::popcount(x); }
+
+/// Index of the lowest set bit. Precondition: x != 0.
+inline int lowest_set_bit(std::uint64_t x) noexcept {
+  return std::countr_zero(x);
+}
+
+/// Index of the highest set bit. Precondition: x != 0.
+inline int highest_set_bit(std::uint64_t x) noexcept {
+  return 63 - std::countl_zero(x);
+}
+
+/// Mask with the low `n` bits set (n in [0, 64]).
+inline std::uint64_t low_mask(int n) noexcept {
+  return n >= 64 ? ~0ULL : (1ULL << n) - 1;
+}
+
+/// Invokes `fn(i)` for each set-bit index i of `x`, lowest first.
+template <typename Fn>
+void for_each_set_bit(std::uint64_t x, Fn&& fn) {
+  while (x != 0) {
+    const int i = std::countr_zero(x);
+    fn(i);
+    x &= x - 1;  // clear lowest set bit
+  }
+}
+
+}  // namespace hkws

@@ -1,0 +1,33 @@
+#include "common/hash.hpp"
+
+namespace hkws {
+
+std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_bytes(std::string_view bytes, std::uint64_t seed) noexcept {
+  // FNV-1a with a seeded basis; the final mix64 repairs FNV's weak high bits.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ mix64(seed);
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) noexcept {
+  return mix64(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+}  // namespace hkws

@@ -1,0 +1,82 @@
+// Deterministic random number generation for simulations and workload
+// synthesis. Xoshiro256** seeded via SplitMix64, plus the uniform-variate
+// helpers the generators need. Header-only; trivially copyable so simulation
+// components can fork independent streams.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/hash.hpp"
+
+namespace hkws {
+
+/// Xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  /// Seeds the four state words from `seed` via SplitMix64 (never all-zero).
+  explicit Rng(std::uint64_t seed = 0) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    __uint128_t m = static_cast<__uint128_t>(next_u64()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next_u64()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Forks an independent stream (derived deterministically from this one).
+  Rng fork() noexcept { return Rng(mix64(next_u64())); }
+
+  // UniformRandomBitGenerator interface, for std::shuffle etc.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() noexcept { return next_u64(); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace hkws

@@ -1,0 +1,101 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace hkws {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  const double m = mean(xs);
+  double acc = 0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0 || p > 100) throw std::invalid_argument("percentile: p out of range");
+  std::sort(xs.begin(), xs.end());
+  const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= xs.size()) return xs.back();
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1 - frac) + xs[lo + 1] * frac;
+}
+
+double gini(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double n = static_cast<double>(xs.size());
+  double weighted = 0, total = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    weighted += (2.0 * static_cast<double>(i + 1) - n - 1.0) * xs[i];
+    total += xs[i];
+  }
+  if (total == 0) return 0.0;
+  return weighted / (n * total);
+}
+
+std::vector<LoadCurvePoint> ranked_load_curve(std::vector<double> loads,
+                                              std::size_t max_points) {
+  std::vector<LoadCurvePoint> curve;
+  if (loads.empty()) return curve;
+  std::sort(loads.begin(), loads.end(), std::greater<>());
+  const double total = std::accumulate(loads.begin(), loads.end(), 0.0);
+  const double n = static_cast<double>(loads.size());
+
+  // Choose which ranks to emit: all of them, or max_points evenly spaced.
+  std::size_t step = 1;
+  if (max_points != 0 && loads.size() > max_points) {
+    step = loads.size() / max_points;
+  }
+  curve.push_back({0.0, 0.0});
+  double acc = 0;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    acc += loads[i];
+    if ((i + 1) % step == 0 || i + 1 == loads.size()) {
+      curve.push_back({static_cast<double>(i + 1) / n,
+                       total == 0 ? 0.0 : acc / total});
+    }
+  }
+  return curve;
+}
+
+void Histogram::add(std::int64_t value, std::uint64_t count) {
+  bins_[value] += count;
+  total_ += count;
+}
+
+std::uint64_t Histogram::count(std::int64_t value) const {
+  const auto it = bins_.find(value);
+  return it == bins_.end() ? 0 : it->second;
+}
+
+double Histogram::fraction(std::int64_t value) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+double Histogram::hist_mean() const {
+  if (total_ == 0) return 0.0;
+  double acc = 0;
+  for (const auto& [v, c] : bins_)
+    acc += static_cast<double>(v) * static_cast<double>(c);
+  return acc / static_cast<double>(total_);
+}
+
+std::int64_t Histogram::min_value() const { return bins_.begin()->first; }
+std::int64_t Histogram::max_value() const { return bins_.rbegin()->first; }
+
+}  // namespace hkws

@@ -1,0 +1,63 @@
+// Descriptive statistics used by the experiment harnesses: moments,
+// percentiles, Gini coefficient (load-imbalance summary), ranked cumulative
+// load curves (paper Fig. 6), and a simple integer histogram (Figs. 5, 7).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace hkws {
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);   ///< population variance
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
+double percentile(std::vector<double> xs, double p);
+
+/// Gini coefficient of non-negative values: 0 = perfectly even,
+/// -> 1 = maximally concentrated. Used to summarize index-load skew.
+double gini(std::vector<double> xs);
+
+/// A point on a ranked cumulative load curve: after the heaviest
+/// `node_fraction` of nodes, `load_fraction` of total load is covered.
+struct LoadCurvePoint {
+  double node_fraction;
+  double load_fraction;
+};
+
+/// Ranked cumulative load curve (paper Fig. 6): nodes sorted heavy-to-light,
+/// cumulative share of load vs share of nodes. Includes the origin (0,0) and
+/// endpoint (1,1); `loads` may contain zeros. Emits at most `max_points + 2`
+/// points, uniformly spaced in node rank (full resolution if max_points==0).
+std::vector<LoadCurvePoint> ranked_load_curve(std::vector<double> loads,
+                                              std::size_t max_points = 0);
+
+/// Integer-keyed histogram with counting, normalization and moments.
+class Histogram {
+ public:
+  void add(std::int64_t value, std::uint64_t count = 1);
+
+  std::uint64_t count(std::int64_t value) const;
+  std::uint64_t total() const noexcept { return total_; }
+  bool empty() const noexcept { return total_ == 0; }
+
+  /// Fraction of mass at `value` (0 if the histogram is empty).
+  double fraction(std::int64_t value) const;
+
+  double hist_mean() const;
+  std::int64_t min_value() const;  ///< requires !empty()
+  std::int64_t max_value() const;  ///< requires !empty()
+
+  const std::map<std::int64_t, std::uint64_t>& bins() const noexcept {
+    return bins_;
+  }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hkws

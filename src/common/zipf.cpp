@@ -1,0 +1,56 @@
+#include "common/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hkws {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s, double q)
+    : s_(s), q_(q) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n must be >= 1");
+  if (s < 0) throw std::invalid_argument("ZipfDistribution: s must be >= 0");
+  if (q < 0) throw std::invalid_argument("ZipfDistribution: q must be >= 0");
+  cdf_.resize(n);
+  double acc = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += std::pow(static_cast<double>(k + 1) + q, -s);
+    cdf_[k] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against rounding leaving the tail unreachable
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::pmf(std::size_t k) const {
+  if (k >= cdf_.size()) return 0.0;
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+double fit_zipf_exponent(const std::vector<std::uint64_t>& counts_by_rank) {
+  // Least-squares slope of log(count) on log(rank+1); Zipf exponent = -slope.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = 0;
+  for (std::size_t k = 0; k < counts_by_rank.size(); ++k) {
+    if (counts_by_rank[k] == 0) continue;
+    const double x = std::log(static_cast<double>(k + 1));
+    const double y = std::log(static_cast<double>(counts_by_rank[k]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0) return 0.0;
+  return -(dn * sxy - sx * sy) / denom;
+}
+
+}  // namespace hkws

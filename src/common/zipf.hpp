@@ -1,0 +1,53 @@
+// Zipf (power-law) sampling. Keyword popularity in real corpora follows
+// Zipf's law (paper §1), and PCHome query popularity is heavily skewed
+// (paper §4, footnote 1: top-10 queries > 60% of daily volume), so both the
+// corpus and the query-log generators are built on this sampler.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hkws {
+
+/// Samples ranks 1..n with P(rank = k) proportional to 1 / (k + q)^s —
+/// the Zipf-Mandelbrot law. q = 0 is classic Zipf; q > 0 flattens the head
+/// while keeping the tail slope, which is how real curated vocabularies
+/// behave (no single keyword covers half the corpus, but the top hundred
+/// are all hot).
+///
+/// Uses an explicit inverse-CDF table (O(n) memory, O(log n) per sample),
+/// which is exact and fast for the vocabulary sizes we use (<= a few
+/// million). The distribution object is immutable after construction and
+/// safe to share across threads; sampling takes the caller's Rng.
+class ZipfDistribution {
+ public:
+  /// @param n  number of ranks (must be >= 1)
+  /// @param s  skew exponent (s = 0 is uniform; s ~ 1 is classic Zipf)
+  /// @param q  Mandelbrot shift (>= 0; 0 = classic Zipf)
+  ZipfDistribution(std::size_t n, double s, double q = 0.0);
+
+  /// Draws a rank in [0, n): rank 0 is the most popular item.
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of rank k (0-based).
+  double pmf(std::size_t k) const;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+  double skew() const noexcept { return s_; }
+  double shift() const noexcept { return q_; }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k), strictly increasing
+  double s_;
+  double q_;
+};
+
+/// Fits the Zipf exponent of observed rank frequencies by least squares in
+/// log-log space (frequency vs rank). Ranks with zero count are skipped.
+/// Returns the fitted exponent; used by tests to validate generators.
+double fit_zipf_exponent(const std::vector<std::uint64_t>& counts_by_rank);
+
+}  // namespace hkws

@@ -1,0 +1,69 @@
+#include "cube/hypercube.hpp"
+
+namespace hkws::cube {
+
+Hypercube::Hypercube(int r) : r_(r) {
+  if (r < 1 || r > 63)
+    throw std::invalid_argument("Hypercube: dimension must be in [1,63]");
+}
+
+std::vector<int> Hypercube::one_positions(CubeId u) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(popcount64(u)));
+  for_each_set_bit(u, [&](int i) { out.push_back(i); });
+  return out;
+}
+
+std::vector<int> Hypercube::zero_positions(CubeId u) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(zero_count(u)));
+  for (int i = 0; i < r_; ++i)
+    if ((u & (1ULL << i)) == 0) out.push_back(i);
+  return out;
+}
+
+CubeId Hypercube::neighbor(CubeId u, int dim) const {
+  if (dim < 0 || dim >= r_)
+    throw std::out_of_range("Hypercube::neighbor: bad dimension");
+  return u ^ (1ULL << dim);
+}
+
+void Hypercube::for_each_in_subcube(
+    CubeId u, const std::function<void(CubeId)>& fn) const {
+  const std::uint64_t n = subcube_size(u);
+  for (std::uint64_t packed = 0; packed < n; ++packed)
+    fn(expand_into_subcube(u, packed));
+}
+
+std::vector<CubeId> Hypercube::subcube_members(CubeId u) const {
+  std::vector<CubeId> out;
+  out.reserve(subcube_size(u));
+  for_each_in_subcube(u, [&](CubeId w) { out.push_back(w); });
+  return out;
+}
+
+CubeId Hypercube::expand_into_subcube(CubeId u, std::uint64_t packed) const {
+  // Deposit `packed` bit-by-bit onto the zero positions of u (PDEP, done
+  // portably: the free positions are at most 63 and typically <= 16).
+  CubeId result = u;
+  std::uint64_t bit = 1;
+  for (int i = 0; i < r_; ++i) {
+    if ((u & (1ULL << i)) != 0) continue;  // occupied by One(u)
+    if ((packed & bit) != 0) result |= (1ULL << i);
+    bit <<= 1;
+  }
+  return result;
+}
+
+std::uint64_t Hypercube::compress_from_subcube(CubeId u, CubeId w) const {
+  std::uint64_t packed = 0;
+  std::uint64_t bit = 1;
+  for (int i = 0; i < r_; ++i) {
+    if ((u & (1ULL << i)) != 0) continue;
+    if ((w & (1ULL << i)) != 0) packed |= bit;
+    bit <<= 1;
+  }
+  return packed;
+}
+
+}  // namespace hkws::cube

@@ -1,0 +1,84 @@
+// The r-dimensional hypercube vector space of paper §3.1. Logical node IDs
+// are r-bit strings packed into a uint64_t (r <= 63 — the paper never needs
+// more than 16). All operations are O(1) bit math or O(size) enumeration.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bitops.hpp"
+
+namespace hkws::cube {
+
+/// A hypercube node: the low r bits encode the ID, bit i = u[i] of the
+/// paper (counting from the right).
+using CubeId = std::uint64_t;
+
+/// Geometry and combinatorics of H_r plus its induced subhypercubes.
+class Hypercube {
+ public:
+  /// @param r  dimension; 1 <= r <= 63
+  explicit Hypercube(int r);
+
+  int dimension() const noexcept { return r_; }
+
+  /// 2^r.
+  std::uint64_t node_count() const noexcept { return 1ULL << r_; }
+
+  /// Mask with bits 0..r-1 set (all valid ID bits).
+  CubeId full_mask() const noexcept { return low_mask(r_); }
+
+  bool valid(CubeId u) const noexcept { return (u & ~full_mask()) == 0; }
+
+  /// |One(u)| — number of set bits.
+  static int one_count(CubeId u) noexcept { return popcount64(u); }
+
+  /// |Zero(u)| within this cube's r dimensions.
+  int zero_count(CubeId u) const noexcept { return r_ - popcount64(u); }
+
+  /// Positions of '1' bits, ascending (the set One(u)).
+  static std::vector<int> one_positions(CubeId u);
+
+  /// Positions of '0' bits within dimension r, ascending (the set Zero(u)).
+  std::vector<int> zero_positions(CubeId u) const;
+
+  /// True iff `big` contains `small`: One(small) ⊆ One(big).
+  static bool contains(CubeId big, CubeId small) noexcept {
+    return (big & small) == small;
+  }
+
+  /// Hamming distance.
+  static int hamming(CubeId u, CubeId v) noexcept { return popcount64(u ^ v); }
+
+  /// Neighbor across dimension `dim` (flip bit `dim`).
+  CubeId neighbor(CubeId u, int dim) const;
+
+  /// Number of nodes of the subhypercube induced by u: 2^|Zero(u)|.
+  std::uint64_t subcube_size(CubeId u) const noexcept {
+    return 1ULL << zero_count(u);
+  }
+
+  /// Invokes fn(w) for every node w of the subhypercube induced by u
+  /// (every w containing u), in increasing numeric order of the free bits.
+  /// O(2^|Zero(u)|).
+  void for_each_in_subcube(CubeId u, const std::function<void(CubeId)>& fn) const;
+
+  /// All members of the subhypercube induced by u (ordered as above).
+  std::vector<CubeId> subcube_members(CubeId u) const;
+
+  /// Spreads the low |Zero(u)| bits of `packed` onto the free (zero)
+  /// positions of u and ORs in u itself: the isomorphism from the
+  /// |Zero(u)|-dimensional hypercube onto H_r(u) (paper Def. 3.1 remark).
+  CubeId expand_into_subcube(CubeId u, std::uint64_t packed) const;
+
+  /// Inverse of expand_into_subcube: extracts the free-position bits of a
+  /// subcube member w back into a packed |Zero(u)|-bit string.
+  std::uint64_t compress_from_subcube(CubeId u, CubeId w) const;
+
+ private:
+  int r_;
+};
+
+}  // namespace hkws::cube

@@ -1,0 +1,67 @@
+#include "cubenet/hypercup_network.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "common/bitops.hpp"
+
+namespace hkws::cubenet {
+
+struct HyperCupNetwork::HopState {
+  cube::CubeId target = 0;
+  std::string kind;
+  std::size_t bytes = 0;
+  std::function<void(int)> at_target;
+  int hops = 0;
+};
+
+HyperCupNetwork::HyperCupNetwork(sim::Network& net, Config cfg)
+    : net_(net), cube_(cfg.r) {
+  if (cfg.r > 20)
+    throw std::invalid_argument(
+        "HyperCupNetwork: a fully-populated cube beyond 2^20 peers is not a "
+        "sensible simulation");
+  for (cube::CubeId u = 0; u < cube_.node_count(); ++u)
+    net_.register_endpoint(endpoint_of(u));
+}
+
+void HyperCupNetwork::send_edge(cube::CubeId from, cube::CubeId to,
+                                std::string kind, std::size_t payload_bytes,
+                                std::function<void()> deliver) {
+  if (cube::Hypercube::hamming(from, to) != 1)
+    throw std::invalid_argument("send_edge: nodes are not cube neighbors");
+  net_.send(endpoint_of(from), endpoint_of(to), std::move(kind),
+            payload_bytes, std::move(deliver));
+}
+
+void HyperCupNetwork::route_step(std::shared_ptr<HopState> state,
+                                 cube::CubeId at) {
+  const std::uint64_t diff = at ^ state->target;
+  if (diff == 0) {
+    state->at_target(state->hops);
+    return;
+  }
+  // e-cube: correct the lowest differing dimension next.
+  const cube::CubeId next = at ^ (1ULL << lowest_set_bit(diff));
+  ++state->hops;
+  net_.send(endpoint_of(at), endpoint_of(next), state->kind, state->bytes,
+            [this, state, next] { route_step(std::move(state), next); });
+}
+
+void HyperCupNetwork::route(cube::CubeId from, cube::CubeId to,
+                            std::string kind, std::size_t payload_bytes,
+                            std::function<void(int hops)> at_target) {
+  if (!cube_.valid(from) || !cube_.valid(to))
+    throw std::invalid_argument("route: node outside the cube");
+  auto state = std::make_shared<HopState>();
+  state->target = to;
+  state->kind = std::move(kind);
+  state->bytes = payload_bytes;
+  state->at_target = std::move(at_target);
+  net_.clock().schedule_in(0, [this, state, from]() mutable {
+    route_step(std::move(state), from);
+  });
+}
+
+}  // namespace hkws::cubenet

@@ -1,0 +1,69 @@
+// Physical hypercube overlay (paper §3.2: "the hypercube can be constructed
+// directly from a physical hypercube (e.g. HyperCuP)"). Here the logical
+// index structure *is* the network: 2^r peers, peer u linked to its r
+// bit-flip neighbors, messages routed along cube edges with e-cube
+// (lowest-differing-bit-first) dimension ordering. A hop costs exactly one
+// message, so reaching node w from node v costs Hamming(v, w) messages —
+// and spanning-binomial-tree edges are single physical links, which is what
+// makes tree-forwarding search natural on this substrate.
+//
+// The network is fully populated (every cube id is a live peer); partial
+// population belongs to the DHT-mapped deployment (OverlayIndex), which
+// handles it with surrogate routing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cube/hypercube.hpp"
+#include "sim/network.hpp"
+
+namespace hkws::cubenet {
+
+class HyperCupNetwork {
+ public:
+  struct Config {
+    int r = 6;  ///< dimension; the network has 2^r peers
+  };
+
+  HyperCupNetwork(sim::Network& net, Config cfg);
+
+  const cube::Hypercube& cube() const noexcept { return cube_; }
+  std::uint64_t size() const noexcept { return cube_.node_count(); }
+
+  /// Peers are endpoints 1..2^r; cube node u lives at endpoint u + 1.
+  sim::EndpointId endpoint_of(cube::CubeId u) const {
+    return static_cast<sim::EndpointId>(u) + 1;
+  }
+  cube::CubeId node_of(sim::EndpointId ep) const {
+    return static_cast<cube::CubeId>(ep - 1);
+  }
+
+  /// Messages needed from `from` to `to` (the e-cube path length).
+  int path_length(cube::CubeId from, cube::CubeId to) const {
+    return cube::Hypercube::hamming(from, to);
+  }
+
+  /// Routes a `kind` message along cube edges, fixing differing dimensions
+  /// lowest-first (e-cube routing: deterministic, deadlock-free). Each edge
+  /// is one simulated message; `at_target(hops)` runs at the destination.
+  void route(cube::CubeId from, cube::CubeId to, std::string kind,
+             std::size_t payload_bytes,
+             std::function<void(int hops)> at_target);
+
+  /// Sends across a single cube edge (from and to must be neighbors).
+  void send_edge(cube::CubeId from, cube::CubeId to, std::string kind,
+                 std::size_t payload_bytes, std::function<void()> deliver);
+
+  sim::Network& net() noexcept { return net_; }
+
+ private:
+  struct HopState;
+  void route_step(std::shared_ptr<HopState> state, cube::CubeId at);
+
+  sim::Network& net_;
+  cube::Hypercube cube_;
+};
+
+}  // namespace hkws::cubenet

@@ -1,0 +1,61 @@
+// Ring identifier arithmetic for the generalized DHT (paper §2.1).
+// Node and object keys live on a 2^a identifier circle; ownership follows
+// the Chord convention: the owner of key k is successor(k), which realizes
+// the paper's surrogate routing S(v) — absent IDs are served by the next
+// existing node clockwise.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitops.hpp"
+
+namespace hkws::dht {
+
+/// A point on the 2^a identifier circle (only the low `a` bits are used).
+using RingId = std::uint64_t;
+
+/// Ring geometry: bit width and modular helpers.
+class RingSpace {
+ public:
+  /// @param bits  a, the identifier width; 1 <= bits <= 64
+  explicit constexpr RingSpace(int bits) : bits_(bits) {}
+
+  constexpr int bits() const noexcept { return bits_; }
+
+  /// Truncates an arbitrary 64-bit value onto the ring.
+  constexpr RingId clamp(std::uint64_t x) const noexcept {
+    return bits_ >= 64 ? x : (x & ((1ULL << bits_) - 1));
+  }
+
+  /// (from + 2^k) mod 2^a — finger targets.
+  constexpr RingId add_pow2(RingId from, int k) const noexcept {
+    return clamp(from + (k >= 64 ? 0 : (1ULL << k)));
+  }
+
+  /// Clockwise distance from `from` to `to` on the circle.
+  constexpr std::uint64_t distance(RingId from, RingId to) const noexcept {
+    return clamp(to - from);
+  }
+
+  /// True iff x lies in the half-open clockwise interval (lo, hi].
+  /// When lo == hi the interval is the full circle (everything qualifies):
+  /// that is the single-node case, where the node owns all keys.
+  constexpr bool in_interval_oc(RingId x, RingId lo, RingId hi) const noexcept {
+    x = clamp(x); lo = clamp(lo); hi = clamp(hi);
+    if (lo == hi) return true;
+    return distance(lo, x) != 0 && distance(lo, x) <= distance(lo, hi);
+  }
+
+  /// True iff x lies in the open clockwise interval (lo, hi).
+  constexpr bool in_interval_oo(RingId x, RingId lo, RingId hi) const noexcept {
+    x = clamp(x); lo = clamp(lo); hi = clamp(hi);
+    if (lo == hi) return x != lo;  // full circle minus the endpoint
+    const std::uint64_t dx = distance(lo, x);
+    return dx != 0 && dx < distance(lo, hi);
+  }
+
+ private:
+  int bits_;
+};
+
+}  // namespace hkws::dht

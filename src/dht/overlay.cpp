@@ -1,0 +1,11 @@
+#include "dht/overlay.hpp"
+
+#include "common/hash.hpp"
+
+namespace hkws::dht {
+
+RingId Overlay::key_of(std::string_view label, std::uint64_t salt) const {
+  return space().clamp(hash_bytes(label, salt));
+}
+
+}  // namespace hkws::dht

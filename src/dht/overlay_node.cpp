@@ -1,0 +1,39 @@
+#include "dht/overlay_node.hpp"
+
+namespace hkws::dht {
+
+bool OverlayNode::add_ref(const StoredRef& ref) {
+  auto& entry = refs_[ref.object];
+  entry.key = ref.key;
+  const bool first_copy = entry.holders.empty();
+  if (entry.holders.insert(ref.holder).second) ++ref_count_;
+  return first_copy;
+}
+
+bool OverlayNode::remove_ref(ObjectId object, sim::EndpointId holder) {
+  const auto it = refs_.find(object);
+  if (it == refs_.end()) return false;
+  if (it->second.holders.erase(holder) != 0) --ref_count_;
+  if (it->second.holders.empty()) {
+    refs_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+std::vector<sim::EndpointId> OverlayNode::refs_of(ObjectId object) const {
+  const auto it = refs_.find(object);
+  if (it == refs_.end()) return {};
+  return {it->second.holders.begin(), it->second.holders.end()};
+}
+
+std::vector<StoredRef> OverlayNode::all_refs() const {
+  std::vector<StoredRef> out;
+  out.reserve(ref_count_);
+  for (const auto& [object, entry] : refs_)
+    for (auto holder : entry.holders)
+      out.push_back(StoredRef{entry.key, object, holder});
+  return out;
+}
+
+}  // namespace hkws::dht

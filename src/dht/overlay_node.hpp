@@ -1,0 +1,88 @@
+// Per-peer state common to every overlay implementation: identity and the
+// local reference store Refs_v of the DOLR scheme (paper §2.1). Concrete
+// overlays (ChordNode, PastryNode) add their own routing state on top.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/keyword.hpp"
+#include "dht/node_id.hpp"
+#include "sim/network.hpp"
+
+namespace hkws::dht {
+
+/// A reference (sigma, u): object `sigma` has a replica at peer `u`,
+/// stored under ring key `key` = L(sigma).
+struct StoredRef {
+  RingId key = 0;
+  ObjectId object = kInvalidObject;
+  sim::EndpointId holder = 0;
+
+  auto operator<=>(const StoredRef&) const = default;
+};
+
+class OverlayNode {
+ public:
+  OverlayNode(RingId id, sim::EndpointId endpoint)
+      : id_(id), endpoint_(endpoint) {}
+  virtual ~OverlayNode() = default;
+
+  OverlayNode(const OverlayNode&) = delete;
+  OverlayNode& operator=(const OverlayNode&) = delete;
+
+  RingId id() const noexcept { return id_; }
+  sim::EndpointId endpoint() const noexcept { return endpoint_; }
+
+  // --- Reference store (Refs_v) ----------------------------------------
+
+  /// Adds a reference. Returns true if the object had no references here
+  /// before (i.e., this is the first published copy — only then does the
+  /// paper's Insert create the keyword index entry).
+  bool add_ref(const StoredRef& ref);
+
+  /// Removes a reference. Returns true if that was the last reference to
+  /// the object here (the keyword index entry must then be deleted).
+  bool remove_ref(ObjectId object, sim::EndpointId holder);
+
+  /// All known replica holders for `object` (empty if unknown here).
+  std::vector<sim::EndpointId> refs_of(ObjectId object) const;
+
+  std::size_t ref_count() const noexcept { return ref_count_; }
+
+  /// Removes and returns every reference whose ring key fails `belongs`;
+  /// used for key handoff on join and graceful leave.
+  template <typename BelongsFn>
+  std::vector<StoredRef> extract_refs_if(BelongsFn&& belongs) {
+    std::vector<StoredRef> moved;
+    for (auto it = refs_.begin(); it != refs_.end();) {
+      if (!belongs(it->second.key)) {
+        for (auto holder : it->second.holders)
+          moved.push_back(StoredRef{it->second.key, it->first, holder});
+        ref_count_ -= it->second.holders.size();
+        it = refs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return moved;
+  }
+
+  /// Snapshot of every reference stored here (replication / handoff).
+  std::vector<StoredRef> all_refs() const;
+
+ private:
+  struct RefEntry {
+    RingId key = 0;
+    std::set<sim::EndpointId> holders;
+  };
+
+  RingId id_;
+  sim::EndpointId endpoint_;
+  std::map<ObjectId, RefEntry> refs_;
+  std::size_t ref_count_ = 0;
+};
+
+}  // namespace hkws::dht

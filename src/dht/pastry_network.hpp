@@ -1,0 +1,114 @@
+// A Pastry-style prefix-routing overlay implementing the generalized DHT
+// interface (paper §2.1). Identifiers are strings of base-2^b digits; each
+// hop fixes at least one more leading digit of the key, giving
+// O(log_{2^b} n) routing. The owner of a key is the live node numerically
+// closest to it — a different surrogate rule than Chord's successor, which
+// is exactly the point: the keyword-search layer above cannot tell the
+// difference.
+//
+// Simulation note: like ChordNetwork, route()/lookup_now() use node-local
+// state only (leaf sets + routing tables); membership maintenance
+// (join/leave/fail repair) recomputes affected state from global knowledge
+// while charging the messages the Pastry protocols would cost, since the
+// experiments measure routing and search, not maintenance fidelity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dht/overlay.hpp"
+#include "dht/pastry_node.hpp"
+
+namespace hkws::dht {
+
+class PastryNetwork final : public Overlay {
+ public:
+  struct Config {
+    int id_bits = 32;         ///< must be a multiple of digit_bits
+    int digit_bits = 4;       ///< b; 2^b routing-table columns
+    int leaf_size = 8;        ///< total leaf-set size (half per side)
+    std::uint64_t seed = 42;  ///< node-id hashing salt
+    int max_route_hops = 256;
+  };
+
+  PastryNetwork(sim::Network& net, Config cfg);
+
+  /// Builds a steady-state overlay of `n` peers (endpoints 1..n).
+  static PastryNetwork build(sim::Network& net, std::size_t n, Config cfg);
+
+  // --- Membership ----------------------------------------------------------
+
+  /// First node of a fresh overlay.
+  RingId create(sim::EndpointId endpoint);
+
+  /// Joins via `bootstrap`: routes to the key's owner, adopts leaf set and
+  /// routing table, takes over the keys now numerically closest to it.
+  RingId join(sim::EndpointId endpoint, sim::EndpointId bootstrap);
+
+  /// Graceful departure with reference handoff.
+  void leave(sim::EndpointId endpoint);
+
+  /// Abrupt failure.
+  void fail(sim::EndpointId endpoint);
+
+  /// Repairs leaf sets and prunes/refills dead routing-table entries at
+  /// every live node. Returns messages charged.
+  std::uint64_t repair_all();
+
+  // --- Overlay interface ------------------------------------------------------
+
+  std::size_t size() const override { return by_id_.size(); }
+  const RingSpace& space() const override { return space_; }
+  bool is_live(sim::EndpointId endpoint) const override;
+  std::optional<RingId> ring_id_of(sim::EndpointId endpoint) const override;
+  sim::EndpointId endpoint_of(RingId id) const override;
+  std::vector<RingId> live_ids() const override;
+  OverlayNode& state_of(RingId id) override { return node(id); }
+  const OverlayNode& state_of(RingId id) const override { return node(id); }
+  RingId owner_of(RingId key) const override;
+  void route(sim::EndpointId from, RingId key, std::string kind,
+             std::size_t payload_bytes, RouteCallback on_owner) override;
+  RouteResult lookup_now(RingId start, RingId key,
+                         const std::string& kind) override;
+  std::vector<RingId> replica_targets(RingId owner, int count) const override;
+  sim::Network& net() override { return net_; }
+
+  // --- Pastry specifics (tests, diagnostics) ---------------------------------
+
+  PastryNode& node(RingId id);
+  const PastryNode& node(RingId id) const;
+  int digit_count() const noexcept { return digits_; }
+
+  /// Digit `position` of `id` (0 = most significant).
+  int digit_at(RingId id, int position) const;
+
+  /// Number of leading digits `a` and `b` share.
+  int shared_prefix_digits(RingId a, RingId b) const;
+
+  /// Circular distance between two ids (min of both directions).
+  std::uint64_t circular_distance(RingId a, RingId b) const;
+
+ private:
+  RingId unique_ring_id(sim::EndpointId endpoint);
+  /// Next hop toward `key` from `at` using only local state; nullopt if
+  /// `at` believes it is the owner.
+  std::optional<RingId> next_hop(const PastryNode& at, RingId key) const;
+  /// Recomputes `n`'s leaf sets and routing table from global knowledge.
+  void rebuild_state(PastryNode& n);
+  void route_step(std::shared_ptr<struct PastryRouteState> state, RingId at);
+
+  sim::Network& net_;
+  Config cfg_;
+  RingSpace space_;
+  int digits_;
+  std::map<RingId, std::unique_ptr<PastryNode>> by_id_;
+  std::map<sim::EndpointId, RingId> by_endpoint_;
+  std::set<RingId> dead_;
+};
+
+}  // namespace hkws::dht

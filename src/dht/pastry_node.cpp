@@ -1,0 +1,46 @@
+#include "dht/pastry_node.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace hkws::dht {
+
+PastryNode::PastryNode(RingId id, sim::EndpointId endpoint, int digit_count,
+                       int digit_values)
+    : OverlayNode(id, endpoint), digit_values_(digit_values) {
+  if (digit_count < 1 || digit_values < 2)
+    throw std::invalid_argument("PastryNode: bad table geometry");
+  table_.assign(static_cast<std::size_t>(digit_count),
+                std::vector<std::optional<RingId>>(
+                    static_cast<std::size_t>(digit_values)));
+}
+
+std::optional<RingId> PastryNode::table_entry(int row, int column) const {
+  return table_.at(static_cast<std::size_t>(row))
+      .at(static_cast<std::size_t>(column));
+}
+
+void PastryNode::set_table_entry(int row, int column,
+                                 std::optional<RingId> node) {
+  table_.at(static_cast<std::size_t>(row))
+      .at(static_cast<std::size_t>(column)) = node;
+}
+
+void PastryNode::set_leaf_sets(std::vector<RingId> cw,
+                               std::vector<RingId> ccw) {
+  leaf_cw_ = std::move(cw);
+  leaf_ccw_ = std::move(ccw);
+}
+
+std::vector<RingId> PastryNode::known_nodes() const {
+  std::set<RingId> known(leaf_cw_.begin(), leaf_cw_.end());
+  known.insert(leaf_ccw_.begin(), leaf_ccw_.end());
+  for (const auto& row : table_)
+    for (const auto& entry : row)
+      if (entry.has_value()) known.insert(*entry);
+  known.erase(id());
+  return {known.begin(), known.end()};
+}
+
+}  // namespace hkws::dht

@@ -1,0 +1,49 @@
+// Pastry-specific per-peer routing state (Rowstron & Druschel, Middleware
+// 2001): a prefix routing table (one row per identifier digit, one column
+// per digit value) and a leaf set of the numerically closest nodes on each
+// side. The DOLR reference store lives in the OverlayNode base.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dht/overlay_node.hpp"
+
+namespace hkws::dht {
+
+class PastryNode final : public OverlayNode {
+ public:
+  /// @param digit_count  identifier digits (id_bits / digit_bits)
+  /// @param digit_values 2^digit_bits columns per routing-table row
+  PastryNode(RingId id, sim::EndpointId endpoint, int digit_count,
+             int digit_values);
+
+  // --- Routing table ----------------------------------------------------
+
+  /// Entry for nodes sharing `row` leading digits with us and having digit
+  /// value `column` at position `row`; nullopt when none is known.
+  std::optional<RingId> table_entry(int row, int column) const;
+  void set_table_entry(int row, int column, std::optional<RingId> node);
+
+  int rows() const noexcept { return static_cast<int>(table_.size()); }
+  int columns() const noexcept { return digit_values_; }
+
+  // --- Leaf set -----------------------------------------------------------
+
+  /// Numerically closest known nodes clockwise of us, nearest first.
+  const std::vector<RingId>& leaf_cw() const noexcept { return leaf_cw_; }
+  /// Numerically closest known nodes counterclockwise of us, nearest first.
+  const std::vector<RingId>& leaf_ccw() const noexcept { return leaf_ccw_; }
+  void set_leaf_sets(std::vector<RingId> cw, std::vector<RingId> ccw);
+
+  /// All distinct nodes this peer knows (leaf sets + routing table).
+  std::vector<RingId> known_nodes() const;
+
+ private:
+  int digit_values_;
+  std::vector<std::vector<std::optional<RingId>>> table_;
+  std::vector<RingId> leaf_cw_;
+  std::vector<RingId> leaf_ccw_;
+};
+
+}  // namespace hkws::dht

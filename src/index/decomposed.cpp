@@ -1,0 +1,127 @@
+#include "index/decomposed.hpp"
+
+#include <stdexcept>
+
+#include "common/hash.hpp"
+
+namespace hkws::index {
+
+DecomposedIndex::DecomposedIndex(std::vector<GroupSpec> groups,
+                                 GroupFn group_fn, std::uint64_t hash_seed)
+    : group_fn_(std::move(group_fn)) {
+  if (groups.empty())
+    throw std::invalid_argument("DecomposedIndex: need at least one group");
+  cubes_.reserve(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    LogicalIndex::Config cfg;
+    cfg.r = groups[g].r;
+    // Independent keyword hash per group so the same keyword lands on
+    // different dimensions in different cubes.
+    cfg.hash_seed = hash_combine(hash_seed, g);
+    cubes_.push_back(std::make_unique<LogicalIndex>(cfg));
+  }
+}
+
+DecomposedIndex DecomposedIndex::hashed(std::size_t groups, int r,
+                                        std::uint64_t hash_seed) {
+  std::vector<GroupSpec> specs(groups, GroupSpec{r});
+  return DecomposedIndex(
+      std::move(specs),
+      [groups, hash_seed](const Keyword& w) {
+        return static_cast<std::size_t>(hash_bytes(w, hash_seed ^ 0x5eedULL) %
+                                        groups);
+      },
+      hash_seed);
+}
+
+KeywordSet DecomposedIndex::projection(const KeywordSet& keywords,
+                                       std::size_t g) const {
+  std::vector<Keyword> words;
+  for (const auto& w : keywords) {
+    const std::size_t group = group_fn_(w);
+    if (group >= cubes_.size())
+      throw std::out_of_range("DecomposedIndex: group_fn returned " +
+                              std::to_string(group) + " for keyword '" + w +
+                              "' but there are only " +
+                              std::to_string(cubes_.size()) + " groups");
+    if (group == g) words.push_back(w);
+  }
+  return KeywordSet(std::move(words));
+}
+
+void DecomposedIndex::insert(ObjectId object, const KeywordSet& keywords) {
+  if (keywords.empty())
+    throw std::invalid_argument("DecomposedIndex::insert: empty keyword set");
+  for (std::size_t g = 0; g < cubes_.size(); ++g) {
+    const KeywordSet proj = projection(keywords, g);
+    if (!proj.empty()) cubes_[g]->insert(object, proj);
+  }
+  full_sets_[object] = keywords;
+}
+
+bool DecomposedIndex::remove(ObjectId object, const KeywordSet& keywords) {
+  bool removed = false;
+  for (std::size_t g = 0; g < cubes_.size(); ++g) {
+    const KeywordSet proj = projection(keywords, g);
+    if (!proj.empty()) removed |= cubes_[g]->remove(object, proj);
+  }
+  if (removed) full_sets_.erase(object);
+  return removed;
+}
+
+SearchResult DecomposedIndex::pin_search(const KeywordSet& keywords) {
+  // Query the group holding the largest projection; verify candidates
+  // against the full keyword set.
+  std::size_t best = 0;
+  KeywordSet best_proj;
+  for (std::size_t g = 0; g < cubes_.size(); ++g) {
+    KeywordSet proj = projection(keywords, g);
+    if (proj.size() > best_proj.size()) {
+      best = g;
+      best_proj = std::move(proj);
+    }
+  }
+  SearchResult raw = cubes_[best]->pin_search(best_proj);
+  SearchResult out;
+  out.stats = raw.stats;
+  for (const Hit& h : raw.hits) {
+    const auto it = full_sets_.find(h.object);
+    if (it != full_sets_.end() && it->second == keywords)
+      out.hits.push_back(Hit{h.object, it->second});
+  }
+  return out;
+}
+
+SearchResult DecomposedIndex::superset_search(const KeywordSet& query,
+                                              std::size_t threshold,
+                                              SearchStrategy strategy) {
+  if (query.empty())
+    throw std::invalid_argument("DecomposedIndex: empty query");
+  std::size_t best = 0;
+  KeywordSet best_proj;
+  for (std::size_t g = 0; g < cubes_.size(); ++g) {
+    KeywordSet proj = projection(query, g);
+    if (proj.size() > best_proj.size()) {
+      best = g;
+      best_proj = std::move(proj);
+    }
+  }
+  // Post-filtering may discard candidates, so the group cube must be
+  // searched exhaustively; the threshold applies to the filtered stream.
+  SearchResult raw = cubes_[best]->superset_search(best_proj, 0, strategy);
+  SearchResult out;
+  out.stats = raw.stats;
+  for (const Hit& h : raw.hits) {
+    if (threshold != 0 && out.hits.size() >= threshold) {
+      out.stats.complete = false;
+      break;
+    }
+    const auto it = full_sets_.find(h.object);
+    if (it == full_sets_.end()) continue;
+    if (query.subset_of(it->second))
+      out.hits.push_back(Hit{h.object, it->second});
+  }
+  return out;
+}
+
+}  // namespace hkws::index

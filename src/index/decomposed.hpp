@@ -1,0 +1,74 @@
+// Decomposed indexing (paper §3.4, last remark): instead of one large
+// hypercube over the whole keyword space, the keyword set is partitioned
+// into disjoint groups (e.g. attribute categories), each indexed by its own
+// smaller hypercube. A smaller dimension means a smaller subhypercube per
+// query and hence cheaper search.
+//
+// Placement uses the *projection* of an object's keyword set onto a group,
+// while the stored entry carries the full keyword set as payload (an index
+// entry is metadata; the paper's entries already carry K_sigma). A query is
+// answered by the group holding its largest (most selective) projection and
+// post-filtered against the full keyword sets, so multi-group queries stay
+// correct.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/keyword.hpp"
+#include "index/logical_index.hpp"
+
+namespace hkws::index {
+
+class DecomposedIndex {
+ public:
+  /// Assigns every keyword to a group in [0, group_count).
+  using GroupFn = std::function<std::size_t(const Keyword&)>;
+
+  struct GroupSpec {
+    int r = 8;  ///< dimension of this group's hypercube
+  };
+
+  /// @param groups    one spec per group; at least one
+  /// @param group_fn  keyword -> group id; must be < groups.size()
+  DecomposedIndex(std::vector<GroupSpec> groups, GroupFn group_fn,
+                  std::uint64_t hash_seed = seeds::kKeywordHash);
+
+  /// Convenience partition: keywords are hashed uniformly over `groups`
+  /// equal cubes of dimension r.
+  static DecomposedIndex hashed(std::size_t groups, int r,
+                                std::uint64_t hash_seed = seeds::kKeywordHash);
+
+  void insert(ObjectId object, const KeywordSet& keywords);
+  bool remove(ObjectId object, const KeywordSet& keywords);
+
+  /// Pin search across the decomposition (exact full keyword set).
+  SearchResult pin_search(const KeywordSet& keywords);
+
+  /// Superset search: answered by the group with the most selective
+  /// projection, post-filtered to full-query containment.
+  SearchResult superset_search(const KeywordSet& query,
+                               std::size_t threshold = 0,
+                               SearchStrategy strategy =
+                                   SearchStrategy::kTopDownSequential);
+
+  std::size_t group_count() const noexcept { return cubes_.size(); }
+  std::size_t group_of(const Keyword& w) const { return group_fn_(w); }
+
+  /// Projection of `keywords` onto group `g`.
+  KeywordSet projection(const KeywordSet& keywords, std::size_t g) const;
+
+  const LogicalIndex& group_cube(std::size_t g) const { return *cubes_.at(g); }
+
+ private:
+  std::vector<std::unique_ptr<LogicalIndex>> cubes_;
+  GroupFn group_fn_;
+  /// Payload metadata: the full keyword set each object was inserted with
+  /// (in a deployment this rides inside the index entry itself).
+  std::unordered_map<ObjectId, KeywordSet> full_sets_;
+};
+
+}  // namespace hkws::index

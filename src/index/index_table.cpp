@@ -1,0 +1,51 @@
+#include "index/index_table.hpp"
+
+namespace hkws::index {
+
+bool IndexTable::add(const KeywordSet& keywords, ObjectId object) {
+  const bool inserted = entries_[keywords].insert(object).second;
+  if (inserted) ++objects_;
+  return inserted;
+}
+
+bool IndexTable::remove(const KeywordSet& keywords, ObjectId object) {
+  const auto it = entries_.find(keywords);
+  if (it == entries_.end()) return false;
+  if (it->second.erase(object) == 0) return false;
+  --objects_;
+  if (it->second.empty()) entries_.erase(it);
+  return true;
+}
+
+std::vector<ObjectId> IndexTable::exact(const KeywordSet& keywords) const {
+  const auto it = entries_.find(keywords);
+  if (it == entries_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+void IndexTable::for_each_superset(
+    const KeywordSet& query,
+    const std::function<bool(const KeywordSet&, const std::set<ObjectId>&)>&
+        fn) const {
+  for (const auto& [k, objects] : entries_) {
+    if (k.size() < query.size()) continue;
+    if (!query.subset_of(k)) continue;
+    if (!fn(k, objects)) return;
+  }
+}
+
+std::vector<Hit> IndexTable::supersets(const KeywordSet& query,
+                                       std::size_t limit) const {
+  std::vector<Hit> hits;
+  for_each_superset(query, [&](const KeywordSet& k,
+                               const std::set<ObjectId>& objects) {
+    for (ObjectId o : objects) {
+      if (limit != 0 && hits.size() >= limit) return false;
+      hits.push_back(Hit{o, k});
+    }
+    return limit == 0 || hits.size() < limit;
+  });
+  return hits;
+}
+
+}  // namespace hkws::index

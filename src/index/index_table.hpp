@@ -1,0 +1,67 @@
+// The per-node index table Tbl_u of paper §3.3: entries <keyword_set,
+// object_id>, with same-set entries combined into <K, {sigma_1..sigma_n}>.
+// A node u holds entries only for keyword sets K with F_h(K) = u (the set
+// R_u); the table itself doesn't enforce that — placement is the business
+// of the index services that own tables.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/keyword.hpp"
+
+namespace hkws::index {
+
+/// One match produced by a table lookup: an object and the full keyword
+/// set it is indexed under (needed for ranking by extra keywords).
+struct Hit {
+  ObjectId object = kInvalidObject;
+  KeywordSet keywords;
+
+  bool operator==(const Hit&) const = default;
+};
+
+class IndexTable {
+ public:
+  /// Adds <keywords, object>. Returns false if it was already present.
+  bool add(const KeywordSet& keywords, ObjectId object);
+
+  /// Removes <keywords, object>. Returns false if absent.
+  bool remove(const KeywordSet& keywords, ObjectId object);
+
+  /// Objects indexed under exactly `keywords` (pin-search payload).
+  std::vector<ObjectId> exact(const KeywordSet& keywords) const;
+
+  /// Invokes fn(K', objects) for every entry whose keyword set contains
+  /// `query` (K' ⊇ query), in keyword-set order; stops early if fn returns
+  /// false. This is the per-node scan of the superset-search protocol.
+  void for_each_superset(
+      const KeywordSet& query,
+      const std::function<bool(const KeywordSet&, const std::set<ObjectId>&)>&
+          fn) const;
+
+  /// Flattened superset matches, at most `limit` objects (no limit if 0).
+  std::vector<Hit> supersets(const KeywordSet& query,
+                             std::size_t limit = 0) const;
+
+  /// Number of distinct <K, object> pairs (the paper's "index size" unit).
+  std::size_t object_count() const noexcept { return objects_; }
+
+  /// Number of combined entries <K, {objects}>.
+  std::size_t entry_count() const noexcept { return entries_.size(); }
+
+  bool empty() const noexcept { return entries_.empty(); }
+
+  const std::map<KeywordSet, std::set<ObjectId>>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::map<KeywordSet, std::set<ObjectId>> entries_;
+  std::size_t objects_ = 0;
+};
+
+}  // namespace hkws::index

@@ -1,0 +1,18 @@
+#include "index/keyword_hash.hpp"
+
+#include <stdexcept>
+
+namespace hkws::index {
+
+KeywordHasher::KeywordHasher(int r, std::uint64_t seed) : r_(r), seed_(seed) {
+  if (r < 1 || r > 63)
+    throw std::invalid_argument("KeywordHasher: r must be in [1,63]");
+}
+
+cube::CubeId KeywordHasher::responsible_node(const KeywordSet& keywords) const {
+  cube::CubeId id = 0;
+  for (const auto& w : keywords) id |= 1ULL << dim_of(w);
+  return id;
+}
+
+}  // namespace hkws::index

@@ -1,0 +1,46 @@
+// The keyword-to-dimension hash h : W -> {0..r-1} and the keyword-set
+// mapping F_h : 2^W -> V of paper §3.3. F_h(K) is the hypercube node whose
+// '1' bits are exactly the dimensions hit by the keywords of K; the node
+// is "responsible" for K, and an object with keyword set K_sigma is indexed
+// at F_h(K_sigma).
+#pragma once
+
+#include <cstdint>
+
+#include "common/hash.hpp"
+#include "common/keyword.hpp"
+#include "cube/hypercube.hpp"
+
+namespace hkws::index {
+
+class KeywordHasher {
+ public:
+  /// @param r     hypercube dimension (range of h)
+  /// @param seed  hash salt; fixed per deployment so every peer agrees
+  explicit KeywordHasher(int r, std::uint64_t seed = seeds::kKeywordHash);
+
+  int dimension() const noexcept { return r_; }
+
+  /// h(w): the dimension this keyword sets.
+  int dim_of(const Keyword& w) const noexcept {
+    return static_cast<int>(hash_bytes(w, seed_) %
+                            static_cast<std::uint64_t>(r_));
+  }
+
+  /// F_h(K): OR of 2^h(w) over all w in K. F_h(∅) = 0 (the all-zero node).
+  cube::CubeId responsible_node(const KeywordSet& keywords) const;
+
+  /// Monotonicity helper: F_h(K1) is contained in F_h(K2) whenever
+  /// K1 ⊆ K2 (Lemma 3.3's premise); exposed for tests/diagnostics.
+  bool maps_into_subcube(const KeywordSet& query,
+                         const KeywordSet& object_keywords) const {
+    return cube::Hypercube::contains(responsible_node(object_keywords),
+                                     responsible_node(query));
+  }
+
+ private:
+  int r_;
+  std::uint64_t seed_;
+};
+
+}  // namespace hkws::index

@@ -1,0 +1,121 @@
+#include "index/mirrored.hpp"
+
+#include <memory>
+#include <set>
+
+namespace hkws::index {
+
+OverlayIndex::Config MirroredIndex::mirror_config(OverlayIndex::Config cfg) {
+  cfg.hash_seed = mix64(cfg.hash_seed ^ 0x5ec0dc0beULL);
+  cfg.ring_salt = mix64(cfg.ring_salt ^ 0x5ec0dc0beULL);
+  return cfg;
+}
+
+MirroredIndex::MirroredIndex(dht::Dolr& dolr, OverlayIndex::Config cfg)
+    : primary_(std::make_unique<OverlayIndex>(dolr, cfg)),
+      mirror_(std::make_unique<OverlayIndex>(dolr, mirror_config(cfg))) {}
+
+void MirroredIndex::publish(sim::EndpointId publisher, ObjectId object,
+                            const KeywordSet& keywords,
+                            OverlayIndex::PublishCallback done) {
+  primary_->publish(
+      publisher, object, keywords,
+      [this, publisher, object, keywords, done = std::move(done)](
+          const OverlayIndex::PublishResult& r) {
+        // First copy: the mirror entry rides one extra routed message.
+        if (r.indexed) mirror_->reindex(publisher, object, keywords);
+        if (done) done(r);
+      });
+}
+
+void MirroredIndex::withdraw(sim::EndpointId publisher, ObjectId object,
+                             const KeywordSet& keywords,
+                             OverlayIndex::WithdrawCallback done) {
+  primary_->withdraw(
+      publisher, object, keywords,
+      [this, publisher, object, keywords, done = std::move(done)](
+          const OverlayIndex::WithdrawResult& r) {
+        if (r.index_removed) mirror_->deindex(publisher, object, keywords);
+        if (done) done(r);
+      });
+}
+
+SearchResult MirroredIndex::merge(const SearchResult& a,
+                                  const SearchResult& b) {
+  SearchResult merged;
+  std::set<ObjectId> seen;
+  for (const auto* part : {&a, &b}) {
+    for (const Hit& h : part->hits)
+      if (seen.insert(h.object).second) merged.hits.push_back(h);
+  }
+  merged.stats.nodes_contacted =
+      a.stats.nodes_contacted + b.stats.nodes_contacted;
+  merged.stats.messages = a.stats.messages + b.stats.messages;
+  merged.stats.rounds = a.stats.rounds + b.stats.rounds;
+  merged.stats.levels = a.stats.levels + b.stats.levels;
+  merged.stats.cache_hit = a.stats.cache_hit && b.stats.cache_hit;
+  merged.stats.complete = a.stats.complete || b.stats.complete;
+  return merged;
+}
+
+void MirroredIndex::superset_search(sim::EndpointId searcher,
+                                    const KeywordSet& query,
+                                    std::size_t threshold,
+                                    SearchStrategy strategy,
+                                    OverlayIndex::SearchCallback done) {
+  // Fan out to both cubes; merge when both have answered.
+  struct Pending {
+    SearchResult first;
+    bool have_first = false;
+    OverlayIndex::SearchCallback done;
+  };
+  auto pending = std::make_shared<Pending>();
+  pending->done = std::move(done);
+  auto on_result = [pending, threshold](const SearchResult& r) {
+    if (!pending->have_first) {
+      pending->first = r;
+      pending->have_first = true;
+      return;
+    }
+    SearchResult merged = merge(pending->first, r);
+    // min(t, |O_K|) semantics survive the union.
+    if (threshold != 0 && merged.hits.size() > threshold)
+      merged.hits.resize(threshold);
+    pending->done(merged);
+  };
+  primary_->superset_search(searcher, query, threshold, strategy, on_result);
+  mirror_->superset_search(searcher, query, threshold, strategy, on_result);
+}
+
+void MirroredIndex::pin_search(sim::EndpointId searcher,
+                               const KeywordSet& keywords,
+                               OverlayIndex::SearchCallback done) {
+  struct Pending {
+    SearchResult first;
+    bool have_first = false;
+    OverlayIndex::SearchCallback done;
+  };
+  auto pending = std::make_shared<Pending>();
+  pending->done = std::move(done);
+  auto on_result = [pending](const SearchResult& r) {
+    if (!pending->have_first) {
+      pending->first = r;
+      pending->have_first = true;
+      return;
+    }
+    pending->done(merge(pending->first, r));
+  };
+  primary_->pin_search(searcher, keywords, on_result);
+  mirror_->pin_search(searcher, keywords, on_result);
+}
+
+std::uint64_t MirroredIndex::repair_placement() {
+  return primary_->repair_placement() + mirror_->repair_placement();
+}
+
+void MirroredIndex::purge_dead() {
+  primary_->purge_dead();
+  mirror_->purge_dead();
+}
+
+}  // namespace hkws::index

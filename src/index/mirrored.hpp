@@ -1,0 +1,65 @@
+// Index replication via a secondary hypercube (paper §3.4: "replication can
+// be done ... by building a secondary hypercube"). The mirror uses an
+// independent keyword hash h' and an independent logical-to-physical map g',
+// so the mirror entry of an object lives on a different peer than its
+// primary entry with overwhelming probability; a single peer failure can
+// therefore never silence a keyword set.
+//
+// Write path: the primary publish creates the DOLR reference and primary
+// entry; the mirror entry rides one extra routed message. Read path:
+// mirrored searches run the protocol on both cubes and union the results —
+// roughly twice the cost, in exchange for single-fault tolerance of the
+// index itself (reference replication is the DOLR's separate concern).
+#pragma once
+
+#include <memory>
+
+#include "index/overlay_index.hpp"
+
+namespace hkws::index {
+
+class MirroredIndex {
+ public:
+  /// @param cfg  primary cube configuration; the mirror derives its own
+  ///             hash seed and placement salt from it.
+  MirroredIndex(dht::Dolr& dolr, OverlayIndex::Config cfg);
+
+  /// Publishes the reference (DOLR) and, for first copies, both index
+  /// entries. The callback reports the primary's result.
+  void publish(sim::EndpointId publisher, ObjectId object,
+               const KeywordSet& keywords,
+               OverlayIndex::PublishCallback done = nullptr);
+
+  /// Withdraws the copy; on last-copy removal both entries are deleted.
+  void withdraw(sim::EndpointId publisher, ObjectId object,
+                const KeywordSet& keywords,
+                OverlayIndex::WithdrawCallback done = nullptr);
+
+  /// Superset search over both cubes; hits are unioned by object id. The
+  /// reported stats are the sums; `complete` holds if either traversal was
+  /// complete (that is the availability win).
+  void superset_search(sim::EndpointId searcher, const KeywordSet& query,
+                       std::size_t threshold, SearchStrategy strategy,
+                       OverlayIndex::SearchCallback done);
+
+  /// Pin search over both cubes, unioned.
+  void pin_search(sim::EndpointId searcher, const KeywordSet& keywords,
+                  OverlayIndex::SearchCallback done);
+
+  /// Churn maintenance for both cubes.
+  std::uint64_t repair_placement();
+  void purge_dead();
+
+  OverlayIndex& primary() noexcept { return *primary_; }
+  OverlayIndex& mirror() noexcept { return *mirror_; }
+
+ private:
+  static OverlayIndex::Config mirror_config(OverlayIndex::Config cfg);
+  /// Merges two finished results (union by object id, summed costs).
+  static SearchResult merge(const SearchResult& a, const SearchResult& b);
+
+  std::unique_ptr<OverlayIndex> primary_;
+  std::unique_ptr<OverlayIndex> mirror_;
+};
+
+}  // namespace hkws::index

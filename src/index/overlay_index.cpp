@@ -1,0 +1,804 @@
+#include "index/overlay_index.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace hkws::index {
+
+namespace {
+constexpr std::size_t kUnlimited = std::numeric_limits<std::size_t>::max();
+constexpr std::size_t kHitBytes = 48;   // rough wire size of one result hit
+constexpr std::size_t kCtrlBytes = 64;  // rough wire size of a control msg
+
+std::uint64_t total_count(const CachedTraversal& c) {
+  std::uint64_t total = 0;
+  for (const auto& [node, count] : c.contributors) total += count;
+  return total;
+}
+}  // namespace
+
+OverlayIndex::OverlayIndex(dht::Dolr& dolr, Config cfg)
+    : dolr_(dolr),
+      overlay_(dolr.overlay()),
+      net_(dolr.overlay().net()),
+      cfg_(cfg),
+      cube_(cfg.r),
+      hasher_(cfg.r, cfg.hash_seed) {
+  // loads_by_cube_node() materializes a 2^r vector; protocols themselves
+  // would work for larger r, but nothing in the paper's regime needs it.
+  if (cfg.r > 24)
+    throw std::invalid_argument("OverlayIndex: r must be <= 24");
+}
+
+dht::RingId OverlayIndex::ring_key_of(cube::CubeId u) const {
+  // g: logical hypercube node -> ring key, independent of the other hashes.
+  return overlay_.space().clamp(mix64(u ^ cfg_.ring_salt));
+}
+
+sim::EndpointId OverlayIndex::peer_of(cube::CubeId u) const {
+  return overlay_.endpoint_of(overlay_.owner_of(ring_key_of(u)));
+}
+
+std::size_t OverlayIndex::room(const Request& req) const {
+  if (req.threshold == 0) return kUnlimited;
+  return req.threshold > req.collected ? req.threshold - req.collected : 0;
+}
+
+OverlayIndex::Request* OverlayIndex::find(std::uint64_t req_id) {
+  const auto it = requests_.find(req_id);
+  return it == requests_.end() ? nullptr : it->second.get();
+}
+
+// --- Object maintenance -----------------------------------------------------
+
+void OverlayIndex::publish(sim::EndpointId publisher, ObjectId object,
+                           const KeywordSet& keywords, PublishCallback done) {
+  if (keywords.empty())
+    throw std::invalid_argument("OverlayIndex::publish: empty keyword set");
+  dolr_.insert(
+      publisher, object,
+      [this, object, keywords, done = std::move(done)](
+          const dht::Dolr::InsertResult& r) {
+        if (!r.first_copy) {
+          if (done) done(PublishResult{false, r.hops, 0});
+          return;
+        }
+        // First copy: create the keyword index entry at g(F_h(K)).
+        const cube::CubeId u = hasher_.responsible_node(keywords);
+        const sim::EndpointId from = overlay_.endpoint_of(r.owner);
+        overlay_.route(
+            from, ring_key_of(u), "kws.insert",
+            kCtrlBytes + keywords.size() * 12,
+            [this, u, object, keywords, done, dolr_hops = r.hops](
+                const dht::Overlay::RouteResult& rr) {
+              PeerState& ps = peer_state(overlay_.endpoint_of(rr.owner));
+              ps.tables[u].add(keywords, object);
+              if (const auto cit = ps.caches.find(u); cit != ps.caches.end()) {
+                cit->second.erase_if([&](const KeywordSet& q) {
+                  return q.subset_of(keywords);
+                });
+              }
+              if (done) done(PublishResult{true, dolr_hops, rr.hops});
+            });
+      });
+}
+
+void OverlayIndex::withdraw(sim::EndpointId publisher, ObjectId object,
+                            const KeywordSet& keywords,
+                            WithdrawCallback done) {
+  dolr_.remove(
+      publisher, object,
+      [this, object, keywords, done = std::move(done)](
+          const dht::Dolr::DeleteResult& r) {
+        if (!r.last_copy) {
+          if (done) done(WithdrawResult{false});
+          return;
+        }
+        const cube::CubeId u = hasher_.responsible_node(keywords);
+        const sim::EndpointId from = overlay_.endpoint_of(r.owner);
+        overlay_.route(
+            from, ring_key_of(u), "kws.delete", kCtrlBytes,
+            [this, u, object, keywords, done](
+                const dht::Overlay::RouteResult& rr) {
+              PeerState& ps = peer_state(overlay_.endpoint_of(rr.owner));
+              if (const auto it = ps.tables.find(u); it != ps.tables.end()) {
+                it->second.remove(keywords, object);
+                if (it->second.empty()) ps.tables.erase(it);
+              }
+              if (const auto cit = ps.caches.find(u); cit != ps.caches.end()) {
+                cit->second.erase_if([&](const KeywordSet& q) {
+                  return q.subset_of(keywords);
+                });
+              }
+              if (done) done(WithdrawResult{true});
+            });
+      });
+}
+
+void OverlayIndex::reindex(sim::EndpointId from, ObjectId object,
+                           const KeywordSet& keywords) {
+  if (keywords.empty())
+    throw std::invalid_argument("OverlayIndex::reindex: empty keyword set");
+  const cube::CubeId u = hasher_.responsible_node(keywords);
+  overlay_.route(from, ring_key_of(u), "kws.insert",
+                 kCtrlBytes + keywords.size() * 12,
+                 [this, u, object, keywords](
+                     const dht::Overlay::RouteResult& rr) {
+                   PeerState& ps = peer_state(overlay_.endpoint_of(rr.owner));
+                   ps.tables[u].add(keywords, object);
+                   if (const auto cit = ps.caches.find(u);
+                       cit != ps.caches.end()) {
+                     cit->second.erase_if([&](const KeywordSet& q) {
+                       return q.subset_of(keywords);
+                     });
+                   }
+                 });
+}
+
+void OverlayIndex::deindex(sim::EndpointId from, ObjectId object,
+                           const KeywordSet& keywords) {
+  const cube::CubeId u = hasher_.responsible_node(keywords);
+  overlay_.route(from, ring_key_of(u), "kws.delete", kCtrlBytes,
+                 [this, u, object, keywords](
+                     const dht::Overlay::RouteResult& rr) {
+                   PeerState& ps = peer_state(overlay_.endpoint_of(rr.owner));
+                   if (const auto it = ps.tables.find(u);
+                       it != ps.tables.end()) {
+                     it->second.remove(keywords, object);
+                     if (it->second.empty()) ps.tables.erase(it);
+                   }
+                   if (const auto cit = ps.caches.find(u);
+                       cit != ps.caches.end()) {
+                     cit->second.erase_if([&](const KeywordSet& q) {
+                       return q.subset_of(keywords);
+                     });
+                   }
+                 });
+}
+
+// --- Pin search --------------------------------------------------------------
+
+void OverlayIndex::pin_search(sim::EndpointId searcher,
+                              const KeywordSet& keywords, SearchCallback done) {
+  const cube::CubeId u = hasher_.responsible_node(keywords);
+  overlay_.route(
+      searcher, ring_key_of(u), "kws.pin", kCtrlBytes + keywords.size() * 12,
+      [this, u, keywords, searcher, done = std::move(done)](
+          const dht::Overlay::RouteResult& rr) {
+        const sim::EndpointId ep = overlay_.endpoint_of(rr.owner);
+        PeerState& ps = peer_state(ep);
+        std::vector<Hit> hits;
+        if (const auto it = ps.tables.find(u); it != ps.tables.end()) {
+          for (ObjectId o : it->second.exact(keywords))
+            hits.push_back(Hit{o, keywords});
+        }
+        SearchResult result;
+        result.hits = std::move(hits);
+        result.stats.nodes_contacted = 1;
+        result.stats.messages = static_cast<std::size_t>(rr.hops) + 1;
+        result.stats.rounds = 1;
+        result.stats.complete = true;
+        net_.send(ep, searcher, "kws.pin_reply",
+                  result.hits.size() * kHitBytes,
+                  [done, result = std::move(result)] { done(result); });
+      });
+}
+
+// --- Superset search ----------------------------------------------------------
+
+void OverlayIndex::superset_search(sim::EndpointId searcher,
+                                   const KeywordSet& query,
+                                   std::size_t threshold,
+                                   SearchStrategy strategy,
+                                   SearchCallback done) {
+  if (query.empty())
+    throw std::invalid_argument("OverlayIndex: empty query");
+  const std::uint64_t id = next_request_++;
+  auto req = std::make_unique<Request>();
+  req->id = id;
+  req->query = query;
+  req->threshold = threshold;
+  req->searcher = searcher;
+  req->root_cube = hasher_.responsible_node(query);
+  req->strategy = strategy;
+  req->done = std::move(done);
+  requests_[id] = std::move(req);
+
+  overlay_.route(
+      searcher, ring_key_of(requests_[id]->root_cube), "kws.t_query",
+      kCtrlBytes + query.size() * 12,
+      [this, id](const dht::Overlay::RouteResult& rr) {
+        Request* r = find(id);
+        if (!r) return;
+        r->root_peer = overlay_.endpoint_of(rr.owner);
+        r->stats.messages += static_cast<std::size_t>(rr.hops);
+        r->stats.nodes_contacted = 1;
+        start_top_down(*r);
+      });
+}
+
+void OverlayIndex::start_top_down(Request& req) {
+  // The root examines its own index table first (paper step 0).
+  const std::size_t c0 = scan_and_reply(req, req.root_peer, req.root_cube);
+  req.collected += c0;
+  if (c0 > 0)
+    req.contributors.emplace_back(req.root_cube,
+                                  static_cast<std::uint32_t>(c0));
+
+  const cube::SpanningBinomialTree sbt(cube_, req.root_cube);
+  const bool subtree_trivial = sbt.size() == 1;
+  if (req.threshold != 0 && req.collected >= req.threshold) {
+    req.stopped_early = !subtree_trivial;
+    finish(req.id);
+    return;
+  }
+
+  // Try the root's query cache: a cached traversal summary lets us contact
+  // only the nodes known to contribute.
+  if (cfg_.cache_capacity != 0) {
+    PeerState& ps = peer_state(req.root_peer);
+    if (const auto cit = ps.caches.find(req.root_cube);
+        cit != ps.caches.end()) {
+      if (const CachedTraversal* cached = cit->second.lookup(req.query)) {
+        if (cached->complete ||
+            (req.threshold != 0 && total_count(*cached) >= req.threshold)) {
+          req.mode = Mode::kPlan;
+          req.stats.cache_hit = true;
+          req.record_in_cache = false;
+          req.plan_complete_means_complete = cached->complete;
+          for (const auto& [node, count] : cached->contributors)
+            if (node != req.root_cube) req.plan.push_back(node);
+          step_plan(req.id);
+          return;
+        }
+      }
+    }
+  }
+
+  switch (req.strategy) {
+    case SearchStrategy::kTopDownSequential: {
+      req.mode = Mode::kTopDown;
+      for (int i : cube_.zero_positions(req.root_cube))
+        req.queue.emplace_back(req.root_cube | (1ULL << i), i);
+      step_top_down(req.id);
+      return;
+    }
+    case SearchStrategy::kBottomUpSequential: {
+      req.mode = Mode::kPlan;
+      // Deepest nodes first; the root was already examined on arrival.
+      for (cube::CubeId w : sbt.bottom_up_order())
+        if (w != req.root_cube) req.plan.push_back(w);
+      step_plan(req.id);
+      return;
+    }
+    case SearchStrategy::kLevelParallel: {
+      req.mode = Mode::kLevels;
+      req.levels = sbt.levels();
+      req.level = 1;  // level 0 is the root
+      req.stats.levels = 1;
+      start_level(req.id);
+      return;
+    }
+  }
+}
+
+std::size_t OverlayIndex::scan_and_reply(Request& req, sim::EndpointId peer,
+                                         cube::CubeId w) {
+  std::vector<Hit> batch;
+  PeerState& ps = peer_state(peer);
+  if (const auto it = ps.tables.find(w); it != ps.tables.end()) {
+    const std::size_t want = room(req);
+    batch = it->second.supersets(req.query,
+                                 want == kUnlimited ? 0 : want);
+  }
+  const std::size_t c1 = batch.size();
+  if (c1 > 0) {
+    // Matching IDs travel directly to the searcher (paper protocol).
+    ++req.results_expected;
+    ++req.stats.messages;
+    net_.send(peer, req.searcher, "kws.results", c1 * kHitBytes,
+              [this, id = req.id, batch = std::move(batch)] {
+                Request* r = find(id);
+                if (!r) return;
+                r->hits.insert(r->hits.end(), batch.begin(), batch.end());
+                ++r->results_received;
+                maybe_complete(id);
+              });
+  }
+  return c1;
+}
+
+void OverlayIndex::send_to_cube_node(
+    sim::EndpointId from, cube::CubeId target, const char* kind,
+    std::size_t bytes, const Charge& charge,
+    std::function<void(sim::EndpointId)> at_target) {
+  if (cfg_.cache_contacts) {
+    PeerState& ps = peer_state(from);
+    if (const auto it = ps.contacts.find(target); it != ps.contacts.end()) {
+      if (net_.is_registered(it->second)) {
+        const sim::EndpointId to = it->second;
+        charge(1);
+        net_.send(from, to, kind, bytes,
+                  [to, at_target = std::move(at_target)] { at_target(to); });
+        return;
+      }
+      ps.contacts.erase(it);  // stale contact: the peer is gone
+    }
+  }
+  overlay_.route(from, ring_key_of(target), kind, bytes,
+                 [this, charge, at_target = std::move(at_target)](
+                     const dht::Overlay::RouteResult& rr) {
+                   charge(static_cast<std::size_t>(rr.hops));
+                   at_target(overlay_.endpoint_of(rr.owner));
+                 });
+}
+
+void OverlayIndex::step_top_down(std::uint64_t req_id) {
+  Request* req = find(req_id);
+  if (!req) return;
+  if (req->queue.empty()) {
+    req->stopped_early = false;
+    finish(req_id);
+    return;
+  }
+  const cube::CubeId w = req->queue.front().first;
+  req->queue.pop_front();
+  ++req->stats.rounds;
+  send_to_cube_node(
+      req->root_peer, w, "kws.t_query", kCtrlBytes,
+      [this, req_id](std::size_t n) {
+        if (Request* r = find(req_id)) r->stats.messages += n;
+      },
+      [this, req_id, w](sim::EndpointId peer) {
+        Request* r = find(req_id);
+        if (!r) return;
+        ++r->stats.nodes_contacted;
+        const std::size_t c1 = scan_and_reply(*r, peer, w);
+        // T_CONT carries the child list L; T_STOP ends the search. Either
+        // way one direct control message back to the coordinator.
+        const bool stop =
+            r->threshold != 0 && r->collected + c1 >= r->threshold;
+        ++r->stats.messages;
+        net_.send(peer, r->root_peer, stop ? "kws.t_stop" : "kws.t_cont",
+                  kCtrlBytes, [this, req_id, w, peer, c1] {
+                    on_node_answered(req_id, w, peer, c1);
+                  });
+      });
+}
+
+void OverlayIndex::step_plan(std::uint64_t req_id) {
+  Request* req = find(req_id);
+  if (!req) return;
+  if (req->plan_pos >= req->plan.size()) {
+    req->stopped_early = false;
+    finish(req_id);
+    return;
+  }
+  const cube::CubeId w = req->plan[req->plan_pos++];
+  ++req->stats.rounds;
+  send_to_cube_node(
+      req->root_peer, w, "kws.t_query", kCtrlBytes,
+      [this, req_id](std::size_t n) {
+        if (Request* r = find(req_id)) r->stats.messages += n;
+      },
+      [this, req_id, w](sim::EndpointId peer) {
+        Request* r = find(req_id);
+        if (!r) return;
+        ++r->stats.nodes_contacted;
+        const std::size_t c1 = scan_and_reply(*r, peer, w);
+        ++r->stats.messages;
+        const bool stop =
+            r->threshold != 0 && r->collected + c1 >= r->threshold;
+        net_.send(peer, r->root_peer, stop ? "kws.t_stop" : "kws.t_cont",
+                  kCtrlBytes, [this, req_id, w, peer, c1] {
+                    on_node_answered(req_id, w, peer, c1);
+                  });
+      });
+}
+
+void OverlayIndex::start_level(std::uint64_t req_id) {
+  Request* req = find(req_id);
+  if (!req) return;
+  if (req->level >= req->levels.size()) {
+    req->stopped_early = false;
+    finish(req_id);
+    return;
+  }
+  const auto& nodes = req->levels[req->level];
+  ++req->level;
+  ++req->stats.levels;
+  ++req->stats.rounds;
+  req->outstanding = nodes.size();
+  for (const cube::CubeId w : nodes) {
+    send_to_cube_node(
+        req->root_peer, w, "kws.t_query", kCtrlBytes,
+        [this, req_id](std::size_t n) {
+          if (Request* r = find(req_id)) r->stats.messages += n;
+        },
+        [this, req_id, w](sim::EndpointId peer) {
+          Request* r = find(req_id);
+          if (!r) return;
+          ++r->stats.nodes_contacted;
+          const std::size_t c1 = scan_and_reply(*r, peer, w);
+          ++r->stats.messages;
+          net_.send(peer, r->root_peer, "kws.t_cont", kCtrlBytes,
+                    [this, req_id, w, peer, c1] {
+                      on_node_answered(req_id, w, peer, c1);
+                    });
+        });
+  }
+}
+
+void OverlayIndex::on_node_answered(std::uint64_t req_id, cube::CubeId w,
+                                    sim::EndpointId peer, std::size_t c1) {
+  Request* req = find(req_id);
+  if (!req) return;
+  req->collected += c1;
+  if (c1 > 0)
+    req->contributors.emplace_back(w, static_cast<std::uint32_t>(c1));
+  if (cfg_.cache_contacts)
+    peer_state(req->root_peer).contacts[w] = peer;
+
+  switch (req->mode) {
+    case Mode::kTopDown: {
+      if (req->threshold != 0 && req->collected >= req->threshold) {
+        req->stopped_early = !req->queue.empty();
+        finish(req_id);
+        return;
+      }
+      // Expand children: free dimensions below the arrival dimension. The
+      // arrival dimension is w's lowest set bit that the root lacks.
+      const std::uint64_t diff = w ^ req->root_cube;
+      const int d = lowest_set_bit(diff);
+      for (int i : cube_.zero_positions(w)) {
+        if (i >= d) break;
+        req->queue.emplace_back(w | (1ULL << i), i);
+      }
+      step_top_down(req_id);
+      return;
+    }
+    case Mode::kPlan: {
+      if (req->threshold != 0 && req->collected >= req->threshold) {
+        req->stopped_early = req->plan_pos < req->plan.size();
+        finish(req_id);
+        return;
+      }
+      step_plan(req_id);
+      return;
+    }
+    case Mode::kLevels: {
+      if (req->outstanding > 0) --req->outstanding;
+      if (req->outstanding != 0) return;
+      if (req->threshold != 0 && req->collected >= req->threshold) {
+        req->stopped_early = req->level < req->levels.size();
+        finish(req_id);
+        return;
+      }
+      start_level(req_id);
+      return;
+    }
+  }
+}
+
+void OverlayIndex::finish(std::uint64_t req_id) {
+  Request* req = find(req_id);
+  if (!req) return;
+  switch (req->mode) {
+    case Mode::kTopDown:
+    case Mode::kLevels:
+      req->stats.complete = !req->stopped_early;
+      break;
+    case Mode::kPlan:
+      req->stats.complete =
+          !req->stopped_early && req->plan_complete_means_complete;
+      break;
+  }
+
+  if (cfg_.cache_capacity != 0 && req->record_in_cache) {
+    PeerState& ps = peer_state(req->root_peer);
+    auto cit = ps.caches.try_emplace(req->root_cube, cfg_.cache_capacity).first;
+    CachedTraversal summary;
+    summary.contributors = req->contributors;
+    summary.complete = req->stats.complete;
+    cit->second.insert(req->query, std::move(summary));
+  }
+
+  ++req->stats.messages;  // the final done notification to the searcher
+  net_.send(req->root_peer, req->searcher, "kws.done", kCtrlBytes,
+            [this, req_id] {
+              Request* r = find(req_id);
+              if (!r) return;
+              r->done_received = true;
+              maybe_complete(req_id);
+            });
+}
+
+void OverlayIndex::maybe_complete(std::uint64_t req_id) {
+  Request* req = find(req_id);
+  if (!req) return;
+  if (!req->done_received || req->results_received != req->results_expected)
+    return;
+  SearchResult result;
+  result.hits = std::move(req->hits);
+  result.stats = req->stats;
+  SearchCallback cb = std::move(req->done);
+  requests_.erase(req_id);
+  if (cb) cb(result);
+}
+
+// --- Cumulative superset search ------------------------------------------------
+
+OverlayIndex::CumulativeState* OverlayIndex::find_session(std::uint64_t id) {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t OverlayIndex::open_cumulative(sim::EndpointId searcher,
+                                            const KeywordSet& query) {
+  if (query.empty())
+    throw std::invalid_argument("open_cumulative: empty query");
+  const std::uint64_t id = next_session_++;
+  auto s = std::make_unique<CumulativeState>();
+  s->query = query;
+  s->searcher = searcher;
+  s->root_cube = hasher_.responsible_node(query);
+  sessions_[id] = std::move(s);
+  return id;
+}
+
+bool OverlayIndex::cumulative_exhausted(std::uint64_t session) const {
+  const auto it = sessions_.find(session);
+  return it == sessions_.end() || it->second->exhausted;
+}
+
+void OverlayIndex::close_cumulative(std::uint64_t session) {
+  sessions_.erase(session);
+}
+
+void OverlayIndex::cumulative_next(std::uint64_t session, std::size_t count,
+                                   SearchCallback done) {
+  CumulativeState* s = find_session(session);
+  if (s == nullptr)
+    throw std::invalid_argument("cumulative_next: unknown session");
+  if (count == 0)
+    throw std::invalid_argument("cumulative_next: count must be > 0");
+  s->want = count;
+  s->got = 0;
+  s->hits.clear();
+  s->stats = SearchStats{};
+  s->results_expected = 0;
+  s->results_received = 0;
+  s->batch_done = false;
+  s->done = std::move(done);
+
+  if (s->exhausted) {
+    // Nothing left; answer locally (no messages).
+    net_.clock().schedule_in(0, [this, session] {
+      CumulativeState* st = find_session(session);
+      if (!st) return;
+      st->batch_done = true;
+      cumulative_maybe_complete(session);
+    });
+    return;
+  }
+
+  if (!s->resolved) {
+    // First page: route the continuation request to the root.
+    overlay_.route(s->searcher, ring_key_of(s->root_cube), "kws.c_open",
+                   kCtrlBytes + s->query.size() * 12,
+                   [this, session](const dht::Overlay::RouteResult& rr) {
+                     CumulativeState* st = find_session(session);
+                     if (!st) return;
+                     st->root_peer = overlay_.endpoint_of(rr.owner);
+                     st->resolved = true;
+                     st->stats.messages += static_cast<std::size_t>(rr.hops);
+                     st->stats.nodes_contacted = 1;
+                     cumulative_step(session);
+                   });
+  } else {
+    ++s->stats.messages;  // direct continuation to the known root
+    s->stats.nodes_contacted = 1;
+    net_.send(s->searcher, s->root_peer, "kws.c_next", kCtrlBytes,
+              [this, session] { cumulative_step(session); });
+  }
+}
+
+void OverlayIndex::cumulative_step(std::uint64_t session) {
+  CumulativeState* s = find_session(session);
+  if (!s) return;
+  if (s->got >= s->want) {
+    cumulative_finish_batch(session);
+    return;
+  }
+  if (!s->root_scanned) {
+    // The root's own table is the virtual first node; scanning it costs no
+    // network message. Its "dimension" spans everything (children = all
+    // zero dimensions), encoded as the cube dimension.
+    cumulative_visit(session, s->root_cube, cube_.dimension(), s->offset);
+    return;
+  }
+  if (s->queue.empty()) {
+    s->exhausted = true;
+    cumulative_finish_batch(session);
+    return;
+  }
+  const auto [w, d] = s->queue.front();
+  ++s->stats.rounds;
+  cumulative_visit(session, w, d, s->offset);
+}
+
+void OverlayIndex::cumulative_visit(std::uint64_t session, cube::CubeId w,
+                                    int dim, std::size_t offset) {
+  CumulativeState* s = find_session(session);
+  if (!s) return;
+  const std::size_t room = s->want - s->got;
+  const Charge charge = [this, session](std::size_t n) {
+    if (CumulativeState* st = find_session(session)) st->stats.messages += n;
+  };
+
+  // The scan + reply work that happens at the peer holding cube node w.
+  auto scan_at = [this, session, w, dim, offset, room,
+                  charge](sim::EndpointId peer) {
+    CumulativeState* st = find_session(session);
+    if (!st) return;
+    if (w != st->root_cube) ++st->stats.nodes_contacted;
+    PeerState& ps = peer_state(peer);
+    std::vector<Hit> all;
+    if (const auto it = ps.tables.find(w); it != ps.tables.end())
+      all = it->second.supersets(st->query, 0);
+    const std::size_t total = all.size();
+    std::vector<Hit> batch;
+    for (std::size_t i = offset; i < all.size() && batch.size() < room; ++i)
+      batch.push_back(all[i]);
+    const std::size_t taken = batch.size();
+    if (taken > 0) {
+      // Ship this node's slice straight to the searcher.
+      ++st->results_expected;
+      charge(1);
+      net_.send(peer, st->searcher, "kws.results", taken * kHitBytes,
+                [this, session, batch = std::move(batch)] {
+                  CumulativeState* s2 = find_session(session);
+                  if (!s2) return;
+                  s2->hits.insert(s2->hits.end(), batch.begin(), batch.end());
+                  ++s2->results_received;
+                  cumulative_maybe_complete(session);
+                });
+    }
+    // Report (taken, total) back to the root coordinator.
+    auto continue_at_root = [this, session, w, dim, peer, offset, taken,
+                             total] {
+      CumulativeState* s2 = find_session(session);
+      if (!s2) return;
+      if (cfg_.cache_contacts && w != s2->root_cube)
+        peer_state(s2->root_peer).contacts[w] = peer;
+      s2->got += taken;
+      if (offset + taken < total) {
+        s2->offset = offset + taken;  // node not fully consumed: stay on it
+      } else {
+        s2->offset = 0;
+        if (w == s2->root_cube && !s2->root_scanned) {
+          s2->root_scanned = true;
+          for (int i : cube_.zero_positions(s2->root_cube))
+            s2->queue.emplace_back(s2->root_cube | (1ULL << i), i);
+        } else {
+          s2->queue.pop_front();
+          for (int i : cube_.zero_positions(w)) {
+            if (i >= dim) break;
+            s2->queue.emplace_back(w | (1ULL << i), i);
+          }
+        }
+      }
+      cumulative_step(session);
+    };
+    if (w == st->root_cube) {
+      // Local bookkeeping at the root itself: no network message.
+      net_.send(peer, peer, "kws.c_local", 0, std::move(continue_at_root));
+    } else {
+      charge(1);
+      net_.send(peer, st->root_peer, "kws.c_cont", kCtrlBytes,
+                std::move(continue_at_root));
+    }
+  };
+
+  if (w == s->root_cube) {
+    scan_at(s->root_peer);
+  } else {
+    charge(0);  // cost accounted inside send_to_cube_node
+    send_to_cube_node(s->root_peer, w, "kws.c_query", kCtrlBytes, charge,
+                      std::move(scan_at));
+  }
+}
+
+void OverlayIndex::cumulative_finish_batch(std::uint64_t session) {
+  CumulativeState* s = find_session(session);
+  if (!s) return;
+  ++s->stats.messages;  // done notification root -> searcher
+  net_.send(s->root_peer, s->searcher, "kws.c_done", kCtrlBytes,
+            [this, session] {
+              CumulativeState* st = find_session(session);
+              if (!st) return;
+              st->batch_done = true;
+              cumulative_maybe_complete(session);
+            });
+}
+
+void OverlayIndex::cumulative_maybe_complete(std::uint64_t session) {
+  CumulativeState* s = find_session(session);
+  if (!s) return;
+  if (!s->batch_done || s->results_received != s->results_expected) return;
+  SearchResult result;
+  result.hits = std::move(s->hits);
+  s->hits.clear();
+  result.stats = s->stats;
+  result.stats.complete = s->exhausted;
+  SearchCallback cb = std::move(s->done);
+  s->done = nullptr;
+  if (cb) cb(result);
+}
+
+// --- Maintenance / introspection ---------------------------------------------
+
+std::uint64_t OverlayIndex::repair_placement() {
+  // Collect misplaced tables first; mutating peers_ while iterating would
+  // invalidate iterators.
+  std::vector<std::pair<sim::EndpointId, cube::CubeId>> misplaced;
+  for (auto& [ep, ps] : peers_) {
+    if (!overlay_.is_live(ep)) continue;
+    for (auto& [u, table] : ps.tables)
+      if (peer_of(u) != ep) misplaced.emplace_back(ep, u);
+  }
+  std::uint64_t moved = 0;
+  for (const auto& [ep, u] : misplaced) {
+    IndexTable table = std::move(peers_[ep].tables[u]);
+    peers_[ep].tables.erase(u);
+    PeerState& dst = peer_state(peer_of(u));
+    for (const auto& [k, objects] : table.entries()) {
+      for (ObjectId o : objects) {
+        dst.tables[u].add(k, o);
+        ++moved;
+      }
+    }
+    net_.metrics().count("kws.repair_entries", table.object_count());
+  }
+  // Contact and traversal caches are stale after any placement change.
+  for (auto& [ep, ps] : peers_) {
+    ps.contacts.clear();
+    ps.caches.clear();
+  }
+  return moved;
+}
+
+void OverlayIndex::purge_dead() {
+  for (auto it = peers_.begin(); it != peers_.end();) {
+    if (!overlay_.is_live(it->first)) {
+      net_.metrics().count("kws.entries_lost",
+                           [&] {
+                             std::uint64_t n = 0;
+                             for (const auto& [u, t] : it->second.tables)
+                               n += t.object_count();
+                             return n;
+                           }());
+      it = peers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+const IndexTable* OverlayIndex::table_of(cube::CubeId u) const {
+  const auto pit = peers_.find(peer_of(u));
+  if (pit == peers_.end()) return nullptr;
+  const auto tit = pit->second.tables.find(u);
+  return tit == pit->second.tables.end() ? nullptr : &tit->second;
+}
+
+std::vector<std::size_t> OverlayIndex::loads_by_cube_node() const {
+  std::vector<std::size_t> loads(cube_.node_count(), 0);
+  for (const auto& [ep, ps] : peers_)
+    for (const auto& [u, table] : ps.tables)
+      loads[static_cast<std::size_t>(u)] += table.object_count();
+  return loads;
+}
+
+}  // namespace hkws::index

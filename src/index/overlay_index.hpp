@@ -1,0 +1,282 @@
+// The distributed hypercube keyword-index layer (paper §3.3) running as a
+// real message protocol over the Chord overlay and the DOLR reference
+// service. Every logical hypercube node u is mapped by g onto the DHT peer
+// owning ring key g(u); all index/search traffic travels as simulated
+// network messages (T_QUERY, T_CONT, T_STOP, results, done), so hop and
+// message counts come out of the network metrics, not a model.
+//
+// Protocol notes / adaptations (documented in DESIGN.md):
+//  * The first time a coordinator needs to reach a hypercube node it routes
+//    through the DHT (multi-hop); the resolved peer contact is cached, so
+//    repeat traffic is direct — exactly the neighbor-contact caching the
+//    paper recommends in §3.4.
+//  * Result messages go directly from each contributing node to the
+//    searcher (as in the paper); the final `done` notification carries the
+//    number of result messages sent so the searcher can complete exactly
+//    when everything has arrived regardless of message reordering.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/keyword.hpp"
+#include "cube/hypercube.hpp"
+#include "cube/sbt.hpp"
+#include "dht/dolr.hpp"
+#include "index/index_table.hpp"
+#include "index/keyword_hash.hpp"
+#include "index/query_cache.hpp"
+#include "index/search_types.hpp"
+
+namespace hkws::index {
+
+class OverlayIndex {
+ public:
+  struct Config {
+    int r = 8;
+    std::uint64_t hash_seed = seeds::kKeywordHash;
+    /// Salt of the logical-to-physical map g. A mirror index (secondary
+    /// hypercube, §3.4) uses a different salt so its entries land on
+    /// different peers than the primary's.
+    std::uint64_t ring_salt = seeds::kCubeToDht;
+    std::size_t cache_capacity = 0;  ///< per-node query-cache records; 0 = off
+    bool cache_contacts = true;      ///< learn cube-node -> peer contacts
+  };
+
+  OverlayIndex(dht::Dolr& dolr, Config cfg);
+
+  // --- Mapping ------------------------------------------------------------
+
+  /// g(u): the ring key of logical hypercube node u.
+  dht::RingId ring_key_of(cube::CubeId u) const;
+
+  /// F_h(K).
+  cube::CubeId responsible_node(const KeywordSet& keywords) const {
+    return hasher_.responsible_node(keywords);
+  }
+
+  /// The peer currently playing hypercube node u (ownership oracle; used
+  /// by experiments and tests, not by the protocol).
+  sim::EndpointId peer_of(cube::CubeId u) const;
+
+  // --- Object maintenance (paper Insert / Delete) --------------------------
+
+  struct PublishResult {
+    bool indexed = false;  ///< first copy: a keyword index entry was created
+    int dolr_hops = 0;     ///< hops of the reference insert
+    int index_hops = 0;    ///< hops of the index-entry insert (0 if !indexed)
+  };
+  using PublishCallback = std::function<void(const PublishResult&)>;
+
+  /// Publishes a copy of `object` with keyword set `keywords` from
+  /// `publisher`: places the reference via the DOLR; on the first copy,
+  /// also inserts the index entry <keywords, object> at g(F_h(keywords)).
+  void publish(sim::EndpointId publisher, ObjectId object,
+               const KeywordSet& keywords, PublishCallback done = nullptr);
+
+  struct WithdrawResult {
+    bool index_removed = false;  ///< last copy: the index entry was deleted
+  };
+  using WithdrawCallback = std::function<void(const WithdrawResult&)>;
+
+  /// Withdraws `publisher`'s copy; deletes the index entry when the last
+  /// copy disappears.
+  void withdraw(sim::EndpointId publisher, ObjectId object,
+                const KeywordSet& keywords, WithdrawCallback done = nullptr);
+
+  /// Repair/anti-entropy path: (re-)creates the index entry for an object
+  /// whose references still exist but whose index entry was lost with a
+  /// failed peer. Idempotent; one routed message. Also the building block
+  /// for mirror (secondary-hypercube) indexing.
+  void reindex(sim::EndpointId from, ObjectId object,
+               const KeywordSet& keywords);
+
+  /// Inverse of reindex: removes the index entry without touching the
+  /// DOLR references. One routed message.
+  void deindex(sim::EndpointId from, ObjectId object,
+               const KeywordSet& keywords);
+
+  // --- Search ---------------------------------------------------------------
+
+  using SearchCallback = std::function<void(const SearchResult&)>;
+
+  /// Pin search: one routed query to g(F_h(K)), one direct reply.
+  void pin_search(sim::EndpointId searcher, const KeywordSet& keywords,
+                  SearchCallback done);
+
+  /// Superset search with the selected exploration strategy.
+  void superset_search(sim::EndpointId searcher, const KeywordSet& query,
+                       std::size_t threshold, SearchStrategy strategy,
+                       SearchCallback done);
+
+  // --- Cumulative superset search (paper §2.2/§3.3) --------------------------
+  //
+  // "Cumulative superset search can be easily implemented by letting the
+  // root node keep the queue U for subsequent queries until the search has
+  // completed." Consecutive next() calls on a session return disjoint
+  // batches until the subhypercube is exhausted.
+
+  /// Opens a browsing session. Cheap (no messages until the first next()).
+  std::uint64_t open_cumulative(sim::EndpointId searcher,
+                                const KeywordSet& query);
+
+  /// Fetches up to `count` further results (count >= 1). The result's
+  /// stats.complete is true once the subhypercube is exhausted.
+  void cumulative_next(std::uint64_t session, std::size_t count,
+                       SearchCallback done);
+
+  /// Whether the session has returned everything.
+  bool cumulative_exhausted(std::uint64_t session) const;
+
+  /// Discards the session's root-side state.
+  void close_cumulative(std::uint64_t session);
+
+  // --- Maintenance after churn ---------------------------------------------
+
+  /// Re-places index entries whose cube node is now owned by a different
+  /// peer and flushes contact/query caches. Returns entries moved.
+  std::uint64_t repair_placement();
+
+  /// Drops index state held for peers that are no longer live (their
+  /// entries are lost until republished — the paper's fault model).
+  void purge_dead();
+
+  // --- Introspection ---------------------------------------------------------
+
+  const cube::Hypercube& cube() const noexcept { return cube_; }
+  const KeywordHasher& hasher() const noexcept { return hasher_; }
+  dht::Dolr& dolr() noexcept { return dolr_; }
+
+  /// The index table of cube node u at its current owner (nullptr if the
+  /// owner holds no entries for u).
+  const IndexTable* table_of(cube::CubeId u) const;
+
+  /// Objects indexed per cube node (placement snapshot across all peers).
+  std::vector<std::size_t> loads_by_cube_node() const;
+
+ private:
+  struct PeerState {
+    std::unordered_map<cube::CubeId, IndexTable> tables;
+    std::unordered_map<cube::CubeId, QueryCache> caches;
+    std::unordered_map<cube::CubeId, sim::EndpointId> contacts;
+  };
+
+  enum class Mode { kTopDown, kPlan, kLevels };
+
+  struct Request {
+    std::uint64_t id = 0;
+    KeywordSet query;
+    std::size_t threshold = 0;
+    sim::EndpointId searcher = 0;
+    cube::CubeId root_cube = 0;
+    sim::EndpointId root_peer = 0;
+    Mode mode = Mode::kTopDown;
+    SearchStrategy strategy = SearchStrategy::kTopDownSequential;
+    // kTopDown state: the paper's queue U of (node, dimension) pairs.
+    std::deque<std::pair<cube::CubeId, int>> queue;
+    // kPlan state: fixed visit order (cached contributors / bottom-up).
+    std::vector<cube::CubeId> plan;
+    std::size_t plan_pos = 0;
+    bool plan_complete_means_complete = true;
+    // kLevels state.
+    std::vector<std::vector<cube::CubeId>> levels;
+    std::size_t level = 0;
+    std::size_t outstanding = 0;
+    bool level_stop = false;
+    // Common bookkeeping.
+    std::size_t collected = 0;
+    std::vector<Hit> hits;  // accumulates at the searcher
+    std::vector<std::pair<cube::CubeId, std::uint32_t>> contributors;
+    SearchStats stats;
+    std::size_t results_expected = 0;
+    std::size_t results_received = 0;
+    bool done_received = false;
+    bool stopped_early = false;
+    bool record_in_cache = true;
+    SearchCallback done;
+  };
+
+  /// Root-side state of a cumulative session: the paper's queue U plus the
+  /// within-node consumption offset.
+  struct CumulativeState {
+    KeywordSet query;
+    sim::EndpointId searcher = 0;
+    cube::CubeId root_cube = 0;
+    sim::EndpointId root_peer = 0;
+    bool resolved = false;     ///< root peer located (first next() routes)
+    bool root_scanned = false; ///< the root's own table consumed
+    std::deque<std::pair<cube::CubeId, int>> queue;  // the paper's U
+    bool mid_node = false;     ///< current node only partially returned
+    cube::CubeId current = 0;
+    std::size_t offset = 0;    ///< results already returned from `current`
+    bool exhausted = false;
+    // Per-next() call bookkeeping.
+    std::size_t want = 0;
+    std::size_t got = 0;
+    std::vector<Hit> hits;
+    SearchStats stats;
+    std::size_t results_expected = 0;
+    std::size_t results_received = 0;
+    bool batch_done = false;
+    SearchCallback done;
+  };
+
+  CumulativeState* find_session(std::uint64_t id);
+  void cumulative_step(std::uint64_t session);
+  /// Visits cube node `w` for the session: scans from the stored offset,
+  /// ships up to the remaining want to the searcher, reports back.
+  void cumulative_visit(std::uint64_t session, cube::CubeId w, int dim,
+                        std::size_t offset);
+  void cumulative_finish_batch(std::uint64_t session);
+  void cumulative_maybe_complete(std::uint64_t session);
+
+  PeerState& peer_state(sim::EndpointId ep) { return peers_[ep]; }
+
+  /// Message-cost sink: invoked with the number of network messages a
+  /// protocol step spent, routed to whichever stats object owns the
+  /// operation (a Request or a CumulativeState) if it still exists.
+  using Charge = std::function<void(std::size_t)>;
+
+  /// Sends a protocol message to the peer playing cube node `target`,
+  /// using a cached direct contact when available, otherwise routing
+  /// through the DHT; `at_target(peer)` runs at the destination.
+  void send_to_cube_node(sim::EndpointId from, cube::CubeId target,
+                         const char* kind, std::size_t bytes,
+                         const Charge& charge,
+                         std::function<void(sim::EndpointId)> at_target);
+
+  void start_top_down(Request& req);
+  void step_top_down(std::uint64_t req_id);
+  void step_plan(std::uint64_t req_id);
+  void start_level(std::uint64_t req_id);
+  /// Scans cube node `w` at `peer` for the request, delivers results to the
+  /// searcher; returns the number of matches sent.
+  std::size_t scan_and_reply(Request& req, sim::EndpointId peer,
+                             cube::CubeId w);
+  void on_node_answered(std::uint64_t req_id, cube::CubeId w,
+                        sim::EndpointId peer, std::size_t c1);
+  void finish(std::uint64_t req_id);
+  void maybe_complete(std::uint64_t req_id);
+  Request* find(std::uint64_t req_id);
+
+  std::size_t room(const Request& req) const;
+
+  dht::Dolr& dolr_;
+  dht::Overlay& overlay_;
+  sim::Network& net_;
+  Config cfg_;
+  cube::Hypercube cube_;
+  KeywordHasher hasher_;
+  std::unordered_map<sim::EndpointId, PeerState> peers_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Request>> requests_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<CumulativeState>>
+      sessions_;
+  std::uint64_t next_request_ = 1;
+  std::uint64_t next_session_ = 1;
+};
+
+}  // namespace hkws::index

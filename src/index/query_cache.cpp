@@ -1,0 +1,61 @@
+#include "index/query_cache.hpp"
+
+namespace hkws::index {
+
+QueryCache::QueryCache(std::size_t capacity_records)
+    : capacity_(capacity_records) {}
+
+const CachedTraversal* QueryCache::lookup(const KeywordSet& query) {
+  const auto it = map_.find(query);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second.value;
+}
+
+void QueryCache::insert(const KeywordSet& query, CachedTraversal summary) {
+  if (capacity_ == 0) return;
+  const std::size_t need = summary.records();
+  if (need > capacity_) return;  // can never fit
+
+  if (const auto it = map_.find(query); it != map_.end()) {
+    occupancy_ -= it->second.value.records();
+    it->second.value = std::move(summary);
+    occupancy_ += it->second.value.records();
+  } else {
+    fifo_.push_back(query);
+    auto pos = std::prev(fifo_.end());
+    occupancy_ += need;
+    map_.emplace(query, Slot{pos, std::move(summary)});
+  }
+  while (occupancy_ > capacity_) evict_oldest();
+}
+
+void QueryCache::evict_oldest() {
+  // Never evict the entry just inserted (it is at the back); FIFO order
+  // guarantees the front is the oldest.
+  const KeywordSet victim = fifo_.front();
+  fifo_.pop_front();
+  const auto it = map_.find(victim);
+  occupancy_ -= it->second.value.records();
+  map_.erase(it);
+  ++evictions_;
+}
+
+void QueryCache::erase(const KeywordSet& query) {
+  const auto it = map_.find(query);
+  if (it == map_.end()) return;
+  occupancy_ -= it->second.value.records();
+  fifo_.erase(it->second.fifo_pos);
+  map_.erase(it);
+}
+
+void QueryCache::clear() {
+  fifo_.clear();
+  map_.clear();
+  occupancy_ = 0;
+}
+
+}  // namespace hkws::index

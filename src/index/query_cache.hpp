@@ -1,0 +1,103 @@
+// Per-node FIFO query cache (paper §4, third experiment). The paper caches
+// "information about the nodes visited in earlier queries" (discussion of
+// Lemma 3.3) and manages it with plain FIFO replacement, with capacity
+// alpha * |O| / 2^r — a fraction alpha of the average per-node index size.
+//
+// What we cache, concretely: for a query keyword set K answered at this
+// node, the traversal summary — which subhypercube nodes contributed
+// matches (in search order, with their match counts) and whether the whole
+// subtree was covered. A later identical query can then contact only the
+// contributing nodes (for fresh results), skipping the empty bulk of the
+// subhypercube; that is where nearly all of the cacheless cost goes.
+// Occupancy is counted in contributor records, the cache's analogue of
+// index entries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/keyword.hpp"
+#include "cube/hypercube.hpp"
+
+namespace hkws::index {
+
+/// Summary of a completed (or truncated) superset-search traversal.
+struct CachedTraversal {
+  /// Contributing nodes in the order the search visited them, with the
+  /// number of matching objects each returned.
+  std::vector<std::pair<cube::CubeId, std::uint32_t>> contributors;
+  /// True if the traversal covered the entire subhypercube, so the
+  /// contributor list is exhaustive (required to honor 100% recall from
+  /// cache).
+  bool complete = false;
+
+  std::size_t records() const noexcept {
+    // An empty-but-complete summary still occupies one record.
+    return contributors.empty() ? 1 : contributors.size();
+  }
+};
+
+class QueryCache {
+ public:
+  /// @param capacity_records  max total contributor records; 0 disables
+  explicit QueryCache(std::size_t capacity_records = 0);
+
+  /// Returns the cached traversal for `query`, or nullptr. Counts a hit or
+  /// a miss. FIFO (not LRU): a hit does not refresh the entry's age.
+  const CachedTraversal* lookup(const KeywordSet& query);
+
+  /// Caches `summary` under `query`, evicting oldest entries as needed.
+  /// Summaries larger than the whole capacity are not cached. Re-inserting
+  /// an existing key replaces the value but keeps its queue position.
+  void insert(const KeywordSet& query, CachedTraversal summary);
+
+  /// Drops `query` if present (invalidation on index insert/delete).
+  void erase(const KeywordSet& query);
+
+  /// Drops every entry whose key satisfies `pred` (bulk invalidation when
+  /// the local index table changes). O(entries).
+  template <typename Pred>
+  void erase_if(Pred&& pred) {
+    for (auto it = fifo_.begin(); it != fifo_.end();) {
+      if (pred(*it)) {
+        const auto mit = map_.find(*it);
+        occupancy_ -= mit->second.value.records();
+        map_.erase(mit);
+        it = fifo_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void clear();
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t occupancy() const noexcept { return occupancy_; }
+  std::size_t entry_count() const noexcept { return map_.size(); }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+
+ private:
+  void evict_oldest();
+
+  struct Slot {
+    std::list<KeywordSet>::iterator fifo_pos;
+    CachedTraversal value;
+  };
+
+  std::size_t capacity_;
+  std::size_t occupancy_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::list<KeywordSet> fifo_;  // front = oldest
+  std::unordered_map<KeywordSet, Slot, KeywordSetHash> map_;
+};
+
+}  // namespace hkws::index

@@ -1,0 +1,80 @@
+#include "index/ranking.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hkws::index {
+
+std::map<std::size_t, std::vector<Hit>> group_by_extra(
+    const std::vector<Hit>& hits, const KeywordSet& query) {
+  std::map<std::size_t, std::vector<Hit>> groups;
+  for (const Hit& h : hits)
+    groups[h.keywords.size() - query.size()].push_back(h);
+  return groups;
+}
+
+void order_hits(std::vector<Hit>& hits, const KeywordSet& query,
+                RankingPreference pref) {
+  const auto extra = [&](const Hit& h) {
+    return h.keywords.size() - query.size();
+  };
+  std::stable_sort(hits.begin(), hits.end(), [&](const Hit& a, const Hit& b) {
+    return pref == RankingPreference::kGeneralFirst ? extra(a) < extra(b)
+                                                    : extra(a) > extra(b);
+  });
+}
+
+std::vector<RefinementSample> sample_refinements(
+    const std::vector<Hit>& hits, const KeywordSet& query,
+    std::size_t per_category, std::size_t max_categories) {
+  // Bucket by the distinct extra keyword set; map keys give deterministic
+  // smallest-first order (size, then lexicographic).
+  std::map<std::size_t, std::map<KeywordSet, RefinementSample>> by_size;
+  for (const Hit& h : hits) {
+    const KeywordSet extra = h.keywords.difference(query);
+    if (extra.empty()) continue;  // exact matches suggest no refinement
+    auto& sample = by_size[extra.size()]
+                       .try_emplace(extra, RefinementSample{extra, {}, 0})
+                       .first->second;
+    ++sample.category_size;
+    if (sample.samples.size() < per_category)
+      sample.samples.push_back(h.object);
+  }
+  std::vector<RefinementSample> out;
+  for (auto& [size, categories] : by_size) {
+    for (auto& [extra, sample] : categories) {
+      if (max_categories != 0 && out.size() >= max_categories) return out;
+      out.push_back(std::move(sample));
+    }
+  }
+  return out;
+}
+
+std::optional<KeywordSet> expand_query(const std::vector<Hit>& hits,
+                                       const KeywordSet& query,
+                                       double min_share) {
+  if (hits.empty()) return std::nullopt;
+  // Count how many hits each extra keyword appears in.
+  std::map<Keyword, std::size_t> coverage;
+  for (const Hit& h : hits)
+    for (const Keyword& w : h.keywords.difference(query)) ++coverage[w];
+  // The best expansion keyword splits the set closest to the middle:
+  // it keeps a substantial subset while maximally narrowing the search.
+  const double half = static_cast<double>(hits.size()) / 2.0;
+  const Keyword* best = nullptr;
+  double best_gap = 0;
+  for (const auto& [w, count] : coverage) {
+    const double gap = std::abs(static_cast<double>(count) - half);
+    if (best == nullptr || gap < best_gap) {
+      best = &w;
+      best_gap = gap;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  if (static_cast<double>(coverage[*best]) <
+      min_share * static_cast<double>(hits.size()))
+    return std::nullopt;
+  return query.union_with(KeywordSet({*best}));
+}
+
+}  // namespace hkws::index

@@ -1,0 +1,59 @@
+// Ranking support (paper §1, §3.3): superset-search hits carry the full
+// keyword set they are indexed under, so they can be grouped by how many
+// *extra* keywords they have beyond the query (their SBT depth), ordered
+// general-first or specific-first, and sampled per extra-keyword category to
+// suggest query refinements — all without any global knowledge.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <map>
+#include <vector>
+
+#include "common/keyword.hpp"
+#include "index/index_table.hpp"
+
+namespace hkws::index {
+
+enum class RankingPreference {
+  kGeneralFirst,   ///< fewer extra keywords first (top-down order)
+  kSpecificFirst,  ///< more extra keywords first (bottom-up order)
+};
+
+/// Groups hits by extra-keyword count |K_hit| - |query|.
+/// Precondition: every hit's keyword set contains `query`.
+std::map<std::size_t, std::vector<Hit>> group_by_extra(
+    const std::vector<Hit>& hits, const KeywordSet& query);
+
+/// Stable-sorts hits by extra-keyword count according to `pref`; ties keep
+/// their traversal order (which already clusters equal keyword sets).
+void order_hits(std::vector<Hit>& hits, const KeywordSet& query,
+                RankingPreference pref);
+
+/// One refinement suggestion: the extra keywords of a category and up to
+/// `per_category` sample objects from it.
+struct RefinementSample {
+  KeywordSet extra;                ///< keywords beyond the query
+  std::vector<ObjectId> samples;   ///< example objects in the category
+  std::size_t category_size = 0;   ///< total hits in the category
+};
+
+/// Samples the hit list per distinct extra-keyword set (paper §1: "return
+/// these sample objects along with their extra keyword(s) to help users
+/// refine their queries"). Categories are emitted smallest-extra-set first,
+/// at most `max_categories` of them (0 = all).
+std::vector<RefinementSample> sample_refinements(
+    const std::vector<Hit>& hits, const KeywordSet& query,
+    std::size_t per_category, std::size_t max_categories = 0);
+
+/// Query expansion (paper §3.4: "query expansion can be used to expand
+/// keyword sets" to narrow hot queries): returns `query` plus the single
+/// extra keyword that splits the result set most evenly — the expanded
+/// query's subhypercube is half as large, and its result set is the chosen
+/// keyword's category. Returns nullopt when no extra keyword covers at
+/// least `min_share` of the hits (expansion would discard too much).
+std::optional<KeywordSet> expand_query(const std::vector<Hit>& hits,
+                                       const KeywordSet& query,
+                                       double min_share = 0.25);
+
+}  // namespace hkws::index

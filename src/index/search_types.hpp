@@ -1,0 +1,48 @@
+// Shared vocabulary of the search operations (paper §2.2, §3.3):
+// strategies, per-query cost accounting, and results.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "index/index_table.hpp"
+
+namespace hkws::index {
+
+/// How the subhypercube of a superset search is explored.
+enum class SearchStrategy {
+  /// The paper's main algorithm: root-coordinated breadth-first descent of
+  /// the spanning binomial tree, one node at a time, general objects first.
+  kTopDownSequential,
+  /// The §3.3 variant preferring specific objects: deepest tree levels
+  /// first, root-coordinated, one node at a time.
+  kBottomUpSequential,
+  /// The §3.5 speed-up: all nodes of an SBT level are queried in parallel;
+  /// latency drops to r - |One(F_h(K))| rounds at the same message cost.
+  kLevelParallel,
+};
+
+/// Cost accounting for one search operation, in the paper's units.
+struct SearchStats {
+  /// Hypercube nodes that received the query (including the root).
+  std::size_t nodes_contacted = 0;
+  /// Messages: T_QUERY per contacted node, T_CONT/T_STOP coordination
+  /// replies, and one result delivery per contributing node.
+  std::size_t messages = 0;
+  /// Sequential steps (the time proxy for sequential strategies).
+  std::size_t rounds = 0;
+  /// Tree levels explored (the time proxy for kLevelParallel).
+  std::size_t levels = 0;
+  /// Whether the root answered the traversal plan from its query cache.
+  bool cache_hit = false;
+  /// Whether the whole subhypercube was covered (results are exhaustive).
+  bool complete = false;
+};
+
+/// Result of a pin or superset search.
+struct SearchResult {
+  std::vector<Hit> hits;
+  SearchStats stats;
+};
+
+}  // namespace hkws::index

@@ -1,0 +1,113 @@
+// KeywordSearchService — the application-facing facade of the keyword/
+// attribute search layer (the box the paper's Fig. 2 inserts between the
+// application and the P2P overlay). It owns the DOLR and the (optionally
+// mirrored) hypercube index over any dht::Overlay, and packages the common
+// application flows:
+//
+//   publish / withdraw    object lifecycle (references + index entries)
+//   pin                   exact keyword-set lookup
+//   search                superset search with ranking, refinement
+//                         suggestions, and query-expansion advice
+//   browse                cumulative paging (root keeps the queue)
+//   resolve               object id -> replica holders (DOLR read)
+//   repair                churn maintenance for all owned state
+//
+// Everything is asynchronous over the simulated network; callbacks fire as
+// simulation events.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "dht/dolr.hpp"
+#include "index/mirrored.hpp"
+#include "index/overlay_index.hpp"
+#include "index/ranking.hpp"
+
+namespace hkws::index {
+
+class KeywordSearchService {
+ public:
+  struct Options {
+    int r = 10;                      ///< hypercube dimension
+    int replication_factor = 2;     ///< DOLR reference replicas
+    bool mirror_index = false;      ///< secondary hypercube (§3.4)
+    std::size_t cache_capacity = 32;  ///< per-node query-cache records
+    std::uint64_t hash_seed = seeds::kKeywordHash;
+  };
+
+  KeywordSearchService(dht::Overlay& overlay, Options options);
+
+  // --- Object lifecycle ---------------------------------------------------
+
+  void publish(sim::EndpointId peer, ObjectId object,
+               const KeywordSet& keywords,
+               OverlayIndex::PublishCallback done = nullptr);
+  void withdraw(sim::EndpointId peer, ObjectId object,
+                const KeywordSet& keywords,
+                OverlayIndex::WithdrawCallback done = nullptr);
+
+  // --- Search ----------------------------------------------------------------
+
+  struct SearchOptions {
+    std::size_t limit = 0;  ///< min(limit, |O_K|); 0 = everything
+    SearchStrategy strategy = SearchStrategy::kTopDownSequential;
+    RankingPreference order = RankingPreference::kGeneralFirst;
+    /// Attach refinement suggestions (up to this many categories; 0 = off).
+    std::size_t refinement_categories = 0;
+    /// Attach a §3.4 query-expansion suggestion when one qualifies.
+    bool suggest_expansion = false;
+  };
+
+  struct Answer {
+    std::vector<Hit> hits;  ///< ranked per SearchOptions::order
+    SearchStats stats;
+    std::vector<RefinementSample> refinements;
+    std::optional<KeywordSet> expansion;
+  };
+  using AnswerCallback = std::function<void(const Answer&)>;
+
+  /// Exact-set lookup.
+  void pin(sim::EndpointId searcher, const KeywordSet& keywords,
+           AnswerCallback done);
+
+  /// Superset search + ranking + optional refinement/expansion advice.
+  void search(sim::EndpointId searcher, const KeywordSet& query,
+              const SearchOptions& options, AnswerCallback done);
+
+  // --- Browsing (cumulative search; primary cube only) ------------------------
+
+  std::uint64_t open_browse(sim::EndpointId searcher, const KeywordSet& query);
+  void browse_next(std::uint64_t session, std::size_t page_size,
+                   AnswerCallback done);
+  bool browse_done(std::uint64_t session) const;
+  void close_browse(std::uint64_t session);
+
+  // --- Object resolution / maintenance ------------------------------------------
+
+  /// Resolves an object id to its replica holders (the DOLR Read).
+  void resolve(sim::EndpointId reader, ObjectId object,
+               dht::Dolr::ReadCallback done);
+
+  /// Churn maintenance: drops dead peers' state, re-places misplaced index
+  /// entries, restores reference replication. Returns entries moved.
+  std::uint64_t repair();
+
+  // --- Escape hatches ---------------------------------------------------------
+
+  dht::Dolr& dolr() noexcept { return dolr_; }
+  OverlayIndex& primary_index();
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  Answer decorate(SearchResult result, const KeywordSet& query,
+                  const SearchOptions& options) const;
+
+  Options options_;
+  dht::Dolr dolr_;
+  std::unique_ptr<OverlayIndex> plain_;     // exactly one of these two
+  std::unique_ptr<MirroredIndex> mirrored_;
+};
+
+}  // namespace hkws::index

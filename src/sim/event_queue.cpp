@@ -1,0 +1,40 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hkws::sim {
+
+void EventQueue::schedule_in(Time delay, Event event) {
+  schedule_at(now_ + delay, std::move(event));
+}
+
+void EventQueue::schedule_at(Time at, Event event) {
+  if (at < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
+  heap_.push(Entry{at, next_seq_++, std::move(event)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the closure handle (shared ownership is fine at this rate).
+  Entry entry = heap_.top();
+  heap_.pop();
+  now_ = entry.at;
+  entry.event();
+  return true;
+}
+
+std::size_t EventQueue::run() {
+  std::size_t executed = 0;
+  while (step()) ++executed;
+  return executed;
+}
+
+std::size_t EventQueue::run_until(Time deadline) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().at <= deadline && step()) ++executed;
+  return executed;
+}
+
+}  // namespace hkws::sim

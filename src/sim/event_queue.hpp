@@ -1,0 +1,61 @@
+// Discrete-event scheduler: the heart of the network simulator. Events are
+// closures ordered by (time, insertion sequence), so simulations are fully
+// deterministic — ties break in schedule order, never by allocation address.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hkws::sim {
+
+/// Simulated time in abstract ticks (we treat one tick as ~1 ms when a unit
+/// is needed, but nothing depends on the unit).
+using Time = std::uint64_t;
+
+/// An executable simulation event.
+using Event = std::function<void()>;
+
+/// Priority queue of timed events with deterministic FIFO tie-breaking.
+class EventQueue {
+ public:
+  /// Current simulated time (time of the last executed event).
+  Time now() const noexcept { return now_; }
+
+  /// Schedules `event` to run at now() + delay.
+  void schedule_in(Time delay, Event event);
+
+  /// Schedules `event` at absolute time `at` (must be >= now()).
+  void schedule_at(Time at, Event event);
+
+  /// Runs events until the queue is empty. Returns #events executed.
+  std::size_t run();
+
+  /// Runs events with time <= `deadline`. Returns #events executed.
+  std::size_t run_until(Time deadline);
+
+  /// Executes just the next event, if any. Returns whether one ran.
+  bool step();
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t pending() const noexcept { return heap_.size(); }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    Event event;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hkws::sim

@@ -1,0 +1,49 @@
+#include "sim/metrics.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace hkws::sim {
+
+void Metrics::count(const std::string& name, std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+std::uint64_t Metrics::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Metrics::observe(const std::string& name, double value) {
+  samples_[name].push_back(value);
+}
+
+const std::vector<double>& Metrics::samples(const std::string& name) const {
+  static const std::vector<double> kEmpty;
+  const auto it = samples_.find(name);
+  return it == samples_.end() ? kEmpty : it->second;
+}
+
+double Metrics::sample_mean(const std::string& name) const {
+  const auto& xs = samples(name);
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+void Metrics::reset() {
+  counters_.clear();
+  samples_.clear();
+}
+
+std::string Metrics::to_string() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters_)
+    out << name << " = " << value << "\n";
+  for (const auto& [name, xs] : samples_)
+    out << name << " (samples) = " << xs.size()
+        << ", mean = " << sample_mean(name) << "\n";
+  return out.str();
+}
+
+}  // namespace hkws::sim

@@ -1,0 +1,45 @@
+// Named counters and samples for experiment accounting: message counts per
+// protocol type, bytes, hops, nodes contacted, etc. All experiment numbers
+// the bench harnesses print flow through a Metrics instance.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hkws::sim {
+
+/// Simple registry of named monotonic counters and value samples.
+class Metrics {
+ public:
+  /// Adds `delta` to counter `name` (creating it at zero).
+  void count(const std::string& name, std::uint64_t delta = 1);
+
+  /// Current value of counter `name` (0 if never touched).
+  std::uint64_t counter(const std::string& name) const;
+
+  /// Records one observation of the sampled series `name`.
+  void observe(const std::string& name, double value);
+
+  /// All observations of series `name` (empty if none).
+  const std::vector<double>& samples(const std::string& name) const;
+
+  double sample_mean(const std::string& name) const;
+
+  /// Resets every counter and sample series.
+  void reset();
+
+  const std::map<std::string, std::uint64_t>& counters() const noexcept {
+    return counters_;
+  }
+
+  /// Human-readable dump, one "name = value" per line, sorted by name.
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::vector<double>> samples_;
+};
+
+}  // namespace hkws::sim

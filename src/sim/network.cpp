@@ -1,0 +1,43 @@
+#include "sim/network.hpp"
+
+#include <utility>
+
+namespace hkws::sim {
+
+Network::Network(EventQueue& clock, std::unique_ptr<LatencyModel> latency,
+                 std::uint64_t seed)
+    : clock_(clock),
+      latency_(latency ? std::move(latency)
+                       : std::make_unique<FixedLatency>(1)),
+      rng_(seed) {}
+
+void Network::register_endpoint(EndpointId id) { endpoints_[id] = true; }
+
+void Network::unregister_endpoint(EndpointId id) { endpoints_.erase(id); }
+
+bool Network::is_registered(EndpointId id) const {
+  return endpoints_.contains(id);
+}
+
+void Network::send(EndpointId from, EndpointId to, std::string kind,
+                   std::size_t payload_bytes, Handler deliver) {
+  if (from == to) {
+    // Local call: no network traffic, but preserve async semantics so
+    // protocol code behaves identically for local and remote destinations.
+    metrics_.count("net.local");
+    clock_.schedule_in(0, std::move(deliver));
+    return;
+  }
+  if (!endpoints_.contains(to)) {
+    metrics_.count("net.dropped");
+    metrics_.count("net.dropped." + kind);
+    return;
+  }
+  metrics_.count("net.messages");
+  metrics_.count("net.bytes", payload_bytes);
+  metrics_.count("msg." + kind);
+  const Time delay = latency_->latency(from, to, rng_);
+  clock_.schedule_in(delay, std::move(deliver));
+}
+
+}  // namespace hkws::sim

@@ -1,0 +1,43 @@
+#include "workload/corpus.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace hkws::workload {
+
+Corpus::Corpus(std::vector<ObjectRecord> records)
+    : records_(std::move(records)) {}
+
+Histogram Corpus::keyword_size_histogram() const {
+  Histogram h;
+  for (const auto& rec : records_)
+    h.add(static_cast<std::int64_t>(rec.keywords.size()));
+  return h;
+}
+
+double Corpus::mean_keywords() const {
+  return keyword_size_histogram().hist_mean();
+}
+
+std::vector<std::pair<Keyword, std::uint64_t>> Corpus::keyword_frequencies()
+    const {
+  std::unordered_map<Keyword, std::uint64_t> counts;
+  for (const auto& rec : records_)
+    for (const auto& w : rec.keywords) ++counts[w];
+  std::vector<std::pair<Keyword, std::uint64_t>> out(counts.begin(),
+                                                     counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  return out;
+}
+
+std::size_t Corpus::vocabulary_size() const {
+  std::set<Keyword> vocab;
+  for (const auto& rec : records_)
+    vocab.insert(rec.keywords.begin(), rec.keywords.end());
+  return vocab.size();
+}
+
+}  // namespace hkws::workload

@@ -1,0 +1,52 @@
+// The object corpus: our synthetic stand-in for the paper's PCHome website
+// directory (131,180 records, ~7.3 keywords each — §4, Table 1, Fig. 5).
+// Records carry the same six fields as the paper's data so examples can
+// print Table-1-style rows; only the keyword sets matter to the index.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/keyword.hpp"
+#include "common/stats.hpp"
+
+namespace hkws::workload {
+
+/// One website record (paper Table 1).
+struct ObjectRecord {
+  ObjectId id = kInvalidObject;
+  std::string title;
+  std::string url;
+  std::string category;     // digit string, as in the paper
+  std::string description;
+  KeywordSet keywords;      // the Keyword field, the part the index uses
+};
+
+class Corpus {
+ public:
+  Corpus() = default;
+  explicit Corpus(std::vector<ObjectRecord> records);
+
+  const std::vector<ObjectRecord>& records() const noexcept { return records_; }
+  std::size_t size() const noexcept { return records_.size(); }
+  const ObjectRecord& operator[](std::size_t i) const { return records_[i]; }
+
+  /// Histogram of keyword-set sizes (paper Fig. 5).
+  Histogram keyword_size_histogram() const;
+
+  /// Mean keywords per object (paper: 7.3).
+  double mean_keywords() const;
+
+  /// Occurrence count per keyword, most frequent first.
+  std::vector<std::pair<Keyword, std::uint64_t>> keyword_frequencies() const;
+
+  /// Distinct keywords used.
+  std::size_t vocabulary_size() const;
+
+ private:
+  std::vector<ObjectRecord> records_;
+};
+
+}  // namespace hkws::workload

@@ -1,0 +1,133 @@
+#include "workload/corpus_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace hkws::workload {
+
+namespace {
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+/// Expected value of round(LogNormal(mu, sigma)) clipped to [lo, hi].
+double clipped_mean(double mu, double sigma, int lo, int hi) {
+  double mean = 0, mass = 0;
+  for (int k = lo; k <= hi; ++k) {
+    const double a =
+        k == lo ? 0.0
+                : normal_cdf((std::log(k - 0.5) - mu) / sigma);
+    const double b =
+        k == hi ? 1.0
+                : normal_cdf((std::log(k + 0.5) - mu) / sigma);
+    const double p = b - a;
+    mean += k * p;
+    mass += p;
+  }
+  return mass > 0 ? mean / mass : 0;
+}
+
+}  // namespace
+
+CorpusGenerator::CorpusGenerator(CorpusConfig cfg)
+    : cfg_(cfg),
+      keyword_ranks_(cfg.vocabulary_size, cfg.zipf_skew, cfg.zipf_shift),
+      bundle_ranks_(std::max<std::size_t>(cfg.bundle_count, 1),
+                    cfg.bundle_zipf_skew) {
+  if (cfg.object_count == 0)
+    throw std::invalid_argument("CorpusGenerator: object_count must be > 0");
+  if (cfg.min_keywords < 1 || cfg.max_keywords < cfg.min_keywords)
+    throw std::invalid_argument("CorpusGenerator: bad keyword-count range");
+  if (static_cast<std::size_t>(cfg.max_keywords) > cfg.vocabulary_size)
+    throw std::invalid_argument(
+        "CorpusGenerator: max_keywords exceeds vocabulary");
+  if (cfg.bundle_size < 1 ||
+      static_cast<std::size_t>(cfg.bundle_size) > cfg.vocabulary_size)
+    throw std::invalid_argument("CorpusGenerator: bad bundle_size");
+  if (cfg.bundle_probability < 0 || cfg.bundle_probability > 1)
+    throw std::invalid_argument("CorpusGenerator: bad bundle_probability");
+
+  // Fixed topical bundles: distinct mid-popularity keyword ranks, chosen
+  // deterministically from the seed.
+  Rng bundle_rng(mix64(cfg.seed ^ 0xb0bab0baULL));
+  bundles_.resize(cfg.bundle_count);
+  for (auto& bundle : bundles_) {
+    std::set<std::size_t> ranks;
+    while (static_cast<int>(ranks.size()) < cfg.bundle_size)
+      ranks.insert(keyword_ranks_.sample(bundle_rng));
+    bundle.assign(ranks.begin(), ranks.end());
+  }
+  // Calibrate the log-normal location so the discretized, clipped mean hits
+  // cfg.mean_keywords. clipped_mean is monotone in mu; binary search.
+  double lo = -2.0, hi = 5.0;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (clipped_mean(mid, cfg.lognormal_sigma, cfg.min_keywords,
+                     cfg.max_keywords) < cfg.mean_keywords)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  mu_ = 0.5 * (lo + hi);
+}
+
+int CorpusGenerator::sample_set_size(Rng& rng) const {
+  // Box-Muller style normal from two uniforms, then exponentiate and round.
+  const double u1 = rng.next_double();
+  const double u2 = rng.next_double();
+  const double z = std::sqrt(-2.0 * std::log(u1 + 1e-300)) *
+                   std::cos(2.0 * M_PI * u2);
+  const double value = std::exp(mu_ + cfg_.lognormal_sigma * z);
+  int size = static_cast<int>(std::lround(value));
+  if (size < cfg_.min_keywords) size = cfg_.min_keywords;
+  if (size > cfg_.max_keywords) size = cfg_.max_keywords;
+  return size;
+}
+
+Corpus CorpusGenerator::generate() const {
+  Rng rng(cfg_.seed);
+  std::vector<ObjectRecord> records;
+  records.reserve(cfg_.object_count);
+  for (std::size_t i = 0; i < cfg_.object_count; ++i) {
+    ObjectRecord rec;
+    rec.id = static_cast<ObjectId>(i + 1);
+    rec.title = "Site " + std::to_string(rec.id);
+    rec.url = "http://site" + std::to_string(rec.id) + ".example.tw";
+    rec.category.reserve(10);
+    for (int d = 0; d < 10; ++d)
+      rec.category += static_cast<char>('0' + rng.next_below(10));
+    rec.description = "Synthetic directory record " + std::to_string(rec.id);
+
+    const int size = sample_set_size(rng);
+    std::set<std::size_t> ranks;
+    // Topical bundle first (keyword correlation), if this record has one.
+    if (!bundles_.empty() && rng.next_bool(cfg_.bundle_probability)) {
+      const auto& bundle = bundles_[bundle_ranks_.sample(rng)];
+      const auto take = std::min<std::size_t>(
+          1 + rng.next_below(bundle.size()), static_cast<std::size_t>(size));
+      std::set<std::size_t> positions;
+      while (positions.size() < take)
+        positions.insert(rng.next_below(bundle.size()));
+      for (std::size_t p : positions) ranks.insert(bundle[p]);
+    }
+    // Rejection-sample distinct Zipf ranks; popular keywords recur often,
+    // so cap the attempts and fill any shortfall uniformly.
+    for (int attempts = 0;
+         static_cast<int>(ranks.size()) < size && attempts < size * 64;
+         ++attempts)
+      ranks.insert(keyword_ranks_.sample(rng));
+    while (static_cast<int>(ranks.size()) < size)
+      ranks.insert(rng.next_below(cfg_.vocabulary_size));
+
+    std::vector<Keyword> words;
+    words.reserve(ranks.size());
+    for (std::size_t rank : ranks) words.push_back("kw" + std::to_string(rank));
+    rec.keywords = KeywordSet(std::move(words));
+    records.push_back(std::move(rec));
+  }
+  return Corpus(std::move(records));
+}
+
+}  // namespace hkws::workload

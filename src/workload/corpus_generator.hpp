@@ -1,0 +1,71 @@
+// Synthetic PCHome-like corpus generator (the data substitution documented
+// in DESIGN.md §3). Two distributions drive every experiment in the paper:
+//
+//  * keyword-set sizes — Fig. 5: unimodal, peak around 5-7, mean 7.3, tail
+//    to ~30. We use a discretized log-normal clipped to [min,max] and
+//    calibrated so the post-discretization mean is `mean_keywords`.
+//  * keyword popularity — Zipf (§1 "keyword frequency ... typically
+//    follows Zipf's law").
+//
+// Generation is fully deterministic per seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "workload/corpus.hpp"
+
+namespace hkws::workload {
+
+struct CorpusConfig {
+  std::size_t object_count = 131180;  ///< paper's record count
+  std::size_t vocabulary_size = 50000;
+  /// Keyword popularity follows Zipf-Mandelbrot 1/(k+q)^s: the classic
+  /// exponent s = 1 for the tail slope (paper §1: "keyword frequency ...
+  /// typically follows Zipf's law") with a head shift q that calibrates the
+  /// most frequent keyword to a few percent document frequency — curated
+  /// directory keywords have many hot terms but no term covering half the
+  /// corpus (a pure s = 1 head would put the top keyword in ~60% of
+  /// records). The head stays hot enough to punish the inverted-index
+  /// baseline (Fig. 6 "DII") while keyword *sets* still differ enough for
+  /// the hypercube scheme to balance.
+  double zipf_skew = 1.0;
+  double zipf_shift = 20.0;
+  double mean_keywords = 7.3;         ///< paper's mean keyword-set size
+  double lognormal_sigma = 0.5;       ///< shape of the Fig.-5 curve
+  int min_keywords = 1;
+  int max_keywords = 30;
+  /// Keyword correlation: real directory keywords co-occur in topical
+  /// groups ("tv, news, taiwan"), which is what gives popular multi-keyword
+  /// queries large result sets (Fig. 8, m >= 2). A record includes a
+  /// random subset of one Zipf-popular bundle with probability
+  /// `bundle_probability`; the rest of its keywords are independent.
+  std::size_t bundle_count = 300;
+  int bundle_size = 5;
+  double bundle_probability = 0.35;
+  double bundle_zipf_skew = 0.8;
+  std::uint64_t seed = 2005;
+};
+
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(CorpusConfig cfg);
+
+  /// Generates the full corpus (O(objects * keywords) time).
+  Corpus generate() const;
+
+  /// Draws one keyword-set size from the calibrated distribution.
+  int sample_set_size(Rng& rng) const;
+
+  const CorpusConfig& config() const noexcept { return cfg_; }
+
+ private:
+  CorpusConfig cfg_;
+  double mu_;  ///< log-normal location, calibrated to mean_keywords
+  ZipfDistribution keyword_ranks_;
+  ZipfDistribution bundle_ranks_;
+  std::vector<std::vector<std::size_t>> bundles_;  ///< keyword ranks per bundle
+};
+
+}  // namespace hkws::workload

@@ -1,0 +1,109 @@
+#include "workload/corpus_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace hkws::workload {
+
+namespace {
+
+void check_field(const std::string& field, const char* name) {
+  if (field.find('\t') != std::string::npos ||
+      field.find('\n') != std::string::npos)
+    throw std::runtime_error(std::string("save_corpus_tsv: field '") + name +
+                             "' contains a delimiter");
+}
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = line.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+void save_corpus_tsv(const Corpus& corpus, std::ostream& out) {
+  out << "# id\ttitle\turl\tcategory\tdescription\tkeywords\n";
+  for (const auto& rec : corpus.records()) {
+    check_field(rec.title, "title");
+    check_field(rec.url, "url");
+    check_field(rec.category, "category");
+    check_field(rec.description, "description");
+    std::string keywords;
+    for (const auto& w : rec.keywords) {
+      check_field(w, "keyword");
+      if (w.find(',') != std::string::npos)
+        throw std::runtime_error("save_corpus_tsv: keyword contains a comma");
+      if (!keywords.empty()) keywords += ",";
+      keywords += w;
+    }
+    out << rec.id << '\t' << rec.title << '\t' << rec.url << '\t'
+        << rec.category << '\t' << rec.description << '\t' << keywords
+        << '\n';
+  }
+  if (!out) throw std::runtime_error("save_corpus_tsv: write failed");
+}
+
+void save_corpus_tsv(const Corpus& corpus, const std::string& path) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("save_corpus_tsv: cannot open " + path);
+  save_corpus_tsv(corpus, out);
+}
+
+Corpus load_corpus_tsv(std::istream& in) {
+  std::vector<ObjectRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split(line, '\t');
+    if (fields.size() != 6)
+      throw std::runtime_error("load_corpus_tsv: line " +
+                               std::to_string(line_no) + ": expected 6 "
+                               "fields, got " +
+                               std::to_string(fields.size()));
+    ObjectRecord rec;
+    try {
+      rec.id = std::stoull(fields[0]);
+    } catch (const std::exception&) {
+      throw std::runtime_error("load_corpus_tsv: line " +
+                               std::to_string(line_no) + ": bad id '" +
+                               fields[0] + "'");
+    }
+    rec.title = fields[1];
+    rec.url = fields[2];
+    rec.category = fields[3];
+    rec.description = fields[4];
+    std::vector<Keyword> words;
+    for (auto& w : split(fields[5], ','))
+      if (!w.empty()) words.push_back(std::move(w));
+    if (words.empty())
+      throw std::runtime_error("load_corpus_tsv: line " +
+                               std::to_string(line_no) +
+                               ": empty keyword list");
+    rec.keywords = KeywordSet(std::move(words));
+    records.push_back(std::move(rec));
+  }
+  return Corpus(std::move(records));
+}
+
+Corpus load_corpus_tsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("load_corpus_tsv: cannot open " + path);
+  return load_corpus_tsv(in);
+}
+
+}  // namespace hkws::workload

@@ -1,0 +1,29 @@
+// Corpus persistence: load/save the Table-1 record format as TSV so the
+// experiments can run on real data (e.g. an actual directory dump) instead
+// of the synthetic PCHome substitute.
+//
+// Format: one record per line, UTF-8, fields separated by tabs:
+//   id <TAB> title <TAB> url <TAB> category <TAB> description <TAB> keywords
+// where `keywords` is a comma-separated list. Lines starting with '#' and
+// blank lines are skipped. Fields must not contain tabs or newlines;
+// keywords must not contain commas.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/corpus.hpp"
+
+namespace hkws::workload {
+
+/// Writes the corpus as TSV. Throws std::runtime_error on I/O failure or if
+/// a field contains a delimiter.
+void save_corpus_tsv(const Corpus& corpus, const std::string& path);
+void save_corpus_tsv(const Corpus& corpus, std::ostream& out);
+
+/// Reads a TSV corpus. Throws std::runtime_error on I/O failure or a
+/// malformed line (wrong field count, bad id, empty keyword list).
+Corpus load_corpus_tsv(const std::string& path);
+Corpus load_corpus_tsv(std::istream& in);
+
+}  // namespace hkws::workload

@@ -1,0 +1,122 @@
+#include "workload/query_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hkws::workload {
+
+namespace {
+double top_share_for(std::size_t n, std::size_t topk, double s) {
+  double top = 0, total = 0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    const double w = std::pow(static_cast<double>(k), -s);
+    total += w;
+    if (k <= topk) top += w;
+  }
+  return top / total;
+}
+}  // namespace
+
+double QueryLogGenerator::solve_zipf_exponent(std::size_t n, std::size_t topk,
+                                              double share) {
+  // top_share_for is increasing in s; bisect.
+  double lo = 0.0, hi = 6.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (top_share_for(n, topk, mid) < share)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+QueryLogGenerator::QueryLogGenerator(const Corpus& corpus, QueryLogConfig cfg)
+    : cfg_(cfg),
+      popularity_(std::max<std::size_t>(cfg.distinct_queries, 1),
+                  solve_zipf_exponent(
+                      std::max<std::size_t>(cfg.distinct_queries, 1), 10,
+                      cfg.top10_share)) {
+  if (corpus.size() == 0)
+    throw std::invalid_argument("QueryLogGenerator: empty corpus");
+  if (cfg.size_weights.empty())
+    throw std::invalid_argument("QueryLogGenerator: empty size_weights");
+
+  // Build the distinct-query universe: each query is m keywords drawn from
+  // one object's keyword set, so every query matches at least that object.
+  // Keywords above the document-frequency cap are not query-eligible.
+  Rng rng(cfg.seed);
+  double weight_total = 0;
+  for (double w : cfg.size_weights) weight_total += w;
+
+  std::unordered_set<Keyword> too_frequent;
+  if (cfg.max_keyword_df < 1.0) {
+    const auto limit = static_cast<std::uint64_t>(
+        cfg.max_keyword_df * static_cast<double>(corpus.size()));
+    for (const auto& [word, count] : corpus.keyword_frequencies()) {
+      if (count <= limit) break;  // frequencies are sorted descending
+      too_frequent.insert(word);
+    }
+  }
+
+  std::unordered_set<KeywordSet, KeywordSetHash> seen;
+  universe_.reserve(cfg.distinct_queries);
+  std::size_t failsafe = 0;
+  while (universe_.size() < cfg.distinct_queries &&
+         failsafe < cfg.distinct_queries * 200) {
+    ++failsafe;
+    // Draw the query size from the (normalized) weights.
+    double pick = rng.next_double() * weight_total;
+    std::size_t m = cfg.size_weights.size();
+    for (std::size_t i = 0; i < cfg.size_weights.size(); ++i) {
+      if (pick < cfg.size_weights[i]) {
+        m = i + 1;
+        break;
+      }
+      pick -= cfg.size_weights[i];
+    }
+    const auto& rec = corpus[rng.next_below(corpus.size())];
+    std::vector<Keyword> eligible;
+    for (const auto& w : rec.keywords)
+      if (!too_frequent.contains(w)) eligible.push_back(w);
+    if (eligible.size() < m) continue;
+    // Sample m distinct positions from the eligible keywords.
+    std::set<std::size_t> idx;
+    while (idx.size() < m) idx.insert(rng.next_below(eligible.size()));
+    std::vector<Keyword> chosen;
+    chosen.reserve(m);
+    for (std::size_t i : idx) chosen.push_back(eligible[i]);
+    KeywordSet q(std::move(chosen));
+    if (seen.insert(q).second) universe_.push_back(std::move(q));
+  }
+  if (universe_.empty())
+    throw std::runtime_error("QueryLogGenerator: could not build universe");
+}
+
+QueryLog QueryLogGenerator::generate() const {
+  Rng rng(cfg_.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<Query> queries;
+  queries.reserve(cfg_.query_count);
+  for (std::size_t t = 0; t < cfg_.query_count; ++t) {
+    std::size_t rank = popularity_.sample(rng);
+    if (rank >= universe_.size()) rank = universe_.size() - 1;
+    queries.push_back(Query{universe_[rank], t});
+  }
+  return QueryLog(std::move(queries));
+}
+
+std::vector<KeywordSet> QueryLogGenerator::popular_sets(
+    std::size_t m, std::size_t count) const {
+  std::vector<KeywordSet> out;
+  for (const auto& q : universe_) {
+    if (q.size() != m) continue;
+    out.push_back(q);
+    if (out.size() >= count) break;
+  }
+  return out;
+}
+
+}  // namespace hkws::workload

@@ -1,0 +1,63 @@
+// Query-log generator calibrated to the paper's two statistics:
+//  * query sizes m in [1,5], skewed small (Fig. 8 uses m = 1..5),
+//  * query popularity so Zipf-skewed that the top-10 distinct queries make
+//    up ~60% of daily volume (§4 footnote 1 — the reason caching works).
+//
+// Every distinct query is a subset of some corpus object's keyword set, so
+// queries always have at least one match (as real directory queries
+// overwhelmingly do).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "workload/corpus.hpp"
+#include "workload/query_log.hpp"
+
+namespace hkws::workload {
+
+struct QueryLogConfig {
+  std::size_t query_count = 178000;   ///< one paper "day"
+  std::size_t distinct_queries = 5000;
+  double top10_share = 0.60;          ///< calibration target
+  /// P(query size = 1..5); normalized internally.
+  std::vector<double> size_weights = {0.40, 0.30, 0.17, 0.09, 0.04};
+  /// Maximum document frequency (fraction of the corpus) a keyword may
+  /// have to appear in queries. 1.0 = no filter. Real query terms are
+  /// discriminative (the paper's IDF discussion, §1): directory users
+  /// rarely query near-stop-words, so experiment harnesses cap this.
+  double max_keyword_df = 1.0;
+  std::uint64_t seed = 7;
+};
+
+class QueryLogGenerator {
+ public:
+  QueryLogGenerator(const Corpus& corpus, QueryLogConfig cfg);
+
+  /// Generates one "day" of queries by Zipf-sampling the universe.
+  QueryLog generate() const;
+
+  /// The distinct-query universe, most popular rank first.
+  const std::vector<KeywordSet>& universe() const noexcept { return universe_; }
+
+  /// The most popular keyword sets of exactly `m` keywords — the paper's
+  /// Fig. 8 query sample ("some popular keyword sets of size m").
+  std::vector<KeywordSet> popular_sets(std::size_t m,
+                                       std::size_t count) const;
+
+  /// Solves the Zipf exponent s such that the top `topk` of `n` ranks
+  /// carry `share` of the mass. Exposed for tests.
+  static double solve_zipf_exponent(std::size_t n, std::size_t topk,
+                                    double share);
+
+  double zipf_exponent() const noexcept { return popularity_.skew(); }
+
+ private:
+  QueryLogConfig cfg_;
+  std::vector<KeywordSet> universe_;
+  ZipfDistribution popularity_;
+};
+
+}  // namespace hkws::workload

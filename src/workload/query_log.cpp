@@ -1,0 +1,32 @@
+#include "workload/query_log.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hkws::workload {
+
+QueryLog::QueryLog(std::vector<Query> queries) : queries_(std::move(queries)) {}
+
+std::vector<std::pair<KeywordSet, std::uint64_t>> QueryLog::frequencies()
+    const {
+  std::unordered_map<KeywordSet, std::uint64_t, KeywordSetHash> counts;
+  for (const auto& q : queries_) ++counts[q.keywords];
+  std::vector<std::pair<KeywordSet, std::uint64_t>> out(counts.begin(),
+                                                        counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  return out;
+}
+
+std::size_t QueryLog::distinct_count() const { return frequencies().size(); }
+
+double QueryLog::top_share(std::size_t k) const {
+  if (queries_.empty()) return 0.0;
+  const auto freq = frequencies();
+  std::uint64_t top = 0;
+  for (std::size_t i = 0; i < freq.size() && i < k; ++i) top += freq[i].second;
+  return static_cast<double>(top) / static_cast<double>(queries_.size());
+}
+
+}  // namespace hkws::workload

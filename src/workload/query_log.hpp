@@ -1,0 +1,42 @@
+// Query logs: the stand-in for the PCHome two-week logs (paper §4).
+// Only the keyword set and arrival order of each query matter to the
+// experiments (the paper uses the same two fields).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/keyword.hpp"
+
+namespace hkws::workload {
+
+struct Query {
+  KeywordSet keywords;
+  std::uint64_t time = 0;  ///< arrival index (abstract)
+};
+
+class QueryLog {
+ public:
+  QueryLog() = default;
+  explicit QueryLog(std::vector<Query> queries);
+
+  const std::vector<Query>& queries() const noexcept { return queries_; }
+  std::size_t size() const noexcept { return queries_.size(); }
+  const Query& operator[](std::size_t i) const { return queries_[i]; }
+
+  /// Number of distinct query keyword sets.
+  std::size_t distinct_count() const;
+
+  /// Fraction of total volume contributed by the `k` most frequent
+  /// distinct queries (paper footnote 1: top-10 > 60% per day).
+  double top_share(std::size_t k) const;
+
+  /// Frequency per distinct query, most frequent first.
+  std::vector<std::pair<KeywordSet, std::uint64_t>> frequencies() const;
+
+ private:
+  std::vector<Query> queries_;
+};
+
+}  // namespace hkws::workload

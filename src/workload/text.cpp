@@ -1,0 +1,48 @@
+#include "workload/text.hpp"
+
+#include <cctype>
+
+namespace hkws::workload {
+
+std::unordered_set<std::string> TokenizerOptions::default_stop_words() {
+  return {"a",   "an",  "and", "are", "as",  "at",   "be",  "by",  "for",
+          "from", "in",  "is",  "it",  "of",  "on",   "or",  "the", "to",
+          "was", "were", "with", "this", "that", "these", "those"};
+}
+
+namespace {
+bool is_token_char(unsigned char c) {
+  return std::isalnum(c) != 0 || c == '+' || c == '#' || c == '-';
+}
+}  // namespace
+
+KeywordSet keywords_from_text(std::string_view text,
+                              const TokenizerOptions& options) {
+  std::vector<Keyword> words;
+  std::unordered_set<std::string> seen;
+  std::string token;
+  auto flush = [&] {
+    if (token.empty()) return;
+    std::string t = std::move(token);
+    token.clear();
+    if (t.size() < options.min_length || t.size() > options.max_length)
+      return;
+    if (options.stop_words.contains(t)) return;
+    if (words.size() >= options.max_keywords) return;
+    if (seen.insert(t).second) words.push_back(std::move(t));
+  };
+  for (const char raw : text) {
+    const auto c = static_cast<unsigned char>(raw);
+    if (is_token_char(c)) {
+      token += options.lowercase
+                   ? static_cast<char>(std::tolower(c))
+                   : static_cast<char>(c);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return KeywordSet(std::move(words));
+}
+
+}  // namespace hkws::workload

@@ -1,0 +1,34 @@
+// Free-text to keyword-set adaptation, for the application layers the
+// paper's Fig. 2 motivates (document retrieval, file sharing): tokenize,
+// normalize, drop stop words and degenerate tokens, and cap the set size
+// (the index scheme is designed for "a few to dozens of keywords" — §5).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "common/keyword.hpp"
+
+namespace hkws::workload {
+
+struct TokenizerOptions {
+  std::size_t min_length = 2;    ///< drop shorter tokens
+  std::size_t max_length = 40;   ///< drop longer tokens (junk/URLs)
+  std::size_t max_keywords = 32; ///< keep the first N distinct keywords
+  bool lowercase = true;
+  /// Tokens dropped outright. The default list covers common English
+  /// function words; callers supply their own for other languages.
+  std::unordered_set<std::string> stop_words = default_stop_words();
+
+  static std::unordered_set<std::string> default_stop_words();
+};
+
+/// Extracts the keyword set of a text: split on anything that is not a
+/// letter, digit, '+', '#' or '-' (so "c++", "c#" and "e-mail" survive),
+/// normalize, filter, dedupe, cap.
+KeywordSet keywords_from_text(std::string_view text,
+                              const TokenizerOptions& options = {});
+
+}  // namespace hkws::workload

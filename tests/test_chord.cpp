@@ -1,0 +1,292 @@
+#include "dht/chord_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hkws::dht {
+namespace {
+
+struct TestNet {
+  sim::EventQueue clock;
+  std::unique_ptr<sim::Network> net;
+  std::unique_ptr<ChordNetwork> dht;
+
+  explicit TestNet(std::size_t n, ChordNetwork::Config cfg = {}) {
+    net = std::make_unique<sim::Network>(clock);
+    dht = std::make_unique<ChordNetwork>(ChordNetwork::build(*net, n, cfg));
+  }
+};
+
+// Successor/predecessor/finger links must equal the global steady state.
+void expect_steady_state(const ChordNetwork& dht) {
+  const auto ids = dht.live_ids();
+  ASSERT_FALSE(ids.empty());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const ChordNode& n = dht.node(ids[i]);
+    const RingId expected_succ = ids[(i + 1) % ids.size()];
+    const RingId expected_pred = ids[(i + ids.size() - 1) % ids.size()];
+    ASSERT_TRUE(n.successor().has_value());
+    EXPECT_EQ(*n.successor(), ids.size() == 1 ? ids[i] : expected_succ);
+    ASSERT_TRUE(n.predecessor().has_value());
+    EXPECT_EQ(*n.predecessor(), ids.size() == 1 ? ids[i] : expected_pred);
+  }
+}
+
+TEST(ChordBuild, CreatesDistinctNodes) {
+  TestNet t(50);
+  EXPECT_EQ(t.dht->size(), 50u);
+  auto ids = t.dht->live_ids();
+  auto sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  EXPECT_EQ(sorted.size(), 50u);
+}
+
+TEST(ChordBuild, SteadyStateLinks) {
+  TestNet t(32);
+  expect_steady_state(*t.dht);
+}
+
+TEST(ChordBuild, FingersPointAtOwners) {
+  TestNet t(32, {.id_bits = 16});
+  for (RingId id : t.dht->live_ids()) {
+    const ChordNode& n = t.dht->node(id);
+    for (int i = 0; i < 16; ++i) {
+      const RingId target = t.dht->space().add_pow2(id, i);
+      ASSERT_TRUE(n.fingers()[static_cast<std::size_t>(i)].has_value());
+      EXPECT_EQ(*n.fingers()[static_cast<std::size_t>(i)],
+                t.dht->owner_of(target));
+    }
+  }
+}
+
+TEST(ChordOwner, MatchesManualSuccessorScan) {
+  TestNet t(40);
+  auto ids = t.dht->live_ids();  // sorted ascending
+  Rng rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    const RingId key = t.dht->space().clamp(rng.next_u64());
+    auto it = std::lower_bound(ids.begin(), ids.end(), key);
+    const RingId expected = it == ids.end() ? ids.front() : *it;
+    EXPECT_EQ(t.dht->owner_of(key), expected);
+  }
+}
+
+TEST(ChordLookup, ReachesOwnerFromEveryStart) {
+  TestNet t(64);
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const RingId key = t.dht->space().clamp(rng.next_u64());
+    const RingId owner = t.dht->owner_of(key);
+    for (RingId start : t.dht->live_ids()) {
+      const auto r = t.dht->lookup_now(start, key, "test");
+      EXPECT_EQ(r.owner, owner) << "start " << start << " key " << key;
+    }
+  }
+}
+
+TEST(ChordLookup, HopCountIsLogarithmic) {
+  TestNet t(256, {.id_bits = 32});
+  Rng rng(3);
+  double total_hops = 0;
+  int lookups = 0;
+  const auto ids = t.dht->live_ids();
+  for (int trial = 0; trial < 500; ++trial) {
+    const RingId key = t.dht->space().clamp(rng.next_u64());
+    const RingId start = ids[rng.next_below(ids.size())];
+    total_hops += t.dht->lookup_now(start, key, "test").hops;
+    ++lookups;
+  }
+  const double avg = total_hops / lookups;
+  // Chord's bound is ~0.5 log2(n) = 4; allow slack but catch linear walks.
+  EXPECT_LT(avg, 2.0 * std::log2(256.0));
+  EXPECT_GT(avg, 1.0);
+}
+
+TEST(ChordRoute, AsyncAgreesWithSyncLookup) {
+  TestNet t(48);
+  Rng rng(4);
+  const auto ids = t.dht->live_ids();
+  for (int trial = 0; trial < 50; ++trial) {
+    const RingId key = t.dht->space().clamp(rng.next_u64());
+    const RingId start = ids[rng.next_below(ids.size())];
+    const auto sync = t.dht->lookup_now(start, key, "sync");
+    bool called = false;
+    t.dht->route(t.dht->endpoint_of(start), key, "async", 8,
+                 [&](const ChordNetwork::RouteResult& r) {
+                   called = true;
+                   EXPECT_EQ(r.owner, sync.owner);
+                   EXPECT_EQ(r.hops, sync.hops);
+                 });
+    t.clock.run();
+    EXPECT_TRUE(called);
+  }
+}
+
+TEST(ChordRoute, FromDeadOriginIsDropped) {
+  TestNet t(8);
+  const auto ep = t.dht->endpoint_of(t.dht->live_ids().front());
+  t.dht->fail(ep);
+  bool called = false;
+  t.dht->route(ep, 123, "x", 8, [&](const auto&) { called = true; });
+  t.clock.run();
+  EXPECT_FALSE(called);
+  EXPECT_EQ(t.net->metrics().counter("dht.route_lost"), 1u);
+}
+
+TEST(ChordSingleNode, OwnsEverything) {
+  TestNet t(1);
+  const RingId only = t.dht->live_ids().front();
+  EXPECT_EQ(t.dht->owner_of(0), only);
+  EXPECT_EQ(t.dht->owner_of(~0ULL), only);
+  const auto r = t.dht->lookup_now(only, 42, "t");
+  EXPECT_EQ(r.owner, only);
+  EXPECT_EQ(r.hops, 0);
+}
+
+TEST(ChordJoin, IntegratesAndTakesOverKeys) {
+  sim::EventQueue clock;
+  sim::Network net(clock);
+  ChordNetwork dht(net, {});
+  dht.create_ring(1);
+  for (sim::EndpointId e = 2; e <= 20; ++e) dht.join(e, 1);
+  for (int round = 0; round < 40; ++round) dht.stabilize_all();
+  EXPECT_EQ(dht.size(), 20u);
+  expect_steady_state(dht);
+
+  // Lookups route correctly after incremental construction.
+  Rng rng(5);
+  const auto ids = dht.live_ids();
+  for (int trial = 0; trial < 200; ++trial) {
+    const RingId key = dht.space().clamp(rng.next_u64());
+    const RingId start = ids[rng.next_below(ids.size())];
+    EXPECT_EQ(dht.lookup_now(start, key, "t").owner, dht.owner_of(key));
+  }
+}
+
+TEST(ChordJoin, MovesReferencesToTheJoiner) {
+  sim::EventQueue clock;
+  sim::Network net(clock);
+  ChordNetwork dht(net, {});
+  dht.create_ring(1);
+  const RingId first = *dht.ring_id_of(1);
+  // Stash references across the whole ring on the only node.
+  for (std::uint64_t k = 0; k < 64; ++k)
+    dht.node(first).add_ref(
+        StoredRef{dht.space().clamp(k * 0x0404040404040404ULL), k, 1});
+  const std::size_t before = dht.node(first).ref_count();
+  dht.join(2, 1);
+  const RingId second = *dht.ring_id_of(2);
+  EXPECT_EQ(dht.node(first).ref_count() + dht.node(second).ref_count(),
+            before);
+  EXPECT_GT(dht.node(second).ref_count(), 0u);
+  // Every reference now sits at its owner.
+  for (RingId id : dht.live_ids())
+    for (const auto& ref : dht.node(id).all_refs())
+      EXPECT_EQ(dht.owner_of(ref.key), id);
+}
+
+TEST(ChordLeave, SplicesRingAndHandsOffRefs) {
+  TestNet t(10);
+  auto ids = t.dht->live_ids();
+  const RingId leaver = ids[3];
+  t.dht->node(leaver).add_ref(StoredRef{leaver, 77, 5});
+  const auto succ = *t.dht->node(leaver).successor();
+  t.dht->leave(t.dht->endpoint_of(leaver));
+  EXPECT_EQ(t.dht->size(), 9u);
+  EXPECT_FALSE(t.dht->node(succ).refs_of(77).empty());
+  for (int round = 0; round < 10; ++round) t.dht->stabilize_all();
+  expect_steady_state(*t.dht);
+}
+
+TEST(ChordFail, StabilizationRepairsTheRing) {
+  TestNet t(40, {.id_bits = 24});
+  auto ids = t.dht->live_ids();
+  Rng rng(6);
+  // Kill 8 random nodes abruptly.
+  for (int k = 0; k < 8; ++k) {
+    const auto live = t.dht->live_ids();
+    t.dht->fail(t.dht->endpoint_of(live[rng.next_below(live.size())]));
+  }
+  EXPECT_EQ(t.dht->size(), 32u);
+  for (int round = 0; round < 50; ++round) t.dht->stabilize_all();
+  expect_steady_state(*t.dht);
+  // Lookups still land on the correct surviving owner.
+  for (int trial = 0; trial < 200; ++trial) {
+    const RingId key = t.dht->space().clamp(rng.next_u64());
+    const auto live = t.dht->live_ids();
+    const RingId start = live[rng.next_below(live.size())];
+    EXPECT_EQ(t.dht->lookup_now(start, key, "t").owner, t.dht->owner_of(key));
+  }
+}
+
+TEST(ChordFail, SurvivesMajorityFailureWithStabilization) {
+  TestNet t(32, {.successor_list_size = 16});
+  Rng rng(7);
+  for (int k = 0; k < 20; ++k) {
+    const auto live = t.dht->live_ids();
+    t.dht->fail(t.dht->endpoint_of(live[rng.next_below(live.size())]));
+    t.dht->stabilize_all();
+  }
+  for (int round = 0; round < 40; ++round) t.dht->stabilize_all();
+  expect_steady_state(*t.dht);
+}
+
+TEST(ChordFail, RoutingSurvivesUnrepairedFailures) {
+  // Before any stabilization, fingers and successor entries still point at
+  // dead nodes; next-hop selection must skip them (timeout modelling) and
+  // reach the correct surviving owner via the successor list.
+  TestNet t(64);
+  Rng rng(9);
+  for (int k = 0; k < 5; ++k) {
+    const auto live = t.dht->live_ids();
+    t.dht->fail(t.dht->endpoint_of(live[rng.next_below(live.size())]));
+  }
+  // NO stabilize_all() here.
+  const auto ids = t.dht->live_ids();
+  for (int trial = 0; trial < 300; ++trial) {
+    const RingId key = t.dht->space().clamp(rng.next_u64());
+    const RingId start = ids[rng.next_below(ids.size())];
+    EXPECT_EQ(t.dht->lookup_now(start, key, "t").owner, t.dht->owner_of(key));
+  }
+}
+
+TEST(ChordKeyOf, DeterministicAndSaltDependent) {
+  TestNet t(4);
+  EXPECT_EQ(t.dht->key_of("obj", 1), t.dht->key_of("obj", 1));
+  EXPECT_NE(t.dht->key_of("obj", 1), t.dht->key_of("obj", 2));
+}
+
+TEST(ChordConfig, RejectsBadParameters) {
+  sim::EventQueue clock;
+  sim::Network net(clock);
+  EXPECT_THROW(ChordNetwork(net, {.id_bits = 0}), std::invalid_argument);
+  EXPECT_THROW(ChordNetwork(net, {.id_bits = 65}), std::invalid_argument);
+  EXPECT_THROW(ChordNetwork(net, {.successor_list_size = 0}),
+               std::invalid_argument);
+}
+
+class ChordSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChordSizes, LookupCorrectAtEveryScale) {
+  TestNet t(GetParam());
+  Rng rng(8);
+  const auto ids = t.dht->live_ids();
+  for (int trial = 0; trial < 100; ++trial) {
+    const RingId key = t.dht->space().clamp(rng.next_u64());
+    const RingId start = ids[rng.next_below(ids.size())];
+    EXPECT_EQ(t.dht->lookup_now(start, key, "t").owner, t.dht->owner_of(key));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ChordSizes,
+                         ::testing::Values(1, 2, 3, 5, 17, 100, 513));
+
+}  // namespace
+}  // namespace hkws::dht

@@ -1,0 +1,178 @@
+#include "workload/corpus_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/zipf.hpp"
+
+namespace hkws::workload {
+namespace {
+
+CorpusConfig small_config() {
+  CorpusConfig cfg;
+  cfg.object_count = 20000;
+  cfg.vocabulary_size = 8000;
+  return cfg;
+}
+
+TEST(CorpusGenerator, ValidatesConfig) {
+  CorpusConfig bad = small_config();
+  bad.object_count = 0;
+  EXPECT_THROW(CorpusGenerator{bad}, std::invalid_argument);
+  bad = small_config();
+  bad.min_keywords = 0;
+  EXPECT_THROW(CorpusGenerator{bad}, std::invalid_argument);
+  bad = small_config();
+  bad.max_keywords = 50000;
+  EXPECT_THROW(CorpusGenerator{bad}, std::invalid_argument);
+}
+
+TEST(CorpusGenerator, ProducesRequestedObjectCount) {
+  const auto corpus = CorpusGenerator(small_config()).generate();
+  EXPECT_EQ(corpus.size(), 20000u);
+}
+
+TEST(CorpusGenerator, MeanKeywordsMatchesPaper) {
+  const auto corpus = CorpusGenerator(small_config()).generate();
+  EXPECT_NEAR(corpus.mean_keywords(), 7.3, 0.25);
+}
+
+TEST(CorpusGenerator, SetSizesWithinBounds) {
+  const auto cfg = small_config();
+  const auto corpus = CorpusGenerator(cfg).generate();
+  const auto hist = corpus.keyword_size_histogram();
+  EXPECT_GE(hist.min_value(), cfg.min_keywords);
+  EXPECT_LE(hist.max_value(), cfg.max_keywords);
+}
+
+TEST(CorpusGenerator, SizeDistributionIsUnimodalNearMedian) {
+  // Fig. 5 shape: the peak sits in the 4..9 range, tails are thin.
+  const auto corpus = CorpusGenerator(small_config()).generate();
+  const auto hist = corpus.keyword_size_histogram();
+  std::int64_t mode = 1;
+  std::uint64_t best = 0;
+  for (const auto& [v, c] : hist.bins())
+    if (c > best) {
+      best = c;
+      mode = v;
+    }
+  EXPECT_GE(mode, 4);
+  EXPECT_LE(mode, 9);
+  EXPECT_LT(hist.fraction(1), 0.05);
+  EXPECT_LT(hist.fraction(25), 0.01);
+}
+
+TEST(CorpusGenerator, DeterministicPerSeed) {
+  const auto a = CorpusGenerator(small_config()).generate();
+  const auto b = CorpusGenerator(small_config()).generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_EQ(a[i].keywords, b[i].keywords);
+  CorpusConfig other = small_config();
+  other.seed = 999;
+  const auto c = CorpusGenerator(other).generate();
+  int same = 0;
+  for (std::size_t i = 0; i < 100; ++i)
+    if (a[i].keywords == c[i].keywords) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(CorpusGenerator, KeywordPopularityIsZipfLike) {
+  const auto corpus = CorpusGenerator(small_config()).generate();
+  const auto freq = corpus.keyword_frequencies();
+  ASSERT_GT(freq.size(), 1000u);
+  std::vector<std::uint64_t> counts;
+  for (std::size_t i = 0; i < 1000; ++i) counts.push_back(freq[i].second);
+  const double s = fit_zipf_exponent(counts);
+  EXPECT_GT(s, 0.35);  // generation skew is 0.6; sampling without
+  EXPECT_LT(s, 0.9);   // replacement flattens the head slightly
+}
+
+TEST(CorpusGenerator, TopKeywordFrequencyIsDirectoryLike) {
+  // Calibration target: the hottest keyword should appear in a few percent
+  // of records, as in curated directories — not in half of them.
+  const auto corpus = CorpusGenerator(small_config()).generate();
+  const auto freq = corpus.keyword_frequencies();
+  const double top_df =
+      static_cast<double>(freq[0].second) / static_cast<double>(corpus.size());
+  EXPECT_GT(top_df, 0.005);
+  EXPECT_LT(top_df, 0.10);
+}
+
+TEST(CorpusGenerator, RecordsHaveTableOneFields) {
+  const auto corpus = CorpusGenerator(small_config()).generate();
+  const auto& rec = corpus[0];
+  EXPECT_NE(rec.id, kInvalidObject);
+  EXPECT_FALSE(rec.title.empty());
+  EXPECT_EQ(rec.url.rfind("http://", 0), 0u);
+  EXPECT_EQ(rec.category.size(), 10u);
+  EXPECT_FALSE(rec.description.empty());
+  EXPECT_FALSE(rec.keywords.empty());
+}
+
+TEST(CorpusGenerator, KeywordsAreDistinctWithinObject) {
+  const auto corpus = CorpusGenerator(small_config()).generate();
+  for (std::size_t i = 0; i < 200; ++i) {
+    const auto& words = corpus[i].keywords.words();
+    for (std::size_t j = 1; j < words.size(); ++j)
+      EXPECT_LT(words[j - 1], words[j]);  // canonical => sorted unique
+  }
+}
+
+TEST(CorpusGenerator, BundlesCreateKeywordCorrelation) {
+  // Popular multi-keyword queries only have large result sets if keywords
+  // co-occur beyond chance; the bundle mechanism must deliver that.
+  const auto corpus = CorpusGenerator(small_config()).generate();
+  const auto freq = corpus.keyword_frequencies();
+  std::vector<Keyword> top;
+  for (std::size_t i = 0; i < 30 && i < freq.size(); ++i)
+    top.push_back(freq[i].first);
+  // Count pairwise co-occurrence among the top keywords in one pass.
+  std::map<std::pair<std::size_t, std::size_t>, std::uint64_t> pairs;
+  for (const auto& rec : corpus.records()) {
+    std::vector<std::size_t> present;
+    for (std::size_t i = 0; i < top.size(); ++i)
+      if (rec.keywords.contains(top[i])) present.push_back(i);
+    for (std::size_t a = 0; a < present.size(); ++a)
+      for (std::size_t b = a + 1; b < present.size(); ++b)
+        ++pairs[{present[a], present[b]}];
+  }
+  double best_lift = 0;
+  std::map<Keyword, std::uint64_t> df(freq.begin(), freq.end());
+  for (const auto& [pair, count] : pairs) {
+    const double expected = static_cast<double>(df[top[pair.first]]) *
+                            static_cast<double>(df[top[pair.second]]) /
+                            static_cast<double>(corpus.size());
+    if (expected > 0)
+      best_lift = std::max(best_lift, static_cast<double>(count) / expected);
+  }
+  EXPECT_GT(best_lift, 3.0);  // some pair co-occurs far beyond independence
+}
+
+TEST(CorpusGenerator, BundleValidation) {
+  CorpusConfig bad = small_config();
+  bad.bundle_probability = 1.5;
+  EXPECT_THROW(CorpusGenerator{bad}, std::invalid_argument);
+  bad = small_config();
+  bad.bundle_size = 0;
+  EXPECT_THROW(CorpusGenerator{bad}, std::invalid_argument);
+  // Bundles can be disabled entirely.
+  CorpusConfig plain = small_config();
+  plain.bundle_probability = 0.0;
+  EXPECT_NO_THROW(CorpusGenerator{plain}.generate());
+}
+
+TEST(Corpus, StatisticsOnHandBuiltRecords) {
+  std::vector<ObjectRecord> recs(3);
+  recs[0].keywords = KeywordSet({"a", "b"});
+  recs[1].keywords = KeywordSet({"a"});
+  recs[2].keywords = KeywordSet({"a", "b", "c"});
+  const Corpus corpus(std::move(recs));
+  EXPECT_EQ(corpus.vocabulary_size(), 3u);
+  EXPECT_DOUBLE_EQ(corpus.mean_keywords(), 2.0);
+  const auto freq = corpus.keyword_frequencies();
+  EXPECT_EQ(freq[0].first, "a");
+  EXPECT_EQ(freq[0].second, 3u);
+}
+
+}  // namespace
+}  // namespace hkws::workload

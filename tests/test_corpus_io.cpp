@@ -1,0 +1,108 @@
+#include "workload/corpus_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/corpus_generator.hpp"
+
+namespace hkws::workload {
+namespace {
+
+Corpus tiny_corpus() {
+  std::vector<ObjectRecord> recs(2);
+  recs[0] = {11, "Hinet", "http://www.hinet.net", "0818013020",
+             "Largest ISP in Taiwan",
+             KeywordSet({"isp", "telecommunication", "network", "download"})};
+  recs[1] = {18491, "TVBS News", "http://www.tvbs.com.tw", "0318201207",
+             "Providing daily news", KeywordSet({"tvbs", "news"})};
+  return Corpus(std::move(recs));
+}
+
+TEST(CorpusIo, RoundTripPreservesRecords) {
+  const Corpus original = tiny_corpus();
+  std::stringstream buffer;
+  save_corpus_tsv(original, buffer);
+  const Corpus loaded = load_corpus_tsv(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, original[i].id);
+    EXPECT_EQ(loaded[i].title, original[i].title);
+    EXPECT_EQ(loaded[i].url, original[i].url);
+    EXPECT_EQ(loaded[i].category, original[i].category);
+    EXPECT_EQ(loaded[i].description, original[i].description);
+    EXPECT_EQ(loaded[i].keywords, original[i].keywords);
+  }
+}
+
+TEST(CorpusIo, RoundTripOnGeneratedCorpus) {
+  CorpusConfig cfg;
+  cfg.object_count = 500;
+  cfg.vocabulary_size = 300;
+  const Corpus original = CorpusGenerator(cfg).generate();
+  std::stringstream buffer;
+  save_corpus_tsv(original, buffer);
+  const Corpus loaded = load_corpus_tsv(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.keyword_size_histogram().hist_mean(),
+            original.keyword_size_histogram().hist_mean());
+  for (std::size_t i = 0; i < original.size(); i += 37)
+    EXPECT_EQ(loaded[i].keywords, original[i].keywords);
+}
+
+TEST(CorpusIo, SkipsCommentsAndBlankLines) {
+  std::stringstream in(
+      "# header comment\n"
+      "\n"
+      "1\tA\thttp://a\tcat\tdesc\tx,y\n"
+      "# trailing comment\n");
+  const Corpus loaded = load_corpus_tsv(in);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].keywords, KeywordSet({"x", "y"}));
+}
+
+TEST(CorpusIo, RejectsMalformedLines) {
+  {
+    std::stringstream in("1\tA\thttp://a\tcat\tdesc\n");  // 5 fields
+    EXPECT_THROW(load_corpus_tsv(in), std::runtime_error);
+  }
+  {
+    std::stringstream in("notanumber\tA\tu\tc\td\tx\n");
+    EXPECT_THROW(load_corpus_tsv(in), std::runtime_error);
+  }
+  {
+    std::stringstream in("1\tA\tu\tc\td\t\n");  // empty keywords
+    EXPECT_THROW(load_corpus_tsv(in), std::runtime_error);
+  }
+}
+
+TEST(CorpusIo, RejectsDelimitersInFields) {
+  std::vector<ObjectRecord> recs(1);
+  recs[0] = {1, "bad\ttitle", "u", "c", "d", KeywordSet({"x"})};
+  std::stringstream buffer;
+  EXPECT_THROW(save_corpus_tsv(Corpus(std::move(recs)), buffer),
+               std::runtime_error);
+
+  std::vector<ObjectRecord> recs2(1);
+  recs2[0] = {1, "ok", "u", "c", "d", KeywordSet({"x,y"})};
+  std::stringstream buffer2;
+  EXPECT_THROW(save_corpus_tsv(Corpus(std::move(recs2)), buffer2),
+               std::runtime_error);
+}
+
+TEST(CorpusIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/hyperkws_corpus.tsv";
+  const Corpus original = tiny_corpus();
+  save_corpus_tsv(original, path);
+  const Corpus loaded = load_corpus_tsv(path);
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded[1].keywords, original[1].keywords);
+}
+
+TEST(CorpusIo, MissingFileThrows) {
+  EXPECT_THROW(load_corpus_tsv("/nonexistent/path/corpus.tsv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hkws::workload

@@ -1,0 +1,147 @@
+#include "index/decomposed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace hkws::index {
+namespace {
+
+std::set<ObjectId> ids_of(const std::vector<Hit>& hits) {
+  std::set<ObjectId> out;
+  for (const Hit& h : hits) out.insert(h.object);
+  return out;
+}
+
+// Two explicit attribute groups: "type:*" keywords vs everything else.
+DecomposedIndex typed_index() {
+  return DecomposedIndex(
+      {DecomposedIndex::GroupSpec{4}, DecomposedIndex::GroupSpec{8}},
+      [](const Keyword& w) {
+        return w.rfind("type:", 0) == 0 ? std::size_t{0} : std::size_t{1};
+      });
+}
+
+TEST(Decomposed, RequiresAtLeastOneGroup) {
+  EXPECT_THROW(
+      DecomposedIndex({}, [](const Keyword&) { return std::size_t{0}; }),
+      std::invalid_argument);
+}
+
+TEST(Decomposed, RejectsOutOfRangeGroupFn) {
+  DecomposedIndex idx({DecomposedIndex::GroupSpec{4}},
+                      [](const Keyword&) { return std::size_t{7}; });
+  EXPECT_THROW(idx.insert(1, KeywordSet({"a"})), std::out_of_range);
+  EXPECT_THROW(idx.projection(KeywordSet({"a"}), 0), std::out_of_range);
+}
+
+TEST(Decomposed, ProjectionSplitsByGroup) {
+  auto idx = typed_index();
+  const KeywordSet k({"type:video", "madonna", "music"});
+  EXPECT_EQ(idx.projection(k, 0), KeywordSet({"type:video"}));
+  EXPECT_EQ(idx.projection(k, 1), KeywordSet({"madonna", "music"}));
+}
+
+TEST(Decomposed, SingleGroupQueryFindsSupersets) {
+  auto idx = typed_index();
+  idx.insert(1, KeywordSet({"type:video", "madonna"}));
+  idx.insert(2, KeywordSet({"type:audio", "madonna"}));
+  idx.insert(3, KeywordSet({"type:video", "opera"}));
+  EXPECT_EQ(ids_of(idx.superset_search(KeywordSet({"madonna"})).hits),
+            (std::set<ObjectId>{1, 2}));
+  EXPECT_EQ(ids_of(idx.superset_search(KeywordSet({"type:video"})).hits),
+            (std::set<ObjectId>{1, 3}));
+}
+
+TEST(Decomposed, CrossGroupQueryIntersectsCorrectly) {
+  auto idx = typed_index();
+  idx.insert(1, KeywordSet({"type:video", "madonna"}));
+  idx.insert(2, KeywordSet({"type:audio", "madonna"}));
+  idx.insert(3, KeywordSet({"type:video", "opera"}));
+  const auto result =
+      idx.superset_search(KeywordSet({"type:video", "madonna"}));
+  EXPECT_EQ(ids_of(result.hits), (std::set<ObjectId>{1}));
+  // Hits carry the full keyword set, not just the projection.
+  EXPECT_EQ(result.hits[0].keywords, KeywordSet({"type:video", "madonna"}));
+}
+
+TEST(Decomposed, PinSearchRequiresExactFullSet) {
+  auto idx = typed_index();
+  idx.insert(1, KeywordSet({"type:video", "madonna"}));
+  idx.insert(2, KeywordSet({"type:video", "madonna", "music"}));
+  EXPECT_EQ(ids_of(idx.pin_search(KeywordSet({"type:video", "madonna"})).hits),
+            (std::set<ObjectId>{1}));
+  EXPECT_TRUE(idx.pin_search(KeywordSet({"madonna"})).hits.empty());
+}
+
+TEST(Decomposed, RemoveErasesFromAllGroups) {
+  auto idx = typed_index();
+  const KeywordSet k({"type:video", "madonna"});
+  idx.insert(1, k);
+  EXPECT_TRUE(idx.remove(1, k));
+  EXPECT_FALSE(idx.remove(1, k));
+  EXPECT_TRUE(idx.superset_search(KeywordSet({"madonna"})).hits.empty());
+  EXPECT_TRUE(idx.superset_search(KeywordSet({"type:video"})).hits.empty());
+}
+
+TEST(Decomposed, ThresholdAppliesAfterFiltering) {
+  auto idx = typed_index();
+  for (ObjectId o = 1; o <= 20; ++o)
+    idx.insert(o, KeywordSet({"type:video", "m" + std::to_string(o)}));
+  const auto result = idx.superset_search(KeywordSet({"type:video"}), 5);
+  EXPECT_EQ(result.hits.size(), 5u);
+  EXPECT_FALSE(result.stats.complete);
+}
+
+TEST(Decomposed, HashedEquivalentToBruteForce) {
+  auto idx = DecomposedIndex::hashed(3, 6);
+  std::map<ObjectId, KeywordSet> oracle;
+  Rng rng(11);
+  for (ObjectId o = 1; o <= 300; ++o) {
+    std::vector<Keyword> words;
+    const int n = 1 + static_cast<int>(rng.next_below(6));
+    for (int i = 0; i < n; ++i)
+      words.push_back("w" + std::to_string(rng.next_below(40)));
+    oracle[o] = KeywordSet(std::move(words));
+    idx.insert(o, oracle[o]);
+  }
+  for (int trial = 0; trial < 60; ++trial) {
+    auto it = oracle.begin();
+    std::advance(it, rng.next_below(oracle.size()));
+    std::vector<Keyword> q;
+    for (const auto& w : it->second)
+      if (rng.next_bool(0.5)) q.push_back(w);
+    if (q.empty()) q.push_back(it->second.words().front());
+    const KeywordSet query(q);
+    std::set<ObjectId> expected;
+    for (const auto& [o, k] : oracle)
+      if (query.subset_of(k)) expected.insert(o);
+    EXPECT_EQ(ids_of(idx.superset_search(query).hits), expected)
+        << query.to_string();
+  }
+}
+
+TEST(Decomposed, SmallerCubesSearchFewerNodes) {
+  // The §3.4 point: decomposition shrinks the per-query search space.
+  LogicalIndex mono({.r = 12});
+  auto decomposed = DecomposedIndex::hashed(4, 6);
+  Rng rng(12);
+  for (ObjectId o = 1; o <= 200; ++o) {
+    std::vector<Keyword> words{"shared"};
+    for (int i = 0; i < 4; ++i)
+      words.push_back("w" + std::to_string(rng.next_below(50)));
+    const KeywordSet k(words);
+    mono.insert(o, k);
+    decomposed.insert(o, k);
+  }
+  const auto m = mono.superset_search(KeywordSet({"shared"}));
+  const auto d = decomposed.superset_search(KeywordSet({"shared"}));
+  EXPECT_EQ(ids_of(m.hits), ids_of(d.hits));
+  EXPECT_LT(d.stats.nodes_contacted, m.stats.nodes_contacted);
+}
+
+}  // namespace
+}  // namespace hkws::index

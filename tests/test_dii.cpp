@@ -1,0 +1,149 @@
+#include "dii/inverted_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/zipf.hpp"
+#include "index/logical_index.hpp"
+
+namespace hkws::dii {
+namespace {
+
+std::set<ObjectId> ids_of(const std::vector<index::Hit>& hits) {
+  std::set<ObjectId> out;
+  for (const auto& h : hits) out.insert(h.object);
+  return out;
+}
+
+TEST(Dii, RejectsBadInput) {
+  EXPECT_THROW(InvertedIndex({.r = 0}), std::invalid_argument);
+  InvertedIndex idx({.r = 4});
+  EXPECT_THROW(idx.insert(1, KeywordSet{}), std::invalid_argument);
+  EXPECT_THROW(idx.search(KeywordSet{}), std::invalid_argument);
+}
+
+TEST(Dii, SingleKeywordQuery) {
+  InvertedIndex idx({.r = 6});
+  idx.insert(1, KeywordSet({"news", "tv"}));
+  idx.insert(2, KeywordSet({"news"}));
+  idx.insert(3, KeywordSet({"sports"}));
+  const auto result = idx.search(KeywordSet({"news"}));
+  EXPECT_EQ(ids_of(result.hits), (std::set<ObjectId>{1, 2}));
+  EXPECT_EQ(result.stats.nodes_contacted, 1u);
+  EXPECT_EQ(result.stats.messages, 2u);
+}
+
+TEST(Dii, ConjunctiveQueryIntersects) {
+  InvertedIndex idx({.r = 8});
+  idx.insert(1, KeywordSet({"a", "b", "c"}));
+  idx.insert(2, KeywordSet({"a", "b"}));
+  idx.insert(3, KeywordSet({"a", "c"}));
+  EXPECT_EQ(ids_of(idx.search(KeywordSet({"a", "b"})).hits),
+            (std::set<ObjectId>{1, 2}));
+  EXPECT_EQ(ids_of(idx.search(KeywordSet({"a", "b", "c"})).hits),
+            (std::set<ObjectId>{1}));
+  EXPECT_TRUE(idx.search(KeywordSet({"b", "z"})).hits.empty());
+}
+
+TEST(Dii, HitsCarryFullKeywordSets) {
+  InvertedIndex idx({.r = 6});
+  idx.insert(1, KeywordSet({"a", "b", "c"}));
+  const auto result = idx.search(KeywordSet({"a"}));
+  ASSERT_EQ(result.hits.size(), 1u);
+  EXPECT_EQ(result.hits[0].keywords, KeywordSet({"a", "b", "c"}));
+}
+
+TEST(Dii, InsertCostsOneNodePerKeyword) {
+  InvertedIndex idx({.r = 10});
+  const KeywordSet k({"k1", "k2", "k3", "k4", "k5"});
+  idx.insert(1, k);
+  std::size_t total = 0;
+  for (std::size_t l : idx.loads()) total += l;
+  EXPECT_EQ(total, 5u);  // one posting per keyword — the paper's k-fold cost
+}
+
+TEST(Dii, RemoveErasesAllPostings) {
+  InvertedIndex idx({.r = 8});
+  const KeywordSet k({"x", "y"});
+  idx.insert(1, k);
+  EXPECT_TRUE(idx.remove(1, k));
+  EXPECT_FALSE(idx.remove(1, k));
+  std::size_t total = 0;
+  for (std::size_t l : idx.loads()) total += l;
+  EXPECT_EQ(total, 0u);
+  EXPECT_EQ(idx.object_count(), 0u);
+}
+
+TEST(Dii, ThresholdTruncates) {
+  InvertedIndex idx({.r = 6});
+  for (ObjectId o = 1; o <= 50; ++o)
+    idx.insert(o, KeywordSet({"common", "u" + std::to_string(o)}));
+  const auto result = idx.search(KeywordSet({"common"}), 7);
+  EXPECT_EQ(result.hits.size(), 7u);
+  EXPECT_FALSE(result.stats.complete);
+}
+
+TEST(Dii, MatchesOracleOnRandomCorpus) {
+  InvertedIndex idx({.r = 8});
+  std::map<ObjectId, KeywordSet> oracle;
+  Rng rng(13);
+  for (ObjectId o = 1; o <= 400; ++o) {
+    std::vector<Keyword> words;
+    const int n = 1 + static_cast<int>(rng.next_below(6));
+    for (int i = 0; i < n; ++i)
+      words.push_back("w" + std::to_string(rng.next_below(50)));
+    oracle[o] = KeywordSet(std::move(words));
+    idx.insert(o, oracle[o]);
+  }
+  for (int trial = 0; trial < 60; ++trial) {
+    auto it = oracle.begin();
+    std::advance(it, rng.next_below(oracle.size()));
+    const KeywordSet query({it->second.words().front()});
+    std::set<ObjectId> expected;
+    for (const auto& [o, k] : oracle)
+      if (query.subset_of(k)) expected.insert(o);
+    EXPECT_EQ(ids_of(idx.search(query).hits), expected);
+  }
+}
+
+TEST(Dii, HotSpotIsFarHeavierThanHypercubeUnderZipf) {
+  // The paper's central load claim (Fig. 6): under Zipf keyword popularity
+  // the DII concentrates load on the nodes owning popular keywords. The
+  // robust signature is the heaviest node's share of total load: the DII's
+  // hottest node carries the most popular keyword's full posting list,
+  // while the hypercube scheme spreads those objects across the subcube.
+  constexpr int kR = 8;
+  InvertedIndex dii({.r = kR});
+  index::LogicalIndex cube({.r = kR});
+  Rng rng(14);
+  ZipfDistribution zipf(2000, 1.0);
+  for (ObjectId o = 1; o <= 5000; ++o) {
+    std::set<std::size_t> ranks;
+    const std::size_t n = 1 + rng.next_below(8);
+    while (ranks.size() < n) ranks.insert(zipf.sample(rng));
+    std::vector<Keyword> words;
+    for (auto rank : ranks) words.push_back("kw" + std::to_string(rank));
+    const KeywordSet k(std::move(words));
+    dii.insert(o, k);
+    cube.insert(o, k);
+  }
+  auto max_share = [](const std::vector<std::size_t>& loads) {
+    std::size_t total = 0, max = 0;
+    for (std::size_t l : loads) {
+      total += l;
+      max = std::max(max, l);
+    }
+    return static_cast<double>(max) / static_cast<double>(total);
+  };
+  const double dii_hot = max_share(dii.loads());
+  const double cube_hot = max_share(cube.loads());
+  EXPECT_GT(dii_hot, 2.0 * cube_hot)
+      << "dii=" << dii_hot << " cube=" << cube_hot;
+}
+
+}  // namespace
+}  // namespace hkws::dii

@@ -1,0 +1,197 @@
+#include "dht/dolr.hpp"
+
+#include "dht/chord_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+namespace hkws::dht {
+namespace {
+
+struct DolrNet {
+  sim::EventQueue clock;
+  std::unique_ptr<sim::Network> net;
+  std::unique_ptr<ChordNetwork> dht;
+  std::unique_ptr<Dolr> dolr;
+
+  explicit DolrNet(std::size_t n, Dolr::Config cfg = {},
+                   ChordNetwork::Config dcfg = {}) {
+    net = std::make_unique<sim::Network>(clock);
+    dht = std::make_unique<ChordNetwork>(ChordNetwork::build(*net, n, dcfg));
+    dolr = std::make_unique<Dolr>(*dht, cfg);
+  }
+};
+
+TEST(Dolr, InsertPlacesReferenceAtOwner) {
+  DolrNet t(20);
+  std::optional<Dolr::InsertResult> result;
+  t.dolr->insert(3, 42, [&](const auto& r) { result = r; });
+  t.clock.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->first_copy);
+  EXPECT_EQ(result->owner, t.dht->owner_of(t.dolr->object_key(42)));
+  EXPECT_EQ(t.dht->node(result->owner).refs_of(42),
+            std::vector<sim::EndpointId>{3});
+}
+
+TEST(Dolr, SecondCopyIsNotFirst) {
+  DolrNet t(20);
+  t.dolr->insert(3, 42);
+  t.clock.run();
+  std::optional<Dolr::InsertResult> result;
+  t.dolr->insert(4, 42, [&](const auto& r) { result = r; });
+  t.clock.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->first_copy);
+  EXPECT_EQ(t.dht->node(result->owner).refs_of(42).size(), 2u);
+}
+
+TEST(Dolr, ReinsertingSameCopyIsIdempotent) {
+  DolrNet t(10);
+  t.dolr->insert(3, 42);
+  t.clock.run();
+  std::optional<Dolr::InsertResult> result;
+  t.dolr->insert(3, 42, [&](const auto& r) { result = r; });
+  t.clock.run();
+  EXPECT_FALSE(result->first_copy);
+  EXPECT_EQ(t.dht->node(result->owner).refs_of(42).size(), 1u);
+}
+
+TEST(Dolr, ReadReturnsAllHolders) {
+  DolrNet t(20);
+  t.dolr->insert(3, 7);
+  t.dolr->insert(5, 7);
+  t.clock.run();
+  std::optional<Dolr::ReadResult> result;
+  t.dolr->read(9, 7, [&](const auto& r) { result = r; });
+  t.clock.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->holders.size(), 2u);
+}
+
+TEST(Dolr, ReadUnknownObjectIsEmpty) {
+  DolrNet t(20);
+  std::optional<Dolr::ReadResult> result;
+  t.dolr->read(1, 999, [&](const auto& r) { result = r; });
+  t.clock.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->holders.empty());
+}
+
+TEST(Dolr, RemoveReportsLastCopy) {
+  DolrNet t(20);
+  t.dolr->insert(3, 7);
+  t.dolr->insert(5, 7);
+  t.clock.run();
+  std::optional<Dolr::DeleteResult> r1, r2;
+  t.dolr->remove(3, 7, [&](const auto& r) { r1 = r; });
+  t.clock.run();
+  EXPECT_FALSE(r1->last_copy);
+  t.dolr->remove(5, 7, [&](const auto& r) { r2 = r; });
+  t.clock.run();
+  EXPECT_TRUE(r2->last_copy);
+  std::optional<Dolr::ReadResult> read;
+  t.dolr->read(1, 7, [&](const auto& r) { read = r; });
+  t.clock.run();
+  EXPECT_TRUE(read->holders.empty());
+}
+
+TEST(Dolr, RemovingAbsentObjectIsNotLastCopy) {
+  DolrNet t(10);
+  std::optional<Dolr::DeleteResult> result;
+  t.dolr->remove(3, 12345, [&](const auto& r) { result = r; });
+  t.clock.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->last_copy);
+}
+
+TEST(Dolr, ReplicatesToSuccessors) {
+  DolrNet t(20, {.replication_factor = 3});
+  std::optional<Dolr::InsertResult> result;
+  t.dolr->insert(3, 42, [&](const auto& r) { result = r; });
+  t.clock.run();
+  const ChordNode& owner = t.dht->node(result->owner);
+  int replicas = 0;
+  for (int i = 0; i < 2; ++i) {
+    const RingId s = owner.successor_list()[static_cast<std::size_t>(i)];
+    if (!t.dht->node(s).refs_of(42).empty()) ++replicas;
+  }
+  EXPECT_EQ(replicas, 2);
+}
+
+TEST(Dolr, RemovePropagatesToReplicas) {
+  DolrNet t(20, {.replication_factor = 3});
+  t.dolr->insert(3, 42);
+  t.clock.run();
+  t.dolr->remove(3, 42);
+  t.clock.run();
+  for (RingId id : t.dht->live_ids())
+    EXPECT_TRUE(t.dht->node(id).refs_of(42).empty()) << "node " << id;
+}
+
+TEST(Dolr, ReferenceSurvivesOwnerFailureWithReplication) {
+  DolrNet t(30, {.replication_factor = 3});
+  std::optional<Dolr::InsertResult> ins;
+  t.dolr->insert(3, 42, [&](const auto& r) { ins = r; });
+  t.clock.run();
+  const auto owner_ep = t.dht->endpoint_of(ins->owner);
+  ASSERT_NE(owner_ep, 3u);  // publisher must survive for the read below
+  t.dht->fail(owner_ep);
+  for (int round = 0; round < 30; ++round) t.dht->stabilize_all();
+
+  // The new owner of the key is the old first successor, which holds a
+  // replica, so the reference is still readable.
+  std::optional<Dolr::ReadResult> read;
+  t.dolr->read(3, 42, [&](const auto& r) { read = r; });
+  t.clock.run();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->holders, std::vector<sim::EndpointId>{3});
+}
+
+TEST(Dolr, RepairRestoresReplicationAfterFailure) {
+  DolrNet t(30, {.replication_factor = 3});
+  for (ObjectId o = 1; o <= 50; ++o) t.dolr->insert(1, o);
+  t.clock.run();
+  // Fail a third of the network, stabilize, repair.
+  auto live = t.dht->live_ids();
+  for (std::size_t i = 0; i < 10; ++i)
+    t.dht->fail(t.dht->endpoint_of(live[i * 2 + 1]));
+  for (int round = 0; round < 40; ++round) t.dht->stabilize_all();
+  t.dolr->repair_replicas();
+  t.clock.run();
+  // Every object is still resolvable (some may have lost all replicas only
+  // if owner + both replicas failed; with 1/3 failures that is possible but
+  // rare — require at least 45 of 50 alive, and repair to have re-pushed).
+  int alive = 0;
+  const auto reader = t.dht->endpoint_of(t.dht->live_ids().front());
+  for (ObjectId o = 1; o <= 50; ++o) {
+    std::optional<Dolr::ReadResult> read;
+    t.dolr->read(reader, o, [&](const auto& r) { read = r; });
+    t.clock.run();
+    if (read && !read->holders.empty()) ++alive;
+  }
+  EXPECT_GE(alive, 45);
+}
+
+TEST(Dolr, RejectsBadReplicationFactor) {
+  DolrNet t(5);
+  EXPECT_THROW(Dolr(*t.dht, {.replication_factor = 0}), std::invalid_argument);
+}
+
+TEST(Dolr, ObjectKeyIsDeterministicAndSpread) {
+  DolrNet t(5);
+  EXPECT_EQ(t.dolr->object_key(1), t.dolr->object_key(1));
+  // Consecutive object ids should scatter across the ring.
+  std::uint64_t min_gap = ~0ULL;
+  for (ObjectId o = 0; o < 100; ++o) {
+    const auto a = t.dolr->object_key(o);
+    const auto b = t.dolr->object_key(o + 1);
+    min_gap = std::min(min_gap, a > b ? a - b : b - a);
+  }
+  EXPECT_GT(min_gap, 0u);
+}
+
+}  // namespace
+}  // namespace hkws::dht

@@ -1,0 +1,89 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hkws::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_in(30, [&] { order.push_back(3); });
+  q.schedule_in(10, [&] { order.push_back(1); });
+  q.schedule_in(20, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    q.schedule_in(5, [&order, i] { order.push_back(i); });
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<Time> times;
+  q.schedule_in(1, [&] {
+    times.push_back(q.now());
+    q.schedule_in(5, [&] { times.push_back(q.now()); });
+  });
+  q.run();
+  EXPECT_EQ(times, (std::vector<Time>{1, 6}));
+}
+
+TEST(EventQueue, ZeroDelayRunsAtCurrentTime) {
+  EventQueue q;
+  bool ran = false;
+  q.schedule_in(7, [&] { q.schedule_in(0, [&] { ran = true; }); });
+  q.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(q.now(), 7u);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.schedule_in(10, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(5, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  std::vector<Time> times;
+  for (Time t : {5, 10, 15, 20})
+    q.schedule_at(t, [&, t] { times.push_back(t); });
+  EXPECT_EQ(q.run_until(12), 2u);
+  EXPECT_EQ(times, (std::vector<Time>{5, 10}));
+  EXPECT_EQ(q.pending(), 2u);
+  q.run();
+  EXPECT_EQ(times.size(), 4u);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_in(1, [&] { ++count; });
+  q.schedule_in(2, [&] { ++count; });
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, EmptyQueueRunsZeroEvents) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.run(), 0u);
+  EXPECT_EQ(q.now(), 0u);
+}
+
+}  // namespace
+}  // namespace hkws::sim

@@ -1,0 +1,96 @@
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hkws {
+namespace {
+
+TEST(Hash, Mix64IsDeterministic) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_EQ(mix64(0xdeadbeef), mix64(0xdeadbeef));
+}
+
+TEST(Hash, Mix64SpreadsNearbyInputs) {
+  // Consecutive inputs must not produce consecutive outputs.
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outs.insert(mix64(i));
+  EXPECT_EQ(outs.size(), 1000u);
+  EXPECT_NE(mix64(1) - mix64(0), 1u);
+}
+
+TEST(Hash, Mix64AvalanchesSingleBitFlips) {
+  // Flipping one input bit should flip roughly half the output bits.
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t a = mix64(0x1234567890abcdefULL);
+    const std::uint64_t b = mix64(0x1234567890abcdefULL ^ (1ULL << bit));
+    const int flipped = std::popcount(a ^ b);
+    EXPECT_GT(flipped, 12) << "bit " << bit;
+    EXPECT_LT(flipped, 52) << "bit " << bit;
+  }
+}
+
+TEST(Hash, SplitMixAdvancesState) {
+  std::uint64_t s = 7;
+  const auto a = splitmix64_next(s);
+  const auto b = splitmix64_next(s);
+  EXPECT_NE(a, b);
+  // Same seed reproduces the same stream.
+  std::uint64_t s2 = 7;
+  EXPECT_EQ(splitmix64_next(s2), a);
+  EXPECT_EQ(splitmix64_next(s2), b);
+}
+
+TEST(Hash, BytesDeterministicAndSeedDependent) {
+  EXPECT_EQ(hash_bytes("hello", 1), hash_bytes("hello", 1));
+  EXPECT_NE(hash_bytes("hello", 1), hash_bytes("hello", 2));
+  EXPECT_NE(hash_bytes("hello", 1), hash_bytes("hellp", 1));
+}
+
+TEST(Hash, BytesHandlesEmptyAndBinary) {
+  EXPECT_EQ(hash_bytes("", 9), hash_bytes("", 9));
+  EXPECT_NE(hash_bytes("", 9), hash_bytes("", 10));
+  const std::string with_nul("a\0b", 3);
+  const std::string without_nul("ab");
+  EXPECT_NE(hash_bytes(with_nul, 9), hash_bytes(without_nul, 9));
+}
+
+TEST(Hash, SeedsGiveIndependentFunctions) {
+  // Two seeds should disagree on essentially all inputs.
+  int agreements = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    if ((hash_bytes(key, seeds::kKeywordHash) % 16) ==
+        (hash_bytes(key, seeds::kObjectToDht) % 16))
+      ++agreements;
+  }
+  // Chance agreement on 16 buckets is ~62/1000; allow generous slack.
+  EXPECT_LT(agreements, 150);
+}
+
+TEST(Hash, CombineIsOrderDependent) {
+  const auto ab = hash_combine(hash_combine(0, 1), 2);
+  const auto ba = hash_combine(hash_combine(0, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(Hash, BytesDistributesUniformlyAcrossSmallRange) {
+  // Keyword -> dimension hashing (h) depends on this being near-uniform.
+  constexpr int kBuckets = 10;
+  std::vector<int> counts(kBuckets, 0);
+  constexpr int kKeys = 20000;
+  for (int i = 0; i < kKeys; ++i)
+    ++counts[hash_bytes("kw" + std::to_string(i), seeds::kKeywordHash) %
+             kBuckets];
+  for (int c : counts) {
+    EXPECT_GT(c, kKeys / kBuckets * 85 / 100);
+    EXPECT_LT(c, kKeys / kBuckets * 115 / 100);
+  }
+}
+
+}  // namespace
+}  // namespace hkws

@@ -1,0 +1,127 @@
+#include "cube/hypercube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hkws::cube {
+namespace {
+
+TEST(Hypercube, RejectsBadDimensions) {
+  EXPECT_THROW(Hypercube(0), std::invalid_argument);
+  EXPECT_THROW(Hypercube(64), std::invalid_argument);
+  EXPECT_NO_THROW(Hypercube(1));
+  EXPECT_NO_THROW(Hypercube(63));
+}
+
+TEST(Hypercube, NodeCountAndMask) {
+  Hypercube h(4);
+  EXPECT_EQ(h.node_count(), 16u);
+  EXPECT_EQ(h.full_mask(), 0xFu);
+  EXPECT_TRUE(h.valid(0xF));
+  EXPECT_FALSE(h.valid(0x10));
+}
+
+TEST(Hypercube, OneZeroPositions) {
+  // v = 010100 from the paper: One(v) = {2,4}, Zero(v) = {0,1,3,5}.
+  Hypercube h(6);
+  const CubeId v = 0b010100;
+  EXPECT_EQ(Hypercube::one_positions(v), (std::vector<int>{2, 4}));
+  EXPECT_EQ(h.zero_positions(v), (std::vector<int>{0, 1, 3, 5}));
+  EXPECT_EQ(Hypercube::one_count(v), 2);
+  EXPECT_EQ(h.zero_count(v), 4);
+}
+
+TEST(Hypercube, ContainsIsBitwiseImplication) {
+  EXPECT_TRUE(Hypercube::contains(0b1110, 0b0110));
+  EXPECT_TRUE(Hypercube::contains(0b1110, 0b1110));
+  EXPECT_TRUE(Hypercube::contains(0b1110, 0));
+  EXPECT_FALSE(Hypercube::contains(0b0110, 0b1110));
+  EXPECT_FALSE(Hypercube::contains(0b1010, 0b0100));
+}
+
+TEST(Hypercube, HammingDistance) {
+  EXPECT_EQ(Hypercube::hamming(0b0000, 0b1111), 4);
+  EXPECT_EQ(Hypercube::hamming(0b1010, 0b1010), 0);
+  EXPECT_EQ(Hypercube::hamming(0b100, 0b001), 2);
+}
+
+TEST(Hypercube, NeighborFlipsOneBit) {
+  Hypercube h(4);
+  EXPECT_EQ(h.neighbor(0b0100, 2), 0b0000u);
+  EXPECT_EQ(h.neighbor(0b0100, 0), 0b0101u);
+  EXPECT_THROW(h.neighbor(0, 4), std::out_of_range);
+  EXPECT_THROW(h.neighbor(0, -1), std::out_of_range);
+}
+
+TEST(Hypercube, NeighborIsInvolution) {
+  Hypercube h(6);
+  for (CubeId u = 0; u < h.node_count(); ++u)
+    for (int d = 0; d < 6; ++d) EXPECT_EQ(h.neighbor(h.neighbor(u, d), d), u);
+}
+
+TEST(Hypercube, SubcubeSizeMatchesZeroCount) {
+  Hypercube h(4);
+  // Paper Fig. 3: H_4(0100) is isomorphic to H_3 — 8 nodes.
+  EXPECT_EQ(h.subcube_size(0b0100), 8u);
+  EXPECT_EQ(h.subcube_size(0), 16u);
+  EXPECT_EQ(h.subcube_size(0b1111), 1u);
+}
+
+TEST(Hypercube, SubcubeMembersAllContainRoot) {
+  Hypercube h(5);
+  const CubeId u = 0b01010;
+  const auto members = h.subcube_members(u);
+  EXPECT_EQ(members.size(), h.subcube_size(u));
+  std::set<CubeId> distinct(members.begin(), members.end());
+  EXPECT_EQ(distinct.size(), members.size());
+  for (CubeId w : members) EXPECT_TRUE(Hypercube::contains(w, u));
+  // Conversely, every node containing u is a member.
+  std::size_t containing = 0;
+  for (CubeId w = 0; w < h.node_count(); ++w)
+    if (Hypercube::contains(w, u)) ++containing;
+  EXPECT_EQ(containing, members.size());
+}
+
+TEST(Hypercube, ExpandCompressRoundTrip) {
+  Hypercube h(6);
+  const CubeId u = 0b010100;
+  for (std::uint64_t packed = 0; packed < h.subcube_size(u); ++packed) {
+    const CubeId w = h.expand_into_subcube(u, packed);
+    EXPECT_TRUE(Hypercube::contains(w, u));
+    EXPECT_EQ(h.compress_from_subcube(u, w), packed);
+  }
+}
+
+TEST(Hypercube, ExpandZeroIsRootItself) {
+  Hypercube h(8);
+  EXPECT_EQ(h.expand_into_subcube(0b10010001, 0), 0b10010001u);
+}
+
+class HypercubeDims : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypercubeDims, SubcubeIsomorphismIsBijective) {
+  // expand_into_subcube must be a bijection {0..2^f-1} -> members, and
+  // neighbors in the packed space must be neighbors in the cube (the
+  // isomorphism of Definition 3.1's remark).
+  Hypercube h(GetParam());
+  const CubeId u = h.full_mask() & 0b1001001001001001ULL;
+  std::set<CubeId> seen;
+  const std::uint64_t f = h.subcube_size(u);
+  for (std::uint64_t p = 0; p < f; ++p) {
+    const CubeId w = h.expand_into_subcube(u, p);
+    EXPECT_TRUE(seen.insert(w).second);
+  }
+  for (std::uint64_t p = 0; p < f; ++p) {
+    for (int b = 0; (1ULL << b) < f; ++b) {
+      const CubeId a = h.expand_into_subcube(u, p);
+      const CubeId c = h.expand_into_subcube(u, p ^ (1ULL << b));
+      EXPECT_EQ(Hypercube::hamming(a, c), 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HypercubeDims, ::testing::Values(2, 5, 8, 12));
+
+}  // namespace
+}  // namespace hkws::cube

@@ -1,0 +1,98 @@
+#include "index/index_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hkws::index {
+namespace {
+
+TEST(IndexTable, AddAndExact) {
+  IndexTable t;
+  const KeywordSet k({"news", "tv"});
+  EXPECT_TRUE(t.add(k, 1));
+  EXPECT_TRUE(t.add(k, 2));
+  EXPECT_FALSE(t.add(k, 1));  // duplicate
+  EXPECT_EQ(t.exact(k), (std::vector<ObjectId>{1, 2}));
+  EXPECT_EQ(t.object_count(), 2u);
+  EXPECT_EQ(t.entry_count(), 1u);  // combined entry <K, {1,2}>
+}
+
+TEST(IndexTable, ExactMissIsEmpty) {
+  IndexTable t;
+  t.add(KeywordSet({"a"}), 1);
+  EXPECT_TRUE(t.exact(KeywordSet({"b"})).empty());
+  EXPECT_TRUE(t.exact(KeywordSet({"a", "b"})).empty());
+}
+
+TEST(IndexTable, RemoveSemantics) {
+  IndexTable t;
+  const KeywordSet k({"x"});
+  t.add(k, 1);
+  t.add(k, 2);
+  EXPECT_TRUE(t.remove(k, 1));
+  EXPECT_FALSE(t.remove(k, 1));  // already gone
+  EXPECT_FALSE(t.remove(KeywordSet({"y"}), 2));
+  EXPECT_EQ(t.object_count(), 1u);
+  EXPECT_TRUE(t.remove(k, 2));
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.entry_count(), 0u);
+}
+
+TEST(IndexTable, SupersetsMatchesContainment) {
+  IndexTable t;
+  t.add(KeywordSet({"a", "b"}), 1);
+  t.add(KeywordSet({"a", "b", "c"}), 2);
+  t.add(KeywordSet({"a", "c"}), 3);
+  t.add(KeywordSet({"b", "c"}), 4);
+
+  const auto hits = t.supersets(KeywordSet({"a", "b"}));
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].object, 1u);
+  EXPECT_EQ(hits[1].object, 2u);
+  EXPECT_EQ(hits[1].keywords, KeywordSet({"a", "b", "c"}));
+}
+
+TEST(IndexTable, SupersetsRespectsLimit) {
+  IndexTable t;
+  const KeywordSet k({"q"});
+  for (ObjectId o = 1; o <= 10; ++o)
+    t.add(KeywordSet({"q", "extra" + std::to_string(o)}), o);
+  EXPECT_EQ(t.supersets(k).size(), 10u);
+  EXPECT_EQ(t.supersets(k, 3).size(), 3u);
+  EXPECT_EQ(t.supersets(k, 100).size(), 10u);
+}
+
+TEST(IndexTable, SupersetLimitCutsInsideAnEntry) {
+  IndexTable t;
+  const KeywordSet k({"q"});
+  for (ObjectId o = 1; o <= 5; ++o) t.add(k, o);
+  EXPECT_EQ(t.supersets(k, 2).size(), 2u);
+}
+
+TEST(IndexTable, ForEachSupersetEarlyStop) {
+  IndexTable t;
+  for (ObjectId o = 1; o <= 5; ++o)
+    t.add(KeywordSet({"q", "x" + std::to_string(o)}), o);
+  int calls = 0;
+  t.for_each_superset(KeywordSet({"q"}),
+                      [&](const KeywordSet&, const std::set<ObjectId>&) {
+                        ++calls;
+                        return calls < 2;
+                      });
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(IndexTable, EmptyQueryMatchesEverything) {
+  IndexTable t;
+  t.add(KeywordSet({"a"}), 1);
+  t.add(KeywordSet({"b"}), 2);
+  EXPECT_EQ(t.supersets(KeywordSet{}).size(), 2u);
+}
+
+TEST(IndexTable, DisjointQueryMatchesNothing) {
+  IndexTable t;
+  t.add(KeywordSet({"a", "b"}), 1);
+  EXPECT_TRUE(t.supersets(KeywordSet({"z"})).empty());
+}
+
+}  // namespace
+}  // namespace hkws::index

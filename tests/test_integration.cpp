@@ -1,0 +1,282 @@
+// End-to-end tests across every layer: synthetic corpus -> DOLR publication
+// -> hypercube index over the Chord overlay -> searches under churn, checked
+// against the in-process LogicalIndex and a brute-force oracle.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "dht/chord_network.hpp"
+#include "dht/dolr.hpp"
+#include "index/logical_index.hpp"
+#include "index/overlay_index.hpp"
+#include "index/ranking.hpp"
+#include "workload/corpus_generator.hpp"
+#include "workload/query_generator.hpp"
+
+namespace hkws {
+namespace {
+
+using index::Hit;
+using index::SearchResult;
+
+std::set<ObjectId> ids_of(const std::vector<Hit>& hits) {
+  std::set<ObjectId> out;
+  for (const Hit& h : hits) out.insert(h.object);
+  return out;
+}
+
+class FullStack : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kPeers = 32;
+  static constexpr int kR = 8;
+
+  void SetUp() override {
+    net_ = std::make_unique<sim::Network>(clock_);
+    dht_ = std::make_unique<dht::ChordNetwork>(
+        dht::ChordNetwork::build(*net_, kPeers, {}));
+    dolr_ = std::make_unique<dht::Dolr>(*dht_, dht::Dolr::Config{3});
+    overlay_ = std::make_unique<index::OverlayIndex>(
+        *dolr_, index::OverlayIndex::Config{.r = kR, .cache_capacity = 128});
+    logical_ = std::make_unique<index::LogicalIndex>(
+        index::LogicalIndex::Config{.r = kR});
+
+    workload::CorpusConfig ccfg;
+    ccfg.object_count = 600;
+    ccfg.vocabulary_size = 400;
+    corpus_ = workload::CorpusGenerator(ccfg).generate();
+    for (const auto& rec : corpus_.records()) {
+      overlay_->publish(1 + rec.id % kPeers, rec.id, rec.keywords);
+      logical_->insert(rec.id, rec.keywords);
+    }
+    clock_.run();
+  }
+
+  std::set<ObjectId> oracle_supersets(const KeywordSet& q) const {
+    std::set<ObjectId> out;
+    for (const auto& rec : corpus_.records())
+      if (q.subset_of(rec.keywords)) out.insert(rec.id);
+    return out;
+  }
+
+  SearchResult overlay_superset(const KeywordSet& q, std::size_t t = 0) {
+    std::optional<SearchResult> result;
+    overlay_->superset_search(
+        1, q, t, index::SearchStrategy::kTopDownSequential,
+        [&](const SearchResult& r) { result = r; });
+    clock_.run();
+    EXPECT_TRUE(result.has_value());
+    return result.value_or(SearchResult{});
+  }
+
+  sim::EventQueue clock_;
+  std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<dht::ChordNetwork> dht_;
+  std::unique_ptr<dht::Dolr> dolr_;
+  std::unique_ptr<index::OverlayIndex> overlay_;
+  std::unique_ptr<index::LogicalIndex> logical_;
+  workload::Corpus corpus_;
+};
+
+TEST_F(FullStack, AllObjectsIndexedExactlyOnce) {
+  std::size_t total = 0;
+  for (std::size_t l : overlay_->loads_by_cube_node()) total += l;
+  EXPECT_EQ(total, corpus_.size());
+  std::size_t logical_total = 0;
+  for (std::size_t l : logical_->loads()) logical_total += l;
+  EXPECT_EQ(logical_total, corpus_.size());
+}
+
+TEST_F(FullStack, PlacementAgreesBetweenOverlayAndLogical) {
+  EXPECT_EQ(overlay_->loads_by_cube_node(), logical_->loads());
+}
+
+TEST_F(FullStack, QueriesMatchOracleAndLogicalIndex) {
+  Rng rng(31);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto& rec = corpus_[rng.next_below(corpus_.size())];
+    const KeywordSet query({rec.keywords.words().front()});
+    const auto expected = oracle_supersets(query);
+    const auto overlay_result = overlay_superset(query);
+    EXPECT_EQ(ids_of(overlay_result.hits), expected) << query.to_string();
+    EXPECT_EQ(ids_of(logical_->superset_search(query).hits), expected);
+  }
+}
+
+TEST_F(FullStack, DolrResolvesEveryPublishedObject) {
+  Rng rng(32);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto& rec = corpus_[rng.next_below(corpus_.size())];
+    std::optional<dht::Dolr::ReadResult> read;
+    dolr_->read(2, rec.id, [&](const auto& r) { read = r; });
+    clock_.run();
+    ASSERT_TRUE(read.has_value());
+    EXPECT_FALSE(read->holders.empty()) << "object " << rec.id;
+  }
+}
+
+TEST_F(FullStack, SearchSurvivesGrowthWithRepair) {
+  const KeywordSet query({corpus_[0].keywords.words().front()});
+  const auto expected = oracle_supersets(query);
+  for (sim::EndpointId e = kPeers + 1; e <= kPeers + 8; ++e)
+    dht_->join(e, 1);
+  for (int round = 0; round < 40; ++round) dht_->stabilize_all();
+  overlay_->repair_placement();
+  dolr_->repair_replicas();
+  clock_.run();
+  EXPECT_EQ(ids_of(overlay_superset(query).hits), expected);
+}
+
+TEST_F(FullStack, LostEntriesAreRestoredByRepublication) {
+  // Fail two peers; their index entries vanish. Republishing the affected
+  // objects (paper's recovery model) restores full searchability.
+  dht_->fail(5);
+  dht_->fail(9);
+  for (int round = 0; round < 40; ++round) dht_->stabilize_all();
+  overlay_->purge_dead();
+  overlay_->repair_placement();
+  // References survive via replication, so publish() alone would not
+  // recreate lost index entries (not a first copy); the reindex repair
+  // path restores them.
+  for (const auto& rec : corpus_.records())
+    overlay_->reindex(1 + rec.id % 3, rec.id, rec.keywords);
+  clock_.run();
+
+  Rng rng(33);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto& rec = corpus_[rng.next_below(corpus_.size())];
+    const KeywordSet query({rec.keywords.words().front()});
+    EXPECT_EQ(ids_of(overlay_superset(query).hits), oracle_supersets(query));
+  }
+}
+
+TEST_F(FullStack, RealQueryLogAgreesAcrossModes) {
+  workload::QueryLogConfig qcfg;
+  qcfg.query_count = 60;
+  qcfg.distinct_queries = 30;
+  workload::QueryLogGenerator gen(corpus_, qcfg);
+  const workload::QueryLog log = gen.generate();
+  for (const auto& q : log.queries()) {
+    const auto overlay_result = overlay_superset(q.keywords);
+    const auto logical_result = logical_->superset_search(q.keywords);
+    EXPECT_EQ(ids_of(overlay_result.hits), ids_of(logical_result.hits));
+  }
+}
+
+TEST_F(FullStack, RankingPipelineOnLiveResults) {
+  // Find a query with a mix of exact and extended matches, then rank.
+  const auto& rec = corpus_[7];
+  const KeywordSet query({rec.keywords.words().front()});
+  auto result = overlay_superset(query);
+  ASSERT_FALSE(result.hits.empty());
+  auto hits = result.hits;
+  index::order_hits(hits, query, index::RankingPreference::kGeneralFirst);
+  for (std::size_t i = 1; i < hits.size(); ++i)
+    EXPECT_LE(hits[i - 1].keywords.size(), hits[i].keywords.size());
+  const auto refinements = index::sample_refinements(hits, query, 3, 10);
+  for (const auto& r : refinements) {
+    EXPECT_FALSE(r.extra.empty());
+    EXPECT_LE(r.samples.size(), 3u);
+  }
+}
+
+TEST_F(FullStack, RandomizedChurnStress) {
+  // Interleave joins, graceful leaves, abrupt failures, repairs, and
+  // queries for many rounds; after each repair cycle the overlay must
+  // agree with the brute-force oracle (anti-entropy reindexing restores
+  // entries lost to failures).
+  Rng rng(77);
+  sim::EndpointId next_endpoint = kPeers + 1;
+  for (int round = 0; round < 10; ++round) {
+    const auto action = rng.next_below(3);
+    if (action == 0) {
+      dht_->join(next_endpoint++, 1);
+    } else if (action == 1 && dht_->size() > 8) {
+      // Leave gracefully with a random live non-bootstrap peer.
+      const auto ids = dht_->live_ids();
+      const auto victim =
+          dht_->endpoint_of(ids[1 + rng.next_below(ids.size() - 1)]);
+      if (victim != 1) dht_->leave(victim);
+    } else if (dht_->size() > 8) {
+      const auto ids = dht_->live_ids();
+      const auto victim =
+          dht_->endpoint_of(ids[1 + rng.next_below(ids.size() - 1)]);
+      if (victim != 1) dht_->fail(victim);
+    }
+    for (int s = 0; s < 20; ++s) dht_->stabilize_all();
+    overlay_->purge_dead();
+    overlay_->repair_placement();
+    dolr_->repair_replicas();
+    clock_.run();
+    // Anti-entropy pass: every publisher re-asserts its index entries.
+    for (const auto& rec : corpus_.records())
+      overlay_->reindex(1, rec.id, rec.keywords);
+    clock_.run();
+
+    // Spot-check three random queries against the oracle.
+    for (int q = 0; q < 3; ++q) {
+      const auto& rec = corpus_[rng.next_below(corpus_.size())];
+      const KeywordSet query({rec.keywords.words().front()});
+      EXPECT_EQ(ids_of(overlay_superset(query).hits), oracle_supersets(query))
+          << "round " << round << " query " << query.to_string();
+    }
+  }
+}
+
+TEST_F(FullStack, CumulativeBrowsingMatchesOneShotSearch) {
+  const auto& rec = corpus_[11];
+  const KeywordSet query({rec.keywords.words().front()});
+  const auto expected = oracle_supersets(query);
+  auto session = logical_->begin_cumulative(query);
+  std::set<ObjectId> collected;
+  while (!session.exhausted()) {
+    const auto batch = session.next(5);
+    if (batch.hits.empty()) break;
+    for (const Hit& h : batch.hits) collected.insert(h.object);
+  }
+  EXPECT_EQ(collected, expected);
+}
+
+TEST(Determinism, IdenticalRunsProduceIdenticalTraffic) {
+  // The whole stack — hashing, RNG, event ordering, protocols — must be
+  // bit-for-bit reproducible: two identical runs end with identical
+  // network metrics and identical result sets.
+  auto run_once = [] {
+    sim::EventQueue clock;
+    sim::Network net(clock, std::make_unique<sim::UniformLatency>(1, 20), 3);
+    auto dht = dht::ChordNetwork::build(net, 24, {});
+    dht::Dolr dolr(dht, dht::Dolr::Config{2});
+    index::OverlayIndex idx(dolr, {.r = 7, .cache_capacity = 16});
+
+    workload::CorpusConfig ccfg;
+    ccfg.object_count = 300;
+    ccfg.vocabulary_size = 200;
+    const auto corpus = workload::CorpusGenerator(ccfg).generate();
+    for (const auto& rec : corpus.records())
+      idx.publish(1 + rec.id % 24, rec.id, rec.keywords);
+    clock.run();
+
+    std::vector<std::size_t> hit_counts;
+    for (int q = 0; q < 10; ++q) {
+      const KeywordSet query(
+          {corpus[static_cast<std::size_t>(q * 13)].keywords.words().front()});
+      std::optional<SearchResult> result;
+      idx.superset_search(2, query, 0,
+                          index::SearchStrategy::kTopDownSequential,
+                          [&](const SearchResult& r) { result = r; });
+      clock.run();
+      hit_counts.push_back(result ? result->hits.size() : 0);
+    }
+    return std::pair{net.metrics().counters(), hit_counts};
+  };
+
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);    // every per-kind message counter
+  EXPECT_EQ(a.second, b.second);  // every result count
+}
+
+}  // namespace
+}  // namespace hkws

@@ -1,0 +1,99 @@
+#include "common/keyword.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hkws {
+namespace {
+
+TEST(KeywordSet, CanonicalizesSortedUnique) {
+  KeywordSet k({"news", "tv", "news", "anime"});
+  ASSERT_EQ(k.size(), 3u);
+  EXPECT_EQ(k.words()[0], "anime");
+  EXPECT_EQ(k.words()[1], "news");
+  EXPECT_EQ(k.words()[2], "tv");
+}
+
+TEST(KeywordSet, ConstructionOrderIrrelevant) {
+  EXPECT_EQ(KeywordSet({"a", "b", "c"}), KeywordSet({"c", "a", "b"}));
+}
+
+TEST(KeywordSet, EmptySet) {
+  KeywordSet k;
+  EXPECT_TRUE(k.empty());
+  EXPECT_EQ(k.size(), 0u);
+  EXPECT_TRUE(k.subset_of(KeywordSet({"a"})));
+  EXPECT_TRUE(k.subset_of(k));
+}
+
+TEST(KeywordSet, SubsetSuperset) {
+  const KeywordSet small({"isp", "network"});
+  const KeywordSet big({"download", "isp", "network", "telecom"});
+  EXPECT_TRUE(small.subset_of(big));
+  EXPECT_FALSE(big.subset_of(small));
+  EXPECT_TRUE(big.superset_of(small));
+  EXPECT_TRUE(small.subset_of(small));
+}
+
+TEST(KeywordSet, DisjointSetsAreNotSubsets) {
+  const KeywordSet a({"x", "y"});
+  const KeywordSet b({"p", "q"});
+  EXPECT_FALSE(a.subset_of(b));
+  EXPECT_FALSE(b.subset_of(a));
+}
+
+TEST(KeywordSet, Contains) {
+  const KeywordSet k({"news", "tvbs"});
+  EXPECT_TRUE(k.contains("news"));
+  EXPECT_FALSE(k.contains("sports"));
+  EXPECT_FALSE(k.contains(""));
+}
+
+TEST(KeywordSet, UnionWith) {
+  const KeywordSet a({"a", "b"});
+  const KeywordSet b({"b", "c"});
+  EXPECT_EQ(a.union_with(b), KeywordSet({"a", "b", "c"}));
+  EXPECT_EQ(a.union_with(KeywordSet{}), a);
+}
+
+TEST(KeywordSet, Difference) {
+  const KeywordSet a({"a", "b", "c"});
+  const KeywordSet b({"b"});
+  EXPECT_EQ(a.difference(b), KeywordSet({"a", "c"}));
+  EXPECT_EQ(b.difference(a), KeywordSet{});
+  EXPECT_EQ(a.difference(KeywordSet{}), a);
+}
+
+TEST(KeywordSet, HashIsOrderIndependentAndSeedDependent) {
+  const KeywordSet a({"x", "y", "z"});
+  const KeywordSet b({"z", "y", "x"});
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a.hash(1), a.hash(2));
+  EXPECT_NE(a.hash(), KeywordSet({"x", "y"}).hash());
+}
+
+TEST(KeywordSet, HashDistinguishesSplitWords) {
+  // {"ab"} vs {"a","b"} must differ (per-word hashing, not concatenation).
+  EXPECT_NE(KeywordSet({"ab"}).hash(), KeywordSet({"a", "b"}).hash());
+}
+
+TEST(KeywordSet, ToString) {
+  EXPECT_EQ(KeywordSet({"b", "a"}).to_string(), "a,b");
+  EXPECT_EQ(KeywordSet{}.to_string(), "");
+}
+
+TEST(KeywordSet, OrderingIsLexicographic) {
+  EXPECT_LT(KeywordSet({"a"}), KeywordSet({"b"}));
+  EXPECT_LT(KeywordSet({"a"}), KeywordSet({"a", "b"}));
+}
+
+TEST(KeywordSet, SubsetTransitivityProperty) {
+  const KeywordSet a({"1"});
+  const KeywordSet b({"1", "2"});
+  const KeywordSet c({"1", "2", "3"});
+  EXPECT_TRUE(a.subset_of(b));
+  EXPECT_TRUE(b.subset_of(c));
+  EXPECT_TRUE(a.subset_of(c));
+}
+
+}  // namespace
+}  // namespace hkws

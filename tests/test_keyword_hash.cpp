@@ -1,0 +1,110 @@
+#include "index/keyword_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hkws::index {
+namespace {
+
+TEST(KeywordHasher, RejectsBadDimension) {
+  EXPECT_THROW(KeywordHasher(0), std::invalid_argument);
+  EXPECT_THROW(KeywordHasher(64), std::invalid_argument);
+}
+
+TEST(KeywordHasher, DimInRange) {
+  KeywordHasher h(10);
+  for (int i = 0; i < 1000; ++i) {
+    const int d = h.dim_of("word" + std::to_string(i));
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, 10);
+  }
+}
+
+TEST(KeywordHasher, DeterministicAcrossInstances) {
+  KeywordHasher a(12), b(12);
+  EXPECT_EQ(a.dim_of("news"), b.dim_of("news"));
+  EXPECT_EQ(a.responsible_node(KeywordSet({"a", "b", "c"})),
+            b.responsible_node(KeywordSet({"a", "b", "c"})));
+}
+
+TEST(KeywordHasher, SeedChangesMapping) {
+  KeywordHasher a(12, 1), b(12, 2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.dim_of("w" + std::to_string(i)) != b.dim_of("w" + std::to_string(i)))
+      ++differing;
+  EXPECT_GT(differing, 50);
+}
+
+TEST(KeywordHasher, EmptySetMapsToZeroNode) {
+  KeywordHasher h(8);
+  EXPECT_EQ(h.responsible_node(KeywordSet{}), 0u);
+}
+
+TEST(KeywordHasher, ResponsibleNodeIsOrOfDims) {
+  KeywordHasher h(10);
+  const KeywordSet k({"isp", "telecom", "network"});
+  cube::CubeId expected = 0;
+  for (const auto& w : k) expected |= 1ULL << h.dim_of(w);
+  EXPECT_EQ(h.responsible_node(k), expected);
+}
+
+TEST(KeywordHasher, OneBitsAtMostSetSize) {
+  KeywordHasher h(16);
+  for (int n = 1; n <= 20; ++n) {
+    std::vector<Keyword> words;
+    for (int i = 0; i < n; ++i) words.push_back("kw" + std::to_string(i));
+    const KeywordSet k(words);
+    const int ones = cube::Hypercube::one_count(h.responsible_node(k));
+    EXPECT_LE(ones, n);
+    EXPECT_LE(ones, 16);
+    EXPECT_GE(ones, 1);
+  }
+}
+
+TEST(KeywordHasher, SubsetMapsIntoSubcube) {
+  // Lemma 3.3's premise: K1 ⊆ K2 implies F_h(K2) contains F_h(K1).
+  KeywordHasher h(10);
+  const KeywordSet k1({"a", "b"});
+  const KeywordSet k2({"a", "b", "c", "d"});
+  EXPECT_TRUE(cube::Hypercube::contains(h.responsible_node(k2),
+                                        h.responsible_node(k1)));
+  EXPECT_TRUE(h.maps_into_subcube(k1, k2));
+}
+
+TEST(KeywordHasher, SubsetPropertyHoldsForRandomSets) {
+  KeywordHasher h(12);
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Keyword> words;
+    const int n = 1 + static_cast<int>(rng.next_below(10));
+    for (int i = 0; i < n; ++i)
+      words.push_back("w" + std::to_string(rng.next_below(1000)));
+    const KeywordSet big(words);
+    // Random subset.
+    std::vector<Keyword> sub;
+    for (const auto& w : big)
+      if (rng.next_bool(0.5)) sub.push_back(w);
+    const KeywordSet small(sub);
+    EXPECT_TRUE(cube::Hypercube::contains(h.responsible_node(big),
+                                          h.responsible_node(small)));
+  }
+}
+
+TEST(KeywordHasher, DimsAreRoughlyUniform) {
+  KeywordHasher h(8);
+  std::vector<int> counts(8, 0);
+  constexpr int kWords = 16000;
+  for (int i = 0; i < kWords; ++i) ++counts[h.dim_of("u" + std::to_string(i))];
+  for (int c : counts) {
+    EXPECT_GT(c, kWords / 8 * 85 / 100);
+    EXPECT_LT(c, kWords / 8 * 115 / 100);
+  }
+}
+
+}  // namespace
+}  // namespace hkws::index

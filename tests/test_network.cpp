@@ -1,0 +1,131 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+
+namespace hkws::sim {
+namespace {
+
+TEST(Metrics, CountersAccumulate) {
+  Metrics m;
+  m.count("a");
+  m.count("a", 4);
+  EXPECT_EQ(m.counter("a"), 5u);
+  EXPECT_EQ(m.counter("missing"), 0u);
+}
+
+TEST(Metrics, SamplesAndMean) {
+  Metrics m;
+  m.observe("lat", 1.0);
+  m.observe("lat", 3.0);
+  EXPECT_EQ(m.samples("lat").size(), 2u);
+  EXPECT_DOUBLE_EQ(m.sample_mean("lat"), 2.0);
+  EXPECT_EQ(m.sample_mean("none"), 0.0);
+}
+
+TEST(Metrics, ResetClearsEverything) {
+  Metrics m;
+  m.count("a");
+  m.observe("b", 1);
+  m.reset();
+  EXPECT_EQ(m.counter("a"), 0u);
+  EXPECT_TRUE(m.samples("b").empty());
+}
+
+TEST(Network, DeliversAfterLatency) {
+  EventQueue clock;
+  Network net(clock, std::make_unique<FixedLatency>(5));
+  net.register_endpoint(1);
+  net.register_endpoint(2);
+  Time delivered_at = 0;
+  net.send(1, 2, "test", 10, [&] { delivered_at = clock.now(); });
+  clock.run();
+  EXPECT_EQ(delivered_at, 5u);
+}
+
+TEST(Network, CountsMessagesBytesAndKinds) {
+  EventQueue clock;
+  Network net(clock);
+  net.register_endpoint(1);
+  net.register_endpoint(2);
+  net.send(1, 2, "ping", 100, [] {});
+  net.send(2, 1, "pong", 50, [] {});
+  clock.run();
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_EQ(net.metrics().counter("net.bytes"), 150u);
+  EXPECT_EQ(net.metrics().counter("msg.ping"), 1u);
+  EXPECT_EQ(net.metrics().counter("msg.pong"), 1u);
+}
+
+TEST(Network, LocalSendIsFreeButStillAsync) {
+  EventQueue clock;
+  Network net(clock);
+  net.register_endpoint(1);
+  bool delivered = false;
+  net.send(1, 1, "self", 10, [&] { delivered = true; });
+  EXPECT_FALSE(delivered);  // not synchronous
+  clock.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(net.messages_sent(), 0u);
+  EXPECT_EQ(net.metrics().counter("net.local"), 1u);
+}
+
+TEST(Network, DropsToUnregisteredEndpoint) {
+  EventQueue clock;
+  Network net(clock);
+  net.register_endpoint(1);
+  bool delivered = false;
+  net.send(1, 99, "lost", 10, [&] { delivered = true; });
+  clock.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.metrics().counter("net.dropped"), 1u);
+  EXPECT_EQ(net.metrics().counter("net.dropped.lost"), 1u);
+  EXPECT_EQ(net.messages_sent(), 0u);
+}
+
+TEST(Network, UnregisterStopsFutureDeliveries) {
+  EventQueue clock;
+  Network net(clock);
+  net.register_endpoint(1);
+  net.register_endpoint(2);
+  net.unregister_endpoint(2);
+  EXPECT_FALSE(net.is_registered(2));
+  bool delivered = false;
+  net.send(1, 2, "x", 1, [&] { delivered = true; });
+  clock.run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST(Network, UniformLatencyStaysInBounds) {
+  EventQueue clock;
+  Network net(clock, std::make_unique<UniformLatency>(2, 6), 99);
+  net.register_endpoint(1);
+  net.register_endpoint(2);
+  for (int i = 0; i < 50; ++i) {
+    const Time sent = clock.now();
+    Time got = 0;
+    net.send(1, 2, "m", 1, [&, sent] { got = clock.now() - sent; });
+    clock.run();
+    EXPECT_GE(got, 2u);
+    EXPECT_LE(got, 6u);
+  }
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    EventQueue clock;
+    Network net(clock, std::make_unique<UniformLatency>(1, 9), 7);
+    net.register_endpoint(1);
+    net.register_endpoint(2);
+    std::vector<Time> arrivals;
+    for (int i = 0; i < 20; ++i)
+      net.send(1, 2, "m", 1, [&] { arrivals.push_back(clock.now()); });
+    clock.run();
+    return arrivals;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace hkws::sim

@@ -1,0 +1,183 @@
+#include "analysis/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "analysis/load_metrics.hpp"
+#include "common/rng.hpp"
+
+namespace hkws::analysis {
+namespace {
+
+TEST(Occupancy, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(occupancy_pmf(10, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(occupancy_pmf(10, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(occupancy_pmf(10, 5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(occupancy_pmf(10, 5, 6), 0.0);   // j > m
+  EXPECT_DOUBLE_EQ(occupancy_pmf(4, 10, 5), 0.0);   // j > r
+  EXPECT_THROW(occupancy_pmf(0, 1, 1), std::invalid_argument);
+}
+
+TEST(Occupancy, OneKeywordAlwaysOneBit) {
+  for (int r : {2, 8, 16}) {
+    EXPECT_NEAR(occupancy_pmf(r, 1, 1), 1.0, 1e-12);
+    EXPECT_NEAR(occupancy_expected(r, 1), 1.0, 1e-12);
+  }
+}
+
+TEST(Occupancy, TwoKeywordsCollideWithProbOneOverR) {
+  const int r = 10;
+  EXPECT_NEAR(occupancy_pmf(r, 2, 1), 1.0 / r, 1e-12);
+  EXPECT_NEAR(occupancy_pmf(r, 2, 2), 1.0 - 1.0 / r, 1e-12);
+}
+
+class OccupancySums : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(OccupancySums, DistributionSumsToOne) {
+  const auto [r, m] = GetParam();
+  const auto dist = occupancy_distribution(r, m);
+  double sum = 0;
+  for (double p : dist) {
+    EXPECT_GE(p, -1e-9);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-8) << "r=" << r << " m=" << m;
+}
+
+TEST_P(OccupancySums, ExpectationMatchesClosedForm) {
+  const auto [r, m] = GetParam();
+  const auto dist = occupancy_distribution(r, m);
+  double mean = 0;
+  for (std::size_t j = 0; j < dist.size(); ++j)
+    mean += static_cast<double>(j) * dist[j];
+  EXPECT_NEAR(mean, occupancy_expected(r, m), 1e-6) << "r=" << r << " m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OccupancySums,
+    ::testing::Values(std::pair{2, 1}, std::pair{8, 3}, std::pair{10, 7},
+                      std::pair{10, 20}, std::pair{12, 7}, std::pair{16, 30},
+                      std::pair{32, 12}, std::pair{63, 63}));
+
+TEST(Occupancy, StableRecurrenceMatchesEq1WhereEq1IsStable) {
+  // The production DP must agree with the paper's literal Eq. (1) wherever
+  // the alternating sum is numerically trustworthy.
+  for (int r : {2, 6, 10, 16, 24}) {
+    for (int m : {1, 2, 5, 7, 12}) {
+      for (int j = 0; j <= r; ++j) {
+        EXPECT_NEAR(occupancy_pmf(r, m, j), occupancy_pmf_eq1(r, m, j), 1e-9)
+            << "r=" << r << " m=" << m << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(Occupancy, MatchesMonteCarlo) {
+  constexpr int kR = 10, kM = 7, kTrials = 200000;
+  hkws::Rng rng(77);
+  std::vector<int> counts(kR + 1, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    std::uint64_t mask = 0;
+    for (int i = 0; i < kM; ++i) mask |= 1ULL << rng.next_below(kR);
+    ++counts[std::popcount(mask)];
+  }
+  for (int j = 0; j <= kR; ++j) {
+    const double expected = occupancy_pmf(kR, kM, j) * kTrials;
+    EXPECT_NEAR(static_cast<double>(counts[j]), expected,
+                5 * std::sqrt(expected + 1) + 5)
+        << "j=" << j;
+  }
+}
+
+TEST(Occupancy, ExpectedSearchFractionApproaches2ToMinusM) {
+  // For m << r, |One| = m almost surely, so the fraction is ~2^-m.
+  EXPECT_NEAR(expected_search_fraction(32, 1), 0.5, 1e-9);
+  EXPECT_NEAR(expected_search_fraction(32, 2), 0.25, 0.02);
+  EXPECT_NEAR(expected_search_fraction(32, 3), 0.125, 0.02);
+  // For small r, keyword collisions inflate it above 2^-m (the paper's
+  // observation that r = 8 sits above the 2^-m line).
+  EXPECT_GT(expected_search_fraction(8, 3), 0.125);
+  EXPECT_GT(expected_search_fraction(8, 5), expected_search_fraction(12, 5));
+  // m = 0 (empty query) would have to search everything.
+  EXPECT_DOUBLE_EQ(expected_search_fraction(10, 0), 1.0);
+}
+
+TEST(Occupancy, NodeDistributionIsBinomialHalf) {
+  const auto dist = node_one_bits_distribution(4);
+  ASSERT_EQ(dist.size(), 5u);
+  EXPECT_NEAR(dist[0], 1.0 / 16, 1e-12);
+  EXPECT_NEAR(dist[1], 4.0 / 16, 1e-12);
+  EXPECT_NEAR(dist[2], 6.0 / 16, 1e-12);
+  // Matches the measured node census.
+  const auto measured = node_fraction_by_one_bits(4);
+  for (std::size_t i = 0; i < dist.size(); ++i)
+    EXPECT_NEAR(dist[i], measured[i], 1e-12);
+}
+
+TEST(Occupancy, ObjectDistributionMixesBySetSize) {
+  hkws::Histogram sizes;
+  sizes.add(1, 50);
+  sizes.add(3, 50);
+  const auto dist = object_one_bits_distribution(6, sizes);
+  // Half the mass has exactly 1 bit plus the 3-keyword collapse cases.
+  EXPECT_NEAR(dist[1], 0.5 + 0.5 * occupancy_pmf(6, 3, 1), 1e-9);
+  double sum = 0;
+  for (double p : dist) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Occupancy, TotalVariationBasics) {
+  EXPECT_DOUBLE_EQ(total_variation({0.5, 0.5}, {0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(total_variation({1.0, 0.0}, {0.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(total_variation({1.0}, {0.0, 1.0}), 1.0);  // padding
+}
+
+TEST(Occupancy, RecommendDimensionPrefersPaperRange) {
+  // A PCHome-like size histogram (mean ~7.3) should recommend r near 10
+  // (the paper's empirically best dimension, Figs. 6-7).
+  hkws::Histogram sizes;
+  sizes.add(3, 10);
+  sizes.add(5, 20);
+  sizes.add(6, 25);
+  sizes.add(7, 20);
+  sizes.add(8, 15);
+  sizes.add(10, 14);
+  sizes.add(13, 10);
+  sizes.add(16, 5);
+  sizes.add(20, 2);
+  const int r = recommend_dimension(sizes, 6, 16);
+  EXPECT_GE(r, 8);
+  EXPECT_LE(r, 12);
+}
+
+TEST(Occupancy, RecommendDimensionValidatesRange) {
+  hkws::Histogram sizes;
+  sizes.add(5, 1);
+  EXPECT_THROW(recommend_dimension(sizes, 0, 4), std::invalid_argument);
+  EXPECT_THROW(recommend_dimension(sizes, 8, 4), std::invalid_argument);
+}
+
+TEST(LoadMetrics, DirectHashLoadsSumToObjectCount) {
+  const auto loads = direct_hash_loads(5000, 6, 3);
+  EXPECT_EQ(loads.size(), 64u);
+  std::size_t total = 0;
+  for (std::size_t l : loads) total += l;
+  EXPECT_EQ(total, 5000u);
+}
+
+TEST(LoadMetrics, LoadFractionByOneBits) {
+  std::vector<std::size_t> loads(8, 0);  // r = 3
+  loads[0b000] = 10;
+  loads[0b011] = 30;
+  loads[0b111] = 60;
+  const auto frac = load_fraction_by_one_bits(loads, 3);
+  EXPECT_DOUBLE_EQ(frac[0], 0.1);
+  EXPECT_DOUBLE_EQ(frac[2], 0.3);
+  EXPECT_DOUBLE_EQ(frac[3], 0.6);
+  EXPECT_THROW(load_fraction_by_one_bits(loads, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hkws::analysis

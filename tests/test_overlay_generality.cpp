@@ -1,0 +1,233 @@
+// The paper's generality claim (§2.1): the keyword-search layer sits on a
+// *generalized* DHT. These tests run the same DOLR and hypercube-index
+// workloads over both overlay implementations (Chord successor routing and
+// Pastry prefix routing) and assert identical search semantics.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "common/rng.hpp"
+#include "dht/chord_network.hpp"
+#include "dht/dolr.hpp"
+#include "dht/pastry_network.hpp"
+#include "index/logical_index.hpp"
+#include "index/mirrored.hpp"
+#include "index/overlay_index.hpp"
+
+namespace hkws {
+namespace {
+
+using index::Hit;
+using index::SearchResult;
+
+std::set<ObjectId> ids_of(const std::vector<Hit>& hits) {
+  std::set<ObjectId> out;
+  for (const Hit& h : hits) out.insert(h.object);
+  return out;
+}
+
+enum class Kind { kChord, kPastry };
+
+// A full stack over either overlay, selected at construction.
+struct Stack {
+  sim::EventQueue clock;
+  std::unique_ptr<sim::Network> net;
+  std::unique_ptr<dht::Overlay> overlay;
+  std::unique_ptr<dht::Dolr> dolr;
+  std::unique_ptr<index::OverlayIndex> index;
+
+  Stack(Kind kind, std::size_t peers, index::OverlayIndex::Config cfg) {
+    net = std::make_unique<sim::Network>(clock);
+    if (kind == Kind::kChord) {
+      overlay = std::make_unique<dht::ChordNetwork>(
+          dht::ChordNetwork::build(*net, peers, {}));
+    } else {
+      overlay = std::make_unique<dht::PastryNetwork>(
+          dht::PastryNetwork::build(*net, peers, {}));
+    }
+    dolr = std::make_unique<dht::Dolr>(*overlay, dht::Dolr::Config{3});
+    index = std::make_unique<index::OverlayIndex>(*dolr, cfg);
+  }
+
+  SearchResult superset(const KeywordSet& q, std::size_t t = 0) {
+    std::optional<SearchResult> result;
+    index->superset_search(1, q, t,
+                           index::SearchStrategy::kTopDownSequential,
+                           [&](const SearchResult& r) { result = r; });
+    clock.run();
+    EXPECT_TRUE(result.has_value());
+    return result.value_or(SearchResult{});
+  }
+};
+
+std::map<ObjectId, KeywordSet> random_objects(std::size_t n,
+                                              std::uint64_t seed) {
+  std::map<ObjectId, KeywordSet> out;
+  Rng rng(seed);
+  for (ObjectId id = 1; id <= n; ++id) {
+    std::vector<Keyword> words;
+    const int size = 1 + static_cast<int>(rng.next_below(5));
+    for (int i = 0; i < size; ++i)
+      words.push_back("w" + std::to_string(rng.next_below(25)));
+    out[id] = KeywordSet(std::move(words));
+  }
+  return out;
+}
+
+class OverlayGenerality : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(OverlayGenerality, DolrRoundTrip) {
+  Stack s(GetParam(), 32, {.r = 6});
+  s.dolr->insert(3, 42);
+  s.clock.run();
+  std::optional<dht::Dolr::ReadResult> read;
+  s.dolr->read(7, 42, [&](const auto& r) { read = r; });
+  s.clock.run();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->holders, std::vector<sim::EndpointId>{3});
+  std::optional<dht::Dolr::DeleteResult> del;
+  s.dolr->remove(3, 42, [&](const auto& r) { del = r; });
+  s.clock.run();
+  EXPECT_TRUE(del->last_copy);
+}
+
+TEST_P(OverlayGenerality, SearchMatchesOracle) {
+  Stack s(GetParam(), 24, {.r = 6});
+  const auto objects = random_objects(150, 41);
+  std::size_t i = 0;
+  for (const auto& [id, k] : objects)
+    s.index->publish(1 + (i++ % 24), id, k);
+  s.clock.run();
+
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto it = objects.begin();
+    std::advance(it, rng.next_below(objects.size()));
+    const KeywordSet query({it->second.words().front()});
+    std::set<ObjectId> expected;
+    for (const auto& [id, k] : objects)
+      if (query.subset_of(k)) expected.insert(id);
+    EXPECT_EQ(ids_of(s.superset(query).hits), expected) << query.to_string();
+  }
+}
+
+TEST_P(OverlayGenerality, PinSearchExact) {
+  Stack s(GetParam(), 16, {.r = 6});
+  s.index->publish(1, 1, KeywordSet({"a", "b"}));
+  s.index->publish(2, 2, KeywordSet({"a", "b", "c"}));
+  s.clock.run();
+  std::optional<SearchResult> result;
+  s.index->pin_search(3, KeywordSet({"a", "b"}),
+                      [&](const SearchResult& r) { result = r; });
+  s.clock.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(ids_of(result->hits), (std::set<ObjectId>{1}));
+}
+
+TEST_P(OverlayGenerality, ReplicationSurvivesOwnerFailure) {
+  Stack s(GetParam(), 30, {.r = 6});
+  std::optional<dht::Dolr::InsertResult> ins;
+  s.dolr->insert(3, 99, [&](const auto& r) { ins = r; });
+  s.clock.run();
+  const auto owner_ep = s.overlay->endpoint_of(ins->owner);
+  if (owner_ep == 3) return;  // publisher is the owner; skip this seed
+  if (GetParam() == Kind::kChord) {
+    auto& chord = dynamic_cast<dht::ChordNetwork&>(*s.overlay);
+    chord.fail(owner_ep);
+    for (int round = 0; round < 30; ++round) chord.stabilize_all();
+  } else {
+    auto& pastry = dynamic_cast<dht::PastryNetwork&>(*s.overlay);
+    pastry.fail(owner_ep);
+    pastry.repair_all();
+  }
+  std::optional<dht::Dolr::ReadResult> read;
+  s.dolr->read(3, 99, [&](const auto& r) { read = r; });
+  s.clock.run();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->holders, std::vector<sim::EndpointId>{3});
+}
+
+INSTANTIATE_TEST_SUITE_P(Overlays, OverlayGenerality,
+                         ::testing::Values(Kind::kChord, Kind::kPastry),
+                         [](const auto& info) {
+                           return info.param == Kind::kChord ? "Chord"
+                                                             : "Pastry";
+                         });
+
+TEST_P(OverlayGenerality, MirroredIndexWorksOnEitherOverlay) {
+  Stack s(GetParam(), 24, {.r = 6});
+  index::MirroredIndex mirrored(*s.dolr, {.r = 6});
+  const auto objects = random_objects(80, 45);
+  std::size_t i = 0;
+  for (const auto& [id, k] : objects) mirrored.publish(1 + (i++ % 24), id, k);
+  s.clock.run();
+  const KeywordSet query({objects.begin()->second.words().front()});
+  std::set<ObjectId> expected;
+  for (const auto& [id, k] : objects)
+    if (query.subset_of(k)) expected.insert(id);
+  std::optional<SearchResult> result;
+  mirrored.superset_search(1, query, 0,
+                           index::SearchStrategy::kTopDownSequential,
+                           [&](const SearchResult& r) { result = r; });
+  s.clock.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(ids_of(result->hits), expected);
+}
+
+TEST_P(OverlayGenerality, CumulativeSessionWorksOnEitherOverlay) {
+  Stack s(GetParam(), 16, {.r = 6});
+  std::map<ObjectId, KeywordSet> objects;
+  for (ObjectId o = 1; o <= 25; ++o)
+    objects[o] = KeywordSet({"page", "v" + std::to_string(o)});
+  std::size_t i = 0;
+  for (const auto& [id, k] : objects) s.index->publish(1 + (i++ % 16), id, k);
+  s.clock.run();
+
+  const auto session = s.index->open_cumulative(1, KeywordSet({"page"}));
+  std::set<ObjectId> collected;
+  while (!s.index->cumulative_exhausted(session)) {
+    std::optional<SearchResult> batch;
+    s.index->cumulative_next(session, 6,
+                             [&](const SearchResult& r) { batch = r; });
+    s.clock.run();
+    ASSERT_TRUE(batch.has_value());
+    for (const auto& h : batch->hits)
+      EXPECT_TRUE(collected.insert(h.object).second);
+    if (batch->hits.empty()) break;
+  }
+  EXPECT_EQ(collected.size(), objects.size());
+}
+
+TEST(OverlayGenerality, BothOverlaysReturnIdenticalHitSets) {
+  // Same objects, same queries, different routing substrate: the keyword
+  // layer's answers must be identical.
+  Stack chord(Kind::kChord, 24, {.r = 8});
+  Stack pastry(Kind::kPastry, 24, {.r = 8});
+  const auto objects = random_objects(200, 43);
+  std::size_t i = 0;
+  for (const auto& [id, k] : objects) {
+    chord.index->publish(1 + (i % 24), id, k);
+    pastry.index->publish(1 + (i % 24), id, k);
+    ++i;
+  }
+  chord.clock.run();
+  pastry.clock.run();
+
+  Rng rng(44);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto it = objects.begin();
+    std::advance(it, rng.next_below(objects.size()));
+    const KeywordSet query({it->second.words().front()});
+    const auto a = chord.superset(query);
+    const auto b = pastry.superset(query);
+    EXPECT_EQ(ids_of(a.hits), ids_of(b.hits)) << query.to_string();
+    // The logical traversal is identical too: same cube nodes visited.
+    EXPECT_EQ(a.stats.nodes_contacted, b.stats.nodes_contacted);
+  }
+}
+
+}  // namespace
+}  // namespace hkws

@@ -1,0 +1,291 @@
+#include "dht/pastry_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace hkws::dht {
+namespace {
+
+struct PastryNet {
+  sim::EventQueue clock;
+  std::unique_ptr<sim::Network> net;
+  std::unique_ptr<PastryNetwork> dht;
+
+  explicit PastryNet(std::size_t n, PastryNetwork::Config cfg = {}) {
+    net = std::make_unique<sim::Network>(clock);
+    dht = std::make_unique<PastryNetwork>(PastryNetwork::build(*net, n, cfg));
+  }
+};
+
+TEST(PastryConfig, RejectsBadParameters) {
+  sim::EventQueue clock;
+  sim::Network net(clock);
+  EXPECT_THROW(PastryNetwork(net, {.id_bits = 0}), std::invalid_argument);
+  EXPECT_THROW(PastryNetwork(net, {.id_bits = 30, .digit_bits = 4}),
+               std::invalid_argument);  // not a multiple
+  EXPECT_THROW(PastryNetwork(net, {.leaf_size = 3}), std::invalid_argument);
+  EXPECT_NO_THROW(PastryNetwork(net, {.id_bits = 32, .digit_bits = 4}));
+}
+
+TEST(PastryDigits, DigitExtractionMostSignificantFirst) {
+  PastryNet t(1);
+  // id_bits=32, digit_bits=4 -> 8 hex digits.
+  EXPECT_EQ(t.dht->digit_count(), 8);
+  const RingId id = 0xA1B2C3D4;
+  EXPECT_EQ(t.dht->digit_at(id, 0), 0xA);
+  EXPECT_EQ(t.dht->digit_at(id, 1), 0x1);
+  EXPECT_EQ(t.dht->digit_at(id, 7), 0x4);
+}
+
+TEST(PastryDigits, SharedPrefixDigits) {
+  PastryNet t(1);
+  EXPECT_EQ(t.dht->shared_prefix_digits(0xA1B2C3D4, 0xA1B2C3D4), 8);
+  EXPECT_EQ(t.dht->shared_prefix_digits(0xA1B2C3D4, 0xA1B2C3D5), 7);
+  EXPECT_EQ(t.dht->shared_prefix_digits(0xA1B2C3D4, 0xA1FF0000), 2);
+  EXPECT_EQ(t.dht->shared_prefix_digits(0xA0000000, 0xB0000000), 0);
+}
+
+TEST(PastryDigits, CircularDistanceIsSymmetricMin) {
+  PastryNet t(1);
+  EXPECT_EQ(t.dht->circular_distance(10, 20), 10u);
+  EXPECT_EQ(t.dht->circular_distance(20, 10), 10u);
+  // Near the wrap point the short way goes around zero.
+  const RingId a = 0xFFFFFFF0, b = 0x10;
+  EXPECT_EQ(t.dht->circular_distance(a, b), 0x20u);
+}
+
+TEST(PastryOwner, IsNumericallyClosestNode) {
+  PastryNet t(40);
+  const auto ids = t.dht->live_ids();
+  Rng rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    const RingId key = t.dht->space().clamp(rng.next_u64());
+    const RingId owner = t.dht->owner_of(key);
+    for (RingId other : ids) {
+      EXPECT_LE(t.dht->circular_distance(owner, key),
+                t.dht->circular_distance(other, key))
+          << "key " << key;
+    }
+  }
+}
+
+TEST(PastryBuild, LeafSetsAreNearestNeighbors) {
+  PastryNet t(32);
+  const auto ids = t.dht->live_ids();  // ascending
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const PastryNode& n = t.dht->node(ids[i]);
+    ASSERT_EQ(n.leaf_cw().size(), 4u);
+    ASSERT_EQ(n.leaf_ccw().size(), 4u);
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_EQ(n.leaf_cw()[static_cast<std::size_t>(k)],
+                ids[(i + static_cast<std::size_t>(k) + 1) % ids.size()]);
+      EXPECT_EQ(n.leaf_ccw()[static_cast<std::size_t>(k)],
+                ids[(i + ids.size() - static_cast<std::size_t>(k) - 1) %
+                    ids.size()]);
+    }
+  }
+}
+
+TEST(PastryBuild, RoutingTableEntriesHaveCorrectPrefixes) {
+  PastryNet t(64);
+  for (RingId id : t.dht->live_ids()) {
+    const PastryNode& n = t.dht->node(id);
+    for (int row = 0; row < n.rows(); ++row) {
+      for (int col = 0; col < n.columns(); ++col) {
+        const auto entry = n.table_entry(row, col);
+        if (!entry) continue;
+        EXPECT_GE(t.dht->shared_prefix_digits(id, *entry), row);
+        EXPECT_EQ(t.dht->digit_at(*entry, row), col);
+      }
+    }
+  }
+}
+
+TEST(PastryLookup, ReachesOwnerFromEveryStart) {
+  PastryNet t(64);
+  Rng rng(2);
+  for (int trial = 0; trial < 60; ++trial) {
+    const RingId key = t.dht->space().clamp(rng.next_u64());
+    const RingId owner = t.dht->owner_of(key);
+    for (RingId start : t.dht->live_ids()) {
+      const auto r = t.dht->lookup_now(start, key, "test");
+      EXPECT_EQ(r.owner, owner) << "start " << start << " key " << key;
+    }
+  }
+}
+
+TEST(PastryLookup, HopCountIsLogBase16) {
+  PastryNet t(512);
+  Rng rng(3);
+  const auto ids = t.dht->live_ids();
+  double total = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const RingId key = t.dht->space().clamp(rng.next_u64());
+    total += t.dht->lookup_now(ids[rng.next_below(ids.size())], key, "t").hops;
+  }
+  const double avg = total / 500;
+  // log_16(512) ~ 2.25; prefix routing should stay in that ballpark.
+  EXPECT_LT(avg, 2.0 * std::log2(512.0) / 4.0 + 1.0);
+  EXPECT_GT(avg, 0.5);
+}
+
+TEST(PastryRoute, AsyncAgreesWithSyncLookup) {
+  PastryNet t(48);
+  Rng rng(4);
+  const auto ids = t.dht->live_ids();
+  for (int trial = 0; trial < 40; ++trial) {
+    const RingId key = t.dht->space().clamp(rng.next_u64());
+    const RingId start = ids[rng.next_below(ids.size())];
+    const auto sync = t.dht->lookup_now(start, key, "sync");
+    bool called = false;
+    t.dht->route(t.dht->endpoint_of(start), key, "async", 8,
+                 [&](const Overlay::RouteResult& r) {
+                   called = true;
+                   EXPECT_EQ(r.owner, sync.owner);
+                   EXPECT_EQ(r.hops, sync.hops);
+                 });
+    t.clock.run();
+    EXPECT_TRUE(called);
+  }
+}
+
+TEST(PastrySingleNode, OwnsEverything) {
+  PastryNet t(1);
+  const RingId only = t.dht->live_ids().front();
+  EXPECT_EQ(t.dht->owner_of(0), only);
+  EXPECT_EQ(t.dht->owner_of(~0ULL), only);
+  const auto r = t.dht->lookup_now(only, 42, "t");
+  EXPECT_EQ(r.owner, only);
+  EXPECT_EQ(r.hops, 0);
+}
+
+TEST(PastryJoin, IntegratesAndRoutesCorrectly) {
+  sim::EventQueue clock;
+  sim::Network net(clock);
+  PastryNetwork dht(net, {});
+  dht.create(1);
+  for (sim::EndpointId e = 2; e <= 24; ++e) dht.join(e, 1);
+  dht.repair_all();
+  EXPECT_EQ(dht.size(), 24u);
+  Rng rng(5);
+  const auto ids = dht.live_ids();
+  for (int trial = 0; trial < 200; ++trial) {
+    const RingId key = dht.space().clamp(rng.next_u64());
+    const RingId start = ids[rng.next_below(ids.size())];
+    EXPECT_EQ(dht.lookup_now(start, key, "t").owner, dht.owner_of(key));
+  }
+}
+
+TEST(PastryJoin, TakesOverClosestKeys) {
+  sim::EventQueue clock;
+  sim::Network net(clock);
+  PastryNetwork dht(net, {});
+  const RingId first = dht.create(1);
+  for (std::uint64_t k = 0; k < 64; ++k)
+    dht.node(first).add_ref(
+        StoredRef{dht.space().clamp(k * 0x04040404ULL), k, 1});
+  const std::size_t before = dht.node(first).ref_count();
+  dht.join(2, 1);
+  std::size_t total = 0;
+  for (RingId id : dht.live_ids()) {
+    for (const auto& ref : dht.node(id).all_refs())
+      EXPECT_EQ(dht.owner_of(ref.key), id) << "misplaced ref";
+    total += dht.node(id).ref_count();
+  }
+  EXPECT_EQ(total, before);
+}
+
+TEST(PastryLeave, HandsOffReferences) {
+  PastryNet t(10);
+  const auto ids = t.dht->live_ids();
+  const RingId leaver = ids[4];
+  t.dht->node(leaver).add_ref(StoredRef{leaver, 77, 5});
+  t.dht->leave(t.dht->endpoint_of(leaver));
+  EXPECT_EQ(t.dht->size(), 9u);
+  const RingId new_owner = t.dht->owner_of(leaver);
+  EXPECT_FALSE(t.dht->node(new_owner).refs_of(77).empty());
+}
+
+TEST(PastryFail, RepairRestoresRouting) {
+  PastryNet t(64);
+  Rng rng(6);
+  for (int k = 0; k < 12; ++k) {
+    const auto live = t.dht->live_ids();
+    t.dht->fail(t.dht->endpoint_of(live[rng.next_below(live.size())]));
+  }
+  t.dht->repair_all();
+  EXPECT_EQ(t.dht->size(), 52u);
+  const auto ids = t.dht->live_ids();
+  for (int trial = 0; trial < 200; ++trial) {
+    const RingId key = t.dht->space().clamp(rng.next_u64());
+    const RingId start = ids[rng.next_below(ids.size())];
+    EXPECT_EQ(t.dht->lookup_now(start, key, "t").owner, t.dht->owner_of(key));
+  }
+}
+
+TEST(PastryFail, RoutingSurvivesUnrepairedFailures) {
+  // Between a failure and the next repair pass, live nodes still hold
+  // pointers to dead ones; next-hop selection must skip them and still
+  // reach the correct surviving owner via the leaf sets.
+  PastryNet t(64);
+  Rng rng(7);
+  for (int k = 0; k < 5; ++k) {
+    const auto live = t.dht->live_ids();
+    t.dht->fail(t.dht->endpoint_of(live[rng.next_below(live.size())]));
+  }
+  // NO repair_all() here.
+  const auto ids = t.dht->live_ids();
+  int reached = 0, total = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const RingId key = t.dht->space().clamp(rng.next_u64());
+    const RingId start = ids[rng.next_below(ids.size())];
+    const auto r = t.dht->lookup_now(start, key, "t");
+    ++total;
+    if (r.owner == t.dht->owner_of(key)) ++reached;
+  }
+  // Leaf-set fallback should keep nearly all lookups correct; a handful
+  // may land on a live neighbor of the true owner when the dead node was
+  // the only routing-table entry for a prefix region.
+  EXPECT_GE(reached, total * 95 / 100) << reached << "/" << total;
+}
+
+TEST(PastryReplicas, TargetsAreLeafNeighbors) {
+  PastryNet t(20);
+  const RingId owner = t.dht->live_ids()[3];
+  const auto targets = t.dht->replica_targets(owner, 4);
+  ASSERT_EQ(targets.size(), 4u);
+  const PastryNode& n = t.dht->node(owner);
+  for (RingId x : targets) {
+    const bool in_leaf =
+        std::find(n.leaf_cw().begin(), n.leaf_cw().end(), x) !=
+            n.leaf_cw().end() ||
+        std::find(n.leaf_ccw().begin(), n.leaf_ccw().end(), x) !=
+            n.leaf_ccw().end();
+    EXPECT_TRUE(in_leaf);
+    EXPECT_NE(x, owner);
+  }
+}
+
+class PastryScales : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PastryScales, LookupCorrectAtEveryScale) {
+  PastryNet t(GetParam());
+  Rng rng(8);
+  const auto ids = t.dht->live_ids();
+  for (int trial = 0; trial < 100; ++trial) {
+    const RingId key = t.dht->space().clamp(rng.next_u64());
+    const RingId start = ids[rng.next_below(ids.size())];
+    EXPECT_EQ(t.dht->lookup_now(start, key, "t").owner, t.dht->owner_of(key));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, PastryScales,
+                         ::testing::Values(1, 2, 3, 5, 17, 100, 257));
+
+}  // namespace
+}  // namespace hkws::dht

@@ -1,0 +1,208 @@
+#include "index/query_cache.hpp"
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hkws::index {
+namespace {
+
+CachedTraversal summary_of(std::initializer_list<cube::CubeId> nodes,
+                           bool complete = true) {
+  CachedTraversal t;
+  for (cube::CubeId n : nodes) t.contributors.emplace_back(n, 1u);
+  t.complete = complete;
+  return t;
+}
+
+TEST(QueryCache, MissThenHit) {
+  QueryCache c(10);
+  const KeywordSet q({"a"});
+  EXPECT_EQ(c.lookup(q), nullptr);
+  c.insert(q, summary_of({1, 2}));
+  const auto* got = c.lookup(q);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->contributors.size(), 2u);
+  EXPECT_TRUE(got->complete);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(QueryCache, ZeroCapacityDisablesCaching) {
+  QueryCache c(0);
+  c.insert(KeywordSet({"a"}), summary_of({1}));
+  EXPECT_EQ(c.lookup(KeywordSet({"a"})), nullptr);
+  EXPECT_EQ(c.occupancy(), 0u);
+}
+
+TEST(QueryCache, FifoEvictionOrder) {
+  QueryCache c(3);
+  c.insert(KeywordSet({"a"}), summary_of({1}));
+  c.insert(KeywordSet({"b"}), summary_of({2}));
+  c.insert(KeywordSet({"c"}), summary_of({3}));
+  // Touch "a" (a hit) — FIFO must NOT refresh it.
+  EXPECT_NE(c.lookup(KeywordSet({"a"})), nullptr);
+  c.insert(KeywordSet({"d"}), summary_of({4}));
+  EXPECT_EQ(c.lookup(KeywordSet({"a"})), nullptr);  // oldest evicted
+  EXPECT_NE(c.lookup(KeywordSet({"b"})), nullptr);
+  EXPECT_NE(c.lookup(KeywordSet({"d"})), nullptr);
+  EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(QueryCache, OccupancyCountsRecords) {
+  QueryCache c(10);
+  c.insert(KeywordSet({"a"}), summary_of({1, 2, 3}));
+  EXPECT_EQ(c.occupancy(), 3u);
+  c.insert(KeywordSet({"b"}), summary_of({4}));
+  EXPECT_EQ(c.occupancy(), 4u);
+  c.erase(KeywordSet({"a"}));
+  EXPECT_EQ(c.occupancy(), 1u);
+}
+
+TEST(QueryCache, EmptyCompleteSummaryOccupiesOneRecord) {
+  QueryCache c(5);
+  c.insert(KeywordSet({"nothing"}), summary_of({}));
+  EXPECT_EQ(c.occupancy(), 1u);
+  const auto* got = c.lookup(KeywordSet({"nothing"}));
+  ASSERT_NE(got, nullptr);
+  EXPECT_TRUE(got->contributors.empty());
+  EXPECT_TRUE(got->complete);
+}
+
+TEST(QueryCache, MultiRecordEvictionUntilFit) {
+  QueryCache c(4);
+  c.insert(KeywordSet({"a"}), summary_of({1, 2}));
+  c.insert(KeywordSet({"b"}), summary_of({3, 4}));
+  // Needs 3 records: must evict both older entries.
+  c.insert(KeywordSet({"c"}), summary_of({5, 6, 7}));
+  EXPECT_EQ(c.lookup(KeywordSet({"a"})), nullptr);
+  EXPECT_EQ(c.lookup(KeywordSet({"b"})), nullptr);
+  EXPECT_NE(c.lookup(KeywordSet({"c"})), nullptr);
+  EXPECT_EQ(c.occupancy(), 3u);
+}
+
+TEST(QueryCache, OversizedSummaryIsNotCached) {
+  QueryCache c(2);
+  c.insert(KeywordSet({"big"}), summary_of({1, 2, 3}));
+  EXPECT_EQ(c.lookup(KeywordSet({"big"})), nullptr);
+  EXPECT_EQ(c.occupancy(), 0u);
+  EXPECT_EQ(c.evictions(), 0u);
+}
+
+TEST(QueryCache, ReinsertReplacesValueKeepsAge) {
+  QueryCache c(10);
+  c.insert(KeywordSet({"a"}), summary_of({1}));
+  c.insert(KeywordSet({"b"}), summary_of({2}));
+  c.insert(KeywordSet({"a"}), summary_of({9, 8}));
+  EXPECT_EQ(c.entry_count(), 2u);
+  EXPECT_EQ(c.occupancy(), 3u);
+  const auto* got = c.lookup(KeywordSet({"a"}));
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->contributors[0].first, 9u);
+  // "a" keeps its original (oldest) queue position: inserting a large entry
+  // evicts "a" first.
+  QueryCache c2(3);
+  c2.insert(KeywordSet({"a"}), summary_of({1}));
+  c2.insert(KeywordSet({"b"}), summary_of({2}));
+  c2.insert(KeywordSet({"a"}), summary_of({1}));  // replace, keep position
+  c2.insert(KeywordSet({"c"}), summary_of({3, 4}));
+  EXPECT_EQ(c2.lookup(KeywordSet({"a"})), nullptr);
+  EXPECT_NE(c2.lookup(KeywordSet({"b"})), nullptr);
+}
+
+TEST(QueryCache, EraseIfPredicate) {
+  QueryCache c(10);
+  c.insert(KeywordSet({"a"}), summary_of({1}));
+  c.insert(KeywordSet({"a", "b"}), summary_of({2}));
+  c.insert(KeywordSet({"c"}), summary_of({3}));
+  c.erase_if([](const KeywordSet& q) { return q.contains("a"); });
+  EXPECT_EQ(c.entry_count(), 1u);
+  EXPECT_EQ(c.lookup(KeywordSet({"a"})), nullptr);
+  EXPECT_NE(c.lookup(KeywordSet({"c"})), nullptr);
+  EXPECT_EQ(c.occupancy(), 1u);
+}
+
+TEST(QueryCache, ClearResetsContentButNotStats) {
+  QueryCache c(10);
+  c.insert(KeywordSet({"a"}), summary_of({1}));
+  c.lookup(KeywordSet({"a"}));
+  c.clear();
+  EXPECT_EQ(c.entry_count(), 0u);
+  EXPECT_EQ(c.occupancy(), 0u);
+  EXPECT_EQ(c.hits(), 1u);  // statistics survive
+  EXPECT_EQ(c.lookup(KeywordSet({"a"})), nullptr);
+}
+
+TEST(QueryCache, EraseMissingKeyIsNoop) {
+  QueryCache c(5);
+  c.insert(KeywordSet({"a"}), summary_of({1}));
+  c.erase(KeywordSet({"zzz"}));
+  EXPECT_EQ(c.entry_count(), 1u);
+}
+
+// Randomized differential test: drive QueryCache with arbitrary operation
+// sequences and check every observable against a simple reference model.
+class QueryCacheFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueryCacheFuzz, MatchesReferenceModel) {
+  constexpr std::size_t kCapacity = 12;
+  QueryCache cache(kCapacity);
+
+  // Reference: an ordered list of (key, record-count) honoring FIFO.
+  std::vector<std::pair<KeywordSet, std::size_t>> model;
+  auto model_occupancy = [&] {
+    std::size_t total = 0;
+    for (const auto& [k, n] : model) total += n;
+    return total;
+  };
+  auto model_find = [&](const KeywordSet& k) {
+    for (auto it = model.begin(); it != model.end(); ++it)
+      if (it->first == k) return it;
+    return model.end();
+  };
+
+  Rng rng(GetParam());
+  for (int step = 0; step < 2000; ++step) {
+    const KeywordSet key({"k" + std::to_string(rng.next_below(8))});
+    switch (rng.next_below(3)) {
+      case 0: {  // insert with 1..5 records
+        const auto records = 1 + rng.next_below(5);
+        CachedTraversal t;
+        for (std::uint64_t i = 0; i < records; ++i)
+          t.contributors.emplace_back(i, 1u);
+        t.complete = true;
+        cache.insert(key, t);
+        if (records <= kCapacity) {
+          if (auto it = model_find(key); it != model.end()) {
+            it->second = records;  // replace value, keep position
+          } else {
+            model.emplace_back(key, records);
+          }
+          while (model_occupancy() > kCapacity) model.erase(model.begin());
+        }
+        break;
+      }
+      case 1: {  // lookup
+        const auto* got = cache.lookup(key);
+        const auto it = model_find(key);
+        EXPECT_EQ(got != nullptr, it != model.end()) << "step " << step;
+        if (got != nullptr && it != model.end())
+          EXPECT_EQ(got->records(), it->second) << "step " << step;
+        break;
+      }
+      case 2: {  // erase
+        cache.erase(key);
+        if (auto it = model_find(key); it != model.end()) model.erase(it);
+        break;
+      }
+    }
+    ASSERT_EQ(cache.occupancy(), model_occupancy()) << "step " << step;
+    ASSERT_EQ(cache.entry_count(), model.size()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryCacheFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace hkws::index

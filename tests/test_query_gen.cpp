@@ -1,0 +1,132 @@
+#include "workload/query_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/corpus_generator.hpp"
+
+namespace hkws::workload {
+namespace {
+
+const Corpus& test_corpus() {
+  static const Corpus corpus = [] {
+    CorpusConfig cfg;
+    cfg.object_count = 15000;
+    cfg.vocabulary_size = 6000;
+    return CorpusGenerator(cfg).generate();
+  }();
+  return corpus;
+}
+
+QueryLogConfig small_config() {
+  QueryLogConfig cfg;
+  cfg.query_count = 40000;
+  cfg.distinct_queries = 1500;
+  return cfg;
+}
+
+TEST(QueryGen, SolvesZipfExponentForTopShare) {
+  const double s = QueryLogGenerator::solve_zipf_exponent(2000, 10, 0.60);
+  // Verify directly: top-10 mass at the solved exponent is ~60%.
+  double top = 0, total = 0;
+  for (std::size_t k = 1; k <= 2000; ++k) {
+    const double w = std::pow(static_cast<double>(k), -s);
+    total += w;
+    if (k <= 10) top += w;
+  }
+  EXPECT_NEAR(top / total, 0.60, 0.01);
+  EXPECT_GT(s, 1.0);
+}
+
+TEST(QueryGen, EveryQueryHasAtLeastOneMatch) {
+  QueryLogGenerator gen(test_corpus(), small_config());
+  for (const auto& q : gen.universe()) {
+    bool matched = false;
+    for (std::size_t i = 0; i < test_corpus().size() && !matched; ++i)
+      matched = q.subset_of(test_corpus()[i].keywords);
+    EXPECT_TRUE(matched) << q.to_string();
+    if (!matched) break;  // avoid noise
+  }
+}
+
+TEST(QueryGen, QuerySizesWithinConfiguredRange) {
+  QueryLogGenerator gen(test_corpus(), small_config());
+  const auto log = gen.generate();
+  for (const auto& q : log.queries()) {
+    EXPECT_GE(q.keywords.size(), 1u);
+    EXPECT_LE(q.keywords.size(), 5u);
+  }
+}
+
+TEST(QueryGen, TopTenShareIsNearTarget) {
+  QueryLogGenerator gen(test_corpus(), small_config());
+  const auto log = gen.generate();
+  EXPECT_NEAR(log.top_share(10), 0.60, 0.06);
+}
+
+TEST(QueryGen, LogHasRequestedVolume) {
+  QueryLogGenerator gen(test_corpus(), small_config());
+  const auto log = gen.generate();
+  EXPECT_EQ(log.size(), 40000u);
+  EXPECT_GT(log.distinct_count(), 100u);
+  EXPECT_LE(log.distinct_count(), 1500u);
+}
+
+TEST(QueryGen, ArrivalTimesAreSequential) {
+  QueryLogGenerator gen(test_corpus(), small_config());
+  const auto log = gen.generate();
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(log[i].time, i);
+}
+
+TEST(QueryGen, PopularSetsFilterBySize) {
+  QueryLogGenerator gen(test_corpus(), small_config());
+  for (std::size_t m = 1; m <= 3; ++m) {
+    const auto sets = gen.popular_sets(m, 10);
+    EXPECT_FALSE(sets.empty()) << "m=" << m;
+    for (const auto& s : sets) EXPECT_EQ(s.size(), m);
+  }
+}
+
+TEST(QueryGen, DeterministicPerSeed) {
+  QueryLogGenerator a(test_corpus(), small_config());
+  QueryLogGenerator b(test_corpus(), small_config());
+  const auto la = a.generate();
+  const auto lb = b.generate();
+  for (std::size_t i = 0; i < 200; ++i)
+    EXPECT_EQ(la[i].keywords, lb[i].keywords);
+}
+
+TEST(QueryGen, DocumentFrequencyCapExcludesHotKeywords) {
+  QueryLogConfig cfg = small_config();
+  cfg.max_keyword_df = 0.002;  // keywords in > 0.2% of objects are banned
+  QueryLogGenerator gen(test_corpus(), cfg);
+  const auto limit = static_cast<std::uint64_t>(0.002 * test_corpus().size());
+  // Build the document-frequency table once.
+  std::map<Keyword, std::uint64_t> df;
+  for (const auto& [w, c] : test_corpus().keyword_frequencies()) df[w] = c;
+  for (const auto& q : gen.universe())
+    for (const auto& w : q)
+      EXPECT_LE(df[w], limit) << w;
+}
+
+TEST(QueryGen, RejectsEmptyCorpus) {
+  const Corpus empty;
+  EXPECT_THROW(QueryLogGenerator(empty, small_config()),
+               std::invalid_argument);
+}
+
+TEST(QueryLog, TopShareAndFrequencies) {
+  std::vector<Query> qs;
+  for (int i = 0; i < 6; ++i) qs.push_back({KeywordSet({"hot"}), 0});
+  for (int i = 0; i < 4; ++i)
+    qs.push_back({KeywordSet({"cold" + std::to_string(i)}), 0});
+  const QueryLog log(std::move(qs));
+  EXPECT_EQ(log.distinct_count(), 5u);
+  EXPECT_DOUBLE_EQ(log.top_share(1), 0.6);
+  EXPECT_DOUBLE_EQ(log.top_share(100), 1.0);
+  EXPECT_EQ(log.frequencies().front().first, KeywordSet({"hot"}));
+}
+
+}  // namespace
+}  // namespace hkws::workload

@@ -1,0 +1,143 @@
+#include "index/ranking.hpp"
+
+#include "index/keyword_hash.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hkws::index {
+namespace {
+
+std::vector<Hit> sample_hits() {
+  return {
+      Hit{1, KeywordSet({"q"})},
+      Hit{2, KeywordSet({"q", "a"})},
+      Hit{3, KeywordSet({"q", "b"})},
+      Hit{4, KeywordSet({"q", "a", "b"})},
+      Hit{5, KeywordSet({"q", "a"})},
+  };
+}
+
+TEST(Ranking, GroupByExtraCountsCorrectly) {
+  const KeywordSet query({"q"});
+  const auto groups = group_by_extra(sample_hits(), query);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups.at(0).size(), 1u);
+  EXPECT_EQ(groups.at(1).size(), 3u);
+  EXPECT_EQ(groups.at(2).size(), 1u);
+}
+
+TEST(Ranking, GroupByExtraEmptyInput) {
+  EXPECT_TRUE(group_by_extra({}, KeywordSet({"q"})).empty());
+}
+
+TEST(Ranking, OrderGeneralFirst) {
+  auto hits = sample_hits();
+  order_hits(hits, KeywordSet({"q"}), RankingPreference::kGeneralFirst);
+  EXPECT_EQ(hits.front().object, 1u);
+  EXPECT_EQ(hits.back().object, 4u);
+  for (std::size_t i = 1; i < hits.size(); ++i)
+    EXPECT_LE(hits[i - 1].keywords.size(), hits[i].keywords.size());
+}
+
+TEST(Ranking, OrderSpecificFirst) {
+  auto hits = sample_hits();
+  order_hits(hits, KeywordSet({"q"}), RankingPreference::kSpecificFirst);
+  EXPECT_EQ(hits.front().object, 4u);
+  EXPECT_EQ(hits.back().object, 1u);
+}
+
+TEST(Ranking, OrderingIsStableWithinATier) {
+  auto hits = sample_hits();
+  order_hits(hits, KeywordSet({"q"}), RankingPreference::kGeneralFirst);
+  // Objects 2, 3, 5 all have one extra keyword; original order preserved.
+  EXPECT_EQ(hits[1].object, 2u);
+  EXPECT_EQ(hits[2].object, 3u);
+  EXPECT_EQ(hits[3].object, 5u);
+}
+
+TEST(Ranking, SampleRefinementsGroupsByExtraSet) {
+  const auto samples = sample_refinements(sample_hits(), KeywordSet({"q"}), 2);
+  // Categories: {a} (objects 2,5), {b} (3), {a,b} (4); exact match skipped.
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].extra, KeywordSet({"a"}));
+  EXPECT_EQ(samples[0].category_size, 2u);
+  EXPECT_EQ(samples[0].samples.size(), 2u);
+  EXPECT_EQ(samples[1].extra, KeywordSet({"b"}));
+  EXPECT_EQ(samples[2].extra, KeywordSet({"a", "b"}));
+}
+
+TEST(Ranking, SampleRefinementsHonorsPerCategoryLimit) {
+  std::vector<Hit> hits;
+  for (ObjectId o = 1; o <= 10; ++o) hits.push_back(Hit{o, KeywordSet({"q", "a"})});
+  const auto samples = sample_refinements(hits, KeywordSet({"q"}), 3);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].samples.size(), 3u);
+  EXPECT_EQ(samples[0].category_size, 10u);
+}
+
+TEST(Ranking, SampleRefinementsHonorsMaxCategories) {
+  std::vector<Hit> hits;
+  for (ObjectId o = 1; o <= 6; ++o)
+    hits.push_back(Hit{o, KeywordSet({"q", "x" + std::to_string(o)})});
+  const auto samples = sample_refinements(hits, KeywordSet({"q"}), 1, 2);
+  EXPECT_EQ(samples.size(), 2u);
+}
+
+TEST(Ranking, SmallerExtraSetsComeFirst) {
+  std::vector<Hit> hits{
+      Hit{1, KeywordSet({"q", "x", "y"})},
+      Hit{2, KeywordSet({"q", "z"})},
+  };
+  const auto samples = sample_refinements(hits, KeywordSet({"q"}), 1);
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].extra, KeywordSet({"z"}));
+  EXPECT_EQ(samples[1].extra, KeywordSet({"x", "y"}));
+}
+
+TEST(Ranking, ExpandQueryPicksEvenSplit) {
+  // "a" covers 3 of 5 hits; "b" covers 2 of 5; "c" covers 1.
+  std::vector<Hit> hits{
+      Hit{1, KeywordSet({"q", "a"})},      Hit{2, KeywordSet({"q", "a", "b"})},
+      Hit{3, KeywordSet({"q", "a", "c"})}, Hit{4, KeywordSet({"q", "b"})},
+      Hit{5, KeywordSet({"q"})},
+  };
+  const auto expanded = expand_query(hits, KeywordSet({"q"}));
+  ASSERT_TRUE(expanded.has_value());
+  // Ideal split is 2.5; "a" (3) and "b" (2) tie in distance; map order
+  // makes the scan deterministic ("a" first, strict <).
+  EXPECT_EQ(*expanded, KeywordSet({"q", "a"}));
+}
+
+TEST(Ranking, ExpandQueryRespectsMinShare) {
+  std::vector<Hit> hits;
+  for (ObjectId o = 1; o <= 20; ++o) hits.push_back(Hit{o, KeywordSet({"q"})});
+  hits.push_back(Hit{99, KeywordSet({"q", "rare"})});
+  // "rare" covers ~4.8% of hits: below the default 25% floor.
+  EXPECT_FALSE(expand_query(hits, KeywordSet({"q"})).has_value());
+  EXPECT_TRUE(expand_query(hits, KeywordSet({"q"}), 0.01).has_value());
+}
+
+TEST(Ranking, ExpandQueryEmptyCases) {
+  EXPECT_FALSE(expand_query({}, KeywordSet({"q"})).has_value());
+  // All hits exactly match the query: nothing to expand with.
+  std::vector<Hit> exact{Hit{1, KeywordSet({"q"})}};
+  EXPECT_FALSE(expand_query(exact, KeywordSet({"q"})).has_value());
+}
+
+TEST(Ranking, ExpandQueryNarrowsTheSearchSpace) {
+  // The expanded query's responsible node has at least as many one-bits,
+  // so its subhypercube is no larger (Lemma 3.3 direction).
+  std::vector<Hit> hits{
+      Hit{1, KeywordSet({"q", "x"})},
+      Hit{2, KeywordSet({"q", "x", "y"})},
+  };
+  const auto expanded = expand_query(hits, KeywordSet({"q"}), 0.1);
+  ASSERT_TRUE(expanded.has_value());
+  KeywordHasher hasher(10);
+  EXPECT_TRUE(cube::Hypercube::contains(
+      hasher.responsible_node(*expanded),
+      hasher.responsible_node(KeywordSet({"q"}))));
+}
+
+}  // namespace
+}  // namespace hkws::index

@@ -1,0 +1,104 @@
+#include "dht/node_id.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hkws::dht {
+namespace {
+
+TEST(RingSpace, ClampMasksHighBits) {
+  RingSpace s(8);
+  EXPECT_EQ(s.clamp(0x1FF), 0xFFu);
+  EXPECT_EQ(s.clamp(0x100), 0u);
+  RingSpace full(64);
+  EXPECT_EQ(full.clamp(~0ULL), ~0ULL);
+}
+
+TEST(RingSpace, DistanceWrapsClockwise) {
+  RingSpace s(8);
+  EXPECT_EQ(s.distance(10, 20), 10u);
+  EXPECT_EQ(s.distance(20, 10), 246u);  // 256 - 10
+  EXPECT_EQ(s.distance(5, 5), 0u);
+}
+
+TEST(RingSpace, AddPow2Wraps) {
+  RingSpace s(8);
+  EXPECT_EQ(s.add_pow2(250, 3), (250 + 8) % 256);
+  EXPECT_EQ(s.add_pow2(0, 7), 128u);
+}
+
+TEST(RingSpace, IntervalOcBasic) {
+  RingSpace s(8);
+  // (10, 20]
+  EXPECT_FALSE(s.in_interval_oc(10, 10, 20));
+  EXPECT_TRUE(s.in_interval_oc(11, 10, 20));
+  EXPECT_TRUE(s.in_interval_oc(20, 10, 20));
+  EXPECT_FALSE(s.in_interval_oc(21, 10, 20));
+  EXPECT_FALSE(s.in_interval_oc(5, 10, 20));
+}
+
+TEST(RingSpace, IntervalOcWrapsAroundZero) {
+  RingSpace s(8);
+  // (250, 5]
+  EXPECT_TRUE(s.in_interval_oc(255, 250, 5));
+  EXPECT_TRUE(s.in_interval_oc(0, 250, 5));
+  EXPECT_TRUE(s.in_interval_oc(5, 250, 5));
+  EXPECT_FALSE(s.in_interval_oc(250, 250, 5));
+  EXPECT_FALSE(s.in_interval_oc(6, 250, 5));
+  EXPECT_FALSE(s.in_interval_oc(100, 250, 5));
+}
+
+TEST(RingSpace, IntervalOcFullCircleWhenEqual) {
+  RingSpace s(8);
+  // lo == hi: full circle (single-node ring owns every key).
+  EXPECT_TRUE(s.in_interval_oc(0, 7, 7));
+  EXPECT_TRUE(s.in_interval_oc(7, 7, 7));
+  EXPECT_TRUE(s.in_interval_oc(200, 7, 7));
+}
+
+TEST(RingSpace, IntervalOoBasic) {
+  RingSpace s(8);
+  EXPECT_FALSE(s.in_interval_oo(10, 10, 20));
+  EXPECT_TRUE(s.in_interval_oo(11, 10, 20));
+  EXPECT_FALSE(s.in_interval_oo(20, 10, 20));
+  EXPECT_TRUE(s.in_interval_oo(19, 10, 20));
+}
+
+TEST(RingSpace, IntervalOoWrap) {
+  RingSpace s(8);
+  EXPECT_TRUE(s.in_interval_oo(0, 250, 5));
+  EXPECT_FALSE(s.in_interval_oo(5, 250, 5));
+  EXPECT_FALSE(s.in_interval_oo(250, 250, 5));
+}
+
+TEST(RingSpace, IntervalOoEqualEndpointsIsAllButPoint) {
+  RingSpace s(8);
+  EXPECT_FALSE(s.in_interval_oo(9, 9, 9));
+  EXPECT_TRUE(s.in_interval_oo(10, 9, 9));
+  EXPECT_TRUE(s.in_interval_oo(8, 9, 9));
+}
+
+class RingSpaceBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingSpaceBits, ExhaustiveIntervalConsistency) {
+  // For every (x, lo, hi) on a tiny ring: x in (lo,hi] iff x in (lo,hi) or
+  // x == hi (when hi != lo).
+  const int bits = GetParam();
+  RingSpace s(bits);
+  const std::uint64_t n = 1ULL << bits;
+  for (std::uint64_t lo = 0; lo < n; ++lo)
+    for (std::uint64_t hi = 0; hi < n; ++hi)
+      for (std::uint64_t x = 0; x < n; ++x) {
+        const bool oc = s.in_interval_oc(x, lo, hi);
+        const bool oo = s.in_interval_oo(x, lo, hi);
+        if (lo != hi) {
+          EXPECT_EQ(oc, oo || x == hi)
+              << "x=" << x << " lo=" << lo << " hi=" << hi;
+        }
+        if (oo) EXPECT_TRUE(oc);
+      }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallRings, RingSpaceBits, ::testing::Values(2, 3, 4));
+
+}  // namespace
+}  // namespace hkws::dht

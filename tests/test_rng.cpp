@@ -1,0 +1,114 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace hkws {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  // The all-zero state is forbidden for xoshiro; SplitMix64 seeding avoids
+  // it, so the stream must not be stuck at zero.
+  bool nonzero = false;
+  for (int i = 0; i < 10; ++i) nonzero |= (r.next_u64() != 0);
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng r(6);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextInIsInclusive) {
+  Rng r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.next_in(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanIsNearHalf) {
+  Rng r(9);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, ForkGivesIndependentStream) {
+  Rng a(10);
+  Rng b = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, WorksWithStdShuffle) {
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto orig = v;
+  Rng r(11);
+  std::shuffle(v.begin(), v.end(), r);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);  // permutation
+}
+
+class RngUniformity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngUniformity, NextBelowIsRoughlyUniform) {
+  const std::uint64_t buckets = GetParam();
+  Rng r(1234 + buckets);
+  std::vector<int> counts(buckets, 0);
+  const int per_bucket = 2000;
+  const int total = static_cast<int>(buckets) * per_bucket;
+  for (int i = 0; i < total; ++i) ++counts[r.next_below(buckets)];
+  for (std::uint64_t b = 0; b < buckets; ++b) {
+    EXPECT_GT(counts[b], per_bucket * 80 / 100) << "bucket " << b;
+    EXPECT_LT(counts[b], per_bucket * 120 / 100) << "bucket " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngUniformity,
+                         ::testing::Values(2, 3, 7, 10, 16, 33));
+
+}  // namespace
+}  // namespace hkws

@@ -1,0 +1,120 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hkws {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(variance({}), 0.0);
+  EXPECT_EQ(gini({}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
+}
+
+TEST(Stats, PercentileValidatesInput) {
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101), std::invalid_argument);
+}
+
+TEST(Stats, GiniUniformIsZero) {
+  EXPECT_NEAR(gini({5, 5, 5, 5}), 0.0, 1e-12);
+}
+
+TEST(Stats, GiniConcentratedApproachesOne) {
+  std::vector<double> xs(100, 0.0);
+  xs[0] = 1000;
+  EXPECT_GT(gini(xs), 0.95);
+}
+
+TEST(Stats, GiniIsScaleInvariant) {
+  const std::vector<double> a{1, 2, 3, 10};
+  std::vector<double> b;
+  for (double x : a) b.push_back(x * 37);
+  EXPECT_NEAR(gini(a), gini(b), 1e-12);
+}
+
+TEST(Stats, GiniAllZeroLoadsIsZero) {
+  EXPECT_EQ(gini({0, 0, 0}), 0.0);
+}
+
+TEST(LoadCurve, EndpointsAndMonotonicity) {
+  const auto curve = ranked_load_curve({3, 1, 4, 1, 5, 9, 2, 6});
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().node_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().load_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().node_fraction, 1.0);
+  EXPECT_NEAR(curve.back().load_fraction, 1.0, 1e-12);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].node_fraction, curve[i - 1].node_fraction);
+    EXPECT_GE(curve[i].load_fraction, curve[i - 1].load_fraction);
+  }
+}
+
+TEST(LoadCurve, IsConcaveBecauseSortedDescending) {
+  // Heaviest-first accumulation implies the curve lies above the diagonal.
+  const auto curve = ranked_load_curve({10, 8, 5, 2, 1});
+  for (const auto& p : curve)
+    EXPECT_GE(p.load_fraction, p.node_fraction - 1e-12);
+}
+
+TEST(LoadCurve, PerfectBalanceIsDiagonal) {
+  const auto curve = ranked_load_curve({2, 2, 2, 2});
+  for (const auto& p : curve)
+    EXPECT_NEAR(p.load_fraction, p.node_fraction, 1e-12);
+}
+
+TEST(LoadCurve, DownsamplingKeepsEndpoints) {
+  std::vector<double> loads(1000);
+  for (std::size_t i = 0; i < loads.size(); ++i)
+    loads[i] = static_cast<double>(i % 17);
+  const auto curve = ranked_load_curve(loads, 50);
+  EXPECT_LE(curve.size(), 55u);
+  EXPECT_DOUBLE_EQ(curve.front().node_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().node_fraction, 1.0);
+}
+
+TEST(LoadCurve, EmptyInputGivesEmptyCurve) {
+  EXPECT_TRUE(ranked_load_curve({}).empty());
+}
+
+TEST(Histogram, CountsAndFractions) {
+  Histogram h;
+  h.add(3);
+  h.add(3);
+  h.add(7, 2);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(7), 2u);
+  EXPECT_EQ(h.count(99), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction(3), 0.5);
+  EXPECT_DOUBLE_EQ(h.hist_mean(), 5.0);
+  EXPECT_EQ(h.min_value(), 3);
+  EXPECT_EQ(h.max_value(), 7);
+}
+
+TEST(Histogram, EmptyBehaviour) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.fraction(1), 0.0);
+  EXPECT_EQ(h.hist_mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace hkws

@@ -1,0 +1,72 @@
+#include "workload/text.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hkws::workload {
+namespace {
+
+TEST(Text, BasicTokenization) {
+  const auto k = keywords_from_text("Largest ISP in Taiwan!");
+  EXPECT_EQ(k, KeywordSet({"largest", "isp", "taiwan"}));  // "in" is a stop word
+}
+
+TEST(Text, CaseFoldingAndDeduplication) {
+  const auto k = keywords_from_text("News NEWS news TVBS tvbs");
+  EXPECT_EQ(k, KeywordSet({"news", "tvbs"}));
+}
+
+TEST(Text, PreservesProgrammingTokens) {
+  const auto k = keywords_from_text("We use C++ and C#, plus e-mail.");
+  EXPECT_TRUE(k.contains("c++"));
+  EXPECT_TRUE(k.contains("c#"));
+  EXPECT_TRUE(k.contains("e-mail"));
+}
+
+TEST(Text, LengthFilters) {
+  TokenizerOptions opts;
+  opts.min_length = 3;
+  opts.max_length = 6;
+  const auto k = keywords_from_text("ab abc abcdef abcdefg", opts);
+  EXPECT_EQ(k, KeywordSet({"abc", "abcdef"}));
+}
+
+TEST(Text, CapsKeywordCount) {
+  TokenizerOptions opts;
+  opts.max_keywords = 3;
+  const auto k = keywords_from_text("one two three four five", opts);
+  EXPECT_EQ(k.size(), 3u);
+  // First-come order before canonicalization.
+  EXPECT_TRUE(k.contains("one"));
+  EXPECT_TRUE(k.contains("two"));
+  EXPECT_TRUE(k.contains("three"));
+}
+
+TEST(Text, CustomStopWords) {
+  TokenizerOptions opts;
+  opts.stop_words = {"der", "die", "das"};
+  const auto k = keywords_from_text("der die das hund", opts);
+  EXPECT_EQ(k, KeywordSet({"hund"}));
+}
+
+TEST(Text, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(keywords_from_text("").empty());
+  EXPECT_TRUE(keywords_from_text("... !!! ???").empty());
+}
+
+TEST(Text, NoLowercaseOption) {
+  TokenizerOptions opts;
+  opts.lowercase = false;
+  const auto k = keywords_from_text("TVBS News", opts);
+  EXPECT_TRUE(k.contains("TVBS"));
+  EXPECT_TRUE(k.contains("News"));
+}
+
+TEST(Text, DigitsAndMixedTokens) {
+  const auto k = keywords_from_text("mp3 h264 4k video");
+  EXPECT_TRUE(k.contains("mp3"));
+  EXPECT_TRUE(k.contains("h264"));
+  EXPECT_TRUE(k.contains("4k"));
+}
+
+}  // namespace
+}  // namespace hkws::workload

@@ -1,0 +1,95 @@
+#include "common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace hkws {
+namespace {
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfDistribution z(100, 1.0);
+  double sum = 0;
+  for (std::size_t k = 0; k < z.size(); ++k) sum += z.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Zipf, PmfIsMonotoneDecreasing) {
+  ZipfDistribution z(50, 1.2);
+  for (std::size_t k = 1; k < z.size(); ++k)
+    EXPECT_LE(z.pmf(k), z.pmf(k - 1)) << "rank " << k;
+}
+
+TEST(Zipf, SkewZeroIsUniform) {
+  ZipfDistribution z(10, 0.0);
+  for (std::size_t k = 0; k < 10; ++k) EXPECT_NEAR(z.pmf(k), 0.1, 1e-12);
+}
+
+TEST(Zipf, PmfOutOfRangeIsZero) {
+  ZipfDistribution z(10, 1.0);
+  EXPECT_EQ(z.pmf(10), 0.0);
+  EXPECT_EQ(z.pmf(1000), 0.0);
+}
+
+TEST(Zipf, RejectsInvalidArguments) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfDistribution(10, -0.5), std::invalid_argument);
+}
+
+TEST(Zipf, SingleRankAlwaysSamplesZero) {
+  ZipfDistribution z(1, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(Zipf, SamplingMatchesPmf) {
+  ZipfDistribution z(20, 1.0);
+  Rng rng(42);
+  std::vector<std::uint64_t> counts(20, 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[z.sample(rng)];
+  for (std::size_t k = 0; k < 20; ++k) {
+    const double expected = z.pmf(k) * kN;
+    EXPECT_NEAR(static_cast<double>(counts[k]), expected,
+                5 * std::sqrt(expected) + 5)
+        << "rank " << k;
+  }
+}
+
+TEST(Zipf, FitRecoversExponent) {
+  // Generate exact Zipf counts and check the regression recovers s.
+  for (double s : {0.7, 1.0, 1.4}) {
+    std::vector<std::uint64_t> counts;
+    for (int k = 1; k <= 500; ++k)
+      counts.push_back(static_cast<std::uint64_t>(
+          1e7 * std::pow(static_cast<double>(k), -s)));
+    EXPECT_NEAR(fit_zipf_exponent(counts), s, 0.05) << "s=" << s;
+  }
+}
+
+TEST(Zipf, FitHandlesDegenerateInput) {
+  EXPECT_EQ(fit_zipf_exponent({}), 0.0);
+  EXPECT_EQ(fit_zipf_exponent({5}), 0.0);
+  EXPECT_EQ(fit_zipf_exponent({0, 0, 0}), 0.0);
+}
+
+class ZipfTopShare
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(ZipfTopShare, TopTenShareGrowsWithSkew) {
+  const auto [skew, min_share] = GetParam();
+  ZipfDistribution z(2000, skew);
+  double top10 = 0;
+  for (std::size_t k = 0; k < 10; ++k) top10 += z.pmf(k);
+  EXPECT_GE(top10, min_share);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfTopShare,
+                         ::testing::Values(std::pair{0.8, 0.15},
+                                           std::pair{1.0, 0.30},
+                                           std::pair{1.5, 0.75}));
+
+}  // namespace
+}  // namespace hkws

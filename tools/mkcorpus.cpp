@@ -1,0 +1,107 @@
+// mkcorpus — generate a reproducible synthetic corpus (and optionally a
+// query log) as TSV, for running the experiments outside the bench
+// harnesses or seeding external tools.
+//
+//   mkcorpus --objects 131180 --vocab 50000 --seed 2005 \
+//            --mean-keywords 7.3 --out corpus.tsv \
+//            [--queries 178000 --distinct 5000 --query-out queries.txt]
+//
+// The query log is one query per line: comma-separated keywords.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "workload/corpus_generator.hpp"
+#include "workload/corpus_io.hpp"
+#include "workload/query_generator.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--objects N] [--vocab N] [--seed N] [--mean-keywords F]\n"
+      "          [--zipf-skew F] [--zipf-shift F] --out corpus.tsv\n"
+      "          [--queries N] [--distinct N] [--query-out queries.txt]\n",
+      argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hkws;
+  workload::CorpusConfig ccfg;
+  workload::QueryLogConfig qcfg;
+  std::string out, query_out;
+  std::size_t query_count = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--objects") == 0) {
+      ccfg.object_count = std::strtoull(need("--objects"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--vocab") == 0) {
+      ccfg.vocabulary_size = std::strtoull(need("--vocab"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      ccfg.seed = std::strtoull(need("--seed"), nullptr, 10);
+      qcfg.seed = ccfg.seed ^ 0x51ed;
+    } else if (std::strcmp(argv[i], "--mean-keywords") == 0) {
+      ccfg.mean_keywords = std::strtod(need("--mean-keywords"), nullptr);
+    } else if (std::strcmp(argv[i], "--zipf-skew") == 0) {
+      ccfg.zipf_skew = std::strtod(need("--zipf-skew"), nullptr);
+    } else if (std::strcmp(argv[i], "--zipf-shift") == 0) {
+      ccfg.zipf_shift = std::strtod(need("--zipf-shift"), nullptr);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out = need("--out");
+    } else if (std::strcmp(argv[i], "--queries") == 0) {
+      query_count = std::strtoull(need("--queries"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--distinct") == 0) {
+      qcfg.distinct_queries = std::strtoull(need("--distinct"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--query-out") == 0) {
+      query_out = need("--query-out");
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      usage(argv[0]);
+    }
+  }
+  if (out.empty()) usage(argv[0]);
+
+  try {
+    const auto corpus = workload::CorpusGenerator(ccfg).generate();
+    workload::save_corpus_tsv(corpus, out);
+    std::printf("wrote %zu records to %s (mean %.2f keywords, %zu distinct)\n",
+                corpus.size(), out.c_str(), corpus.mean_keywords(),
+                corpus.vocabulary_size());
+
+    if (query_count != 0) {
+      if (query_out.empty()) {
+        std::fprintf(stderr, "--queries requires --query-out\n");
+        return 2;
+      }
+      qcfg.query_count = query_count;
+      workload::QueryLogGenerator gen(corpus, qcfg);
+      const auto log = gen.generate();
+      std::ofstream qf(query_out);
+      if (!qf) {
+        std::fprintf(stderr, "cannot open %s\n", query_out.c_str());
+        return 1;
+      }
+      for (const auto& q : log.queries())
+        qf << q.keywords.to_string() << '\n';
+      std::printf("wrote %zu queries to %s (top-10 share %.1f%%)\n",
+                  log.size(), query_out.c_str(), 100.0 * log.top_share(10));
+    }
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return 1;
+  }
+  return 0;
+}
