@@ -1,0 +1,300 @@
+// Serving-latency benchmark — the query-serving engine under open-loop
+// Poisson load. Three parts:
+//
+//  A. Offered-QPS sweep (lossless, heavy-tailed LogNormal link latency):
+//     the engine replays the Zipf query log at several offered rates and
+//     reports p50/p95/p99 end-to-end latency, achieved QPS, in-flight and
+//     backlog high-water marks, and shed/timeout counts. One run repeats
+//     the middle rate with the query cache off to expose its latency win.
+//  B. Dimension sweep: the middle rate at r = 8 and r = 12.
+//  C. Loss correctness: 1% message loss with retransmission enabled; every
+//     query that did not time out must return exactly the result set of a
+//     serial lossless baseline. A mismatch fails the benchmark (exit 1).
+//
+// Scale knobs (independent of the generic HYPERKWS_* ones so CI reduction
+// does not void the acceptance criteria):
+//   HYPERKWS_SERVING_OBJECTS  corpus size         (default 25000)
+//   HYPERKWS_SERVING_QUERIES  queries per run     (default 12000)
+//   HYPERKWS_SERVING_LOSSQ    loss-phase queries  (default 1500)
+//
+// Machine-readable results land in BENCH_serving.json (cwd).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "dht/chord_network.hpp"
+#include "engine/load_driver.hpp"
+#include "engine/query_engine.hpp"
+#include "workload/arrivals.hpp"
+
+namespace {
+
+using namespace hkws;
+
+constexpr std::size_t kPeers = 224;
+constexpr std::size_t kSearchers = 32;
+constexpr double kLatencyMedian = 30.0;  // ticks (~ms): WAN-ish one-way
+constexpr double kLatencySigma = 0.45;
+
+struct Setup {
+  sim::EventQueue clock;
+  std::unique_ptr<sim::Network> net;
+  std::unique_ptr<dht::ChordNetwork> dht;
+  std::unique_ptr<index::KeywordSearchService> service;
+
+  Setup(index::KeywordSearchService::Options opts, std::uint64_t seed) {
+    net = std::make_unique<sim::Network>(
+        clock, std::make_unique<sim::LogNormalLatency>(kLatencyMedian,
+                                                       kLatencySigma),
+        seed);
+    dht = std::make_unique<dht::ChordNetwork>(
+        dht::ChordNetwork::build(*net, kPeers, {}));
+    service = std::make_unique<index::KeywordSearchService>(*dht, opts);
+  }
+
+  void publish(const workload::Corpus& corpus) {
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      const auto& rec = corpus[i];
+      service->publish(1 + i % kPeers, rec.id, rec.keywords);
+      // Keep the event heap shallow: drain while publishing.
+      if (i % 512 == 511) clock.run();
+    }
+    clock.run();
+  }
+};
+
+std::vector<sim::EndpointId> searcher_pool() {
+  std::vector<sim::EndpointId> out;
+  for (std::size_t i = 1; i <= kSearchers; ++i) out.push_back(i);
+  return out;
+}
+
+struct RunResult {
+  std::string name;
+  double offered_qps = 0;
+  int r = 10;
+  bool cache = true;
+  engine::EngineReport report;
+};
+
+/// One open-loop serving run: fresh cluster, publish, replay at `qps`.
+RunResult serve_run(const std::string& name, const workload::Corpus& corpus,
+                    const workload::QueryLog& log, double qps, int r,
+                    bool cache) {
+  index::KeywordSearchService::Options opts;
+  opts.r = r;
+  opts.cache_capacity = cache ? 64 : 0;
+  Setup setup(opts, 0xbe7c5 + static_cast<std::uint64_t>(qps));
+  setup.publish(corpus);
+
+  engine::EngineConfig cfg;
+  cfg.max_in_flight = 64;
+  cfg.max_backlog = 2000;  // beyond this, overload sheds
+  cfg.search.limit = 64;
+  cfg.search.strategy = index::SearchStrategy::kLevelParallel;
+  cfg.latency_reservoir = 4096;  // bounded memory over long runs
+  cfg.record_traces = false;     // too many queries to keep full traces
+  engine::QueryEngine engine(*setup.service, setup.clock, cfg);
+
+  workload::PoissonArrivals arrivals(qps, 0xa11c + static_cast<std::uint64_t>(qps));
+  engine::LoadDriver driver(engine, setup.clock, searcher_pool());
+  driver.start(log, arrivals);
+  setup.clock.run();
+
+  RunResult result;
+  result.name = name;
+  result.offered_qps = qps;
+  result.r = r;
+  result.cache = cache;
+  result.report = engine.report();
+
+  std::printf("\n--- %s (offered %.0f qps, r=%d, cache=%s) ---\n",
+              name.c_str(), qps, r, cache ? "on" : "off");
+  std::fputs(result.report.to_string().c_str(), stdout);
+  return result;
+}
+
+std::set<ObjectId> id_set(const std::vector<index::Hit>& hits) {
+  std::set<ObjectId> ids;
+  for (const auto& h : hits) ids.insert(h.object);
+  return ids;
+}
+
+struct LossCheck {
+  std::size_t queries = 0;
+  std::size_t compared = 0;
+  std::size_t matched = 0;
+  std::size_t timed_out = 0;
+  std::size_t failed = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t messages_lost = 0;
+  bool ok = false;
+};
+
+/// Part C: exhaustive searches under 1% loss vs a serial lossless baseline.
+LossCheck loss_correctness(const workload::Corpus& corpus,
+                           const workload::QueryLog& log) {
+  index::KeywordSearchService::Options opts;
+  opts.r = 10;
+  opts.cache_capacity = 64;
+  opts.step_timeout = 800;  // >> p99 round trip at median 30
+  opts.max_retries = 6;
+
+  // Serial lossless baseline over the distinct queries of the log.
+  std::map<KeywordSet, std::set<ObjectId>> expected;
+  {
+    Setup base(opts, 0x5e41a1);
+    base.publish(corpus);
+    for (const auto& q : log.queries()) {
+      if (expected.count(q.keywords)) continue;
+      auto& slot = expected[q.keywords];
+      base.service->search(
+          1, q.keywords,
+          {.limit = 0, .strategy = index::SearchStrategy::kLevelParallel},
+          [&slot](const index::KeywordSearchService::Answer& a) {
+            slot = id_set(a.hits);
+          });
+      base.clock.run();  // serial: one query at a time
+    }
+  }
+
+  // The same cluster seeds, now with 1% loss switched on after publishing.
+  Setup lossy(opts, 0x5e41a1);
+  lossy.publish(corpus);
+  lossy.net->set_drop_model(std::make_unique<sim::BernoulliDrop>(0.01));
+
+  engine::EngineConfig cfg;
+  cfg.max_in_flight = 128;
+  cfg.max_backlog = 4000;
+  cfg.deadline = 15000;
+  cfg.search.limit = 0;  // exhaustive, so results are comparable
+  cfg.search.strategy = index::SearchStrategy::kLevelParallel;
+  cfg.record_traces = false;
+  engine::QueryEngine engine(*lossy.service, lossy.clock, cfg);
+
+  LossCheck check;
+  check.queries = log.size();
+  engine.set_on_finished([&](const engine::QueryRecord& rec) {
+    switch (rec.outcome) {
+      case engine::QueryOutcome::kTimedOut: ++check.timed_out; return;
+      case engine::QueryOutcome::kFailed: ++check.failed; return;
+      case engine::QueryOutcome::kShed: return;
+      case engine::QueryOutcome::kCompleted: break;
+    }
+  });
+
+  workload::PoissonArrivals arrivals(40.0, 0xfeed);
+  engine::LoadDriver driver(engine, lossy.clock, searcher_pool());
+  driver.start(log, arrivals);
+  lossy.clock.run();
+
+  // Hit-count comparison for every completed query (the engine records the
+  // delivered result size), plus a full id-set comparison replayed serially
+  // on the still-lossy cluster for the distinct queries.
+  for (const auto& rec : engine.records()) {
+    if (rec.outcome != engine::QueryOutcome::kCompleted) continue;
+    const auto& q = log[static_cast<std::size_t>(rec.id - 1)].keywords;
+    ++check.compared;
+    if (rec.hits == expected[q].size()) ++check.matched;
+  }
+
+  // Exact id-level verification on the lossy cluster, serially.
+  bool ids_ok = true;
+  for (const auto& [q, want] : expected) {
+    std::set<ObjectId> got;
+    bool done = false;
+    lossy.service->search(
+        1, q,
+        {.limit = 0, .strategy = index::SearchStrategy::kLevelParallel},
+        [&](const index::KeywordSearchService::Answer& a) {
+          if (!a.stats.failed) got = id_set(a.hits);
+          done = !a.stats.failed;
+        });
+    lossy.clock.run();
+    if (done && got != want) {
+      ids_ok = false;
+      std::printf("MISMATCH for query [%s]: got %zu ids, want %zu\n",
+                  q.to_string().c_str(), got.size(), want.size());
+    }
+  }
+
+  check.retransmits = engine.report().retransmits;
+  check.messages_lost = lossy.net->messages_lost();
+  check.ok = ids_ok && check.matched == check.compared && check.compared > 0;
+
+  std::printf("\n--- loss correctness (1%% loss, exhaustive) ---\n");
+  std::printf(
+      "queries=%zu compared=%zu matched=%zu timed_out=%zu failed=%zu "
+      "retransmits=%llu lost=%llu ok=%s\n",
+      check.queries, check.compared, check.matched, check.timed_out,
+      check.failed, static_cast<unsigned long long>(check.retransmits),
+      static_cast<unsigned long long>(check.messages_lost),
+      check.ok ? "yes" : "NO");
+  return check;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t objects =
+      bench::env_size("HYPERKWS_SERVING_OBJECTS", 25000);
+  const std::size_t queries =
+      bench::env_size("HYPERKWS_SERVING_QUERIES", 12000);
+  const std::size_t loss_queries =
+      bench::env_size("HYPERKWS_SERVING_LOSSQ", 1500);
+
+  bench::banner("Serving latency under open-loop load");
+  std::printf("objects=%zu queries/run=%zu loss-phase=%zu peers=%zu\n",
+              objects, queries, loss_queries, kPeers);
+
+  const auto corpus = bench::paper_corpus(objects);
+  const auto generator = bench::paper_queries(corpus, queries);
+  const workload::QueryLog log = generator.generate();
+
+  std::vector<RunResult> runs;
+  // Part A: offered-QPS sweep, cache on; middle rate repeated cache-off.
+  for (double qps : {40.0, 160.0, 640.0})
+    runs.push_back(serve_run("sweep", corpus, log, qps, 10, true));
+  runs.push_back(serve_run("cacheless", corpus, log, 160.0, 10, false));
+  // Part B: hypercube dimension at the middle rate.
+  for (int r : {8, 12})
+    runs.push_back(serve_run("dimension", corpus, log, 160.0, r, true));
+
+  // Part C: loss correctness on a truncated log.
+  std::vector<workload::Query> head(
+      log.queries().begin(),
+      log.queries().begin() +
+          static_cast<std::ptrdiff_t>(std::min(loss_queries, log.size())));
+  const LossCheck check = loss_correctness(corpus, workload::QueryLog(head));
+
+  std::ofstream json("BENCH_serving.json");
+  json << "{\"objects\":" << objects << ",\"queries\":" << queries
+       << ",\"peers\":" << kPeers << ",\"runs\":[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (i) json << ",";
+    json << "{\"name\":\"" << runs[i].name
+         << "\",\"offered_qps\":" << runs[i].offered_qps
+         << ",\"r\":" << runs[i].r
+         << ",\"cache\":" << (runs[i].cache ? "true" : "false")
+         << ",\"report\":" << runs[i].report.to_json() << "}";
+  }
+  json << "],\"loss_check\":{\"queries\":" << check.queries
+       << ",\"compared\":" << check.compared
+       << ",\"matched\":" << check.matched
+       << ",\"timed_out\":" << check.timed_out
+       << ",\"failed\":" << check.failed
+       << ",\"retransmits\":" << check.retransmits
+       << ",\"messages_lost\":" << check.messages_lost
+       << ",\"ok\":" << (check.ok ? "true" : "false") << "}}\n";
+  json.close();
+  std::printf("\nwrote BENCH_serving.json\n");
+
+  return check.ok ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+#include "engine/load_driver.hpp"
+
+#include <utility>
+
+namespace hkws::engine {
+
+LoadDriver::LoadDriver(QueryEngine& engine, sim::EventQueue& clock,
+                       std::vector<sim::EndpointId> searchers)
+    : engine_(engine), clock_(clock), searchers_(std::move(searchers)) {}
+
+LoadDriver::~LoadDriver() {
+  if (timer_ != 0) clock_.cancel_timer(timer_);
+}
+
+void LoadDriver::start(const workload::QueryLog& log,
+                       workload::ArrivalProcess& arrivals) {
+  if (timer_ != 0) clock_.cancel_timer(timer_);
+  log_ = &log;
+  arrivals_ = &arrivals;
+  position_ = 0;
+  timer_ = 0;
+  if (log.size() == 0) {
+    log_ = nullptr;
+    return;
+  }
+  arm_next();
+}
+
+void LoadDriver::arm_next() {
+  const workload::Ticks gap = arrivals_->next_gap();
+  timer_ = clock_.set_timer(static_cast<sim::Time>(gap), [this] { fire(); });
+}
+
+void LoadDriver::fire() {
+  timer_ = 0;
+  const workload::Query& q = (*log_)[position_];
+  const sim::EndpointId searcher =
+      searchers_[position_ % searchers_.size()];
+  ++position_;
+  // Open loop: the next arrival is armed before (and regardless of) how the
+  // engine handles this one.
+  if (position_ < log_->size())
+    arm_next();
+  else
+    log_ = nullptr;
+  engine_.submit(searcher, q.keywords);
+}
+
+}  // namespace hkws::engine

@@ -1,0 +1,55 @@
+// LoadDriver — open-loop replay of a query log against a QueryEngine. The
+// arrival process (workload::ArrivalProcess, typically Poisson) decides the
+// submission times up front; whether the engine keeps up only changes its
+// backlog and shed counts, never the offered rate. Submission is paced with
+// the EventQueue's cancelable timers, so a driver can be destroyed (or the
+// run truncated with run_until) without leaving a live callback behind.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "engine/query_engine.hpp"
+#include "sim/event_queue.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/query_log.hpp"
+
+namespace hkws::engine {
+
+class LoadDriver {
+ public:
+  /// @param searchers  endpoints the submissions rotate over (round-robin);
+  ///                   must be non-empty before start().
+  LoadDriver(QueryEngine& engine, sim::EventQueue& clock,
+             std::vector<sim::EndpointId> searchers);
+  ~LoadDriver();
+
+  LoadDriver(const LoadDriver&) = delete;
+  LoadDriver& operator=(const LoadDriver&) = delete;
+
+  /// Schedules the replay of `log` with gaps drawn from `arrivals`. The
+  /// first query is submitted after one gap; the caller then drives the
+  /// clock (run()/run_until()). Both references must outlive the replay.
+  void start(const workload::QueryLog& log,
+             workload::ArrivalProcess& arrivals);
+
+  /// Queries submitted so far.
+  std::size_t submitted() const noexcept { return position_; }
+  /// Whether the whole log has been submitted.
+  bool done() const noexcept { return log_ == nullptr; }
+
+ private:
+  void arm_next();
+  void fire();
+
+  QueryEngine& engine_;
+  sim::EventQueue& clock_;
+  std::vector<sim::EndpointId> searchers_;
+  const workload::QueryLog* log_ = nullptr;
+  workload::ArrivalProcess* arrivals_ = nullptr;
+  std::size_t position_ = 0;
+  sim::EventQueue::TimerId timer_ = 0;
+};
+
+}  // namespace hkws::engine

@@ -1,0 +1,286 @@
+#include "engine/query_engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+namespace hkws::engine {
+
+const char* to_string(QueryOutcome outcome) noexcept {
+  switch (outcome) {
+    case QueryOutcome::kCompleted: return "completed";
+    case QueryOutcome::kTimedOut: return "timed_out";
+    case QueryOutcome::kFailed: return "failed";
+    case QueryOutcome::kShed: return "shed";
+  }
+  return "?";
+}
+
+QueryEngine::QueryEngine(index::KeywordSearchService& service,
+                         sim::EventQueue& clock, EngineConfig cfg)
+    : service_(service), clock_(clock), cfg_(cfg) {
+  if (cfg_.latency_reservoir != 0)
+    metrics_.set_reservoir("engine.latency", cfg_.latency_reservoir);
+  // The protocol trace feeds two consumers: per-query trace records
+  // (attributed through the service ticket, which equals the request id for
+  // non-mirrored services) and the global per-peer scan-load histogram.
+  service_.primary_index().set_trace(
+      [this](const index::OverlayIndex::Trace& t) { on_trace(t); });
+}
+
+QueryEngine::~QueryEngine() {
+  service_.primary_index().set_trace(nullptr);
+  // Orphaned searches must not call back into a dead engine.
+  for (auto& [id, act] : active_) {
+    if (act.deadline_timer != 0) clock_.cancel_timer(act.deadline_timer);
+    service_.cancel_search(act.ticket);
+  }
+}
+
+std::uint64_t QueryEngine::submit(sim::EndpointId searcher,
+                                  const KeywordSet& query, int priority) {
+  const std::uint64_t id = next_id_++;
+  const sim::Time now = clock_.now();
+  if (!any_submit_) {
+    first_submit_ = now;
+    any_submit_ = true;
+  }
+  metrics_.count("engine.submitted");
+
+  QueryRecord rec;
+  rec.id = id;
+  rec.priority = priority;
+  rec.submitted = now;
+
+  if (active_.size() >= cfg_.max_in_flight &&
+      backlog_.size() >= cfg_.max_backlog) {
+    // Saturated: shed at the door rather than grow an unbounded queue.
+    rec.outcome = QueryOutcome::kShed;
+    rec.finished = now;
+    if (cfg_.record_traces) rec.trace.push_back({now, "shed", 0, 0});
+    metrics_.count("engine.shed");
+    records_.push_back(std::move(rec));
+    if (on_finished_) on_finished_(records_.back());
+    return id;
+  }
+
+  pending_.emplace(id, std::move(rec));
+  note(id, "submit", static_cast<std::uint64_t>(priority));
+  if (active_.size() < cfg_.max_in_flight) {
+    launch(id, searcher, query);
+  } else {
+    backlog_.push_back(Waiting{id, searcher, query});
+    backlog_high_water_ = std::max(backlog_high_water_, backlog_.size());
+  }
+  return id;
+}
+
+void QueryEngine::launch(std::uint64_t id, sim::EndpointId searcher,
+                         const KeywordSet& query) {
+  const sim::Time now = clock_.now();
+  QueryRecord& rec = pending_[id];
+  Active act;
+  if (cfg_.deadline != 0) {
+    const sim::Time expires = rec.submitted + cfg_.deadline;
+    if (expires <= now) {
+      // The deadline burned out while the query sat in the backlog.
+      seal(id, QueryOutcome::kTimedOut);
+      return;
+    }
+    act.deadline_timer =
+        clock_.set_timer(expires - now, [this, id] { on_deadline(id); });
+  }
+  rec.admitted = now;
+  note(id, "admit", active_.size());
+  auto [it, inserted] = active_.emplace(id, act);
+  const std::uint64_t ticket = service_.search(
+      searcher, query, cfg_.search,
+      [this, id](const index::KeywordSearchService::Answer& answer) {
+        on_answer(id, answer);
+      });
+  it->second.ticket = ticket;
+  by_ticket_.emplace(ticket, id);
+  in_flight_high_water_ = std::max(in_flight_high_water_, active_.size());
+}
+
+void QueryEngine::pump() {
+  if (pumping_) return;
+  pumping_ = true;
+  while (active_.size() < cfg_.max_in_flight && !backlog_.empty()) {
+    Waiting w = pop_backlog();
+    launch(w.id, w.searcher, w.query);
+  }
+  pumping_ = false;
+}
+
+QueryEngine::Waiting QueryEngine::pop_backlog() {
+  auto it = backlog_.begin();
+  if (cfg_.policy == BacklogPolicy::kPriority) {
+    // Stable scan: highest priority, earliest submission wins. Backlogs are
+    // bounded (max_backlog), so linear selection is fine at sim scale.
+    for (auto cand = backlog_.begin(); cand != backlog_.end(); ++cand) {
+      const auto pending_priority = [this](const Waiting& w) {
+        const auto p = pending_.find(w.id);
+        return p == pending_.end() ? 0 : p->second.priority;
+      };
+      if (pending_priority(*cand) > pending_priority(*it)) it = cand;
+    }
+  }
+  Waiting w = std::move(*it);
+  backlog_.erase(it);
+  return w;
+}
+
+void QueryEngine::on_answer(std::uint64_t id,
+                            const index::KeywordSearchService::Answer& answer) {
+  const auto it = active_.find(id);
+  if (it == active_.end()) return;  // raced with a deadline; already sealed
+  if (it->second.deadline_timer != 0)
+    clock_.cancel_timer(it->second.deadline_timer);
+  by_ticket_.erase(it->second.ticket);
+  active_.erase(it);
+  QueryRecord& rec = pending_[id];
+  rec.hits = answer.hits.size();
+  rec.stats = answer.stats;
+  seal(id, answer.stats.failed ? QueryOutcome::kFailed
+                               : QueryOutcome::kCompleted);
+  pump();
+}
+
+void QueryEngine::on_deadline(std::uint64_t id) {
+  const auto it = active_.find(id);
+  if (it == active_.end()) return;
+  service_.cancel_search(it->second.ticket);
+  by_ticket_.erase(it->second.ticket);
+  active_.erase(it);
+  seal(id, QueryOutcome::kTimedOut);
+  pump();
+}
+
+void QueryEngine::seal(std::uint64_t id, QueryOutcome outcome) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  QueryRecord& rec = it->second;
+  const sim::Time now = clock_.now();
+  rec.outcome = outcome;
+  rec.finished = now;
+  switch (outcome) {
+    case QueryOutcome::kCompleted:
+      metrics_.count("engine.completed");
+      metrics_.observe("engine.latency", static_cast<double>(rec.latency()));
+      metrics_.observe("engine.queue_wait",
+                       static_cast<double>(rec.queue_wait()));
+      last_finish_ = std::max(last_finish_, now);
+      note(id, "complete", rec.hits);
+      break;
+    case QueryOutcome::kTimedOut:
+      metrics_.count("engine.timed_out");
+      note(id, "timeout");
+      break;
+    case QueryOutcome::kFailed:
+      metrics_.count("engine.failed");
+      note(id, "failed");
+      break;
+    case QueryOutcome::kShed:
+      metrics_.count("engine.shed");
+      break;
+  }
+  records_.push_back(std::move(rec));
+  pending_.erase(it);
+  if (on_finished_) on_finished_(records_.back());
+}
+
+void QueryEngine::on_trace(const index::OverlayIndex::Trace& t) {
+  if (std::strcmp(t.point, "scan") == 0)
+    scans_per_peer_.add(static_cast<std::int64_t>(t.b));
+  const auto it = by_ticket_.find(t.request);
+  if (it != by_ticket_.end()) note(it->second, t.point, t.a, t.b);
+}
+
+void QueryEngine::note(std::uint64_t id, const char* point, std::uint64_t a,
+                       std::uint64_t b) {
+  if (!cfg_.record_traces) return;
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  it->second.trace.push_back(TracePoint{clock_.now(), point, a, b});
+}
+
+EngineReport QueryEngine::report() const {
+  EngineReport r;
+  r.submitted = metrics_.counter("engine.submitted");
+  r.completed = metrics_.counter("engine.completed");
+  r.timed_out = metrics_.counter("engine.timed_out");
+  r.failed = metrics_.counter("engine.failed");
+  r.shed = metrics_.counter("engine.shed");
+  const std::vector<double>& lat = metrics_.samples("engine.latency");
+  if (!lat.empty()) {
+    r.latency_mean = metrics_.sample_mean("engine.latency");
+    r.latency_p50 = percentile(lat, 50.0);
+    r.latency_p95 = percentile(lat, 95.0);
+    r.latency_p99 = percentile(lat, 99.0);
+  }
+  if (r.completed > 0 && last_finish_ > first_submit_)
+    r.achieved_qps = static_cast<double>(r.completed) * 1000.0 /
+                     static_cast<double>(last_finish_ - first_submit_);
+  r.in_flight_high_water = in_flight_high_water_;
+  r.backlog_high_water = backlog_high_water_;
+  r.retransmits = service_.primary_index()
+                      .dolr()
+                      .overlay()
+                      .net()
+                      .metrics()
+                      .counter("kws.retransmit");
+  r.scans_per_peer = scans_per_peer_;
+  return r;
+}
+
+std::string EngineReport::to_string() const {
+  std::ostringstream os;
+  os << "queries: submitted=" << submitted << " completed=" << completed
+     << " timed_out=" << timed_out << " failed=" << failed
+     << " shed=" << shed << "\n";
+  os << "latency (ticks): mean=" << latency_mean << " p50=" << latency_p50
+     << " p95=" << latency_p95 << " p99=" << latency_p99 << "\n";
+  os << "achieved_qps=" << achieved_qps
+     << " in_flight_hwm=" << in_flight_high_water
+     << " backlog_hwm=" << backlog_high_water
+     << " retransmits=" << retransmits << "\n";
+  if (!scans_per_peer.empty()) {
+    os << "scan load: peers=" << scans_per_peer.bins().size()
+       << " scans=" << scans_per_peer.total()
+       << " mean=" << (static_cast<double>(scans_per_peer.total()) /
+                       static_cast<double>(scans_per_peer.bins().size()))
+       << " max_per_peer=";
+    std::uint64_t max_load = 0;
+    for (const auto& [peer, n] : scans_per_peer.bins())
+      max_load = std::max(max_load, n);
+    os << max_load << "\n";
+  }
+  return os.str();
+}
+
+std::string EngineReport::to_json() const {
+  std::ostringstream os;
+  os << "{"
+     << "\"submitted\":" << submitted << ",\"completed\":" << completed
+     << ",\"timed_out\":" << timed_out << ",\"failed\":" << failed
+     << ",\"shed\":" << shed << ",\"latency_mean\":" << latency_mean
+     << ",\"latency_p50\":" << latency_p50
+     << ",\"latency_p95\":" << latency_p95
+     << ",\"latency_p99\":" << latency_p99
+     << ",\"achieved_qps\":" << achieved_qps
+     << ",\"in_flight_high_water\":" << in_flight_high_water
+     << ",\"backlog_high_water\":" << backlog_high_water
+     << ",\"retransmits\":" << retransmits << ",\"scans_per_peer\":{";
+  bool first = true;
+  for (const auto& [peer, n] : scans_per_peer.bins()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << peer << "\":" << n;
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace hkws::engine

@@ -1,0 +1,219 @@
+// QueryEngine — the concurrent query-serving runtime. It sits on top of
+// index::KeywordSearchService and turns the one-shot search API into a
+// server: many overlapping searches in flight, admission control in front,
+// deadlines behind, and SLO accounting throughout.
+//
+//   submit() ──► admission ──► in-flight search ──► completion record
+//                  │  ▲              │
+//                  ▼  └── pump ◄─────┤ (slot freed)
+//               backlog              ▼
+//             (FIFO/priority)   deadline timer ──► cancel + kTimedOut
+//
+// Semantics:
+//  * At most max_in_flight searches run concurrently; excess submissions
+//    wait in a bounded backlog (FIFO or priority order) and are *shed*
+//    (rejected immediately, outcome kShed) when the backlog is full.
+//  * A query's deadline is measured from submission, not admission — time
+//    spent queued burns budget, so an overloaded server times queries out
+//    instead of serving arbitrarily stale answers. On expiry the in-flight
+//    search is cancelled (OverlayIndex sends T_STOP) and the query is
+//    recorded as kTimedOut; a query whose deadline passed while still
+//    queued is timed out at pop without ever touching the network.
+//  * Loss recovery (timeout/retransmission of protocol messages) lives in
+//    the index layer; the engine selects it via the service Options and
+//    surfaces the retransmission totals in its report.
+//  * Observability: a per-query trace (submit/admit/root/level/scan/…,
+//    timestamped), engine-level latency series (optionally reservoir-
+//    sampled), and an EngineReport with p50/p95/p99, achieved QPS, shed /
+//    timeout / retry counts and the per-peer scan-load histogram.
+//
+// Single-threaded by construction: everything runs as events on the one
+// sim::EventQueue, so no locking — but the engine is re-entrant-safe in the
+// sense that completion callbacks may submit new queries.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "index/service.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+
+namespace hkws::engine {
+
+/// How a submitted query left the engine.
+enum class QueryOutcome {
+  kCompleted,  ///< search finished within the deadline
+  kTimedOut,   ///< deadline expired (in backlog or in flight)
+  kFailed,     ///< protocol gave up (retransmission budget exhausted)
+  kShed,       ///< rejected at admission: backlog full
+};
+
+const char* to_string(QueryOutcome outcome) noexcept;
+
+/// Order of the admission backlog.
+enum class BacklogPolicy {
+  kFifo,      ///< arrival order
+  kPriority,  ///< highest priority first, FIFO within a priority
+};
+
+struct EngineConfig {
+  /// Concurrent searches allowed on the wire.
+  std::size_t max_in_flight = 64;
+  /// Queued submissions allowed beyond that; the next one is shed.
+  std::size_t max_backlog = 1024;
+  /// Per-query deadline in ticks from submission; 0 = none.
+  sim::Time deadline = 0;
+  BacklogPolicy policy = BacklogPolicy::kFifo;
+  /// Options forwarded to every KeywordSearchService::search call.
+  index::KeywordSearchService::SearchOptions search;
+  /// Reservoir cap for the engine's latency series (0 = keep everything).
+  std::size_t latency_reservoir = 0;
+  /// Record the per-query protocol trace (root/level/scan milestones).
+  bool record_traces = true;
+};
+
+/// One timestamped milestone in a query's life.
+struct TracePoint {
+  sim::Time at = 0;
+  /// "submit", "admit", "shed", "root", "level", "scan", "retransmit",
+  /// "failed", "complete", "timeout" — see docs/ENGINE.md.
+  const char* point = "";
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Everything the engine remembers about one finished query.
+struct QueryRecord {
+  std::uint64_t id = 0;        ///< engine-assigned, dense from 1
+  QueryOutcome outcome = QueryOutcome::kCompleted;
+  int priority = 0;
+  sim::Time submitted = 0;
+  sim::Time admitted = 0;      ///< == submitted unless it waited; 0 if shed
+  sim::Time finished = 0;      ///< completion/timeout/shed time
+  std::size_t hits = 0;        ///< results delivered (post-ranking)
+  index::SearchStats stats;    ///< protocol cost of the search
+  std::vector<TracePoint> trace;
+
+  /// End-to-end latency (finished - submitted).
+  sim::Time latency() const noexcept { return finished - submitted; }
+  /// Admission delay (admitted - submitted).
+  sim::Time queue_wait() const noexcept {
+    return admitted >= submitted ? admitted - submitted : 0;
+  }
+};
+
+/// Aggregate serving report over the engine's lifetime.
+struct EngineReport {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t shed = 0;
+  /// Latency stats over *completed* queries, in ticks.
+  double latency_mean = 0.0;
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
+  /// Completions per kilotick (= QPS at 1 tick = 1 ms), measured from the
+  /// first submission to the last completion.
+  double achieved_qps = 0.0;
+  std::size_t in_flight_high_water = 0;
+  std::size_t backlog_high_water = 0;
+  /// Protocol-message retransmissions across all queries.
+  std::uint64_t retransmits = 0;
+  /// T_QUERY scans served per peer (the per-node serving-load histogram).
+  Histogram scans_per_peer;
+
+  std::string to_string() const;
+  std::string to_json() const;  ///< single JSON object, machine-readable
+};
+
+class QueryEngine {
+ public:
+  using CompletionFn = std::function<void(const QueryRecord&)>;
+
+  QueryEngine(index::KeywordSearchService& service, sim::EventQueue& clock,
+              EngineConfig cfg);
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Submits one query from `searcher`. Returns the engine query id; the
+  /// outcome lands in records() (and the completion hook) when known.
+  /// Sheds synchronously if the engine is saturated.
+  std::uint64_t submit(sim::EndpointId searcher,
+                       const KeywordSet& query, int priority = 0);
+
+  /// Optional per-query completion hook (any outcome, including shed).
+  void set_on_finished(CompletionFn fn) { on_finished_ = std::move(fn); }
+
+  // --- Introspection --------------------------------------------------------
+
+  std::size_t in_flight() const noexcept { return active_.size(); }
+  std::size_t backlog() const noexcept { return backlog_.size(); }
+  /// Finished queries, in finish order.
+  const std::vector<QueryRecord>& records() const noexcept { return records_; }
+  /// The engine's own metrics (latency series "engine.latency", counters).
+  const sim::Metrics& metrics() const noexcept { return metrics_; }
+
+  /// Snapshot report over everything finished so far.
+  EngineReport report() const;
+
+ private:
+  struct Waiting {
+    std::uint64_t id = 0;
+    sim::EndpointId searcher = 0;
+    KeywordSet query;
+  };
+  struct Active {
+    std::uint64_t ticket = 0;  ///< service ticket (cancel handle)
+    sim::EventQueue::TimerId deadline_timer = 0;
+  };
+
+  /// Starts the search for a pending record (must have a free slot).
+  void launch(std::uint64_t id, sim::EndpointId searcher,
+              const KeywordSet& query);
+  /// Admits from the backlog while slots are free.
+  void pump();
+  /// Pops the next backlog entry per policy.
+  Waiting pop_backlog();
+  void on_answer(std::uint64_t id,
+                 const index::KeywordSearchService::Answer& answer);
+  void on_deadline(std::uint64_t id);
+  /// Moves a pending record to records_ with the given outcome.
+  void seal(std::uint64_t id, QueryOutcome outcome);
+  void on_trace(const index::OverlayIndex::Trace& t);
+  void note(std::uint64_t id, const char* point, std::uint64_t a = 0,
+            std::uint64_t b = 0);
+
+  index::KeywordSearchService& service_;
+  sim::EventQueue& clock_;
+  EngineConfig cfg_;
+  CompletionFn on_finished_;
+
+  std::uint64_t next_id_ = 1;
+  /// Records of queries not yet finished (backlogged or in flight).
+  std::unordered_map<std::uint64_t, QueryRecord> pending_;
+  std::unordered_map<std::uint64_t, Active> active_;
+  std::deque<Waiting> backlog_;
+  /// Service ticket -> engine id, for trace attribution.
+  std::unordered_map<std::uint64_t, std::uint64_t> by_ticket_;
+  std::vector<QueryRecord> records_;
+  sim::Metrics metrics_;
+  Histogram scans_per_peer_;
+  std::size_t in_flight_high_water_ = 0;
+  std::size_t backlog_high_water_ = 0;
+  sim::Time first_submit_ = 0;
+  bool any_submit_ = false;
+  sim::Time last_finish_ = 0;
+  bool pumping_ = false;  ///< re-entrancy guard for pump()
+};
+
+}  // namespace hkws::engine

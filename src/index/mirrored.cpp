@@ -58,33 +58,51 @@ SearchResult MirroredIndex::merge(const SearchResult& a,
   return merged;
 }
 
-void MirroredIndex::superset_search(sim::EndpointId searcher,
-                                    const KeywordSet& query,
-                                    std::size_t threshold,
-                                    SearchStrategy strategy,
-                                    OverlayIndex::SearchCallback done) {
+std::uint64_t MirroredIndex::superset_search(
+    sim::EndpointId searcher, const KeywordSet& query, std::size_t threshold,
+    SearchStrategy strategy, OverlayIndex::SearchCallback done) {
   // Fan out to both cubes; merge when both have answered.
   struct Pending {
     SearchResult first;
     bool have_first = false;
     OverlayIndex::SearchCallback done;
   };
+  const std::uint64_t ticket = next_ticket_++;
   auto pending = std::make_shared<Pending>();
   pending->done = std::move(done);
-  auto on_result = [pending, threshold](const SearchResult& r) {
+  auto on_result = [this, pending, threshold, ticket](const SearchResult& r) {
     if (!pending->have_first) {
       pending->first = r;
       pending->have_first = true;
       return;
     }
+    active_.erase(ticket);
     SearchResult merged = merge(pending->first, r);
     // min(t, |O_K|) semantics survive the union.
     if (threshold != 0 && merged.hits.size() > threshold)
       merged.hits.resize(threshold);
     pending->done(merged);
   };
-  primary_->superset_search(searcher, query, threshold, strategy, on_result);
-  mirror_->superset_search(searcher, query, threshold, strategy, on_result);
+  const std::uint64_t a =
+      primary_->superset_search(searcher, query, threshold, strategy,
+                                on_result);
+  const std::uint64_t b =
+      mirror_->superset_search(searcher, query, threshold, strategy,
+                               on_result);
+  active_.emplace(ticket, std::make_pair(a, b));
+  return ticket;
+}
+
+bool MirroredIndex::cancel(std::uint64_t ticket) {
+  const auto it = active_.find(ticket);
+  if (it == active_.end()) return false;
+  const auto [a, b] = it->second;
+  active_.erase(it);
+  // Either traversal may have finished on its own already; cancelling the
+  // other is what guarantees the merged callback can no longer fire.
+  primary_->cancel(a);
+  mirror_->cancel(b);
+  return true;
 }
 
 void MirroredIndex::pin_search(sim::EndpointId searcher,

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
+#include <utility>
 
 #include "index/overlay_index.hpp"
 
@@ -37,10 +39,16 @@ class MirroredIndex {
 
   /// Superset search over both cubes; hits are unioned by object id. The
   /// reported stats are the sums; `complete` holds if either traversal was
-  /// complete (that is the availability win).
-  void superset_search(sim::EndpointId searcher, const KeywordSet& query,
-                       std::size_t threshold, SearchStrategy strategy,
-                       OverlayIndex::SearchCallback done);
+  /// complete (that is the availability win). Returns a ticket usable with
+  /// cancel() while either traversal is still in flight.
+  std::uint64_t superset_search(sim::EndpointId searcher,
+                                const KeywordSet& query,
+                                std::size_t threshold, SearchStrategy strategy,
+                                OverlayIndex::SearchCallback done);
+
+  /// Abandons both in-flight traversals of a superset search; the callback
+  /// is never invoked. Returns false if the ticket already completed.
+  bool cancel(std::uint64_t ticket);
 
   /// Pin search over both cubes, unioned.
   void pin_search(sim::EndpointId searcher, const KeywordSet& keywords,
@@ -60,6 +68,10 @@ class MirroredIndex {
 
   std::unique_ptr<OverlayIndex> primary_;
   std::unique_ptr<OverlayIndex> mirror_;
+  /// In-flight superset tickets -> the two underlying request ids.
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
+      active_;
+  std::uint64_t next_ticket_ = 1;
 };
 
 }  // namespace hkws::index

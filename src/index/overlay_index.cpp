@@ -187,11 +187,11 @@ void OverlayIndex::pin_search(sim::EndpointId searcher,
 
 // --- Superset search ----------------------------------------------------------
 
-void OverlayIndex::superset_search(sim::EndpointId searcher,
-                                   const KeywordSet& query,
-                                   std::size_t threshold,
-                                   SearchStrategy strategy,
-                                   SearchCallback done) {
+std::uint64_t OverlayIndex::superset_search(sim::EndpointId searcher,
+                                            const KeywordSet& query,
+                                            std::size_t threshold,
+                                            SearchStrategy strategy,
+                                            SearchCallback done) {
   if (query.empty())
     throw std::invalid_argument("OverlayIndex: empty query");
   const std::uint64_t id = next_request_++;
@@ -204,23 +204,71 @@ void OverlayIndex::superset_search(sim::EndpointId searcher,
   req->strategy = strategy;
   req->done = std::move(done);
   requests_[id] = std::move(req);
+  begin_root_route(id);
+  return id;
+}
 
+void OverlayIndex::begin_root_route(std::uint64_t req_id) {
+  Request* req = find(req_id);
+  if (!req) return;
+  ++req->root_attempts;
   overlay_.route(
-      searcher, ring_key_of(requests_[id]->root_cube), "kws.t_query",
-      kCtrlBytes + query.size() * 12,
-      [this, id](const dht::Overlay::RouteResult& rr) {
-        Request* r = find(id);
-        if (!r) return;
+      req->searcher, ring_key_of(req->root_cube), "kws.t_query",
+      kCtrlBytes + req->query.size() * 12,
+      [this, req_id](const dht::Overlay::RouteResult& rr) {
+        Request* r = find(req_id);
+        // root_resolved dedups the callback of a route superseded by a
+        // timeout-triggered re-route that happened to survive after all.
+        if (!r || r->root_resolved) return;
+        r->root_resolved = true;
+        if (r->root_timer != 0) {
+          net_.clock().cancel_timer(r->root_timer);
+          r->root_timer = 0;
+        }
         r->root_peer = overlay_.endpoint_of(rr.owner);
         r->stats.messages += static_cast<std::size_t>(rr.hops);
         r->stats.nodes_contacted = 1;
+        emit(req_id, "root", r->root_peer, static_cast<std::uint64_t>(rr.hops));
         start_top_down(*r);
       });
+  if (cfg_.step_timeout == 0) return;
+  Request* r = find(req_id);  // re-find: the route may complete in place
+  if (r == nullptr || r->root_resolved) return;
+  r->root_timer = net_.clock().set_timer(cfg_.step_timeout, [this, req_id] {
+    Request* r2 = find(req_id);
+    if (!r2 || r2->root_resolved) return;
+    r2->root_timer = 0;
+    if (r2->root_attempts > cfg_.max_retries) {
+      abort_request(req_id);
+      return;
+    }
+    ++r2->stats.retransmits;
+    net_.metrics().count("kws.retransmit");
+    emit(req_id, "retransmit", r2->root_cube);
+    begin_root_route(req_id);
+  });
+}
+
+bool OverlayIndex::cancel(std::uint64_t request) {
+  Request* req = find(request);
+  if (!req) return false;
+  release_timers(*req);
+  net_.metrics().count("kws.cancelled");
+  if (req->root_resolved) {
+    // Abandonment notice: a T_STOP tells the coordinator to stop exploring
+    // the subtree. Coordinator state lives in this (shared) object, so
+    // erasing the request is the stop itself; the message keeps the wire
+    // cost model honest.
+    net_.send(req->searcher, req->root_peer, "kws.t_stop", kCtrlBytes, [] {});
+  }
+  requests_.erase(request);
+  return true;
 }
 
 void OverlayIndex::start_top_down(Request& req) {
   // The root examines its own index table first (paper step 0).
-  const std::size_t c0 = scan_and_reply(req, req.root_peer, req.root_cube);
+  const Visit& v0 = ensure_scan(req, req.root_cube, req.root_peer);
+  const std::size_t c0 = v0.c1;
   req.collected += c0;
   if (c0 > 0)
     req.contributors.emplace_back(req.root_cube,
@@ -283,30 +331,104 @@ void OverlayIndex::start_top_down(Request& req) {
   }
 }
 
-std::size_t OverlayIndex::scan_and_reply(Request& req, sim::EndpointId peer,
-                                         cube::CubeId w) {
-  std::vector<Hit> batch;
-  PeerState& ps = peer_state(peer);
-  if (const auto it = ps.tables.find(w); it != ps.tables.end()) {
-    const std::size_t want = room(req);
-    batch = it->second.supersets(req.query,
-                                 want == kUnlimited ? 0 : want);
+OverlayIndex::Visit& OverlayIndex::ensure_scan(Request& req, cube::CubeId w,
+                                               sim::EndpointId peer) {
+  auto [it, fresh] = req.visits.try_emplace(w);
+  Visit& v = it->second;
+  if (fresh) {
+    v.peer = peer;
+    PeerState& ps = peer_state(peer);
+    if (const auto tit = ps.tables.find(w); tit != ps.tables.end()) {
+      const std::size_t want = room(req);
+      v.batch = tit->second.supersets(req.query,
+                                      want == kUnlimited ? 0 : want);
+    }
+    v.c1 = v.batch.size();
+    // Control verdict is fixed at first scan so retransmitted arrivals
+    // replay the identical reply (collected may have moved on since).
+    v.stop = req.mode != Mode::kLevels && req.threshold != 0 &&
+             req.collected + v.c1 >= req.threshold;
+    if (v.c1 > 0) ++req.results_expected;
+    emit(req.id, "scan", w, peer);
   }
-  const std::size_t c1 = batch.size();
-  if (c1 > 0) {
-    // Matching IDs travel directly to the searcher (paper protocol).
-    ++req.results_expected;
+  if (v.c1 > 0) {
+    // Matching IDs travel directly to the searcher (paper protocol); a
+    // retransmitted query replays the same batch, deduplicated there.
     ++req.stats.messages;
-    net_.send(peer, req.searcher, "kws.results", c1 * kHitBytes,
-              [this, id = req.id, batch = std::move(batch)] {
-                Request* r = find(id);
-                if (!r) return;
-                r->hits.insert(r->hits.end(), batch.begin(), batch.end());
-                ++r->results_received;
-                maybe_complete(id);
+    net_.send(peer, req.searcher, "kws.results", v.c1 * kHitBytes,
+              [this, id = req.id, w, batch = v.batch] {
+                on_results(id, w, batch);
               });
+    if (cfg_.step_timeout == 0) {
+      // No retransmission: the memoized batch will never be replayed.
+      v.batch.clear();
+      v.batch.shrink_to_fit();
+    }
   }
-  return c1;
+  return v;
+}
+
+void OverlayIndex::on_results(std::uint64_t req_id, cube::CubeId w,
+                              const std::vector<Hit>& batch) {
+  Request* r = find(req_id);
+  if (!r) return;
+  if (!r->delivered.insert(w).second) return;  // duplicate replay
+  r->hits.insert(r->hits.end(), batch.begin(), batch.end());
+  ++r->results_received;
+  maybe_complete(req_id);
+}
+
+void OverlayIndex::on_query_arrived(std::uint64_t req_id, cube::CubeId w,
+                                    sim::EndpointId peer) {
+  Request* req = find(req_id);
+  if (!req) return;
+  if (!req->visits.contains(w)) ++req->stats.nodes_contacted;
+  const Visit& v = ensure_scan(*req, w, peer);
+  // T_CONT carries the child list L; T_STOP ends the search. Either way one
+  // direct control message back to the coordinator (replayed on
+  // retransmitted queries so a lost reply cannot stall the coordinator).
+  ++req->stats.messages;
+  net_.send(peer, req->root_peer, v.stop ? "kws.t_stop" : "kws.t_cont",
+            kCtrlBytes, [this, req_id, w, peer, c1 = v.c1] {
+              on_node_answered(req_id, w, peer, c1);
+            });
+}
+
+void OverlayIndex::visit_node(std::uint64_t req_id, cube::CubeId w) {
+  Request* req = find(req_id);
+  if (!req) return;
+  send_to_cube_node(
+      req->root_peer, w, "kws.t_query", kCtrlBytes,
+      [this, req_id](std::size_t n) {
+        if (Request* r = find(req_id)) r->stats.messages += n;
+      },
+      [this, req_id, w](sim::EndpointId peer) {
+        on_query_arrived(req_id, w, peer);
+      });
+  arm_step_timer(req_id, w);
+}
+
+void OverlayIndex::arm_step_timer(std::uint64_t req_id, cube::CubeId w) {
+  if (cfg_.step_timeout == 0) return;
+  Request* req = find(req_id);
+  if (!req || req->answered.contains(w)) return;
+  if (const auto it = req->step_timers.find(w); it != req->step_timers.end())
+    net_.clock().cancel_timer(it->second);
+  req->step_timers[w] =
+      net_.clock().set_timer(cfg_.step_timeout, [this, req_id, w] {
+        Request* r = find(req_id);
+        if (!r || r->answered.contains(w)) return;
+        r->step_timers.erase(w);
+        int& attempts = r->step_attempts[w];
+        if (++attempts > cfg_.max_retries) {
+          abort_request(req_id);
+          return;
+        }
+        ++r->stats.retransmits;
+        net_.metrics().count("kws.retransmit");
+        emit(req_id, "retransmit", w);
+        visit_node(req_id, w);
+      });
 }
 
 void OverlayIndex::send_to_cube_node(
@@ -345,26 +467,7 @@ void OverlayIndex::step_top_down(std::uint64_t req_id) {
   const cube::CubeId w = req->queue.front().first;
   req->queue.pop_front();
   ++req->stats.rounds;
-  send_to_cube_node(
-      req->root_peer, w, "kws.t_query", kCtrlBytes,
-      [this, req_id](std::size_t n) {
-        if (Request* r = find(req_id)) r->stats.messages += n;
-      },
-      [this, req_id, w](sim::EndpointId peer) {
-        Request* r = find(req_id);
-        if (!r) return;
-        ++r->stats.nodes_contacted;
-        const std::size_t c1 = scan_and_reply(*r, peer, w);
-        // T_CONT carries the child list L; T_STOP ends the search. Either
-        // way one direct control message back to the coordinator.
-        const bool stop =
-            r->threshold != 0 && r->collected + c1 >= r->threshold;
-        ++r->stats.messages;
-        net_.send(peer, r->root_peer, stop ? "kws.t_stop" : "kws.t_cont",
-                  kCtrlBytes, [this, req_id, w, peer, c1] {
-                    on_node_answered(req_id, w, peer, c1);
-                  });
-      });
+  visit_node(req_id, w);
 }
 
 void OverlayIndex::step_plan(std::uint64_t req_id) {
@@ -377,24 +480,7 @@ void OverlayIndex::step_plan(std::uint64_t req_id) {
   }
   const cube::CubeId w = req->plan[req->plan_pos++];
   ++req->stats.rounds;
-  send_to_cube_node(
-      req->root_peer, w, "kws.t_query", kCtrlBytes,
-      [this, req_id](std::size_t n) {
-        if (Request* r = find(req_id)) r->stats.messages += n;
-      },
-      [this, req_id, w](sim::EndpointId peer) {
-        Request* r = find(req_id);
-        if (!r) return;
-        ++r->stats.nodes_contacted;
-        const std::size_t c1 = scan_and_reply(*r, peer, w);
-        ++r->stats.messages;
-        const bool stop =
-            r->threshold != 0 && r->collected + c1 >= r->threshold;
-        net_.send(peer, r->root_peer, stop ? "kws.t_stop" : "kws.t_cont",
-                  kCtrlBytes, [this, req_id, w, peer, c1] {
-                    on_node_answered(req_id, w, peer, c1);
-                  });
-      });
+  visit_node(req_id, w);
 }
 
 void OverlayIndex::start_level(std::uint64_t req_id) {
@@ -410,30 +496,20 @@ void OverlayIndex::start_level(std::uint64_t req_id) {
   ++req->stats.levels;
   ++req->stats.rounds;
   req->outstanding = nodes.size();
-  for (const cube::CubeId w : nodes) {
-    send_to_cube_node(
-        req->root_peer, w, "kws.t_query", kCtrlBytes,
-        [this, req_id](std::size_t n) {
-          if (Request* r = find(req_id)) r->stats.messages += n;
-        },
-        [this, req_id, w](sim::EndpointId peer) {
-          Request* r = find(req_id);
-          if (!r) return;
-          ++r->stats.nodes_contacted;
-          const std::size_t c1 = scan_and_reply(*r, peer, w);
-          ++r->stats.messages;
-          net_.send(peer, r->root_peer, "kws.t_cont", kCtrlBytes,
-                    [this, req_id, w, peer, c1] {
-                      on_node_answered(req_id, w, peer, c1);
-                    });
-        });
-  }
+  emit(req_id, "level", req->level - 1, nodes.size());
+  for (const cube::CubeId w : nodes) visit_node(req_id, w);
 }
 
 void OverlayIndex::on_node_answered(std::uint64_t req_id, cube::CubeId w,
                                     sim::EndpointId peer, std::size_t c1) {
   Request* req = find(req_id);
   if (!req) return;
+  if (!req->answered.insert(w).second) return;  // duplicate control reply
+  if (const auto it = req->step_timers.find(w); it != req->step_timers.end()) {
+    net_.clock().cancel_timer(it->second);
+    req->step_timers.erase(it);
+  }
+  req->step_attempts.erase(w);
   req->collected += c1;
   if (c1 > 0)
     req->contributors.emplace_back(w, static_cast<std::uint32_t>(c1));
@@ -504,21 +580,104 @@ void OverlayIndex::finish(std::uint64_t req_id) {
     cit->second.insert(req->query, std::move(summary));
   }
 
+  send_done(req_id);
+}
+
+void OverlayIndex::send_done(std::uint64_t req_id) {
+  Request* req = find(req_id);
+  if (!req || req->done_received) return;
+  ++req->done_attempts;
   ++req->stats.messages;  // the final done notification to the searcher
   net_.send(req->root_peer, req->searcher, "kws.done", kCtrlBytes,
             [this, req_id] {
               Request* r = find(req_id);
-              if (!r) return;
+              if (!r || r->done_received) return;
               r->done_received = true;
+              if (r->done_timer != 0) {
+                net_.clock().cancel_timer(r->done_timer);
+                r->done_timer = 0;
+              }
               maybe_complete(req_id);
             });
+  if (cfg_.step_timeout == 0) return;
+  req->done_timer = net_.clock().set_timer(cfg_.step_timeout, [this, req_id] {
+    Request* r = find(req_id);
+    if (!r || r->done_received) return;
+    r->done_timer = 0;
+    if (r->done_attempts > cfg_.max_retries) {
+      abort_request(req_id);
+      return;
+    }
+    ++r->stats.retransmits;
+    net_.metrics().count("kws.retransmit");
+    emit(req_id, "retransmit", r->root_cube, 1);
+    send_done(req_id);
+  });
+}
+
+void OverlayIndex::arm_repair_timer(std::uint64_t req_id) {
+  Request* req = find(req_id);
+  if (!req || req->repair_timer != 0) return;
+  if (req->repair_attempts >= cfg_.max_retries) {
+    abort_request(req_id);
+    return;
+  }
+  ++req->repair_attempts;
+  req->repair_timer = net_.clock().set_timer(cfg_.step_timeout, [this, req_id] {
+    Request* r = find(req_id);
+    if (!r) return;
+    r->repair_timer = 0;
+    for (auto& [node, v] : r->visits) {
+      if (v.c1 == 0 || r->delivered.contains(node)) continue;
+      ++r->stats.retransmits;
+      ++r->stats.messages;
+      net_.metrics().count("kws.retransmit");
+      emit(req_id, "retransmit", node, 2);
+      net_.send(v.peer, r->searcher, "kws.results", v.c1 * kHitBytes,
+                [this, req_id, w = node, batch = v.batch] {
+                  on_results(req_id, w, batch);
+                });
+    }
+    maybe_complete(req_id);  // arms the next round if batches are lost again
+  });
+}
+
+void OverlayIndex::release_timers(Request& req) {
+  sim::EventQueue& clock = net_.clock();
+  if (req.root_timer != 0) clock.cancel_timer(req.root_timer);
+  if (req.done_timer != 0) clock.cancel_timer(req.done_timer);
+  if (req.repair_timer != 0) clock.cancel_timer(req.repair_timer);
+  req.root_timer = req.done_timer = req.repair_timer = 0;
+  for (const auto& [node, timer] : req.step_timers) clock.cancel_timer(timer);
+  req.step_timers.clear();
+}
+
+void OverlayIndex::abort_request(std::uint64_t req_id) {
+  Request* req = find(req_id);
+  if (!req) return;
+  release_timers(*req);
+  net_.metrics().count("kws.request_failed");
+  emit(req_id, "failed");
+  SearchResult result;
+  result.hits = std::move(req->hits);
+  result.stats = req->stats;
+  result.stats.failed = true;
+  result.stats.complete = false;
+  SearchCallback cb = std::move(req->done);
+  requests_.erase(req_id);
+  if (cb) cb(result);
 }
 
 void OverlayIndex::maybe_complete(std::uint64_t req_id) {
   Request* req = find(req_id);
   if (!req) return;
-  if (!req->done_received || req->results_received != req->results_expected)
+  if (!req->done_received || req->results_received != req->results_expected) {
+    // A result batch can be lost even though the done arrived; after a
+    // grace timeout re-ship whatever the searcher is still missing.
+    if (req->done_received && cfg_.step_timeout != 0) arm_repair_timer(req_id);
     return;
+  }
+  release_timers(*req);
   SearchResult result;
   result.hits = std::move(req->hits);
   result.stats = req->stats;

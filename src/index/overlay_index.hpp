@@ -14,6 +14,18 @@
 //    searcher (as in the paper); the final `done` notification carries the
 //    number of result messages sent so the searcher can complete exactly
 //    when everything has arrived regardless of message reordering.
+//  * Superset search optionally runs with loss-tolerant delivery: when
+//    Config::step_timeout is set, every protocol step (root contact,
+//    per-node T_QUERY, the T_CONT/T_STOP reply, result delivery, and the
+//    final done notification) is guarded by a cancelable timer and
+//    retransmitted up to Config::max_retries times. Retransmitted steps are
+//    idempotent — each node memoizes its first scan per request and
+//    replays the same batch, and the searcher deduplicates batches by
+//    origin node — so a search over a lossy network returns exactly the
+//    result set of the lossless run, or reports stats.failed when a step
+//    exhausts its budget. Requests can also be cancelled mid-flight
+//    (deadline abandonment): cancel() drops all coordinator state and
+//    signals the root with a T_STOP.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +33,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/keyword.hpp"
@@ -45,6 +58,13 @@ class OverlayIndex {
     std::uint64_t ring_salt = seeds::kCubeToDht;
     std::size_t cache_capacity = 0;  ///< per-node query-cache records; 0 = off
     bool cache_contacts = true;      ///< learn cube-node -> peer contacts
+    /// Superset-search retransmission timeout in ticks; 0 disables loss
+    /// tolerance (legacy behaviour: a lost message stalls the request until
+    /// someone cancels it). Choose > the round-trip p99 to avoid spurious
+    /// (harmless but costly) retransmits.
+    sim::Time step_timeout = 0;
+    /// Retransmissions per protocol step before the request is failed.
+    int max_retries = 3;
   };
 
   OverlayIndex(dht::Dolr& dolr, Config cfg);
@@ -108,10 +128,41 @@ class OverlayIndex {
   void pin_search(sim::EndpointId searcher, const KeywordSet& keywords,
                   SearchCallback done);
 
-  /// Superset search with the selected exploration strategy.
-  void superset_search(sim::EndpointId searcher, const KeywordSet& query,
-                       std::size_t threshold, SearchStrategy strategy,
-                       SearchCallback done);
+  /// Superset search with the selected exploration strategy. Returns the
+  /// request id, usable with cancel() while the search is in flight.
+  std::uint64_t superset_search(sim::EndpointId searcher,
+                                const KeywordSet& query,
+                                std::size_t threshold, SearchStrategy strategy,
+                                SearchCallback done);
+
+  /// Abandons an in-flight superset search: coordinator state is dropped,
+  /// the callback is never invoked, and (if the root was already located) a
+  /// T_STOP message tells the root to stop exploring the subtree. Returns
+  /// false if the request already completed or never existed. This is the
+  /// deadline-enforcement hook of the serving engine.
+  bool cancel(std::uint64_t request);
+
+  /// Number of superset-search requests currently in flight.
+  std::size_t in_flight_requests() const noexcept { return requests_.size(); }
+
+  // --- Tracing ---------------------------------------------------------------
+
+  /// One protocol milestone of an in-flight request. Points currently
+  /// emitted: "root" (a = root peer, b = route hops), "scan" (a = cube
+  /// node, b = peer that served it), "level" (a = level index, b = width),
+  /// "retransmit" (a = cube node or root cube), "failed" (budget
+  /// exhausted). See docs/ENGINE.md for the schema.
+  struct Trace {
+    std::uint64_t request = 0;
+    const char* point = "";
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+  };
+  using TraceFn = std::function<void(const Trace&)>;
+
+  /// Installs a trace observer (nullptr to remove). Invoked synchronously
+  /// from protocol event handlers; keep it cheap and non-reentrant.
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
 
   // --- Cumulative superset search (paper §2.2/§3.3) --------------------------
   //
@@ -167,6 +218,16 @@ class OverlayIndex {
 
   enum class Mode { kTopDown, kPlan, kLevels };
 
+  /// Target-side memo of one node's first scan for a request. Keeping the
+  /// batch makes retransmitted T_QUERYs idempotent: a node always replays
+  /// its original answer, never a rescan (whose room() could have changed).
+  struct Visit {
+    sim::EndpointId peer = 0;
+    std::size_t c1 = 0;       ///< matches found at first scan
+    bool stop = false;        ///< control verdict computed at first scan
+    std::vector<Hit> batch;   ///< kept only while retransmission is on
+  };
+
   struct Request {
     std::uint64_t id = 0;
     KeywordSet query;
@@ -174,8 +235,21 @@ class OverlayIndex {
     sim::EndpointId searcher = 0;
     cube::CubeId root_cube = 0;
     sim::EndpointId root_peer = 0;
+    bool root_resolved = false;
     Mode mode = Mode::kTopDown;
     SearchStrategy strategy = SearchStrategy::kTopDownSequential;
+    // Loss-tolerance state (all empty/0 when step_timeout == 0).
+    std::unordered_map<cube::CubeId, Visit> visits;     // scanned nodes
+    std::unordered_set<cube::CubeId> answered;          // coordinator dedup
+    std::unordered_set<cube::CubeId> delivered;         // searcher dedup
+    std::unordered_map<cube::CubeId, sim::EventQueue::TimerId> step_timers;
+    std::unordered_map<cube::CubeId, int> step_attempts;
+    sim::EventQueue::TimerId root_timer = 0;
+    int root_attempts = 0;
+    sim::EventQueue::TimerId done_timer = 0;
+    int done_attempts = 0;
+    sim::EventQueue::TimerId repair_timer = 0;
+    int repair_attempts = 0;
     // kTopDown state: the paper's queue U of (node, dimension) pairs.
     std::deque<std::pair<cube::CubeId, int>> queue;
     // kPlan state: fixed visit order (cached contributors / bottom-up).
@@ -253,15 +327,40 @@ class OverlayIndex {
   void step_top_down(std::uint64_t req_id);
   void step_plan(std::uint64_t req_id);
   void start_level(std::uint64_t req_id);
-  /// Scans cube node `w` at `peer` for the request, delivers results to the
-  /// searcher; returns the number of matches sent.
-  std::size_t scan_and_reply(Request& req, sim::EndpointId peer,
-                             cube::CubeId w);
+  /// Routes the initial query to the root's peer; retried on timeout.
+  void begin_root_route(std::uint64_t req_id);
+  /// Sends (or resends) the T_QUERY for node `w` and arms its step timer.
+  void visit_node(std::uint64_t req_id, cube::CubeId w);
+  /// Runs at the peer playing `w` when a T_QUERY arrives: scans once
+  /// (memoized), ships the result batch to the searcher, answers the
+  /// coordinator with T_CONT/T_STOP. Idempotent under retransmission.
+  void on_query_arrived(std::uint64_t req_id, cube::CubeId w,
+                        sim::EndpointId peer);
+  /// First-scan memoization: scans `w` at `peer` for the request if this is
+  /// the first arrival and ships the batch to the searcher (replaying the
+  /// memoized batch on retransmitted arrivals).
+  Visit& ensure_scan(Request& req, cube::CubeId w, sim::EndpointId peer);
+  void on_results(std::uint64_t req_id, cube::CubeId w,
+                  const std::vector<Hit>& batch);
   void on_node_answered(std::uint64_t req_id, cube::CubeId w,
                         sim::EndpointId peer, std::size_t c1);
+  void arm_step_timer(std::uint64_t req_id, cube::CubeId w);
+  /// Sends (or resends) the final done notification to the searcher.
+  void send_done(std::uint64_t req_id);
+  /// Re-ships result batches the searcher is still missing after done.
+  void arm_repair_timer(std::uint64_t req_id);
+  /// Gives up on the request: cancels timers, delivers partial hits with
+  /// stats.failed set, erases the request.
+  void abort_request(std::uint64_t req_id);
+  /// Cancels every pending timer owned by the request.
+  void release_timers(Request& req);
   void finish(std::uint64_t req_id);
   void maybe_complete(std::uint64_t req_id);
   Request* find(std::uint64_t req_id);
+  void emit(std::uint64_t request, const char* point, std::uint64_t a = 0,
+            std::uint64_t b = 0) {
+    if (trace_) trace_(Trace{request, point, a, b});
+  }
 
   std::size_t room(const Request& req) const;
 
@@ -277,6 +376,7 @@ class OverlayIndex {
       sessions_;
   std::uint64_t next_request_ = 1;
   std::uint64_t next_session_ = 1;
+  TraceFn trace_;
 };
 
 }  // namespace hkws::index

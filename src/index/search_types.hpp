@@ -37,6 +37,12 @@ struct SearchStats {
   bool cache_hit = false;
   /// Whether the whole subhypercube was covered (results are exhaustive).
   bool complete = false;
+  /// Protocol-message retransmissions triggered by loss timeouts (always 0
+  /// on a lossless network or with retransmission disabled).
+  std::size_t retransmits = 0;
+  /// The protocol gave up: some step exhausted its retransmission budget.
+  /// Hits hold whatever had arrived; `complete` is false.
+  bool failed = false;
 };
 
 /// Result of a pin or superset search.

@@ -13,6 +13,8 @@ KeywordSearchService::KeywordSearchService(dht::Overlay& overlay,
   cfg.r = options.r;
   cfg.hash_seed = options.hash_seed;
   cfg.cache_capacity = options.cache_capacity;
+  cfg.step_timeout = options.step_timeout;
+  cfg.max_retries = options.max_retries;
   if (options.mirror_index)
     mirrored_ = std::make_unique<MirroredIndex>(dolr_, cfg);
   else
@@ -69,20 +71,23 @@ void KeywordSearchService::pin(sim::EndpointId searcher,
     plain_->pin_search(searcher, keywords, std::move(wrap));
 }
 
-void KeywordSearchService::search(sim::EndpointId searcher,
-                                  const KeywordSet& query,
-                                  const SearchOptions& options,
-                                  AnswerCallback done) {
+std::uint64_t KeywordSearchService::search(sim::EndpointId searcher,
+                                           const KeywordSet& query,
+                                           const SearchOptions& options,
+                                           AnswerCallback done) {
   auto wrap = [this, query, options, done = std::move(done)](
                   const SearchResult& r) {
     done(decorate(r, query, options));
   };
   if (mirrored_)
-    mirrored_->superset_search(searcher, query, options.limit,
-                               options.strategy, std::move(wrap));
-  else
-    plain_->superset_search(searcher, query, options.limit, options.strategy,
-                            std::move(wrap));
+    return mirrored_->superset_search(searcher, query, options.limit,
+                                      options.strategy, std::move(wrap));
+  return plain_->superset_search(searcher, query, options.limit,
+                                 options.strategy, std::move(wrap));
+}
+
+bool KeywordSearchService::cancel_search(std::uint64_t ticket) {
+  return mirrored_ ? mirrored_->cancel(ticket) : plain_->cancel(ticket);
 }
 
 std::uint64_t KeywordSearchService::open_browse(sim::EndpointId searcher,

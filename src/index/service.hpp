@@ -35,6 +35,10 @@ class KeywordSearchService {
     bool mirror_index = false;      ///< secondary hypercube (§3.4)
     std::size_t cache_capacity = 32;  ///< per-node query-cache records
     std::uint64_t hash_seed = seeds::kKeywordHash;
+    /// Retransmission timeout per protocol step (0 = loss recovery off).
+    sim::Time step_timeout = 0;
+    /// Retransmissions allowed per step before the search fails.
+    int max_retries = 3;
   };
 
   KeywordSearchService(dht::Overlay& overlay, Options options);
@@ -73,8 +77,13 @@ class KeywordSearchService {
            AnswerCallback done);
 
   /// Superset search + ranking + optional refinement/expansion advice.
-  void search(sim::EndpointId searcher, const KeywordSet& query,
-              const SearchOptions& options, AnswerCallback done);
+  /// Returns a ticket accepted by cancel_search() while in flight.
+  std::uint64_t search(sim::EndpointId searcher, const KeywordSet& query,
+                       const SearchOptions& options, AnswerCallback done);
+
+  /// Abandons an in-flight search; its callback is never invoked. Returns
+  /// false if the ticket already completed (or never existed).
+  bool cancel_search(std::uint64_t ticket);
 
   // --- Browsing (cumulative search; primary cube only) ------------------------
 

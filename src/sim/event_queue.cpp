@@ -11,16 +11,39 @@ void EventQueue::schedule_in(Time delay, Event event) {
 
 void EventQueue::schedule_at(Time at, Event event) {
   if (at < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
-  heap_.push(Entry{at, next_seq_++, std::move(event)});
+  heap_.push(Entry{at, next_seq_++, std::move(event), 0});
+}
+
+EventQueue::TimerId EventQueue::set_timer(Time delay, Event event) {
+  const TimerId id = next_timer_++;
+  live_timers_.insert(id);
+  heap_.push(Entry{now_ + delay, next_seq_++, std::move(event), id});
+  return id;
+}
+
+bool EventQueue::cancel_timer(TimerId id) {
+  if (live_timers_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  return true;
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && heap_.top().timer != 0 &&
+         cancelled_.contains(heap_.top().timer)) {
+    cancelled_.erase(heap_.top().timer);
+    heap_.pop();
+  }
 }
 
 bool EventQueue::step() {
+  drop_cancelled();
   if (heap_.empty()) return false;
   // priority_queue::top() is const; move out via const_cast is UB-adjacent,
   // so copy the closure handle (shared ownership is fine at this rate).
   Entry entry = heap_.top();
   heap_.pop();
   now_ = entry.at;
+  if (entry.timer != 0) live_timers_.erase(entry.timer);
   entry.event();
   return true;
 }
@@ -33,7 +56,12 @@ std::size_t EventQueue::run() {
 
 std::size_t EventQueue::run_until(Time deadline) {
   std::size_t executed = 0;
-  while (!heap_.empty() && heap_.top().at <= deadline && step()) ++executed;
+  while (true) {
+    drop_cancelled();
+    if (heap_.empty() || heap_.top().at > deadline) break;
+    if (!step()) break;
+    ++executed;
+  }
   return executed;
 }
 

@@ -1,11 +1,18 @@
 // Discrete-event scheduler: the heart of the network simulator. Events are
 // closures ordered by (time, insertion sequence), so simulations are fully
 // deterministic — ties break in schedule order, never by allocation address.
+//
+// Besides plain one-shot events the queue offers cancelable *timers*
+// (set_timer / cancel_timer). Timers back every timeout in the query-serving
+// engine: protocol retransmission, per-query deadlines, and arrival pacing.
+// A cancelled timer stays in the heap until its time comes up and is then
+// discarded without running and without advancing now().
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace hkws::sim {
@@ -20,6 +27,9 @@ using Event = std::function<void()>;
 /// Priority queue of timed events with deterministic FIFO tie-breaking.
 class EventQueue {
  public:
+  /// Handle of a cancelable timer. 0 is never a valid handle.
+  using TimerId = std::uint64_t;
+
   /// Current simulated time (time of the last executed event).
   Time now() const noexcept { return now_; }
 
@@ -29,23 +39,36 @@ class EventQueue {
   /// Schedules `event` at absolute time `at` (must be >= now()).
   void schedule_at(Time at, Event event);
 
-  /// Runs events until the queue is empty. Returns #events executed.
+  /// Schedules a cancelable timer to fire at now() + delay. Fires exactly
+  /// once unless cancelled first.
+  TimerId set_timer(Time delay, Event event);
+
+  /// Cancels a pending timer. Returns true if the timer was still pending
+  /// (it will now never fire); false if it already fired, was already
+  /// cancelled, or never existed.
+  bool cancel_timer(TimerId id);
+
+  /// Runs events until the queue is empty. Returns #events executed
+  /// (cancelled timers are discarded silently and not counted).
   std::size_t run();
 
   /// Runs events with time <= `deadline`. Returns #events executed.
   std::size_t run_until(Time deadline);
 
-  /// Executes just the next event, if any. Returns whether one ran.
+  /// Executes just the next live event, if any. Returns whether one ran.
   bool step();
 
-  bool empty() const noexcept { return heap_.empty(); }
-  std::size_t pending() const noexcept { return heap_.size(); }
+  bool empty() const noexcept { return heap_.size() == cancelled_.size(); }
+  std::size_t pending() const noexcept {
+    return heap_.size() - cancelled_.size();
+  }
 
  private:
   struct Entry {
     Time at;
     std::uint64_t seq;
     Event event;
+    TimerId timer;  ///< 0 for plain events
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const noexcept {
@@ -53,9 +76,15 @@ class EventQueue {
     }
   };
 
+  /// Discards cancelled timers sitting at the head of the heap.
+  void drop_cancelled();
+
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<TimerId> live_timers_;  ///< pending, not cancelled
+  std::unordered_set<TimerId> cancelled_;    ///< cancelled but still heaped
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
+  TimerId next_timer_ = 1;
 };
 
 }  // namespace hkws::sim

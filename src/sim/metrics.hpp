@@ -1,12 +1,22 @@
 // Named counters and samples for experiment accounting: message counts per
 // protocol type, bytes, hops, nodes contacted, etc. All experiment numbers
 // the bench harnesses print flow through a Metrics instance.
+//
+// Sample series are exact by default (every observation retained). Long
+// open-loop serving runs observe millions of latencies, so a series can
+// instead be put into *bounded-reservoir* mode: at most `cap` observations
+// are kept, replaced by uniform reservoir sampling (Vitter's algorithm R),
+// while the observation count and sum — and therefore sample_mean() — stay
+// exact. Percentiles computed from a reservoir are approximations whose
+// accuracy grows with the cap.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
+
+#include "common/rng.hpp"
 
 namespace hkws::sim {
 
@@ -22,12 +32,27 @@ class Metrics {
   /// Records one observation of the sampled series `name`.
   void observe(const std::string& name, double value);
 
-  /// All observations of series `name` (empty if none).
+  /// Stored observations of series `name` (empty if none). In reservoir
+  /// mode this is a uniform subsample of everything observed; use
+  /// sample_count() for the true observation count.
   const std::vector<double>& samples(const std::string& name) const;
 
+  /// Total observations of series `name`, regardless of retention mode.
+  std::uint64_t sample_count(const std::string& name) const;
+
+  /// Exact mean of all observations (running sum, even in reservoir mode).
   double sample_mean(const std::string& name) const;
 
-  /// Resets every counter and sample series.
+  /// Caps series `name` at `cap` retained observations (0 restores exact
+  /// mode for future series growth; already-dropped values are gone). An
+  /// existing oversized series is subsampled down to the cap.
+  void set_reservoir(const std::string& name, std::size_t cap);
+
+  /// Default cap applied to series created after this call (0 = exact).
+  void set_default_reservoir(std::size_t cap) { default_cap_ = cap; }
+
+  /// Resets every counter and sample series (per-series caps included; the
+  /// default reservoir cap survives).
   void reset();
 
   const std::map<std::string, std::uint64_t>& counters() const noexcept {
@@ -38,8 +63,17 @@ class Metrics {
   std::string to_string() const;
 
  private:
+  struct Series {
+    std::vector<double> values;  ///< all (exact) or a reservoir subset
+    std::uint64_t n = 0;         ///< total observations
+    double sum = 0.0;            ///< exact running sum
+    std::size_t cap = 0;         ///< 0 = exact mode
+  };
+
   std::map<std::string, std::uint64_t> counters_;
-  std::map<std::string, std::vector<double>> samples_;
+  std::map<std::string, Series> series_;
+  std::size_t default_cap_ = 0;
+  Rng reservoir_rng_{0x9e3779b97f4a7c15ULL};
 };
 
 }  // namespace hkws::sim

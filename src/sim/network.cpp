@@ -1,8 +1,24 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 namespace hkws::sim {
+
+LogNormalLatency::LogNormalLatency(double median_ticks, double sigma, Time cap)
+    : median_(median_ticks), sigma_(sigma), cap_(cap) {}
+
+Time LogNormalLatency::latency(EndpointId, EndpointId, Rng& rng) {
+  // Box-Muller; one variate per call keeps the stream draw-count stable.
+  const double u1 = std::max(rng.next_double(), 1e-12);
+  const double u2 = rng.next_double();
+  const double normal =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  double ticks = median_ * std::exp(sigma_ * normal);
+  if (cap_ != 0) ticks = std::min(ticks, static_cast<double>(cap_));
+  return static_cast<Time>(std::llround(std::max(ticks, 1.0)));
+}
 
 Network::Network(EventQueue& clock, std::unique_ptr<LatencyModel> latency,
                  std::uint64_t seed)
@@ -17,6 +33,10 @@ void Network::unregister_endpoint(EndpointId id) { endpoints_.erase(id); }
 
 bool Network::is_registered(EndpointId id) const {
   return endpoints_.contains(id);
+}
+
+void Network::set_drop_model(std::unique_ptr<DropModel> model) {
+  drop_ = std::move(model);
 }
 
 void Network::send(EndpointId from, EndpointId to, std::string kind,
@@ -36,6 +56,11 @@ void Network::send(EndpointId from, EndpointId to, std::string kind,
   metrics_.count("net.messages");
   metrics_.count("net.bytes", payload_bytes);
   metrics_.count("msg." + kind);
+  if (drop_ != nullptr && drop_->drop(from, to, kind, rng_)) {
+    metrics_.count("net.lost");
+    metrics_.count("net.lost." + kind);
+    return;
+  }
   const Time delay = latency_->latency(from, to, rng_);
   clock_.schedule_in(delay, std::move(deliver));
 }

@@ -3,6 +3,15 @@
 // accounted in Metrics by message kind. Both the DHT overlay and the
 // hypercube index protocol run entirely on top of this class — a "message"
 // here corresponds to one physical network message in the paper's cost model.
+//
+// Two pluggable models shape the fabric:
+//  * LatencyModel — one-way delay per (from, to) pair. FixedLatency and
+//    UniformLatency cover the paper's regime; LogNormalLatency adds the
+//    heavy-tailed WAN delays that make p99 behaviour under load meaningful.
+//  * DropModel — per-message loss. A lossless Network is the default;
+//    installing a drop model (or constructing a LossyNetwork) makes sends
+//    vanish with a seeded probability, which is what exercises the serving
+//    engine's timeout/retransmission machinery.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +58,43 @@ class UniformLatency final : public LatencyModel {
   Time lo_, hi_;
 };
 
+/// Heavy-tailed latency: ticks = median * exp(sigma * N(0,1)), i.e.
+/// log-normal with the given median and log-space spread `sigma`. Results
+/// are clamped to >= 1 tick and, if `cap` > 0, to <= cap (a crude stand-in
+/// for transport-level retransmission bounding the delay of a surviving
+/// packet). sigma ~ 0.4-0.6 reproduces typical WAN RTT tails.
+class LogNormalLatency final : public LatencyModel {
+ public:
+  explicit LogNormalLatency(double median_ticks, double sigma = 0.5,
+                            Time cap = 0);
+  Time latency(EndpointId, EndpointId, Rng& rng) override;
+
+ private:
+  double median_;
+  double sigma_;
+  Time cap_;
+};
+
+/// Pluggable per-message loss model. Local sends (from == to) are exempt.
+class DropModel {
+ public:
+  virtual ~DropModel() = default;
+  virtual bool drop(EndpointId from, EndpointId to, const std::string& kind,
+                    Rng& rng) = 0;
+};
+
+/// Drops every message independently with probability `p`.
+class BernoulliDrop final : public DropModel {
+ public:
+  explicit BernoulliDrop(double p) : p_(p) {}
+  bool drop(EndpointId, EndpointId, const std::string&, Rng& rng) override {
+    return rng.next_bool(p_);
+  }
+
+ private:
+  double p_;
+};
+
 /// The message-passing fabric.
 class Network {
  public:
@@ -57,7 +103,7 @@ class Network {
 
   /// @param clock    event queue driving the simulation (not owned)
   /// @param latency  latency model (owned); nullptr = FixedLatency(1)
-  /// @param seed     seed for latency randomness
+  /// @param seed     seed for latency/loss randomness
   explicit Network(EventQueue& clock,
                    std::unique_ptr<LatencyModel> latency = nullptr,
                    std::uint64_t seed = 1);
@@ -67,6 +113,12 @@ class Network {
   void register_endpoint(EndpointId id);
   void unregister_endpoint(EndpointId id);
   bool is_registered(EndpointId id) const;
+
+  /// Installs (or, with nullptr, removes) a message-loss model. Lost sends
+  /// are counted under "net.lost" / "net.lost.<kind>" — and still under
+  /// "net.messages", since they were put on the wire — but never delivered.
+  void set_drop_model(std::unique_ptr<DropModel> model);
+  bool lossy() const noexcept { return drop_ != nullptr; }
 
   /// Sends one message. `kind` labels the protocol message type for
   /// accounting ("dht.lookup", "kws.t_query", ...). `deliver` runs at the
@@ -83,12 +135,27 @@ class Network {
   /// Total messages actually put on the wire (excludes local sends).
   std::uint64_t messages_sent() const { return metrics_.counter("net.messages"); }
 
+  /// Total messages lost in flight to the drop model.
+  std::uint64_t messages_lost() const { return metrics_.counter("net.lost"); }
+
  private:
   EventQueue& clock_;
   std::unique_ptr<LatencyModel> latency_;
+  std::unique_ptr<DropModel> drop_;
   Rng rng_;
   Metrics metrics_;
   std::unordered_map<EndpointId, bool> endpoints_;
+};
+
+/// Convenience: a Network born with a BernoulliDrop(loss_p) installed.
+class LossyNetwork final : public Network {
+ public:
+  LossyNetwork(EventQueue& clock, double loss_p,
+               std::unique_ptr<LatencyModel> latency = nullptr,
+               std::uint64_t seed = 1)
+      : Network(clock, std::move(latency), seed) {
+    set_drop_model(std::make_unique<BernoulliDrop>(loss_p));
+  }
 };
 
 }  // namespace hkws::sim

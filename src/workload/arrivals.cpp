@@ -1,0 +1,45 @@
+#include "workload/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hkws::workload {
+
+PoissonArrivals::PoissonArrivals(double queries_per_kilotick,
+                                 std::uint64_t seed)
+    : mean_gap_(queries_per_kilotick > 0.0 ? 1000.0 / queries_per_kilotick
+                                           : 1e12),
+      rng_(seed) {}
+
+Ticks PoissonArrivals::next_gap() {
+  // Inverse-CDF exponential sample; 1 - u avoids log(0).
+  const double u = rng_.next_double();
+  const double gap = -std::log(1.0 - u) * mean_gap_;
+  return static_cast<Ticks>(std::llround(std::max(gap, 0.0)));
+}
+
+BurstyArrivals::BurstyArrivals(double burst_queries_per_kilotick,
+                               Ticks burst_ticks, Ticks idle_ticks,
+                               std::uint64_t seed)
+    : burst_(burst_queries_per_kilotick, seed),
+      burst_ticks_(burst_ticks),
+      idle_ticks_(idle_ticks) {}
+
+Ticks BurstyArrivals::next_gap() {
+  // The Poisson clock only runs during burst windows; every time it crosses
+  // a window boundary the wall-clock gap grows by one idle period.
+  Ticks gap = burst_.next_gap();
+  if (burst_ticks_ == 0) return gap + idle_ticks_;
+  Ticks busy_left = gap;
+  Ticks wall = 0;
+  while (into_burst_ + busy_left >= burst_ticks_) {
+    const Ticks used = burst_ticks_ - into_burst_;
+    busy_left -= used;
+    wall += used + idle_ticks_;
+    into_burst_ = 0;
+  }
+  into_burst_ += busy_left;
+  return wall + busy_left;
+}
+
+}  // namespace hkws::workload

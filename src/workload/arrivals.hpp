@@ -1,0 +1,75 @@
+// Arrival processes for open-loop load generation. The serving engine
+// replays a query log against the simulated cluster; *when* each query is
+// submitted is decided here, independently of how fast the system drains
+// them (that is what makes the load open-loop: a slow server does not slow
+// the offered rate, it grows the backlog).
+//
+// Ticks are dimensionless; the engine interprets them as sim::Time (~1 ms).
+// The module deliberately has no dependency on src/sim so it can also feed
+// trace generators or offline analysis.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace hkws::workload {
+
+using Ticks = std::uint64_t;
+
+/// A stream of inter-arrival gaps. Deterministic given its seed.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  /// Ticks between the previous arrival and the next one (may be 0:
+  /// several queries can land on the same tick under high rates).
+  virtual Ticks next_gap() = 0;
+};
+
+/// Poisson arrivals: exponentially distributed gaps with the given mean
+/// rate. The standard model for independent user populations; produces
+/// the bursts that expose queueing behaviour a fixed-gap driver hides.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  /// @param queries_per_kilotick  offered rate in queries per 1000 ticks
+  ///                              (i.e. QPS when a tick is a millisecond).
+  PoissonArrivals(double queries_per_kilotick, std::uint64_t seed);
+
+  Ticks next_gap() override;
+
+ private:
+  double mean_gap_;  // ticks per arrival
+  Rng rng_;
+};
+
+/// Fixed-gap arrivals (a perfectly paced closed schedule). Useful as a
+/// variance-free baseline against Poisson runs at the same rate.
+class FixedArrivals final : public ArrivalProcess {
+ public:
+  explicit FixedArrivals(Ticks gap) : gap_(gap) {}
+
+  Ticks next_gap() override { return gap_; }
+
+ private:
+  Ticks gap_;
+};
+
+/// On/off bursty arrivals: Poisson at `burst_rate` for `burst_ticks`, then
+/// silent for `idle_ticks`, repeating. Stresses admission control with a
+/// duty cycle instead of a stationary rate.
+class BurstyArrivals final : public ArrivalProcess {
+ public:
+  BurstyArrivals(double burst_queries_per_kilotick, Ticks burst_ticks,
+                 Ticks idle_ticks, std::uint64_t seed);
+
+  Ticks next_gap() override;
+
+ private:
+  PoissonArrivals burst_;
+  Ticks burst_ticks_;
+  Ticks idle_ticks_;
+  Ticks into_burst_ = 0;  // ticks elapsed inside the current burst window
+};
+
+}  // namespace hkws::workload

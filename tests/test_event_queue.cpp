@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 namespace hkws::sim {
@@ -83,6 +84,62 @@ TEST(EventQueue, EmptyQueueRunsZeroEvents) {
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.run(), 0u);
   EXPECT_EQ(q.now(), 0u);
+}
+
+TEST(EventQueue, TimerFiresOnce) {
+  EventQueue q;
+  int fired = 0;
+  const auto id = q.set_timer(10, [&] { ++fired; });
+  EXPECT_NE(id, 0u);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 10u);
+  // A fired timer cannot be cancelled.
+  EXPECT_FALSE(q.cancel_timer(id));
+}
+
+TEST(EventQueue, CancelledTimerNeverRuns) {
+  EventQueue q;
+  int fired = 0;
+  const auto id = q.set_timer(10, [&] { ++fired; });
+  q.schedule_in(20, [&] {});
+  EXPECT_TRUE(q.cancel_timer(id));
+  EXPECT_FALSE(q.cancel_timer(id));  // double-cancel reports false
+  EXPECT_EQ(q.pending(), 1u);        // only the plain event remains
+  EXPECT_EQ(q.run(), 1u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(q.now(), 20u);  // the dead timer did not advance time
+}
+
+TEST(EventQueue, CancelUnknownTimerReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel_timer(0));
+  EXPECT_FALSE(q.cancel_timer(12345));
+}
+
+TEST(EventQueue, QueueOfOnlyCancelledTimersIsEmpty) {
+  EventQueue q;
+  const auto a = q.set_timer(5, [] {});
+  const auto b = q.set_timer(6, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel_timer(a);
+  q.cancel_timer(b);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.run(), 0u);
+}
+
+TEST(EventQueue, TimersMayRescheduleThemselves) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> tick = [&] {
+    if (++fired < 3) q.set_timer(10, tick);
+  };
+  q.set_timer(10, tick);
+  q.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(q.now(), 30u);
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "sim/metrics.hpp"
 
 namespace hkws::sim {
@@ -125,6 +128,135 @@ TEST(Network, DeterministicAcrossRuns) {
     return arrivals;
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Network, BernoulliDropLosesAndCounts) {
+  EventQueue clock;
+  Network net(clock, std::make_unique<FixedLatency>(1), 3);
+  net.register_endpoint(1);
+  net.register_endpoint(2);
+  net.set_drop_model(std::make_unique<BernoulliDrop>(0.5));
+  EXPECT_TRUE(net.lossy());
+  int delivered = 0;
+  const int kSends = 400;
+  for (int i = 0; i < kSends; ++i)
+    net.send(1, 2, "m", 1, [&] { ++delivered; });
+  clock.run();
+  const auto lost = net.messages_lost();
+  EXPECT_GT(lost, 0u);
+  EXPECT_EQ(static_cast<std::uint64_t>(delivered) + lost,
+            static_cast<std::uint64_t>(kSends));
+  // Lost messages still count as sent (they were put on the wire)...
+  EXPECT_EQ(net.messages_sent(), static_cast<std::uint64_t>(kSends));
+  // ...and are attributed per kind.
+  EXPECT_EQ(net.metrics().counter("net.lost.m"), lost);
+  // Roughly half at p=0.5 (fixed seed keeps this deterministic).
+  EXPECT_GT(lost, 120u);
+  EXPECT_LT(lost, 280u);
+}
+
+TEST(Network, LocalSendsAreExemptFromLoss) {
+  EventQueue clock;
+  Network net(clock, nullptr, 3);
+  net.register_endpoint(1);
+  net.set_drop_model(std::make_unique<BernoulliDrop>(1.0));  // drop all
+  int delivered = 0;
+  for (int i = 0; i < 10; ++i) net.send(1, 1, "m", 1, [&] { ++delivered; });
+  clock.run();
+  EXPECT_EQ(delivered, 10);
+  EXPECT_EQ(net.messages_lost(), 0u);
+}
+
+TEST(Network, LossyNetworkConvenienceDrops) {
+  EventQueue clock;
+  LossyNetwork net(clock, 1.0);  // every remote send vanishes
+  net.register_endpoint(1);
+  net.register_endpoint(2);
+  int delivered = 0;
+  net.send(1, 2, "m", 1, [&] { ++delivered; });
+  clock.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.messages_lost(), 1u);
+}
+
+TEST(Network, LossIsDeterministicPerSeed) {
+  auto run_once = [] {
+    EventQueue clock;
+    LossyNetwork net(clock, 0.3, nullptr, 17);
+    net.register_endpoint(1);
+    net.register_endpoint(2);
+    std::vector<int> delivered;
+    for (int i = 0; i < 50; ++i)
+      net.send(1, 2, "m", 1, [&, i] { delivered.push_back(i); });
+    clock.run();
+    return delivered;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(LogNormalLatency, SamplesArePositiveAndMedianish) {
+  Rng rng(5);
+  LogNormalLatency model(30.0, 0.5);
+  std::vector<double> xs;
+  std::size_t below = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const Time t = model.latency(1, 2, rng);
+    EXPECT_GE(t, 1u);
+    if (t < 30) ++below;
+    xs.push_back(static_cast<double>(t));
+  }
+  // About half the mass below the median parameter.
+  EXPECT_GT(below, 4000u * 40 / 100);
+  EXPECT_LT(below, 4000u * 60 / 100);
+  // Heavy tail: the max is far above the median.
+  EXPECT_GT(*std::max_element(xs.begin(), xs.end()), 90.0);
+}
+
+TEST(LogNormalLatency, CapBoundsTheTail) {
+  Rng rng(5);
+  LogNormalLatency model(30.0, 0.8, 100);
+  for (int i = 0; i < 2000; ++i) {
+    const Time t = model.latency(1, 2, rng);
+    EXPECT_GE(t, 1u);
+    EXPECT_LE(t, 100u);
+  }
+}
+
+TEST(Metrics, ReservoirCapsRetentionButKeepsExactCountAndMean) {
+  Metrics m;
+  m.set_reservoir("lat", 64);
+  double sum = 0;
+  for (int i = 1; i <= 1000; ++i) {
+    m.observe("lat", i);
+    sum += i;
+  }
+  EXPECT_EQ(m.samples("lat").size(), 64u);
+  EXPECT_EQ(m.sample_count("lat"), 1000u);
+  EXPECT_DOUBLE_EQ(m.sample_mean("lat"), sum / 1000.0);
+  // The reservoir is a plausible uniform subsample: its mean is in the
+  // bulk of the distribution, not stuck at either end.
+  double rmean = 0;
+  for (double v : m.samples("lat")) rmean += v;
+  rmean /= 64.0;
+  EXPECT_GT(rmean, 250.0);
+  EXPECT_LT(rmean, 750.0);
+}
+
+TEST(Metrics, SetReservoirSubsamplesExistingSeries) {
+  Metrics m;
+  for (int i = 0; i < 500; ++i) m.observe("lat", i);
+  EXPECT_EQ(m.samples("lat").size(), 500u);
+  m.set_reservoir("lat", 10);
+  EXPECT_EQ(m.samples("lat").size(), 10u);
+  EXPECT_EQ(m.sample_count("lat"), 500u);
+}
+
+TEST(Metrics, DefaultReservoirAppliesToNewSeries) {
+  Metrics m;
+  m.set_default_reservoir(8);
+  for (int i = 0; i < 100; ++i) m.observe("a", i);
+  EXPECT_EQ(m.samples("a").size(), 8u);
+  EXPECT_EQ(m.sample_count("a"), 100u);
 }
 
 }  // namespace
