@@ -34,6 +34,15 @@ double ZipfDistribution::pmf(std::size_t k) const {
 
 double fit_zipf_exponent(const std::vector<std::uint64_t>& counts_by_rank) {
   // Least-squares slope of log(count) on log(rank+1); Zipf exponent = -slope.
+  //
+  // Zero-count ranks are skipped, not interpolated: log(0) is undefined and
+  // a rank that was never observed carries no evidence about the exponent.
+  // On a sparse tail (gappy histogram) this keeps the fit anchored to the
+  // observed ranks' true positions — the rank index k is NOT compacted over
+  // the gaps — at the cost of weighting the fit toward the head, so the
+  // estimate is biased low on heavily truncated samples. Callers needing an
+  // unbiased tail fit should aggregate ranks into log-spaced bins first.
+  // Fewer than two nonzero ranks cannot determine a slope; returns 0.0.
   double sx = 0, sy = 0, sxx = 0, sxy = 0;
   std::size_t n = 0;
   for (std::size_t k = 0; k < counts_by_rank.size(); ++k) {

@@ -39,11 +39,14 @@ void LogicalIndex::insert(ObjectId object, const KeywordSet& keywords) {
   if (keywords.empty())
     throw std::invalid_argument("LogicalIndex::insert: empty keyword set");
   const cube::CubeId u = hasher_.responsible_node(keywords);
-  if (tables_[static_cast<std::size_t>(u)].add(keywords, object)) ++objects_;
+  if (tables_[static_cast<std::size_t>(u)].add(keywords, object)) {
+    ++objects_;
+    ++mutation_epoch_;
+  }
   if (!caches_.empty()) {
-    // Any cached traversal rooted here whose query the new entry matches is
-    // now stale; traversals rooted elsewhere are refreshed lazily (the
-    // well-known staleness/performance trade-off of result caching).
+    // Eagerly drop cached traversals rooted *here* whose query the new
+    // entry matches; traversals rooted at ancestor nodes are caught lazily
+    // by the epoch check in lookup.
     caches_[static_cast<std::size_t>(u)].erase_if(
         [&](const KeywordSet& q) { return q.subset_of(keywords); });
   }
@@ -54,6 +57,7 @@ bool LogicalIndex::remove(ObjectId object, const KeywordSet& keywords) {
   const bool removed = tables_[static_cast<std::size_t>(u)].remove(keywords, object);
   if (removed) {
     --objects_;
+    ++mutation_epoch_;
     if (!caches_.empty()) {
       caches_[static_cast<std::size_t>(u)].erase_if(
           [&](const KeywordSet& q) { return q.subset_of(keywords); });
@@ -101,7 +105,8 @@ SearchResult LogicalIndex::superset_search(const KeywordSet& query,
 
   if (!caches_.empty()) {
     if (const CachedTraversal* cached =
-            caches_[static_cast<std::size_t>(root)].lookup(query)) {
+            caches_[static_cast<std::size_t>(root)].lookup(query,
+                                                           mutation_epoch_)) {
       // A cached plan is usable if it is exhaustive, or if it already
       // holds at least as many results as this query needs.
       if (cached->complete ||
@@ -187,7 +192,8 @@ SearchResult LogicalIndex::search_top_down(cube::CubeId root,
   st.complete = !stopped_early;
   summary.complete = st.complete;
   if (!caches_.empty())
-    caches_[static_cast<std::size_t>(root)].insert(query, std::move(summary));
+    caches_[static_cast<std::size_t>(root)].insert(query, std::move(summary),
+                                                   mutation_epoch_);
   return result;
 }
 
@@ -226,7 +232,8 @@ SearchResult LogicalIndex::search_bottom_up(cube::CubeId root,
   st.complete = !stopped_early;
   summary.complete = st.complete;
   if (!caches_.empty())
-    caches_[static_cast<std::size_t>(root)].insert(query, std::move(summary));
+    caches_[static_cast<std::size_t>(root)].insert(query, std::move(summary),
+                                                   mutation_epoch_);
   return result;
 }
 
@@ -265,7 +272,8 @@ SearchResult LogicalIndex::search_level_parallel(cube::CubeId root,
   st.complete = !stopped_early;
   summary.complete = st.complete;
   if (!caches_.empty())
-    caches_[static_cast<std::size_t>(root)].insert(query, std::move(summary));
+    caches_[static_cast<std::size_t>(root)].insert(query, std::move(summary),
+                                                   mutation_epoch_);
   return result;
 }
 
@@ -346,6 +354,7 @@ LogicalIndex::CacheStats LogicalIndex::cache_stats() const {
     s.hits += c.hits();
     s.misses += c.misses();
     s.evictions += c.evictions();
+    s.stale += c.stale_hits();
   }
   return s;
 }

@@ -120,7 +120,7 @@ class LogicalIndex {
 
   /// Aggregate cache statistics over all nodes.
   struct CacheStats {
-    std::uint64_t hits = 0, misses = 0, evictions = 0;
+    std::uint64_t hits = 0, misses = 0, evictions = 0, stale = 0;
   };
   CacheStats cache_stats() const;
   void clear_caches();
@@ -147,6 +147,11 @@ class LogicalIndex {
   std::vector<IndexTable> tables_;
   mutable std::vector<QueryCache> caches_;  // empty when caching disabled
   std::size_t objects_ = 0;
+  /// Bumped on every successful insert/remove; cached traversals carry the
+  /// epoch they were built under and are invalidated when it is older (the
+  /// mutated node may be a descendant of the cached root, which the local
+  /// erase_if above cannot see).
+  std::uint64_t mutation_epoch_ = 0;
 };
 
 }  // namespace hkws::index

@@ -55,6 +55,10 @@ SearchResult MirroredIndex::merge(const SearchResult& a,
   merged.stats.levels = a.stats.levels + b.stats.levels;
   merged.stats.cache_hit = a.stats.cache_hit && b.stats.cache_hit;
   merged.stats.complete = a.stats.complete || b.stats.complete;
+  merged.stats.retransmits = a.stats.retransmits + b.stats.retransmits;
+  // Either cube answering in full serves the query; failed only when both
+  // traversals gave up (the whole point of mirroring, §3.4).
+  merged.stats.failed = a.stats.failed && b.stats.failed;
   return merged;
 }
 

@@ -73,7 +73,7 @@ void OverlayIndex::publish(sim::EndpointId publisher, ObjectId object,
             [this, u, object, keywords, done, dolr_hops = r.hops](
                 const dht::Overlay::RouteResult& rr) {
               PeerState& ps = peer_state(overlay_.endpoint_of(rr.owner));
-              ps.tables[u].add(keywords, object);
+              if (ps.tables[u].add(keywords, object)) ++mutation_epoch_;
               if (const auto cit = ps.caches.find(u); cit != ps.caches.end()) {
                 cit->second.erase_if([&](const KeywordSet& q) {
                   return q.subset_of(keywords);
@@ -103,7 +103,7 @@ void OverlayIndex::withdraw(sim::EndpointId publisher, ObjectId object,
                 const dht::Overlay::RouteResult& rr) {
               PeerState& ps = peer_state(overlay_.endpoint_of(rr.owner));
               if (const auto it = ps.tables.find(u); it != ps.tables.end()) {
-                it->second.remove(keywords, object);
+                if (it->second.remove(keywords, object)) ++mutation_epoch_;
                 if (it->second.empty()) ps.tables.erase(it);
               }
               if (const auto cit = ps.caches.find(u); cit != ps.caches.end()) {
@@ -126,7 +126,7 @@ void OverlayIndex::reindex(sim::EndpointId from, ObjectId object,
                  [this, u, object, keywords](
                      const dht::Overlay::RouteResult& rr) {
                    PeerState& ps = peer_state(overlay_.endpoint_of(rr.owner));
-                   ps.tables[u].add(keywords, object);
+                   if (ps.tables[u].add(keywords, object)) ++mutation_epoch_;
                    if (const auto cit = ps.caches.find(u);
                        cit != ps.caches.end()) {
                      cit->second.erase_if([&](const KeywordSet& q) {
@@ -145,7 +145,8 @@ void OverlayIndex::deindex(sim::EndpointId from, ObjectId object,
                    PeerState& ps = peer_state(overlay_.endpoint_of(rr.owner));
                    if (const auto it = ps.tables.find(u);
                        it != ps.tables.end()) {
-                     it->second.remove(keywords, object);
+                     if (it->second.remove(keywords, object))
+                       ++mutation_epoch_;
                      if (it->second.empty()) ps.tables.erase(it);
                    }
                    if (const auto cit = ps.caches.find(u);
@@ -201,6 +202,7 @@ std::uint64_t OverlayIndex::superset_search(sim::EndpointId searcher,
   req->threshold = threshold;
   req->searcher = searcher;
   req->root_cube = hasher_.responsible_node(query);
+  req->epoch = mutation_epoch_;
   req->strategy = strategy;
   req->done = std::move(done);
   requests_[id] = std::move(req);
@@ -288,7 +290,8 @@ void OverlayIndex::start_top_down(Request& req) {
     PeerState& ps = peer_state(req.root_peer);
     if (const auto cit = ps.caches.find(req.root_cube);
         cit != ps.caches.end()) {
-      if (const CachedTraversal* cached = cit->second.lookup(req.query)) {
+      if (const CachedTraversal* cached =
+              cit->second.lookup(req.query, mutation_epoch_)) {
         if (cached->complete ||
             (req.threshold != 0 && total_count(*cached) >= req.threshold)) {
           req.mode = Mode::kPlan;
@@ -577,7 +580,9 @@ void OverlayIndex::finish(std::uint64_t req_id) {
     CachedTraversal summary;
     summary.contributors = req->contributors;
     summary.complete = req->stats.complete;
-    cit->second.insert(req->query, std::move(summary));
+    // Stamp with the epoch captured at request start: if a mutation raced
+    // this traversal, the entry is already stale and will never be served.
+    cit->second.insert(req->query, std::move(summary), req->epoch);
   }
 
   send_done(req_id);
@@ -812,10 +817,12 @@ void OverlayIndex::cumulative_visit(std::uint64_t session, cube::CubeId w,
       batch.push_back(all[i]);
     const std::size_t taken = batch.size();
     if (taken > 0) {
-      // Ship this node's slice straight to the searcher.
+      // Ship this node's slice straight to the searcher. Distinct kind from
+      // the one-shot search's "kws.results": cumulative delivery has no
+      // retransmission/dedup layer, so fault injectors must not target it.
       ++st->results_expected;
       charge(1);
-      net_.send(peer, st->searcher, "kws.results", taken * kHitBytes,
+      net_.send(peer, st->searcher, "kws.c_results", taken * kHitBytes,
                 [this, session, batch = std::move(batch)] {
                   CumulativeState* s2 = find_session(session);
                   if (!s2) return;
@@ -921,6 +928,7 @@ std::uint64_t OverlayIndex::repair_placement() {
     net_.metrics().count("kws.repair_entries", table.object_count());
   }
   // Contact and traversal caches are stale after any placement change.
+  if (moved > 0) ++mutation_epoch_;
   for (auto& [ep, ps] : peers_) {
     ps.contacts.clear();
     ps.caches.clear();
@@ -931,6 +939,9 @@ std::uint64_t OverlayIndex::repair_placement() {
 void OverlayIndex::purge_dead() {
   for (auto it = peers_.begin(); it != peers_.end();) {
     if (!overlay_.is_live(it->first)) {
+      // Entries held by the dead peer are gone: surviving cached traversals
+      // that counted on them are stale from this point on.
+      if (!it->second.tables.empty()) ++mutation_epoch_;
       net_.metrics().count("kws.entries_lost",
                            [&] {
                              std::uint64_t n = 0;

@@ -209,6 +209,12 @@ class OverlayIndex {
   /// Objects indexed per cube node (placement snapshot across all peers).
   std::vector<std::size_t> loads_by_cube_node() const;
 
+  /// Global index mutation epoch: bumped whenever any index table gains or
+  /// loses an entry (publish/withdraw/reindex/deindex/repair/purge). Query
+  /// caches stamp entries with the epoch; a lookup under a newer epoch is a
+  /// miss. Exposed for tests and the torture harness's oracles.
+  std::uint64_t mutation_epoch() const noexcept { return mutation_epoch_; }
+
  private:
   struct PeerState {
     std::unordered_map<cube::CubeId, IndexTable> tables;
@@ -236,6 +242,10 @@ class OverlayIndex {
     cube::CubeId root_cube = 0;
     sim::EndpointId root_peer = 0;
     bool root_resolved = false;
+    /// Index mutation epoch captured at request creation. A summary cached
+    /// under this epoch is invalidated by any later mutation, so a search
+    /// that raced a mutation can never serve its stale plan to a successor.
+    std::uint64_t epoch = 0;
     Mode mode = Mode::kTopDown;
     SearchStrategy strategy = SearchStrategy::kTopDownSequential;
     // Loss-tolerance state (all empty/0 when step_timeout == 0).
@@ -376,6 +386,7 @@ class OverlayIndex {
       sessions_;
   std::uint64_t next_request_ = 1;
   std::uint64_t next_session_ = 1;
+  std::uint64_t mutation_epoch_ = 0;
   TraceFn trace_;
 };
 

@@ -2,40 +2,66 @@
 
 namespace hkws::index {
 
+bool QueryCache::debug_legacy_staleness_ = false;
+
 QueryCache::QueryCache(std::size_t capacity_records)
     : capacity_(capacity_records) {}
 
-const CachedTraversal* QueryCache::lookup(const KeywordSet& query) {
+const CachedTraversal* QueryCache::lookup(const KeywordSet& query,
+                                          std::uint64_t epoch) {
   const auto it = map_.find(query);
   if (it == map_.end()) {
     ++misses_;
+    return nullptr;
+  }
+  if (!debug_legacy_staleness_ && it->second.epoch < epoch) {
+    // The entry predates an index mutation somewhere under this root, so
+    // its contributor list may omit (or over-include) nodes. Drop it.
+    ++stale_;
+    ++misses_;
+    occupancy_ -= it->second.value.records();
+    fifo_.erase(it->second.fifo_pos);
+    map_.erase(it);
     return nullptr;
   }
   ++hits_;
   return &it->second.value;
 }
 
-void QueryCache::insert(const KeywordSet& query, CachedTraversal summary) {
+void QueryCache::insert(const KeywordSet& query, CachedTraversal summary,
+                        std::uint64_t epoch) {
   if (capacity_ == 0) return;
   const std::size_t need = summary.records();
-  if (need > capacity_) return;  // can never fit
+  if (need > capacity_) {
+    // Can never fit — but the refresh supersedes whatever we had cached for
+    // this query, so the old entry must go too: serving it later would
+    // replay a summary we know is out of date.
+    if (!debug_legacy_staleness_) erase(query);
+    return;
+  }
 
   if (const auto it = map_.find(query); it != map_.end()) {
     occupancy_ -= it->second.value.records();
     it->second.value = std::move(summary);
+    it->second.epoch = epoch;
     occupancy_ += it->second.value.records();
+    // A refresh counts as a new write: move it to the FIFO back so that
+    // eviction remains strictly FIFO by last write.
+    fifo_.splice(fifo_.end(), fifo_, it->second.fifo_pos);
   } else {
     fifo_.push_back(query);
     auto pos = std::prev(fifo_.end());
     occupancy_ += need;
-    map_.emplace(query, Slot{pos, std::move(summary)});
+    map_.emplace(query, Slot{pos, std::move(summary), epoch});
   }
   while (occupancy_ > capacity_) evict_oldest();
 }
 
 void QueryCache::evict_oldest() {
-  // Never evict the entry just inserted (it is at the back); FIFO order
-  // guarantees the front is the oldest.
+  // FIFO by last write: the front is the least recently written entry, and
+  // the entry just written sits at the back, so it is only evicted if it is
+  // the sole entry left and still over capacity (impossible: oversized
+  // summaries are rejected up front).
   const KeywordSet victim = fifo_.front();
   fifo_.pop_front();
   const auto it = map_.find(victim);

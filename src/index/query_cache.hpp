@@ -11,6 +11,14 @@
 // subhypercube; that is where nearly all of the cacheless cost goes.
 // Occupancy is counted in contributor records, the cache's analogue of
 // index entries.
+//
+// Freshness: a cached traversal for query Q lives at the node for F_h(Q),
+// but the objects it summarizes hang off *descendant* cube nodes, so a
+// mutation elsewhere in the subhypercube can silently stale it. Callers
+// therefore stamp entries with the index's mutation epoch on insert and pass
+// the current epoch on lookup; an entry older than the current epoch is
+// treated as a miss and dropped (a conservative stand-in for per-subtree
+// leases). Counted under stale_hits().
 #pragma once
 
 #include <cstddef>
@@ -48,12 +56,19 @@ class QueryCache {
 
   /// Returns the cached traversal for `query`, or nullptr. Counts a hit or
   /// a miss. FIFO (not LRU): a hit does not refresh the entry's age.
-  const CachedTraversal* lookup(const KeywordSet& query);
+  /// An entry stamped with an epoch older than `epoch` is stale: it is
+  /// dropped and counted as a miss (plus stale_hits()).
+  const CachedTraversal* lookup(const KeywordSet& query,
+                                std::uint64_t epoch = 0);
 
-  /// Caches `summary` under `query`, evicting oldest entries as needed.
-  /// Summaries larger than the whole capacity are not cached. Re-inserting
-  /// an existing key replaces the value but keeps its queue position.
-  void insert(const KeywordSet& query, CachedTraversal summary);
+  /// Caches `summary` under `query` stamped with `epoch`, evicting oldest
+  /// entries as needed. A summary larger than the whole capacity is not
+  /// cached — and any previously cached summary for the same query is
+  /// erased, since serving it after the refresh would be stale. Re-inserting
+  /// an existing key replaces the value and moves the entry to the back of
+  /// the FIFO queue: eviction is strictly FIFO by last write.
+  void insert(const KeywordSet& query, CachedTraversal summary,
+              std::uint64_t epoch = 0);
 
   /// Drops `query` if present (invalidation on index insert/delete).
   void erase(const KeywordSet& query);
@@ -82,6 +97,16 @@ class QueryCache {
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
   std::uint64_t evictions() const noexcept { return evictions_; }
+  std::uint64_t stale_hits() const noexcept { return stale_; }
+
+  /// TEST-ONLY. Re-enables the pre-fix staleness behavior (an oversized
+  /// refresh leaves the old entry behind; epoch validation is skipped) so
+  /// the torture harness can demonstrate that it detects the bug. Applies
+  /// process-wide; never enable outside tests.
+  static void set_debug_legacy_staleness(bool on) {
+    debug_legacy_staleness_ = on;
+  }
+  static bool debug_legacy_staleness() { return debug_legacy_staleness_; }
 
  private:
   void evict_oldest();
@@ -89,13 +114,17 @@ class QueryCache {
   struct Slot {
     std::list<KeywordSet>::iterator fifo_pos;
     CachedTraversal value;
+    std::uint64_t epoch = 0;  ///< index mutation epoch at insert time
   };
+
+  static bool debug_legacy_staleness_;
 
   std::size_t capacity_;
   std::size_t occupancy_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t stale_ = 0;
   std::list<KeywordSet> fifo_;  // front = oldest
   std::unordered_map<KeywordSet, Slot, KeywordSetHash> map_;
 };

@@ -63,6 +63,12 @@ class EventQueue {
     return heap_.size() - cancelled_.size();
   }
 
+  /// Timers that are still pending (set, not yet fired, not cancelled).
+  /// A protocol that cancels every timer on terminal transitions leaves this
+  /// at 0 once all its operations have completed — the torture harness's
+  /// no-dangling-timer invariant.
+  std::size_t live_timer_count() const noexcept { return live_timers_.size(); }
+
  private:
   struct Entry {
     Time at;

@@ -39,6 +39,17 @@ void Network::set_drop_model(std::unique_ptr<DropModel> model) {
   drop_ = std::move(model);
 }
 
+void Network::set_fault_model(std::unique_ptr<FaultModel> model) {
+  fault_ = std::move(model);
+}
+
+void Network::deliver_after(Time delay, const Handler& deliver) {
+  clock_.schedule_in(delay, [this, deliver] {
+    metrics_.count("net.delivered");
+    deliver();
+  });
+}
+
 void Network::send(EndpointId from, EndpointId to, std::string kind,
                    std::size_t payload_bytes, Handler deliver) {
   if (from == to) {
@@ -61,8 +72,27 @@ void Network::send(EndpointId from, EndpointId to, std::string kind,
     metrics_.count("net.lost." + kind);
     return;
   }
-  const Time delay = latency_->latency(from, to, rng_);
-  clock_.schedule_in(delay, std::move(deliver));
+  FaultActions fault;
+  if (fault_ != nullptr)
+    fault = fault_->inspect(from, to, kind, wire_seq_, rng_);
+  ++wire_seq_;
+  if (fault.drop) {
+    metrics_.count("net.lost");
+    metrics_.count("net.lost." + kind);
+    return;
+  }
+  const Time base = latency_->latency(from, to, rng_);
+  if (fault.extra_delay != 0) metrics_.count("net.delayed");
+  deliver_after(base + fault.extra_delay, deliver);
+  for (std::uint32_t i = 0; i < fault.duplicates; ++i) {
+    // Each duplicate is a real wire message with its own latency draw, so
+    // copies overtake each other (the interesting reordering case).
+    metrics_.count("net.messages");
+    metrics_.count("net.bytes", payload_bytes);
+    metrics_.count("msg." + kind);
+    metrics_.count("net.dup");
+    deliver_after(latency_->latency(from, to, rng_), deliver);
+  }
 }
 
 }  // namespace hkws::sim

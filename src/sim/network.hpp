@@ -95,6 +95,28 @@ class BernoulliDrop final : public DropModel {
   double p_;
 };
 
+/// What a FaultModel decided to do to one wire message. Defaults = deliver
+/// untouched.
+struct FaultActions {
+  bool drop = false;             ///< lose the message entirely
+  std::uint32_t duplicates = 0;  ///< extra copies, each delivered separately
+  Time extra_delay = 0;          ///< added one-way latency (reorders traffic)
+};
+
+/// Pluggable deterministic fault scheduler, richer than DropModel: besides
+/// loss it can duplicate a message or spike its delay. `seq` is the 0-based
+/// sequence number of wire messages (local sends and sends to unregistered
+/// endpoints are not numbered), so a seeded schedule of faults replays
+/// bit-identically. Consulted after the DropModel (a message the drop model
+/// already lost is never inspected).
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+  virtual FaultActions inspect(EndpointId from, EndpointId to,
+                               const std::string& kind, std::uint64_t seq,
+                               Rng& rng) = 0;
+};
+
 /// The message-passing fabric.
 class Network {
  public:
@@ -120,6 +142,11 @@ class Network {
   void set_drop_model(std::unique_ptr<DropModel> model);
   bool lossy() const noexcept { return drop_ != nullptr; }
 
+  /// Installs (or, with nullptr, removes) a fault-injection model. Injected
+  /// drops count under "net.lost" like drop-model losses; duplicates count
+  /// as full wire messages plus "net.dup"; delay spikes count "net.delayed".
+  void set_fault_model(std::unique_ptr<FaultModel> model);
+
   /// Sends one message. `kind` labels the protocol message type for
   /// accounting ("dht.lookup", "kws.t_query", ...). `deliver` runs at the
   /// destination after the modeled latency; `payload_bytes` feeds byte
@@ -135,15 +162,27 @@ class Network {
   /// Total messages actually put on the wire (excludes local sends).
   std::uint64_t messages_sent() const { return metrics_.counter("net.messages"); }
 
-  /// Total messages lost in flight to the drop model.
+  /// Total messages lost in flight (drop model + injected faults).
   std::uint64_t messages_lost() const { return metrics_.counter("net.lost"); }
 
+  /// Total messages handed to a destination handler. After the event queue
+  /// drains, conservation holds: net.messages == net.delivered + net.lost.
+  std::uint64_t messages_delivered() const {
+    return metrics_.counter("net.delivered");
+  }
+
  private:
+  /// Schedules one delivery of `deliver` after `delay`, counting
+  /// "net.delivered" at arrival time.
+  void deliver_after(Time delay, const Handler& deliver);
+
   EventQueue& clock_;
   std::unique_ptr<LatencyModel> latency_;
   std::unique_ptr<DropModel> drop_;
+  std::unique_ptr<FaultModel> fault_;
   Rng rng_;
   Metrics metrics_;
+  std::uint64_t wire_seq_ = 0;  ///< next wire-message sequence number
   std::unordered_map<EndpointId, bool> endpoints_;
 };
 

@@ -1,0 +1,141 @@
+#include "torture/fault_plan.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "common/hash.hpp"
+
+namespace hkws::torture {
+
+namespace {
+/// Stream salt keeping plan randomness independent of workload randomness
+/// derived from the same scenario seed.
+constexpr std::uint64_t kPlanSalt = 0xfa017a9bc4e1d2f3ULL;
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "dup";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kFailPeer: return "fail-peer";
+  }
+  return "?";
+}
+
+std::string FaultEvent::to_string() const {
+  std::ostringstream out;
+  out << torture::to_string(kind);
+  switch (kind) {
+    case FaultKind::kDrop:
+    case FaultKind::kDuplicate:
+      out << " @wire " << target;
+      break;
+    case FaultKind::kDelay:
+      out << " @wire " << target << " +" << arg << " ticks";
+      break;
+    case FaultKind::kFailPeer:
+      out << " @round " << target << " victim#" << arg;
+      break;
+  }
+  return out.str();
+}
+
+FaultPlan FaultPlan::from_seed(std::uint64_t seed,
+                               const FaultPlanConfig& cfg) {
+  FaultPlan plan;
+  Rng rng(mix64(seed ^ kPlanSalt));
+
+  std::vector<FaultKind> menu;
+  if (cfg.allow_drops) menu.push_back(FaultKind::kDrop);
+  if (cfg.allow_dups) menu.push_back(FaultKind::kDuplicate);
+  if (cfg.allow_delays) menu.push_back(FaultKind::kDelay);
+  if (!menu.empty()) {
+    const std::size_t n = cfg.max_events == 0
+                              ? 0
+                              : 1 + rng.next_below(cfg.max_events);
+    for (std::size_t i = 0; i < n; ++i) {
+      FaultEvent ev;
+      ev.kind = menu[rng.next_below(menu.size())];
+      ev.target = rng.next_below(cfg.horizon);
+      if (ev.kind == FaultKind::kDelay)
+        ev.arg = 1 + rng.next_below(cfg.max_delay);
+      plan.events.push_back(ev);
+    }
+  }
+  for (std::size_t i = 0; i < cfg.peer_failures; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultKind::kFailPeer;
+    ev.target = rng.next_below(cfg.rounds == 0 ? 1 : cfg.rounds);
+    ev.arg = rng.next_below(64);
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+std::size_t FaultPlan::count(FaultKind kind) const {
+  std::size_t n = 0;
+  for (const FaultEvent& ev : events)
+    if (ev.kind == kind) ++n;
+  return n;
+}
+
+std::string FaultPlan::to_string() const {
+  if (events.empty()) return "(no faults)\n";
+  std::ostringstream out;
+  for (const FaultEvent& ev : events) out << ev.to_string() << "\n";
+  return out.str();
+}
+
+bool lossable(const std::string& kind) {
+  // Exactly the steps the OverlayIndex retransmission layer guards: the
+  // routed/direct T_QUERY, the T_CONT/T_STOP control replies, result-batch
+  // delivery, and the final done notification. Everything else (DHT routing
+  // and maintenance, publish/withdraw, pin, cumulative sessions, HyperCuP
+  // tree forwarding) has no retransmission and must not be dropped.
+  static const std::array<const char*, 5> kinds = {
+      "kws.t_query", "kws.t_cont", "kws.t_stop", "kws.results", "kws.done"};
+  for (const char* k : kinds)
+    if (kind == k) return true;
+  return false;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan) {
+  for (const FaultEvent& ev : plan.events) {
+    switch (ev.kind) {
+      case FaultKind::kDrop:
+        by_seq_[ev.target].drop = true;
+        break;
+      case FaultKind::kDuplicate:
+        ++by_seq_[ev.target].duplicates;
+        break;
+      case FaultKind::kDelay:
+        by_seq_[ev.target].extra_delay += static_cast<sim::Time>(ev.arg);
+        break;
+      case FaultKind::kFailPeer:
+        break;  // executed by the ScenarioRunner, not on the wire
+    }
+  }
+}
+
+sim::FaultActions FaultInjector::inspect(sim::EndpointId, sim::EndpointId,
+                                         const std::string& kind,
+                                         std::uint64_t seq, Rng&) {
+  sim::FaultActions actions;
+  if (!seen_any_) {
+    seen_any_ = true;
+    base_seq_ = seq;
+  }
+  const auto it = by_seq_.find(seq - base_seq_);
+  if (it == by_seq_.end()) return actions;
+  const Planned& p = it->second;
+  const bool tolerant = lossable(kind);
+  if (p.drop && tolerant) actions.drop = true;
+  if (p.duplicates != 0 && tolerant) actions.duplicates = p.duplicates;
+  actions.extra_delay = p.extra_delay;
+  if (actions.drop || actions.duplicates != 0 || actions.extra_delay != 0)
+    ++applied_;
+  return actions;
+}
+
+}  // namespace hkws::torture

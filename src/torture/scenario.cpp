@@ -1,0 +1,935 @@
+#include "torture/scenario.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "cubenet/hypercup_index.hpp"
+#include "cubenet/hypercup_network.hpp"
+#include "dht/chord_network.hpp"
+#include "dht/dolr.hpp"
+#include "dht/pastry_network.hpp"
+#include "index/decomposed.hpp"
+#include "index/logical_index.hpp"
+#include "index/mirrored.hpp"
+#include "index/overlay_index.hpp"
+#include "index/ranking.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+
+namespace hkws::torture {
+
+namespace {
+
+using index::Hit;
+using index::SearchResult;
+using index::SearchStrategy;
+
+/// Stream salts: workload, sizing, and network randomness never alias each
+/// other (or the fault plan's stream) even though all derive from one seed.
+constexpr std::uint64_t kConfigSalt = 0xc0f1650aa1b2c3d4ULL;
+constexpr std::uint64_t kWorkloadSalt = 0x3031c10adbeefca7ULL;
+constexpr std::uint64_t kNetSalt = 0x5e7700d5a9b8c7d6ULL;
+
+std::set<ObjectId> ids_of(const std::vector<Hit>& hits) {
+  std::set<ObjectId> out;
+  for (const Hit& h : hits) out.insert(h.object);
+  return out;
+}
+
+/// The lossless serial oracle: the ground-truth object -> keyword-set map,
+/// updated in workload order while mutations are quiesced.
+struct Oracle {
+  std::map<ObjectId, KeywordSet> live;
+
+  std::map<ObjectId, KeywordSet> matches(const KeywordSet& query) const {
+    std::map<ObjectId, KeywordSet> out;
+    for (const auto& [id, k] : live)
+      if (query.subset_of(k)) out.emplace(id, k);
+    return out;
+  }
+};
+
+/// Deployment-specific operations the generic workload drives. Optional
+/// hooks are null when a deployment lacks the capability.
+struct Ops {
+  std::function<void(ObjectId, const KeywordSet&, std::function<void()>)>
+      publish;
+  std::function<void(ObjectId, const KeywordSet&, std::function<void()>)>
+      withdraw;
+  std::function<void(const KeywordSet&,
+                     std::function<void(const SearchResult&)>)>
+      pin;
+  std::function<std::uint64_t(const KeywordSet&, std::size_t,
+                              std::function<void(const SearchResult&)>)>
+      search;
+  std::function<bool(std::uint64_t)> cancel;  ///< null: not cancellable
+  /// Cumulative browse: fetch everything in pages of `page`, then call back
+  /// with the union and whether the session terminated cleanly.
+  std::function<void(const KeywordSet&, std::size_t,
+                     std::function<void(const std::vector<Hit>&, bool)>)>
+      browse;
+  /// Returns a violation detail if index occupancy disagrees with the
+  /// oracle's live set, nullopt otherwise.
+  std::function<std::optional<std::string>(
+      const std::map<ObjectId, KeywordSet>&)>
+      check_occupancy;
+  std::function<std::size_t()> in_flight;  ///< null: no request registry
+  /// Abrupt peer failure + repair; returns the oracle objects whose index
+  /// entries died with the peer. Null when churn is unsupported.
+  std::function<std::vector<ObjectId>(
+      std::uint64_t, const std::map<ObjectId, KeywordSet>&)>
+      fail_peer;
+  sim::EventQueue* clock = nullptr;  ///< null for in-process deployments
+  sim::Network* net = nullptr;
+  /// Credit/parallel schemes may return slightly more than `threshold`.
+  bool overshoot_ok = false;
+};
+
+std::string describe_query(const KeywordSet& q, std::size_t threshold) {
+  std::ostringstream out;
+  out << "query=" << q.to_string() << " threshold=" << threshold;
+  return out.str();
+}
+
+/// Checks one completed superset search against the oracle; appends
+/// violations to `rep`.
+void check_search_result(const SearchResult& r, const KeywordSet& query,
+                         std::size_t threshold,
+                         const std::map<ObjectId, KeywordSet>& expected,
+                         bool overshoot_ok, ScenarioReport& rep) {
+  // No false positives, correct hit payloads, no duplicate objects — these
+  // hold even for failed/partial results.
+  std::set<ObjectId> seen;
+  for (const Hit& h : r.hits) {
+    if (!seen.insert(h.object).second) {
+      rep.violations.push_back(
+          {"oracle", "duplicate object " + std::to_string(h.object) +
+                         " in hits; " + describe_query(query, threshold)});
+      return;
+    }
+    const auto it = expected.find(h.object);
+    if (it == expected.end()) {
+      rep.violations.push_back(
+          {"oracle", "false positive object " + std::to_string(h.object) +
+                         "; " + describe_query(query, threshold)});
+      return;
+    }
+    if (!(h.keywords == it->second)) {
+      rep.violations.push_back(
+          {"oracle", "hit payload mismatch for object " +
+                         std::to_string(h.object) + "; " +
+                         describe_query(query, threshold)});
+      return;
+    }
+  }
+
+  // Ranking: ordering by extra-keyword count must be monotone and preserve
+  // the hit set.
+  std::vector<Hit> ordered = r.hits;
+  index::order_hits(ordered, query, index::RankingPreference::kGeneralFirst);
+  for (std::size_t i = 1; i < ordered.size(); ++i) {
+    if (ordered[i - 1].keywords.size() > ordered[i].keywords.size()) {
+      rep.violations.push_back(
+          {"ranking", "extra-keyword count not monotone after order_hits; " +
+                          describe_query(query, threshold)});
+      return;
+    }
+  }
+  if (ids_of(ordered) != ids_of(r.hits)) {
+    rep.violations.push_back(
+        {"ranking", "order_hits changed the hit set; " +
+                        describe_query(query, threshold)});
+    return;
+  }
+
+  if (r.stats.failed) return;  // partial results: subset checks were enough
+
+  if (threshold == 0) {
+    if (!r.stats.complete) {
+      rep.violations.push_back(
+          {"oracle", "exhaustive search not complete; " +
+                         describe_query(query, threshold)});
+      return;
+    }
+    if (ids_of(r.hits) != [&] {
+          std::set<ObjectId> ids;
+          for (const auto& [id, k] : expected) ids.insert(id);
+          return ids;
+        }()) {
+      rep.violations.push_back(
+          {"oracle", "exhaustive result set differs from oracle (" +
+                         std::to_string(r.hits.size()) + " vs " +
+                         std::to_string(expected.size()) + "); " +
+                         describe_query(query, threshold)});
+    }
+    return;
+  }
+
+  const std::size_t want = std::min(threshold, expected.size());
+  if (r.hits.size() < want) {
+    rep.violations.push_back(
+        {"oracle", "thresholded search under-delivered (" +
+                       std::to_string(r.hits.size()) + " < " +
+                       std::to_string(want) + "); " +
+                       describe_query(query, threshold)});
+    return;
+  }
+  if (!overshoot_ok && r.hits.size() > threshold) {
+    rep.violations.push_back(
+        {"oracle", "thresholded search over-delivered (" +
+                       std::to_string(r.hits.size()) + " > " +
+                       std::to_string(threshold) + "); " +
+                       describe_query(query, threshold)});
+  }
+}
+
+/// Generic workload engine: drives Ops through cfg.rounds of quiesced
+/// mutations followed by overlapping searches, applying churn events and
+/// checking every invariant.
+void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep) {
+  Rng wl(mix64(cfg.seed ^ kWorkloadSalt));
+  Oracle oracle;
+  ObjectId next_id = 1;
+
+  auto make_kws = [&](std::size_t lo, std::size_t hi) {
+    std::vector<Keyword> words;
+    const std::size_t n = lo + wl.next_below(hi - lo + 1);
+    for (std::size_t i = 0; i < n; ++i)
+      words.push_back("w" + std::to_string(wl.next_below(cfg.vocab)));
+    return KeywordSet(std::move(words));
+  };
+
+  // Recurring queries hit the query caches repeatedly across mutation
+  // rounds — the sequence that flushes out cache-staleness bugs.
+  std::vector<KeywordSet> recurring;
+  for (int i = 0; i < 3; ++i) recurring.push_back(make_kws(1, 2));
+
+  auto pick_query = [&]() -> KeywordSet {
+    if (wl.next_bool(0.4)) return recurring[wl.next_below(recurring.size())];
+    if (!oracle.live.empty() && wl.next_bool(0.8)) {
+      auto it = oracle.live.begin();
+      std::advance(it, wl.next_below(oracle.live.size()));
+      const auto& words = it->second.words();
+      std::vector<Keyword> pick{words[wl.next_below(words.size())]};
+      if (words.size() > 1 && wl.next_bool(0.4))
+        pick.push_back(words[wl.next_below(words.size())]);
+      return KeywordSet(std::move(pick));
+    }
+    return make_kws(1, 2);
+  };
+
+  auto drain = [&] {
+    if (ops.clock != nullptr) ops.clock->run();
+  };
+
+  auto do_publish = [&] {
+    const ObjectId id = next_id++;
+    const KeywordSet k = make_kws(1, 4);
+    oracle.live[id] = k;
+    ops.publish(id, k, [] {});
+    ++rep.mutations;
+  };
+  // Mutations inside one burst overlap on the wire, and the protocol does
+  // not serialize concurrent operations on the *same* object (a withdraw
+  // racing its own publish can interleave at the DOLR owner and strand the
+  // index entry — a real non-guarantee, not a bug). The workload therefore
+  // only withdraws objects published before the current burst.
+  auto do_withdraw = [&](ObjectId burst_floor) {
+    std::vector<ObjectId> eligible;
+    for (const auto& [id, k] : oracle.live)
+      if (id < burst_floor) eligible.push_back(id);
+    if (eligible.empty()) return;
+    const ObjectId id = eligible[wl.next_below(eligible.size())];
+    const KeywordSet k = oracle.live.at(id);
+    oracle.live.erase(id);
+    ops.withdraw(id, k, [] {});
+    ++rep.mutations;
+  };
+
+  // Phase 0: seed corpus.
+  for (std::size_t i = 0; i < cfg.objects; ++i) do_publish();
+  drain();
+
+  // Peer failures: after the first one, DOLR references may be gone while
+  // index entries survive, so withdraws (which go through the DOLR) would
+  // desynchronize the oracle. Publishes stay safe.
+  bool withdraw_safe = true;
+  // Cost-model charges during churn repair (Chord finger fixing counts
+  // "net.messages" synchronously without a wire delivery) are excluded from
+  // the conservation identity by measuring each repair window's imbalance
+  // while the queue is otherwise drained.
+  std::uint64_t synthetic_messages = 0;
+
+  for (std::size_t round = 0; round < cfg.rounds && rep.ok(); ++round) {
+    // --- Churn (abrupt peer failures scheduled for this round) ------------
+    if (cfg.churn && ops.fail_peer != nullptr) {
+      for (const FaultEvent& ev : rep.plan.events) {
+        if (ev.kind != FaultKind::kFailPeer || ev.target != round) continue;
+        std::uint64_t m0 = 0, d0 = 0, l0 = 0;
+        if (ops.net != nullptr) {
+          m0 = ops.net->messages_sent();
+          d0 = ops.net->messages_delivered();
+          l0 = ops.net->messages_lost();
+        }
+        const std::vector<ObjectId> lost =
+            ops.fail_peer(ev.arg, oracle.live);
+        for (ObjectId id : lost) oracle.live.erase(id);
+        withdraw_safe = false;
+        if (ops.net != nullptr) {
+          // fail_peer drains the queue, so any message imbalance across the
+          // window is exactly the synthetic maintenance charge.
+          synthetic_messages += (ops.net->messages_sent() - m0) -
+                                (ops.net->messages_delivered() - d0) -
+                                (ops.net->messages_lost() - l0);
+        }
+      }
+    }
+
+    // --- Quiesced mutation burst -----------------------------------------
+    const ObjectId burst_floor = next_id;
+    for (std::size_t m = 0; m < cfg.mutations_per_round; ++m) {
+      if (withdraw_safe && wl.next_bool(0.4))
+        do_withdraw(burst_floor);
+      else
+        do_publish();
+    }
+    drain();
+
+    // --- Overlapping search burst ----------------------------------------
+    std::size_t outstanding = 0;
+
+    for (std::size_t s = 0; s < cfg.searches_per_round; ++s) {
+      const double roll = wl.next_double();
+      if (roll < 0.15 && !oracle.live.empty()) {
+        // Pin search: exact keyword-set match.
+        auto it = oracle.live.begin();
+        std::advance(it, wl.next_below(oracle.live.size()));
+        const KeywordSet k = it->second;
+        std::set<ObjectId> expected;
+        for (const auto& [id, kw] : oracle.live)
+          if (kw == k) expected.insert(id);
+        ++outstanding;
+        ++rep.searches;
+        ops.pin(k, [&rep, &outstanding, k, expected](const SearchResult& r) {
+          --outstanding;
+          if (ids_of(r.hits) != expected)
+            rep.violations.push_back(
+                {"oracle", "pin search mismatch; query=" + k.to_string()});
+        });
+      } else if (roll < 0.3 && ops.browse != nullptr) {
+        // Cumulative browse: page through the whole subhypercube.
+        const KeywordSet q = pick_query();
+        const auto expected = oracle.matches(q);
+        const std::size_t page = 1 + wl.next_below(7);
+        ++outstanding;
+        ++rep.searches;
+        ops.browse(q, page,
+                   [&rep, &outstanding, q, expected](
+                       const std::vector<Hit>& all, bool clean) {
+                     --outstanding;
+                     if (!clean) {
+                       rep.violations.push_back(
+                           {"hang", "cumulative session never exhausted; "
+                                    "query=" + q.to_string()});
+                       return;
+                     }
+                     std::set<ObjectId> want;
+                     for (const auto& [id, k] : expected) want.insert(id);
+                     if (ids_of(all) != want)
+                       rep.violations.push_back(
+                           {"oracle",
+                            "cumulative browse set differs from oracle (" +
+                                std::to_string(all.size()) + " vs " +
+                                std::to_string(want.size()) +
+                                "); query=" + q.to_string()});
+                   });
+      } else {
+        const KeywordSet q = pick_query();
+        const std::size_t threshold =
+            wl.next_bool(0.5) ? 0 : 1 + wl.next_below(8);
+        const auto expected = oracle.matches(q);
+        const bool try_cancel =
+            ops.cancel != nullptr && wl.next_bool(0.2);
+        const std::size_t cancel_after =
+            try_cancel ? wl.next_below(24) : 0;
+
+        ++outstanding;
+        ++rep.searches;
+        auto cancelled = std::make_shared<bool>(false);
+        const bool overshoot_ok = ops.overshoot_ok;
+        const std::uint64_t handle = ops.search(
+            q, threshold,
+            [&rep, &outstanding, q, threshold, expected, cancelled,
+             overshoot_ok](const SearchResult& r) {
+              if (*cancelled) {
+                rep.violations.push_back(
+                    {"cancel", "callback fired after successful cancel; " +
+                                   describe_query(q, threshold)});
+                return;
+              }
+              --outstanding;
+              check_search_result(r, q, threshold, expected, overshoot_ok,
+                                  rep);
+            });
+        if (try_cancel && ops.clock != nullptr) {
+          // Let the request make some progress, then abandon it.
+          for (std::size_t i = 0; i < cancel_after && outstanding > 0; ++i)
+            if (!ops.clock->step()) break;
+          if (ops.cancel(handle)) {
+            *cancelled = true;
+            --outstanding;
+            ++rep.cancels;
+          }
+        }
+      }
+    }
+
+    // --- Pump to completion; invariants at the quiescence instant ---------
+    if (ops.clock != nullptr) {
+      while (outstanding > 0 && ops.clock->step()) {
+      }
+      if (outstanding > 0) {
+        rep.violations.push_back(
+            {"hang", "event queue drained with " +
+                         std::to_string(outstanding) +
+                         " operations still outstanding (round " +
+                         std::to_string(round) + ")"});
+        return;
+      }
+      // The last operation just completed: every terminal transition must
+      // have cancelled its timers and dropped its request state.
+      if (ops.clock->live_timer_count() != 0)
+        rep.violations.push_back(
+            {"timers", std::to_string(ops.clock->live_timer_count()) +
+                           " timer(s) still live after all operations "
+                           "completed (round " + std::to_string(round) + ")"});
+      if (ops.in_flight != nullptr && ops.in_flight() != 0)
+        rep.violations.push_back(
+            {"timers", std::to_string(ops.in_flight()) +
+                           " request(s) leaked in the coordinator registry "
+                           "(round " + std::to_string(round) + ")"});
+      // Drain stragglers (duplicate copies, cancelled-timer husks).
+      ops.clock->run();
+    } else if (outstanding != 0) {
+      rep.violations.push_back(
+          {"hang", "synchronous deployment left operations outstanding"});
+      return;
+    }
+  }
+
+  // --- Final whole-run invariants ----------------------------------------
+  if (ops.check_occupancy != nullptr) {
+    if (auto err = ops.check_occupancy(oracle.live))
+      rep.violations.push_back({"occupancy", *err});
+  }
+  if (ops.net != nullptr) {
+    const std::uint64_t sent = ops.net->messages_sent();
+    const std::uint64_t delivered = ops.net->messages_delivered();
+    const std::uint64_t lost = ops.net->messages_lost();
+    if (sent != delivered + lost + synthetic_messages)
+      rep.violations.push_back(
+          {"conservation",
+           "net.messages (" + std::to_string(sent) + ") != net.delivered (" +
+               std::to_string(delivered) + ") + net.lost (" +
+               std::to_string(lost) + ") + maintenance charges (" +
+               std::to_string(synthetic_messages) + ")"});
+  }
+}
+
+/// Sums a per-cube-node load vector.
+std::size_t sum_loads(const std::vector<std::size_t>& loads) {
+  std::size_t total = 0;
+  for (std::size_t l : loads) total += l;
+  return total;
+}
+
+/// Occupancy checker for a single OverlayIndex.
+std::optional<std::string> overlay_occupancy(
+    const index::OverlayIndex& oi, const char* label,
+    const std::map<ObjectId, KeywordSet>& live) {
+  const std::size_t have = sum_loads(oi.loads_by_cube_node());
+  if (have != live.size())
+    return std::string(label) + " index holds " + std::to_string(have) +
+           " entries, oracle has " + std::to_string(live.size());
+  return std::nullopt;
+}
+
+// --- Deployment drivers -----------------------------------------------------
+
+void run_direct(const ScenarioConfig& cfg, ScenarioReport& rep) {
+  index::LogicalIndex li(
+      {.r = cfg.r, .cache_capacity = cfg.cache_capacity});
+
+  Ops ops;
+  ops.publish = [&](ObjectId id, const KeywordSet& k,
+                    std::function<void()> done) {
+    li.insert(id, k);
+    done();
+  };
+  ops.withdraw = [&](ObjectId id, const KeywordSet& k,
+                     std::function<void()> done) {
+    li.remove(id, k);
+    done();
+  };
+  ops.pin = [&](const KeywordSet& q,
+                std::function<void(const SearchResult&)> cb) {
+    cb(li.pin_search(q));
+  };
+  ops.search = [&](const KeywordSet& q, std::size_t t,
+                   std::function<void(const SearchResult&)> cb) {
+    cb(li.superset_search(q, t, cfg.strategy));
+    return std::uint64_t{0};
+  };
+  ops.browse = [&](const KeywordSet& q, std::size_t page,
+                   std::function<void(const std::vector<Hit>&, bool)> cb) {
+    auto session = li.begin_cumulative(q);
+    std::vector<Hit> all;
+    std::size_t guard = 0;
+    while (!session.exhausted()) {
+      if (++guard > 100000) {
+        cb(all, false);
+        return;
+      }
+      const SearchResult r = session.next(page);
+      all.insert(all.end(), r.hits.begin(), r.hits.end());
+    }
+    cb(all, true);
+  };
+  ops.check_occupancy =
+      [&](const std::map<ObjectId, KeywordSet>& live)
+      -> std::optional<std::string> {
+    if (li.object_count() != live.size())
+      return "object_count " + std::to_string(li.object_count()) +
+             " != oracle " + std::to_string(live.size());
+    if (sum_loads(li.loads()) != li.object_count())
+      return "per-node loads do not sum to object_count";
+    return std::nullopt;
+  };
+  execute(cfg, ops, rep);
+}
+
+void run_decomposed(const ScenarioConfig& cfg, ScenarioReport& rep) {
+  constexpr std::size_t kGroups = 2;
+  index::DecomposedIndex dec =
+      index::DecomposedIndex::hashed(kGroups, cfg.r);
+
+  Ops ops;
+  ops.publish = [&](ObjectId id, const KeywordSet& k,
+                    std::function<void()> done) {
+    dec.insert(id, k);
+    done();
+  };
+  ops.withdraw = [&](ObjectId id, const KeywordSet& k,
+                     std::function<void()> done) {
+    dec.remove(id, k);
+    done();
+  };
+  ops.pin = [&](const KeywordSet& q,
+                std::function<void(const SearchResult&)> cb) {
+    cb(dec.pin_search(q));
+  };
+  ops.search = [&](const KeywordSet& q, std::size_t t,
+                   std::function<void(const SearchResult&)> cb) {
+    cb(dec.superset_search(q, t, cfg.strategy));
+    return std::uint64_t{0};
+  };
+  ops.check_occupancy =
+      [&](const std::map<ObjectId, KeywordSet>& live)
+      -> std::optional<std::string> {
+    for (std::size_t g = 0; g < kGroups; ++g) {
+      std::size_t expected = 0;
+      for (const auto& [id, k] : live) {
+        if (!dec.projection(k, g).empty()) ++expected;
+      }
+      const std::size_t have = dec.group_cube(g).object_count();
+      if (have != expected)
+        return "group " + std::to_string(g) + " holds " +
+               std::to_string(have) + " objects, oracle projects " +
+               std::to_string(expected);
+    }
+    return std::nullopt;
+  };
+  execute(cfg, ops, rep);
+}
+
+void run_hypercup(const ScenarioConfig& cfg, const FaultPlan& plan,
+                  ScenarioReport& rep) {
+  sim::EventQueue clock;
+  sim::Network net(clock, std::make_unique<sim::UniformLatency>(1, 10),
+                   mix64(cfg.seed ^ kNetSalt));
+  auto injector = std::make_unique<FaultInjector>(plan);
+  FaultInjector* inj = injector.get();
+  net.set_fault_model(std::move(injector));
+  cubenet::HyperCupNetwork hnet(net, {.r = cfg.r});
+  cubenet::HyperCupIndex hidx(hnet, {});
+  Rng pubs(mix64(cfg.seed ^ kNetSalt ^ 1));
+  const auto publisher = [&] {
+    return static_cast<cube::CubeId>(pubs.next_below(hnet.size()));
+  };
+
+  Ops ops;
+  ops.clock = &clock;
+  ops.net = &net;
+  ops.overshoot_ok = true;  // credit-based forwarding may exceed threshold
+  ops.publish = [&](ObjectId id, const KeywordSet& k,
+                    std::function<void()> done) {
+    hidx.insert(publisher(), id, k, [done](int) { done(); });
+  };
+  ops.withdraw = [&](ObjectId id, const KeywordSet& k,
+                     std::function<void()> done) {
+    hidx.remove(publisher(), id, k, [done](int) { done(); });
+  };
+  ops.pin = [&](const KeywordSet& q,
+                std::function<void(const SearchResult&)> cb) {
+    hidx.pin_search(0, q, std::move(cb));
+  };
+  ops.search = [&](const KeywordSet& q, std::size_t t,
+                   std::function<void(const SearchResult&)> cb) {
+    hidx.superset_search(0, q, t, std::move(cb));
+    return std::uint64_t{0};
+  };
+  ops.check_occupancy =
+      [&](const std::map<ObjectId, KeywordSet>& live)
+      -> std::optional<std::string> {
+    const std::size_t have = sum_loads(hidx.loads());
+    if (have != live.size())
+      return "index holds " + std::to_string(have) + " entries, oracle has " +
+             std::to_string(live.size());
+    return std::nullopt;
+  };
+  execute(cfg, ops, rep);
+  rep.faults_applied = inj->applied();
+}
+
+/// Shared driver for OverlayIndex over either DHT. `chord` is non-null for
+/// the Chord deployment (whose stabilize recipe enables churn).
+void run_overlay(const ScenarioConfig& cfg, const FaultPlan& plan,
+                 ScenarioReport& rep) {
+  sim::EventQueue clock;
+  sim::Network net(clock, std::make_unique<sim::UniformLatency>(1, 12),
+                   mix64(cfg.seed ^ kNetSalt));
+  auto injector = std::make_unique<FaultInjector>(plan);
+  FaultInjector* inj = injector.get();
+
+  std::unique_ptr<dht::Overlay> overlay;
+  dht::ChordNetwork* chord = nullptr;
+  if (cfg.deployment == Deployment::kChord) {
+    auto c = std::make_unique<dht::ChordNetwork>(
+        dht::ChordNetwork::build(net, cfg.peers, {}));
+    chord = c.get();
+    overlay = std::move(c);
+  } else {
+    overlay = std::make_unique<dht::PastryNetwork>(
+        dht::PastryNetwork::build(net, cfg.peers, {}));
+  }
+  dht::Dolr dolr(*overlay);
+  index::OverlayIndex oi(dolr, {.r = cfg.r,
+                                .cache_capacity = cfg.cache_capacity,
+                                .step_timeout = 80,
+                                .max_retries = 8});
+  // Faults start only now: overlay construction traffic stays pristine.
+  net.set_fault_model(std::move(injector));
+
+  constexpr sim::EndpointId kHome = 1;  // publisher/searcher; never fails
+
+  Ops ops;
+  ops.clock = &clock;
+  ops.net = &net;
+  ops.overshoot_ok = cfg.strategy == SearchStrategy::kLevelParallel;
+  ops.publish = [&](ObjectId id, const KeywordSet& k,
+                    std::function<void()> done) {
+    oi.publish(kHome, id, k,
+               [done](const index::OverlayIndex::PublishResult&) { done(); });
+  };
+  ops.withdraw = [&](ObjectId id, const KeywordSet& k,
+                     std::function<void()> done) {
+    oi.withdraw(kHome, id, k,
+                [done](const index::OverlayIndex::WithdrawResult&) {
+                  done();
+                });
+  };
+  ops.pin = [&](const KeywordSet& q,
+                std::function<void(const SearchResult&)> cb) {
+    oi.pin_search(kHome, q, std::move(cb));
+  };
+  ops.search = [&](const KeywordSet& q, std::size_t t,
+                   std::function<void(const SearchResult&)> cb) {
+    return oi.superset_search(kHome, q, t, cfg.strategy, std::move(cb));
+  };
+  ops.cancel = [&](std::uint64_t id) { return oi.cancel(id); };
+  ops.browse = [&](const KeywordSet& q, std::size_t page,
+                   std::function<void(const std::vector<Hit>&, bool)> cb) {
+    const std::uint64_t sess = oi.open_cumulative(kHome, q);
+    auto all = std::make_shared<std::vector<Hit>>();
+    auto pages = std::make_shared<std::size_t>(0);
+    auto step = std::make_shared<std::function<void()>>();
+    *step = [&oi, sess, page, all, pages, cb, step] {
+      if (++*pages > 100000) {
+        oi.close_cumulative(sess);
+        cb(*all, false);
+        *step = nullptr;
+        return;
+      }
+      oi.cumulative_next(
+          sess, page, [&oi, sess, all, cb, step](const SearchResult& r) {
+            all->insert(all->end(), r.hits.begin(), r.hits.end());
+            if (r.stats.complete) {
+              oi.close_cumulative(sess);
+              cb(*all, true);
+              *step = nullptr;  // break the self-reference cycle
+            } else {
+              (*step)();
+            }
+          });
+    };
+    (*step)();
+  };
+  ops.in_flight = [&] { return oi.in_flight_requests(); };
+  ops.check_occupancy =
+      [&](const std::map<ObjectId, KeywordSet>& live) {
+        return overlay_occupancy(oi, "overlay", live);
+      };
+  if (chord != nullptr) {
+    ops.fail_peer = [&, chord](std::uint64_t ordinal,
+                               const std::map<ObjectId, KeywordSet>& live) {
+      std::vector<sim::EndpointId> candidates;
+      for (sim::EndpointId ep = 2; ep <= cfg.peers; ++ep)
+        if (chord->is_live(ep)) candidates.push_back(ep);
+      if (candidates.size() < 4) return std::vector<ObjectId>{};
+      const sim::EndpointId victim =
+          candidates[ordinal % candidates.size()];
+      // Entries that die with the victim, per current (canonical after the
+      // previous round's repair) placement.
+      std::vector<ObjectId> lost;
+      for (const auto& [id, k] : live)
+        if (oi.peer_of(oi.responsible_node(k)) == victim) lost.push_back(id);
+      chord->fail(victim);
+      for (int i = 0; i < 30; ++i) chord->stabilize_all();
+      clock.run();
+      oi.purge_dead();
+      oi.repair_placement();
+      clock.run();
+      return lost;
+    };
+  }
+  execute(cfg, ops, rep);
+  rep.faults_applied = inj->applied();
+}
+
+void run_mirrored(const ScenarioConfig& cfg, const FaultPlan& plan,
+                  ScenarioReport& rep) {
+  sim::EventQueue clock;
+  sim::Network net(clock, std::make_unique<sim::UniformLatency>(1, 12),
+                   mix64(cfg.seed ^ kNetSalt));
+  auto injector = std::make_unique<FaultInjector>(plan);
+  FaultInjector* inj = injector.get();
+  auto chord = std::make_unique<dht::ChordNetwork>(
+      dht::ChordNetwork::build(net, cfg.peers, {}));
+  dht::Dolr dolr(*chord);
+  index::MirroredIndex mi(dolr, {.r = cfg.r,
+                                 .cache_capacity = cfg.cache_capacity,
+                                 .step_timeout = 80,
+                                 .max_retries = 8});
+  net.set_fault_model(std::move(injector));
+
+  constexpr sim::EndpointId kHome = 1;
+
+  Ops ops;
+  ops.clock = &clock;
+  ops.net = &net;
+  // Each cube may overshoot under kLevelParallel but the merge truncates
+  // to the threshold, so the merged result never overshoots.
+  ops.overshoot_ok = false;
+  ops.publish = [&](ObjectId id, const KeywordSet& k,
+                    std::function<void()> done) {
+    mi.publish(kHome, id, k,
+               [done](const index::OverlayIndex::PublishResult&) { done(); });
+  };
+  ops.withdraw = [&](ObjectId id, const KeywordSet& k,
+                     std::function<void()> done) {
+    mi.withdraw(kHome, id, k,
+                [done](const index::OverlayIndex::WithdrawResult&) {
+                  done();
+                });
+  };
+  ops.pin = [&](const KeywordSet& q,
+                std::function<void(const SearchResult&)> cb) {
+    mi.pin_search(kHome, q, std::move(cb));
+  };
+  ops.search = [&](const KeywordSet& q, std::size_t t,
+                   std::function<void(const SearchResult&)> cb) {
+    return mi.superset_search(kHome, q, t, cfg.strategy, std::move(cb));
+  };
+  ops.cancel = [&](std::uint64_t ticket) { return mi.cancel(ticket); };
+  ops.in_flight = [&] {
+    return mi.primary().in_flight_requests() +
+           mi.mirror().in_flight_requests();
+  };
+  ops.check_occupancy =
+      [&](const std::map<ObjectId, KeywordSet>& live)
+      -> std::optional<std::string> {
+    if (auto err = overlay_occupancy(mi.primary(), "primary", live))
+      return err;
+    return overlay_occupancy(mi.mirror(), "mirror", live);
+  };
+  execute(cfg, ops, rep);
+  rep.faults_applied = inj->applied();
+}
+
+}  // namespace
+
+const char* to_string(Deployment d) {
+  switch (d) {
+    case Deployment::kDirect: return "direct";
+    case Deployment::kChord: return "chord";
+    case Deployment::kPastry: return "pastry";
+    case Deployment::kHyperCup: return "hypercup";
+    case Deployment::kMirrored: return "mirrored";
+    case Deployment::kDecomposed: return "decomposed";
+  }
+  return "?";
+}
+
+const char* to_string(index::SearchStrategy s) {
+  switch (s) {
+    case SearchStrategy::kTopDownSequential: return "top-down";
+    case SearchStrategy::kBottomUpSequential: return "bottom-up";
+    case SearchStrategy::kLevelParallel: return "level-parallel";
+  }
+  return "?";
+}
+
+bool networked(Deployment d) {
+  switch (d) {
+    case Deployment::kDirect:
+    case Deployment::kDecomposed:
+      return false;
+    case Deployment::kChord:
+    case Deployment::kPastry:
+    case Deployment::kHyperCup:
+    case Deployment::kMirrored:
+      return true;
+  }
+  return false;
+}
+
+ScenarioConfig ScenarioConfig::from_seed(std::uint64_t seed, Deployment d,
+                                         index::SearchStrategy s) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.deployment = d;
+  cfg.strategy = s;
+  Rng rng(mix64(seed ^ kConfigSalt));
+  cfg.r = 4 + static_cast<int>(rng.next_below(2));  // 4..5
+  cfg.peers = 12 + rng.next_below(13);              // 12..24
+  cfg.objects = 30 + rng.next_below(41);            // 30..70
+  cfg.vocab = 10 + rng.next_below(9);               // 10..18
+  cfg.rounds = 3 + rng.next_below(3);               // 3..5
+  cfg.searches_per_round = 4 + rng.next_below(5);
+  cfg.mutations_per_round = 3 + rng.next_below(4);
+  cfg.cache_capacity = rng.next_bool(0.5) ? 8 + rng.next_below(25) : 0;
+  cfg.faults.rounds = cfg.rounds;
+  switch (d) {
+    case Deployment::kDirect:
+    case Deployment::kDecomposed:
+      // In-process: no wire, no faults. The scenario still tortures the
+      // workload interleavings, caches, and occupancy accounting.
+      cfg.faults.allow_drops = false;
+      cfg.faults.allow_dups = false;
+      cfg.faults.allow_delays = false;
+      cfg.faults.max_events = 0;
+      break;
+    case Deployment::kHyperCup:
+      // Tree forwarding has no retransmission layer: delays only.
+      cfg.faults.allow_drops = false;
+      cfg.faults.allow_dups = false;
+      cfg.faults.max_events = 16;
+      cfg.faults.max_delay = 200;
+      cfg.faults.horizon = 1200;
+      cfg.cache_capacity = 0;  // no query cache in this deployment
+      break;
+    case Deployment::kChord:
+      cfg.faults.max_delay = 200;
+      cfg.faults.horizon = 1200;
+      cfg.churn = rng.next_bool(0.4);
+      cfg.faults.peer_failures = cfg.churn ? 1 : 0;
+      break;
+    case Deployment::kPastry:
+      // Prefix routing needs ~1 hop per route, so a whole run generates far
+      // fewer wire messages than Chord; keep targets inside the traffic.
+      cfg.faults.max_delay = 200;
+      cfg.faults.horizon = 400;
+      break;
+    case Deployment::kMirrored:
+      cfg.faults.max_delay = 200;
+      cfg.faults.horizon = 1200;
+      break;
+  }
+  return cfg;
+}
+
+std::string ScenarioConfig::to_string() const {
+  std::ostringstream out;
+  out << "seed=" << seed << " deployment=" << torture::to_string(deployment)
+      << " strategy=" << torture::to_string(strategy) << " r=" << r
+      << " peers=" << peers << " objects=" << objects
+      << " rounds=" << rounds << " cache=" << cache_capacity
+      << (churn ? " churn" : "");
+  return out.str();
+}
+
+std::string ScenarioReport::to_string() const {
+  std::ostringstream out;
+  out << config.to_string() << "\n";
+  out << "searches=" << searches << " mutations=" << mutations
+      << " cancels=" << cancels << " faults_applied=" << faults_applied
+      << "\n";
+  out << "fault plan:\n" << plan.to_string();
+  if (violations.empty()) {
+    out << "OK\n";
+  } else {
+    for (const Violation& v : violations)
+      out << "VIOLATION [" << v.invariant << "] " << v.detail << "\n";
+  }
+  return out.str();
+}
+
+ScenarioReport ScenarioRunner::run(const ScenarioConfig& cfg) {
+  return run(cfg, FaultPlan::from_seed(cfg.seed, cfg.faults));
+}
+
+ScenarioReport ScenarioRunner::run(const ScenarioConfig& cfg,
+                                   const FaultPlan& plan) {
+  ScenarioReport rep;
+  rep.config = cfg;
+  rep.plan = plan;
+  switch (cfg.deployment) {
+    case Deployment::kDirect:
+      run_direct(cfg, rep);
+      break;
+    case Deployment::kDecomposed:
+      run_decomposed(cfg, rep);
+      break;
+    case Deployment::kHyperCup:
+      run_hypercup(cfg, plan, rep);
+      break;
+    case Deployment::kChord:
+    case Deployment::kPastry:
+      run_overlay(cfg, plan, rep);
+      break;
+    case Deployment::kMirrored:
+      run_mirrored(cfg, plan, rep);
+      break;
+  }
+  return rep;
+}
+
+}  // namespace hkws::torture

@@ -1,0 +1,109 @@
+// Seed-driven protocol torture scenarios with differential oracles.
+//
+// One scenario = one deployment x one search strategy x one seed. The
+// runner replays a randomized workload (publish / withdraw / pin /
+// superset / cancel / cumulative-browse interleavings) against the chosen
+// deployment while a FaultPlan injects message faults and peer failures,
+// and checks a battery of invariants against a lossless in-memory oracle:
+//
+//  * oracle          — exhaustive searches return exactly the objects whose
+//                      keyword sets contain the query, hit payloads carry
+//                      the true keyword sets, thresholded searches return at
+//                      least min(t, |O_K|) true matches, never a false one
+//  * ranking         — ordering hits by extra-keyword count is monotone and
+//                      preserves the hit multiset
+//  * timers          — the instant the last outstanding operation completes,
+//                      no protocol timer is live and no request state leaks
+//                      (every terminal transition cancelled its timers)
+//  * cancel          — a successfully cancelled search never invokes its
+//                      callback
+//  * hang            — the event queue drains while operations are still
+//                      outstanding (a lost step nobody retransmitted)
+//  * conservation    — wire accounting closes: messages == delivered + lost
+//  * occupancy       — index-table occupancy equals the oracle's live set
+//
+// The workload op stream is generated from its own Rng stream in issuance
+// order, so it is identical under every fault schedule — which is what
+// makes greedy schedule shrinking (shrink.hpp) meaningful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/search_types.hpp"
+#include "torture/fault_plan.hpp"
+
+namespace hkws::torture {
+
+enum class Deployment : std::uint8_t {
+  kDirect,      ///< LogicalIndex, in-process (the serial reference itself)
+  kChord,       ///< OverlayIndex over Chord, loss-tolerant protocol
+  kPastry,      ///< OverlayIndex over Pastry, loss-tolerant protocol
+  kHyperCup,    ///< HyperCupIndex tree forwarding (delay faults only)
+  kMirrored,    ///< MirroredIndex (dual cubes) over Chord
+  kDecomposed,  ///< DecomposedIndex (grouped cubes), in-process
+};
+
+const char* to_string(Deployment d);
+const char* to_string(index::SearchStrategy s);
+
+/// True if the deployment exchanges simulated network messages (and can
+/// therefore be fault-injected at all).
+bool networked(Deployment d);
+
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+  Deployment deployment = Deployment::kChord;
+  index::SearchStrategy strategy = index::SearchStrategy::kTopDownSequential;
+  /// Sized from the seed by from_seed():
+  std::size_t peers = 16;    ///< DHT deployments
+  int r = 5;                 ///< hypercube dimension
+  std::size_t objects = 40;  ///< initial corpus size
+  std::size_t vocab = 14;    ///< keyword vocabulary size
+  std::size_t rounds = 4;    ///< mutate+search rounds
+  std::size_t searches_per_round = 6;
+  std::size_t mutations_per_round = 4;
+  std::size_t cache_capacity = 0;  ///< per-node query-cache records
+  bool churn = false;              ///< honor kFailPeer events (Chord only)
+  FaultPlanConfig faults;
+
+  /// Fills the size knobs from the seed and adapts the fault envelope to
+  /// the deployment (drops/dups only where the protocol tolerates them,
+  /// churn only where the repair recipe exists).
+  static ScenarioConfig from_seed(std::uint64_t seed, Deployment d,
+                                  index::SearchStrategy s);
+
+  std::string to_string() const;
+};
+
+struct Violation {
+  std::string invariant;  ///< "oracle", "ranking", "timers", ...
+  std::string detail;
+};
+
+struct ScenarioReport {
+  ScenarioConfig config;
+  FaultPlan plan;
+  std::vector<Violation> violations;
+  std::size_t searches = 0;
+  std::size_t mutations = 0;
+  std::size_t cancels = 0;
+  std::uint64_t faults_applied = 0;
+
+  bool ok() const noexcept { return violations.empty(); }
+  /// Seed + config + fault schedule + violations, ready to paste into a
+  /// bug report (and into `tools/torture --seed N` for replay).
+  std::string to_string() const;
+};
+
+class ScenarioRunner {
+ public:
+  /// Runs one scenario under the plan derived from cfg.seed.
+  ScenarioReport run(const ScenarioConfig& cfg);
+
+  /// Runs one scenario under an explicit plan (schedule shrinking).
+  ScenarioReport run(const ScenarioConfig& cfg, const FaultPlan& plan);
+};
+
+}  // namespace hkws::torture

@@ -1,0 +1,48 @@
+#include "torture/shrink.hpp"
+
+#include <algorithm>
+
+namespace hkws::torture {
+
+ShrinkResult shrink_plan(ScenarioRunner& runner, const ScenarioConfig& cfg,
+                         const FaultPlan& plan) {
+  ShrinkResult result;
+  result.plan = plan;
+  result.report = runner.run(cfg, plan);
+  ++result.runs;
+  if (result.report.ok()) return result;  // nothing to shrink
+
+  // Greedy chunk removal: for each chunk size from n/2 down to 1, sweep the
+  // event list and drop every chunk whose removal keeps the failure alive.
+  bool progress = true;
+  while (progress && !result.plan.events.empty()) {
+    progress = false;
+    for (std::size_t chunk = std::max<std::size_t>(
+             1, result.plan.events.size() / 2);
+         ; chunk /= 2) {
+      for (std::size_t begin = 0; begin < result.plan.events.size();) {
+        FaultPlan candidate;
+        candidate.events.reserve(result.plan.events.size());
+        const std::size_t end =
+            std::min(begin + chunk, result.plan.events.size());
+        for (std::size_t i = 0; i < result.plan.events.size(); ++i)
+          if (i < begin || i >= end)
+            candidate.events.push_back(result.plan.events[i]);
+        const ScenarioReport rep = runner.run(cfg, candidate);
+        ++result.runs;
+        if (!rep.ok()) {
+          result.plan = std::move(candidate);
+          result.report = rep;
+          progress = true;
+          // Re-test the same position: the next chunk slid into it.
+        } else {
+          begin = end;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace hkws::torture

@@ -1,0 +1,31 @@
+// Greedy fault-schedule minimization (ddmin-lite).
+//
+// Given a scenario that fails under a fault plan, repeatedly re-runs the
+// scenario with subsets of the plan's events and keeps any removal that
+// still reproduces a violation. Because the workload op stream is generated
+// independently of the fault schedule (see scenario.hpp), removing events
+// does not perturb the workload — only the faults — so the surviving events
+// are exactly the ones the failure needs.
+#pragma once
+
+#include <cstddef>
+
+#include "torture/scenario.hpp"
+
+namespace hkws::torture {
+
+struct ShrinkResult {
+  FaultPlan plan;          ///< minimized schedule (still failing)
+  ScenarioReport report;   ///< report of the final failing run
+  std::size_t runs = 0;    ///< scenario re-executions spent shrinking
+};
+
+/// Minimizes `plan` for a scenario known to fail under it. Tries removing
+/// progressively smaller chunks of the event list (halves, quarters, ...,
+/// single events), keeping each removal that still yields a violation.
+/// If the scenario does not actually fail under `plan`, returns it
+/// unchanged with the (passing) report.
+ShrinkResult shrink_plan(ScenarioRunner& runner, const ScenarioConfig& cfg,
+                         const FaultPlan& plan);
+
+}  // namespace hkws::torture

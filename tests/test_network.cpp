@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <map>
 #include <vector>
 
 #include "sim/metrics.hpp"
@@ -257,6 +259,102 @@ TEST(Metrics, DefaultReservoirAppliesToNewSeries) {
   for (int i = 0; i < 100; ++i) m.observe("a", i);
   EXPECT_EQ(m.samples("a").size(), 8u);
   EXPECT_EQ(m.sample_count("a"), 100u);
+}
+
+TEST(Metrics, ReservoirShrinkPropertyHolds) {
+  // Property: after shrinking a series via set_reservoir, (a) every retained
+  // value is one of the observed values, (b) no observed value is retained
+  // more often than it was observed, (c) count and mean stay exact, and
+  // (d) further observations never grow retention past the cap.
+  Metrics m;
+  for (int i = 0; i < 1000; ++i) m.observe("lat", i);  // distinct values
+  m.set_reservoir("lat", 37);
+  std::vector<double> kept = m.samples("lat");
+  EXPECT_EQ(kept.size(), 37u);
+  std::sort(kept.begin(), kept.end());
+  EXPECT_EQ(std::unique(kept.begin(), kept.end()), kept.end())
+      << "a shrink must not duplicate observations";
+  for (double v : kept) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1000.0);
+    EXPECT_DOUBLE_EQ(v, std::floor(v));  // only observed (integer) values
+  }
+  EXPECT_EQ(m.sample_count("lat"), 1000u);
+  EXPECT_DOUBLE_EQ(m.sample_mean("lat"), 999.0 / 2.0);
+  for (int i = 1000; i < 2000; ++i) m.observe("lat", i);
+  EXPECT_EQ(m.samples("lat").size(), 37u);
+  EXPECT_EQ(m.sample_count("lat"), 2000u);
+}
+
+// --- Fault-injection plumbing -------------------------------------------------
+
+/// Scripted per-sequence-number faults, keyed on the wire sequence number.
+class ScriptedFaults final : public FaultModel {
+ public:
+  std::map<std::uint64_t, FaultActions> script;
+  FaultActions inspect(EndpointId, EndpointId, const std::string&,
+                       std::uint64_t seq, Rng&) override {
+    const auto it = script.find(seq);
+    return it == script.end() ? FaultActions{} : it->second;
+  }
+};
+
+TEST(Network, FaultModelDropDupDelayAndConservation) {
+  EventQueue clock;
+  Network net(clock, std::make_unique<FixedLatency>(5));
+  net.register_endpoint(1);
+  net.register_endpoint(2);
+  auto faults = std::make_unique<ScriptedFaults>();
+  faults->script[0] = FaultActions{.drop = true};
+  faults->script[1] = FaultActions{.duplicates = 2};
+  faults->script[2] = FaultActions{.extra_delay = 40};
+  net.set_fault_model(std::move(faults));
+
+  int arrivals = 0;
+  Time last_at = 0;
+  for (int i = 0; i < 4; ++i)
+    net.send(1, 2, "t", 8, [&] {
+      ++arrivals;
+      last_at = clock.now();
+    });
+  clock.run();
+  // seq 0 dropped; seq 1 delivered 3x (original + 2 dups); seq 2 delayed to
+  // t=45 (the latest arrival); seq 3 untouched.
+  EXPECT_EQ(arrivals, 5);
+  EXPECT_EQ(last_at, 45u);
+  EXPECT_EQ(net.metrics().counter("net.dup"), 2u);
+  EXPECT_EQ(net.metrics().counter("net.delayed"), 1u);
+  EXPECT_EQ(net.messages_lost(), 1u);
+  // Conservation: every wire message (duplicates included) was either
+  // delivered or lost.
+  EXPECT_EQ(net.messages_sent(), 6u);  // 4 sends + 2 duplicate copies
+  EXPECT_EQ(net.messages_sent(), net.messages_delivered() + net.messages_lost());
+}
+
+TEST(Network, ConservationHoldsUnderRandomDropAndFaults) {
+  EventQueue clock;
+  LossyNetwork net(clock, 0.2, std::make_unique<UniformLatency>(1, 9), 7);
+  net.register_endpoint(1);
+  net.register_endpoint(2);
+
+  /// Seeded random faults on every message kind.
+  class RandomFaults final : public FaultModel {
+   public:
+    FaultActions inspect(EndpointId, EndpointId, const std::string&,
+                         std::uint64_t, Rng& rng) override {
+      FaultActions a;
+      a.drop = rng.next_bool(0.1);
+      if (rng.next_bool(0.1)) a.duplicates = 1 + rng.next_below(2);
+      if (rng.next_bool(0.1)) a.extra_delay = rng.next_below(50);
+      return a;
+    }
+  };
+  net.set_fault_model(std::make_unique<RandomFaults>());
+  for (int i = 0; i < 500; ++i) net.send(1, 2, "t", 8, [] {});
+  clock.run();
+  EXPECT_EQ(net.messages_sent(), net.messages_delivered() + net.messages_lost());
+  EXPECT_GT(net.messages_lost(), 0u);
+  EXPECT_GT(net.metrics().counter("net.dup"), 0u);
 }
 
 }  // namespace

@@ -89,7 +89,19 @@ TEST(QueryCache, OversizedSummaryIsNotCached) {
   EXPECT_EQ(c.evictions(), 0u);
 }
 
-TEST(QueryCache, ReinsertReplacesValueKeepsAge) {
+TEST(QueryCache, OversizedRefreshErasesStaleEntry) {
+  // Regression: an oversized refresh used to early-return and leave the
+  // previous (now stale) summary in the cache, to be served forever after.
+  QueryCache c(2);
+  c.insert(KeywordSet({"q"}), summary_of({1, 2}));
+  ASSERT_NE(c.lookup(KeywordSet({"q"})), nullptr);
+  c.insert(KeywordSet({"q"}), summary_of({1, 2, 3}));  // refresh grew past cap
+  EXPECT_EQ(c.lookup(KeywordSet({"q"})), nullptr);
+  EXPECT_EQ(c.occupancy(), 0u);
+  EXPECT_EQ(c.entry_count(), 0u);
+}
+
+TEST(QueryCache, ReinsertReplacesValueMovesToBack) {
   QueryCache c(10);
   c.insert(KeywordSet({"a"}), summary_of({1}));
   c.insert(KeywordSet({"b"}), summary_of({2}));
@@ -99,15 +111,40 @@ TEST(QueryCache, ReinsertReplacesValueKeepsAge) {
   const auto* got = c.lookup(KeywordSet({"a"}));
   ASSERT_NE(got, nullptr);
   EXPECT_EQ(got->contributors[0].first, 9u);
-  // "a" keeps its original (oldest) queue position: inserting a large entry
-  // evicts "a" first.
+  // The refresh moved "a" to the back (FIFO by last write), so a tight
+  // insert evicts "b" — the least recently *written* entry — not "a".
   QueryCache c2(3);
   c2.insert(KeywordSet({"a"}), summary_of({1}));
   c2.insert(KeywordSet({"b"}), summary_of({2}));
-  c2.insert(KeywordSet({"a"}), summary_of({1}));  // replace, keep position
+  c2.insert(KeywordSet({"a"}), summary_of({1}));  // replace, move to back
   c2.insert(KeywordSet({"c"}), summary_of({3, 4}));
-  EXPECT_EQ(c2.lookup(KeywordSet({"a"})), nullptr);
-  EXPECT_NE(c2.lookup(KeywordSet({"b"})), nullptr);
+  EXPECT_NE(c2.lookup(KeywordSet({"a"})), nullptr);
+  EXPECT_EQ(c2.lookup(KeywordSet({"b"})), nullptr);
+}
+
+TEST(QueryCache, StaleEpochEntryIsDroppedOnLookup) {
+  QueryCache c(10);
+  c.insert(KeywordSet({"q"}), summary_of({1, 2}), /*epoch=*/5);
+  EXPECT_NE(c.lookup(KeywordSet({"q"}), 5), nullptr);  // same epoch: fresh
+  EXPECT_NE(c.lookup(KeywordSet({"q"}), 5), nullptr);  // hit does not age it
+  EXPECT_EQ(c.stale_hits(), 0u);
+  // The index mutated since the entry was recorded: treat as a miss + drop.
+  EXPECT_EQ(c.lookup(KeywordSet({"q"}), 6), nullptr);
+  EXPECT_EQ(c.stale_hits(), 1u);
+  EXPECT_EQ(c.entry_count(), 0u);
+  EXPECT_EQ(c.occupancy(), 0u);
+}
+
+TEST(QueryCache, LegacyStalenessDebugFlagRestoresOldBehavior) {
+  QueryCache::set_debug_legacy_staleness(true);
+  QueryCache c(2);
+  c.insert(KeywordSet({"q"}), summary_of({1, 2}), 1);
+  c.insert(KeywordSet({"q"}), summary_of({1, 2, 3}), 2);  // oversized refresh
+  // Pre-fix behavior: the stale 2-record entry survives and epoch checks
+  // are skipped, so the stale value is served.
+  EXPECT_NE(c.lookup(KeywordSet({"q"}), 2), nullptr);
+  QueryCache::set_debug_legacy_staleness(false);
+  EXPECT_EQ(c.lookup(KeywordSet({"q"}), 2), nullptr);  // fix re-engaged
 }
 
 TEST(QueryCache, EraseIfPredicate) {
@@ -173,12 +210,14 @@ TEST_P(QueryCacheFuzz, MatchesReferenceModel) {
         t.complete = true;
         cache.insert(key, t);
         if (records <= kCapacity) {
-          if (auto it = model_find(key); it != model.end()) {
-            it->second = records;  // replace value, keep position
-          } else {
-            model.emplace_back(key, records);
-          }
+          // Replace or insert; either way the entry moves to the back
+          // (eviction is strictly FIFO by last write).
+          if (auto it = model_find(key); it != model.end()) model.erase(it);
+          model.emplace_back(key, records);
           while (model_occupancy() > kCapacity) model.erase(model.begin());
+        } else {
+          // Oversized refresh: the old entry must be gone too.
+          if (auto it = model_find(key); it != model.end()) model.erase(it);
         }
         break;
       }

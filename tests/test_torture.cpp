@@ -1,0 +1,183 @@
+// The torture harness testing itself: seeded smoke sweeps across every
+// deployment and strategy, determinism of plans and runs, schedule
+// shrinking, and — the critical meta-test — proof that the harness detects
+// a deliberately re-introduced QueryCache staleness bug and reproduces it
+// from the printed seed.
+#include <gtest/gtest.h>
+
+#include "index/query_cache.hpp"
+#include "torture/scenario.hpp"
+#include "torture/shrink.hpp"
+
+namespace hkws::torture {
+namespace {
+
+using index::SearchStrategy;
+
+constexpr Deployment kAllDeployments[] = {
+    Deployment::kDirect,   Deployment::kChord,    Deployment::kPastry,
+    Deployment::kHyperCup, Deployment::kMirrored, Deployment::kDecomposed,
+};
+constexpr SearchStrategy kAllStrategies[] = {
+    SearchStrategy::kTopDownSequential,
+    SearchStrategy::kBottomUpSequential,
+    SearchStrategy::kLevelParallel,
+};
+
+/// Restores the process-wide legacy-staleness flag on scope exit, so a
+/// failing assertion can't poison later tests.
+struct LegacyStalenessGuard {
+  ~LegacyStalenessGuard() {
+    index::QueryCache::set_debug_legacy_staleness(false);
+  }
+};
+
+TEST(FaultPlan, SeedDerivationIsDeterministic) {
+  FaultPlanConfig cfg;
+  const FaultPlan a = FaultPlan::from_seed(42, cfg);
+  const FaultPlan b = FaultPlan::from_seed(42, cfg);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].target, b.events[i].target);
+    EXPECT_EQ(a.events[i].arg, b.events[i].arg);
+  }
+  const FaultPlan c = FaultPlan::from_seed(43, cfg);
+  EXPECT_NE(a.to_string(), c.to_string());
+}
+
+TEST(FaultPlan, LossableCoversExactlyTheRetransmissionGuardedKinds) {
+  EXPECT_TRUE(lossable("kws.t_query"));
+  EXPECT_TRUE(lossable("kws.t_cont"));
+  EXPECT_TRUE(lossable("kws.t_stop"));
+  EXPECT_TRUE(lossable("kws.results"));
+  EXPECT_TRUE(lossable("kws.done"));
+  EXPECT_FALSE(lossable("kws.c_results"));  // cumulative: no retransmission
+  EXPECT_FALSE(lossable("dolr.insert"));
+  EXPECT_FALSE(lossable("dht.lookup"));
+  EXPECT_FALSE(lossable("hc.s_query"));
+}
+
+TEST(Torture, SmokeSweepAllDeploymentsAndStrategiesGreen) {
+  ScenarioRunner runner;
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    for (Deployment d : kAllDeployments) {
+      for (SearchStrategy s : kAllStrategies) {
+        if (d == Deployment::kHyperCup &&
+            s != SearchStrategy::kTopDownSequential)
+          continue;  // tree forwarding has no strategy knob
+        const ScenarioConfig cfg = ScenarioConfig::from_seed(seed, d, s);
+        const ScenarioReport rep = runner.run(cfg);
+        EXPECT_TRUE(rep.ok()) << rep.to_string();
+        EXPECT_GT(rep.searches, 0u);
+        EXPECT_GT(rep.mutations, 0u);
+      }
+    }
+  }
+}
+
+TEST(Torture, RunsAreDeterministicPerSeed) {
+  ScenarioRunner runner;
+  const ScenarioConfig cfg = ScenarioConfig::from_seed(
+      7, Deployment::kChord, SearchStrategy::kTopDownSequential);
+  const ScenarioReport a = runner.run(cfg);
+  const ScenarioReport b = runner.run(cfg);
+  EXPECT_EQ(a.searches, b.searches);
+  EXPECT_EQ(a.mutations, b.mutations);
+  EXPECT_EQ(a.cancels, b.cancels);
+  EXPECT_EQ(a.faults_applied, b.faults_applied);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+}
+
+TEST(Torture, ChurnScenariosSurvive) {
+  // Find a seed whose Chord scenario schedules a peer failure and check the
+  // repair recipe keeps every invariant.
+  ScenarioRunner runner;
+  std::size_t churn_runs = 0;
+  for (std::uint64_t seed = 1; seed <= 12 && churn_runs < 2; ++seed) {
+    const ScenarioConfig cfg = ScenarioConfig::from_seed(
+        seed, Deployment::kChord, SearchStrategy::kTopDownSequential);
+    if (!cfg.churn) continue;
+    ++churn_runs;
+    const ScenarioReport rep = runner.run(cfg);
+    EXPECT_TRUE(rep.ok()) << rep.to_string();
+  }
+  EXPECT_GE(churn_runs, 1u);
+}
+
+// The acceptance meta-test: restoring the pre-fix QueryCache behaviour
+// (stale entries survive oversized refreshes and epoch invalidation is
+// skipped) must be *caught* by the harness, and the failure must reproduce
+// from the same seed. Seed 26 is a known catcher for both the direct and
+// the Chord deployment (cache-enabled, recurring queries across mutation
+// rounds); sibling seeds stay green when the fix is active.
+TEST(Torture, CatchesReintroducedQueryCacheStalenessBug) {
+  LegacyStalenessGuard guard;
+  ScenarioRunner runner;
+  const ScenarioConfig cfg = ScenarioConfig::from_seed(
+      26, Deployment::kDirect, SearchStrategy::kTopDownSequential);
+  ASSERT_GT(cfg.cache_capacity, 0u);
+
+  // With the fix: green.
+  index::QueryCache::set_debug_legacy_staleness(false);
+  EXPECT_TRUE(runner.run(cfg).ok());
+
+  // Bug re-introduced: caught, with an oracle violation.
+  index::QueryCache::set_debug_legacy_staleness(true);
+  const ScenarioReport caught = runner.run(cfg);
+  ASSERT_FALSE(caught.ok());
+  EXPECT_EQ(caught.violations[0].invariant, "oracle");
+
+  // Reproduced bit-identically from the same seed.
+  const ScenarioReport again = runner.run(cfg);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.violations[0].detail, caught.violations[0].detail);
+
+  // Fix restored: green again.
+  index::QueryCache::set_debug_legacy_staleness(false);
+  EXPECT_TRUE(runner.run(cfg).ok());
+}
+
+TEST(Torture, CatchesStalenessBugOverTheWireToo) {
+  LegacyStalenessGuard guard;
+  ScenarioRunner runner;
+  const ScenarioConfig cfg = ScenarioConfig::from_seed(
+      26, Deployment::kChord, SearchStrategy::kTopDownSequential);
+  ASSERT_GT(cfg.cache_capacity, 0u);
+  index::QueryCache::set_debug_legacy_staleness(true);
+  const ScenarioReport caught = runner.run(cfg);
+  ASSERT_FALSE(caught.ok());
+  EXPECT_EQ(caught.violations[0].invariant, "oracle");
+}
+
+TEST(Shrink, RemovesEveryIrrelevantFaultEvent) {
+  // The staleness failure above does not depend on message faults at all,
+  // so greedy shrinking must strip the Chord scenario's schedule down to
+  // nothing while the failure keeps reproducing.
+  LegacyStalenessGuard guard;
+  index::QueryCache::set_debug_legacy_staleness(true);
+  ScenarioRunner runner;
+  const ScenarioConfig cfg = ScenarioConfig::from_seed(
+      26, Deployment::kChord, SearchStrategy::kTopDownSequential);
+  const FaultPlan plan = FaultPlan::from_seed(cfg.seed, cfg.faults);
+  ASSERT_FALSE(plan.events.empty());
+  const ShrinkResult min = shrink_plan(runner, cfg, plan);
+  EXPECT_FALSE(min.report.ok());
+  EXPECT_TRUE(min.plan.events.empty())
+      << "left: " << min.plan.to_string();
+  EXPECT_GT(min.runs, 1u);
+}
+
+TEST(Shrink, PassingScenarioIsReturnedUnchanged) {
+  ScenarioRunner runner;
+  const ScenarioConfig cfg = ScenarioConfig::from_seed(
+      3, Deployment::kPastry, SearchStrategy::kBottomUpSequential);
+  const FaultPlan plan = FaultPlan::from_seed(cfg.seed, cfg.faults);
+  const ShrinkResult min = shrink_plan(runner, cfg, plan);
+  EXPECT_TRUE(min.report.ok());
+  EXPECT_EQ(min.plan.events.size(), plan.events.size());
+  EXPECT_EQ(min.runs, 1u);
+}
+
+}  // namespace
+}  // namespace hkws::torture

@@ -73,6 +73,31 @@ TEST(Zipf, FitHandlesDegenerateInput) {
   EXPECT_EQ(fit_zipf_exponent({}), 0.0);
   EXPECT_EQ(fit_zipf_exponent({5}), 0.0);
   EXPECT_EQ(fit_zipf_exponent({0, 0, 0}), 0.0);
+  // A single observed rank among zeros still cannot determine a slope.
+  EXPECT_EQ(fit_zipf_exponent({0, 7, 0, 0}), 0.0);
+}
+
+TEST(Zipf, FitSkipsZeroCountRanksWithoutCompacting) {
+  // Gappy rank histogram: exact Zipf counts with every other rank zeroed.
+  // Zero ranks are skipped but the surviving ranks keep their true rank
+  // index (not compacted), so the fit still recovers the exponent from the
+  // observed points alone.
+  for (double s : {0.8, 1.2}) {
+    std::vector<std::uint64_t> counts;
+    for (int k = 1; k <= 400; ++k) {
+      const auto c = static_cast<std::uint64_t>(
+          1e7 * std::pow(static_cast<double>(k), -s));
+      counts.push_back(k % 2 == 0 ? 0 : c);
+    }
+    EXPECT_NEAR(fit_zipf_exponent(counts), s, 0.05) << "s=" << s;
+  }
+  // Zero-count ranks carry no evidence: padding the tail with empty ranks
+  // must leave the estimate bit-identical.
+  const std::vector<std::uint64_t> base{100, 40, 20, 12, 8};
+  std::vector<std::uint64_t> padded = base;
+  padded.insert(padded.end(), 50, 0);
+  EXPECT_DOUBLE_EQ(fit_zipf_exponent(base), fit_zipf_exponent(padded));
+  EXPECT_GT(fit_zipf_exponent(base), 0.0);
 }
 
 class ZipfTopShare

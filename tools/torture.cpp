@@ -1,0 +1,175 @@
+// Seed-driven protocol torture CLI.
+//
+// Default run: a sweep of seeded scenarios across every search strategy and
+// deployment (>= 200 scenarios), printing one line per failure and exiting
+// non-zero if any invariant was violated. A failing seed is reproduced with
+//
+//     tools/torture --seed N [--deployment D] [--strategy S]
+//
+// which replays exactly that scenario, shrinks its fault schedule to the
+// minimal failing subset, and prints the full report. See docs/TESTING.md.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "torture/scenario.hpp"
+#include "torture/shrink.hpp"
+
+namespace {
+
+using hkws::index::SearchStrategy;
+using namespace hkws::torture;
+
+constexpr Deployment kDeployments[] = {
+    Deployment::kDirect,   Deployment::kChord,    Deployment::kPastry,
+    Deployment::kHyperCup, Deployment::kMirrored, Deployment::kDecomposed,
+};
+constexpr SearchStrategy kStrategies[] = {
+    SearchStrategy::kTopDownSequential,
+    SearchStrategy::kBottomUpSequential,
+    SearchStrategy::kLevelParallel,
+};
+
+std::optional<Deployment> parse_deployment(const std::string& s) {
+  for (Deployment d : kDeployments)
+    if (s == to_string(d)) return d;
+  return std::nullopt;
+}
+
+std::optional<SearchStrategy> parse_strategy(const std::string& s) {
+  for (SearchStrategy st : kStrategies)
+    if (s == to_string(st)) return st;
+  return std::nullopt;
+}
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seed N] [--seeds COUNT] [--start N]\n"
+      "          [--deployment direct|chord|pastry|hypercup|mirrored|"
+      "decomposed]\n"
+      "          [--strategy top-down|bottom-up|level-parallel]\n"
+      "          [--no-shrink] [--verbose]\n"
+      "\n"
+      "Without --seed: sweeps COUNT seeds (default 15) starting at --start\n"
+      "(default 1) over every strategy x deployment combination. With\n"
+      "--seed: replays that single seed (optionally filtered), shrinking\n"
+      "the fault schedule of any failure.\n",
+      argv0);
+}
+
+/// Runs one scenario; on failure prints the seed, the (optionally
+/// minimized) fault schedule, and the violations. Returns whether it passed.
+bool run_one(ScenarioRunner& runner, std::uint64_t seed, Deployment d,
+             SearchStrategy s, bool shrink, bool verbose,
+             std::size_t& scenarios) {
+  const ScenarioConfig cfg = ScenarioConfig::from_seed(seed, d, s);
+  ScenarioReport rep = runner.run(cfg);
+  ++scenarios;
+  if (rep.ok()) {
+    if (verbose)
+      std::printf("ok    %s (searches=%zu mutations=%zu cancels=%zu "
+                  "faults=%llu)\n",
+                  cfg.to_string().c_str(), rep.searches, rep.mutations,
+                  rep.cancels,
+                  static_cast<unsigned long long>(rep.faults_applied));
+    return true;
+  }
+  std::printf("FAIL  %s\n", cfg.to_string().c_str());
+  if (shrink && !rep.plan.events.empty()) {
+    const ShrinkResult min = shrink_plan(runner, cfg, rep.plan);
+    scenarios += min.runs;
+    std::printf("--- minimized fault schedule (%zu -> %zu events, %zu "
+                "runs) ---\n",
+                rep.plan.events.size(), min.plan.events.size(), min.runs);
+    rep = min.report;
+  }
+  std::printf("%s", rep.to_string().c_str());
+  std::printf("reproduce: tools/torture --seed %llu --deployment %s "
+              "--strategy %s\n",
+              static_cast<unsigned long long>(seed), to_string(d),
+              to_string(s));
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<std::uint64_t> single_seed;
+  std::uint64_t start = 1;
+  std::size_t count = 15;
+  std::optional<Deployment> only_deployment;
+  std::optional<SearchStrategy> only_strategy;
+  bool shrink = true;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      single_seed = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--seeds") {
+      count = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--start") {
+      start = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--deployment") {
+      only_deployment = parse_deployment(next());
+      if (!only_deployment) {
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (arg == "--strategy") {
+      only_strategy = parse_strategy(next());
+      if (!only_strategy) {
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (arg == "--no-shrink") {
+      shrink = false;
+    } else if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else {
+      usage(argv[0]);
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  ScenarioRunner runner;
+  std::size_t scenarios = 0;
+  std::size_t failures = 0;
+
+  const auto sweep_seed = [&](std::uint64_t seed) {
+    for (Deployment d : kDeployments) {
+      if (only_deployment && d != *only_deployment) continue;
+      for (SearchStrategy s : kStrategies) {
+        if (only_strategy && s != *only_strategy) continue;
+        // HyperCuP tree forwarding has no strategy knob; run it once.
+        if (d == Deployment::kHyperCup &&
+            s != SearchStrategy::kTopDownSequential && !only_strategy)
+          continue;
+        if (!run_one(runner, seed, d, s, shrink, verbose, scenarios))
+          ++failures;
+      }
+    }
+  };
+
+  if (single_seed) {
+    sweep_seed(*single_seed);
+  } else {
+    for (std::uint64_t seed = start; seed < start + count; ++seed)
+      sweep_seed(seed);
+  }
+
+  std::printf("%zu scenario(s), %zu failure(s)\n", scenarios, failures);
+  return failures == 0 ? 0 : 1;
+}
