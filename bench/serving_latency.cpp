@@ -32,6 +32,8 @@
 #include "dht/chord_network.hpp"
 #include "engine/load_driver.hpp"
 #include "engine/query_engine.hpp"
+#include "obs/trace.hpp"
+#include "obs/windowed.hpp"
 #include "workload/arrivals.hpp"
 
 namespace {
@@ -76,24 +78,33 @@ std::vector<sim::EndpointId> searcher_pool() {
   return out;
 }
 
+/// Windowed time-series bucket width: 1 kilotick = 1 s at 1 tick = 1 ms.
+constexpr sim::Time kWindowWidth = 1000;
+
 struct RunResult {
   std::string name;
   double offered_qps = 0;
   int r = 10;
   bool cache = true;
   engine::EngineReport report;
+  std::string timeseries;  ///< obs::WindowedMetrics::to_json()
 };
 
 /// One open-loop serving run: fresh cluster, publish, replay at `qps`.
+/// When `tracer` is non-null the engine's spans and (post-publish) the wire
+/// sends of this run are captured into it.
 RunResult serve_run(const std::string& name, const workload::Corpus& corpus,
                     const workload::QueryLog& log, double qps, int r,
-                    bool cache) {
+                    bool cache, obs::Tracer* tracer = nullptr) {
   index::KeywordSearchService::Options opts;
   opts.r = r;
   opts.cache_capacity = cache ? 64 : 0;
   Setup setup(opts, 0xbe7c5 + static_cast<std::uint64_t>(qps));
   setup.publish(corpus);
+  // Attach after publishing so the trace captures serving traffic only.
+  if (tracer != nullptr) obs::attach_network(*tracer, *setup.net);
 
+  obs::WindowedMetrics windows(kWindowWidth);
   engine::EngineConfig cfg;
   cfg.max_in_flight = 64;
   cfg.max_backlog = 2000;  // beyond this, overload sheds
@@ -101,6 +112,8 @@ RunResult serve_run(const std::string& name, const workload::Corpus& corpus,
   cfg.search.strategy = index::SearchStrategy::kLevelParallel;
   cfg.latency_reservoir = 4096;  // bounded memory over long runs
   cfg.record_traces = false;     // too many queries to keep full traces
+  cfg.tracer = tracer;
+  cfg.windows = &windows;
   engine::QueryEngine engine(*setup.service, setup.clock, cfg);
 
   workload::PoissonArrivals arrivals(qps, 0xa11c + static_cast<std::uint64_t>(qps));
@@ -114,6 +127,7 @@ RunResult serve_run(const std::string& name, const workload::Corpus& corpus,
   result.r = r;
   result.cache = cache;
   result.report = engine.report();
+  result.timeseries = windows.to_json();
 
   std::printf("\n--- %s (offered %.0f qps, r=%d, cache=%s) ---\n",
               name.c_str(), qps, r, cache ? "on" : "off");
@@ -259,9 +273,16 @@ int main() {
   const workload::QueryLog log = generator.generate();
 
   std::vector<RunResult> runs;
+  // The first sweep run is span-traced end to end; the trace file feeds
+  // tools/traceview and the CI smoke check (docs/OBSERVABILITY.md).
+  obs::Tracer tracer(400000);
   // Part A: offered-QPS sweep, cache on; middle rate repeated cache-off.
-  for (double qps : {40.0, 160.0, 640.0})
-    runs.push_back(serve_run("sweep", corpus, log, qps, 10, true));
+  bool trace_this = true;
+  for (double qps : {40.0, 160.0, 640.0}) {
+    runs.push_back(serve_run("sweep", corpus, log, qps, 10, true,
+                             trace_this ? &tracer : nullptr));
+    trace_this = false;
+  }
   runs.push_back(serve_run("cacheless", corpus, log, 160.0, 10, false));
   // Part B: hypercube dimension at the middle rate.
   for (int r : {8, 12})
@@ -283,7 +304,8 @@ int main() {
          << "\",\"offered_qps\":" << runs[i].offered_qps
          << ",\"r\":" << runs[i].r
          << ",\"cache\":" << (runs[i].cache ? "true" : "false")
-         << ",\"report\":" << runs[i].report.to_json() << "}";
+         << ",\"report\":" << runs[i].report.to_json()
+         << ",\"timeseries\":" << runs[i].timeseries << "}";
   }
   json << "],\"loss_check\":{\"queries\":" << check.queries
        << ",\"compared\":" << check.compared
@@ -295,6 +317,11 @@ int main() {
        << ",\"ok\":" << (check.ok ? "true" : "false") << "}}\n";
   json.close();
   std::printf("\nwrote BENCH_serving.json\n");
+
+  tracer.write_chrome_json("BENCH_serving_trace.json");
+  std::printf("wrote BENCH_serving_trace.json (%zu events, %llu dropped)\n",
+              tracer.events().size(),
+              static_cast<unsigned long long>(tracer.dropped()));
 
   return check.ok ? 0 : 1;
 }

@@ -23,15 +23,36 @@ double variance(const std::vector<double>& xs) {
 
 double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
 
-double percentile(std::vector<double> xs, double p) {
-  if (xs.empty()) throw std::invalid_argument("percentile: empty input");
-  if (p < 0 || p > 100) throw std::invalid_argument("percentile: p out of range");
-  std::sort(xs.begin(), xs.end());
+namespace {
+
+double percentile_sorted(const std::vector<double>& xs, double p) {
   const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   if (lo + 1 >= xs.size()) return xs.back();
   const double frac = pos - static_cast<double>(lo);
   return xs[lo] * (1 - frac) + xs[lo + 1] * frac;
+}
+
+}  // namespace
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0 || p > 100) throw std::invalid_argument("percentile: p out of range");
+  std::sort(xs.begin(), xs.end());
+  return percentile_sorted(xs, p);
+}
+
+std::vector<double> percentiles(std::vector<double> xs,
+                                const std::vector<double>& ps) {
+  if (xs.empty()) throw std::invalid_argument("percentiles: empty input");
+  for (double p : ps)
+    if (p < 0 || p > 100)
+      throw std::invalid_argument("percentiles: p out of range");
+  std::sort(xs.begin(), xs.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) out.push_back(percentile_sorted(xs, p));
+  return out;
 }
 
 double gini(std::vector<double> xs) {
@@ -55,10 +76,12 @@ std::vector<LoadCurvePoint> ranked_load_curve(std::vector<double> loads,
   const double total = std::accumulate(loads.begin(), loads.end(), 0.0);
   const double n = static_cast<double>(loads.size());
 
-  // Choose which ranks to emit: all of them, or max_points evenly spaced.
+  // Choose which ranks to emit: all of them, or at most max_points evenly
+  // spaced. The step rounds *up* — truncating division would emit up to
+  // ~2x max_points points (e.g. 1999 loads, max 1000 -> step 1).
   std::size_t step = 1;
   if (max_points != 0 && loads.size() > max_points) {
-    step = loads.size() / max_points;
+    step = (loads.size() + max_points - 1) / max_points;
   }
   curve.push_back({0.0, 0.0});
   double acc = 0;
@@ -95,7 +118,14 @@ double Histogram::hist_mean() const {
   return acc / static_cast<double>(total_);
 }
 
-std::int64_t Histogram::min_value() const { return bins_.begin()->first; }
-std::int64_t Histogram::max_value() const { return bins_.rbegin()->first; }
+std::int64_t Histogram::min_value() const {
+  if (bins_.empty()) throw std::logic_error("Histogram::min_value: empty");
+  return bins_.begin()->first;
+}
+
+std::int64_t Histogram::max_value() const {
+  if (bins_.empty()) throw std::logic_error("Histogram::max_value: empty");
+  return bins_.rbegin()->first;
+}
 
 }  // namespace hkws

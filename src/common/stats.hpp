@@ -17,6 +17,12 @@ double stddev(const std::vector<double>& xs);
 /// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
 double percentile(std::vector<double> xs, double p);
 
+/// Linear-interpolated percentiles for several p values at once (each in
+/// [0, 100]), sorting the input a single time instead of once per call.
+/// Returns one value per entry of `ps`, in the same order.
+std::vector<double> percentiles(std::vector<double> xs,
+                                const std::vector<double>& ps);
+
 /// Gini coefficient of non-negative values: 0 = perfectly even,
 /// -> 1 = maximally concentrated. Used to summarize index-load skew.
 double gini(std::vector<double> xs);
@@ -48,8 +54,8 @@ class Histogram {
   double fraction(std::int64_t value) const;
 
   double hist_mean() const;
-  std::int64_t min_value() const;  ///< requires !empty()
-  std::int64_t max_value() const;  ///< requires !empty()
+  std::int64_t min_value() const;  ///< throws std::logic_error if empty()
+  std::int64_t max_value() const;  ///< throws std::logic_error if empty()
 
   const std::map<std::int64_t, std::uint64_t>& bins() const noexcept {
     return bins_;

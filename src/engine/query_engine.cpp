@@ -5,6 +5,9 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/trace.hpp"
+#include "obs/windowed.hpp"
+
 namespace hkws::engine {
 
 const char* to_string(QueryOutcome outcome) noexcept {
@@ -47,6 +50,14 @@ std::uint64_t QueryEngine::submit(sim::EndpointId searcher,
     any_submit_ = true;
   }
   metrics_.count("engine.submitted");
+  if (cfg_.windows != nullptr) {
+    cfg_.windows->count(now, "submitted");
+    cfg_.windows->gauge(now, "in_flight", static_cast<double>(active_.size()));
+    cfg_.windows->gauge(now, "backlog", static_cast<double>(backlog_.size()));
+  }
+  if (cfg_.tracer != nullptr)
+    cfg_.tracer->begin(now, id, "query", "engine",
+                       static_cast<std::uint64_t>(priority));
 
   QueryRecord rec;
   rec.id = id;
@@ -60,6 +71,11 @@ std::uint64_t QueryEngine::submit(sim::EndpointId searcher,
     rec.finished = now;
     if (cfg_.record_traces) rec.trace.push_back({now, "shed", 0, 0});
     metrics_.count("engine.shed");
+    if (cfg_.windows != nullptr) cfg_.windows->count(now, "shed");
+    if (cfg_.tracer != nullptr) {
+      cfg_.tracer->instant(now, id, "shed", "engine");
+      cfg_.tracer->close_open(now, id);
+    }
     records_.push_back(std::move(rec));
     if (on_finished_) on_finished_(records_.back());
     return id;
@@ -70,6 +86,8 @@ std::uint64_t QueryEngine::submit(sim::EndpointId searcher,
   if (active_.size() < cfg_.max_in_flight) {
     launch(id, searcher, query);
   } else {
+    if (cfg_.tracer != nullptr)
+      cfg_.tracer->begin(now, id, "backlog", "engine");
     backlog_.push_back(Waiting{id, searcher, query});
     backlog_high_water_ = std::max(backlog_high_water_, backlog_.size());
   }
@@ -93,7 +111,13 @@ void QueryEngine::launch(std::uint64_t id, sim::EndpointId searcher,
   }
   rec.admitted = now;
   note(id, "admit", active_.size());
+  if (cfg_.tracer != nullptr) {
+    if (cfg_.tracer->open_top(id) == "backlog") cfg_.tracer->end(now, id);
+    cfg_.tracer->begin(now, id, "root_lookup", "engine");
+  }
   auto [it, inserted] = active_.emplace(id, act);
+  if (cfg_.windows != nullptr)
+    cfg_.windows->gauge(now, "in_flight", static_cast<double>(active_.size()));
   const std::uint64_t ticket = service_.search(
       searcher, query, cfg_.search,
       [this, id](const index::KeywordSearchService::Answer& answer) {
@@ -165,6 +189,7 @@ void QueryEngine::seal(std::uint64_t id, QueryOutcome outcome) {
   const sim::Time now = clock_.now();
   rec.outcome = outcome;
   rec.finished = now;
+  const char* outcome_point = "shed";
   switch (outcome) {
     case QueryOutcome::kCompleted:
       metrics_.count("engine.completed");
@@ -173,18 +198,35 @@ void QueryEngine::seal(std::uint64_t id, QueryOutcome outcome) {
                        static_cast<double>(rec.queue_wait()));
       last_finish_ = std::max(last_finish_, now);
       note(id, "complete", rec.hits);
+      outcome_point = "complete";
+      if (cfg_.windows != nullptr) {
+        cfg_.windows->count(now, "completed");
+        cfg_.windows->observe(now, "latency",
+                              static_cast<double>(rec.latency()));
+        cfg_.windows->observe(now, "queue_wait",
+                              static_cast<double>(rec.queue_wait()));
+      }
       break;
     case QueryOutcome::kTimedOut:
       metrics_.count("engine.timed_out");
       note(id, "timeout");
+      outcome_point = "timeout";
+      if (cfg_.windows != nullptr) cfg_.windows->count(now, "timed_out");
       break;
     case QueryOutcome::kFailed:
       metrics_.count("engine.failed");
       note(id, "failed");
+      outcome_point = "failed";
+      if (cfg_.windows != nullptr) cfg_.windows->count(now, "failed");
       break;
     case QueryOutcome::kShed:
       metrics_.count("engine.shed");
+      if (cfg_.windows != nullptr) cfg_.windows->count(now, "shed");
       break;
+  }
+  if (cfg_.tracer != nullptr) {
+    cfg_.tracer->instant(now, id, outcome_point, "engine", rec.hits);
+    cfg_.tracer->close_open(now, id);
   }
   records_.push_back(std::move(rec));
   pending_.erase(it);
@@ -194,8 +236,29 @@ void QueryEngine::seal(std::uint64_t id, QueryOutcome outcome) {
 void QueryEngine::on_trace(const index::OverlayIndex::Trace& t) {
   if (std::strcmp(t.point, "scan") == 0)
     scans_per_peer_.add(static_cast<std::int64_t>(t.b));
+  if (cfg_.windows != nullptr && std::strcmp(t.point, "retransmit") == 0)
+    cfg_.windows->count(clock_.now(), "retransmit");
   const auto it = by_ticket_.find(t.request);
-  if (it != by_ticket_.end()) note(it->second, t.point, t.a, t.b);
+  if (it == by_ticket_.end()) return;
+  note(it->second, t.point, t.a, t.b);
+  if (cfg_.tracer != nullptr) emit_span(it->second, t.point, t.a, t.b);
+}
+
+void QueryEngine::emit_span(std::uint64_t id, const char* point,
+                            std::uint64_t a, std::uint64_t b) {
+  obs::Tracer& tracer = *cfg_.tracer;
+  const sim::Time now = clock_.now();
+  if (std::strcmp(point, "root") == 0) {
+    // Root resolved: the root_lookup phase ends, exploration begins.
+    if (tracer.open_top(id) == "root_lookup") tracer.end(now, id);
+    tracer.instant(now, id, "root", "proto", a, b);
+  } else if (std::strcmp(point, "level") == 0) {
+    // One span per SBT level; consecutive levels abut.
+    if (tracer.open_top(id) == "level") tracer.end(now, id);
+    tracer.begin(now, id, "level", "proto", a, b);
+  } else {
+    tracer.instant(now, id, point, "proto", a, b);
+  }
 }
 
 void QueryEngine::note(std::uint64_t id, const char* point, std::uint64_t a,
@@ -216,9 +279,10 @@ EngineReport QueryEngine::report() const {
   const std::vector<double>& lat = metrics_.samples("engine.latency");
   if (!lat.empty()) {
     r.latency_mean = metrics_.sample_mean("engine.latency");
-    r.latency_p50 = percentile(lat, 50.0);
-    r.latency_p95 = percentile(lat, 95.0);
-    r.latency_p99 = percentile(lat, 99.0);
+    const std::vector<double> qs = percentiles(lat, {50.0, 95.0, 99.0});
+    r.latency_p50 = qs[0];
+    r.latency_p95 = qs[1];
+    r.latency_p99 = qs[2];
   }
   if (r.completed > 0 && last_finish_ > first_submit_)
     r.achieved_qps = static_cast<double>(r.completed) * 1000.0 /

@@ -44,6 +44,11 @@
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 
+namespace hkws::obs {
+class Tracer;
+class WindowedMetrics;
+}
+
 namespace hkws::engine {
 
 /// How a submitted query left the engine.
@@ -76,6 +81,14 @@ struct EngineConfig {
   std::size_t latency_reservoir = 0;
   /// Record the per-query protocol trace (root/level/scan milestones).
   bool record_traces = true;
+  /// Optional span tracer (not owned, may be null): each query becomes a
+  /// "query" span with "backlog"/"root_lookup"/"level" child spans and
+  /// "scan"/"retransmit" instants — see docs/OBSERVABILITY.md.
+  obs::Tracer* tracer = nullptr;
+  /// Optional windowed time-series sink (not owned, may be null): per-window
+  /// submitted/completed/shed/... counts, latency quantiles, and
+  /// in-flight/backlog gauges.
+  obs::WindowedMetrics* windows = nullptr;
 };
 
 /// One timestamped milestone in a query's life.
@@ -192,6 +205,9 @@ class QueryEngine {
   void on_trace(const index::OverlayIndex::Trace& t);
   void note(std::uint64_t id, const char* point, std::uint64_t a = 0,
             std::uint64_t b = 0);
+  /// Converts one protocol trace point into tracer span/instant events.
+  void emit_span(std::uint64_t id, const char* point, std::uint64_t a,
+                 std::uint64_t b);
 
   index::KeywordSearchService& service_;
   sim::EventQueue& clock_;

@@ -1,0 +1,124 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/network.hpp"
+
+namespace hkws::obs {
+
+namespace {
+
+/// JSON string escaping for names/categories (control chars, quote, slash).
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool Tracer::admit() {
+  if (max_events_ == 0 || events_.size() < max_events_) return true;
+  ++dropped_;
+  return false;
+}
+
+void Tracer::begin(sim::Time ts, std::uint64_t tid, std::string name,
+                   std::string cat, std::uint64_t a, std::uint64_t b) {
+  if (!admit()) return;
+  open_[tid].push_back(name);
+  events_.push_back(
+      TraceEvent{ts, tid, 'B', std::move(name), std::move(cat), a, b});
+}
+
+void Tracer::end(sim::Time ts, std::uint64_t tid) {
+  const auto it = open_.find(tid);
+  if (it == open_.end() || it->second.empty()) return;
+  // An 'E' that closes an admitted 'B' is always recorded, even over the
+  // cap — a capped trace must still balance.
+  events_.push_back(TraceEvent{ts, tid, 'E', it->second.back(), "", 0, 0});
+  it->second.pop_back();
+  if (it->second.empty()) open_.erase(it);
+}
+
+void Tracer::instant(sim::Time ts, std::uint64_t tid, std::string name,
+                     std::string cat, std::uint64_t a, std::uint64_t b) {
+  if (!admit()) return;
+  events_.push_back(
+      TraceEvent{ts, tid, 'i', std::move(name), std::move(cat), a, b});
+}
+
+void Tracer::close_open(sim::Time ts, std::uint64_t tid) {
+  while (open_spans(tid) > 0) end(ts, tid);
+}
+
+const std::string& Tracer::open_top(std::uint64_t tid) const {
+  static const std::string kNone;
+  const auto it = open_.find(tid);
+  return it == open_.end() || it->second.empty() ? kNone : it->second.back();
+}
+
+std::size_t Tracer::open_spans(std::uint64_t tid) const {
+  const auto it = open_.find(tid);
+  return it == open_.end() ? 0 : it->second.size();
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::string out;
+  out.reserve(events_.size() * 96 + 128);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, e.cat.empty() ? std::string("default") : e.cat);
+    out += "\",\"ph\":\"";
+    out += e.ph;
+    out += "\",\"ts\":" + std::to_string(e.ts);
+    out += ",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    // Chrome requires 'i' events to carry a scope; "t" = thread-scoped.
+    if (e.ph == 'i') out += ",\"s\":\"t\"";
+    if (e.ph != 'E')
+      out += ",\"args\":{\"a\":" + std::to_string(e.a) +
+             ",\"b\":" + std::to_string(e.b) + "}";
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":" +
+         std::to_string(dropped_) + "}}";
+  return out;
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << to_chrome_json() << "\n";
+  return static_cast<bool>(file);
+}
+
+void attach_network(Tracer& tracer, sim::Network& net) {
+  net.set_send_observer(
+      [&tracer](const std::string& kind, const sim::Network::SendRecord& s) {
+        tracer.instant(s.at, 0, kind, s.lost ? "net.lost" : "net", s.from,
+                       s.to);
+      });
+}
+
+}  // namespace hkws::obs

@@ -1,0 +1,272 @@
+#include "obs/trace_reader.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+namespace hkws::obs {
+
+namespace {
+
+// A minimal recursive-descent JSON parser covering the subset trace files
+// use: objects, arrays, strings with escapes, numbers, true/false/null.
+// Values are held in a small variant-ish node tree.
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::shared_ptr<JsonObject> object;
+  std::shared_ptr<JsonArray> array;
+
+  const JsonValue* field(const std::string& name) const {
+    if (kind != Kind::kObject) return nullptr;
+    const auto it = object->find(name);
+    return it == object->end() ? nullptr : &it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("trace JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      default: return number();
+    }
+  }
+
+  static JsonValue make_bool(bool b) {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    v.object = std::make_shared<JsonObject>();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      (*v.object)[key.string] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    v.array = std::make_shared<JsonArray>();
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array->push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    expect('"');
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.string += c;
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': v.string += '"'; break;
+        case '\\': v.string += '\\'; break;
+        case '/': v.string += '/'; break;
+        case 'n': v.string += '\n'; break;
+        case 't': v.string += '\t'; break;
+        case 'r': v.string += '\r'; break;
+        case 'b': v.string += '\b'; break;
+        case 'f': v.string += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          const unsigned long code =
+              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          // Traces only escape control characters; non-ASCII code points
+          // are preserved as a replacement to keep the parser small.
+          v.string += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t as_u64(const JsonValue* v) {
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) return 0;
+  return static_cast<std::uint64_t>(v->number);
+}
+
+}  // namespace
+
+ParsedTrace parse_chrome_trace(const std::string& json) {
+  const JsonValue root = Parser(json).parse();
+  const JsonValue* events = &root;
+  ParsedTrace out;
+  if (root.kind == JsonValue::Kind::kObject) {
+    events = root.field("traceEvents");
+    if (events == nullptr)
+      throw std::runtime_error("trace JSON: no traceEvents array");
+    if (const JsonValue* other = root.field("otherData"))
+      out.dropped = as_u64(other->field("dropped"));
+  }
+  if (events->kind != JsonValue::Kind::kArray)
+    throw std::runtime_error("trace JSON: traceEvents is not an array");
+  for (const JsonValue& ev : *events->array) {
+    if (ev.kind != JsonValue::Kind::kObject)
+      throw std::runtime_error("trace JSON: event is not an object");
+    const JsonValue* ph = ev.field("ph");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString ||
+        ph->string.size() != 1)
+      throw std::runtime_error("trace JSON: event without a phase");
+    const char phase = ph->string[0];
+    if (phase != 'B' && phase != 'E' && phase != 'i') continue;
+    TraceEvent e;
+    e.ph = phase;
+    e.ts = as_u64(ev.field("ts"));
+    e.tid = as_u64(ev.field("tid"));
+    if (const JsonValue* name = ev.field("name")) e.name = name->string;
+    if (const JsonValue* cat = ev.field("cat")) e.cat = cat->string;
+    if (const JsonValue* args = ev.field("args")) {
+      e.a = as_u64(args->field("a"));
+      e.b = as_u64(args->field("b"));
+    }
+    out.events.push_back(std::move(e));
+  }
+  return out;
+}
+
+ParsedTrace read_chrome_trace(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot read trace file: " + path);
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  return parse_chrome_trace(buf.str());
+}
+
+std::map<std::uint64_t, std::int64_t> span_imbalance(
+    const std::vector<TraceEvent>& events) {
+  std::map<std::uint64_t, std::int64_t> net;
+  for (const TraceEvent& e : events) {
+    if (e.ph == 'B') ++net[e.tid];
+    if (e.ph == 'E') --net[e.tid];
+  }
+  for (auto it = net.begin(); it != net.end();)
+    it = it->second == 0 ? net.erase(it) : std::next(it);
+  return net;
+}
+
+}  // namespace hkws::obs

@@ -1,0 +1,36 @@
+// Reading side of the trace pipeline: parses a Chrome trace-event JSON
+// document (the Tracer's own output, or any document using the same subset
+// of the format) back into TraceEvents, and checks the span-balance
+// invariant. Used by tools/traceview and by the round-trip tests; no
+// third-party JSON dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace hkws::obs {
+
+struct ParsedTrace {
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;  ///< otherData.dropped, 0 if absent
+};
+
+/// Parses a Chrome trace-event JSON document: either the object form
+/// {"traceEvents":[...], ...} or a bare event array. Events with phases
+/// other than B/E/i (metadata events etc.) are skipped. Throws
+/// std::runtime_error naming the byte offset on malformed input.
+ParsedTrace parse_chrome_trace(const std::string& json);
+
+/// Reads `path` and parses it. Throws std::runtime_error if unreadable.
+ParsedTrace read_chrome_trace(const std::string& path);
+
+/// Net open-span count per track: #B - #E. An empty map means every track's
+/// begin/end events balance (the Tracer's close_open() guarantee).
+std::map<std::uint64_t, std::int64_t> span_imbalance(
+    const std::vector<TraceEvent>& events);
+
+}  // namespace hkws::obs

@@ -1,0 +1,191 @@
+#include "obs/trace_summary.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "obs/trace_reader.hpp"
+
+namespace hkws::obs {
+
+namespace {
+
+bool is_outcome(const std::string& name) {
+  return name == "complete" || name == "timeout" || name == "failed" ||
+         name == "shed";
+}
+
+/// One formatted line of the instant/begin events inside a hop tree.
+std::string describe(const TraceEvent& e) {
+  std::ostringstream os;
+  if (e.name == "query") {
+    os << "query (priority=" << e.a << ")";
+  } else if (e.name == "level") {
+    os << "level " << e.a << " (width " << e.b << ")";
+  } else if (e.name == "root") {
+    os << "root: peer=" << e.a << " hops=" << e.b;
+  } else if (e.name == "scan") {
+    os << "scan: cube=" << e.a << " peer=" << e.b;
+  } else if (e.name == "retransmit") {
+    os << "retransmit: node=" << e.a;
+  } else if (e.name == "complete") {
+    os << "complete: hits=" << e.a;
+  } else if (e.name == "submit") {
+    os << "submit (priority=" << e.a << ")";
+  } else if (e.name == "admit") {
+    os << "admit (in_flight=" << e.a << ")";
+  } else if (e.name == "backlog" || e.name == "root_lookup" ||
+             e.a + e.b == 0) {
+    os << e.name;
+  } else {
+    os << e.name << ": a=" << e.a << " b=" << e.b;
+  }
+  return os.str();
+}
+
+std::string fmt1(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << v;
+  return os.str();
+}
+
+}  // namespace
+
+TraceSummary summarize(const std::vector<TraceEvent>& events) {
+  TraceSummary out;
+  out.events = events.size();
+  out.balanced = span_imbalance(events).empty();
+
+  struct OpenSpan {
+    std::string name;
+    sim::Time ts;
+  };
+  std::unordered_map<std::uint64_t, std::vector<OpenSpan>> stacks;
+  std::map<std::uint64_t, QueryTimeline> queries;
+
+  for (const TraceEvent& e : events) {
+    if (e.tid == 0) continue;  // global track: net sends, torture rounds
+    QueryTimeline& q = queries[e.tid];
+    q.id = e.tid;
+    switch (e.ph) {
+      case 'B':
+        if (e.name == "query") q.start = e.ts;
+        if (e.name == "level") ++q.levels;
+        stacks[e.tid].push_back({e.name, e.ts});
+        break;
+      case 'E': {
+        auto& stack = stacks[e.tid];
+        if (stack.empty()) break;
+        const OpenSpan span = stack.back();
+        stack.pop_back();
+        const sim::Time dur = e.ts - span.ts;
+        if (span.name == "query") q.finish = e.ts;
+        else if (span.name == "backlog") q.backlog += dur;
+        else if (span.name == "root_lookup") q.root += dur;
+        else if (span.name == "level") q.scan += dur;
+        break;
+      }
+      case 'i':
+        if (e.name == "scan") ++q.scans;
+        else if (e.name == "retransmit") ++q.retransmits;
+        else if (is_outcome(e.name)) {
+          q.outcome = e.name;
+          if (e.name == "complete") q.hits = e.a;
+        }
+        break;
+      default: break;
+    }
+  }
+
+  for (auto& [id, q] : queries) {
+    out.outcomes[q.outcome.empty() ? "open" : q.outcome] += 1;
+    out.queries.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::string render_summary(const TraceSummary& summary, std::size_t top_n) {
+  std::ostringstream os;
+  os << "trace summary: " << summary.events << " events, "
+     << summary.queries.size() << " queries, spans "
+     << (summary.balanced ? "balanced" : "UNBALANCED") << "\n";
+  os << "outcomes:";
+  if (summary.outcomes.empty()) os << " none";
+  for (const auto& [name, n] : summary.outcomes)
+    os << " " << name << "=" << n;
+  os << "\n";
+
+  std::vector<double> backlog, root, scan, latency;
+  for (const QueryTimeline& q : summary.queries) {
+    if (q.outcome != "complete") continue;
+    backlog.push_back(static_cast<double>(q.backlog));
+    root.push_back(static_cast<double>(q.root));
+    scan.push_back(static_cast<double>(q.scan));
+    latency.push_back(static_cast<double>(q.latency()));
+  }
+  if (!latency.empty()) {
+    os << "phase breakdown over " << latency.size()
+       << " completed queries (ticks):\n";
+    const auto row = [&os](const char* name, const std::vector<double>& xs) {
+      const std::vector<double> ps = percentiles(xs, {50.0, 95.0});
+      os << "  " << std::left << std::setw(12) << name
+         << " mean=" << fmt1(mean(xs)) << " p50=" << fmt1(ps[0])
+         << " p95=" << fmt1(ps[1]) << "\n";
+    };
+    row("backlog", backlog);
+    row("root_lookup", root);
+    row("scan", scan);
+    row("total", latency);
+  }
+
+  std::vector<const QueryTimeline*> slow;
+  for (const QueryTimeline& q : summary.queries)
+    if (!q.outcome.empty() && q.outcome != "shed") slow.push_back(&q);
+  std::sort(slow.begin(), slow.end(),
+            [](const QueryTimeline* x, const QueryTimeline* y) {
+              return x->latency() != y->latency()
+                         ? x->latency() > y->latency()
+                         : x->id < y->id;
+            });
+  if (slow.size() > top_n) slow.resize(top_n);
+  if (!slow.empty()) {
+    os << "slowest queries:\n";
+    os << "  id       latency  backlog  root     scan     levels scans rtx "
+          "outcome\n";
+    for (const QueryTimeline* q : slow) {
+      os << "  " << std::left << std::setw(8) << q->id << " " << std::setw(8)
+         << q->latency() << " " << std::setw(8) << q->backlog << " "
+         << std::setw(8) << q->root << " " << std::setw(8) << q->scan << " "
+         << std::setw(6) << q->levels << " " << std::setw(5) << q->scans
+         << " " << std::setw(3) << q->retransmits << " " << q->outcome
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string render_hop_tree(const std::vector<TraceEvent>& events,
+                            std::uint64_t query_id) {
+  std::ostringstream os;
+  std::size_t depth = 0;
+  bool any = false;
+  for (const TraceEvent& e : events) {
+    if (e.tid != query_id) continue;
+    if (!any) {
+      os << "query " << query_id << " hop tree:\n";
+      any = true;
+    }
+    if (e.ph == 'E') {
+      if (depth > 0) --depth;
+      continue;
+    }
+    os << std::string(2 * (depth + 1), ' ') << describe(e) << " @" << e.ts
+       << "\n";
+    if (e.ph == 'B') ++depth;
+  }
+  return any ? os.str() : std::string();
+}
+
+}  // namespace hkws::obs

@@ -1,0 +1,154 @@
+#include "obs/windowed.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace hkws::obs {
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name)
+    out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  return out;
+}
+
+void append_number(std::ostringstream& os, double v) {
+  // Integral values print without a trailing ".0" so counters stay integers.
+  if (v == static_cast<double>(static_cast<long long>(v)))
+    os << static_cast<long long>(v);
+  else
+    os << v;
+}
+
+}  // namespace
+
+WindowedMetrics::WindowedMetrics(sim::Time width) : width_(width) {
+  if (width == 0)
+    throw std::invalid_argument("WindowedMetrics: width must be > 0");
+}
+
+WindowedMetrics::Window& WindowedMetrics::window_at(sim::Time at) {
+  const std::uint64_t index = at / width_;
+  Window& w = windows_[index];
+  w.start = index * width_;
+  return w;
+}
+
+void WindowedMetrics::count(sim::Time at, const std::string& name,
+                            std::uint64_t delta) {
+  window_at(at).counters[name] += delta;
+}
+
+void WindowedMetrics::observe(sim::Time at, const std::string& name,
+                              double value) {
+  window_at(at).samples[name].push_back(value);
+}
+
+void WindowedMetrics::gauge(sim::Time at, const std::string& name,
+                            double value) {
+  auto& slot = window_at(at).gauges;
+  const auto it = slot.find(name);
+  if (it == slot.end())
+    slot.emplace(name, value);
+  else
+    it->second = std::max(it->second, value);
+}
+
+std::string WindowedMetrics::to_json() const {
+  std::ostringstream os;
+  os << "{\"window\":" << width_ << ",\"windows\":[";
+  bool first_window = true;
+  for (const auto& [index, w] : windows_) {
+    if (!first_window) os << ",";
+    first_window = false;
+    os << "{\"start\":" << w.start;
+    os << ",\"counters\":{";
+    bool first = true;
+    for (const auto& [name, v] : w.counters) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << name << "\":" << v;
+    }
+    os << "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, v] : w.gauges) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << name << "\":";
+      append_number(os, v);
+    }
+    os << "},\"series\":{";
+    first = true;
+    for (const auto& [name, xs] : w.samples) {
+      if (!first) os << ",";
+      first = false;
+      const std::vector<double> qs = percentiles(xs, {50.0, 90.0, 99.0});
+      os << "\"" << name << "\":{\"count\":" << xs.size() << ",\"mean\":";
+      append_number(os, mean(xs));
+      os << ",\"p50\":";
+      append_number(os, qs[0]);
+      os << ",\"p90\":";
+      append_number(os, qs[1]);
+      os << ",\"p99\":";
+      append_number(os, qs[2]);
+      os << "}";
+    }
+    os << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string WindowedMetrics::to_prometheus() const {
+  // Aggregate across windows: counter totals, pooled observations, and the
+  // most recent window's gauge levels.
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::vector<double>> samples;
+  std::map<std::string, double> gauges;
+  for (const auto& [index, w] : windows_) {
+    for (const auto& [name, v] : w.counters) counters[name] += v;
+    for (const auto& [name, xs] : w.samples) {
+      auto& pool = samples[name];
+      pool.insert(pool.end(), xs.begin(), xs.end());
+    }
+    for (const auto& [name, v] : w.gauges) gauges[name] = v;  // latest wins
+  }
+
+  std::ostringstream os;
+  for (const auto& [name, v] : counters) {
+    const std::string metric = "hkws_" + sanitize(name) + "_total";
+    os << "# TYPE " << metric << " counter\n" << metric << " " << v << "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string metric = "hkws_" + sanitize(name);
+    os << "# TYPE " << metric << " gauge\n" << metric << " ";
+    append_number(os, v);
+    os << "\n";
+  }
+  for (const auto& [name, xs] : samples) {
+    const std::string metric = "hkws_" + sanitize(name);
+    const std::vector<double> qs = percentiles(xs, {50.0, 90.0, 99.0});
+    double sum = 0;
+    for (double x : xs) sum += x;
+    os << "# TYPE " << metric << " summary\n";
+    const char* labels[] = {"0.5", "0.9", "0.99"};
+    for (std::size_t i = 0; i < 3; ++i) {
+      os << metric << "{quantile=\"" << labels[i] << "\"} ";
+      append_number(os, qs[i]);
+      os << "\n";
+    }
+    os << metric << "_sum ";
+    append_number(os, sum);
+    os << "\n" << metric << "_count " << xs.size() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hkws::obs

@@ -1,0 +1,68 @@
+// Windowed time-series aggregation on sim-time. Where sim::Metrics keeps
+// whole-run totals, WindowedMetrics buckets everything into fixed-width
+// sim-time windows so a run's *shape* is visible: throughput ramping,
+// in-flight buildup, drop/retransmit bursts, and latency quantiles drifting
+// under load. Three primitive kinds per window:
+//
+//   count(at, name)    monotonic within the window (throughput, drops)
+//   observe(at, name)  value series; quantiles computed per window at export
+//   gauge(at, name)    instantaneous level; the window keeps the maximum
+//
+// Exports: to_json() — the machine-readable `timeseries` section embedded
+// in BENCH_serving.json — and to_prometheus(), Prometheus exposition-style
+// text over the whole run (counter totals, summary quantiles, last-window
+// gauges). The engine feeds one of these via EngineConfig::windows; see
+// docs/OBSERVABILITY.md for the exact schema.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace hkws::obs {
+
+class WindowedMetrics {
+ public:
+  /// @param width  window width in ticks (> 0); window k covers
+  ///               [k*width, (k+1)*width).
+  explicit WindowedMetrics(sim::Time width);
+
+  sim::Time width() const noexcept { return width_; }
+
+  void count(sim::Time at, const std::string& name, std::uint64_t delta = 1);
+  void observe(sim::Time at, const std::string& name, double value);
+  void gauge(sim::Time at, const std::string& name, double value);
+
+  struct Window {
+    sim::Time start = 0;
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::vector<double>> samples;
+    std::map<std::string, double> gauges;  ///< max observed in the window
+  };
+
+  /// Windows in time order. Only windows that saw at least one event exist.
+  const std::map<std::uint64_t, Window>& windows() const noexcept {
+    return windows_;
+  }
+  bool empty() const noexcept { return windows_.empty(); }
+
+  /// {"window":W,"windows":[{"start":...,"counters":{...},"gauges":{...},
+  ///  "series":{"name":{"count":N,"mean":M,"p50":...,"p90":...,"p99":...}}}]}
+  std::string to_json() const;
+
+  /// Prometheus exposition-style text: hkws_<name> counter totals,
+  /// hkws_<name>{quantile="..."} summaries over all observations, and
+  /// last-window gauge levels. Metric names are sanitized to [a-zA-Z0-9_].
+  std::string to_prometheus() const;
+
+ private:
+  Window& window_at(sim::Time at);
+
+  sim::Time width_;
+  std::map<std::uint64_t, Window> windows_;
+};
+
+}  // namespace hkws::obs

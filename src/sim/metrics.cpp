@@ -65,6 +65,7 @@ void Metrics::set_reservoir(const std::string& name, std::size_t cap) {
 void Metrics::reset() {
   counters_.clear();
   series_.clear();
+  reservoir_rng_ = Rng(kReservoirSeed);
 }
 
 std::string Metrics::to_string() const {

@@ -52,7 +52,9 @@ class Metrics {
   void set_default_reservoir(std::size_t cap) { default_cap_ = cap; }
 
   /// Resets every counter and sample series (per-series caps included; the
-  /// default reservoir cap survives).
+  /// default reservoir cap survives) and re-seeds the reservoir RNG, so a
+  /// seeded run that resets between phases draws identical reservoir
+  /// subsamples in every phase.
   void reset();
 
   const std::map<std::string, std::uint64_t>& counters() const noexcept {
@@ -70,10 +72,12 @@ class Metrics {
     std::size_t cap = 0;         ///< 0 = exact mode
   };
 
+  static constexpr std::uint64_t kReservoirSeed = 0x9e3779b97f4a7c15ULL;
+
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, Series> series_;
   std::size_t default_cap_ = 0;
-  Rng reservoir_rng_{0x9e3779b97f4a7c15ULL};
+  Rng reservoir_rng_{kReservoirSeed};
 };
 
 }  // namespace hkws::sim

@@ -67,9 +67,16 @@ void Network::send(EndpointId from, EndpointId to, std::string kind,
   metrics_.count("net.messages");
   metrics_.count("net.bytes", payload_bytes);
   metrics_.count("msg." + kind);
+  const Time now = clock_.now();
+  const auto observe = [&](bool lost, Time deliver_at) {
+    if (observer_)
+      observer_(kind, SendRecord{now, from, to, payload_bytes, lost,
+                                 lost ? now : deliver_at});
+  };
   if (drop_ != nullptr && drop_->drop(from, to, kind, rng_)) {
     metrics_.count("net.lost");
     metrics_.count("net.lost." + kind);
+    observe(true, 0);
     return;
   }
   FaultActions fault;
@@ -79,10 +86,12 @@ void Network::send(EndpointId from, EndpointId to, std::string kind,
   if (fault.drop) {
     metrics_.count("net.lost");
     metrics_.count("net.lost." + kind);
+    observe(true, 0);
     return;
   }
   const Time base = latency_->latency(from, to, rng_);
   if (fault.extra_delay != 0) metrics_.count("net.delayed");
+  observe(false, now + base + fault.extra_delay);
   deliver_after(base + fault.extra_delay, deliver);
   for (std::uint32_t i = 0; i < fault.duplicates; ++i) {
     // Each duplicate is a real wire message with its own latency draw, so
@@ -91,7 +100,9 @@ void Network::send(EndpointId from, EndpointId to, std::string kind,
     metrics_.count("net.bytes", payload_bytes);
     metrics_.count("msg." + kind);
     metrics_.count("net.dup");
-    deliver_after(latency_->latency(from, to, rng_), deliver);
+    const Time dup_latency = latency_->latency(from, to, rng_);
+    observe(false, now + dup_latency);
+    deliver_after(dup_latency, deliver);
   }
 }
 

@@ -147,6 +147,25 @@ class Network {
   /// as full wire messages plus "net.dup"; delay spikes count "net.delayed".
   void set_fault_model(std::unique_ptr<FaultModel> model);
 
+  /// One wire message, reported to the send observer after the drop/fault
+  /// models have decided its fate. Duplicated messages report once per wire
+  /// copy; local sends and sends to unregistered endpoints do not report.
+  struct SendRecord {
+    Time at = 0;           ///< send time
+    EndpointId from = 0;
+    EndpointId to = 0;
+    std::size_t bytes = 0;
+    bool lost = false;     ///< dropped by the drop or fault model
+    Time deliver_at = 0;   ///< arrival time (== at when lost)
+  };
+  using SendObserver =
+      std::function<void(const std::string& kind, const SendRecord&)>;
+
+  /// Installs (or, with nullptr, removes) a per-send observer — the tracing
+  /// hook (see src/obs). Invoked synchronously from send(); keep it cheap.
+  /// The observer must outlive the network or be removed first.
+  void set_send_observer(SendObserver fn) { observer_ = std::move(fn); }
+
   /// Sends one message. `kind` labels the protocol message type for
   /// accounting ("dht.lookup", "kws.t_query", ...). `deliver` runs at the
   /// destination after the modeled latency; `payload_bytes` feeds byte
@@ -180,6 +199,7 @@ class Network {
   std::unique_ptr<LatencyModel> latency_;
   std::unique_ptr<DropModel> drop_;
   std::unique_ptr<FaultModel> fault_;
+  SendObserver observer_;
   Rng rng_;
   Metrics metrics_;
   std::uint64_t wire_seq_ = 0;  ///< next wire-message sequence number

@@ -21,6 +21,7 @@
 #include "index/mirrored.hpp"
 #include "index/overlay_index.hpp"
 #include "index/ranking.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 
@@ -194,16 +195,28 @@ void check_search_result(const SearchResult& r, const KeywordSet& query,
 /// Generic workload engine: drives Ops through cfg.rounds of quiesced
 /// mutations followed by overlapping searches, applying churn events and
 /// checking every invariant.
-void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep) {
+void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
+             obs::Tracer* tracer) {
   Rng wl(mix64(cfg.seed ^ kWorkloadSalt));
   Oracle oracle;
   ObjectId next_id = 1;
 
+  const auto ts = [&ops]() -> sim::Time {
+    return ops.clock != nullptr ? ops.clock->now() : 0;
+  };
+  if (tracer != nullptr)
+    tracer->instant(ts(), 0, "scenario", "torture", cfg.seed);
+
   auto make_kws = [&](std::size_t lo, std::size_t hi) {
     std::vector<Keyword> words;
     const std::size_t n = lo + wl.next_below(hi - lo + 1);
-    for (std::size_t i = 0; i < n; ++i)
-      words.push_back("w" + std::to_string(wl.next_below(cfg.vocab)));
+    for (std::size_t i = 0; i < n; ++i) {
+      // Built with += (not "w" + to_string(...)): GCC 12's -Wrestrict
+      // false-positives on the rvalue operator+ overload at -O2.
+      Keyword w = "w";
+      w += std::to_string(wl.next_below(cfg.vocab));
+      words.push_back(std::move(w));
+    }
     return KeywordSet(std::move(words));
   };
 
@@ -234,6 +247,7 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep) {
     const ObjectId id = next_id++;
     const KeywordSet k = make_kws(1, 4);
     oracle.live[id] = k;
+    if (tracer != nullptr) tracer->instant(ts(), 0, "publish", "torture", id);
     ops.publish(id, k, [] {});
     ++rep.mutations;
   };
@@ -250,6 +264,7 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep) {
     const ObjectId id = eligible[wl.next_below(eligible.size())];
     const KeywordSet k = oracle.live.at(id);
     oracle.live.erase(id);
+    if (tracer != nullptr) tracer->instant(ts(), 0, "withdraw", "torture", id);
     ops.withdraw(id, k, [] {});
     ++rep.mutations;
   };
@@ -269,6 +284,7 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep) {
   std::uint64_t synthetic_messages = 0;
 
   for (std::size_t round = 0; round < cfg.rounds && rep.ok(); ++round) {
+    if (tracer != nullptr) tracer->begin(ts(), 0, "round", "torture", round);
     // --- Churn (abrupt peer failures scheduled for this round) ------------
     if (cfg.churn && ops.fail_peer != nullptr) {
       for (const FaultEvent& ev : rep.plan.events) {
@@ -318,6 +334,7 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep) {
           if (kw == k) expected.insert(id);
         ++outstanding;
         ++rep.searches;
+        if (tracer != nullptr) tracer->instant(ts(), 0, "pin", "torture");
         ops.pin(k, [&rep, &outstanding, k, expected](const SearchResult& r) {
           --outstanding;
           if (ids_of(r.hits) != expected)
@@ -331,6 +348,8 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep) {
         const std::size_t page = 1 + wl.next_below(7);
         ++outstanding;
         ++rep.searches;
+        if (tracer != nullptr)
+          tracer->instant(ts(), 0, "browse", "torture", page);
         ops.browse(q, page,
                    [&rep, &outstanding, q, expected](
                        const std::vector<Hit>& all, bool clean) {
@@ -363,6 +382,8 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep) {
 
         ++outstanding;
         ++rep.searches;
+        if (tracer != nullptr)
+          tracer->instant(ts(), 0, "superset", "torture", threshold);
         auto cancelled = std::make_shared<bool>(false);
         const bool overshoot_ok = ops.overshoot_ok;
         const std::uint64_t handle = ops.search(
@@ -387,6 +408,8 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep) {
             *cancelled = true;
             --outstanding;
             ++rep.cancels;
+            if (tracer != nullptr)
+              tracer->instant(ts(), 0, "cancel", "torture", handle);
           }
         }
       }
@@ -402,6 +425,7 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep) {
                          std::to_string(outstanding) +
                          " operations still outstanding (round " +
                          std::to_string(round) + ")"});
+        if (tracer != nullptr) tracer->close_open(ts(), 0);
         return;
       }
       // The last operation just completed: every terminal transition must
@@ -421,8 +445,10 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep) {
     } else if (outstanding != 0) {
       rep.violations.push_back(
           {"hang", "synchronous deployment left operations outstanding"});
+      if (tracer != nullptr) tracer->close_open(ts(), 0);
       return;
     }
+    if (tracer != nullptr) tracer->end(ts(), 0);
   }
 
   // --- Final whole-run invariants ----------------------------------------
@@ -464,7 +490,8 @@ std::optional<std::string> overlay_occupancy(
 
 // --- Deployment drivers -----------------------------------------------------
 
-void run_direct(const ScenarioConfig& cfg, ScenarioReport& rep) {
+void run_direct(const ScenarioConfig& cfg, ScenarioReport& rep,
+                obs::Tracer* tracer) {
   index::LogicalIndex li(
       {.r = cfg.r, .cache_capacity = cfg.cache_capacity});
 
@@ -513,10 +540,11 @@ void run_direct(const ScenarioConfig& cfg, ScenarioReport& rep) {
       return "per-node loads do not sum to object_count";
     return std::nullopt;
   };
-  execute(cfg, ops, rep);
+  execute(cfg, ops, rep, tracer);
 }
 
-void run_decomposed(const ScenarioConfig& cfg, ScenarioReport& rep) {
+void run_decomposed(const ScenarioConfig& cfg, ScenarioReport& rep,
+                    obs::Tracer* tracer) {
   constexpr std::size_t kGroups = 2;
   index::DecomposedIndex dec =
       index::DecomposedIndex::hashed(kGroups, cfg.r);
@@ -557,17 +585,18 @@ void run_decomposed(const ScenarioConfig& cfg, ScenarioReport& rep) {
     }
     return std::nullopt;
   };
-  execute(cfg, ops, rep);
+  execute(cfg, ops, rep, tracer);
 }
 
 void run_hypercup(const ScenarioConfig& cfg, const FaultPlan& plan,
-                  ScenarioReport& rep) {
+                  ScenarioReport& rep, obs::Tracer* tracer) {
   sim::EventQueue clock;
   sim::Network net(clock, std::make_unique<sim::UniformLatency>(1, 10),
                    mix64(cfg.seed ^ kNetSalt));
   auto injector = std::make_unique<FaultInjector>(plan);
   FaultInjector* inj = injector.get();
   net.set_fault_model(std::move(injector));
+  if (tracer != nullptr) obs::attach_network(*tracer, net);
   cubenet::HyperCupNetwork hnet(net, {.r = cfg.r});
   cubenet::HyperCupIndex hidx(hnet, {});
   Rng pubs(mix64(cfg.seed ^ kNetSalt ^ 1));
@@ -605,14 +634,14 @@ void run_hypercup(const ScenarioConfig& cfg, const FaultPlan& plan,
              std::to_string(live.size());
     return std::nullopt;
   };
-  execute(cfg, ops, rep);
+  execute(cfg, ops, rep, tracer);
   rep.faults_applied = inj->applied();
 }
 
 /// Shared driver for OverlayIndex over either DHT. `chord` is non-null for
 /// the Chord deployment (whose stabilize recipe enables churn).
 void run_overlay(const ScenarioConfig& cfg, const FaultPlan& plan,
-                 ScenarioReport& rep) {
+                 ScenarioReport& rep, obs::Tracer* tracer) {
   sim::EventQueue clock;
   sim::Network net(clock, std::make_unique<sim::UniformLatency>(1, 12),
                    mix64(cfg.seed ^ kNetSalt));
@@ -637,6 +666,7 @@ void run_overlay(const ScenarioConfig& cfg, const FaultPlan& plan,
                                 .max_retries = 8});
   // Faults start only now: overlay construction traffic stays pristine.
   net.set_fault_model(std::move(injector));
+  if (tracer != nullptr) obs::attach_network(*tracer, net);
 
   constexpr sim::EndpointId kHome = 1;  // publisher/searcher; never fails
 
@@ -720,12 +750,12 @@ void run_overlay(const ScenarioConfig& cfg, const FaultPlan& plan,
       return lost;
     };
   }
-  execute(cfg, ops, rep);
+  execute(cfg, ops, rep, tracer);
   rep.faults_applied = inj->applied();
 }
 
 void run_mirrored(const ScenarioConfig& cfg, const FaultPlan& plan,
-                  ScenarioReport& rep) {
+                  ScenarioReport& rep, obs::Tracer* tracer) {
   sim::EventQueue clock;
   sim::Network net(clock, std::make_unique<sim::UniformLatency>(1, 12),
                    mix64(cfg.seed ^ kNetSalt));
@@ -739,6 +769,7 @@ void run_mirrored(const ScenarioConfig& cfg, const FaultPlan& plan,
                                  .step_timeout = 80,
                                  .max_retries = 8});
   net.set_fault_model(std::move(injector));
+  if (tracer != nullptr) obs::attach_network(*tracer, net);
 
   constexpr sim::EndpointId kHome = 1;
 
@@ -780,7 +811,7 @@ void run_mirrored(const ScenarioConfig& cfg, const FaultPlan& plan,
       return err;
     return overlay_occupancy(mi.mirror(), "mirror", live);
   };
-  execute(cfg, ops, rep);
+  execute(cfg, ops, rep, tracer);
   rep.faults_applied = inj->applied();
 }
 
@@ -913,20 +944,20 @@ ScenarioReport ScenarioRunner::run(const ScenarioConfig& cfg,
   rep.plan = plan;
   switch (cfg.deployment) {
     case Deployment::kDirect:
-      run_direct(cfg, rep);
+      run_direct(cfg, rep, tracer_);
       break;
     case Deployment::kDecomposed:
-      run_decomposed(cfg, rep);
+      run_decomposed(cfg, rep, tracer_);
       break;
     case Deployment::kHyperCup:
-      run_hypercup(cfg, plan, rep);
+      run_hypercup(cfg, plan, rep, tracer_);
       break;
     case Deployment::kChord:
     case Deployment::kPastry:
-      run_overlay(cfg, plan, rep);
+      run_overlay(cfg, plan, rep, tracer_);
       break;
     case Deployment::kMirrored:
-      run_mirrored(cfg, plan, rep);
+      run_mirrored(cfg, plan, rep, tracer_);
       break;
   }
   return rep;

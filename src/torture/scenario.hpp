@@ -34,6 +34,10 @@
 #include "index/search_types.hpp"
 #include "torture/fault_plan.hpp"
 
+namespace hkws::obs {
+class Tracer;
+}
+
 namespace hkws::torture {
 
 enum class Deployment : std::uint8_t {
@@ -104,6 +108,16 @@ class ScenarioRunner {
 
   /// Runs one scenario under an explicit plan (schedule shrinking).
   ScenarioReport run(const ScenarioConfig& cfg, const FaultPlan& plan);
+
+  /// Installs a span tracer (nullptr to remove; not owned, must outlive
+  /// run()): each round becomes a "round" span on the global track with
+  /// publish/withdraw/search/cancel instants inside, and networked
+  /// deployments additionally trace every wire send. Timestamps are
+  /// sim-time for networked deployments and 0 for in-process ones.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+ private:
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace hkws::torture

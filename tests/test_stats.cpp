@@ -94,6 +94,36 @@ TEST(LoadCurve, EmptyInputGivesEmptyCurve) {
   EXPECT_TRUE(ranked_load_curve({}).empty());
 }
 
+TEST(LoadCurve, DownsamplingRespectsMaxPoints) {
+  // Regression: the step was computed with truncating division, so e.g.
+  // 1999 loads at max_points=1000 gave step 1 and ~2000 points — double
+  // the cap. A ceiling step keeps the curve within max_points (+ the two
+  // forced endpoints).
+  std::vector<double> loads(1999);
+  for (std::size_t i = 0; i < loads.size(); ++i)
+    loads[i] = static_cast<double>(i % 13);
+  const auto curve = ranked_load_curve(loads, 1000);
+  EXPECT_LE(curve.size(), 1002u);
+  EXPECT_DOUBLE_EQ(curve.front().node_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().node_fraction, 1.0);
+}
+
+TEST(Percentiles, MatchesSingleCalls) {
+  const std::vector<double> xs{9, 1, 4, 7, 2, 8, 3, 5, 6};
+  const std::vector<double> ps{0, 25, 50, 90, 100};
+  const auto got = percentiles(xs, ps);
+  ASSERT_EQ(got.size(), ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    EXPECT_DOUBLE_EQ(got[i], percentile(xs, ps[i])) << "p=" << ps[i];
+}
+
+TEST(Percentiles, ValidatesInput) {
+  EXPECT_THROW(percentiles({}, {50}), std::invalid_argument);
+  EXPECT_THROW(percentiles({1.0}, {-1}), std::invalid_argument);
+  EXPECT_THROW(percentiles({1.0}, {50, 101}), std::invalid_argument);
+  EXPECT_TRUE(percentiles({1.0}, {}).empty());
+}
+
 TEST(Histogram, CountsAndFractions) {
   Histogram h;
   h.add(3);
@@ -114,6 +144,17 @@ TEST(Histogram, EmptyBehaviour) {
   EXPECT_TRUE(h.empty());
   EXPECT_EQ(h.fraction(1), 0.0);
   EXPECT_EQ(h.hist_mean(), 0.0);
+}
+
+TEST(Histogram, EmptyMinMaxThrow) {
+  // Regression: min_value()/max_value() dereferenced begin()/rbegin() of an
+  // empty map — undefined behaviour instead of a diagnosable error.
+  Histogram h;
+  EXPECT_THROW(h.min_value(), std::logic_error);
+  EXPECT_THROW(h.max_value(), std::logic_error);
+  h.add(5);
+  EXPECT_EQ(h.min_value(), 5);
+  EXPECT_EQ(h.max_value(), 5);
 }
 
 }  // namespace

@@ -1,0 +1,121 @@
+// Trace inspection CLI for Chrome trace-event JSON files produced by
+// obs::Tracer (bench/serving_latency, tools/torture, or any harness that
+// wires a Tracer in).
+//
+//     tools/traceview TRACE.json              # summary + slowest queries
+//     tools/traceview TRACE.json --top 20     # widen the slowest-query table
+//     tools/traceview TRACE.json --tree 17    # hop tree for query id 17
+//     tools/traceview TRACE.json --check      # validate only (CI smoke):
+//                                             # parses + spans balanced,
+//                                             # exit 1 otherwise
+//
+// See docs/OBSERVABILITY.md for the span schema the renderer understands.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <optional>
+#include <string>
+
+#include "obs/trace_reader.hpp"
+#include "obs/trace_summary.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s TRACE.json [--top N] [--tree QUERY_ID] [--check]\n",
+               argv0);
+}
+
+std::optional<std::uint64_t> parse_u64(const char* s) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::size_t top_n = 5;
+  std::optional<std::uint64_t> tree_id;
+  bool check_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--check") == 0) {
+      check_only = true;
+    } else if (std::strcmp(arg, "--top") == 0 && i + 1 < argc) {
+      const auto n = parse_u64(argv[++i]);
+      if (!n) {
+        usage(argv[0]);
+        return 2;
+      }
+      top_n = static_cast<std::size_t>(*n);
+    } else if (std::strcmp(arg, "--tree") == 0 && i + 1 < argc) {
+      tree_id = parse_u64(argv[++i]);
+      if (!tree_id) {
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (arg[0] == '-') {
+      usage(argv[0]);
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  hkws::obs::ParsedTrace trace;
+  try {
+    trace = hkws::obs::read_chrome_trace(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "traceview: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+
+  const auto imbalance = hkws::obs::span_imbalance(trace.events);
+  if (check_only) {
+    if (!imbalance.empty()) {
+      for (const auto& [tid, delta] : imbalance)
+        std::fprintf(stderr,
+                     "traceview: track %llu has %lld unmatched span %s\n",
+                     static_cast<unsigned long long>(tid),
+                     static_cast<long long>(delta > 0 ? delta : -delta),
+                     delta > 0 ? "begin(s)" : "end(s)");
+      return 1;
+    }
+    std::printf("ok: %zu events, spans balanced, %llu dropped\n",
+                trace.events.size(),
+                static_cast<unsigned long long>(trace.dropped));
+    return 0;
+  }
+
+  if (tree_id) {
+    const std::string tree =
+        hkws::obs::render_hop_tree(trace.events, *tree_id);
+    if (tree.empty()) {
+      std::fprintf(stderr, "traceview: no events for query %llu\n",
+                   static_cast<unsigned long long>(*tree_id));
+      return 1;
+    }
+    std::fputs(tree.c_str(), stdout);
+    return 0;
+  }
+
+  const auto summary = hkws::obs::summarize(trace.events);
+  std::fputs(hkws::obs::render_summary(summary, top_n).c_str(), stdout);
+  if (trace.dropped != 0)
+    std::printf("(%llu events dropped at capture: tracer cap reached)\n",
+                static_cast<unsigned long long>(trace.dropped));
+  return summary.balanced ? 0 : 1;
+}
