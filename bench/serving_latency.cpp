@@ -10,6 +10,11 @@
 //  C. Loss correctness: 1% message loss with retransmission enabled; every
 //     query that did not time out must return exactly the result set of a
 //     serial lossless baseline. A mismatch fails the benchmark (exit 1).
+//  D. Churn sweep: the middle rate on a mirrored deployment while peers are
+//     killed mid-run, with the self-healing maintenance plane racing the
+//     load (plus one no-heal control). Every run reports availability
+//     (= served/submitted, served = completed + degraded) and the
+//     completeness rate among served queries (= completed/served).
 //
 // Scale knobs (independent of the generic HYPERKWS_* ones so CI reduction
 // does not void the acceptance criteria):
@@ -32,6 +37,7 @@
 #include "dht/chord_network.hpp"
 #include "engine/load_driver.hpp"
 #include "engine/query_engine.hpp"
+#include "maint/maintenance.hpp"
 #include "obs/trace.hpp"
 #include "obs/windowed.hpp"
 #include "workload/arrivals.hpp"
@@ -88,7 +94,34 @@ struct RunResult {
   bool cache = true;
   engine::EngineReport report;
   std::string timeseries;  ///< obs::WindowedMetrics::to_json()
+  // Part D (zero/true defaults for the non-churn runs, so every run object
+  // in BENCH_serving.json carries the same columns):
+  std::size_t kills = 0;      ///< peers killed mid-run
+  bool self_healing = true;   ///< maintenance plane active
+  bool converged = true;      ///< plane drained its backlog post-load
+  std::uint64_t repair_work = 0;  ///< entries re-homed + replicas pushed
+  /// Outstanding repair work when the run ended: 0 once the plane has
+  /// converged; without it, the churn damage (stranded entries, lost
+  /// replicas) that stays in the index — the mirror masks it from
+  /// searches, but the next kill is unprotected.
+  std::size_t backlog_end = 0;
 };
+
+/// Fraction of submitted queries that were served at all (completed or
+/// degraded). Sheds, timeouts, and protocol failures all count against it.
+double availability(const engine::EngineReport& rep) {
+  if (rep.submitted == 0) return 1.0;
+  return static_cast<double>(rep.completed + rep.degraded) /
+         static_cast<double>(rep.submitted);
+}
+
+/// Among served queries, the fraction served complete (not via failover /
+/// single-cube degraded mode).
+double completeness_rate(const engine::EngineReport& rep) {
+  const std::uint64_t served = rep.completed + rep.degraded;
+  if (served == 0) return 1.0;
+  return static_cast<double>(rep.completed) / static_cast<double>(served);
+}
 
 /// One open-loop serving run: fresh cluster, publish, replay at `qps`.
 /// When `tracer` is non-null the engine's spans and (post-publish) the wire
@@ -132,6 +165,131 @@ RunResult serve_run(const std::string& name, const workload::Corpus& corpus,
   std::printf("\n--- %s (offered %.0f qps, r=%d, cache=%s) ---\n",
               name.c_str(), qps, r, cache ? "on" : "off");
   std::fputs(result.report.to_string().c_str(), stdout);
+  return result;
+}
+
+/// Part D: open-loop load on a mirrored deployment while `kills` peers die
+/// mid-run. With `heal` the maintenance plane (heartbeat detection +
+/// budgeted background repair) races the workload; without it the failures
+/// stay unrepaired and serving leans on degraded mode for the rest of the
+/// run. Repair budgets are raised above the torture-harness defaults — at
+/// bench corpus sizes a kill strands thousands of entries, and the point
+/// here is the availability/completeness trade, not repair pacing.
+RunResult churn_run(const std::string& name, const workload::Corpus& corpus,
+                    const workload::QueryLog& log, double qps,
+                    std::size_t kills, bool heal) {
+  obs::WindowedMetrics windows(kWindowWidth);  // shared: engine+plane+index
+  index::KeywordSearchService::Options opts;
+  opts.r = 10;
+  opts.cache_capacity = 0;  // cached hits would mask degraded serving
+  opts.mirror_index = true;
+  opts.replication_factor = 3;
+  opts.step_timeout = 800;  // >> p99 round trip at median 30
+  opts.max_retries = 4;
+  opts.failover_after = 2;
+  opts.windows = &windows;
+  Setup setup(opts, 0xc4a0 + kills * 2 + (heal ? 1 : 0));
+  setup.publish(corpus);
+
+  dht::ChordNetwork* chord = setup.dht.get();
+  index::KeywordSearchService* svc = setup.service.get();
+  maint::MaintenancePlane::Config mcfg;
+  // The detector defaults assume near-instant links; this bench runs WAN-ish
+  // LogNormal latency (median 30, sigma 0.45), so the ping timeout must sit
+  // well above the p99.9 round trip or every probe "times out" and the
+  // detector confirms healthy peers dead by the hundreds.
+  mcfg.detector.period = 500;
+  mcfg.detector.timeout = 400;
+  mcfg.entries_per_tick = 64;
+  mcfg.refs_per_tick = 64;
+  maint::MaintenancePlane plane(
+      *setup.net, mcfg, [chord] { chord->stabilize_all(); },
+      [svc](std::size_t entries, std::size_t refs) {
+        return svc->repair_step(entries, refs);
+      },
+      [svc] { return svc->repair_backlog(); });
+  plane.set_windows(&windows);
+  if (heal) {
+    std::vector<sim::EndpointId> members;
+    for (dht::RingId id : chord->live_ids())
+      members.push_back(chord->endpoint_of(id));
+    plane.start(members);
+  }
+
+  engine::EngineConfig cfg;
+  cfg.max_in_flight = 64;
+  cfg.max_backlog = 2000;
+  cfg.deadline = 30000;  // bounds queries racing a kill, loose enough that
+                         // backlog wait alone does not burn it
+  cfg.search.limit = 64;
+  cfg.search.strategy = index::SearchStrategy::kLevelParallel;
+  cfg.latency_reservoir = 4096;
+  cfg.record_traces = false;
+  cfg.windows = &windows;
+  engine::QueryEngine engine(*setup.service, setup.clock, cfg);
+
+  // Kills spread across the first half of the replay horizon (so a healing
+  // plane has the second half to win back completeness), never a searcher
+  // endpoint, deterministic victim choice.
+  const sim::Time horizon = static_cast<sim::Time>(
+      1000.0 * static_cast<double>(log.size()) / qps);
+  for (std::size_t i = 0; i < kills; ++i) {
+    const sim::EndpointId victim =
+        kSearchers + 1 + (i * 29) % (kPeers - kSearchers);
+    const sim::Time at = horizon * (i + 1) / (2 * (kills + 1));
+    setup.clock.schedule_in(at, [chord, &plane, victim, heal] {
+      if (!chord->is_live(victim)) return;
+      if (heal) plane.note_true_failure(victim);
+      chord->fail(victim);
+    });
+  }
+
+  workload::PoissonArrivals arrivals(qps,
+                                     0xc0a1 + static_cast<std::uint64_t>(qps));
+  engine::LoadDriver driver(engine, setup.clock, searcher_pool());
+  driver.start(log, arrivals);
+  // run() would never return while the plane's heartbeat timers are armed;
+  // drive the clock in windows until the replay drains (bounded).
+  const sim::Time load_deadline = setup.clock.now() + horizon + 400000;
+  while ((!driver.done() || engine.in_flight() != 0 ||
+          engine.backlog() != 0) &&
+         setup.clock.now() < load_deadline)
+    setup.clock.run_until(setup.clock.now() + kWindowWidth);
+
+  // Give the plane a bounded post-load convergence window, then stop it
+  // and drain whatever is still on the wire.
+  bool converged = !heal || plane.converged();
+  for (int w = 0; heal && !converged && w < 400; ++w) {
+    setup.clock.run_until(setup.clock.now() + 100);
+    converged = plane.converged();
+  }
+  plane.stop();
+  setup.clock.run();
+
+  RunResult result;
+  result.name = name;
+  result.offered_qps = qps;
+  result.r = opts.r;
+  result.cache = false;
+  result.report = engine.report();
+  result.timeseries = windows.to_json();
+  result.kills = kills;
+  result.self_healing = heal;
+  result.repair_work = plane.repair_work_done();
+  result.backlog_end = svc->repair_backlog();
+  // "Converged" means no outstanding damage, so the no-heal control
+  // honestly reports false while its stranded backlog persists.
+  result.converged = converged && result.backlog_end == 0;
+
+  std::printf("\n--- %s (offered %.0f qps, kills=%zu, heal=%s) ---\n",
+              name.c_str(), qps, kills, heal ? "on" : "off");
+  std::fputs(result.report.to_string().c_str(), stdout);
+  std::printf("availability=%.4f completeness_rate=%.4f converged=%s "
+              "repair_work=%llu backlog_end=%zu\n",
+              availability(result.report), completeness_rate(result.report),
+              result.converged ? "yes" : "NO",
+              static_cast<unsigned long long>(result.repair_work),
+              result.backlog_end);
   return result;
 }
 
@@ -287,6 +445,11 @@ int main() {
   // Part B: hypercube dimension at the middle rate.
   for (int r : {8, 12})
     runs.push_back(serve_run("dimension", corpus, log, 160.0, r, true));
+  // Part D: churn sweep at the middle rate — self-healing at two kill
+  // counts, plus the no-heal control at the heavier one.
+  for (std::size_t kills : {4u, 8u})
+    runs.push_back(churn_run("churn", corpus, log, 160.0, kills, true));
+  runs.push_back(churn_run("churn-noheal", corpus, log, 160.0, 8, false));
 
   // Part C: loss correctness on a truncated log.
   std::vector<workload::Query> head(
@@ -304,6 +467,13 @@ int main() {
          << "\",\"offered_qps\":" << runs[i].offered_qps
          << ",\"r\":" << runs[i].r
          << ",\"cache\":" << (runs[i].cache ? "true" : "false")
+         << ",\"availability\":" << availability(runs[i].report)
+         << ",\"completeness_rate\":" << completeness_rate(runs[i].report)
+         << ",\"kills\":" << runs[i].kills
+         << ",\"self_healing\":" << (runs[i].self_healing ? "true" : "false")
+         << ",\"converged\":" << (runs[i].converged ? "true" : "false")
+         << ",\"repair_work\":" << runs[i].repair_work
+         << ",\"repair_backlog_end\":" << runs[i].backlog_end
          << ",\"report\":" << runs[i].report.to_json()
          << ",\"timeseries\":" << runs[i].timeseries << "}";
   }

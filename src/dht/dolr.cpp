@@ -17,20 +17,23 @@ RingId Dolr::object_key(ObjectId object) const {
   return overlay_.space().clamp(mix64(object ^ seeds::kObjectToDht));
 }
 
+void Dolr::replicate_to(RingId owner, sim::EndpointId target,
+                        const StoredRef& ref) {
+  const OverlayNode& n = overlay_.state_of(owner);
+  overlay_.net().send(n.endpoint(), target, "dolr.replicate",
+                      sizeof(StoredRef), [this, target, ref] {
+                        // The replica target may have left in flight.
+                        if (auto id = overlay_.ring_id_of(target))
+                          overlay_.state_of(*id).add_ref(ref);
+                      });
+}
+
 void Dolr::replicate(RingId owner, const StoredRef& ref) {
   // Copy the reference to the overlay's replica set for this owner (Chord:
   // successors; Pastry: leaf-set neighbors). One direct message per copy.
-  const OverlayNode& n = overlay_.state_of(owner);
   for (RingId s :
-       overlay_.replica_targets(owner, cfg_.replication_factor - 1)) {
-    const auto ep = overlay_.endpoint_of(s);
-    overlay_.net().send(n.endpoint(), ep, "dolr.replicate", sizeof(StoredRef),
-                        [this, ep, ref] {
-                          // The replica target may have left in flight.
-                          if (auto id = overlay_.ring_id_of(ep))
-                            overlay_.state_of(*id).add_ref(ref);
-                        });
-  }
+       overlay_.replica_targets(owner, cfg_.replication_factor - 1))
+    replicate_to(owner, overlay_.endpoint_of(s), ref);
 }
 
 void Dolr::insert(sim::EndpointId publisher, ObjectId object,
@@ -99,6 +102,39 @@ std::uint64_t Dolr::repair_replicas() {
     }
   }
   return copied;
+}
+
+template <typename Fn>
+void Dolr::for_each_missing_copy(Fn&& fn) const {
+  for (RingId id : overlay_.live_ids()) {
+    const OverlayNode& n = overlay_.state_of(id);
+    for (const auto& ref : n.all_refs()) {
+      if (overlay_.owner_of(ref.key) != id) continue;
+      for (RingId s :
+           overlay_.replica_targets(id, cfg_.replication_factor - 1)) {
+        if (!overlay_.state_of(s).has_ref(ref.object, ref.holder))
+          fn(id, overlay_.endpoint_of(s), ref);
+      }
+    }
+  }
+}
+
+std::uint64_t Dolr::repair_replicas(std::size_t max_copies) {
+  std::uint64_t copied = 0;
+  for_each_missing_copy([&](RingId owner, sim::EndpointId target,
+                            const StoredRef& ref) {
+    if (copied >= max_copies) return;
+    replicate_to(owner, target, ref);
+    ++copied;
+  });
+  return copied;
+}
+
+std::size_t Dolr::replication_backlog() const {
+  std::size_t missing = 0;
+  for_each_missing_copy(
+      [&](RingId, sim::EndpointId, const StoredRef&) { ++missing; });
+  return missing;
 }
 
 }  // namespace hkws::dht

@@ -72,10 +72,32 @@ class Dolr {
   /// replication invariant. Returns references copied.
   std::uint64_t repair_replicas();
 
+  /// Incremental variant for the maintenance plane: pushes at most
+  /// `max_copies` replica copies, and only to targets that are actually
+  /// missing the reference (so repeated calls converge instead of
+  /// re-flooding). Returns copies sent; 0 means the replication invariant
+  /// holds for every live owner. Idempotent: add_ref on an existing copy is
+  /// a no-op.
+  std::uint64_t repair_replicas(std::size_t max_copies);
+
+  /// Replica copies currently missing across all live owners — the repair
+  /// backlog the plane reports as a gauge and drains with the call above.
+  std::size_t replication_backlog() const;
+
+  int replication_factor() const noexcept { return cfg_.replication_factor; }
+
   Overlay& overlay() noexcept { return overlay_; }
+  const Overlay& overlay() const noexcept { return overlay_; }
 
  private:
   void replicate(RingId owner, const StoredRef& ref);
+  /// One replica copy: direct message owner -> target endpoint.
+  void replicate_to(RingId owner, sim::EndpointId target,
+                    const StoredRef& ref);
+  /// Invokes fn(owner_id, target_ep, ref) for every replica copy a live
+  /// owner should hold at a target that does not have it yet.
+  template <typename Fn>
+  void for_each_missing_copy(Fn&& fn) const;
 
   Overlay& overlay_;
   Config cfg_;

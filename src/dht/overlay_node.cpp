@@ -27,6 +27,11 @@ std::vector<sim::EndpointId> OverlayNode::refs_of(ObjectId object) const {
   return {it->second.holders.begin(), it->second.holders.end()};
 }
 
+bool OverlayNode::has_ref(ObjectId object, sim::EndpointId holder) const {
+  const auto it = refs_.find(object);
+  return it != refs_.end() && it->second.holders.contains(holder);
+}
+
 std::vector<StoredRef> OverlayNode::all_refs() const {
   std::vector<StoredRef> out;
   out.reserve(ref_count_);

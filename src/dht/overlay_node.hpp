@@ -50,6 +50,11 @@ class OverlayNode {
   /// All known replica holders for `object` (empty if unknown here).
   std::vector<sim::EndpointId> refs_of(ObjectId object) const;
 
+  /// Whether the reference (object, holder) is stored here. Cheap; used by
+  /// the incremental replica repair to find missing copies without
+  /// re-pushing everything.
+  bool has_ref(ObjectId object, sim::EndpointId holder) const;
+
   std::size_t ref_count() const noexcept { return ref_count_; }
 
   /// Removes and returns every reference whose ring key fails `belongs`;

@@ -13,6 +13,7 @@ namespace hkws::engine {
 const char* to_string(QueryOutcome outcome) noexcept {
   switch (outcome) {
     case QueryOutcome::kCompleted: return "completed";
+    case QueryOutcome::kDegraded: return "degraded";
     case QueryOutcome::kTimedOut: return "timed_out";
     case QueryOutcome::kFailed: return "failed";
     case QueryOutcome::kShed: return "shed";
@@ -167,8 +168,10 @@ void QueryEngine::on_answer(std::uint64_t id,
   QueryRecord& rec = pending_[id];
   rec.hits = answer.hits.size();
   rec.stats = answer.stats;
-  seal(id, answer.stats.failed ? QueryOutcome::kFailed
-                               : QueryOutcome::kCompleted);
+  // Verdict precedence mirrors SearchStats: failed > degraded > completed.
+  seal(id, answer.stats.failed      ? QueryOutcome::kFailed
+           : answer.stats.degraded ? QueryOutcome::kDegraded
+                                   : QueryOutcome::kCompleted);
   pump();
 }
 
@@ -201,6 +204,24 @@ void QueryEngine::seal(std::uint64_t id, QueryOutcome outcome) {
       outcome_point = "complete";
       if (cfg_.windows != nullptr) {
         cfg_.windows->count(now, "completed");
+        cfg_.windows->observe(now, "latency",
+                              static_cast<double>(rec.latency()));
+        cfg_.windows->observe(now, "queue_wait",
+                              static_cast<double>(rec.queue_wait()));
+      }
+      break;
+    case QueryOutcome::kDegraded:
+      // A degraded answer was still served within the deadline, so it
+      // belongs in the latency distribution — only completeness suffered.
+      metrics_.count("engine.degraded");
+      metrics_.observe("engine.latency", static_cast<double>(rec.latency()));
+      metrics_.observe("engine.queue_wait",
+                       static_cast<double>(rec.queue_wait()));
+      last_finish_ = std::max(last_finish_, now);
+      note(id, "degraded", rec.hits, rec.stats.failovers);
+      outcome_point = "degraded";
+      if (cfg_.windows != nullptr) {
+        cfg_.windows->count(now, "degraded");
         cfg_.windows->observe(now, "latency",
                               static_cast<double>(rec.latency()));
         cfg_.windows->observe(now, "queue_wait",
@@ -273,6 +294,7 @@ EngineReport QueryEngine::report() const {
   EngineReport r;
   r.submitted = metrics_.counter("engine.submitted");
   r.completed = metrics_.counter("engine.completed");
+  r.degraded = metrics_.counter("engine.degraded");
   r.timed_out = metrics_.counter("engine.timed_out");
   r.failed = metrics_.counter("engine.failed");
   r.shed = metrics_.counter("engine.shed");
@@ -284,17 +306,16 @@ EngineReport QueryEngine::report() const {
     r.latency_p95 = qs[1];
     r.latency_p99 = qs[2];
   }
-  if (r.completed > 0 && last_finish_ > first_submit_)
-    r.achieved_qps = static_cast<double>(r.completed) * 1000.0 /
+  if (r.completed + r.degraded > 0 && last_finish_ > first_submit_)
+    r.achieved_qps = static_cast<double>(r.completed + r.degraded) * 1000.0 /
                      static_cast<double>(last_finish_ - first_submit_);
   r.in_flight_high_water = in_flight_high_water_;
   r.backlog_high_water = backlog_high_water_;
-  r.retransmits = service_.primary_index()
-                      .dolr()
-                      .overlay()
-                      .net()
-                      .metrics()
-                      .counter("kws.retransmit");
+  const sim::Metrics& net_metrics =
+      service_.primary_index().dolr().overlay().net().metrics();
+  r.retransmits = net_metrics.counter("kws.retransmit");
+  r.failovers = net_metrics.counter("kws.failover");
+  r.mirror_failovers = net_metrics.counter("kws.mirror_failover");
   r.scans_per_peer = scans_per_peer_;
   return r;
 }
@@ -302,14 +323,15 @@ EngineReport QueryEngine::report() const {
 std::string EngineReport::to_string() const {
   std::ostringstream os;
   os << "queries: submitted=" << submitted << " completed=" << completed
-     << " timed_out=" << timed_out << " failed=" << failed
-     << " shed=" << shed << "\n";
+     << " degraded=" << degraded << " timed_out=" << timed_out
+     << " failed=" << failed << " shed=" << shed << "\n";
   os << "latency (ticks): mean=" << latency_mean << " p50=" << latency_p50
      << " p95=" << latency_p95 << " p99=" << latency_p99 << "\n";
   os << "achieved_qps=" << achieved_qps
      << " in_flight_hwm=" << in_flight_high_water
      << " backlog_hwm=" << backlog_high_water
-     << " retransmits=" << retransmits << "\n";
+     << " retransmits=" << retransmits << " failovers=" << failovers
+     << " mirror_failovers=" << mirror_failovers << "\n";
   if (!scans_per_peer.empty()) {
     os << "scan load: peers=" << scans_per_peer.bins().size()
        << " scans=" << scans_per_peer.total()
@@ -328,6 +350,7 @@ std::string EngineReport::to_json() const {
   std::ostringstream os;
   os << "{"
      << "\"submitted\":" << submitted << ",\"completed\":" << completed
+     << ",\"degraded\":" << degraded
      << ",\"timed_out\":" << timed_out << ",\"failed\":" << failed
      << ",\"shed\":" << shed << ",\"latency_mean\":" << latency_mean
      << ",\"latency_p50\":" << latency_p50
@@ -336,7 +359,10 @@ std::string EngineReport::to_json() const {
      << ",\"achieved_qps\":" << achieved_qps
      << ",\"in_flight_high_water\":" << in_flight_high_water
      << ",\"backlog_high_water\":" << backlog_high_water
-     << ",\"retransmits\":" << retransmits << ",\"scans_per_peer\":{";
+     << ",\"retransmits\":" << retransmits
+     << ",\"failovers\":" << failovers
+     << ",\"mirror_failovers\":" << mirror_failovers
+     << ",\"scans_per_peer\":{";
   bool first = true;
   for (const auto& [peer, n] : scans_per_peer.bins()) {
     if (!first) os << ",";

@@ -53,7 +53,9 @@ namespace hkws::engine {
 
 /// How a submitted query left the engine.
 enum class QueryOutcome {
-  kCompleted,  ///< search finished within the deadline
+  kCompleted,  ///< search finished within the deadline, fully served
+  kDegraded,   ///< answered, but via failover / partial coverage (results
+               ///< may be incomplete; see SearchStats::degraded)
   kTimedOut,   ///< deadline expired (in backlog or in flight)
   kFailed,     ///< protocol gave up (retransmission budget exhausted)
   kShed,       ///< rejected at admission: backlog full
@@ -125,10 +127,16 @@ struct QueryRecord {
 struct EngineReport {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
+  /// Served, but degraded: the search failed over to a surrogate owner or
+  /// a single cube of a mirrored pair, so results may be incomplete.
+  /// Disjoint from `completed` and from the failure buckets below —
+  /// deadline misses (timed_out), protocol give-ups (failed), and
+  /// admission rejections (shed) each stay separately accounted.
+  std::uint64_t degraded = 0;
   std::uint64_t timed_out = 0;
   std::uint64_t failed = 0;
   std::uint64_t shed = 0;
-  /// Latency stats over *completed* queries, in ticks.
+  /// Latency stats over *served* (completed + degraded) queries, in ticks.
   double latency_mean = 0.0;
   double latency_p50 = 0.0;
   double latency_p95 = 0.0;
@@ -140,6 +148,12 @@ struct EngineReport {
   std::size_t backlog_high_water = 0;
   /// Protocol-message retransmissions across all queries.
   std::uint64_t retransmits = 0;
+  /// Mid-query failovers (stale contact re-routes, surrogate-root
+  /// re-resolutions, dead-origin batch write-offs) across all queries.
+  std::uint64_t failovers = 0;
+  /// Mirrored deployments: searches one cube failed and the other served
+  /// alone (primary-miss -> mirror-hit and converse).
+  std::uint64_t mirror_failovers = 0;
   /// T_QUERY scans served per peer (the per-node serving-load histogram).
   Histogram scans_per_peer;
 

@@ -3,6 +3,8 @@
 #include <memory>
 #include <set>
 
+#include "obs/windowed.hpp"
+
 namespace hkws::index {
 
 OverlayIndex::Config MirroredIndex::mirror_config(OverlayIndex::Config cfg) {
@@ -56,9 +58,23 @@ SearchResult MirroredIndex::merge(const SearchResult& a,
   merged.stats.cache_hit = a.stats.cache_hit && b.stats.cache_hit;
   merged.stats.complete = a.stats.complete || b.stats.complete;
   merged.stats.retransmits = a.stats.retransmits + b.stats.retransmits;
+  merged.stats.failovers = a.stats.failovers + b.stats.failovers;
+  merged.stats.degraded = a.stats.degraded || b.stats.degraded;
   // Either cube answering in full serves the query; failed only when both
   // traversals gave up (the whole point of mirroring, §3.4).
   merged.stats.failed = a.stats.failed && b.stats.failed;
+  if (a.stats.failed != b.stats.failed) {
+    // Exactly one cube gave up: the other served the query alone. That is
+    // the primary-miss -> mirror-hit failover (or its converse) — the
+    // availability event degraded-mode observability is about.
+    ++merged.stats.failovers;
+    merged.stats.degraded = true;
+    ++failovers_;
+    sim::Network& net = primary_->dolr().overlay().net();
+    net.metrics().count("kws.mirror_failover");
+    if (windows_ != nullptr)
+      windows_->count(net.clock().now(), "mirror.failover");
+  }
   return merged;
 }
 
@@ -119,7 +135,7 @@ void MirroredIndex::pin_search(sim::EndpointId searcher,
   };
   auto pending = std::make_shared<Pending>();
   pending->done = std::move(done);
-  auto on_result = [pending](const SearchResult& r) {
+  auto on_result = [this, pending](const SearchResult& r) {
     if (!pending->have_first) {
       pending->first = r;
       pending->have_first = true;
@@ -135,9 +151,72 @@ std::uint64_t MirroredIndex::repair_placement() {
   return primary_->repair_placement() + mirror_->repair_placement();
 }
 
+std::uint64_t MirroredIndex::repair_placement(std::size_t max_entries) {
+  const std::uint64_t a = primary_->repair_placement(max_entries);
+  const std::uint64_t b = mirror_->repair_placement(
+      max_entries > a ? max_entries - static_cast<std::size_t>(a) : 0);
+  return a + b;
+}
+
+std::size_t MirroredIndex::misplaced_entries() const {
+  return primary_->misplaced_entries() + mirror_->misplaced_entries();
+}
+
 void MirroredIndex::purge_dead() {
   primary_->purge_dead();
   mirror_->purge_dead();
+}
+
+std::size_t MirroredIndex::missing_entries(const OverlayIndex& src,
+                                           const OverlayIndex& dst) {
+  const dht::Overlay& overlay = src.dolr().overlay();
+  std::size_t missing = 0;
+  src.for_each_entry([&](cube::CubeId, const KeywordSet& k, ObjectId o,
+                         sim::EndpointId holder) {
+    // Entries still held for a dead peer are about to be purged; only a
+    // live copy can seed the other cube.
+    if (!overlay.is_live(holder)) return;
+    if (!dst.has_entry(k, o)) ++missing;
+  });
+  return missing;
+}
+
+std::uint64_t MirroredIndex::resync(std::size_t max_entries) {
+  struct Seed {
+    sim::EndpointId holder;
+    ObjectId object;
+    KeywordSet keywords;
+    bool into_mirror;
+  };
+  std::vector<Seed> seeds;
+  const auto collect = [&](const OverlayIndex& src, const OverlayIndex& dst,
+                           bool into_mirror) {
+    const dht::Overlay& overlay = src.dolr().overlay();
+    src.for_each_entry([&](cube::CubeId, const KeywordSet& k, ObjectId o,
+                           sim::EndpointId holder) {
+      if (seeds.size() >= max_entries) return;
+      if (!overlay.is_live(holder)) return;
+      if (dst.has_entry(k, o)) return;
+      seeds.push_back(Seed{holder, o, k, into_mirror});
+    });
+  };
+  collect(*primary_, *mirror_, true);
+  collect(*mirror_, *primary_, false);
+  for (const Seed& s : seeds) {
+    // Anti-entropy from the survivor: the peer still holding the entry
+    // routes a reindex into the cube that lost it.
+    OverlayIndex& dst = s.into_mirror ? *mirror_ : *primary_;
+    dst.reindex(s.holder, s.object, s.keywords);
+  }
+  if (!seeds.empty())
+    primary_->dolr().overlay().net().metrics().count("kws.resync",
+                                                     seeds.size());
+  return seeds.size();
+}
+
+std::size_t MirroredIndex::resync_backlog() const {
+  return missing_entries(*primary_, *mirror_) +
+         missing_entries(*mirror_, *primary_);
 }
 
 }  // namespace hkws::index

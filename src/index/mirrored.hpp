@@ -18,6 +18,10 @@
 
 #include "index/overlay_index.hpp"
 
+namespace hkws::obs {
+class WindowedMetrics;
+}
+
 namespace hkws::index {
 
 class MirroredIndex {
@@ -56,18 +60,50 @@ class MirroredIndex {
 
   /// Churn maintenance for both cubes.
   std::uint64_t repair_placement();
+  std::uint64_t repair_placement(std::size_t max_entries);
+  std::size_t misplaced_entries() const;
   void purge_dead();
+
+  /// Anti-entropy between the cubes: for up to `max_entries` entries that
+  /// one cube holds (at a live peer) and the other lost with a failed peer,
+  /// issues a routed reindex into the missing side. Idempotent; repeated
+  /// budgeted calls converge until both cubes index the same entry set.
+  /// Returns reindex messages issued.
+  std::uint64_t resync(std::size_t max_entries);
+
+  /// Entries currently present in one cube but missing from the other —
+  /// the mirror-resync backlog the maintenance plane drains.
+  std::size_t resync_backlog() const;
+
+  /// Failovers observed at merge time: searches where exactly one cube
+  /// failed and the other served the query alone (primary-miss ->
+  /// mirror-hit and vice versa). Cumulative; also counted into the
+  /// "kws.mirror_failover" network metric and, when set_windows() was
+  /// called, the "mirror.failover" windowed counter.
+  std::uint64_t failover_count() const noexcept { return failovers_; }
+
+  /// Installs a windowed-metrics sink for per-window failover observability
+  /// (nullptr to remove; not owned, must outlive this object).
+  void set_windows(obs::WindowedMetrics* windows) { windows_ = windows; }
 
   OverlayIndex& primary() noexcept { return *primary_; }
   OverlayIndex& mirror() noexcept { return *mirror_; }
+  const OverlayIndex& primary() const noexcept { return *primary_; }
+  const OverlayIndex& mirror() const noexcept { return *mirror_; }
 
  private:
   static OverlayIndex::Config mirror_config(OverlayIndex::Config cfg);
-  /// Merges two finished results (union by object id, summed costs).
-  static SearchResult merge(const SearchResult& a, const SearchResult& b);
+  /// Merges two finished results (union by object id, summed costs);
+  /// detects and counts single-cube failovers.
+  SearchResult merge(const SearchResult& a, const SearchResult& b);
+  /// Entries `src` holds at live peers that `dst` does not index.
+  static std::size_t missing_entries(const OverlayIndex& src,
+                                     const OverlayIndex& dst);
 
   std::unique_ptr<OverlayIndex> primary_;
   std::unique_ptr<OverlayIndex> mirror_;
+  obs::WindowedMetrics* windows_ = nullptr;
+  std::uint64_t failovers_ = 0;
   /// In-flight superset tickets -> the two underlying request ids.
   std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
       active_;

@@ -162,6 +162,19 @@ void OverlayIndex::deindex(sim::EndpointId from, ObjectId object,
 
 void OverlayIndex::pin_search(sim::EndpointId searcher,
                               const KeywordSet& keywords, SearchCallback done) {
+  if (cfg_.step_timeout != 0 && cfg_.failover_after != 0) {
+    // Loss-guarded pin: route + reply under one retransmission timer, so a
+    // pin aimed at a peer that dies mid-query retries (and the re-route
+    // lands on the surrogate owner) instead of hanging forever.
+    const std::uint64_t id = next_pin_++;
+    auto pin = std::make_unique<PinState>();
+    pin->keywords = keywords;
+    pin->searcher = searcher;
+    pin->done = std::move(done);
+    pins_[id] = std::move(pin);
+    pin_attempt(id);
+    return;
+  }
   const cube::CubeId u = hasher_.responsible_node(keywords);
   overlay_.route(
       searcher, ring_key_of(u), "kws.pin", kCtrlBytes + keywords.size() * 12,
@@ -184,6 +197,76 @@ void OverlayIndex::pin_search(sim::EndpointId searcher,
                   result.hits.size() * kHitBytes,
                   [done, result = std::move(result)] { done(result); });
       });
+}
+
+OverlayIndex::PinState* OverlayIndex::find_pin(std::uint64_t pin_id) {
+  const auto it = pins_.find(pin_id);
+  return it == pins_.end() ? nullptr : it->second.get();
+}
+
+void OverlayIndex::pin_attempt(std::uint64_t pin_id) {
+  PinState* pin = find_pin(pin_id);
+  if (!pin) return;
+  ++pin->attempts;
+  const cube::CubeId u = hasher_.responsible_node(pin->keywords);
+  overlay_.route(
+      pin->searcher, ring_key_of(u), "kws.pin",
+      kCtrlBytes + pin->keywords.size() * 12,
+      [this, pin_id, u](const dht::Overlay::RouteResult& rr) {
+        PinState* p = find_pin(pin_id);
+        if (!p) return;  // already answered by an earlier attempt
+        p->stats.messages += static_cast<std::size_t>(rr.hops);
+        const sim::EndpointId ep = overlay_.endpoint_of(rr.owner);
+        PeerState& ps = peer_state(ep);
+        std::vector<Hit> hits;
+        if (const auto it = ps.tables.find(u); it != ps.tables.end()) {
+          for (ObjectId o : it->second.exact(p->keywords))
+            hits.push_back(Hit{o, p->keywords});
+        }
+        net_.send(ep, p->searcher, "kws.pin_reply", hits.size() * kHitBytes,
+                  [this, pin_id, hits = std::move(hits)] {
+                    PinState* p2 = find_pin(pin_id);
+                    if (!p2) return;  // duplicate reply of a retried attempt
+                    if (p2->timer != 0) net_.clock().cancel_timer(p2->timer);
+                    SearchResult result;
+                    result.hits = hits;
+                    result.stats = p2->stats;
+                    ++result.stats.messages;  // the direct reply
+                    result.stats.nodes_contacted = 1;
+                    result.stats.rounds = 1;
+                    result.stats.complete = true;
+                    if (p2->attempts > 1) {
+                      // A retry crossed a timeout: the serving peer may have
+                      // changed under us, so the answer counts as degraded.
+                      result.stats.degraded = true;
+                      result.stats.failovers =
+                          static_cast<std::size_t>(p2->attempts - 1);
+                    }
+                    SearchCallback cb = std::move(p2->done);
+                    pins_.erase(pin_id);
+                    cb(result);
+                  });
+      });
+  PinState* p = find_pin(pin_id);
+  if (!p) return;  // the route may complete in place
+  p->timer = net_.clock().set_timer(cfg_.step_timeout, [this, pin_id] {
+    PinState* p2 = find_pin(pin_id);
+    if (!p2) return;
+    p2->timer = 0;
+    if (p2->attempts > cfg_.max_retries) {
+      net_.metrics().count("kws.request_failed");
+      SearchResult result;
+      result.stats = p2->stats;
+      result.stats.failed = true;
+      SearchCallback cb = std::move(p2->done);
+      pins_.erase(pin_id);
+      cb(result);
+      return;
+    }
+    ++p2->stats.retransmits;
+    net_.metrics().count("kws.retransmit");
+    pin_attempt(pin_id);
+  });
 }
 
 // --- Superset search ----------------------------------------------------------
@@ -249,6 +332,31 @@ void OverlayIndex::begin_root_route(std::uint64_t req_id) {
     emit(req_id, "retransmit", r2->root_cube);
     begin_root_route(req_id);
   });
+}
+
+void OverlayIndex::failover_root(std::uint64_t req_id) {
+  Request* req = find(req_id);
+  if (!req || req->failover_rerouting) return;
+  req->failover_rerouting = true;
+  // Re-resolve the root's owner through the DHT. Coordinator state lives in
+  // this shared object keyed by request id, so "moving the coordinator" to
+  // the surrogate owner is just re-aiming root_peer; in-flight step timers
+  // then retransmit from (and reply to) the new peer.
+  overlay_.route(
+      req->searcher, ring_key_of(req->root_cube), "kws.t_query", kCtrlBytes,
+      [this, req_id](const dht::Overlay::RouteResult& rr) {
+        Request* r = find(req_id);
+        if (!r) return;
+        r->failover_rerouting = false;
+        r->stats.messages += static_cast<std::size_t>(rr.hops);
+        const sim::EndpointId surrogate = overlay_.endpoint_of(rr.owner);
+        if (surrogate == r->root_peer) return;  // root is alive after all
+        r->root_peer = surrogate;
+        ++r->stats.failovers;
+        r->stats.degraded = true;
+        net_.metrics().count("kws.failover");
+        emit(req_id, "failover", surrogate);
+      });
 }
 
 bool OverlayIndex::cancel(std::uint64_t request) {
@@ -407,6 +515,17 @@ void OverlayIndex::visit_node(std::uint64_t req_id, cube::CubeId w) {
       },
       [this, req_id, w](sim::EndpointId peer) {
         on_query_arrived(req_id, w, peer);
+      },
+      [this, req_id, w] {
+        // A learned contact died: the step falls back to DHT routing and
+        // lands on the surrogate owner, whose table may miss entries lost
+        // with the peer — the result can no longer be trusted as complete.
+        Request* r = find(req_id);
+        if (!r) return;
+        ++r->stats.failovers;
+        r->stats.degraded = true;
+        net_.metrics().count("kws.failover");
+        emit(req_id, "failover", w, 2);
       });
   arm_step_timer(req_id, w);
 }
@@ -430,6 +549,11 @@ void OverlayIndex::arm_step_timer(std::uint64_t req_id, cube::CubeId w) {
         ++r->stats.retransmits;
         net_.metrics().count("kws.retransmit");
         emit(req_id, "retransmit", w);
+        // Repeated timeouts on one step usually mean the coordinator (or
+        // its stale idea of the root) is dead, not that messages are merely
+        // slow: re-resolve the root before burning more of the budget.
+        if (cfg_.failover_after != 0 && attempts >= cfg_.failover_after)
+          failover_root(req_id);
         visit_node(req_id, w);
       });
 }
@@ -437,7 +561,8 @@ void OverlayIndex::arm_step_timer(std::uint64_t req_id, cube::CubeId w) {
 void OverlayIndex::send_to_cube_node(
     sim::EndpointId from, cube::CubeId target, const char* kind,
     std::size_t bytes, const Charge& charge,
-    std::function<void(sim::EndpointId)> at_target) {
+    std::function<void(sim::EndpointId)> at_target,
+    const std::function<void()>& on_failover) {
   if (cfg_.cache_contacts) {
     PeerState& ps = peer_state(from);
     if (const auto it = ps.contacts.find(target); it != ps.contacts.end()) {
@@ -449,6 +574,7 @@ void OverlayIndex::send_to_cube_node(
         return;
       }
       ps.contacts.erase(it);  // stale contact: the peer is gone
+      if (on_failover) on_failover();
     }
   }
   overlay_.route(from, ring_key_of(target), kind, bytes,
@@ -634,6 +760,20 @@ void OverlayIndex::arm_repair_timer(std::uint64_t req_id) {
     r->repair_timer = 0;
     for (auto& [node, v] : r->visits) {
       if (v.c1 == 0 || r->delivered.contains(node)) continue;
+      if (cfg_.failover_after != 0 && !net_.is_registered(v.peer)) {
+        // The batch's origin died with the batch still undelivered: the
+        // hits are unrecoverable until background repair re-homes the
+        // entries. Serve what arrived as a degraded result instead of
+        // burning the budget re-shipping from a dead peer.
+        r->delivered.insert(node);
+        ++r->results_received;
+        ++r->stats.failovers;
+        r->stats.degraded = true;
+        r->stats.complete = false;
+        net_.metrics().count("kws.failover");
+        emit(req_id, "failover", node, 1);
+        continue;
+      }
       ++r->stats.retransmits;
       ++r->stats.messages;
       net_.metrics().count("kws.retransmit");
@@ -934,6 +1074,70 @@ std::uint64_t OverlayIndex::repair_placement() {
     ps.caches.clear();
   }
   return moved;
+}
+
+std::uint64_t OverlayIndex::repair_placement(std::size_t max_entries) {
+  // Collect up to the budget of individual misplaced entries first (moving
+  // while iterating would invalidate iterators), then apply the moves.
+  struct Move {
+    sim::EndpointId ep;
+    cube::CubeId u;
+    KeywordSet keywords;
+    ObjectId object;
+  };
+  std::vector<Move> moves;
+  for (const auto& [ep, ps] : peers_) {
+    if (moves.size() >= max_entries) break;
+    if (!overlay_.is_live(ep)) continue;
+    for (const auto& [u, table] : ps.tables) {
+      if (moves.size() >= max_entries) break;
+      if (peer_of(u) == ep) continue;
+      for (const auto& [k, objects] : table.entries()) {
+        if (moves.size() >= max_entries) break;
+        for (ObjectId o : objects) {
+          if (moves.size() >= max_entries) break;
+          moves.push_back(Move{ep, u, k, o});
+        }
+      }
+    }
+  }
+  for (const Move& m : moves) {
+    PeerState& src = peers_[m.ep];
+    if (const auto it = src.tables.find(m.u); it != src.tables.end()) {
+      it->second.remove(m.keywords, m.object);
+      if (it->second.empty()) src.tables.erase(it);
+    }
+    peer_state(peer_of(m.u)).tables[m.u].add(m.keywords, m.object);
+  }
+  if (!moves.empty()) {
+    net_.metrics().count("kws.repair_entries", moves.size());
+    ++mutation_epoch_;
+    // Placement changed: learned contacts and traversal summaries are stale.
+    for (auto& [ep, ps] : peers_) {
+      ps.contacts.clear();
+      ps.caches.clear();
+    }
+  }
+  return moves.size();
+}
+
+std::size_t OverlayIndex::misplaced_entries() const {
+  std::size_t misplaced = 0;
+  for (const auto& [ep, ps] : peers_) {
+    if (!overlay_.is_live(ep)) continue;
+    for (const auto& [u, table] : ps.tables)
+      if (peer_of(u) != ep) misplaced += table.object_count();
+  }
+  return misplaced;
+}
+
+bool OverlayIndex::has_entry(const KeywordSet& keywords,
+                             ObjectId object) const {
+  const IndexTable* t = table_of(hasher_.responsible_node(keywords));
+  if (t == nullptr) return false;
+  const auto& entries = t->entries();
+  const auto it = entries.find(keywords);
+  return it != entries.end() && it->second.contains(object);
 }
 
 void OverlayIndex::purge_dead() {

@@ -65,6 +65,14 @@ class OverlayIndex {
     sim::Time step_timeout = 0;
     /// Retransmissions per protocol step before the request is failed.
     int max_retries = 3;
+    /// Degraded-mode serving: after this many consecutive timeouts on one
+    /// protocol step, the coordinator re-resolves the root through the DHT
+    /// and re-aims the request at the surrogate owner instead of burning
+    /// the rest of the retransmit budget against a dead peer. Results that
+    /// crossed a failover carry stats.degraded. Requires step_timeout != 0;
+    /// 0 disables failover (legacy behaviour: retries then failure). Also
+    /// gates the loss-guarded pin path.
+    int failover_after = 0;
   };
 
   OverlayIndex(dht::Dolr& dolr, Config cfg);
@@ -142,8 +150,11 @@ class OverlayIndex {
   /// deadline-enforcement hook of the serving engine.
   bool cancel(std::uint64_t request);
 
-  /// Number of superset-search requests currently in flight.
-  std::size_t in_flight_requests() const noexcept { return requests_.size(); }
+  /// Number of requests currently in flight (superset searches plus
+  /// loss-guarded pins).
+  std::size_t in_flight_requests() const noexcept {
+    return requests_.size() + pins_.size();
+  }
 
   // --- Tracing ---------------------------------------------------------------
 
@@ -192,6 +203,17 @@ class OverlayIndex {
   /// peer and flushes contact/query caches. Returns entries moved.
   std::uint64_t repair_placement();
 
+  /// Incremental variant for the maintenance plane: moves at most
+  /// `max_entries` individual <keywords, object> entries per call, so
+  /// repair work is rate-limited and interleaves with serving traffic.
+  /// Re-scans on every call, so repeated calls converge to zero misplaced
+  /// entries. Caches are flushed only when something actually moved.
+  std::uint64_t repair_placement(std::size_t max_entries);
+
+  /// Entries at live peers whose cube node is owned by someone else — the
+  /// placement-repair backlog.
+  std::size_t misplaced_entries() const;
+
   /// Drops index state held for peers that are no longer live (their
   /// entries are lost until republished — the paper's fault model).
   void purge_dead();
@@ -201,6 +223,23 @@ class OverlayIndex {
   const cube::Hypercube& cube() const noexcept { return cube_; }
   const KeywordHasher& hasher() const noexcept { return hasher_; }
   dht::Dolr& dolr() noexcept { return dolr_; }
+  const dht::Dolr& dolr() const noexcept { return dolr_; }
+
+  /// Whether the canonical owner of F_h(keywords) currently indexes
+  /// <keywords, object>. Global-knowledge check used by the mirror resync
+  /// to find entries one cube lost with a failed peer.
+  bool has_entry(const KeywordSet& keywords, ObjectId object) const;
+
+  /// Invokes fn(cube_node, keywords, object, holder_endpoint) for every
+  /// index entry stored anywhere (including entries still held for dead
+  /// peers until purge_dead runs). Anti-entropy building block.
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    for (const auto& [ep, ps] : peers_)
+      for (const auto& [u, table] : ps.tables)
+        for (const auto& [k, objects] : table.entries())
+          for (ObjectId o : objects) fn(u, k, o, ep);
+  }
 
   /// The index table of cube node u at its current owner (nullptr if the
   /// owner holds no entries for u).
@@ -242,6 +281,8 @@ class OverlayIndex {
     cube::CubeId root_cube = 0;
     sim::EndpointId root_peer = 0;
     bool root_resolved = false;
+    /// A failover re-resolution of the root is in flight (dedup guard).
+    bool failover_rerouting = false;
     /// Index mutation epoch captured at request creation. A summary cached
     /// under this epoch is invalidated by any later mutation, so a search
     /// that raced a mutation can never serve its stale plan to a successor.
@@ -309,6 +350,23 @@ class OverlayIndex {
     SearchCallback done;
   };
 
+  /// Coordinator state of one loss-guarded pin search (Config::step_timeout
+  /// and Config::failover_after both set). The route + direct reply are
+  /// guarded by one timer; a timeout re-routes from scratch, which lands on
+  /// the surrogate owner if the original peer died mid-query.
+  struct PinState {
+    KeywordSet keywords;
+    sim::EndpointId searcher = 0;
+    int attempts = 0;
+    sim::EventQueue::TimerId timer = 0;
+    SearchStats stats;  ///< accumulates messages/retransmits across attempts
+    SearchCallback done;
+  };
+
+  PinState* find_pin(std::uint64_t pin_id);
+  /// Sends (or resends) the guarded pin query and arms its timer.
+  void pin_attempt(std::uint64_t pin_id);
+
   CumulativeState* find_session(std::uint64_t id);
   void cumulative_step(std::uint64_t session);
   /// Visits cube node `w` for the session: scans from the stored offset,
@@ -328,10 +386,14 @@ class OverlayIndex {
   /// Sends a protocol message to the peer playing cube node `target`,
   /// using a cached direct contact when available, otherwise routing
   /// through the DHT; `at_target(peer)` runs at the destination.
+  /// `on_failover`, when non-null, fires if a cached contact turned out to
+  /// be dead and the send fell back to DHT routing (the surrogate-owner
+  /// step failover).
   void send_to_cube_node(sim::EndpointId from, cube::CubeId target,
                          const char* kind, std::size_t bytes,
                          const Charge& charge,
-                         std::function<void(sim::EndpointId)> at_target);
+                         std::function<void(sim::EndpointId)> at_target,
+                         const std::function<void()>& on_failover = nullptr);
 
   void start_top_down(Request& req);
   void step_top_down(std::uint64_t req_id);
@@ -339,6 +401,10 @@ class OverlayIndex {
   void start_level(std::uint64_t req_id);
   /// Routes the initial query to the root's peer; retried on timeout.
   void begin_root_route(std::uint64_t req_id);
+  /// Degraded-mode serving: re-resolves the root through the DHT and, if
+  /// ownership moved (the root peer died), re-aims the coordinator at the
+  /// surrogate owner and marks the request degraded.
+  void failover_root(std::uint64_t req_id);
   /// Sends (or resends) the T_QUERY for node `w` and arms its step timer.
   void visit_node(std::uint64_t req_id, cube::CubeId w);
   /// Runs at the peer playing `w` when a T_QUERY arrives: scans once
@@ -384,8 +450,10 @@ class OverlayIndex {
   std::unordered_map<std::uint64_t, std::unique_ptr<Request>> requests_;
   std::unordered_map<std::uint64_t, std::unique_ptr<CumulativeState>>
       sessions_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<PinState>> pins_;
   std::uint64_t next_request_ = 1;
   std::uint64_t next_session_ = 1;
+  std::uint64_t next_pin_ = 1;
   std::uint64_t mutation_epoch_ = 0;
   TraceFn trace_;
 };

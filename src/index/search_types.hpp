@@ -43,6 +43,15 @@ struct SearchStats {
   /// The protocol gave up: some step exhausted its retransmission budget.
   /// Hits hold whatever had arrived; `complete` is false.
   bool failed = false;
+  /// Mid-query failovers: protocol steps re-aimed at a surrogate owner (or
+  /// served by only one cube of a mirrored pair) because the original
+  /// serving peer died. 0 on a stable membership.
+  std::size_t failovers = 0;
+  /// The search was served but crossed a failover: some serving peer died
+  /// mid-query and a surrogate/mirror answered instead, so the result may
+  /// silently miss entries that were lost with the peer and not yet
+  /// repaired. Completeness verdict: failed > degraded > complete.
+  bool degraded = false;
 };
 
 /// Result of a pin or superset search.

@@ -15,10 +15,13 @@ KeywordSearchService::KeywordSearchService(dht::Overlay& overlay,
   cfg.cache_capacity = options.cache_capacity;
   cfg.step_timeout = options.step_timeout;
   cfg.max_retries = options.max_retries;
-  if (options.mirror_index)
+  cfg.failover_after = options.failover_after;
+  if (options.mirror_index) {
     mirrored_ = std::make_unique<MirroredIndex>(dolr_, cfg);
-  else
+    mirrored_->set_windows(options.windows);
+  } else {
     plain_ = std::make_unique<OverlayIndex>(dolr_, cfg);
+  }
 }
 
 OverlayIndex& KeywordSearchService::primary_index() {
@@ -133,6 +136,34 @@ std::uint64_t KeywordSearchService::repair() {
   }
   dolr_.repair_replicas();
   return moved;
+}
+
+std::uint64_t KeywordSearchService::repair_step(std::size_t entry_budget,
+                                                std::size_t ref_budget) {
+  std::uint64_t work = 0;
+  if (mirrored_) {
+    mirrored_->purge_dead();
+    const std::uint64_t moved = mirrored_->repair_placement(entry_budget);
+    work += moved;
+    const std::size_t left =
+        entry_budget > moved ? entry_budget - static_cast<std::size_t>(moved)
+                             : 0;
+    work += mirrored_->resync(left);
+  } else {
+    plain_->purge_dead();
+    work += plain_->repair_placement(entry_budget);
+  }
+  work += dolr_.repair_replicas(ref_budget);
+  return work;
+}
+
+std::size_t KeywordSearchService::repair_backlog() const {
+  std::size_t backlog = dolr_.replication_backlog();
+  if (mirrored_)
+    backlog += mirrored_->misplaced_entries() + mirrored_->resync_backlog();
+  else
+    backlog += plain_->misplaced_entries();
+  return backlog;
 }
 
 }  // namespace hkws::index

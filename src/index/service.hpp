@@ -39,6 +39,13 @@ class KeywordSearchService {
     sim::Time step_timeout = 0;
     /// Retransmissions allowed per step before the search fails.
     int max_retries = 3;
+    /// Degraded-mode serving: consecutive step timeouts before a search
+    /// fails over to the surrogate owner (see OverlayIndex::Config).
+    /// 0 = off.
+    int failover_after = 0;
+    /// Windowed-metrics sink for mirror-failover observability (optional;
+    /// not owned, must outlive the service).
+    obs::WindowedMetrics* windows = nullptr;
   };
 
   KeywordSearchService(dht::Overlay& overlay, Options options);
@@ -102,6 +109,17 @@ class KeywordSearchService {
   /// Churn maintenance: drops dead peers' state, re-places misplaced index
   /// entries, restores reference replication. Returns entries moved.
   std::uint64_t repair();
+
+  /// One rate-limited slice of the repair sweep, for the background
+  /// maintenance plane: purges dead peers' state, then moves/copies at most
+  /// `entry_budget` index entries (placement repair + mirror resync) and
+  /// `ref_budget` replica copies. Returns total units of repair work done;
+  /// 0 together with repair_backlog() == 0 means the service converged.
+  std::uint64_t repair_step(std::size_t entry_budget, std::size_t ref_budget);
+
+  /// Known outstanding repair work: misplaced index entries + entries one
+  /// cube lost (mirrored only) + missing replica copies.
+  std::size_t repair_backlog() const;
 
   // --- Escape hatches ---------------------------------------------------------
 

@@ -88,13 +88,17 @@ std::string FaultPlan::to_string() const {
 }
 
 bool lossable(const std::string& kind) {
-  // Exactly the steps the OverlayIndex retransmission layer guards: the
+  // Exactly the steps the OverlayIndex retransmission layer guards — the
   // routed/direct T_QUERY, the T_CONT/T_STOP control replies, result-batch
-  // delivery, and the final done notification. Everything else (DHT routing
-  // and maintenance, publish/withdraw, pin, cumulative sessions, HyperCuP
-  // tree forwarding) has no retransmission and must not be dropped.
-  static const std::array<const char*, 5> kinds = {
-      "kws.t_query", "kws.t_cont", "kws.t_stop", "kws.results", "kws.done"};
+  // delivery, and the final done notification — plus the maintenance
+  // plane's heartbeats, which tolerate loss by design (a dropped ping or
+  // ack costs one suspicion round; confirmation needs consecutive misses).
+  // Everything else (DHT routing and maintenance, publish/withdraw, pin,
+  // cumulative sessions, HyperCuP tree forwarding) has no retransmission
+  // and must not be dropped.
+  static const std::array<const char*, 7> kinds = {
+      "kws.t_query", "kws.t_cont", "kws.t_stop", "kws.results",
+      "kws.done",    "maint.ping", "maint.ack"};
   for (const char* k : kinds)
     if (kind == k) return true;
   return false;

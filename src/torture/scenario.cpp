@@ -21,6 +21,7 @@
 #include "index/mirrored.hpp"
 #include "index/overlay_index.hpp"
 #include "index/ranking.hpp"
+#include "maint/maintenance.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
@@ -90,6 +91,9 @@ struct Ops {
       fail_peer;
   sim::EventQueue* clock = nullptr;  ///< null for in-process deployments
   sim::Network* net = nullptr;
+  /// Continuous churn: the self-healing plane racing the workload (null
+  /// when disabled — the control run). Not owned.
+  maint::MaintenancePlane* plane = nullptr;
   /// Credit/parallel schemes may return slightly more than `threshold`.
   bool overshoot_ok = false;
 };
@@ -101,11 +105,17 @@ std::string describe_query(const KeywordSet& q, std::size_t threshold) {
 }
 
 /// Checks one completed superset search against the oracle; appends
-/// violations to `rep`.
+/// violations to `rep`. With `relaxed` (continuous churn: entries may be
+/// transiently unreachable while repair races the query), only the
+/// soundness half is enforced — no false positives, no duplicates, correct
+/// payloads, monotone ranking — and completeness / delivery counts are
+/// skipped; the post-convergence verification phase restores the strict
+/// checks.
 void check_search_result(const SearchResult& r, const KeywordSet& query,
                          std::size_t threshold,
                          const std::map<ObjectId, KeywordSet>& expected,
-                         bool overshoot_ok, ScenarioReport& rep) {
+                         bool overshoot_ok, ScenarioReport& rep,
+                         bool relaxed = false) {
   // No false positives, correct hit payloads, no duplicate objects — these
   // hold even for failed/partial results.
   std::set<ObjectId> seen;
@@ -152,6 +162,17 @@ void check_search_result(const SearchResult& r, const KeywordSet& query,
   }
 
   if (r.stats.failed) return;  // partial results: subset checks were enough
+  if (relaxed) {
+    // Mid-churn a complete-looking traversal can still miss entries that
+    // sat on a just-killed peer; only over-delivery stays checkable.
+    if (threshold != 0 && !overshoot_ok && r.hits.size() > threshold)
+      rep.violations.push_back(
+          {"oracle", "thresholded search over-delivered (" +
+                         std::to_string(r.hits.size()) + " > " +
+                         std::to_string(threshold) + "); " +
+                         describe_query(query, threshold)});
+    return;
+  }
 
   if (threshold == 0) {
     if (!r.stats.complete) {
@@ -239,8 +260,19 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
     return make_kws(1, 2);
   };
 
+  // Continuous churn: kills are raw (no oracle-driven repair) and the
+  // maintenance plane heals in the background while serving continues.
+  const bool continuous = cfg.continuous_churn && ops.fail_peer != nullptr;
+
   auto drain = [&] {
-    if (ops.clock != nullptr) ops.clock->run();
+    if (ops.clock == nullptr) return;
+    if (ops.plane != nullptr && ops.plane->running()) {
+      // The plane's perpetual timers keep the queue non-empty, so drain a
+      // bounded window instead (ample for any mutation burst to land).
+      ops.clock->run_until(ops.clock->now() + 400);
+    } else {
+      ops.clock->run();
+    }
   };
 
   auto do_publish = [&] {
@@ -289,6 +321,15 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
     if (cfg.churn && ops.fail_peer != nullptr) {
       for (const FaultEvent& ev : rep.plan.events) {
         if (ev.kind != FaultKind::kFailPeer || ev.target != round) continue;
+        if (continuous) {
+          // Kill only; detection and repair are the plane's job (it tracks
+          // its own synthetic stabilization charges).
+          const std::vector<ObjectId> lost =
+              ops.fail_peer(ev.arg, oracle.live);
+          for (ObjectId id : lost) oracle.live.erase(id);
+          withdraw_safe = false;
+          continue;
+        }
         std::uint64_t m0 = 0, d0 = 0, l0 = 0;
         if (ops.net != nullptr) {
           m0 = ops.net->messages_sent();
@@ -335,9 +376,20 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
         ++outstanding;
         ++rep.searches;
         if (tracer != nullptr) tracer->instant(ts(), 0, "pin", "torture");
-        ops.pin(k, [&rep, &outstanding, k, expected](const SearchResult& r) {
+        ops.pin(k, [&rep, &outstanding, k, expected,
+                    continuous](const SearchResult& r) {
           --outstanding;
-          if (ids_of(r.hits) != expected)
+          const std::set<ObjectId> got = ids_of(r.hits);
+          if (continuous) {
+            // Mid-churn pins may under-deliver, never fabricate.
+            if (!std::includes(expected.begin(), expected.end(), got.begin(),
+                               got.end()))
+              rep.violations.push_back(
+                  {"oracle",
+                   "pin search false positive; query=" + k.to_string()});
+            return;
+          }
+          if (got != expected)
             rep.violations.push_back(
                 {"oracle", "pin search mismatch; query=" + k.to_string()});
         });
@@ -389,7 +441,7 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
         const std::uint64_t handle = ops.search(
             q, threshold,
             [&rep, &outstanding, q, threshold, expected, cancelled,
-             overshoot_ok](const SearchResult& r) {
+             overshoot_ok, continuous](const SearchResult& r) {
               if (*cancelled) {
                 rep.violations.push_back(
                     {"cancel", "callback fired after successful cancel; " +
@@ -398,7 +450,7 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
               }
               --outstanding;
               check_search_result(r, q, threshold, expected, overshoot_ok,
-                                  rep);
+                                  rep, continuous);
             });
         if (try_cancel && ops.clock != nullptr) {
           // Let the request make some progress, then abandon it.
@@ -417,7 +469,12 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
 
     // --- Pump to completion; invariants at the quiescence instant ---------
     if (ops.clock != nullptr) {
-      while (outstanding > 0 && ops.clock->step()) {
+      // With the plane running the queue never empties, so a stuck search
+      // is caught by a generous sim-time bound instead of queue exhaustion.
+      const sim::Time hang_deadline = ops.clock->now() + 60000;
+      while (outstanding > 0 &&
+             (ops.plane == nullptr || ops.clock->now() < hang_deadline) &&
+             ops.clock->step()) {
       }
       if (outstanding > 0) {
         rep.violations.push_back(
@@ -429,19 +486,25 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
         return;
       }
       // The last operation just completed: every terminal transition must
-      // have cancelled its timers and dropped its request state.
-      if (ops.clock->live_timer_count() != 0)
+      // have cancelled its timers and dropped its request state. The
+      // maintenance plane's own timers (heartbeats, repair ticker) are the
+      // one allowed residue.
+      const std::size_t allowed =
+          ops.plane != nullptr ? ops.plane->armed_timers() : 0;
+      if (ops.clock->live_timer_count() != allowed)
         rep.violations.push_back(
             {"timers", std::to_string(ops.clock->live_timer_count()) +
                            " timer(s) still live after all operations "
-                           "completed (round " + std::to_string(round) + ")"});
+                           "completed, " + std::to_string(allowed) +
+                           " allowed for the maintenance plane (round " +
+                           std::to_string(round) + ")"});
       if (ops.in_flight != nullptr && ops.in_flight() != 0)
         rep.violations.push_back(
             {"timers", std::to_string(ops.in_flight()) +
                            " request(s) leaked in the coordinator registry "
                            "(round " + std::to_string(round) + ")"});
       // Drain stragglers (duplicate copies, cancelled-timer husks).
-      ops.clock->run();
+      drain();
     } else if (outstanding != 0) {
       rep.violations.push_back(
           {"hang", "synchronous deployment left operations outstanding"});
@@ -450,6 +513,71 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
     }
     if (tracer != nullptr) tracer->end(ts(), 0);
   }
+
+  // --- Convergence phase (continuous churn) -------------------------------
+  // After the last fault the plane gets a bounded number of repair windows
+  // to report converged(); then strict verification searches must find the
+  // oracle's exact live set again — complete, not failed. Without the plane
+  // (self_healing off) the same verification runs immediately and shows
+  // what breaks: that asymmetry is the invariant this mode exists to pin.
+  if (continuous && ops.clock != nullptr && rep.ok()) {
+    if (ops.plane != nullptr) {
+      constexpr sim::Time kWindow = 100;
+      std::size_t w = 0;
+      while (!ops.plane->converged() && w < cfg.convergence_budget) {
+        ops.clock->run_until(ops.clock->now() + kWindow);
+        ++w;
+      }
+      if (!ops.plane->converged())
+        rep.violations.push_back(
+            {"convergence",
+             "maintenance plane not converged within " +
+                 std::to_string(cfg.convergence_budget) +
+                 " repair windows of " + std::to_string(kWindow) +
+                 " ticks after the last fault"});
+    }
+    if (rep.ok()) {
+      std::vector<KeywordSet> probes = recurring;
+      for (const auto& [id, k] : oracle.live) {
+        if (probes.size() >= recurring.size() + 3) break;
+        probes.push_back(KeywordSet({k.words().front()}));
+      }
+      for (const KeywordSet& q : probes) {
+        const auto expected = oracle.matches(q);
+        auto done = std::make_shared<bool>(false);
+        ops.search(q, 0,
+                   [&rep, q, expected, done](const SearchResult& r) {
+                     *done = true;
+                     if (r.stats.failed || !r.stats.complete) {
+                       rep.violations.push_back(
+                           {"convergence",
+                            "post-churn verification search " +
+                                std::string(r.stats.failed ? "failed"
+                                                           : "incomplete") +
+                                "; " + describe_query(q, 0)});
+                       return;
+                     }
+                     check_search_result(r, q, 0, expected, false, rep);
+                   });
+        const sim::Time deadline = ops.clock->now() + 20000;
+        while (!*done && ops.clock->now() < deadline && ops.clock->step()) {
+        }
+        if (!*done) {
+          rep.violations.push_back(
+              {"convergence", "post-churn verification search never "
+                              "completed; " + describe_query(q, 0)});
+          break;
+        }
+      }
+    }
+  }
+  if (ops.plane != nullptr) {
+    synthetic_messages += ops.plane->synthetic_messages();
+    ops.plane->stop();
+  }
+  // Final drain so the whole-run invariants see a quiet wire (the
+  // verification pumps above stop at first answer, not at empty queue).
+  if (ops.clock != nullptr) ops.clock->run();
 
   // --- Final whole-run invariants ----------------------------------------
   if (ops.check_occupancy != nullptr) {
@@ -763,7 +891,10 @@ void run_mirrored(const ScenarioConfig& cfg, const FaultPlan& plan,
   FaultInjector* inj = injector.get();
   auto chord = std::make_unique<dht::ChordNetwork>(
       dht::ChordNetwork::build(net, cfg.peers, {}));
-  dht::Dolr dolr(*chord);
+  // Continuous churn keeps references replicated so the DOLR layer has
+  // something to repair from; the plain scenario stays unreplicated.
+  dht::Dolr dolr(*chord,
+                 {.replication_factor = cfg.continuous_churn ? 3 : 1});
   index::MirroredIndex mi(dolr, {.r = cfg.r,
                                  .cache_capacity = cfg.cache_capacity,
                                  .step_timeout = 80,
@@ -772,10 +903,42 @@ void run_mirrored(const ScenarioConfig& cfg, const FaultPlan& plan,
   if (tracer != nullptr) obs::attach_network(*tracer, net);
 
   constexpr sim::EndpointId kHome = 1;
+  dht::ChordNetwork* c = chord.get();
+
+  // Self-healing plane: heartbeat detection over all peers plus the same
+  // stabilize/repair recipe the service layer composes, budgeted per tick.
+  std::unique_ptr<maint::MaintenancePlane> plane;
+  if (cfg.continuous_churn && cfg.self_healing) {
+    plane = std::make_unique<maint::MaintenancePlane>(
+        net, maint::MaintenancePlane::Config{},
+        [c] { c->stabilize_all(); },
+        [&mi, &dolr](std::size_t entries, std::size_t refs) {
+          mi.purge_dead();
+          const std::uint64_t moved = mi.repair_placement(entries);
+          std::uint64_t work = moved;
+          const std::size_t left =
+              entries > moved
+                  ? entries - static_cast<std::size_t>(moved)
+                  : 0;
+          work += mi.resync(left);
+          work += dolr.repair_replicas(refs);
+          return work;
+        },
+        [&mi, &dolr] {
+          return dolr.replication_backlog() + mi.misplaced_entries() +
+                 mi.resync_backlog();
+        });
+    if (tracer != nullptr) plane->set_tracer(tracer);
+    std::vector<sim::EndpointId> members;
+    for (dht::RingId id : c->live_ids())
+      members.push_back(c->endpoint_of(id));
+    plane->start(members);
+  }
 
   Ops ops;
   ops.clock = &clock;
   ops.net = &net;
+  ops.plane = plane.get();
   // Each cube may overshoot under kLevelParallel but the merge truncates
   // to the threshold, so the merged result never overshoots.
   ops.overshoot_ok = false;
@@ -811,7 +974,43 @@ void run_mirrored(const ScenarioConfig& cfg, const FaultPlan& plan,
       return err;
     return overlay_occupancy(mi.mirror(), "mirror", live);
   };
+  if (cfg.continuous_churn) {
+    // Raw kill: no stabilization, no repair — detection and healing are
+    // the plane's responsibility (or deliberately nobody's, when the
+    // self-healing control is off). Returns the objects that are gone for
+    // good: both cube placements sat on the victim, so no copy survives to
+    // repair from.
+    ops.fail_peer = [&mi, c, &plane, peers = cfg.peers](
+                        std::uint64_t ordinal,
+                        const std::map<ObjectId, KeywordSet>& live) {
+      std::vector<sim::EndpointId> candidates;
+      for (sim::EndpointId ep = 2; ep <= peers; ++ep)
+        if (c->is_live(ep)) candidates.push_back(ep);
+      if (candidates.size() < 6) return std::vector<ObjectId>{};
+      const sim::EndpointId victim = candidates[ordinal % candidates.size()];
+      if (plane != nullptr) plane->note_true_failure(victim);
+      c->fail(victim);
+      // An object is gone for good only when *neither* cube still holds
+      // its entry at a live peer (back-to-back kills in one round can take
+      // the primary and mirror copies with different victims before the
+      // plane has had any time to heal).
+      std::set<ObjectId> survivors;
+      const auto collect = [&](index::OverlayIndex& cube) {
+        cube.for_each_entry([&](cube::CubeId, const KeywordSet&, ObjectId id,
+                                sim::EndpointId ep) {
+          if (c->is_live(ep)) survivors.insert(id);
+        });
+      };
+      collect(mi.primary());
+      collect(mi.mirror());
+      std::vector<ObjectId> lost;
+      for (const auto& [id, k] : live)
+        if (!survivors.contains(id)) lost.push_back(id);
+      return lost;
+    };
+  }
   execute(cfg, ops, rep, tracer);
+  if (plane != nullptr) plane->stop();  // idempotent; covers early exits
   rep.faults_applied = inj->applied();
 }
 
@@ -907,6 +1106,19 @@ ScenarioConfig ScenarioConfig::from_seed(std::uint64_t seed, Deployment d,
   return cfg;
 }
 
+ScenarioConfig ScenarioConfig::churn_preset(std::uint64_t seed) {
+  ScenarioConfig cfg = from_seed(seed, Deployment::kMirrored,
+                                 index::SearchStrategy::kTopDownSequential);
+  cfg.churn = true;
+  cfg.continuous_churn = true;
+  cfg.self_healing = true;
+  cfg.peers = std::max<std::size_t>(cfg.peers, 16);
+  cfg.rounds = std::max<std::size_t>(cfg.rounds, 4);
+  cfg.faults.rounds = cfg.rounds;
+  cfg.faults.peer_failures = 3;
+  return cfg;
+}
+
 std::string ScenarioConfig::to_string() const {
   std::ostringstream out;
   out << "seed=" << seed << " deployment=" << torture::to_string(deployment)
@@ -914,6 +1126,9 @@ std::string ScenarioConfig::to_string() const {
       << " peers=" << peers << " objects=" << objects
       << " rounds=" << rounds << " cache=" << cache_capacity
       << (churn ? " churn" : "");
+  if (continuous_churn)
+    out << " continuous-churn"
+        << (self_healing ? " self-healing" : " no-self-healing");
   return out.str();
 }
 

@@ -70,6 +70,21 @@ struct ScenarioConfig {
   std::size_t mutations_per_round = 4;
   std::size_t cache_capacity = 0;  ///< per-node query-cache records
   bool churn = false;              ///< honor kFailPeer events (Chord only)
+  /// Continuous churn: kFailPeer events are kill-only — no oracle-driven
+  /// instant repair. A MaintenancePlane (heartbeat failure detection +
+  /// budgeted background repair) runs on the same event queue and must
+  /// detect and heal each failure while serving continues; mid-churn
+  /// search checks are relaxed to soundness (no false positives, no
+  /// duplicates, correct payloads), and strict completeness is re-checked
+  /// by post-convergence verification searches. Mirrored deployment only.
+  bool continuous_churn = false;
+  /// With continuous_churn: run the maintenance plane (true) or leave the
+  /// failures unrepaired (false — the control that shows the invariants
+  /// break without the plane).
+  bool self_healing = true;
+  /// Convergence invariant: after the last fault, the plane must report
+  /// converged() within this many 100-tick repair windows.
+  std::size_t convergence_budget = 80;
   FaultPlanConfig faults;
 
   /// Fills the size knobs from the seed and adapts the fault envelope to
@@ -77,6 +92,13 @@ struct ScenarioConfig {
   /// churn only where the repair recipe exists).
   static ScenarioConfig from_seed(std::uint64_t seed, Deployment d,
                                   index::SearchStrategy s);
+
+  /// Continuous-churn preset: mirrored deployment, several mid-run peer
+  /// kills, self-healing enabled. The scenario passes only if the
+  /// maintenance plane detects every failure and restores all invariants
+  /// (occupancy, replication, search completeness, conservation) within
+  /// the convergence budget.
+  static ScenarioConfig churn_preset(std::uint64_t seed);
 
   std::string to_string() const;
 };

@@ -175,6 +175,51 @@ TEST(Dolr, RepairRestoresReplicationAfterFailure) {
   EXPECT_GE(alive, 45);
 }
 
+TEST(Dolr, BudgetedRepairIsIdempotentAcrossSuccessiveFailures) {
+  DolrNet t(30, {.replication_factor = 3});
+  for (ObjectId o = 1; o <= 40; ++o) t.dolr->insert(1, o);
+  t.clock.run();
+
+  // The replication invariant: each object's reference sits at its owner
+  // and the owner's (factor - 1) live successors.
+  const auto fully_replicated = [&] {
+    for (ObjectId o = 1; o <= 40; ++o) {
+      const RingId owner = t.dht->owner_of(t.dolr->object_key(o));
+      if (t.dht->node(owner).refs_of(o).empty()) return false;
+      const auto& succ = t.dht->node(owner).successor_list();
+      for (std::size_t i = 0; i + 1 < 3 && i < succ.size(); ++i)
+        if (t.dht->node(succ[i]).refs_of(o).empty()) return false;
+    }
+    return true;
+  };
+
+  // One peer at a time, repairing to a fixpoint between failures: with
+  // factor 3 no reference is ever lost, and each round must restore the
+  // full factor again.
+  for (int round = 0; round < 4; ++round) {
+    sim::EndpointId victim = 0;
+    for (RingId id : t.dht->live_ids())
+      if (t.dht->endpoint_of(id) != 1) {
+        victim = t.dht->endpoint_of(id);
+        break;
+      }
+    ASSERT_NE(victim, 0u);
+    t.dht->fail(victim);
+    for (int s = 0; s < 30; ++s) t.dht->stabilize_all();
+
+    int passes = 0;
+    while (t.dolr->replication_backlog() > 0) {
+      ASSERT_LT(passes++, 200) << "repair failed to converge, round " << round;
+      t.dolr->repair_replicas(8);
+      t.clock.run();
+    }
+    // Idempotent at the fixpoint: another call finds nothing to copy.
+    EXPECT_EQ(t.dolr->repair_replicas(1000), 0u);
+    t.clock.run();
+    EXPECT_TRUE(fully_replicated()) << "round " << round;
+  }
+}
+
 TEST(Dolr, RejectsBadReplicationFactor) {
   DolrNet t(5);
   EXPECT_THROW(Dolr(*t.dht, {.replication_factor = 0}), std::invalid_argument);

@@ -10,6 +10,7 @@
 
 #include "dht/chord_network.hpp"
 #include "engine/load_driver.hpp"
+#include "obs/windowed.hpp"
 #include "workload/arrivals.hpp"
 #include "workload/query_log.hpp"
 
@@ -333,6 +334,75 @@ TEST(QueryEngine, MirroredServiceSmoke) {
     const std::size_t idx = static_cast<std::size_t>(rec.id - 1);
     EXPECT_EQ(rec.hits, ground_truth(sets, queries[idx]).size());
   }
+}
+
+// --- Degraded-mode SLO accounting --------------------------------------------
+
+// Regression for the outcome split: deadline misses (kTimedOut), protocol
+// give-ups (kFailed), and failover-served answers (kDegraded) must land in
+// separate report buckets. The degraded bucket is produced
+// deterministically via the stale-contact failover path: a first round of
+// queries warms the per-peer contact caches, then a contacted peer dies
+// *without any repair* — the next traversal that reaches for the cached
+// contact finds it stale, re-routes to the surrogate owner, and the answer
+// is flagged degraded instead of failing.
+TEST(QueryEngine, DegradedOutcomesAccountedSeparately) {
+  const auto sets = catalogue_sets();
+  const auto queries = test_queries();
+  // The right victim depends on the placement hashes, so scan candidates
+  // deterministically until one of them degrades at least one query.
+  for (sim::EndpointId victim = 2; victim <= 24; ++victim) {
+    // Query caching off: round two must re-traverse, not answer from cache.
+    EngineNet t({.r = 6,
+                 .mirror_index = true,
+                 .cache_capacity = 0,
+                 .step_timeout = 200,
+                 .max_retries = 2},
+                std::make_unique<sim::UniformLatency>(1, 20), 7);
+    publish_catalogue(t, sets);
+
+    EngineConfig cfg;
+    cfg.max_in_flight = 4;
+    cfg.search.limit = 0;
+    QueryEngine engine(*t.service, t.clock, cfg);
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      engine.submit(1, queries[i]);  // warm contact caches
+    t.clock.run();
+    t.dht->fail(victim);
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      engine.submit(1, queries[i]);  // these hit stale contacts
+    t.clock.run();
+
+    const EngineReport report = engine.report();
+    if (report.degraded == 0) continue;  // victim was never a contact
+
+    ASSERT_EQ(engine.records().size(), 2 * queries.size());
+    EXPECT_EQ(report.completed + report.degraded + report.failed,
+              report.submitted);
+    EXPECT_EQ(report.timed_out, 0u);
+    EXPECT_EQ(report.shed, 0u);
+    std::uint64_t degraded = 0, completed = 0;
+    for (const auto& rec : engine.records()) {
+      if (rec.outcome == QueryOutcome::kDegraded) {
+        ++degraded;
+        // Round one is pristine; only post-failure queries may degrade.
+        EXPECT_GT(rec.id, queries.size());
+        EXPECT_TRUE(rec.stats.degraded);
+        EXPECT_FALSE(rec.stats.failed);
+        EXPECT_GE(rec.stats.failovers, 1u);
+      } else if (rec.outcome == QueryOutcome::kCompleted) {
+        ++completed;
+        EXPECT_FALSE(rec.stats.degraded);
+      }
+    }
+    EXPECT_EQ(report.degraded, degraded);
+    EXPECT_EQ(report.completed, completed);
+    // The mid-query failovers behind the degraded answers were counted.
+    EXPECT_GE(report.failovers, report.degraded);
+    EXPECT_EQ(std::string(to_string(QueryOutcome::kDegraded)), "degraded");
+    return;
+  }
+  FAIL() << "no victim degraded any query; failover path never exercised";
 }
 
 // --- Load driver -------------------------------------------------------------

@@ -2,13 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
 #include <set>
+#include <string>
 
 #include "common/rng.hpp"
 #include "dht/chord_network.hpp"
+#include "obs/windowed.hpp"
 
 namespace hkws::index {
 namespace {
@@ -195,6 +198,115 @@ TEST(Mirrored, CostIsRoughlyDoubled) {
             single->stats.nodes_contacted * 3 / 2);
   EXPECT_LE(mirrored.stats.nodes_contacted,
             single->stats.nodes_contacted * 3);
+}
+
+TEST(Mirrored, BudgetedResyncConvergesCubesAfterFailures) {
+  MirrorNet t(12, {.r = 6});
+  const auto objects = sample_objects(80, 52);
+  std::size_t i = 0;
+  for (const auto& [id, k] : objects) t.index->publish(1 + (i++ % 12), id, k);
+  t.clock.run();
+
+  t.dht->fail(3);
+  t.dht->fail(7);
+  for (int round = 0; round < 30; ++round) t.dht->stabilize_all();
+  t.index->purge_dead();
+  t.index->repair_placement();
+  t.clock.run();
+  ASSERT_GT(t.index->resync_backlog(), 0u);
+
+  // Anti-entropy in slices of 8: each pass reindexes a bounded batch, the
+  // routed copies land, and the backlog shrinks until the cubes agree.
+  int passes = 0;
+  while (t.index->resync_backlog() > 0) {
+    ASSERT_LT(passes++, 100) << "resync failed to converge";
+    t.index->resync(8);
+    t.clock.run();
+  }
+  // Idempotent at the fixpoint: nothing left to copy.
+  EXPECT_EQ(t.index->resync(100), 0u);
+  t.clock.run();
+
+  // Both cubes now index the same surviving entries, so a single-cube scan
+  // matches the mirrored union exactly.
+  const auto merged = t.superset(KeywordSet({"base"}));
+  std::optional<SearchResult> primary_only;
+  t.index->primary().superset_search(
+      1, KeywordSet({"base"}), 0, SearchStrategy::kTopDownSequential,
+      [&](const SearchResult& r) { primary_only = r; });
+  t.clock.run();
+  ASSERT_TRUE(primary_only.has_value());
+  EXPECT_EQ(ids_of(merged.hits), ids_of(primary_only->hits));
+}
+
+/// Drops every message of one kind originated by one endpoint — the
+/// surgical fault that silences a single cube's pin replies. (Matching on
+/// the sender, not the receiver, keeps the other cube's multi-hop route
+/// safe even if it transits the victim.)
+class TargetedDrop final : public sim::DropModel {
+ public:
+  TargetedDrop(std::string kind, sim::EndpointId from)
+      : kind_(std::move(kind)), from_(from) {}
+  bool drop(sim::EndpointId from, sim::EndpointId, const std::string& kind,
+            Rng&) override {
+    return from == from_ && kind == kind_;
+  }
+
+ private:
+  std::string kind_;
+  sim::EndpointId from_;
+};
+
+TEST(Mirrored, SingleCubeFailoverCountedAndWindowed) {
+  MirrorNet t(16, {.r = 6, .step_timeout = 50, .max_retries = 2,
+                   .failover_after = 2});
+  obs::WindowedMetrics windows(100);
+  t.index->set_windows(&windows);
+
+  // Find a keyword set whose primary and mirror pin roots live on
+  // different peers, so starving the primary root leaves the mirror whole.
+  KeywordSet k;
+  sim::EndpointId primary_root = 0;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    k = KeywordSet({"fo" + std::to_string(attempt)});
+    const auto pk = t.index->primary().ring_key_of(
+        t.index->primary().responsible_node(k));
+    const auto mk = t.index->mirror().ring_key_of(
+        t.index->mirror().responsible_node(k));
+    const sim::EndpointId pe = t.dht->endpoint_of(t.dht->owner_of(pk));
+    const sim::EndpointId me = t.dht->endpoint_of(t.dht->owner_of(mk));
+    // The root must not be the searcher (self-sends bypass the drop model).
+    if (pe != me && pe != 2) {
+      primary_root = pe;
+      break;
+    }
+  }
+  ASSERT_NE(primary_root, 0u);
+  t.index->publish(1, 9, k);
+  t.clock.run();
+
+  // Silence the primary cube's pin replies: its retries exhaust and that
+  // traversal reports failure while the mirror answers — the merge must
+  // turn this into a degraded (not failed) result and count the failover.
+  t.net->set_drop_model(std::make_unique<TargetedDrop>("kws.pin_reply",
+                                                       primary_root));
+  std::optional<SearchResult> result;
+  t.index->pin_search(2, k, [&](const SearchResult& r) { result = r; });
+  t.clock.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->stats.failed);
+  EXPECT_TRUE(result->stats.degraded);
+  EXPECT_GE(result->stats.failovers, 1u);
+  EXPECT_EQ(ids_of(result->hits), (std::set<ObjectId>{9}));
+
+  EXPECT_EQ(t.index->failover_count(), 1u);
+  EXPECT_EQ(t.net->metrics().counter("kws.mirror_failover"), 1u);
+  std::uint64_t windowed = 0;
+  for (const auto& [w, win] : windows.windows()) {
+    const auto it = win.counters.find("mirror.failover");
+    if (it != win.counters.end()) windowed += it->second;
+  }
+  EXPECT_EQ(windowed, 1u);
 }
 
 }  // namespace

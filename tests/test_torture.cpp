@@ -52,6 +52,10 @@ TEST(FaultPlan, LossableCoversExactlyTheRetransmissionGuardedKinds) {
   EXPECT_TRUE(lossable("kws.t_stop"));
   EXPECT_TRUE(lossable("kws.results"));
   EXPECT_TRUE(lossable("kws.done"));
+  // Heartbeats tolerate loss by design: a dropped ping/ack costs one
+  // suspicion round, confirmation needs consecutive misses.
+  EXPECT_TRUE(lossable("maint.ping"));
+  EXPECT_TRUE(lossable("maint.ack"));
   EXPECT_FALSE(lossable("kws.c_results"));  // cumulative: no retransmission
   EXPECT_FALSE(lossable("dolr.insert"));
   EXPECT_FALSE(lossable("dht.lookup"));
@@ -148,6 +152,60 @@ TEST(Torture, CatchesStalenessBugOverTheWireToo) {
   const ScenarioReport caught = runner.run(cfg);
   ASSERT_FALSE(caught.ok());
   EXPECT_EQ(caught.violations[0].invariant, "oracle");
+}
+
+// Continuous churn: peers are killed mid-run with *no* oracle-driven
+// repair; the self-healing maintenance plane must detect each failure by
+// heartbeat and heal incrementally while serving continues. The same
+// scenario with the plane disabled must be caught — that asymmetry is the
+// acceptance meta-test for the plane.
+TEST(Torture, ContinuousChurnHealsWithPlaneAndFailsWithout) {
+  ScenarioRunner runner;
+  // Seed 3's preset schedules kills that strand index entries; known to
+  // converge with the plane and be caught without it.
+  const ScenarioConfig healed = ScenarioConfig::churn_preset(3);
+  ASSERT_TRUE(healed.continuous_churn);
+  ASSERT_GE(healed.faults.peer_failures, 2u);
+  const ScenarioReport good = runner.run(healed);
+  EXPECT_TRUE(good.ok()) << good.to_string();
+  EXPECT_GT(good.searches, 0u);
+
+  ScenarioConfig control = healed;
+  control.self_healing = false;
+  const ScenarioReport caught = runner.run(control);
+  ASSERT_FALSE(caught.ok());
+
+  // Reproduced bit-identically from the same seed.
+  const ScenarioReport again = runner.run(control);
+  ASSERT_FALSE(again.ok());
+  ASSERT_EQ(again.violations.size(), caught.violations.size());
+  EXPECT_EQ(again.violations[0].detail, caught.violations[0].detail);
+}
+
+TEST(Torture, ContinuousChurnPresetSweepIsGreen) {
+  ScenarioRunner runner;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const ScenarioReport rep = runner.run(ScenarioConfig::churn_preset(seed));
+    EXPECT_TRUE(rep.ok()) << rep.to_string();
+  }
+}
+
+TEST(Shrink, ChurnFailureShrinksToThePeerFailures) {
+  // The no-plane control fails because of the kills, not the message
+  // faults: shrinking must keep at least one kFailPeer event and strip the
+  // drops/dups/delays.
+  ScenarioRunner runner;
+  ScenarioConfig control = ScenarioConfig::churn_preset(3);
+  control.self_healing = false;
+  const FaultPlan plan = FaultPlan::from_seed(control.seed, control.faults);
+  ASSERT_GT(plan.count(FaultKind::kFailPeer), 0u);
+  ASSERT_GT(plan.events.size(), plan.count(FaultKind::kFailPeer));
+  const ShrinkResult min = shrink_plan(runner, control, plan);
+  EXPECT_FALSE(min.report.ok());
+  EXPECT_GE(min.plan.count(FaultKind::kFailPeer), 1u);
+  EXPECT_EQ(min.plan.events.size(), min.plan.count(FaultKind::kFailPeer))
+      << "message faults survived shrinking: " << min.plan.to_string();
+  EXPECT_GT(min.runs, 1u);
 }
 
 TEST(Shrink, RemovesEveryIrrelevantFaultEvent) {

@@ -53,21 +53,28 @@ void usage(const char* argv0) {
       "          [--deployment direct|chord|pastry|hypercup|mirrored|"
       "decomposed]\n"
       "          [--strategy top-down|bottom-up|level-parallel]\n"
-      "          [--no-shrink] [--verbose]\n"
+      "          [--churn] [--no-heal] [--no-shrink] [--verbose]\n"
       "\n"
       "Without --seed: sweeps COUNT seeds (default 15) starting at --start\n"
       "(default 1) over every strategy x deployment combination. With\n"
       "--seed: replays that single seed (optionally filtered), shrinking\n"
-      "the fault schedule of any failure.\n",
+      "the fault schedule of any failure.\n"
+      "\n"
+      "--churn: continuous-churn preset (mirrored deployment, kill-only\n"
+      "peer failures, self-healing maintenance plane racing the workload).\n"
+      "Adds the *convergence invariant*: after the last fault the plane\n"
+      "must report converged() — failures detected, placement and mirror\n"
+      "backlogs drained, replication restored — within a bounded number of\n"
+      "repair windows, after which strict verification searches must match\n"
+      "the oracle exactly. --no-heal disables the plane (the control run\n"
+      "that demonstrates the invariants break without it).\n",
       argv0);
 }
 
 /// Runs one scenario; on failure prints the seed, the (optionally
 /// minimized) fault schedule, and the violations. Returns whether it passed.
-bool run_one(ScenarioRunner& runner, std::uint64_t seed, Deployment d,
-             SearchStrategy s, bool shrink, bool verbose,
-             std::size_t& scenarios) {
-  const ScenarioConfig cfg = ScenarioConfig::from_seed(seed, d, s);
+bool run_one(ScenarioRunner& runner, const ScenarioConfig& cfg, bool shrink,
+             bool verbose, std::size_t& scenarios) {
   ScenarioReport rep = runner.run(cfg);
   ++scenarios;
   if (rep.ok()) {
@@ -89,10 +96,15 @@ bool run_one(ScenarioRunner& runner, std::uint64_t seed, Deployment d,
     rep = min.report;
   }
   std::printf("%s", rep.to_string().c_str());
-  std::printf("reproduce: tools/torture --seed %llu --deployment %s "
-              "--strategy %s\n",
-              static_cast<unsigned long long>(seed), to_string(d),
-              to_string(s));
+  if (cfg.continuous_churn)
+    std::printf("reproduce: tools/torture --churn%s --seed %llu\n",
+                cfg.self_healing ? "" : " --no-heal",
+                static_cast<unsigned long long>(cfg.seed));
+  else
+    std::printf("reproduce: tools/torture --seed %llu --deployment %s "
+                "--strategy %s\n",
+                static_cast<unsigned long long>(cfg.seed),
+                to_string(cfg.deployment), to_string(cfg.strategy));
   return false;
 }
 
@@ -106,6 +118,8 @@ int main(int argc, char** argv) {
   std::optional<SearchStrategy> only_strategy;
   bool shrink = true;
   bool verbose = false;
+  bool churn = false;
+  bool heal = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -134,6 +148,10 @@ int main(int argc, char** argv) {
         usage(argv[0]);
         return 2;
       }
+    } else if (arg == "--churn") {
+      churn = true;
+    } else if (arg == "--no-heal") {
+      heal = false;
     } else if (arg == "--no-shrink") {
       shrink = false;
     } else if (arg == "--verbose" || arg == "-v") {
@@ -149,6 +167,14 @@ int main(int argc, char** argv) {
   std::size_t failures = 0;
 
   const auto sweep_seed = [&](std::uint64_t seed) {
+    if (churn) {
+      // Continuous-churn preset: one mirrored scenario per seed, the
+      // self-healing plane racing kill-only failures (unless --no-heal).
+      ScenarioConfig cfg = ScenarioConfig::churn_preset(seed);
+      cfg.self_healing = heal;
+      if (!run_one(runner, cfg, shrink, verbose, scenarios)) ++failures;
+      return;
+    }
     for (Deployment d : kDeployments) {
       if (only_deployment && d != *only_deployment) continue;
       for (SearchStrategy s : kStrategies) {
@@ -157,7 +183,8 @@ int main(int argc, char** argv) {
         if (d == Deployment::kHyperCup &&
             s != SearchStrategy::kTopDownSequential && !only_strategy)
           continue;
-        if (!run_one(runner, seed, d, s, shrink, verbose, scenarios))
+        if (!run_one(runner, ScenarioConfig::from_seed(seed, d, s), shrink,
+                     verbose, scenarios))
           ++failures;
       }
     }
