@@ -1,0 +1,270 @@
+// Search-cost benchmark for the superset-search fast path: what one
+// level-parallel superset search costs on the wire and in table-scan work,
+// swept over hypercube dimension r, query size, and co-host visit
+// coalescing on/off. Per cell it reports:
+//
+//   - messages/query and bytes/query (wire cost, from the network counters)
+//   - visits/query and rounds/query (traversal size, from SearchStats)
+//   - coalesced batches and coalesced visits per query (fast-path uptake)
+//   - end-to-end latency p50/p90/p99 under heavy-tailed link latency
+//   - table-scan work per query: posting-list candidates examined,
+//     signature rejects, exact subset checks, and matches delivered, next
+//     to `linear_equivalent` — the entries a full-table linear scan would
+//     have touched for the same queries (the pre-signature baseline)
+//
+// The same seeded query log drives the coalesce-on and coalesce-off runs
+// of a cell, and the benchmark fails (exit 1) if any query's hit sequence
+// differs between them, if coalescing costs wire messages on warm
+// contacts, or if the signature index fails to beat the linear baseline.
+//
+// Scale knobs:
+//   HYPERKWS_SEARCH_OBJECTS  corpus size        (default 12000)
+//   HYPERKWS_SEARCH_QUERIES  queries per cell   (default 200)
+//   HYPERKWS_SEARCH_PEERS    physical peers     (default 48)
+//
+// Machine-readable results land in BENCH_search.json (cwd).
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "dht/chord_network.hpp"
+#include "index/overlay_index.hpp"
+
+namespace {
+
+using namespace hkws;
+
+constexpr double kLatencyMedian = 30.0;  // ticks (~ms): WAN-ish one-way
+constexpr double kLatencySigma = 0.45;
+
+std::size_t peer_count() {
+  return bench::env_size("HYPERKWS_SEARCH_PEERS", 48);
+}
+
+struct Deployment {
+  sim::EventQueue clock;
+  std::unique_ptr<sim::Network> net;
+  std::unique_ptr<dht::ChordNetwork> dht;
+  std::unique_ptr<dht::Dolr> dolr;
+  std::unique_ptr<index::OverlayIndex> index;
+
+  Deployment(int r, bool coalesce, const workload::Corpus& corpus) {
+    const std::size_t peers = peer_count();
+    net = std::make_unique<sim::Network>(
+        clock,
+        std::make_unique<sim::LogNormalLatency>(kLatencyMedian,
+                                                kLatencySigma),
+        /*seed=*/7);
+    dht = std::make_unique<dht::ChordNetwork>(
+        dht::ChordNetwork::build(*net, peers, {}));
+    dolr = std::make_unique<dht::Dolr>(*dht);
+    index = std::make_unique<index::OverlayIndex>(
+        *dolr, index::OverlayIndex::Config{.r = r,
+                                           .coalesce_visits = coalesce});
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      const auto& rec = corpus[i];
+      index->publish(1 + i % peers, rec.id, rec.keywords);
+      if (i % 512 == 511) clock.run();  // keep the event heap shallow
+    }
+    clock.run();
+  }
+
+  index::SearchResult search(const KeywordSet& query) {
+    std::optional<index::SearchResult> result;
+    index->superset_search(2, query, 0,
+                           index::SearchStrategy::kLevelParallel,
+                           [&](const index::SearchResult& r) { result = r; });
+    clock.run();
+    return result.value_or(index::SearchResult{});
+  }
+};
+
+/// Queries of exactly `size` keywords, sampled from real corpus records so
+/// they land in populated subcubes. Seeded per (r, size): the coalesce-on
+/// and coalesce-off runs of a cell replay the identical log.
+std::vector<KeywordSet> make_queries(const workload::Corpus& corpus,
+                                     std::size_t size, std::size_t count,
+                                     std::uint64_t seed) {
+  std::vector<KeywordSet> out;
+  Rng rng(seed);
+  while (out.size() < count) {
+    const auto& rec = corpus[rng.next_below(corpus.size())];
+    const auto& words = rec.keywords.words();
+    if (words.size() < size) continue;
+    std::vector<Keyword> pick;
+    while (pick.size() < size) {
+      const Keyword& w = words[rng.next_below(words.size())];
+      bool dup = false;
+      for (const Keyword& p : pick) dup |= (p == w);
+      if (!dup) pick.push_back(w);
+    }
+    out.emplace_back(std::move(pick));
+  }
+  return out;
+}
+
+/// 64-bit digest of a hit sequence (objects and keyword sets, in order) —
+/// enough to prove the coalesce-on and coalesce-off sequences identical.
+std::uint64_t digest(const std::vector<index::Hit>& hits) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const index::Hit& hit : hits) {
+    h = mix64(h ^ hit.object);
+    h = mix64(h ^ hit.keywords.hash());
+  }
+  return h;
+}
+
+struct Cell {
+  int r = 0;
+  std::size_t query_size = 0;
+  bool coalesce = false;
+  double messages = 0, bytes = 0, visits = 0, rounds = 0;
+  double batches = 0, batched_visits = 0;
+  double p50 = 0, p90 = 0, p99 = 0;
+  double candidates = 0, rejects = 0, checks = 0, matches = 0, linear = 0;
+  std::vector<std::uint64_t> digests;
+};
+
+Cell run_cell(Deployment& dep, const std::vector<KeywordSet>& queries, int r,
+              std::size_t query_size, bool coalesce) {
+  Cell cell{.r = r, .query_size = query_size, .coalesce = coalesce};
+  // Warm pass: resolves every contact through the DHT so the measured pass
+  // sees steady-state routing (and, coalesce-on, actually coalesces).
+  for (const KeywordSet& q : queries) dep.search(q);
+
+  dep.index->reset_scan_stats();
+  const std::uint64_t msg0 = dep.net->messages_sent();
+  const std::uint64_t bytes0 = dep.net->metrics().counter("net.bytes");
+  std::vector<double> latencies;
+  latencies.reserve(queries.size());
+  for (const KeywordSet& q : queries) {
+    const sim::Time t0 = dep.clock.now();
+    const index::SearchResult res = dep.search(q);
+    latencies.push_back(static_cast<double>(dep.clock.now() - t0));
+    cell.visits += static_cast<double>(res.stats.nodes_contacted);
+    cell.rounds += static_cast<double>(res.stats.rounds);
+    cell.batches += static_cast<double>(res.stats.coalesced_batches);
+    cell.batched_visits += static_cast<double>(res.stats.coalesced_visits);
+    cell.digests.push_back(digest(res.hits));
+  }
+  const double n = static_cast<double>(queries.size());
+  cell.messages = static_cast<double>(dep.net->messages_sent() - msg0) / n;
+  cell.bytes =
+      static_cast<double>(dep.net->metrics().counter("net.bytes") - bytes0) /
+      n;
+  cell.visits /= n;
+  cell.rounds /= n;
+  cell.batches /= n;
+  cell.batched_visits /= n;
+  const std::vector<double> ps = percentiles(latencies, {0.5, 0.9, 0.99});
+  cell.p50 = ps[0];
+  cell.p90 = ps[1];
+  cell.p99 = ps[2];
+  const index::IndexTable::ScanStats scan = dep.index->scan_stats();
+  cell.candidates = static_cast<double>(scan.candidates) / n;
+  cell.rejects = static_cast<double>(scan.signature_rejects) / n;
+  cell.checks = static_cast<double>(scan.subset_checks) / n;
+  cell.matches = static_cast<double>(scan.matches) / n;
+  cell.linear = static_cast<double>(scan.linear_equivalent) / n;
+  return cell;
+}
+
+void print_cell(const Cell& c) {
+  std::printf(
+      "r=%-2d |q|=%zu coalesce=%-3s  msg/q %8.1f  bytes/q %10.0f  "
+      "visits/q %7.1f  batches/q %6.1f  p50 %5.0f p99 %6.0f  "
+      "cand/q %8.1f  linear/q %10.1f\n",
+      c.r, c.query_size, c.coalesce ? "on" : "off", c.messages, c.bytes,
+      c.visits, c.batches, c.p50, c.p99, c.candidates, c.linear);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t objects =
+      hkws::bench::env_size("HYPERKWS_SEARCH_OBJECTS", 12000);
+  const std::size_t queries =
+      hkws::bench::env_size("HYPERKWS_SEARCH_QUERIES", 200);
+  hkws::bench::banner("search_perf: superset-search wire and scan cost");
+  std::printf("objects=%zu queries/cell=%zu peers=%zu\n", objects, queries,
+              peer_count());
+
+  const workload::Corpus corpus = hkws::bench::paper_corpus(objects);
+  std::vector<Cell> cells;
+  bool identical_hits = true;
+  bool coalesce_saves = true;
+  bool signature_sublinear = true;
+
+  for (const int r : {8, 10}) {
+    Deployment on(r, true, corpus);
+    Deployment off(r, false, corpus);
+    for (const std::size_t qsize : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{3}}) {
+      const std::vector<KeywordSet> log = make_queries(
+          corpus, qsize, queries,
+          0x5ea4c4ULL ^ (static_cast<std::uint64_t>(r) << 8) ^ qsize);
+      Cell a = run_cell(on, log, r, qsize, true);
+      Cell b = run_cell(off, log, r, qsize, false);
+      print_cell(a);
+      print_cell(b);
+      if (a.digests != b.digests) {
+        std::printf("FAIL: hit sequences differ (r=%d |q|=%zu)\n", r, qsize);
+        identical_hits = false;
+      }
+      if (a.messages > b.messages) {
+        std::printf("FAIL: coalescing costs messages (r=%d |q|=%zu)\n", r,
+                    qsize);
+        coalesce_saves = false;
+      }
+      for (const Cell& c : {a, b})
+        if (c.candidates >= c.linear && c.linear > 0) {
+          std::printf("FAIL: signature scan not sublinear (r=%d |q|=%zu)\n",
+                      r, qsize);
+          signature_sublinear = false;
+        }
+      cells.push_back(std::move(a));
+      cells.push_back(std::move(b));
+    }
+  }
+
+  std::ofstream json("BENCH_search.json");
+  json << "{\"objects\":" << objects << ",\"queries_per_cell\":" << queries
+       << ",\"peers\":" << peer_count() << ",\"strategy\":\"level_parallel\""
+       << ",\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    if (i) json << ",";
+    json << "{\"r\":" << c.r << ",\"query_size\":" << c.query_size
+         << ",\"coalesce\":" << (c.coalesce ? "true" : "false")
+         << ",\"messages_per_query\":" << c.messages
+         << ",\"bytes_per_query\":" << c.bytes
+         << ",\"visits_per_query\":" << c.visits
+         << ",\"rounds_per_query\":" << c.rounds
+         << ",\"coalesced_batches_per_query\":" << c.batches
+         << ",\"coalesced_visits_per_query\":" << c.batched_visits
+         << ",\"latency_p50\":" << c.p50 << ",\"latency_p90\":" << c.p90
+         << ",\"latency_p99\":" << c.p99
+         << ",\"scan\":{\"candidates_per_query\":" << c.candidates
+         << ",\"signature_rejects_per_query\":" << c.rejects
+         << ",\"subset_checks_per_query\":" << c.checks
+         << ",\"matches_per_query\":" << c.matches
+         << ",\"linear_equivalent_per_query\":" << c.linear << "}}";
+  }
+  json << "],\"checks\":{\"identical_hits\":"
+       << (identical_hits ? "true" : "false")
+       << ",\"coalesce_saves_messages\":"
+       << (coalesce_saves ? "true" : "false") << ",\"signature_sublinear\":"
+       << (signature_sublinear ? "true" : "false") << "}}\n";
+  json.close();
+  std::printf("wrote BENCH_search.json\n");
+
+  const bool ok = identical_hits && coalesce_saves && signature_sublinear;
+  if (!ok) std::printf("search_perf: FAILED acceptance checks\n");
+  return ok ? 0 : 1;
+}

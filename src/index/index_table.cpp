@@ -3,8 +3,13 @@
 namespace hkws::index {
 
 bool IndexTable::add(const KeywordSet& keywords, ObjectId object) {
-  const bool inserted = entries_[keywords].insert(object).second;
+  const auto [it, fresh] = entries_.try_emplace(keywords);
+  const bool inserted = it->second.insert(object).second;
   if (inserted) ++objects_;
+  if (fresh) {
+    signatures_.emplace(&it->first, keywords.signature());
+    for (const Keyword& w : it->first) postings_[w].insert(it);
+  }
   return inserted;
 }
 
@@ -13,7 +18,15 @@ bool IndexTable::remove(const KeywordSet& keywords, ObjectId object) {
   if (it == entries_.end()) return false;
   if (it->second.erase(object) == 0) return false;
   --objects_;
-  if (it->second.empty()) entries_.erase(it);
+  if (it->second.empty()) {
+    for (const Keyword& w : it->first) {
+      const auto pit = postings_.find(w);
+      pit->second.erase(it);
+      if (pit->second.empty()) postings_.erase(pit);
+    }
+    signatures_.erase(&it->first);
+    entries_.erase(it);
+  }
   return true;
 }
 
@@ -27,6 +40,50 @@ void IndexTable::for_each_superset(
     const KeywordSet& query,
     const std::function<bool(const KeywordSet&, const std::set<ObjectId>&)>&
         fn) const {
+  ++scan_.scans;
+  scan_.linear_equivalent += entries_.size();
+
+  // The empty query matches every entry; there is no posting list to
+  // intersect, so walk the map directly (same order either way).
+  if (query.empty()) {
+    for (const auto& [k, objects] : entries_) {
+      ++scan_.candidates;
+      ++scan_.matches;
+      if (!fn(k, objects)) return;
+    }
+    return;
+  }
+
+  // Every superset entry appears on each query keyword's posting list, so
+  // it suffices to scan the smallest one. A query keyword nobody indexes
+  // means no supersets at all.
+  const PostingList* smallest = nullptr;
+  for (const Keyword& w : query) {
+    const auto pit = postings_.find(w);
+    if (pit == postings_.end()) return;
+    if (smallest == nullptr || pit->second.size() < smallest->size())
+      smallest = &pit->second;
+  }
+
+  const std::uint64_t sig_q = query.signature();
+  for (const EntryMap::const_iterator it : *smallest) {
+    ++scan_.candidates;
+    if ((sig_q & ~signatures_.find(&it->first)->second) != 0) {
+      ++scan_.signature_rejects;
+      continue;
+    }
+    if (it->first.size() < query.size()) continue;
+    ++scan_.subset_checks;
+    if (!query.subset_of(it->first)) continue;
+    ++scan_.matches;
+    if (!fn(it->first, it->second)) return;
+  }
+}
+
+void IndexTable::for_each_superset_linear(
+    const KeywordSet& query,
+    const std::function<bool(const KeywordSet&, const std::set<ObjectId>&)>&
+        fn) const {
   for (const auto& [k, objects] : entries_) {
     if (k.size() < query.size()) continue;
     if (!query.subset_of(k)) continue;
@@ -35,16 +92,28 @@ void IndexTable::for_each_superset(
 }
 
 std::vector<Hit> IndexTable::supersets(const KeywordSet& query,
-                                       std::size_t limit) const {
+                                       std::size_t limit,
+                                       bool* truncated) const {
   std::vector<Hit> hits;
+  bool cut = false;
   for_each_superset(query, [&](const KeywordSet& k,
                                const std::set<ObjectId>& objects) {
+    // Re-check at entry granularity too: when the previous entry filled the
+    // batch exactly, the next matching entry proves objects were left out.
+    if (limit != 0 && hits.size() >= limit) {
+      cut = true;
+      return false;
+    }
     for (ObjectId o : objects) {
-      if (limit != 0 && hits.size() >= limit) return false;
+      if (limit != 0 && hits.size() >= limit) {
+        cut = true;
+        return false;
+      }
       hits.push_back(Hit{o, k});
     }
-    return limit == 0 || hits.size() < limit;
+    return true;
   });
+  if (truncated != nullptr) *truncated = cut;
   return hits;
 }
 

@@ -3,12 +3,22 @@
 // A node u holds entries only for keyword sets K with F_h(K) = u (the set
 // R_u); the table itself doesn't enforce that — placement is the business
 // of the index services that own tables.
+//
+// Superset lookups are signature-indexed: each entry carries a 64-bit
+// Bloom-style keyword signature, and a per-keyword posting list maps every
+// keyword to the entries containing it. A query scans only the smallest
+// posting list among its keywords and rejects non-supersets with one
+// `(sig_q & ~sig_k)` test before falling back to the exact subset check.
+// Posting lists are ordered by keyword-set value, so iteration order is
+// identical to a full scan of the underlying std::map — callers (result
+// batching, cumulative sessions, the torture oracle) rely on that order.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/keyword.hpp"
@@ -26,6 +36,19 @@ struct Hit {
 
 class IndexTable {
  public:
+  /// Cumulative work counters for superset scans, for measuring what the
+  /// signature index saves against the linear baseline (`linear_equivalent`
+  /// accumulates entry_count() per scan — the entries a full scan would
+  /// have touched). Mutable bookkeeping; lookups stay logically const.
+  struct ScanStats {
+    std::uint64_t scans = 0;              ///< for_each_superset calls
+    std::uint64_t candidates = 0;         ///< posting-list entries examined
+    std::uint64_t signature_rejects = 0;  ///< cut by (sig_q & ~sig_k) != 0
+    std::uint64_t subset_checks = 0;      ///< exact subset_of evaluations
+    std::uint64_t matches = 0;            ///< entries delivered to callers
+    std::uint64_t linear_equivalent = 0;  ///< entries a linear scan would touch
+  };
+
   /// Adds <keywords, object>. Returns false if it was already present.
   bool add(const KeywordSet& keywords, ObjectId object);
 
@@ -43,9 +66,21 @@ class IndexTable {
       const std::function<bool(const KeywordSet&, const std::set<ObjectId>&)>&
           fn) const;
 
+  /// The pre-signature linear scan over every entry. Kept as the reference
+  /// implementation: differential tests pin for_each_superset to it, and
+  /// bench/search_perf uses it as the scan-work baseline. Same contract
+  /// and iteration order as for_each_superset.
+  void for_each_superset_linear(
+      const KeywordSet& query,
+      const std::function<bool(const KeywordSet&, const std::set<ObjectId>&)>&
+          fn) const;
+
   /// Flattened superset matches, at most `limit` objects (no limit if 0).
-  std::vector<Hit> supersets(const KeywordSet& query,
-                             std::size_t limit = 0) const;
+  /// If `truncated` is non-null, it is set to true iff at least one
+  /// matching object was cut off by `limit` — including the silent case
+  /// where the cut lands mid-way through one entry's object set.
+  std::vector<Hit> supersets(const KeywordSet& query, std::size_t limit = 0,
+                             bool* truncated = nullptr) const;
 
   /// Number of distinct <K, object> pairs (the paper's "index size" unit).
   std::size_t object_count() const noexcept { return objects_; }
@@ -59,9 +94,30 @@ class IndexTable {
     return entries_;
   }
 
+  const ScanStats& scan_stats() const noexcept { return scan_; }
+  void reset_scan_stats() const noexcept { scan_ = {}; }
+
  private:
-  std::map<KeywordSet, std::set<ObjectId>> entries_;
+  using EntryMap = std::map<KeywordSet, std::set<ObjectId>>;
+
+  /// Posting lists hold iterators into entries_ (stable in std::map),
+  /// ordered by the entry's keyword set so posting-list iteration matches
+  /// full-map iteration order.
+  struct ByKeywordSet {
+    bool operator()(EntryMap::const_iterator a,
+                    EntryMap::const_iterator b) const {
+      return a->first < b->first;
+    }
+  };
+  using PostingList = std::set<EntryMap::const_iterator, ByKeywordSet>;
+
+  EntryMap entries_;
+  std::map<Keyword, PostingList> postings_;
+  /// Entry signature, keyed by the address of the entry's map key (stable
+  /// for the life of the entry) to avoid duplicating the keyword sets.
+  std::unordered_map<const KeywordSet*, std::uint64_t> signatures_;
   std::size_t objects_ = 0;
+  mutable ScanStats scan_;
 };
 
 }  // namespace hkws::index

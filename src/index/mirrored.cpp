@@ -58,6 +58,10 @@ SearchResult MirroredIndex::merge(const SearchResult& a,
   merged.stats.cache_hit = a.stats.cache_hit && b.stats.cache_hit;
   merged.stats.complete = a.stats.complete || b.stats.complete;
   merged.stats.retransmits = a.stats.retransmits + b.stats.retransmits;
+  merged.stats.coalesced_batches =
+      a.stats.coalesced_batches + b.stats.coalesced_batches;
+  merged.stats.coalesced_visits =
+      a.stats.coalesced_visits + b.stats.coalesced_visits;
   merged.stats.failovers = a.stats.failovers + b.stats.failovers;
   merged.stats.degraded = a.stats.degraded || b.stats.degraded;
   // Either cube answering in full serves the query; failed only when both

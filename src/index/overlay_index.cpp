@@ -377,6 +377,7 @@ bool OverlayIndex::cancel(std::uint64_t request) {
 
 void OverlayIndex::start_top_down(Request& req) {
   // The root examines its own index table first (paper step 0).
+  req.visit_order.push_back(req.root_cube);
   const Visit& v0 = ensure_scan(req, req.root_cube, req.root_peer);
   const std::size_t c0 = v0.c1;
   req.collected += c0;
@@ -443,7 +444,8 @@ void OverlayIndex::start_top_down(Request& req) {
 }
 
 OverlayIndex::Visit& OverlayIndex::ensure_scan(Request& req, cube::CubeId w,
-                                               sim::EndpointId peer) {
+                                               sim::EndpointId peer,
+                                               bool ship) {
   auto [it, fresh] = req.visits.try_emplace(w);
   Visit& v = it->second;
   if (fresh) {
@@ -451,18 +453,21 @@ OverlayIndex::Visit& OverlayIndex::ensure_scan(Request& req, cube::CubeId w,
     PeerState& ps = peer_state(peer);
     if (const auto tit = ps.tables.find(w); tit != ps.tables.end()) {
       const std::size_t want = room(req);
-      v.batch = tit->second.supersets(req.query,
-                                      want == kUnlimited ? 0 : want);
+      v.batch = tit->second.supersets(
+          req.query, want == kUnlimited ? 0 : want, &v.truncated);
     }
     v.c1 = v.batch.size();
     // Control verdict is fixed at first scan so retransmitted arrivals
-    // replay the identical reply (collected may have moved on since).
+    // replay the identical reply (collected may have moved on since). The
+    // table's truncation indicator stands in for "the want limit filled":
+    // a cut-off scan means the threshold is reached with this batch, even
+    // when the cut landed mid-way through one entry's object set.
     v.stop = req.mode != Mode::kLevels && req.threshold != 0 &&
-             req.collected + v.c1 >= req.threshold;
+             (v.truncated || req.collected + v.c1 >= req.threshold);
     if (v.c1 > 0) ++req.results_expected;
     emit(req.id, "scan", w, peer);
   }
-  if (v.c1 > 0) {
+  if (v.c1 > 0 && ship) {
     // Matching IDs travel directly to the searcher (paper protocol); a
     // retransmitted query replays the same batch, deduplicated there.
     ++req.stats.messages;
@@ -484,9 +489,22 @@ void OverlayIndex::on_results(std::uint64_t req_id, cube::CubeId w,
   Request* r = find(req_id);
   if (!r) return;
   if (!r->delivered.insert(w).second) return;  // duplicate replay
-  r->hits.insert(r->hits.end(), batch.begin(), batch.end());
+  r->node_hits.emplace(w, batch);
   ++r->results_received;
   maybe_complete(req_id);
+}
+
+std::vector<Hit> OverlayIndex::assemble_hits(const Request& req) const {
+  std::size_t total = 0;
+  for (const auto& [w, batch] : req.node_hits) total += batch.size();
+  std::vector<Hit> out;
+  out.reserve(total);
+  for (const cube::CubeId w : req.visit_order) {
+    const auto it = req.node_hits.find(w);
+    if (it == req.node_hits.end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
 }
 
 void OverlayIndex::on_query_arrived(std::uint64_t req_id, cube::CubeId w,
@@ -596,6 +614,7 @@ void OverlayIndex::step_top_down(std::uint64_t req_id) {
   const cube::CubeId w = req->queue.front().first;
   req->queue.pop_front();
   ++req->stats.rounds;
+  req->visit_order.push_back(w);
   visit_node(req_id, w);
 }
 
@@ -609,6 +628,7 @@ void OverlayIndex::step_plan(std::uint64_t req_id) {
   }
   const cube::CubeId w = req->plan[req->plan_pos++];
   ++req->stats.rounds;
+  req->visit_order.push_back(w);
   visit_node(req_id, w);
 }
 
@@ -620,13 +640,116 @@ void OverlayIndex::start_level(std::uint64_t req_id) {
     finish(req_id);
     return;
   }
-  const auto& nodes = req->levels[req->level];
+  // Copy: visit_node/send_visit_batch below may touch peers_, and req
+  // itself must not be dereferenced after dispatching (a local round trip
+  // could complete the request in place).
+  const std::vector<cube::CubeId> nodes = req->levels[req->level];
   ++req->level;
   ++req->stats.levels;
   ++req->stats.rounds;
   req->outstanding = nodes.size();
   emit(req_id, "level", req->level - 1, nodes.size());
+  for (const cube::CubeId w : nodes) req->visit_order.push_back(w);
+
+  if (cfg_.coalesce_visits && cfg_.cache_contacts) {
+    // Group this round's nodes by live cached contact; two or more nodes
+    // co-hosted at one peer travel as a single VisitBatch wire message.
+    // Nodes without a usable contact (cold cache, dead peer) go through
+    // visit_node, which handles DHT routing and surrogate failover.
+    std::unordered_map<sim::EndpointId, std::vector<cube::CubeId>> groups;
+    std::unordered_map<cube::CubeId, sim::EndpointId> co_host;
+    {
+      const PeerState& ps = peer_state(req->root_peer);
+      for (const cube::CubeId w : nodes) {
+        const auto it = ps.contacts.find(w);
+        if (it != ps.contacts.end() && net_.is_registered(it->second)) {
+          groups[it->second].push_back(w);
+          co_host.emplace(w, it->second);
+        }
+      }
+    }
+    // Dispatch in level order: a group goes out when its first member is
+    // reached, so the wire order is deterministic.
+    std::unordered_set<sim::EndpointId> batched;
+    for (const cube::CubeId w : nodes) {
+      const auto cit = co_host.find(w);
+      if (cit == co_host.end() || groups[cit->second].size() < 2) {
+        visit_node(req_id, w);
+        continue;
+      }
+      if (batched.insert(cit->second).second)
+        send_visit_batch(req_id, cit->second, groups[cit->second]);
+    }
+    return;
+  }
   for (const cube::CubeId w : nodes) visit_node(req_id, w);
+}
+
+void OverlayIndex::send_visit_batch(std::uint64_t req_id, sim::EndpointId peer,
+                                    const std::vector<cube::CubeId>& nodes) {
+  Request* req = find(req_id);
+  if (!req) return;
+  ++req->stats.messages;
+  ++req->stats.coalesced_batches;
+  req->stats.coalesced_visits += nodes.size();
+  net_.metrics().count("kws.coalesced_visits", nodes.size());
+  emit(req_id, "coalesce", peer, nodes.size());
+  net_.send(req->root_peer, peer, "kws.visit_batch",
+            kCtrlBytes + nodes.size() * 8,
+            [this, req_id, peer, nodes] {
+              on_visit_batch_arrived(req_id, nodes, peer);
+            });
+  // The usual per-node step guards: a lost batch (or reply) retransmits
+  // each node individually via visit_node, replaying the memoized scans.
+  for (const cube::CubeId w : nodes) arm_step_timer(req_id, w);
+}
+
+void OverlayIndex::on_visit_batch_arrived(
+    std::uint64_t req_id, const std::vector<cube::CubeId>& nodes,
+    sim::EndpointId peer) {
+  Request* req = find(req_id);
+  if (!req) return;
+  // Scan every co-hosted node (memoized — idempotent when the batch is
+  // duplicated or raced by an individual retransmission), then merge: one
+  // result message carrying per-node batches to the searcher, one control
+  // reply carrying per-node verdicts to the coordinator. Nodes with empty
+  // batches ride along in the reply for free.
+  std::vector<std::pair<cube::CubeId, std::vector<Hit>>> batches;
+  std::vector<std::pair<cube::CubeId, std::size_t>> verdicts;
+  std::size_t total_hits = 0;
+  for (const cube::CubeId w : nodes) {
+    if (!req->visits.contains(w)) ++req->stats.nodes_contacted;
+    const Visit& v = ensure_scan(*req, w, peer, /*ship=*/false);
+    verdicts.emplace_back(w, v.c1);
+    if (v.c1 > 0) {
+      batches.emplace_back(w, v.batch);
+      total_hits += v.c1;
+    }
+  }
+  if (cfg_.step_timeout == 0) {
+    // No retransmission: the memoized batches will never be replayed.
+    for (const cube::CubeId w : nodes) {
+      Visit& v = req->visits[w];
+      v.batch.clear();
+      v.batch.shrink_to_fit();
+    }
+  }
+  if (total_hits > 0) {
+    ++req->stats.messages;
+    net_.send(peer, req->searcher, "kws.batch_results",
+              total_hits * kHitBytes + batches.size() * 8,
+              [this, req_id, batches = std::move(batches)] {
+                for (const auto& [w, batch] : batches)
+                  on_results(req_id, w, batch);
+              });
+  }
+  ++req->stats.messages;
+  net_.send(peer, req->root_peer, "kws.batch_reply",
+            kCtrlBytes + verdicts.size() * 12,
+            [this, req_id, peer, verdicts = std::move(verdicts)] {
+              for (const auto& [w, c1] : verdicts)
+                on_node_answered(req_id, w, peer, c1);
+            });
 }
 
 void OverlayIndex::on_node_answered(std::uint64_t req_id, cube::CubeId w,
@@ -804,7 +927,7 @@ void OverlayIndex::abort_request(std::uint64_t req_id) {
   net_.metrics().count("kws.request_failed");
   emit(req_id, "failed");
   SearchResult result;
-  result.hits = std::move(req->hits);
+  result.hits = assemble_hits(*req);
   result.stats = req->stats;
   result.stats.failed = true;
   result.stats.complete = false;
@@ -824,7 +947,7 @@ void OverlayIndex::maybe_complete(std::uint64_t req_id) {
   }
   release_timers(*req);
   SearchResult result;
-  result.hits = std::move(req->hits);
+  result.hits = assemble_hits(*req);
   result.stats = req->stats;
   SearchCallback cb = std::move(req->done);
   requests_.erase(req_id);
@@ -1173,6 +1296,26 @@ std::vector<std::size_t> OverlayIndex::loads_by_cube_node() const {
     for (const auto& [u, table] : ps.tables)
       loads[static_cast<std::size_t>(u)] += table.object_count();
   return loads;
+}
+
+IndexTable::ScanStats OverlayIndex::scan_stats() const {
+  IndexTable::ScanStats total;
+  for (const auto& [ep, ps] : peers_)
+    for (const auto& [u, table] : ps.tables) {
+      const IndexTable::ScanStats& s = table.scan_stats();
+      total.scans += s.scans;
+      total.candidates += s.candidates;
+      total.signature_rejects += s.signature_rejects;
+      total.subset_checks += s.subset_checks;
+      total.matches += s.matches;
+      total.linear_equivalent += s.linear_equivalent;
+    }
+  return total;
+}
+
+void OverlayIndex::reset_scan_stats() const {
+  for (const auto& [ep, ps] : peers_)
+    for (const auto& [u, table] : ps.tables) table.reset_scan_stats();
 }
 
 }  // namespace hkws::index

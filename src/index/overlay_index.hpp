@@ -14,6 +14,21 @@
 //    searcher (as in the paper); the final `done` notification carries the
 //    number of result messages sent so the searcher can complete exactly
 //    when everything has arrived regardless of message reordering.
+//  * Co-host visit coalescing (Config::coalesce_visits): when a
+//    level-parallel round would visit several logical cube nodes whose
+//    g-mapping resolves to the same cached physical contact, the
+//    coordinator merges them into one `kws.visit_batch` wire message. The
+//    peer scans every co-hosted node, ships a single `kws.batch_results`
+//    message carrying per-logical-node batches to the searcher, and one
+//    `kws.batch_reply` control message to the coordinator (empty co-hosted
+//    nodes ride along for free). Per-node step timers stay armed: a lost
+//    batch falls back to individual retransmission, which replays each
+//    node's memoized scan, so loss tolerance and surrogate failover are
+//    unchanged. See docs/PERF.md.
+//  * Hit assembly is deterministic: each node's result batch is buffered
+//    by origin and concatenated in dispatch (visit) order at completion,
+//    so the hit sequence is independent of message arrival order — and
+//    byte-identical with coalescing on or off.
 //  * Superset search optionally runs with loss-tolerant delivery: when
 //    Config::step_timeout is set, every protocol step (root contact,
 //    per-node T_QUERY, the T_CONT/T_STOP reply, result delivery, and the
@@ -58,6 +73,11 @@ class OverlayIndex {
     std::uint64_t ring_salt = seeds::kCubeToDht;
     std::size_t cache_capacity = 0;  ///< per-node query-cache records; 0 = off
     bool cache_contacts = true;      ///< learn cube-node -> peer contacts
+    /// Merge a level-parallel round's visits to co-hosted cube nodes (same
+    /// cached live contact) into one VisitBatch wire message per peer.
+    /// Needs cache_contacts; only cuts messages once contacts are warm.
+    /// Results are byte-identical either way (see protocol notes above).
+    bool coalesce_visits = true;
     /// Superset-search retransmission timeout in ticks; 0 disables loss
     /// tolerance (legacy behaviour: a lost message stalls the request until
     /// someone cancels it). Choose > the round-trip p99 to avoid spurious
@@ -161,6 +181,7 @@ class OverlayIndex {
   /// One protocol milestone of an in-flight request. Points currently
   /// emitted: "root" (a = root peer, b = route hops), "scan" (a = cube
   /// node, b = peer that served it), "level" (a = level index, b = width),
+  /// "coalesce" (a = co-host peer, b = visits merged into the batch),
   /// "retransmit" (a = cube node or root cube), "failed" (budget
   /// exhausted). See docs/ENGINE.md for the schema.
   struct Trace {
@@ -248,6 +269,12 @@ class OverlayIndex {
   /// Objects indexed per cube node (placement snapshot across all peers).
   std::vector<std::size_t> loads_by_cube_node() const;
 
+  /// Aggregate superset-scan work counters summed over every index table on
+  /// every peer (see IndexTable::ScanStats); the search-cost benchmark uses
+  /// the delta against `linear_equivalent` to price the signature index.
+  IndexTable::ScanStats scan_stats() const;
+  void reset_scan_stats() const;
+
   /// Global index mutation epoch: bumped whenever any index table gains or
   /// loses an entry (publish/withdraw/reindex/deindex/repair/purge). Query
   /// caches stamp entries with the epoch; a lookup under a newer epoch is a
@@ -270,6 +297,7 @@ class OverlayIndex {
     sim::EndpointId peer = 0;
     std::size_t c1 = 0;       ///< matches found at first scan
     bool stop = false;        ///< control verdict computed at first scan
+    bool truncated = false;   ///< the want limit cut matching objects off
     std::vector<Hit> batch;   ///< kept only while retransmission is on
   };
 
@@ -314,7 +342,12 @@ class OverlayIndex {
     bool level_stop = false;
     // Common bookkeeping.
     std::size_t collected = 0;
-    std::vector<Hit> hits;  // accumulates at the searcher
+    /// Cube nodes in dispatch order (root first). Hit batches buffered in
+    /// node_hits are concatenated in this order at completion, making the
+    /// hit sequence independent of message arrival order (and identical
+    /// to the LogicalIndex traversal order on lossless runs).
+    std::vector<cube::CubeId> visit_order;
+    std::unordered_map<cube::CubeId, std::vector<Hit>> node_hits;
     std::vector<std::pair<cube::CubeId, std::uint32_t>> contributors;
     SearchStats stats;
     std::size_t results_expected = 0;
@@ -413,9 +446,25 @@ class OverlayIndex {
   void on_query_arrived(std::uint64_t req_id, cube::CubeId w,
                         sim::EndpointId peer);
   /// First-scan memoization: scans `w` at `peer` for the request if this is
-  /// the first arrival and ships the batch to the searcher (replaying the
-  /// memoized batch on retransmitted arrivals).
-  Visit& ensure_scan(Request& req, cube::CubeId w, sim::EndpointId peer);
+  /// the first arrival and — unless `ship` is false — ships the batch to
+  /// the searcher (replaying the memoized batch on retransmitted arrivals).
+  /// With ship=false the caller owns delivery (the VisitBatch path merges
+  /// several nodes' batches into one message) and, when retransmission is
+  /// off, releasing the memoized batches afterwards.
+  Visit& ensure_scan(Request& req, cube::CubeId w, sim::EndpointId peer,
+                     bool ship = true);
+  /// Sends one merged VisitBatch message covering this round's cube nodes
+  /// co-hosted at `peer`, arming the usual per-node step timers.
+  void send_visit_batch(std::uint64_t req_id, sim::EndpointId peer,
+                        const std::vector<cube::CubeId>& nodes);
+  /// Runs at the co-host peer: scans every node of the batch (memoized),
+  /// ships one merged result message to the searcher and one merged
+  /// control reply to the coordinator. Idempotent under retransmission.
+  void on_visit_batch_arrived(std::uint64_t req_id,
+                              const std::vector<cube::CubeId>& nodes,
+                              sim::EndpointId peer);
+  /// Concatenates the buffered per-node batches in visit order.
+  std::vector<Hit> assemble_hits(const Request& req) const;
   void on_results(std::uint64_t req_id, cube::CubeId w,
                   const std::vector<Hit>& batch);
   void on_node_answered(std::uint64_t req_id, cube::CubeId w,

@@ -5,19 +5,30 @@
 
 namespace hkws::index {
 
+namespace {
+
+// Extra-keyword count |K_hit| - |query|, clamped at zero. A well-formed
+// hit always has K_hit ⊇ query, but a malformed one (buggy backend,
+// fault-injected duplicate) can arrive with fewer keywords — the unsigned
+// subtraction would wrap to a huge count and corrupt the ranking, so such
+// hits are grouped with the exact matches instead.
+std::size_t extra_count(const Hit& h, const KeywordSet& query) noexcept {
+  return h.keywords.size() >= query.size() ? h.keywords.size() - query.size()
+                                           : 0;
+}
+
+}  // namespace
+
 std::map<std::size_t, std::vector<Hit>> group_by_extra(
     const std::vector<Hit>& hits, const KeywordSet& query) {
   std::map<std::size_t, std::vector<Hit>> groups;
-  for (const Hit& h : hits)
-    groups[h.keywords.size() - query.size()].push_back(h);
+  for (const Hit& h : hits) groups[extra_count(h, query)].push_back(h);
   return groups;
 }
 
 void order_hits(std::vector<Hit>& hits, const KeywordSet& query,
                 RankingPreference pref) {
-  const auto extra = [&](const Hit& h) {
-    return h.keywords.size() - query.size();
-  };
+  const auto extra = [&](const Hit& h) { return extra_count(h, query); };
   std::stable_sort(hits.begin(), hits.end(), [&](const Hit& a, const Hit& b) {
     return pref == RankingPreference::kGeneralFirst ? extra(a) < extra(b)
                                                     : extra(a) > extra(b);
@@ -58,12 +69,17 @@ std::optional<KeywordSet> expand_query(const std::vector<Hit>& hits,
   std::map<Keyword, std::size_t> coverage;
   for (const Hit& h : hits)
     for (const Keyword& w : h.keywords.difference(query)) ++coverage[w];
-  // The best expansion keyword splits the set closest to the middle:
-  // it keeps a substantial subset while maximally narrowing the search.
+  // The best expansion keyword splits the set closest to the middle: it
+  // keeps a substantial subset while maximally narrowing the search. Only
+  // keywords meeting min_share are eligible — filtering *before* picking
+  // the gap, so a rare keyword near the half mark can't shadow a viable
+  // dominant one.
   const double half = static_cast<double>(hits.size()) / 2.0;
+  const double floor = min_share * static_cast<double>(hits.size());
   const Keyword* best = nullptr;
   double best_gap = 0;
   for (const auto& [w, count] : coverage) {
+    if (static_cast<double>(count) < floor) continue;
     const double gap = std::abs(static_cast<double>(count) - half);
     if (best == nullptr || gap < best_gap) {
       best = &w;
@@ -71,9 +87,6 @@ std::optional<KeywordSet> expand_query(const std::vector<Hit>& hits,
     }
   }
   if (best == nullptr) return std::nullopt;
-  if (static_cast<double>(coverage[*best]) <
-      min_share * static_cast<double>(hits.size()))
-    return std::nullopt;
   return query.union_with(KeywordSet({*best}));
 }
 

@@ -40,6 +40,12 @@ struct SearchStats {
   /// Protocol-message retransmissions triggered by loss timeouts (always 0
   /// on a lossless network or with retransmission disabled).
   std::size_t retransmits = 0;
+  /// Co-host coalescing (level-parallel only): merged VisitBatch wire
+  /// messages sent, and logical node visits that rode one. Each batch of n
+  /// visits replaces n T_QUERYs, up to n result messages, and n control
+  /// replies with at most three messages.
+  std::size_t coalesced_batches = 0;
+  std::size_t coalesced_visits = 0;
   /// The protocol gave up: some step exhausted its retransmission budget.
   /// Hits hold whatever had arrived; `complete` is false.
   bool failed = false;

@@ -89,16 +89,21 @@ std::string FaultPlan::to_string() const {
 
 bool lossable(const std::string& kind) {
   // Exactly the steps the OverlayIndex retransmission layer guards — the
-  // routed/direct T_QUERY, the T_CONT/T_STOP control replies, result-batch
+  // routed/direct T_QUERY, the coalesced VisitBatch round (its merged
+  // results and control reply included: per-node step timers cover every
+  // node of a lost batch, and the retransmit path replays each memoized
+  // scan individually), the T_CONT/T_STOP control replies, result-batch
   // delivery, and the final done notification — plus the maintenance
   // plane's heartbeats, which tolerate loss by design (a dropped ping or
   // ack costs one suspicion round; confirmation needs consecutive misses).
   // Everything else (DHT routing and maintenance, publish/withdraw, pin,
   // cumulative sessions, HyperCuP tree forwarding) has no retransmission
   // and must not be dropped.
-  static const std::array<const char*, 7> kinds = {
-      "kws.t_query", "kws.t_cont", "kws.t_stop", "kws.results",
-      "kws.done",    "maint.ping", "maint.ack"};
+  static const std::array<const char*, 10> kinds = {
+      "kws.t_query", "kws.t_cont", "kws.t_stop",
+      "kws.results", "kws.done",   "kws.visit_batch",
+      "kws.batch_results", "kws.batch_reply",
+      "maint.ping",  "maint.ack"};
   for (const char* k : kinds)
     if (kind == k) return true;
   return false;

@@ -790,6 +790,10 @@ void run_overlay(const ScenarioConfig& cfg, const FaultPlan& plan,
   dht::Dolr dolr(*overlay);
   index::OverlayIndex oi(dolr, {.r = cfg.r,
                                 .cache_capacity = cfg.cache_capacity,
+                                // Exercise the VisitBatch path under faults:
+                                // the conservation and soundness invariants
+                                // must hold with coalesced rounds too.
+                                .coalesce_visits = true,
                                 .step_timeout = 80,
                                 .max_retries = 8});
   // Faults start only now: overlay construction traffic stays pristine.
@@ -897,6 +901,7 @@ void run_mirrored(const ScenarioConfig& cfg, const FaultPlan& plan,
                  {.replication_factor = cfg.continuous_churn ? 3 : 1});
   index::MirroredIndex mi(dolr, {.r = cfg.r,
                                  .cache_capacity = cfg.cache_capacity,
+                                 .coalesce_visits = true,
                                  .step_timeout = 80,
                                  .max_retries = 8});
   net.set_fault_model(std::move(injector));

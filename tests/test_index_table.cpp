@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
 namespace hkws::index {
 namespace {
 
@@ -92,6 +97,132 @@ TEST(IndexTable, DisjointQueryMatchesNothing) {
   IndexTable t;
   t.add(KeywordSet({"a", "b"}), 1);
   EXPECT_TRUE(t.supersets(KeywordSet({"z"})).empty());
+}
+
+// Pins the deterministic hit order: entries are visited in keyword-set
+// (std::map) order regardless of insertion order, and objects within an
+// entry in ascending id order. Result batching, cumulative sessions and
+// the torture oracle all rely on this exact sequence.
+TEST(IndexTable, SupersetHitOrderIsKeywordSetOrder) {
+  IndexTable t;
+  t.add(KeywordSet({"q", "z"}), 9);
+  t.add(KeywordSet({"a", "q"}), 4);
+  t.add(KeywordSet({"a", "q"}), 3);
+  t.add(KeywordSet({"m", "n", "q"}), 7);
+  t.add(KeywordSet({"b", "q"}), 5);
+
+  const auto hits = t.supersets(KeywordSet({"q"}));
+  ASSERT_EQ(hits.size(), 5u);
+  EXPECT_EQ(hits[0].keywords, KeywordSet({"a", "q"}));
+  EXPECT_EQ(hits[0].object, 3u);
+  EXPECT_EQ(hits[1].keywords, KeywordSet({"a", "q"}));
+  EXPECT_EQ(hits[1].object, 4u);
+  EXPECT_EQ(hits[2].keywords, KeywordSet({"b", "q"}));
+  EXPECT_EQ(hits[2].object, 5u);
+  EXPECT_EQ(hits[3].keywords, KeywordSet({"m", "n", "q"}));
+  EXPECT_EQ(hits[3].object, 7u);
+  EXPECT_EQ(hits[4].keywords, KeywordSet({"q", "z"}));
+  EXPECT_EQ(hits[4].object, 9u);
+}
+
+// The limit boundary in detail: cutting mid-entry keeps the prefix of the
+// entry's object set, and the truncation flag reports the cut — including
+// the silent case where the limit lands exactly on an entry boundary but
+// matching objects remain beyond it.
+TEST(IndexTable, SupersetLimitMidEntryBoundary) {
+  IndexTable t;
+  t.add(KeywordSet({"a", "q"}), 1);
+  t.add(KeywordSet({"a", "q"}), 2);
+  t.add(KeywordSet({"a", "q"}), 3);
+  t.add(KeywordSet({"b", "q"}), 4);
+
+  bool truncated = false;
+  auto hits = t.supersets(KeywordSet({"q"}), 2, &truncated);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].object, 1u);
+  EXPECT_EQ(hits[1].object, 2u);
+  EXPECT_TRUE(truncated);  // cut inside <{a,q}, {1,2,3}>
+
+  hits = t.supersets(KeywordSet({"q"}), 3, &truncated);
+  EXPECT_EQ(hits.size(), 3u);
+  EXPECT_TRUE(truncated);  // exact entry boundary, but {b,q} remains
+
+  hits = t.supersets(KeywordSet({"q"}), 4, &truncated);
+  EXPECT_EQ(hits.size(), 4u);
+  EXPECT_FALSE(truncated);  // exactly everything
+
+  hits = t.supersets(KeywordSet({"q"}), 0, &truncated);
+  EXPECT_EQ(hits.size(), 4u);
+  EXPECT_FALSE(truncated);  // no limit, nothing cut
+}
+
+// Differential check: the signature-indexed scan must produce the same
+// (entry, objects) sequence as the retained linear reference scan, on a
+// randomized table, across add/remove churn and query shapes.
+TEST(IndexTable, SignatureScanMatchesLinearReference) {
+  Rng rng(0x5eed5);
+  const std::vector<std::string> vocab = {"a", "b", "c", "d", "e",
+                                          "f", "g", "h", "i", "j"};
+  IndexTable t;
+  std::vector<std::pair<KeywordSet, ObjectId>> live;
+  for (int step = 0; step < 400; ++step) {
+    if (live.empty() || rng.next_double() < 0.7) {
+      std::vector<Keyword> words;
+      const std::size_t n = 1 + rng.next_below(4);
+      for (std::size_t i = 0; i < n; ++i)
+        words.push_back(vocab[rng.next_below(vocab.size())]);
+      const KeywordSet k(words);
+      const auto object = static_cast<ObjectId>(rng.next_below(64));
+      if (t.add(k, object)) live.emplace_back(k, object);
+    } else {
+      const std::size_t pick = rng.next_below(live.size());
+      EXPECT_TRUE(t.remove(live[pick].first, live[pick].second));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+
+    // Probe with a random query (sometimes empty, sometimes unindexed).
+    std::vector<Keyword> qwords;
+    const std::size_t qn = rng.next_below(4);
+    for (std::size_t i = 0; i < qn; ++i)
+      qwords.push_back(vocab[rng.next_below(vocab.size())]);
+    if (rng.next_double() < 0.1) qwords.push_back("unseen");
+    const KeywordSet query(qwords);
+
+    std::vector<Hit> fast;
+    t.for_each_superset(query, [&](const KeywordSet& k,
+                                   const std::set<ObjectId>& objects) {
+      for (ObjectId o : objects) fast.push_back(Hit{o, k});
+      return true;
+    });
+    std::vector<Hit> ref;
+    t.for_each_superset_linear(query, [&](const KeywordSet& k,
+                                          const std::set<ObjectId>& objects) {
+      for (ObjectId o : objects) ref.push_back(Hit{o, k});
+      return true;
+    });
+    ASSERT_EQ(fast, ref) << "query=" << query.to_string();
+  }
+}
+
+// The signature index must actually skip work: on a table where most
+// entries don't contain the probe keyword, candidates examined stay far
+// below what the linear scan would touch.
+TEST(IndexTable, ScanStatsShowSublinearWork) {
+  IndexTable t;
+  for (ObjectId o = 0; o < 200; ++o)
+    t.add(KeywordSet({"bulk" + std::to_string(o)}), o);
+  t.add(KeywordSet({"rare", "x"}), 1000);
+  t.add(KeywordSet({"rare", "y"}), 1001);
+
+  t.reset_scan_stats();
+  const auto hits = t.supersets(KeywordSet({"rare"}));
+  EXPECT_EQ(hits.size(), 2u);
+  const auto& s = t.scan_stats();
+  EXPECT_EQ(s.scans, 1u);
+  EXPECT_EQ(s.candidates, 2u);  // only the "rare" posting list
+  EXPECT_EQ(s.matches, 2u);
+  EXPECT_EQ(s.linear_equivalent, t.entry_count());
+  EXPECT_LT(s.candidates, s.linear_equivalent);
 }
 
 }  // namespace

@@ -55,6 +55,44 @@ TEST(Ranking, OrderingIsStableWithinATier) {
   EXPECT_EQ(hits[3].object, 5u);
 }
 
+// Regression: a malformed hit with *fewer* keywords than the query (buggy
+// backend, fault-injected duplicate) used to wrap the unsigned subtraction
+// |K_hit| - |query| to a huge "extra" count. It must be clamped to the
+// exact-match tier, not explode the group map or sort to the wrong end.
+TEST(Ranking, MalformedHitDoesNotUnderflowGrouping) {
+  const KeywordSet query({"q", "r"});
+  std::vector<Hit> hits{
+      Hit{1, KeywordSet({"q", "r", "a"})},  // 1 extra
+      Hit{2, KeywordSet({"q"})},            // malformed: fewer than query
+      Hit{3, KeywordSet({"q", "r"})},       // exact
+  };
+  const auto groups = group_by_extra(hits, query);
+  ASSERT_EQ(groups.size(), 2u);  // tiers 0 and 1 only — no 2^64-ish key
+  EXPECT_EQ(groups.begin()->first, 0u);
+  EXPECT_EQ(groups.rbegin()->first, 1u);
+  ASSERT_EQ(groups.at(0).size(), 2u);  // malformed clamps to the exact tier
+  EXPECT_EQ(groups.at(0)[0].object, 2u);
+  EXPECT_EQ(groups.at(0)[1].object, 3u);
+}
+
+TEST(Ranking, MalformedHitDoesNotUnderflowOrdering) {
+  const KeywordSet query({"q", "r"});
+  std::vector<Hit> hits{
+      Hit{1, KeywordSet({"q", "r", "a", "b"})},  // 2 extra
+      Hit{2, KeywordSet({"q"})},                 // malformed
+      Hit{3, KeywordSet({"q", "r", "a"})},       // 1 extra
+  };
+  order_hits(hits, query, RankingPreference::kGeneralFirst);
+  // The malformed hit ranks as an exact match (0 extra), not as a hit
+  // with ~2^64 extras pushed to the specific end.
+  EXPECT_EQ(hits[0].object, 2u);
+  EXPECT_EQ(hits[1].object, 3u);
+  EXPECT_EQ(hits[2].object, 1u);
+
+  order_hits(hits, query, RankingPreference::kSpecificFirst);
+  EXPECT_EQ(hits.back().object, 2u);
+}
+
 TEST(Ranking, SampleRefinementsGroupsByExtraSet) {
   const auto samples = sample_refinements(sample_hits(), KeywordSet({"q"}), 2);
   // Categories: {a} (objects 2,5), {b} (3), {a,b} (4); exact match skipped.
@@ -115,6 +153,25 @@ TEST(Ranking, ExpandQueryRespectsMinShare) {
   // "rare" covers ~4.8% of hits: below the default 25% floor.
   EXPECT_FALSE(expand_query(hits, KeywordSet({"q"})).has_value());
   EXPECT_TRUE(expand_query(hits, KeywordSet({"q"}), 0.01).has_value());
+}
+
+// Regression: the old implementation chose the best half-split keyword
+// first and only then applied min_share — so a rare keyword sitting closer
+// to the half mark made expansion fail even though a dominant keyword
+// passed the share floor. Eligibility must be filtered before the pick.
+TEST(Ranking, ExpandQueryRareKeywordDoesNotShadowViableOne) {
+  // 10 hits: "dom" covers 9 (share 0.9, gap |9-5|=4), "rare" covers 4
+  // (share 0.4 — below the 0.5 floor, but gap |4-5|=1 wins on distance).
+  std::vector<Hit> hits;
+  for (ObjectId o = 1; o <= 4; ++o)
+    hits.push_back(Hit{o, KeywordSet({"q", "dom", "rare"})});
+  for (ObjectId o = 5; o <= 9; ++o)
+    hits.push_back(Hit{o, KeywordSet({"q", "dom"})});
+  hits.push_back(Hit{10, KeywordSet({"q"})});
+
+  const auto expanded = expand_query(hits, KeywordSet({"q"}), 0.5);
+  ASSERT_TRUE(expanded.has_value());  // pre-fix: nullopt ("rare" shadowed)
+  EXPECT_EQ(*expanded, KeywordSet({"dom", "q"}));
 }
 
 TEST(Ranking, ExpandQueryEmptyCases) {

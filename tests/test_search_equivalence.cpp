@@ -1,0 +1,261 @@
+// Byte-identical equivalence of the superset-search fast path: the
+// signature-indexed tables and the co-host VisitBatch coalescing are pure
+// optimisations, so on seeded lossless runs the distributed OverlayIndex
+// must produce the exact hit sequence (objects AND keyword sets, in order)
+// of the in-process LogicalIndex reference — with coalescing on, with it
+// off, with cold and with warm contact caches, and regardless of message
+// latency, because hit assembly is deterministic in visit order. Ranking
+// is applied on top and must agree too.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "cube/sbt.hpp"
+#include "dht/chord_network.hpp"
+#include "index/keyword_hash.hpp"
+#include "index/logical_index.hpp"
+#include "index/overlay_index.hpp"
+#include "index/ranking.hpp"
+
+namespace hkws::index {
+namespace {
+
+constexpr int kR = 6;
+constexpr std::size_t kPeers = 16;
+constexpr std::size_t kObjects = 160;
+constexpr std::size_t kVocab = 12;
+
+std::map<ObjectId, KeywordSet> corpus(std::uint64_t seed) {
+  std::map<ObjectId, KeywordSet> out;
+  Rng rng(seed);
+  for (ObjectId id = 1; id <= kObjects; ++id) {
+    std::vector<Keyword> words;
+    const std::size_t n = 1 + rng.next_below(4);
+    for (std::size_t i = 0; i < n; ++i)
+      words.push_back("w" + std::to_string(rng.next_below(kVocab)));
+    out[id] = KeywordSet(std::move(words));
+  }
+  return out;
+}
+
+struct Deployment {
+  sim::EventQueue clock;
+  std::unique_ptr<sim::Network> net;
+  std::unique_ptr<dht::ChordNetwork> dht;
+  std::unique_ptr<dht::Dolr> dolr;
+  std::unique_ptr<OverlayIndex> index;
+
+  Deployment(bool coalesce, std::unique_ptr<sim::LatencyModel> latency) {
+    net = std::make_unique<sim::Network>(clock, std::move(latency));
+    dht = std::make_unique<dht::ChordNetwork>(
+        dht::ChordNetwork::build(*net, kPeers, {}));
+    dolr = std::make_unique<dht::Dolr>(*dht);
+    index = std::make_unique<OverlayIndex>(
+        *dolr, OverlayIndex::Config{.r = kR, .coalesce_visits = coalesce});
+    for (const auto& [id, k] : corpus(0xc0ffee)) index->publish(1, id, k);
+    clock.run();
+  }
+
+  SearchResult search(const KeywordSet& query, std::size_t threshold,
+                      SearchStrategy strategy) {
+    std::optional<SearchResult> result;
+    index->superset_search(2, query, threshold, strategy,
+                           [&](const SearchResult& r) { result = r; });
+    clock.run();
+    EXPECT_TRUE(result.has_value());
+    return result.value_or(SearchResult{});
+  }
+};
+
+std::vector<KeywordSet> probe_queries() {
+  return {
+      KeywordSet({"w0"}),       KeywordSet({"w3"}),
+      KeywordSet({"w7"}),       KeywordSet({"w1", "w4"}),
+      KeywordSet({"w2", "w8"}), KeywordSet({"w0", "w5", "w9"}),
+  };
+}
+
+const std::vector<SearchStrategy> kStrategies = {
+    SearchStrategy::kTopDownSequential,
+    SearchStrategy::kBottomUpSequential,
+    SearchStrategy::kLevelParallel,
+};
+
+// The distributed bottom-up traversal differs from LogicalIndex in exactly
+// one documented way: the root scans its own table when the T_QUERY arrives
+// (paper step 0), so its hits lead the sequence, whereas the in-process
+// reference collects the root last. Reconstruct the overlay's expected
+// sequence from the exhaustive reference: group hits by their home node
+// F_h(K) (within-node order is table order either way), then concatenate
+// root-first followed by the deepest-first visit order, cutting at the
+// threshold the way the per-node room accounting does.
+std::vector<Hit> bottom_up_reference(const std::vector<Hit>& exhaustive,
+                                     const KeywordSet& query,
+                                     std::size_t threshold) {
+  const KeywordHasher hasher(kR);
+  const cube::Hypercube cube(kR);
+  const cube::CubeId root = hasher.responsible_node(query);
+  std::map<cube::CubeId, std::vector<Hit>> groups;
+  for (const Hit& h : exhaustive)
+    groups[hasher.responsible_node(h.keywords)].push_back(h);
+  std::vector<cube::CubeId> order{root};
+  for (cube::CubeId w :
+       cube::SpanningBinomialTree(cube, root).bottom_up_order())
+    if (w != root) order.push_back(w);
+  std::vector<Hit> out;
+  for (cube::CubeId w : order) {
+    const auto it = groups.find(w);
+    if (it == groups.end()) continue;
+    for (const Hit& h : it->second) {
+      if (threshold != 0 && out.size() >= threshold) return out;
+      out.push_back(h);
+    }
+  }
+  return out;
+}
+
+std::vector<Hit> reference_hits(LogicalIndex& logical, const KeywordSet& q,
+                                std::size_t threshold,
+                                SearchStrategy strategy) {
+  if (strategy == SearchStrategy::kBottomUpSequential) {
+    const SearchResult full =
+        logical.superset_search(q, 0, SearchStrategy::kTopDownSequential);
+    return bottom_up_reference(full.hits, q, threshold);
+  }
+  return logical.superset_search(q, threshold, strategy).hits;
+}
+
+void expect_identical(const std::vector<Hit>& got, const std::vector<Hit>& ref,
+                      const KeywordSet& query, const char* label) {
+  ASSERT_EQ(got.size(), ref.size()) << label << " query=" << query.to_string();
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], ref[i])
+        << label << " query=" << query.to_string() << " position " << i;
+  }
+  // Ranking is a stable sort over the sequence: identical input order means
+  // identical ranked order, checked explicitly for both preferences.
+  for (const auto pref :
+       {RankingPreference::kGeneralFirst, RankingPreference::kSpecificFirst}) {
+    std::vector<Hit> a = got, b = ref;
+    order_hits(a, query, pref);
+    order_hits(b, query, pref);
+    ASSERT_EQ(a, b) << label << " ranked query=" << query.to_string();
+  }
+}
+
+// Exhaustive searches: every strategy, coalescing on and off, cold and
+// warm contact caches, against the LogicalIndex reference hit-for-hit.
+TEST(SearchEquivalence, ExhaustiveMatchesLogicalByteForByte) {
+  LogicalIndex logical({.r = kR});
+  for (const auto& [id, k] : corpus(0xc0ffee)) logical.insert(id, k);
+
+  Deployment on(true, nullptr), off(false, nullptr);
+  std::size_t coalesced_batches = 0;
+  for (const SearchStrategy strategy : kStrategies) {
+    for (const KeywordSet& q : probe_queries()) {
+      const std::vector<Hit> ref = reference_hits(logical, q, 0, strategy);
+      // Two rounds: the first resolves contacts through the DHT (no
+      // coalescing opportunities yet), the second runs on warm contacts
+      // where co-hosted level nodes share one VisitBatch.
+      for (int round = 0; round < 2; ++round) {
+        const SearchResult a = on.search(q, 0, strategy);
+        const SearchResult b = off.search(q, 0, strategy);
+        expect_identical(a.hits, ref, q, "coalesce-on vs logical");
+        expect_identical(b.hits, ref, q, "coalesce-off vs logical");
+        EXPECT_TRUE(a.stats.complete);
+        EXPECT_TRUE(b.stats.complete);
+        coalesced_batches += a.stats.coalesced_batches;
+        EXPECT_EQ(b.stats.coalesced_batches, 0u);
+        if (round == 1 && strategy == SearchStrategy::kLevelParallel) {
+          // Coalescing must not cost messages, and on warm contacts with
+          // co-hosted nodes it must save some.
+          EXPECT_LE(a.stats.messages, b.stats.messages)
+              << "query=" << q.to_string();
+        }
+      }
+    }
+  }
+  // The fast path actually engaged somewhere in the sweep.
+  EXPECT_GT(coalesced_batches, 0u);
+}
+
+// Same equivalence under randomized per-message latency: visit-order hit
+// assembly makes the sequence independent of arrival order.
+TEST(SearchEquivalence, RandomLatencyDoesNotReorderHits) {
+  LogicalIndex logical({.r = kR});
+  for (const auto& [id, k] : corpus(0xc0ffee)) logical.insert(id, k);
+
+  Deployment on(true, std::make_unique<sim::UniformLatency>(1, 23));
+  Deployment off(false, std::make_unique<sim::UniformLatency>(2, 17));
+  for (const SearchStrategy strategy : kStrategies) {
+    for (const KeywordSet& q : probe_queries()) {
+      const std::vector<Hit> ref = reference_hits(logical, q, 0, strategy);
+      for (int round = 0; round < 2; ++round) {
+        expect_identical(on.search(q, 0, strategy).hits, ref, q,
+                         "coalesce-on random-latency");
+        expect_identical(off.search(q, 0, strategy).hits, ref, q,
+                         "coalesce-off random-latency");
+      }
+    }
+  }
+}
+
+// Thresholded searches. Sequential strategies visit nodes one at a time,
+// so the early-stopped prefix is deterministic and must match the logical
+// reference exactly. Level-parallel scan timing is arrival-dependent by
+// design, so there the coalesced and uncoalesced runs are held to the
+// threshold contract rather than byte-compared against the reference.
+TEST(SearchEquivalence, ThresholdedSequentialMatchesLogical) {
+  LogicalIndex logical({.r = kR});
+  for (const auto& [id, k] : corpus(0xc0ffee)) logical.insert(id, k);
+
+  Deployment on(true, nullptr), off(false, nullptr);
+  for (const SearchStrategy strategy : {SearchStrategy::kTopDownSequential,
+                                        SearchStrategy::kBottomUpSequential}) {
+    for (const KeywordSet& q : probe_queries()) {
+      for (const std::size_t threshold : {std::size_t{3}, std::size_t{9}}) {
+        const std::vector<Hit> ref =
+            reference_hits(logical, q, threshold, strategy);
+        for (int round = 0; round < 2; ++round) {
+          expect_identical(on.search(q, threshold, strategy).hits, ref, q,
+                           "thresholded coalesce-on");
+          expect_identical(off.search(q, threshold, strategy).hits, ref, q,
+                           "thresholded coalesce-off");
+        }
+      }
+    }
+  }
+}
+
+TEST(SearchEquivalence, ThresholdedLevelParallelHonorsContract) {
+  LogicalIndex logical({.r = kR});
+  for (const auto& [id, k] : corpus(0xc0ffee)) logical.insert(id, k);
+
+  Deployment on(true, nullptr), off(false, nullptr);
+  for (const KeywordSet& q : probe_queries()) {
+    const SearchResult ref =
+        logical.superset_search(q, 0, SearchStrategy::kLevelParallel);
+    const std::size_t total = ref.hits.size();
+    if (total == 0) continue;
+    const std::size_t threshold = 1 + total / 2;
+    std::set<ObjectId> all;
+    for (const Hit& h : ref.hits) all.insert(h.object);
+    for (int round = 0; round < 2; ++round) {
+      for (Deployment* d : {&on, &off}) {
+        const SearchResult r =
+            d->search(q, threshold, SearchStrategy::kLevelParallel);
+        EXPECT_GE(r.hits.size(), std::min(threshold, total));
+        for (const Hit& h : r.hits) EXPECT_TRUE(all.contains(h.object));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hkws::index
