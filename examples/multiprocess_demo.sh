@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Multi-process keyword-search demo — and the CI smoke test for the
+# real-process runtime.
+#
+# Launches SHARDS peerd processes (each a complete Chord+DOLR+hypercube
+# cluster over real loopback sockets, holding one slice of the seeded demo
+# corpus), then runs the peerd query front-end against all of them: one
+# superset query scattered over inter-process TCP as fe.query wire frames,
+# gathered, merged, and — with --check — verified object-for-object against
+# an in-process LogicalIndex over the full corpus. Any mismatch, protocol
+# error, or unreachable shard exits nonzero.
+#
+# Usage: multiprocess_demo.sh /path/to/peerd [shards]
+set -euo pipefail
+
+PEERD=${1:?usage: multiprocess_demo.sh /path/to/peerd [shards]}
+SHARDS=${2:-3}
+WORKDIR=$(mktemp -d)
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "== launching $SHARDS shard processes =="
+for ((i = 0; i < SHARDS; i++)); do
+  "$PEERD" serve --shard "$i" --shards "$SHARDS" >"$WORKDIR/shard$i.log" 2>&1 &
+  PIDS+=($!)
+done
+
+# Each shard prints PORT=<n> once its cluster has settled and the front-end
+# listener is up.
+PORTS=""
+for ((i = 0; i < SHARDS; i++)); do
+  for ((t = 0; t < 300; t++)); do
+    if port=$(grep -o 'PORT=[0-9]*' "$WORKDIR/shard$i.log" 2>/dev/null); then
+      break
+    fi
+    if ! kill -0 "${PIDS[$i]}" 2>/dev/null; then
+      echo "shard $i died during startup:" >&2
+      cat "$WORKDIR/shard$i.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  port=${port#PORT=}
+  if [[ -z "${port:-}" ]]; then
+    echo "shard $i never announced its port" >&2
+    exit 1
+  fi
+  echo "  shard $i ready on port $port"
+  PORTS="$PORTS${PORTS:+,}$port"
+done
+
+echo "== querying all shards =="
+# Three queries across strategies; --check asserts each distributed answer
+# equals the LogicalIndex ground truth, end to end.
+"$PEERD" query --ports "$PORTS" --shards "$SHARDS" --check -- w3
+"$PEERD" query --ports "$PORTS" --shards "$SHARDS" --check \
+  --strategy level-parallel -- w1 w4
+"$PEERD" query --ports "$PORTS" --shards "$SHARDS" --check \
+  --strategy bottom-up -- w0
+echo "== demo ok =="

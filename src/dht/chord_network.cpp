@@ -22,7 +22,7 @@ struct RouteState {
   int hops = 0;
 };
 
-ChordNetwork::ChordNetwork(sim::Network& net, Config cfg)
+ChordNetwork::ChordNetwork(net::Transport& net, Config cfg)
     : net_(net), cfg_(cfg), space_(cfg.id_bits) {
   if (cfg.id_bits < 1 || cfg.id_bits > 64)
     throw std::invalid_argument("ChordNetwork: id_bits must be in [1,64]");
@@ -224,7 +224,7 @@ std::uint64_t ChordNetwork::stabilize_all() {
   return charged;
 }
 
-ChordNetwork ChordNetwork::build(sim::Network& net, std::size_t n, Config cfg) {
+ChordNetwork ChordNetwork::build(net::Transport& net, std::size_t n, Config cfg) {
   ChordNetwork dht(net, cfg);
   if (n == 0) return dht;
   // Instantiate all nodes, then compute exact steady-state links globally.
@@ -385,7 +385,7 @@ void ChordNetwork::route(sim::EndpointId from, RingId key, std::string kind,
   state->bytes = payload_bytes;
   state->on_owner = std::move(on_owner);
   // Kick off asynchronously so callers observe uniform async semantics.
-  net_.clock().schedule_in(0, [this, state, at = *start]() mutable {
+  net_.schedule_in(0, [this, state, at = *start]() mutable {
     route_step(std::move(state), at, /*arrived_final=*/false);
   });
 }

@@ -38,7 +38,7 @@ class ChordNetwork final : public Overlay {
     int max_route_hops = 256;    ///< loop guard for routing with stale state
   };
 
-  ChordNetwork(sim::Network& net, Config cfg);
+  ChordNetwork(net::Transport& net, Config cfg);
 
   // --- Membership -------------------------------------------------------
 
@@ -66,7 +66,7 @@ class ChordNetwork final : public Overlay {
   /// Convenience: builds a well-formed ring for `n` peers (endpoints
   /// 1..n) with globally computed fingers/successors — the steady state an
   /// idle ring converges to. Experiments start from this.
-  static ChordNetwork build(sim::Network& net, std::size_t n, Config cfg);
+  static ChordNetwork build(net::Transport& net, std::size_t n, Config cfg);
 
   // --- Introspection (Overlay interface + Chord extras) --------------------
 
@@ -110,7 +110,7 @@ class ChordNetwork final : public Overlay {
   /// successors.
   std::vector<RingId> replica_targets(RingId owner, int count) const override;
 
-  sim::Network& net() override { return net_; }
+  net::Transport& transport() override { return net_; }
 
  private:
   RingId unique_ring_id(sim::EndpointId endpoint);
@@ -128,7 +128,7 @@ class ChordNetwork final : public Overlay {
   void route_step(std::shared_ptr<struct RouteState> state, RingId at,
                   bool arrived_final);
 
-  sim::Network& net_;
+  net::Transport& net_;
   Config cfg_;
   RingSpace space_;
   std::map<RingId, std::unique_ptr<ChordNode>> by_id_;  // live nodes

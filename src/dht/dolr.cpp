@@ -20,7 +20,7 @@ RingId Dolr::object_key(ObjectId object) const {
 void Dolr::replicate_to(RingId owner, sim::EndpointId target,
                         const StoredRef& ref) {
   const OverlayNode& n = overlay_.state_of(owner);
-  overlay_.net().send(n.endpoint(), target, "dolr.replicate",
+  overlay_.transport().send(n.endpoint(), target, "dolr.replicate",
                       sizeof(StoredRef), [this, target, ref] {
                         // The replica target may have left in flight.
                         if (auto id = overlay_.ring_id_of(target))
@@ -61,7 +61,7 @@ void Dolr::remove(sim::EndpointId publisher, ObjectId object,
                    for (RingId s : overlay_.replica_targets(
                             r.owner, cfg_.replication_factor - 1)) {
                      const auto ep = overlay_.endpoint_of(s);
-                     overlay_.net().send(
+                     overlay_.transport().send(
                          owner.endpoint(), ep, "dolr.unreplicate",
                          sizeof(ObjectId), [this, ep, object, publisher] {
                            if (auto id = overlay_.ring_id_of(ep))
@@ -82,7 +82,7 @@ void Dolr::read(sim::EndpointId reader, ObjectId object, ReadCallback done) {
                    result.hops = r.hops;
                    result.holders = overlay_.state_of(r.owner).refs_of(object);
                    // Direct reply to the reader (one message).
-                   overlay_.net().send(
+                   overlay_.transport().send(
                        overlay_.state_of(r.owner).endpoint(), reader, "dolr.reply",
                        result.holders.size() * sizeof(sim::EndpointId),
                        [done, result] { if (done) done(result); });

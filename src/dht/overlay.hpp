@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "dht/node_id.hpp"
+#include "net/transport.hpp"
 #include "sim/network.hpp"
 
 namespace hkws::dht {
@@ -75,7 +76,10 @@ class Overlay {
   virtual std::vector<RingId> replica_targets(RingId owner,
                                               int count) const = 0;
 
-  virtual sim::Network& net() = 0;
+  /// The message fabric this overlay routes over: the deterministic
+  /// simulator (sim::Network) or the real socket runtime (net::TcpTransport).
+  /// Every protocol layer above reaches the wire exclusively through this.
+  virtual net::Transport& transport() = 0;
 };
 
 }  // namespace hkws::dht

@@ -21,7 +21,7 @@ struct PastryRouteState {
   int hops = 0;
 };
 
-PastryNetwork::PastryNetwork(sim::Network& net, Config cfg)
+PastryNetwork::PastryNetwork(net::Transport& net, Config cfg)
     : net_(net), cfg_(cfg), space_(cfg.id_bits) {
   if (cfg.id_bits < 1 || cfg.id_bits > 64)
     throw std::invalid_argument("PastryNetwork: id_bits must be in [1,64]");
@@ -220,7 +220,7 @@ std::uint64_t PastryNetwork::repair_all() {
   return charged;
 }
 
-PastryNetwork PastryNetwork::build(sim::Network& net, std::size_t n,
+PastryNetwork PastryNetwork::build(net::Transport& net, std::size_t n,
                                    Config cfg) {
   PastryNetwork overlay(net, cfg);
   for (std::size_t i = 0; i < n; ++i) {
@@ -391,7 +391,7 @@ void PastryNetwork::route(sim::EndpointId from, RingId key, std::string kind,
   state->kind = std::move(kind);
   state->bytes = payload_bytes;
   state->on_owner = std::move(on_owner);
-  net_.clock().schedule_in(0, [this, state, at = *start]() mutable {
+  net_.schedule_in(0, [this, state, at = *start]() mutable {
     route_step(std::move(state), at);
   });
 }

@@ -36,10 +36,10 @@ class PastryNetwork final : public Overlay {
     int max_route_hops = 256;
   };
 
-  PastryNetwork(sim::Network& net, Config cfg);
+  PastryNetwork(net::Transport& net, Config cfg);
 
   /// Builds a steady-state overlay of `n` peers (endpoints 1..n).
-  static PastryNetwork build(sim::Network& net, std::size_t n, Config cfg);
+  static PastryNetwork build(net::Transport& net, std::size_t n, Config cfg);
 
   // --- Membership ----------------------------------------------------------
 
@@ -76,7 +76,7 @@ class PastryNetwork final : public Overlay {
   RouteResult lookup_now(RingId start, RingId key,
                          const std::string& kind) override;
   std::vector<RingId> replica_targets(RingId owner, int count) const override;
-  sim::Network& net() override { return net_; }
+  net::Transport& transport() override { return net_; }
 
   // --- Pastry specifics (tests, diagnostics) ---------------------------------
 
@@ -102,7 +102,7 @@ class PastryNetwork final : public Overlay {
   void rebuild_state(PastryNode& n);
   void route_step(std::shared_ptr<struct PastryRouteState> state, RingId at);
 
-  sim::Network& net_;
+  net::Transport& net_;
   Config cfg_;
   RingSpace space_;
   int digits_;

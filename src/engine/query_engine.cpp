@@ -312,7 +312,7 @@ EngineReport QueryEngine::report() const {
   r.in_flight_high_water = in_flight_high_water_;
   r.backlog_high_water = backlog_high_water_;
   const sim::Metrics& net_metrics =
-      service_.primary_index().dolr().overlay().net().metrics();
+      service_.primary_index().dolr().overlay().transport().metrics();
   r.retransmits = net_metrics.counter("kws.retransmit");
   r.failovers = net_metrics.counter("kws.failover");
   r.mirror_failovers = net_metrics.counter("kws.mirror_failover");

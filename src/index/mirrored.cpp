@@ -74,10 +74,10 @@ SearchResult MirroredIndex::merge(const SearchResult& a,
     ++merged.stats.failovers;
     merged.stats.degraded = true;
     ++failovers_;
-    sim::Network& net = primary_->dolr().overlay().net();
+    net::Transport& net = primary_->dolr().overlay().transport();
     net.metrics().count("kws.mirror_failover");
     if (windows_ != nullptr)
-      windows_->count(net.clock().now(), "mirror.failover");
+      windows_->count(net.now(), "mirror.failover");
   }
   return merged;
 }
@@ -213,7 +213,7 @@ std::uint64_t MirroredIndex::resync(std::size_t max_entries) {
     dst.reindex(s.holder, s.object, s.keywords);
   }
   if (!seeds.empty())
-    primary_->dolr().overlay().net().metrics().count("kws.resync",
+    primary_->dolr().overlay().transport().metrics().count("kws.resync",
                                                      seeds.size());
   return seeds.size();
 }

@@ -21,7 +21,7 @@ std::uint64_t total_count(const CachedTraversal& c) {
 OverlayIndex::OverlayIndex(dht::Dolr& dolr, Config cfg)
     : dolr_(dolr),
       overlay_(dolr.overlay()),
-      net_(dolr.overlay().net()),
+      net_(dolr.overlay().transport()),
       cfg_(cfg),
       cube_(cfg.r),
       hasher_(cfg.r, cfg.hash_seed) {
@@ -227,7 +227,7 @@ void OverlayIndex::pin_attempt(std::uint64_t pin_id) {
                   [this, pin_id, hits = std::move(hits)] {
                     PinState* p2 = find_pin(pin_id);
                     if (!p2) return;  // duplicate reply of a retried attempt
-                    if (p2->timer != 0) net_.clock().cancel_timer(p2->timer);
+                    if (p2->timer != 0) net_.cancel_timer(p2->timer);
                     SearchResult result;
                     result.hits = hits;
                     result.stats = p2->stats;
@@ -249,7 +249,7 @@ void OverlayIndex::pin_attempt(std::uint64_t pin_id) {
       });
   PinState* p = find_pin(pin_id);
   if (!p) return;  // the route may complete in place
-  p->timer = net_.clock().set_timer(cfg_.step_timeout, [this, pin_id] {
+  p->timer = net_.set_timer(cfg_.step_timeout, [this, pin_id] {
     PinState* p2 = find_pin(pin_id);
     if (!p2) return;
     p2->timer = 0;
@@ -307,7 +307,7 @@ void OverlayIndex::begin_root_route(std::uint64_t req_id) {
         if (!r || r->root_resolved) return;
         r->root_resolved = true;
         if (r->root_timer != 0) {
-          net_.clock().cancel_timer(r->root_timer);
+          net_.cancel_timer(r->root_timer);
           r->root_timer = 0;
         }
         r->root_peer = overlay_.endpoint_of(rr.owner);
@@ -319,7 +319,7 @@ void OverlayIndex::begin_root_route(std::uint64_t req_id) {
   if (cfg_.step_timeout == 0) return;
   Request* r = find(req_id);  // re-find: the route may complete in place
   if (r == nullptr || r->root_resolved) return;
-  r->root_timer = net_.clock().set_timer(cfg_.step_timeout, [this, req_id] {
+  r->root_timer = net_.set_timer(cfg_.step_timeout, [this, req_id] {
     Request* r2 = find(req_id);
     if (!r2 || r2->root_resolved) return;
     r2->root_timer = 0;
@@ -553,9 +553,9 @@ void OverlayIndex::arm_step_timer(std::uint64_t req_id, cube::CubeId w) {
   Request* req = find(req_id);
   if (!req || req->answered.contains(w)) return;
   if (const auto it = req->step_timers.find(w); it != req->step_timers.end())
-    net_.clock().cancel_timer(it->second);
+    net_.cancel_timer(it->second);
   req->step_timers[w] =
-      net_.clock().set_timer(cfg_.step_timeout, [this, req_id, w] {
+      net_.set_timer(cfg_.step_timeout, [this, req_id, w] {
         Request* r = find(req_id);
         if (!r || r->answered.contains(w)) return;
         r->step_timers.erase(w);
@@ -758,7 +758,7 @@ void OverlayIndex::on_node_answered(std::uint64_t req_id, cube::CubeId w,
   if (!req) return;
   if (!req->answered.insert(w).second) return;  // duplicate control reply
   if (const auto it = req->step_timers.find(w); it != req->step_timers.end()) {
-    net_.clock().cancel_timer(it->second);
+    net_.cancel_timer(it->second);
     req->step_timers.erase(it);
   }
   req->step_attempts.erase(w);
@@ -848,13 +848,13 @@ void OverlayIndex::send_done(std::uint64_t req_id) {
               if (!r || r->done_received) return;
               r->done_received = true;
               if (r->done_timer != 0) {
-                net_.clock().cancel_timer(r->done_timer);
+                net_.cancel_timer(r->done_timer);
                 r->done_timer = 0;
               }
               maybe_complete(req_id);
             });
   if (cfg_.step_timeout == 0) return;
-  req->done_timer = net_.clock().set_timer(cfg_.step_timeout, [this, req_id] {
+  req->done_timer = net_.set_timer(cfg_.step_timeout, [this, req_id] {
     Request* r = find(req_id);
     if (!r || r->done_received) return;
     r->done_timer = 0;
@@ -877,7 +877,7 @@ void OverlayIndex::arm_repair_timer(std::uint64_t req_id) {
     return;
   }
   ++req->repair_attempts;
-  req->repair_timer = net_.clock().set_timer(cfg_.step_timeout, [this, req_id] {
+  req->repair_timer = net_.set_timer(cfg_.step_timeout, [this, req_id] {
     Request* r = find(req_id);
     if (!r) return;
     r->repair_timer = 0;
@@ -911,7 +911,7 @@ void OverlayIndex::arm_repair_timer(std::uint64_t req_id) {
 }
 
 void OverlayIndex::release_timers(Request& req) {
-  sim::EventQueue& clock = net_.clock();
+  net::Transport& clock = net_;
   if (req.root_timer != 0) clock.cancel_timer(req.root_timer);
   if (req.done_timer != 0) clock.cancel_timer(req.done_timer);
   if (req.repair_timer != 0) clock.cancel_timer(req.repair_timer);
@@ -1001,7 +1001,7 @@ void OverlayIndex::cumulative_next(std::uint64_t session, std::size_t count,
 
   if (s->exhausted) {
     // Nothing left; answer locally (no messages).
-    net_.clock().schedule_in(0, [this, session] {
+    net_.schedule_in(0, [this, session] {
       CumulativeState* st = find_session(session);
       if (!st) return;
       st->batch_done = true;

@@ -59,6 +59,7 @@
 #include "index/keyword_hash.hpp"
 #include "index/query_cache.hpp"
 #include "index/search_types.hpp"
+#include "net/transport.hpp"
 
 namespace hkws::index {
 
@@ -321,13 +322,13 @@ class OverlayIndex {
     std::unordered_map<cube::CubeId, Visit> visits;     // scanned nodes
     std::unordered_set<cube::CubeId> answered;          // coordinator dedup
     std::unordered_set<cube::CubeId> delivered;         // searcher dedup
-    std::unordered_map<cube::CubeId, sim::EventQueue::TimerId> step_timers;
+    std::unordered_map<cube::CubeId, net::Transport::TimerId> step_timers;
     std::unordered_map<cube::CubeId, int> step_attempts;
-    sim::EventQueue::TimerId root_timer = 0;
+    net::Transport::TimerId root_timer = 0;
     int root_attempts = 0;
-    sim::EventQueue::TimerId done_timer = 0;
+    net::Transport::TimerId done_timer = 0;
     int done_attempts = 0;
-    sim::EventQueue::TimerId repair_timer = 0;
+    net::Transport::TimerId repair_timer = 0;
     int repair_attempts = 0;
     // kTopDown state: the paper's queue U of (node, dimension) pairs.
     std::deque<std::pair<cube::CubeId, int>> queue;
@@ -391,7 +392,7 @@ class OverlayIndex {
     KeywordSet keywords;
     sim::EndpointId searcher = 0;
     int attempts = 0;
-    sim::EventQueue::TimerId timer = 0;
+    net::Transport::TimerId timer = 0;
     SearchStats stats;  ///< accumulates messages/retransmits across attempts
     SearchCallback done;
   };
@@ -491,7 +492,7 @@ class OverlayIndex {
 
   dht::Dolr& dolr_;
   dht::Overlay& overlay_;
-  sim::Network& net_;
+  net::Transport& net_;
   Config cfg_;
   cube::Hypercube cube_;
   KeywordHasher hasher_;

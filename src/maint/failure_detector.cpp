@@ -4,7 +4,7 @@
 
 namespace hkws::maint {
 
-FailureDetector::FailureDetector(sim::Network& net, Config cfg,
+FailureDetector::FailureDetector(net::Transport& net, Config cfg,
                                  DeathCallback on_death)
     : net_(net), cfg_(cfg), on_death_(std::move(on_death)) {}
 
@@ -12,7 +12,7 @@ void FailureDetector::start(const std::vector<sim::EndpointId>& members) {
   if (running_) return;
   running_ = true;
   for (sim::EndpointId ep : members) members_.emplace(ep, Member{});
-  round_timer_ = net_.clock().set_timer(cfg_.period, [this] { round(); });
+  round_timer_ = net_.set_timer(cfg_.period, [this] { round(); });
 }
 
 void FailureDetector::stop() {
@@ -20,18 +20,18 @@ void FailureDetector::stop() {
   running_ = false;
   ++epoch_;
   if (round_timer_ != 0) {
-    net_.clock().cancel_timer(round_timer_);
+    net_.cancel_timer(round_timer_);
     round_timer_ = 0;
   }
   for (const auto& [id, ep] : ack_timers_) {
-    net_.clock().cancel_timer(id);
+    net_.cancel_timer(id);
     members_[ep].ack_timer = 0;
   }
   ack_timers_.clear();
 }
 
 void FailureDetector::note_true_failure(sim::EndpointId ep) {
-  true_failures_.emplace(ep, net_.clock().now());
+  true_failures_.emplace(ep, net_.now());
 }
 
 std::size_t FailureDetector::suspected_count() const {
@@ -50,10 +50,10 @@ void FailureDetector::round() {
     if (!m.confirmed && m.ack_timer == 0) probe(ep);
   }
   if (windows_ != nullptr) {
-    windows_->gauge(net_.clock().now(), "detector.suspected",
+    windows_->gauge(net_.now(), "detector.suspected",
                     static_cast<double>(suspected_count()));
   }
-  round_timer_ = net_.clock().set_timer(cfg_.period, [this] { round(); });
+  round_timer_ = net_.set_timer(cfg_.period, [this] { round(); });
 }
 
 sim::EndpointId FailureDetector::prober_for(sim::EndpointId target) const {
@@ -89,7 +89,7 @@ void FailureDetector::probe(sim::EndpointId target) {
                         [this, epoch, target] { on_ack(epoch, target); });
             });
   Member& m = members_[target];
-  m.ack_timer = net_.clock().set_timer(
+  m.ack_timer = net_.set_timer(
       cfg_.timeout, [this, target] { on_ack_timeout(target); });
   ack_timers_.emplace(m.ack_timer, target);
 }
@@ -99,7 +99,7 @@ void FailureDetector::on_ack(std::uint64_t epoch, sim::EndpointId target) {
   Member& m = members_[target];
   m.missed = 0;
   if (m.ack_timer != 0) {
-    net_.clock().cancel_timer(m.ack_timer);
+    net_.cancel_timer(m.ack_timer);
     ack_timers_.erase(m.ack_timer);
     m.ack_timer = 0;
   }
@@ -123,7 +123,7 @@ void FailureDetector::confirm(sim::EndpointId target) {
   Member& m = members_[target];
   m.confirmed = true;
   ++confirmed_;
-  const sim::Time now = net_.clock().now();
+  const sim::Time now = net_.now();
   net_.metrics().count("maint.confirmed");
   const auto it = true_failures_.find(target);
   if (it != true_failures_.end()) {

@@ -30,6 +30,7 @@
 #include <set>
 #include <vector>
 
+#include "net/transport.hpp"
 #include "sim/network.hpp"
 
 namespace hkws::obs {
@@ -52,7 +53,7 @@ class FailureDetector {
 
   /// @param net       fabric the pings travel on (not owned)
   /// @param on_death  confirmed-death sink (the repair plane)
-  FailureDetector(sim::Network& net, Config cfg, DeathCallback on_death);
+  FailureDetector(net::Transport& net, Config cfg, DeathCallback on_death);
 
   /// Begins monitoring `members` (typically every peer in the deployment)
   /// and arms the periodic ping round. Idempotent while running.
@@ -87,7 +88,7 @@ class FailureDetector {
   struct Member {
     int missed = 0;        ///< consecutive missed acks
     bool confirmed = false;
-    sim::EventQueue::TimerId ack_timer = 0;  ///< 0 = no ping outstanding
+    net::Transport::TimerId ack_timer = 0;  ///< 0 = no ping outstanding
   };
 
   void round();
@@ -99,7 +100,7 @@ class FailureDetector {
   /// order; 0 if no other candidate remains.
   sim::EndpointId prober_for(sim::EndpointId target) const;
 
-  sim::Network& net_;
+  net::Transport& net_;
   Config cfg_;
   DeathCallback on_death_;
   obs::WindowedMetrics* windows_ = nullptr;
@@ -108,8 +109,8 @@ class FailureDetector {
   /// Bumped on stop(); stale in-flight deliveries compare and bail.
   std::uint64_t epoch_ = 0;
   std::map<sim::EndpointId, Member> members_;
-  std::map<sim::EventQueue::TimerId, sim::EndpointId> ack_timers_;
-  sim::EventQueue::TimerId round_timer_ = 0;
+  std::map<net::Transport::TimerId, sim::EndpointId> ack_timers_;
+  net::Transport::TimerId round_timer_ = 0;
   std::size_t confirmed_ = 0;
   /// ep -> sim-time of the true failure (metrics oracle).
   std::map<sim::EndpointId, sim::Time> true_failures_;

@@ -5,7 +5,7 @@
 
 namespace hkws::maint {
 
-MaintenancePlane::MaintenancePlane(sim::Network& net, Config cfg,
+MaintenancePlane::MaintenancePlane(net::Transport& net, Config cfg,
                                    StabilizeFn stabilize,
                                    RepairStepFn repair_step, BacklogFn backlog)
     : net_(net),
@@ -23,11 +23,11 @@ void MaintenancePlane::start(const std::vector<sim::EndpointId>& members) {
 void MaintenancePlane::stop() {
   detector_.stop();
   if (repair_timer_ != 0) {
-    net_.clock().cancel_timer(repair_timer_);
+    net_.cancel_timer(repair_timer_);
     repair_timer_ = 0;
   }
   if (burst_open_ && tracer_ != nullptr) {
-    tracer_->end(net_.clock().now(), 0);
+    tracer_->end(net_.now(), 0);
     burst_open_ = false;
   }
 }
@@ -46,9 +46,9 @@ void MaintenancePlane::on_death(sim::EndpointId ep) {
   pending_stabilize_ += cfg_.stabilize_rounds_per_death;
   idle_ticks_ = 0;
   if (tracer_ != nullptr) {
-    tracer_->instant(net_.clock().now(), 0, "maint.confirm", "maint", ep);
+    tracer_->instant(net_.now(), 0, "maint.confirm", "maint", ep);
     if (!burst_open_) {
-      tracer_->begin(net_.clock().now(), 0, "repair.burst", "maint", ep);
+      tracer_->begin(net_.now(), 0, "repair.burst", "maint", ep);
       burst_open_ = true;
     }
   }
@@ -57,7 +57,7 @@ void MaintenancePlane::on_death(sim::EndpointId ep) {
 
 void MaintenancePlane::arm_ticker() {
   if (repair_timer_ != 0 || !detector_.running()) return;
-  repair_timer_ = net_.clock().set_timer(cfg_.repair_interval,
+  repair_timer_ = net_.set_timer(cfg_.repair_interval,
                                          [this] { tick(); });
 }
 
@@ -80,7 +80,7 @@ void MaintenancePlane::tick() {
                                         cfg_.refs_per_tick);
   work_done_ += work;
   const std::size_t backlog = backlog_ ? backlog_() : 0;
-  const sim::Time now = net_.clock().now();
+  const sim::Time now = net_.now();
   if (work > 0) net_.metrics().count("maint.repair_work", work);
   if (windows_ != nullptr) {
     windows_->gauge(now, "repair.backlog", static_cast<double>(backlog));

@@ -60,7 +60,7 @@ class MaintenancePlane {
   /// Outstanding repair work (e.g. KeywordSearchService::repair_backlog).
   using BacklogFn = std::function<std::size_t()>;
 
-  MaintenancePlane(sim::Network& net, Config cfg, StabilizeFn stabilize,
+  MaintenancePlane(net::Transport& net, Config cfg, StabilizeFn stabilize,
                    RepairStepFn repair_step, BacklogFn backlog);
 
   /// Starts the failure detector over `members`. The repair ticker stays
@@ -112,7 +112,7 @@ class MaintenancePlane {
   /// synthetic_.
   void stabilize_once();
 
-  sim::Network& net_;
+  net::Transport& net_;
   Config cfg_;
   StabilizeFn stabilize_;
   RepairStepFn repair_step_;
@@ -121,7 +121,7 @@ class MaintenancePlane {
   obs::WindowedMetrics* windows_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
 
-  sim::EventQueue::TimerId repair_timer_ = 0;
+  net::Transport::TimerId repair_timer_ = 0;
   int pending_stabilize_ = 0;
   int idle_ticks_ = 0;
   /// Idle slices (no work, empty backlog) before the ticker disarms.

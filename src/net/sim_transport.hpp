@@ -1,0 +1,17 @@
+// The simulator as a Transport implementation. sim::Network implements the
+// net::Transport interface directly — the discrete-event simulator *is* the
+// sim backend, with zero adaptation overhead — so SimTransport is an alias,
+// kept so deployment code can name its substrate uniformly:
+//
+//   net::SimTransport fabric(clock);          // deterministic, virtual time
+//   net::TcpTransport fabric(net::TcpTransport::Config{});  // real sockets
+//   auto dht = dht::ChordNetwork::build(fabric, n, {});     // same machines
+#pragma once
+
+#include "sim/network.hpp"
+
+namespace hkws::net {
+
+using SimTransport = sim::Network;
+
+}  // namespace hkws::net

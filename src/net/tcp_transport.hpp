@@ -1,0 +1,213 @@
+// The real-socket Transport backend: the same protocol state machines that
+// run on the simulator, carried over loopback TCP with real serialization,
+// real syscalls, and real threads.
+//
+// Architecture (per instance):
+//
+//   caller threads ──send()──► envelope codec ──write──► loopback TCP ─┐
+//                                                                      │
+//   io thread: poll() over the listen socket + accepted connections ◄──┘
+//     reads byte streams, reassembles frames (net/wire.hpp), looks up the
+//     parked delivery handler by message id, enqueues it for dispatch
+//
+//   dispatch thread ("the strand"): executes delivered handlers and due
+//     timers one at a time, in arrival/deadline order
+//
+// Every send() serializes a real EnvelopeMsg frame — version byte, kind id,
+// endpoints, declared payload size — plus payload-sized padding (capped by
+// Config::max_pad), so serialization and socket cost track the protocol's
+// byte accounting. The frame crosses a real kernel socket even though
+// sender and receiver share an address space: this backend gives the state
+// machines a real concurrent runtime while the closure-based handler model
+// keeps them unchanged. (Cross-process deployment composes these instances
+// per process and speaks codec frames between processes: see tools/peerd.)
+//
+// Threading contract: protocol state machines are NOT thread-safe — they
+// were written against the simulator's single event loop. The dispatch
+// strand preserves exactly that discipline: all handlers and timers run on
+// one thread, serialized. Code that *initiates* protocol operations from
+// another thread (a test's main thread, peerd's front-end accept loop) must
+// marshal onto the strand with schedule_in(0, ...). The transport's own
+// shared state is what real threads contend on, and it is locked for real:
+// per-peer endpoint state behind a reader-writer lock (sends take the read
+// side, membership changes the write side), the in-flight handler table and
+// metrics behind mutexes.
+//
+// Accounting parity: the same counters as the simulator — net.messages,
+// net.bytes, msg.<kind>, net.local, net.dropped[.kind], net.delivered —
+// and the same per-send observer hook, so obs tracing and per-kind metrics
+// stay truthful on the socket path.
+//
+// Time: now() counts ticks of Config::tick wall-clock duration since
+// construction; set_timer/schedule_in deadlines are wall-clock. The sim
+// backend stays bit-identical because nothing here touches it — determinism
+// on this backend is the protocol's order-independence (visit-order hit
+// assembly), not event-order reproduction.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+
+namespace hkws::net {
+
+class TcpTransport final : public Transport {
+ public:
+  struct Config {
+    /// Wall-clock duration of one transport tick. Protocol timeout
+    /// constants are written in ticks (sim convention: ~1ms); the default
+    /// compresses them 10x so loss-recovery tests stay fast.
+    std::chrono::microseconds tick{100};
+    /// Parallel loopback connections (sends round-robin across them, so
+    /// concurrent senders do not serialize on one stream).
+    int wire_connections = 2;
+    /// Connection establishment: attempts and exponential backoff bounds.
+    int connect_attempts = 20;
+    std::chrono::milliseconds connect_backoff{2};
+    std::chrono::milliseconds connect_backoff_cap{100};
+    /// Cap on per-frame padding bytes (real serialization cost tracks the
+    /// declared payload size up to this bound).
+    std::uint32_t max_pad = 64 * 1024;
+    /// Seed for the backoff jitter RNG (determinism discipline: every
+    /// random draw in the runtime is seeded).
+    std::uint64_t seed = 1;
+  };
+
+  explicit TcpTransport(Config cfg);
+  TcpTransport() : TcpTransport(Config{}) {}
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  // --- Transport interface ------------------------------------------------
+
+  void register_endpoint(EndpointId id) override;
+  void unregister_endpoint(EndpointId id) override;
+  bool is_registered(EndpointId id) const override;
+
+  void send(EndpointId from, EndpointId to, std::string kind,
+            std::size_t payload_bytes, Handler deliver) override;
+
+  Time now() const override;
+  void schedule_in(Time delay, Handler fn) override;
+  TimerId set_timer(Time delay, Handler fn) override;
+  bool cancel_timer(TimerId id) override;
+
+  sim::Metrics& metrics() override { return metrics_; }
+  const sim::Metrics& metrics() const override { return metrics_; }
+  void set_send_observer(SendObserver fn) override;
+
+  // --- Runtime control ----------------------------------------------------
+
+  /// The loopback port this instance listens on (ephemeral, bound at
+  /// construction).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Blocks until no message is in flight, the dispatch queue is empty, and
+  /// no plain scheduled event (schedule_in) is pending — cancelable timers
+  /// (retransmission guards) do not count. Returns false on timeout.
+  bool wait_idle(std::chrono::milliseconds timeout);
+
+  /// Stops the runtime: closes sockets, joins threads, drops queued work.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  /// Wire frames that failed envelope decode (0 in a healthy runtime; the
+  /// connection that produced one is dropped).
+  std::uint64_t decode_errors() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Schedule key: (deadline, insertion seq) — FIFO among equal deadlines,
+  /// the simulator's tie-break discipline.
+  using ScheduleKey = std::pair<Clock::time_point, std::uint64_t>;
+
+  struct TimerEntry {
+    TimerId id = 0;  ///< 0 = plain event (schedule_in, not cancelable)
+    Handler fn;
+  };
+
+  /// Per-peer node state (reader-writer locked: see peers_mu_).
+  struct PeerState {
+    bool registered = false;
+    std::uint64_t sent = 0;       ///< wire messages originated by this peer
+    std::uint64_t delivered = 0;  ///< handlers executed at this peer
+  };
+
+  void io_loop();
+  void dispatch_loop();
+  /// Parses complete frames out of a connection's read buffer; returns
+  /// false when the connection must be dropped (decode error).
+  bool drain_buffer(std::vector<std::uint8_t>& buf);
+  void on_envelope(const EnvelopeMsg& env);
+  void enqueue_ready(Handler fn, EndpointId at, bool counts_delivery);
+  int connect_loopback();
+  void close_fd(int& fd);
+
+  Config cfg_;
+  Clock::time_point start_;
+
+  // Sockets. listen_fd_ accepts; out_fds_ are the client ends sends write
+  // to (each guarded by its own write mutex so concurrent senders can use
+  // distinct streams in parallel); accepted connections live in the io
+  // thread only.
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< unblocks the io thread's poll on stop
+  std::uint16_t port_ = 0;
+  std::vector<int> out_fds_;
+  std::unique_ptr<std::mutex[]> out_mu_;
+  std::atomic<std::uint64_t> round_robin_{0};
+
+  // Per-peer endpoint state: reader-writer lock, sends read, membership
+  // writes.
+  mutable std::shared_mutex peers_mu_;
+  std::unordered_map<EndpointId, PeerState> peers_;
+
+  // Parked delivery handlers keyed by envelope message id.
+  std::mutex handlers_mu_;
+  std::unordered_map<std::uint64_t, std::pair<Handler, EndpointId>> parked_;
+  std::uint64_t next_msg_ = 1;
+
+  // Dispatch strand state.
+  std::mutex strand_mu_;
+  std::condition_variable strand_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::pair<Handler, EndpointId>> ready_;  ///< delivered, FIFO
+  std::map<ScheduleKey, TimerEntry> schedule_;  ///< timers + plain events
+  std::unordered_map<TimerId, ScheduleKey> timer_keys_;  ///< cancel index
+  std::uint64_t pending_events_ = 0;  ///< schedule_ entries with id == 0
+  std::uint64_t next_timer_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t inflight_ = 0;  ///< sent-not-yet-executed messages
+  bool stopping_ = false;
+
+  // Accounting (metrics_mu_ also serializes the observer, matching the
+  // sim's synchronous-from-send() contract).
+  mutable std::mutex metrics_mu_;
+  sim::Metrics metrics_;
+  SendObserver observer_;
+  std::uint64_t decode_errors_ = 0;
+
+  Rng backoff_rng_;
+
+  std::thread io_thread_;
+  std::thread dispatch_thread_;
+};
+
+}  // namespace hkws::net

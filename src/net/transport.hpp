@@ -1,0 +1,125 @@
+// The Transport abstraction: the narrow waist between the protocol state
+// machines (DOLR, overlay routing, the hypercube keyword index, the
+// maintenance plane, the serving engine) and whatever actually moves their
+// messages. Everything a protocol layer may do to the outside world goes
+// through this interface:
+//
+//  * message dispatch — send() delivers a handler at a destination endpoint
+//    after the transport's notion of latency;
+//  * time — now(), one-shot events (schedule_in) and cancelable timers
+//    (set_timer / cancel_timer), the hooks behind every protocol timeout;
+//  * endpoint liveness — register/unregister/is_registered;
+//  * accounting — a Metrics registry fed with the same counter names on
+//    every backend (net.messages, msg.<kind>, net.bytes, ...), and a
+//    per-send observer for the tracing subsystem, so per-kind counters and
+//    hop traces stay truthful whichever backend carries the traffic.
+//
+// Two implementations ship today:
+//  * sim::Network — the deterministic discrete-event simulator (see
+//    src/sim/network.hpp). It *is* the SimTransport: the event queue
+//    supplies virtual time, latency/drop/fault models shape the fabric, and
+//    seeded RNG keeps runs bit-identical.
+//  * net::TcpTransport — the real runtime (see src/net/tcp_transport.hpp):
+//    loopback TCP sockets, an I/O thread pool, wall-clock timers, and the
+//    binary envelope codec of src/net/wire.hpp on every wire message.
+//
+// Contract notes shared by all implementations (inherited from the
+// simulator's semantics, which the protocol layers were written against):
+//  * Local sends (from == to) are free: delivered asynchronously but not
+//    counted as network messages ("net.local").
+//  * Sends to unregistered endpoints are silently discarded and counted as
+//    "net.dropped" / "net.dropped.<kind>" (models absent peers).
+//  * Handlers run one at a time, in delivery order, never re-entrantly
+//    inside send() — protocol state machines are single-threaded with
+//    respect to their transport (the sim's event loop; the TCP backend's
+//    dispatch strand).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+
+namespace hkws::net {
+
+/// Identifies a process/endpoint (a physical peer). Shared with the
+/// simulator's EndpointId — one flat 64-bit space on every backend.
+using EndpointId = std::uint64_t;
+
+/// Transport time in abstract ticks. The simulator's virtual clock and the
+/// TCP backend's wall clock (scaled by its configured tick duration) both
+/// count in these units, so protocol timeout constants are portable.
+using Time = sim::Time;
+
+/// One wire message, reported to the send observer after the backend has
+/// decided its fate. Duplicated messages report once per wire copy; local
+/// sends and sends to unregistered endpoints do not report.
+struct SendRecord {
+  Time at = 0;  ///< send time
+  EndpointId from = 0;
+  EndpointId to = 0;
+  std::size_t bytes = 0;
+  bool lost = false;   ///< dropped by a drop or fault model
+  Time deliver_at = 0; ///< arrival time (== at when lost)
+};
+
+class Transport {
+ public:
+  /// Delivery action run at the destination when a message arrives.
+  using Handler = std::function<void()>;
+
+  /// Handle of a cancelable timer. 0 is never a valid handle.
+  using TimerId = std::uint64_t;
+
+  using SendObserver =
+      std::function<void(const std::string& kind, const SendRecord&)>;
+
+  virtual ~Transport() = default;
+
+  // --- Endpoints ----------------------------------------------------------
+
+  /// Declares an endpoint reachable. Sends to unregistered endpoints are
+  /// counted as "net.dropped" and silently discarded.
+  virtual void register_endpoint(EndpointId id) = 0;
+  virtual void unregister_endpoint(EndpointId id) = 0;
+  virtual bool is_registered(EndpointId id) const = 0;
+
+  // --- Message dispatch ---------------------------------------------------
+
+  /// Sends one message. `kind` labels the protocol message type for
+  /// accounting ("dolr.insert", "kws.t_query", ...; the labels of
+  /// docs/PROTOCOL.md). `deliver` runs at the destination after the
+  /// backend's latency; `payload_bytes` feeds byte accounting (and, on the
+  /// TCP backend, sizes the frame actually serialized onto the socket).
+  virtual void send(EndpointId from, EndpointId to, std::string kind,
+                    std::size_t payload_bytes, Handler deliver) = 0;
+
+  // --- Time and timers ----------------------------------------------------
+
+  /// Current transport time in ticks.
+  virtual Time now() const = 0;
+
+  /// Schedules `fn` to run at now() + delay (a plain one-shot event).
+  virtual void schedule_in(Time delay, Handler fn) = 0;
+
+  /// Schedules a cancelable timer firing once at now() + delay.
+  virtual TimerId set_timer(Time delay, Handler fn) = 0;
+
+  /// Cancels a pending timer. Returns true if it was still pending (it will
+  /// now never fire); false if it already fired or never existed.
+  virtual bool cancel_timer(TimerId id) = 0;
+
+  // --- Accounting ---------------------------------------------------------
+
+  virtual sim::Metrics& metrics() = 0;
+  virtual const sim::Metrics& metrics() const = 0;
+
+  /// Installs (or, with nullptr, removes) a per-send observer — the tracing
+  /// hook (see src/obs). Invoked synchronously from send(); keep it cheap.
+  /// The observer must outlive the transport or be removed first.
+  virtual void set_send_observer(SendObserver fn) = 0;
+};
+
+}  // namespace hkws::net

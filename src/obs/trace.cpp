@@ -3,7 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
-#include "sim/network.hpp"
+#include "net/transport.hpp"
 
 namespace hkws::obs {
 
@@ -113,9 +113,9 @@ bool Tracer::write_chrome_json(const std::string& path) const {
   return static_cast<bool>(file);
 }
 
-void attach_network(Tracer& tracer, sim::Network& net) {
+void attach_network(Tracer& tracer, net::Transport& net) {
   net.set_send_observer(
-      [&tracer](const std::string& kind, const sim::Network::SendRecord& s) {
+      [&tracer](const std::string& kind, const net::SendRecord& s) {
         tracer.instant(s.at, 0, kind, s.lost ? "net.lost" : "net", s.from,
                        s.to);
       });

@@ -33,8 +33,8 @@
 
 #include "sim/event_queue.hpp"
 
-namespace hkws::sim {
-class Network;
+namespace hkws::net {
+class Transport;
 }
 
 namespace hkws::obs {
@@ -99,8 +99,10 @@ class Tracer {
 
 /// Instruments every wire send of `net` as an instant event on the global
 /// track: name = message kind, cat = "net" ("net.lost" for messages the
-/// drop/fault model lost), args a/b = from/to endpoints. The tracer must
-/// outlive the network (or the observer must be removed first).
-void attach_network(Tracer& tracer, sim::Network& net);
+/// drop/fault model lost), args a/b = from/to endpoints. Works on any
+/// Transport backend — the simulator and the TCP runtime report through the
+/// same per-send observer, so hop traces stay truthful on both. The tracer
+/// must outlive the transport (or the observer must be removed first).
+void attach_network(Tracer& tracer, net::Transport& net);
 
 }  // namespace hkws::obs

@@ -21,13 +21,14 @@
 #include <unordered_map>
 
 #include "common/rng.hpp"
+#include "net/transport.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 
 namespace hkws::sim {
 
 /// Identifies a process/endpoint in the simulation (a physical peer).
-using EndpointId = std::uint64_t;
+using EndpointId = net::EndpointId;
 
 /// Pluggable one-way latency model.
 class LatencyModel {
@@ -117,11 +118,15 @@ class FaultModel {
                                Rng& rng) = 0;
 };
 
-/// The message-passing fabric.
-class Network {
+/// The message-passing fabric — the simulator's implementation of the
+/// net::Transport interface (the "SimTransport"; see src/net/transport.hpp
+/// and src/net/sim_transport.hpp). Protocol layers talk to the interface;
+/// simulation drivers additionally reach the event queue (clock()) and the
+/// latency/drop/fault models through this concrete class.
+class Network : public net::Transport {
  public:
   /// Delivery action run at the destination when a message arrives.
-  using Handler = std::function<void()>;
+  using Handler = net::Transport::Handler;
 
   /// @param clock    event queue driving the simulation (not owned)
   /// @param latency  latency model (owned); nullptr = FixedLatency(1)
@@ -132,9 +137,9 @@ class Network {
 
   /// Declares an endpoint reachable. Sends to unregistered endpoints are
   /// counted as "net.dropped" and silently discarded (models absent peers).
-  void register_endpoint(EndpointId id);
-  void unregister_endpoint(EndpointId id);
-  bool is_registered(EndpointId id) const;
+  void register_endpoint(EndpointId id) override;
+  void unregister_endpoint(EndpointId id) override;
+  bool is_registered(EndpointId id) const override;
 
   /// Installs (or, with nullptr, removes) a message-loss model. Lost sends
   /// are counted under "net.lost" / "net.lost.<kind>" — and still under
@@ -150,21 +155,13 @@ class Network {
   /// One wire message, reported to the send observer after the drop/fault
   /// models have decided its fate. Duplicated messages report once per wire
   /// copy; local sends and sends to unregistered endpoints do not report.
-  struct SendRecord {
-    Time at = 0;           ///< send time
-    EndpointId from = 0;
-    EndpointId to = 0;
-    std::size_t bytes = 0;
-    bool lost = false;     ///< dropped by the drop or fault model
-    Time deliver_at = 0;   ///< arrival time (== at when lost)
-  };
-  using SendObserver =
-      std::function<void(const std::string& kind, const SendRecord&)>;
+  using SendRecord = net::SendRecord;
+  using SendObserver = net::Transport::SendObserver;
 
   /// Installs (or, with nullptr, removes) a per-send observer — the tracing
   /// hook (see src/obs). Invoked synchronously from send(); keep it cheap.
   /// The observer must outlive the network or be removed first.
-  void set_send_observer(SendObserver fn) { observer_ = std::move(fn); }
+  void set_send_observer(SendObserver fn) override { observer_ = std::move(fn); }
 
   /// Sends one message. `kind` labels the protocol message type for
   /// accounting ("dht.lookup", "kws.t_query", ...). `deliver` runs at the
@@ -172,11 +169,22 @@ class Network {
   /// accounting only. Local sends (from == to) are free: delivered
   /// immediately-after (same tick) and not counted as network messages.
   void send(EndpointId from, EndpointId to, std::string kind,
-            std::size_t payload_bytes, Handler deliver);
+            std::size_t payload_bytes, Handler deliver) override;
+
+  // --- Transport time/timer hooks (delegate to the event queue) -----------
+
+  Time now() const override { return clock_.now(); }
+  void schedule_in(Time delay, Handler fn) override {
+    clock_.schedule_in(delay, std::move(fn));
+  }
+  TimerId set_timer(Time delay, Handler fn) override {
+    return clock_.set_timer(delay, std::move(fn));
+  }
+  bool cancel_timer(TimerId id) override { return clock_.cancel_timer(id); }
 
   EventQueue& clock() noexcept { return clock_; }
-  Metrics& metrics() noexcept { return metrics_; }
-  const Metrics& metrics() const noexcept { return metrics_; }
+  Metrics& metrics() noexcept override { return metrics_; }
+  const Metrics& metrics() const noexcept override { return metrics_; }
 
   /// Total messages actually put on the wire (excludes local sends).
   std::uint64_t messages_sent() const { return metrics_.counter("net.messages"); }

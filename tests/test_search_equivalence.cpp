@@ -8,8 +8,11 @@
 // is applied on top and must agree too.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -22,6 +25,7 @@
 #include "index/logical_index.hpp"
 #include "index/overlay_index.hpp"
 #include "index/ranking.hpp"
+#include "net/tcp_transport.hpp"
 
 namespace hkws::index {
 namespace {
@@ -252,6 +256,118 @@ TEST(SearchEquivalence, ThresholdedLevelParallelHonorsContract) {
             d->search(q, threshold, SearchStrategy::kLevelParallel);
         EXPECT_GE(r.hits.size(), std::min(threshold, total));
         for (const Hit& h : r.hits) EXPECT_TRUE(all.contains(h.object));
+      }
+    }
+  }
+}
+
+// --- The same state machines on the real-socket backend ---------------------
+//
+// The cluster below is byte-for-byte the sim Deployment — same overlay
+// build, same corpus, same searches — but every message crosses a real
+// loopback TCP socket via net::TcpTransport, handlers run on its dispatch
+// strand, and "time" is wall-clock ticks. The protocol's visit-order hit
+// assembly makes the hit sequence independent of arrival timing, so the
+// distributed results must STILL match the in-process LogicalIndex
+// reference byte for byte. This is the acceptance oracle for the runtime:
+// if the transport reordered, dropped, duplicated, or raced anything, the
+// pinned sequences would differ.
+struct TcpDeployment {
+  net::TcpTransport tcp;
+  std::unique_ptr<dht::ChordNetwork> dht;
+  std::unique_ptr<dht::Dolr> dolr;
+  std::unique_ptr<OverlayIndex> index;
+
+  static constexpr std::chrono::seconds kSettle{30};
+
+  explicit TcpDeployment(bool coalesce) {
+    dht = std::make_unique<dht::ChordNetwork>(
+        dht::ChordNetwork::build(tcp, kPeers, {}));
+    dolr = std::make_unique<dht::Dolr>(*dht);
+    index = std::make_unique<OverlayIndex>(
+        *dolr, OverlayIndex::Config{.r = kR, .coalesce_visits = coalesce});
+    // Protocol state machines are strand-confined: initiate the publishes
+    // on the strand, then wait for the resulting message storm to drain.
+    std::mutex mu;
+    std::condition_variable cv;
+    bool initiated = false;
+    tcp.schedule_in(0, [&] {
+      for (const auto& [id, k] : corpus(0xc0ffee)) index->publish(1, id, k);
+      std::lock_guard<std::mutex> lk(mu);
+      initiated = true;
+      cv.notify_all();
+    });
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait_for(lk, kSettle, [&] { return initiated; });
+    EXPECT_TRUE(initiated);
+    EXPECT_TRUE(tcp.wait_idle(kSettle));
+  }
+
+  SearchResult search(const KeywordSet& query, std::size_t threshold,
+                      SearchStrategy strategy) {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<SearchResult> result;
+    tcp.schedule_in(0, [&] {
+      index->superset_search(2, query, threshold, strategy,
+                             [&](const SearchResult& r) {
+                               std::lock_guard<std::mutex> lk(mu);
+                               result = r;
+                               cv.notify_all();
+                             });
+    });
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait_for(lk, kSettle, [&] { return result.has_value(); });
+    }
+    EXPECT_TRUE(result.has_value()) << query.to_string();
+    // Drain trailing traffic (stop fan-out, late results) so the next
+    // search starts from a quiet wire.
+    EXPECT_TRUE(tcp.wait_idle(kSettle));
+    return result.value_or(SearchResult{});
+  }
+};
+
+TEST(SearchEquivalenceTcp, ExhaustiveMatchesLogicalOverRealSockets) {
+  LogicalIndex logical({.r = kR});
+  for (const auto& [id, k] : corpus(0xc0ffee)) logical.insert(id, k);
+
+  TcpDeployment on(true), off(false);
+  std::size_t coalesced_batches = 0;
+  for (const SearchStrategy strategy : kStrategies) {
+    for (const KeywordSet& q : probe_queries()) {
+      const std::vector<Hit> ref = reference_hits(logical, q, 0, strategy);
+      for (int round = 0; round < 2; ++round) {
+        const SearchResult a = on.search(q, 0, strategy);
+        const SearchResult b = off.search(q, 0, strategy);
+        expect_identical(a.hits, ref, q, "tcp coalesce-on vs logical");
+        expect_identical(b.hits, ref, q, "tcp coalesce-off vs logical");
+        EXPECT_TRUE(a.stats.complete);
+        EXPECT_TRUE(b.stats.complete);
+        coalesced_batches += a.stats.coalesced_batches;
+      }
+    }
+  }
+  EXPECT_GT(coalesced_batches, 0u);  // the fast path engaged over TCP too
+  // Real frames moved through real sockets; nothing failed to decode.
+  EXPECT_GT(on.tcp.metrics().counter("net.wire_bytes"), 0u);
+  EXPECT_EQ(on.tcp.decode_errors(), 0u);
+  EXPECT_EQ(off.tcp.decode_errors(), 0u);
+}
+
+TEST(SearchEquivalenceTcp, ThresholdedSequentialMatchesLogical) {
+  LogicalIndex logical({.r = kR});
+  for (const auto& [id, k] : corpus(0xc0ffee)) logical.insert(id, k);
+
+  TcpDeployment on(true);
+  for (const SearchStrategy strategy : {SearchStrategy::kTopDownSequential,
+                                        SearchStrategy::kBottomUpSequential}) {
+    for (const KeywordSet& q : probe_queries()) {
+      for (const std::size_t threshold : {std::size_t{3}, std::size_t{9}}) {
+        const std::vector<Hit> ref =
+            reference_hits(logical, q, threshold, strategy);
+        expect_identical(on.search(q, threshold, strategy).hits, ref, q,
+                         "tcp thresholded");
       }
     }
   }

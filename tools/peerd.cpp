@@ -1,0 +1,402 @@
+// peerd — the keyword-search cluster as real processes.
+//
+// Two subcommands, one binary:
+//
+//   peerd serve --shard I --shards N [--peers P] [--objects M] [--seed S]
+//     Hosts one *shard* of the demo corpus: a complete Chord+DOLR+hypercube
+//     cluster of P peers running over its own net::TcpTransport (real
+//     loopback sockets, real threads), holding every corpus object whose id
+//     maps to shard I. Listens on an ephemeral front-end TCP port — printed
+//     as "PORT=<n>" on stdout — and answers fe.query wire frames
+//     (net/wire.hpp) with fe.reply frames carrying the shard's
+//     deterministic hit sequence.
+//
+//   peerd query --ports P1,P2,... [--threshold T] [--strategy name]
+//               [--check] [--seed S] [--objects M] [--shards N] -- kw...
+//     The front-end: scatters one superset query to every shard process,
+//     gathers the fe.reply frames, merges hits in shard order, and prints
+//     them. With --check it recomputes the expected answer with an
+//     in-process LogicalIndex over the full corpus and exits nonzero unless
+//     the distributed answer matches object-for-object, keywords and all —
+//     the end-to-end assertion examples/multiprocess_demo.sh runs in CI.
+//
+// The corpus is generated, not loaded: seeded, so every process derives the
+// same objects independently and the query side can reconstruct ground
+// truth without any shared files.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dht/chord_network.hpp"
+#include "dht/dolr.hpp"
+#include "index/logical_index.hpp"
+#include "index/overlay_index.hpp"
+#include "net/tcp_transport.hpp"
+#include "net/wire.hpp"
+
+namespace {
+
+using namespace hkws;
+
+constexpr int kR = 6;
+
+struct Options {
+  std::size_t shard = 0;
+  std::size_t shards = 1;
+  std::size_t peers = 8;
+  std::size_t objects = 200;
+  std::size_t vocab = 12;
+  std::uint64_t seed = 0xc0ffee;
+  std::size_t threshold = 0;
+  index::SearchStrategy strategy = index::SearchStrategy::kTopDownSequential;
+  bool check = false;
+  std::vector<std::uint16_t> ports;
+  std::vector<std::string> keywords;
+};
+
+/// The full demo corpus; every process derives it identically from the
+/// seed. Shard assignment is by object id, round-robin.
+std::map<ObjectId, KeywordSet> make_corpus(const Options& opt) {
+  std::map<ObjectId, KeywordSet> out;
+  Rng rng(opt.seed);
+  for (ObjectId id = 1; id <= opt.objects; ++id) {
+    std::vector<Keyword> words;
+    const std::size_t n = 1 + rng.next_below(4);
+    for (std::size_t i = 0; i < n; ++i)
+      words.push_back("w" + std::to_string(rng.next_below(opt.vocab)));
+    out[id] = KeywordSet(std::move(words));
+  }
+  return out;
+}
+
+std::optional<index::SearchStrategy> strategy_of(const std::string& name) {
+  if (name == "top-down") return index::SearchStrategy::kTopDownSequential;
+  if (name == "bottom-up") return index::SearchStrategy::kBottomUpSequential;
+  if (name == "level-parallel") return index::SearchStrategy::kLevelParallel;
+  return std::nullopt;
+}
+
+bool read_frame(int fd, std::vector<std::uint8_t>& buf,
+                std::optional<net::DecodedFrame>& out) {
+  std::uint8_t chunk[4096];
+  while (true) {
+    const std::optional<std::size_t> need =
+        net::frame_size(buf.data(), buf.size());
+    if (!need.has_value()) return false;  // malformed header
+    if (*need != 0 && *need <= buf.size()) {
+      out = net::decode_frame(buf.data(), *need);
+      return out.has_value();
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // peer closed mid-frame
+    }
+    buf.insert(buf.end(), chunk, chunk + n);
+  }
+}
+
+bool write_frame(int fd, const std::vector<std::uint8_t>& frame) {
+  const std::uint8_t* p = frame.data();
+  std::size_t left = frame.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += static_cast<std::size_t>(n);
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::vector<net::WireHit> to_wire(const std::vector<index::Hit>& hits) {
+  std::vector<net::WireHit> out;
+  out.reserve(hits.size());
+  for (const index::Hit& h : hits)
+    out.push_back(net::WireHit{h.object, h.keywords.words()});
+  return out;
+}
+
+// --- serve ------------------------------------------------------------------
+
+int run_serve(const Options& opt) {
+  net::TcpTransport transport;
+  auto dht = std::make_unique<dht::ChordNetwork>(
+      dht::ChordNetwork::build(transport, opt.peers, {}));
+  auto dolr = std::make_unique<dht::Dolr>(*dht);
+  auto idx = std::make_unique<index::OverlayIndex>(
+      *dolr, index::OverlayIndex::Config{.r = kR});
+
+  // Publish this shard's slice of the corpus (strand-confined, like every
+  // protocol initiation).
+  {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    transport.schedule_in(0, [&] {
+      for (const auto& [id, k] : make_corpus(opt))
+        if (id % opt.shards == opt.shard) idx->publish(1, id, k);
+      std::lock_guard<std::mutex> lk(mu);
+      done = true;
+      cv.notify_all();
+    });
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return done; });
+  }
+  if (!transport.wait_idle(std::chrono::seconds(60))) {
+    std::fprintf(stderr, "peerd: shard %zu failed to settle\n", opt.shard);
+    return 1;
+  }
+
+  // Front-end listener: ephemeral port, announced on stdout for the
+  // launcher script.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd < 0) return 1;
+  const int one = 1;
+  ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(lfd, 16) != 0) {
+    ::close(lfd);
+    return 1;
+  }
+  socklen_t alen = sizeof(addr);
+  ::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen);
+  std::printf("PORT=%u\n", static_cast<unsigned>(ntohs(addr.sin_port)));
+  std::fflush(stdout);
+
+  while (true) {
+    const int cfd = ::accept(lfd, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    std::vector<std::uint8_t> buf;
+    std::optional<net::DecodedFrame> frame;
+    if (!read_frame(cfd, buf, frame) || frame->kind != net::MsgKind::kFeQuery) {
+      ::close(cfd);
+      continue;  // malformed request: drop, keep serving
+    }
+    const auto& q = std::get<net::FeQueryMsg>(frame->msg);
+    const auto strategy = static_cast<index::SearchStrategy>(q.strategy);
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<index::SearchResult> result;
+    transport.schedule_in(0, [&] {
+      std::vector<Keyword> words(q.keywords.begin(), q.keywords.end());
+      idx->superset_search(2, KeywordSet(std::move(words)), q.threshold,
+                           strategy, [&](const index::SearchResult& r) {
+                             std::lock_guard<std::mutex> lk(mu);
+                             result = r;
+                             cv.notify_all();
+                           });
+    });
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait_for(lk, std::chrono::seconds(60),
+                  [&] { return result.has_value(); });
+    }
+    net::FeReplyMsg reply;
+    if (result.has_value()) {
+      reply.complete = result->stats.complete;
+      reply.messages = result->stats.messages;
+      reply.hits = to_wire(result->hits);
+    }
+    write_frame(cfd, net::encode_frame(net::MsgKind::kFeReply,
+                                       net::WireMessage{reply}));
+    ::close(cfd);
+    transport.wait_idle(std::chrono::seconds(60));
+  }
+  ::close(lfd);
+  return 0;
+}
+
+// --- query ------------------------------------------------------------------
+
+int connect_with_retry(std::uint16_t port) {
+  auto backoff = std::chrono::milliseconds(5);
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+      return fd;
+    ::close(fd);
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, std::chrono::milliseconds(200));
+  }
+  return -1;
+}
+
+int run_query(const Options& opt) {
+  net::FeQueryMsg q;
+  q.threshold = opt.threshold;
+  q.strategy = static_cast<std::uint8_t>(opt.strategy);
+  q.keywords = opt.keywords;
+  const auto request =
+      net::encode_frame(net::MsgKind::kFeQuery, net::WireMessage{q});
+
+  // Scatter-gather: one connection per shard, merged in shard order so the
+  // output is deterministic.
+  std::vector<net::FeReplyMsg> replies(opt.ports.size());
+  for (std::size_t i = 0; i < opt.ports.size(); ++i) {
+    const int fd = connect_with_retry(opt.ports[i]);
+    if (fd < 0) {
+      std::fprintf(stderr, "peerd query: cannot reach shard on port %u\n",
+                   static_cast<unsigned>(opt.ports[i]));
+      return 1;
+    }
+    std::vector<std::uint8_t> buf;
+    std::optional<net::DecodedFrame> frame;
+    if (!write_frame(fd, request) || !read_frame(fd, buf, frame) ||
+        frame->kind != net::MsgKind::kFeReply) {
+      std::fprintf(stderr, "peerd query: shard %zu protocol error\n", i);
+      ::close(fd);
+      return 1;
+    }
+    replies[i] = std::get<net::FeReplyMsg>(frame->msg);
+    ::close(fd);
+  }
+
+  std::uint64_t messages = 0;
+  std::vector<net::WireHit> merged;
+  bool complete = true;
+  for (const net::FeReplyMsg& r : replies) {
+    messages += r.messages;
+    complete = complete && r.complete;
+    merged.insert(merged.end(), r.hits.begin(), r.hits.end());
+  }
+  for (const net::WireHit& h : merged) {
+    std::string words;
+    for (const std::string& w : h.keywords) {
+      if (!words.empty()) words += ",";
+      words += w;
+    }
+    std::printf("hit object=%llu keywords=%s\n",
+                static_cast<unsigned long long>(h.object), words.c_str());
+  }
+  std::printf("total=%zu shards=%zu messages=%llu complete=%d\n",
+              merged.size(), opt.ports.size(),
+              static_cast<unsigned long long>(messages), complete ? 1 : 0);
+
+  if (opt.check) {
+    // Ground truth: the same seeded corpus through the in-process
+    // reference index. The distributed answer must contain exactly the
+    // same (object, keyword-set) pairs.
+    index::LogicalIndex logical({.r = kR});
+    for (const auto& [id, k] : make_corpus(opt)) logical.insert(id, k);
+    std::vector<Keyword> words(opt.keywords.begin(), opt.keywords.end());
+    const index::SearchResult ref = logical.superset_search(
+        KeywordSet(std::move(words)), opt.threshold, opt.strategy);
+    std::map<ObjectId, std::vector<std::string>> want, got;
+    for (const index::Hit& h : ref.hits) want[h.object] = h.keywords.words();
+    for (const net::WireHit& h : merged) got[h.object] = h.keywords;
+    if (want != got) {
+      std::fprintf(stderr,
+                   "peerd query: CHECK FAILED — expected %zu hits, got %zu\n",
+                   want.size(), got.size());
+      return 2;
+    }
+    std::printf("check=ok expected=%zu\n", want.size());
+  }
+  return 0;
+}
+
+// --- argv -------------------------------------------------------------------
+
+std::optional<Options> parse(int argc, char** argv, std::string& mode) {
+  if (argc < 2) return std::nullopt;
+  mode = argv[1];
+  Options opt;
+  int i = 2;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--") {
+      ++i;
+      break;
+    } else if (arg == "--shard") {
+      opt.shard = std::stoul(next());
+    } else if (arg == "--shards") {
+      opt.shards = std::stoul(next());
+    } else if (arg == "--peers") {
+      opt.peers = std::stoul(next());
+    } else if (arg == "--objects") {
+      opt.objects = std::stoul(next());
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(next());
+    } else if (arg == "--threshold") {
+      opt.threshold = std::stoul(next());
+    } else if (arg == "--check") {
+      opt.check = true;
+    } else if (arg == "--strategy") {
+      const auto s = strategy_of(next());
+      if (!s.has_value()) return std::nullopt;
+      opt.strategy = *s;
+    } else if (arg == "--ports") {
+      std::string list = next();
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string tok = list.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        opt.ports.push_back(static_cast<std::uint16_t>(std::stoul(tok)));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else {
+      return std::nullopt;
+    }
+  }
+  for (; i < argc; ++i) opt.keywords.emplace_back(argv[i]);
+  if (opt.shards == 0 || opt.shard >= opt.shards) return std::nullopt;
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode;
+  const std::optional<Options> opt = parse(argc, argv, mode);
+  if (opt.has_value() && mode == "serve") return run_serve(*opt);
+  if (opt.has_value() && mode == "query" && !opt->ports.empty() &&
+      !opt->keywords.empty())
+    return run_query(*opt);
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  peerd serve --shard I --shards N [--peers P] [--objects M] "
+      "[--seed S]\n"
+      "  peerd query --ports P1,P2,... [--threshold T]\n"
+      "              [--strategy top-down|bottom-up|level-parallel]\n"
+      "              [--check] [--shards N] [--objects M] [--seed S] -- kw "
+      "[kw...]\n");
+  return 64;
+}
