@@ -24,6 +24,11 @@ const char* to_string(QueryOutcome outcome) noexcept {
 QueryEngine::QueryEngine(index::KeywordSearchService& service,
                          sim::EventQueue& clock, EngineConfig cfg)
     : service_(service), clock_(clock), cfg_(cfg) {
+  limit_ = static_cast<double>(
+      cfg_.adaptive.enabled
+          ? std::clamp(cfg_.max_in_flight, cfg_.adaptive.min_in_flight,
+                       cfg_.adaptive.max_in_flight)
+          : cfg_.max_in_flight);
   if (cfg_.latency_reservoir != 0)
     metrics_.set_reservoir("engine.latency", cfg_.latency_reservoir);
   // The protocol trace feeds two consumers: per-query trace records
@@ -42,6 +47,74 @@ QueryEngine::~QueryEngine() {
   }
 }
 
+std::size_t QueryEngine::in_flight_limit() const noexcept {
+  if (!cfg_.adaptive.enabled) return cfg_.max_in_flight;
+  return std::clamp(static_cast<std::size_t>(limit_),
+                    cfg_.adaptive.min_in_flight, cfg_.adaptive.max_in_flight);
+}
+
+std::size_t QueryEngine::backlog_limit() const noexcept {
+  if (!cfg_.adaptive.enabled) return cfg_.max_backlog;
+  const auto scaled = static_cast<std::size_t>(
+      cfg_.adaptive.backlog_per_slot * static_cast<double>(in_flight_limit()));
+  return std::max(cfg_.max_backlog, scaled);
+}
+
+void QueryEngine::sync_gauges() {
+  // High-water marks move on *every* transition — submit-time-only sampling
+  // under-read peaks that built up between submissions (e.g. a pump wave).
+  in_flight_high_water_ = std::max(in_flight_high_water_, active_.size());
+  backlog_high_water_ = std::max(backlog_high_water_, backlog_.size());
+  if (cfg_.windows == nullptr) return;
+  const sim::Time now = clock_.now();
+  cfg_.windows->gauge(now, "in_flight", static_cast<double>(active_.size()));
+  cfg_.windows->gauge(now, "backlog", static_cast<double>(backlog_.size()));
+  if (cfg_.adaptive.enabled) {
+    cfg_.windows->gauge(now, "admit_limit",
+                        static_cast<double>(in_flight_limit()));
+    cfg_.windows->gauge(now, "backlog_limit",
+                        static_cast<double>(backlog_limit()));
+  }
+}
+
+sim::Time QueryEngine::adapt_target() const noexcept {
+  if (cfg_.adaptive.latency_target != 0) return cfg_.adaptive.latency_target;
+  if (cfg_.deadline != 0)
+    return static_cast<sim::Time>(cfg_.adaptive.headroom *
+                                  static_cast<double>(cfg_.deadline));
+  return 0;
+}
+
+void QueryEngine::adapt_on_completion(sim::Time service_latency) {
+  if (!cfg_.adaptive.enabled) return;
+  const sim::Time target = adapt_target();
+  if (target != 0 && service_latency > target) {
+    adapt_on_overload();
+    return;
+  }
+  limit_ += slow_start_ ? cfg_.adaptive.increase
+                        : cfg_.adaptive.increase / std::max(1.0, limit_);
+  limit_ = std::min(limit_,
+                    static_cast<double>(cfg_.adaptive.max_in_flight));
+}
+
+void QueryEngine::adapt_on_overload() {
+  if (!cfg_.adaptive.enabled) return;
+  slow_start_ = false;
+  const sim::Time now = clock_.now();
+  const sim::Time target = adapt_target();
+  const sim::Time cooldown = target != 0 ? target : cfg_.deadline;
+  // One multiplicative decrease per target interval: a burst of queries
+  // timing out together is one congestion event, not limit^-N of them.
+  if (any_decrease_ && now < last_decrease_ + cooldown) return;
+  any_decrease_ = true;
+  last_decrease_ = now;
+  limit_ = std::max(limit_ * cfg_.adaptive.decrease,
+                    static_cast<double>(cfg_.adaptive.min_in_flight));
+  metrics_.count("engine.admit_decrease");
+  sync_gauges();
+}
+
 std::uint64_t QueryEngine::submit(sim::EndpointId searcher,
                                   const KeywordSet& query, int priority) {
   const std::uint64_t id = next_id_++;
@@ -51,11 +124,7 @@ std::uint64_t QueryEngine::submit(sim::EndpointId searcher,
     any_submit_ = true;
   }
   metrics_.count("engine.submitted");
-  if (cfg_.windows != nullptr) {
-    cfg_.windows->count(now, "submitted");
-    cfg_.windows->gauge(now, "in_flight", static_cast<double>(active_.size()));
-    cfg_.windows->gauge(now, "backlog", static_cast<double>(backlog_.size()));
-  }
+  if (cfg_.windows != nullptr) cfg_.windows->count(now, "submitted");
   if (cfg_.tracer != nullptr)
     cfg_.tracer->begin(now, id, "query", "engine",
                        static_cast<std::uint64_t>(priority));
@@ -65,8 +134,15 @@ std::uint64_t QueryEngine::submit(sim::EndpointId searcher,
   rec.priority = priority;
   rec.submitted = now;
 
-  if (active_.size() >= cfg_.max_in_flight &&
-      backlog_.size() >= cfg_.max_backlog) {
+  if (active_.size() >= in_flight_limit() &&
+      backlog_.size() >= backlog_limit()) {
+    // The backlog looks full, but entries whose deadline already burned out
+    // are dead weight: time them out first (their true outcome) instead of
+    // shedding the live newcomer against phantom occupancy.
+    expire_stale_backlog();
+  }
+  if (active_.size() >= in_flight_limit() &&
+      backlog_.size() >= backlog_limit()) {
     // Saturated: shed at the door rather than grow an unbounded queue.
     rec.outcome = QueryOutcome::kShed;
     rec.finished = now;
@@ -77,6 +153,7 @@ std::uint64_t QueryEngine::submit(sim::EndpointId searcher,
       cfg_.tracer->instant(now, id, "shed", "engine");
       cfg_.tracer->close_open(now, id);
     }
+    sync_gauges();
     records_.push_back(std::move(rec));
     if (on_finished_) on_finished_(records_.back());
     return id;
@@ -84,15 +161,49 @@ std::uint64_t QueryEngine::submit(sim::EndpointId searcher,
 
   pending_.emplace(id, std::move(rec));
   note(id, "submit", static_cast<std::uint64_t>(priority));
-  if (active_.size() < cfg_.max_in_flight) {
+  if (active_.size() < in_flight_limit()) {
     launch(id, searcher, query);
   } else {
     if (cfg_.tracer != nullptr)
       cfg_.tracer->begin(now, id, "backlog", "engine");
     backlog_.push_back(Waiting{id, searcher, query});
-    backlog_high_water_ = std::max(backlog_high_water_, backlog_.size());
+    sync_gauges();
   }
   return id;
+}
+
+void QueryEngine::expire_stale_backlog() {
+  if (cfg_.deadline == 0 || backlog_.empty()) return;
+  const sim::Time now = clock_.now();
+  const auto expired = [&](const Waiting& w, sim::Time& expires) {
+    const auto it = pending_.find(w.id);
+    if (it == pending_.end()) return true;  // defensive; should not happen
+    expires = it->second.submitted + cfg_.deadline;
+    return expires <= now;
+  };
+  if (cfg_.policy == BacklogPolicy::kFifo) {
+    // FIFO is submission-ordered, so expired entries form a prefix.
+    sim::Time expires = 0;
+    while (!backlog_.empty() && expired(backlog_.front(), expires)) {
+      const std::uint64_t id = backlog_.front().id;
+      backlog_.pop_front();
+      metrics_.count("engine.timed_out_queued");
+      seal(id, QueryOutcome::kTimedOut, expires);
+    }
+  } else {
+    for (std::size_t i = 0; i < backlog_.size();) {
+      sim::Time expires = 0;
+      if (!expired(backlog_[i], expires)) {
+        ++i;
+        continue;
+      }
+      const std::uint64_t id = backlog_[i].id;
+      backlog_.erase(backlog_.begin() + static_cast<std::ptrdiff_t>(i));
+      metrics_.count("engine.timed_out_queued");
+      seal(id, QueryOutcome::kTimedOut, expires);
+    }
+  }
+  sync_gauges();
 }
 
 void QueryEngine::launch(std::uint64_t id, sim::EndpointId searcher,
@@ -103,8 +214,10 @@ void QueryEngine::launch(std::uint64_t id, sim::EndpointId searcher,
   if (cfg_.deadline != 0) {
     const sim::Time expires = rec.submitted + cfg_.deadline;
     if (expires <= now) {
-      // The deadline burned out while the query sat in the backlog.
-      seal(id, QueryOutcome::kTimedOut);
+      // The deadline burned out while the query sat in the backlog. Seal at
+      // the *true* expiry, not the pop time — latency must read `deadline`.
+      metrics_.count("engine.timed_out_queued");
+      seal(id, QueryOutcome::kTimedOut, expires);
       return;
     }
     act.deadline_timer =
@@ -117,8 +230,7 @@ void QueryEngine::launch(std::uint64_t id, sim::EndpointId searcher,
     cfg_.tracer->begin(now, id, "root_lookup", "engine");
   }
   auto [it, inserted] = active_.emplace(id, act);
-  if (cfg_.windows != nullptr)
-    cfg_.windows->gauge(now, "in_flight", static_cast<double>(active_.size()));
+  sync_gauges();
   const std::uint64_t ticket = service_.search(
       searcher, query, cfg_.search,
       [this, id](const index::KeywordSearchService::Answer& answer) {
@@ -126,17 +238,17 @@ void QueryEngine::launch(std::uint64_t id, sim::EndpointId searcher,
       });
   it->second.ticket = ticket;
   by_ticket_.emplace(ticket, id);
-  in_flight_high_water_ = std::max(in_flight_high_water_, active_.size());
 }
 
 void QueryEngine::pump() {
   if (pumping_) return;
   pumping_ = true;
-  while (active_.size() < cfg_.max_in_flight && !backlog_.empty()) {
+  while (active_.size() < in_flight_limit() && !backlog_.empty()) {
     Waiting w = pop_backlog();
     launch(w.id, w.searcher, w.query);
   }
   pumping_ = false;
+  sync_gauges();
 }
 
 QueryEngine::Waiting QueryEngine::pop_backlog() {
@@ -169,9 +281,16 @@ void QueryEngine::on_answer(std::uint64_t id,
   rec.hits = answer.hits.size();
   rec.stats = answer.stats;
   // Verdict precedence mirrors SearchStats: failed > degraded > completed.
-  seal(id, answer.stats.failed      ? QueryOutcome::kFailed
-           : answer.stats.degraded ? QueryOutcome::kDegraded
-                                   : QueryOutcome::kCompleted);
+  const QueryOutcome outcome = answer.stats.failed
+                                   ? QueryOutcome::kFailed
+                                   : answer.stats.degraded
+                                         ? QueryOutcome::kDegraded
+                                         : QueryOutcome::kCompleted;
+  // AIMD signal: the query's *service* time (admission to answer). Protocol
+  // failures are loss, not congestion — they neither grow nor shrink.
+  if (outcome != QueryOutcome::kFailed)
+    adapt_on_completion(clock_.now() - rec.admitted);
+  seal(id, outcome);
   pump();
 }
 
@@ -181,17 +300,24 @@ void QueryEngine::on_deadline(std::uint64_t id) {
   service_.cancel_search(it->second.ticket);
   by_ticket_.erase(it->second.ticket);
   active_.erase(it);
+  // An admitted query that blew its deadline is the congestion signal.
+  adapt_on_overload();
   seal(id, QueryOutcome::kTimedOut);
   pump();
 }
 
 void QueryEngine::seal(std::uint64_t id, QueryOutcome outcome) {
+  seal(id, outcome, clock_.now());
+}
+
+void QueryEngine::seal(std::uint64_t id, QueryOutcome outcome,
+                       sim::Time finished_at) {
   const auto it = pending_.find(id);
   if (it == pending_.end()) return;
   QueryRecord& rec = it->second;
   const sim::Time now = clock_.now();
   rec.outcome = outcome;
-  rec.finished = now;
+  rec.finished = finished_at;
   const char* outcome_point = "shed";
   switch (outcome) {
     case QueryOutcome::kCompleted:
@@ -296,6 +422,7 @@ EngineReport QueryEngine::report() const {
   r.completed = metrics_.counter("engine.completed");
   r.degraded = metrics_.counter("engine.degraded");
   r.timed_out = metrics_.counter("engine.timed_out");
+  r.timed_out_in_backlog = metrics_.counter("engine.timed_out_queued");
   r.failed = metrics_.counter("engine.failed");
   r.shed = metrics_.counter("engine.shed");
   const std::vector<double>& lat = metrics_.samples("engine.latency");
@@ -311,6 +438,7 @@ EngineReport QueryEngine::report() const {
                      static_cast<double>(last_finish_ - first_submit_);
   r.in_flight_high_water = in_flight_high_water_;
   r.backlog_high_water = backlog_high_water_;
+  r.admit_limit = in_flight_limit();
   const sim::Metrics& net_metrics =
       service_.primary_index().dolr().overlay().transport().metrics();
   r.retransmits = net_metrics.counter("kws.retransmit");
@@ -324,10 +452,11 @@ std::string EngineReport::to_string() const {
   std::ostringstream os;
   os << "queries: submitted=" << submitted << " completed=" << completed
      << " degraded=" << degraded << " timed_out=" << timed_out
+     << " (in_backlog=" << timed_out_in_backlog << ")"
      << " failed=" << failed << " shed=" << shed << "\n";
   os << "latency (ticks): mean=" << latency_mean << " p50=" << latency_p50
      << " p95=" << latency_p95 << " p99=" << latency_p99 << "\n";
-  os << "achieved_qps=" << achieved_qps
+  os << "achieved_qps=" << achieved_qps << " admit_limit=" << admit_limit
      << " in_flight_hwm=" << in_flight_high_water
      << " backlog_hwm=" << backlog_high_water
      << " retransmits=" << retransmits << " failovers=" << failovers
@@ -351,12 +480,15 @@ std::string EngineReport::to_json() const {
   os << "{"
      << "\"submitted\":" << submitted << ",\"completed\":" << completed
      << ",\"degraded\":" << degraded
-     << ",\"timed_out\":" << timed_out << ",\"failed\":" << failed
+     << ",\"timed_out\":" << timed_out
+     << ",\"timed_out_in_backlog\":" << timed_out_in_backlog
+     << ",\"failed\":" << failed
      << ",\"shed\":" << shed << ",\"latency_mean\":" << latency_mean
      << ",\"latency_p50\":" << latency_p50
      << ",\"latency_p95\":" << latency_p95
      << ",\"latency_p99\":" << latency_p99
      << ",\"achieved_qps\":" << achieved_qps
+     << ",\"admit_limit\":" << admit_limit
      << ",\"in_flight_high_water\":" << in_flight_high_water
      << ",\"backlog_high_water\":" << backlog_high_water
      << ",\"retransmits\":" << retransmits

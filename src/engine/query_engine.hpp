@@ -69,11 +69,45 @@ enum class BacklogPolicy {
   kPriority,  ///< highest priority first, FIFO within a priority
 };
 
+/// AIMD controller for the admission limits. Instead of a fixed in-flight
+/// cap, the engine tracks a floating limit: completions whose *service*
+/// latency (finished - admitted; queue wait excluded — waiting is an
+/// under-provisioning signal, not an over-concurrency one) lands under the
+/// target grow the limit, while in-flight deadline expiries and over-target
+/// completions shrink it multiplicatively (rate-limited to one decrease per
+/// target interval, so a burst of simultaneous timeouts costs one halving,
+/// not a collapse to the floor). Growth is slow-start-style (+increase per
+/// good completion) until the first decrease, then classic congestion
+/// avoidance (+increase/limit). The backlog bound scales with the limit.
+/// See docs/TUNING.md for the knob guide.
+struct AdaptiveAdmission {
+  bool enabled = false;
+  /// Floor/ceiling of the floating in-flight limit.
+  std::size_t min_in_flight = 4;
+  std::size_t max_in_flight = 4096;
+  /// Additive step per good completion (divided by the current limit once
+  /// out of slow start).
+  double increase = 1.0;
+  /// Multiplicative factor applied on an overload signal.
+  double decrease = 0.5;
+  /// Service-latency target as a fraction of the deadline; used when
+  /// latency_target is 0 and a deadline is set.
+  double headroom = 0.5;
+  /// Explicit service-latency target in ticks (overrides headroom).
+  sim::Time latency_target = 0;
+  /// Adaptive backlog bound = max(max_backlog, backlog_per_slot * limit).
+  double backlog_per_slot = 8.0;
+};
+
 struct EngineConfig {
-  /// Concurrent searches allowed on the wire.
+  /// Concurrent searches allowed on the wire. With adaptive admission
+  /// enabled this is only the controller's starting point.
   std::size_t max_in_flight = 64;
-  /// Queued submissions allowed beyond that; the next one is shed.
+  /// Queued submissions allowed beyond that; the next one is shed. With
+  /// adaptive admission enabled this is the backlog bound's floor.
   std::size_t max_backlog = 1024;
+  /// Floating-limit admission control; disabled = fixed limits above.
+  AdaptiveAdmission adaptive;
   /// Per-query deadline in ticks from submission; 0 = none.
   sim::Time deadline = 0;
   BacklogPolicy policy = BacklogPolicy::kFifo;
@@ -134,6 +168,8 @@ struct EngineReport {
   /// admission rejections (shed) each stay separately accounted.
   std::uint64_t degraded = 0;
   std::uint64_t timed_out = 0;
+  /// Of the timed_out, how many expired while still queued (never launched).
+  std::uint64_t timed_out_in_backlog = 0;
   std::uint64_t failed = 0;
   std::uint64_t shed = 0;
   /// Latency stats over *served* (completed + degraded) queries, in ticks.
@@ -146,6 +182,9 @@ struct EngineReport {
   double achieved_qps = 0.0;
   std::size_t in_flight_high_water = 0;
   std::size_t backlog_high_water = 0;
+  /// In-flight limit at report time (the AIMD limit when adaptive admission
+  /// is on; the fixed max_in_flight otherwise).
+  std::size_t admit_limit = 0;
   /// Protocol-message retransmissions across all queries.
   std::uint64_t retransmits = 0;
   /// Mid-query failovers (stale contact re-routes, surrogate-root
@@ -185,6 +224,9 @@ class QueryEngine {
 
   std::size_t in_flight() const noexcept { return active_.size(); }
   std::size_t backlog() const noexcept { return backlog_.size(); }
+  /// Current admission bounds (floating when adaptive admission is on).
+  std::size_t in_flight_limit() const noexcept;
+  std::size_t backlog_limit() const noexcept;
   /// Finished queries, in finish order.
   const std::vector<QueryRecord>& records() const noexcept { return records_; }
   /// The engine's own metrics (latency series "engine.latency", counters).
@@ -214,7 +256,20 @@ class QueryEngine {
   void on_answer(std::uint64_t id,
                  const index::KeywordSearchService::Answer& answer);
   void on_deadline(std::uint64_t id);
-  /// Moves a pending record to records_ with the given outcome.
+  /// Times out backlog entries whose deadline already passed. Lazy: called
+  /// only when the backlog bound is hit (amortized O(1)) and at pop — but
+  /// correct: sealed with the *true* expiry time, and never counted as shed.
+  void expire_stale_backlog();
+  /// Refreshes high-water marks and windowed gauges after any
+  /// in-flight/backlog/limit transition.
+  void sync_gauges();
+  /// AIMD hooks (no-ops unless cfg_.adaptive.enabled).
+  void adapt_on_completion(sim::Time service_latency);
+  void adapt_on_overload();
+  sim::Time adapt_target() const noexcept;
+  /// Moves a pending record to records_ with the given outcome, finishing
+  /// at `finished_at` (backlog expiries backdate to the true deadline).
+  void seal(std::uint64_t id, QueryOutcome outcome, sim::Time finished_at);
   void seal(std::uint64_t id, QueryOutcome outcome);
   void on_trace(const index::OverlayIndex::Trace& t);
   void note(std::uint64_t id, const char* point, std::uint64_t a = 0,
@@ -244,6 +299,11 @@ class QueryEngine {
   bool any_submit_ = false;
   sim::Time last_finish_ = 0;
   bool pumping_ = false;  ///< re-entrancy guard for pump()
+  // AIMD state (meaningful only with cfg_.adaptive.enabled).
+  double limit_ = 0.0;          ///< floating in-flight limit
+  bool slow_start_ = true;      ///< fast additive ramp until first decrease
+  sim::Time last_decrease_ = 0; ///< decrease rate-limit anchor
+  bool any_decrease_ = false;
 };
 
 }  // namespace hkws::engine

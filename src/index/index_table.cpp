@@ -7,8 +7,8 @@ bool IndexTable::add(const KeywordSet& keywords, ObjectId object) {
   const bool inserted = it->second.insert(object).second;
   if (inserted) ++objects_;
   if (fresh) {
-    signatures_.emplace(&it->first, keywords.signature());
-    for (const Keyword& w : it->first) postings_[w].insert(it);
+    const std::uint64_t sig = keywords.signature();
+    for (const Keyword& w : it->first) postings_[w].insert(Posting{it, sig});
   }
   return inserted;
 }
@@ -21,10 +21,9 @@ bool IndexTable::remove(const KeywordSet& keywords, ObjectId object) {
   if (it->second.empty()) {
     for (const Keyword& w : it->first) {
       const auto pit = postings_.find(w);
-      pit->second.erase(it);
+      pit->second.erase(Posting{it, 0});  // ordered by keyword set; sig unused
       if (pit->second.empty()) postings_.erase(pit);
     }
-    signatures_.erase(&it->first);
     entries_.erase(it);
   }
   return true;
@@ -66,17 +65,17 @@ void IndexTable::for_each_superset(
   }
 
   const std::uint64_t sig_q = query.signature();
-  for (const EntryMap::const_iterator it : *smallest) {
+  for (const Posting& p : *smallest) {
     ++scan_.candidates;
-    if ((sig_q & ~signatures_.find(&it->first)->second) != 0) {
+    if ((sig_q & ~p.sig) != 0) {
       ++scan_.signature_rejects;
       continue;
     }
-    if (it->first.size() < query.size()) continue;
+    if (p.it->first.size() < query.size()) continue;
     ++scan_.subset_checks;
-    if (!query.subset_of(it->first)) continue;
+    if (!query.subset_of(p.it->first)) continue;
     ++scan_.matches;
-    if (!fn(it->first, it->second)) return;
+    if (!fn(p.it->first, p.it->second)) return;
   }
 }
 
@@ -95,26 +94,33 @@ std::vector<Hit> IndexTable::supersets(const KeywordSet& query,
                                        std::size_t limit,
                                        bool* truncated) const {
   std::vector<Hit> hits;
+  supersets_into(query, limit, truncated, hits);
+  return hits;
+}
+
+void IndexTable::supersets_into(const KeywordSet& query, std::size_t limit,
+                                bool* truncated,
+                                std::vector<Hit>& out) const {
+  out.clear();
   bool cut = false;
   for_each_superset(query, [&](const KeywordSet& k,
                                const std::set<ObjectId>& objects) {
     // Re-check at entry granularity too: when the previous entry filled the
     // batch exactly, the next matching entry proves objects were left out.
-    if (limit != 0 && hits.size() >= limit) {
+    if (limit != 0 && out.size() >= limit) {
       cut = true;
       return false;
     }
     for (ObjectId o : objects) {
-      if (limit != 0 && hits.size() >= limit) {
+      if (limit != 0 && out.size() >= limit) {
         cut = true;
         return false;
       }
-      hits.push_back(Hit{o, k});
+      out.push_back(Hit{o, k});
     }
     return true;
   });
   if (truncated != nullptr) *truncated = cut;
-  return hits;
 }
 
 }  // namespace hkws::index

@@ -9,9 +9,12 @@
 // keyword to the entries containing it. A query scans only the smallest
 // posting list among its keywords and rejects non-supersets with one
 // `(sig_q & ~sig_k)` test before falling back to the exact subset check.
-// Posting lists are ordered by keyword-set value, so iteration order is
-// identical to a full scan of the underlying std::map — callers (result
-// batching, cumulative sessions, the torture oracle) rely on that order.
+// The keyword→posting map is a flat hash table (postings are never iterated
+// across keywords), and each posting carries the entry's signature inline
+// so the hot rejection loop touches no other table. Posting lists are
+// ordered by keyword-set value, so iteration order is identical to a full
+// scan of the underlying std::map — callers (result batching, cumulative
+// sessions, the torture oracle) rely on that order.
 #pragma once
 
 #include <cstdint>
@@ -82,6 +85,12 @@ class IndexTable {
   std::vector<Hit> supersets(const KeywordSet& query, std::size_t limit = 0,
                              bool* truncated = nullptr) const;
 
+  /// Append-into variant of supersets(): fills `out` (cleared first)
+  /// instead of allocating a fresh vector, so per-query scan buffers can be
+  /// pooled by the caller. Same contract otherwise.
+  void supersets_into(const KeywordSet& query, std::size_t limit,
+                      bool* truncated, std::vector<Hit>& out) const;
+
   /// Number of distinct <K, object> pairs (the paper's "index size" unit).
   std::size_t object_count() const noexcept { return objects_; }
 
@@ -100,22 +109,26 @@ class IndexTable {
  private:
   using EntryMap = std::map<KeywordSet, std::set<ObjectId>>;
 
-  /// Posting lists hold iterators into entries_ (stable in std::map),
-  /// ordered by the entry's keyword set so posting-list iteration matches
-  /// full-map iteration order.
+  /// One posting: an iterator into entries_ (stable in std::map) plus the
+  /// entry's keyword signature, duplicated here so the scan loop reads it
+  /// inline instead of chasing a side table per candidate.
+  struct Posting {
+    EntryMap::const_iterator it;
+    std::uint64_t sig = 0;
+  };
+
+  /// Postings are ordered by the entry's keyword set so posting-list
+  /// iteration matches full-map iteration order. The signature is payload,
+  /// not key: lookups may pass a dummy.
   struct ByKeywordSet {
-    bool operator()(EntryMap::const_iterator a,
-                    EntryMap::const_iterator b) const {
-      return a->first < b->first;
+    bool operator()(const Posting& a, const Posting& b) const {
+      return a.it->first < b.it->first;
     }
   };
-  using PostingList = std::set<EntryMap::const_iterator, ByKeywordSet>;
+  using PostingList = std::set<Posting, ByKeywordSet>;
 
   EntryMap entries_;
-  std::map<Keyword, PostingList> postings_;
-  /// Entry signature, keyed by the address of the entry's map key (stable
-  /// for the life of the entry) to avoid duplicating the keyword sets.
-  std::unordered_map<const KeywordSet*, std::uint64_t> signatures_;
+  std::unordered_map<Keyword, PostingList> postings_;
   std::size_t objects_ = 0;
   mutable ScanStats scan_;
 };

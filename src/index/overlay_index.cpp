@@ -453,10 +453,13 @@ OverlayIndex::Visit& OverlayIndex::ensure_scan(Request& req, cube::CubeId w,
     PeerState& ps = peer_state(peer);
     if (const auto tit = ps.tables.find(w); tit != ps.tables.end()) {
       const std::size_t want = room(req);
-      v.batch = tit->second.supersets(
-          req.query, want == kUnlimited ? 0 : want, &v.truncated);
+      HitBatchPool::Batch batch = hit_pool_.acquire();
+      tit->second.supersets_into(req.query, want == kUnlimited ? 0 : want,
+                                 &v.truncated, *batch);
+      // An empty buffer goes straight back to the pool.
+      if (!batch->empty()) v.batch = std::move(batch);
     }
-    v.c1 = v.batch.size();
+    v.c1 = v.batch ? v.batch->size() : 0;
     // Control verdict is fixed at first scan so retransmitted arrivals
     // replay the identical reply (collected may have moved on since). The
     // table's truncation indicator stands in for "the want limit filled":
@@ -469,23 +472,25 @@ OverlayIndex::Visit& OverlayIndex::ensure_scan(Request& req, cube::CubeId w,
   }
   if (v.c1 > 0 && ship) {
     // Matching IDs travel directly to the searcher (paper protocol); a
-    // retransmitted query replays the same batch, deduplicated there.
+    // retransmitted query replays the same batch, deduplicated there. The
+    // closure shares the pooled buffer by pointer — no payload copy.
     ++req.stats.messages;
     net_.send(peer, req.searcher, "kws.results", v.c1 * kHitBytes,
               [this, id = req.id, w, batch = v.batch] {
                 on_results(id, w, batch);
               });
     if (cfg_.step_timeout == 0) {
-      // No retransmission: the memoized batch will never be replayed.
-      v.batch.clear();
-      v.batch.shrink_to_fit();
+      // No retransmission: the memo will never be replayed. Drop its
+      // reference; the in-flight message keeps the buffer alive and it
+      // returns to the pool once delivered.
+      v.batch.reset();
     }
   }
   return v;
 }
 
 void OverlayIndex::on_results(std::uint64_t req_id, cube::CubeId w,
-                              const std::vector<Hit>& batch) {
+                              const HitBatchPool::Batch& batch) {
   Request* r = find(req_id);
   if (!r) return;
   if (!r->delivered.insert(w).second) return;  // duplicate replay
@@ -496,13 +501,13 @@ void OverlayIndex::on_results(std::uint64_t req_id, cube::CubeId w,
 
 std::vector<Hit> OverlayIndex::assemble_hits(const Request& req) const {
   std::size_t total = 0;
-  for (const auto& [w, batch] : req.node_hits) total += batch.size();
+  for (const auto& [w, batch] : req.node_hits) total += batch->size();
   std::vector<Hit> out;
   out.reserve(total);
   for (const cube::CubeId w : req.visit_order) {
     const auto it = req.node_hits.find(w);
     if (it == req.node_hits.end()) continue;
-    out.insert(out.end(), it->second.begin(), it->second.end());
+    out.insert(out.end(), it->second->begin(), it->second->end());
   }
   return out;
 }
@@ -714,7 +719,7 @@ void OverlayIndex::on_visit_batch_arrived(
   // result message carrying per-node batches to the searcher, one control
   // reply carrying per-node verdicts to the coordinator. Nodes with empty
   // batches ride along in the reply for free.
-  std::vector<std::pair<cube::CubeId, std::vector<Hit>>> batches;
+  std::vector<std::pair<cube::CubeId, HitBatchPool::Batch>> batches;
   std::vector<std::pair<cube::CubeId, std::size_t>> verdicts;
   std::size_t total_hits = 0;
   for (const cube::CubeId w : nodes) {
@@ -722,17 +727,14 @@ void OverlayIndex::on_visit_batch_arrived(
     const Visit& v = ensure_scan(*req, w, peer, /*ship=*/false);
     verdicts.emplace_back(w, v.c1);
     if (v.c1 > 0) {
-      batches.emplace_back(w, v.batch);
+      batches.emplace_back(w, v.batch);  // shares the buffer, no copy
       total_hits += v.c1;
     }
   }
   if (cfg_.step_timeout == 0) {
-    // No retransmission: the memoized batches will never be replayed.
-    for (const cube::CubeId w : nodes) {
-      Visit& v = req->visits[w];
-      v.batch.clear();
-      v.batch.shrink_to_fit();
-    }
+    // No retransmission: the memos will never be replayed. The merged
+    // result message below still holds its own references.
+    for (const cube::CubeId w : nodes) req->visits[w].batch.reset();
   }
   if (total_hits > 0) {
     ++req->stats.messages;

@@ -55,6 +55,7 @@
 #include "cube/hypercube.hpp"
 #include "cube/sbt.hpp"
 #include "dht/dolr.hpp"
+#include "index/hit_pool.hpp"
 #include "index/index_table.hpp"
 #include "index/keyword_hash.hpp"
 #include "index/query_cache.hpp"
@@ -294,12 +295,15 @@ class OverlayIndex {
   /// Target-side memo of one node's first scan for a request. Keeping the
   /// batch makes retransmitted T_QUERYs idempotent: a node always replays
   /// its original answer, never a rescan (whose room() could have changed).
+  /// The batch is a pooled shared buffer: wire closures and the searcher's
+  /// per-node buffer hold references instead of copies, and the memo drops
+  /// its own reference after shipping when retransmission is off.
   struct Visit {
     sim::EndpointId peer = 0;
     std::size_t c1 = 0;       ///< matches found at first scan
     bool stop = false;        ///< control verdict computed at first scan
     bool truncated = false;   ///< the want limit cut matching objects off
-    std::vector<Hit> batch;   ///< kept only while retransmission is on
+    HitBatchPool::Batch batch;  ///< null when the scan found nothing
   };
 
   struct Request {
@@ -348,7 +352,7 @@ class OverlayIndex {
     /// hit sequence independent of message arrival order (and identical
     /// to the LogicalIndex traversal order on lossless runs).
     std::vector<cube::CubeId> visit_order;
-    std::unordered_map<cube::CubeId, std::vector<Hit>> node_hits;
+    std::unordered_map<cube::CubeId, HitBatchPool::Batch> node_hits;
     std::vector<std::pair<cube::CubeId, std::uint32_t>> contributors;
     SearchStats stats;
     std::size_t results_expected = 0;
@@ -467,7 +471,7 @@ class OverlayIndex {
   /// Concatenates the buffered per-node batches in visit order.
   std::vector<Hit> assemble_hits(const Request& req) const;
   void on_results(std::uint64_t req_id, cube::CubeId w,
-                  const std::vector<Hit>& batch);
+                  const HitBatchPool::Batch& batch);
   void on_node_answered(std::uint64_t req_id, cube::CubeId w,
                         sim::EndpointId peer, std::size_t c1);
   void arm_step_timer(std::uint64_t req_id, cube::CubeId w);
@@ -497,6 +501,9 @@ class OverlayIndex {
   cube::Hypercube cube_;
   KeywordHasher hasher_;
   std::unordered_map<sim::EndpointId, PeerState> peers_;
+  /// Recycled scan buffers for Visit::batch (see hit_pool.hpp). Mutable
+  /// bookkeeping only; lookups stay logically const.
+  HitBatchPool hit_pool_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Request>> requests_;
   std::unordered_map<std::uint64_t, std::unique_ptr<CumulativeState>>
       sessions_;

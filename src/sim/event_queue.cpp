@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -11,40 +12,113 @@ void EventQueue::schedule_in(Time delay, Event event) {
 
 void EventQueue::schedule_at(Time at, Event event) {
   if (at < now_) throw std::invalid_argument("EventQueue: scheduling in the past");
-  heap_.push(Entry{at, next_seq_++, std::move(event), 0});
+  flush_staged();
+  heap_.push_back(Entry{at, next_seq_++, std::move(event), {}, 0});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++plain_count_;
 }
 
 EventQueue::TimerId EventQueue::set_timer(Time delay, Event event) {
   const TimerId id = next_timer_++;
-  live_timers_.insert(id);
-  heap_.push(Entry{now_ + delay, next_seq_++, std::move(event), id});
+  timers_.emplace(id, std::move(event));
+  const Time at = now_ + delay;
+  // Same-expiry batching: a run of set_timer calls with one expiry (a level
+  // fan-out arming N step timers in one tick) shares one heap entry. Members
+  // keep insertion order; the batch holds the first member's seq, and every
+  // member's would-be seq is consumed, so relative order against any later
+  // schedule is unchanged.
+  if (staged_.has_value() && staged_->at == at) {
+    staged_->ids.push_back(id);
+    ++next_seq_;
+  } else {
+    flush_staged();
+    staged_ = Entry{at, next_seq_++, Event{}, {id}, 0};
+  }
   return id;
 }
 
 bool EventQueue::cancel_timer(TimerId id) {
-  if (live_timers_.erase(id) == 0) return false;
-  cancelled_.insert(id);
+  if (timers_.erase(id) == 0) return false;
+  ++dead_ids_;  // the id stays heaped as a tombstone until pop/compaction
+  maybe_compact();
   return true;
 }
 
-void EventQueue::drop_cancelled() {
-  while (!heap_.empty() && heap_.top().timer != 0 &&
-         cancelled_.contains(heap_.top().timer)) {
-    cancelled_.erase(heap_.top().timer);
-    heap_.pop();
+void EventQueue::flush_staged() {
+  if (!staged_.has_value()) return;
+  heap_.push_back(std::move(*staged_));
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  staged_.reset();
+}
+
+void EventQueue::prune_front() {
+  while (!heap_.empty()) {
+    Entry& e = heap_.front();
+    if (e.ids.empty()) return;  // plain events are always live
+    while (e.head < e.ids.size() && !timers_.contains(e.ids[e.head])) {
+      ++e.head;
+      --dead_ids_;
+    }
+    if (e.head < e.ids.size()) return;
+    // Every member cancelled: discard the entry without running anything.
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
+void EventQueue::maybe_compact() {
+  // Tombstones cost 8 bytes each (the closure is already freed), so sweep
+  // only once they dominate: bounded memory under set/cancel churn without
+  // per-cancel heap surgery.
+  const std::size_t heaped = timers_.size() + dead_ids_;
+  if (dead_ids_ < 64 || dead_ids_ * 2 < heaped) return;
+  flush_staged();
+  std::vector<Entry> kept;
+  kept.reserve(heap_.size());
+  for (Entry& e : heap_) {
+    if (e.ids.empty()) {
+      kept.push_back(std::move(e));
+      continue;
+    }
+    std::vector<TimerId> live;
+    live.reserve(e.ids.size() - e.head);
+    for (std::size_t i = e.head; i < e.ids.size(); ++i)
+      if (timers_.contains(e.ids[i])) live.push_back(e.ids[i]);
+    if (live.empty()) continue;
+    e.ids = std::move(live);
+    e.head = 0;
+    kept.push_back(std::move(e));
+  }
+  heap_ = std::move(kept);
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  dead_ids_ = 0;
+}
+
 bool EventQueue::step() {
-  drop_cancelled();
+  flush_staged();
+  prune_front();
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the closure handle (shared ownership is fine at this rate).
-  Entry entry = heap_.top();
-  heap_.pop();
-  now_ = entry.at;
-  if (entry.timer != 0) live_timers_.erase(entry.timer);
-  entry.event();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  now_ = e.at;
+  if (e.ids.empty()) {
+    --plain_count_;
+    Event ev = std::move(e.event);
+    ev();
+    return true;
+  }
+  // Timer batch: fire exactly one member (step()'s contract), re-heap the
+  // remainder under the same (at, seq) so they surface next, in order.
+  const TimerId id = e.ids[e.head++];
+  const auto it = timers_.find(id);  // live: prune_front guarantees it
+  Event ev = std::move(it->second);
+  timers_.erase(it);
+  if (e.head < e.ids.size()) {
+    heap_.push_back(std::move(e));
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+  ev();
   return true;
 }
 
@@ -57,8 +131,9 @@ std::size_t EventQueue::run() {
 std::size_t EventQueue::run_until(Time deadline) {
   std::size_t executed = 0;
   while (true) {
-    drop_cancelled();
-    if (heap_.empty() || heap_.top().at > deadline) break;
+    flush_staged();
+    prune_front();
+    if (heap_.empty() || heap_.front().at > deadline) break;
     if (!step()) break;
     ++executed;
   }

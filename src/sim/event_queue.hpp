@@ -5,14 +5,26 @@
 // Besides plain one-shot events the queue offers cancelable *timers*
 // (set_timer / cancel_timer). Timers back every timeout in the query-serving
 // engine: protocol retransmission, per-query deadlines, and arrival pacing.
-// A cancelled timer stays in the heap until its time comes up and is then
-// discarded without running and without advancing now().
+//
+// Storage layout (the serving hot path lives here):
+//  * The heap is a plain vector managed with push_heap/pop_heap, so entries
+//    are *moved* out at delivery — closures and their captured payloads are
+//    never copied on the hot path.
+//  * Timer closures live in a side map keyed by TimerId; the heap entry
+//    holds only the ids. cancel_timer frees the closure (and whatever it
+//    captured) immediately — a cancelled timer leaves behind nothing but an
+//    8-byte tombstone id, which compaction sweeps once tombstones dominate.
+//  * Consecutive set_timer calls with the same absolute expiry batch into
+//    one heap entry (the common case: a protocol level fanning out N step
+//    timers in one tick pays one heap push, not N). Batching never reorders:
+//    members fire in insertion order at the batch's sequence point, and any
+//    intervening schedule/cancel/run closes the batch.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 namespace hkws::sim {
@@ -45,7 +57,8 @@ class EventQueue {
 
   /// Cancels a pending timer. Returns true if the timer was still pending
   /// (it will now never fire); false if it already fired, was already
-  /// cancelled, or never existed.
+  /// cancelled, or never existed. The timer's closure — and everything it
+  /// captured — is released immediately, not at pop time.
   bool cancel_timer(TimerId id);
 
   /// Runs events until the queue is empty. Returns #events executed
@@ -58,23 +71,34 @@ class EventQueue {
   /// Executes just the next live event, if any. Returns whether one ran.
   bool step();
 
-  bool empty() const noexcept { return heap_.size() == cancelled_.size(); }
+  bool empty() const noexcept { return plain_count_ == 0 && timers_.empty(); }
   std::size_t pending() const noexcept {
-    return heap_.size() - cancelled_.size();
+    return plain_count_ + timers_.size();
   }
 
   /// Timers that are still pending (set, not yet fired, not cancelled).
   /// A protocol that cancels every timer on terminal transitions leaves this
   /// at 0 once all its operations have completed — the torture harness's
   /// no-dangling-timer invariant.
-  std::size_t live_timer_count() const noexcept { return live_timers_.size(); }
+  std::size_t live_timer_count() const noexcept { return timers_.size(); }
+
+  // --- Storage introspection (tests / diagnostics) -------------------------
+
+  /// Heap entries currently held (live + tombstoned), including the staged
+  /// batch. Bounded by compaction even under pathological set/cancel churn.
+  std::size_t heap_entries() const noexcept {
+    return heap_.size() + (staged_.has_value() ? 1 : 0);
+  }
+  /// Cancelled-timer tombstone ids still awaiting pop or compaction.
+  std::size_t cancelled_in_heap() const noexcept { return dead_ids_; }
 
  private:
   struct Entry {
     Time at;
     std::uint64_t seq;
-    Event event;
-    TimerId timer;  ///< 0 for plain events
+    Event event;                ///< plain-event payload; unused for timers
+    std::vector<TimerId> ids;   ///< timer batch (empty = plain event)
+    std::size_t head = 0;       ///< first unconsumed index into `ids`
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const noexcept {
@@ -82,12 +106,20 @@ class EventQueue {
     }
   };
 
-  /// Discards cancelled timers sitting at the head of the heap.
-  void drop_cancelled();
+  /// Pushes the staged timer batch (if any) into the heap; closes batching.
+  void flush_staged();
+  /// Skips tombstoned ids so the heap front starts with a live payload.
+  void prune_front();
+  /// Rebuilds the heap without tombstones once they dominate storage.
+  void maybe_compact();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<TimerId> live_timers_;  ///< pending, not cancelled
-  std::unordered_set<TimerId> cancelled_;    ///< cancelled but still heaped
+  std::vector<Entry> heap_;
+  std::optional<Entry> staged_;  ///< open same-expiry timer batch
+  /// Pending timer closures. Erased on cancel (frees captures immediately)
+  /// and on fire. A heaped id absent here is a tombstone.
+  std::unordered_map<TimerId, Event> timers_;
+  std::size_t plain_count_ = 0;  ///< non-timer entries in heap_
+  std::size_t dead_ids_ = 0;     ///< tombstone ids in heap_ + staged_
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   TimerId next_timer_ = 1;

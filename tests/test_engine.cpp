@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -279,6 +280,236 @@ TEST(QueryEngine, BacklogEntriesPastDeadlineTimeOutWithoutLaunching) {
   EXPECT_GE(timed_out, 3u);  // the queued ones can never make it
   EXPECT_EQ(engine.in_flight(), 0u);
   EXPECT_EQ(engine.backlog(), 0u);
+}
+
+// Regression: the outcome taxonomy is a partition. Every submitted query
+// gets exactly one record, the five buckets are disjoint, and they sum to
+// submitted. Exercised through the path that used to double-count: a
+// priority backlog whose low-priority entries expire while stranded behind
+// a stream of high-priority work. Those entries must be reported kTimedOut
+// with their *true* expiry time (latency == deadline, never admitted) — not
+// silently kept as phantom occupancy that sheds live newcomers, and not
+// sealed with the later pop time.
+TEST(QueryEngine, BacklogExpiryTaxonomyIsDisjointAndBackdated) {
+  const auto sets = catalogue_sets();
+  // Measure the (deterministic) cold service time of the probe query.
+  sim::Time service_l = 0;
+  {
+    EngineNet t({.r = 6, .cache_capacity = 0},
+                std::make_unique<sim::FixedLatency>(10));
+    publish_catalogue(t, sets);
+    QueryEngine probe(*t.service, t.clock,
+                      EngineConfig{.search = {.limit = 0}});
+    probe.submit(1, KeywordSet{"alpha"});
+    t.clock.run();
+    ASSERT_EQ(probe.records().size(), 1u);
+    service_l = probe.records()[0].latency();
+    ASSERT_GT(service_l, 0u);
+  }
+  const sim::Time kL = service_l;
+  const sim::Time kDeadline = 3 * kL + kL / 2;
+  const sim::Time kStop = kDeadline + 2 * kL;  // when the chain stops
+
+  EngineNet t({.r = 6, .cache_capacity = 0},
+              std::make_unique<sim::FixedLatency>(10));
+  publish_catalogue(t, sets);
+  EngineConfig cfg;
+  cfg.max_in_flight = 1;
+  cfg.max_backlog = 2;
+  cfg.deadline = kDeadline;
+  cfg.policy = BacklogPolicy::kPriority;
+  cfg.search.limit = 0;
+  QueryEngine engine(*t.service, t.clock, cfg);
+
+  const KeywordSet q{"alpha"};
+  // Every completion immediately submits a successor: the single slot is
+  // handed from query to query at the completion tick itself (submission
+  // beats the backlog pump), so the priority-0 entries B and C stay
+  // stranded in the backlog past their deadline.
+  engine.set_on_finished([&](const QueryRecord& rec) {
+    if (rec.outcome == QueryOutcome::kCompleted && t.clock.now() < kStop)
+      engine.submit(1, q, 5);
+  });
+  engine.submit(1, q, 0);  // A: takes the slot, starts the chain
+  std::vector<std::uint64_t> stranded;
+  stranded.push_back(engine.submit(1, q, 0));  // B
+  stranded.push_back(engine.submit(1, q, 0));  // C
+  // Pre-expiry pressure: backlog [B, C] is genuinely full of *live*
+  // entries, so this submission must shed.
+  std::uint64_t shed_id = 0;
+  t.clock.schedule_at(kL + kL / 2, [&] { shed_id = engine.submit(1, q, 5); });
+  // Post-expiry pressure: B and C are stale now. The old code shed this
+  // live submission against their phantom occupancy; the fix times them
+  // out (their true outcome) and admits the newcomer.
+  std::uint64_t late_id = 0;
+  t.clock.schedule_at(kDeadline + kL, [&] {
+    late_id = engine.submit(1, q, 0);
+  });
+  t.clock.run();
+
+  const EngineReport report = engine.report();
+  // Exactly one record per submission; buckets partition the submissions.
+  ASSERT_EQ(engine.records().size(), report.submitted);
+  EXPECT_EQ(report.completed + report.degraded + report.timed_out +
+                report.failed + report.shed,
+            report.submitted);
+  std::map<QueryOutcome, std::uint64_t> by_outcome;
+  for (const auto& rec : engine.records()) ++by_outcome[rec.outcome];
+  EXPECT_EQ(by_outcome[QueryOutcome::kCompleted], report.completed);
+  EXPECT_EQ(by_outcome[QueryOutcome::kTimedOut], report.timed_out);
+  EXPECT_EQ(by_outcome[QueryOutcome::kShed], report.shed);
+
+  EXPECT_EQ(report.timed_out, 2u);            // exactly B and C
+  EXPECT_EQ(report.timed_out_in_backlog, 2u); // both expired while queued
+  EXPECT_EQ(report.shed, 1u);                 // only the pre-expiry probe
+  EXPECT_GE(report.completed, 4u);            // A, chain, and the late query
+
+  ASSERT_NE(shed_id, 0u);
+  ASSERT_NE(late_id, 0u);
+  for (const auto& rec : engine.records()) {
+    const bool is_stranded = std::find(stranded.begin(), stranded.end(),
+                                       rec.id) != stranded.end();
+    if (is_stranded) {
+      // Timed out in the backlog: sealed at the true expiry (latency reads
+      // exactly the deadline, not the later sweep time), never admitted.
+      EXPECT_EQ(rec.outcome, QueryOutcome::kTimedOut);
+      EXPECT_EQ(rec.latency(), kDeadline);
+      EXPECT_EQ(rec.admitted, 0u);
+    } else if (rec.id == shed_id) {
+      EXPECT_EQ(rec.outcome, QueryOutcome::kShed);
+    } else {
+      EXPECT_EQ(rec.outcome, QueryOutcome::kCompleted)
+          << "query " << rec.id;
+    }
+  }
+}
+
+// Pre-fix-failing: high-water marks and the windowed in_flight/backlog
+// gauges must track every transition. The old code sampled the windowed
+// gauges on submission entry — before the backlog push — so the exported
+// peak under-read the true high water.
+TEST(QueryEngine, GaugesTrackPeaksOnEveryTransition) {
+  EngineNet t({.r = 6, .cache_capacity = 0},
+              std::make_unique<sim::FixedLatency>(10));
+  const auto sets = catalogue_sets();
+  publish_catalogue(t, sets);
+
+  obs::WindowedMetrics windows(1u << 30);  // one window spans the whole run
+  EngineConfig cfg;
+  cfg.max_in_flight = 1;
+  cfg.max_backlog = 10;
+  cfg.search.limit = 0;
+  cfg.windows = &windows;
+  QueryEngine engine(*t.service, t.clock, cfg);
+  for (int i = 0; i < 4; ++i) engine.submit(1, KeywordSet{"alpha"});
+  const EngineReport mid = engine.report();
+  EXPECT_EQ(mid.backlog_high_water, 3u);
+  t.clock.run();
+
+  const EngineReport report = engine.report();
+  EXPECT_EQ(report.completed, 4u);
+  EXPECT_EQ(report.in_flight_high_water, 1u);
+  EXPECT_EQ(report.backlog_high_water, 3u);
+  double gauge_backlog_max = 0.0;
+  double gauge_in_flight_max = 0.0;
+  for (const auto& [k, w] : windows.windows()) {
+    const auto bl = w.gauges.find("backlog");
+    if (bl != w.gauges.end())
+      gauge_backlog_max = std::max(gauge_backlog_max, bl->second);
+    const auto fl = w.gauges.find("in_flight");
+    if (fl != w.gauges.end())
+      gauge_in_flight_max = std::max(gauge_in_flight_max, fl->second);
+  }
+  // The exported peaks agree with the report's high-water marks.
+  EXPECT_EQ(gauge_backlog_max,
+            static_cast<double>(report.backlog_high_water));
+  EXPECT_EQ(gauge_in_flight_max,
+            static_cast<double>(report.in_flight_high_water));
+}
+
+// --- Adaptive admission ------------------------------------------------------
+
+// Overload recovery: drive the adaptive engine past saturation (sheds and
+// in-flight timeouts), then drop the load and assert the backlog drains,
+// shedding stops, and the AIMD limit resumes growing — no hysteresis
+// lock-up at the floor.
+TEST(QueryEngine, AdaptiveAdmissionRecoversAfterOverload) {
+  const auto sets = catalogue_sets();
+  // Cold (first-ever) and warm (contact caches primed) service latency of
+  // the probe query — both deterministic under fixed link latency.
+  sim::Time cold_l = 0, warm_l = 0;
+  {
+    EngineNet t({.r = 6, .cache_capacity = 0},
+                std::make_unique<sim::FixedLatency>(10));
+    publish_catalogue(t, sets);
+    QueryEngine probe(*t.service, t.clock,
+                      EngineConfig{.search = {.limit = 0}});
+    for (int i = 0; i < 3; ++i) {
+      probe.submit(1, KeywordSet{"alpha"});
+      t.clock.run();
+    }
+    ASSERT_EQ(probe.records().size(), 3u);
+    cold_l = probe.records()[0].latency();
+    warm_l = probe.records()[2].latency();
+  }
+  // The scenario needs cold queries to finish within the deadline while
+  // backlogged queries (whose budget the queue wait burned) cannot.
+  ASSERT_LT(cold_l, 2 * warm_l);
+  ASSERT_GT(cold_l, warm_l);
+
+  EngineNet t({.r = 6, .cache_capacity = 0},
+              std::make_unique<sim::FixedLatency>(10));
+  publish_catalogue(t, sets);
+  EngineConfig cfg;
+  cfg.max_in_flight = 8;  // the controller's starting point
+  cfg.max_backlog = 40;
+  cfg.deadline = 2 * warm_l;
+  cfg.adaptive.enabled = true;
+  cfg.adaptive.min_in_flight = 2;
+  cfg.adaptive.max_in_flight = 64;
+  cfg.adaptive.latency_target = 2 * warm_l;
+  cfg.adaptive.backlog_per_slot = 2.0;
+  cfg.search.limit = 0;
+  QueryEngine engine(*t.service, t.clock, cfg);
+  EXPECT_EQ(engine.in_flight_limit(), 8u);
+  const sim::Time kL = cold_l;
+
+  // Saturation burst: far more than in-flight + backlog capacity.
+  const KeywordSet q{"alpha"};
+  for (int i = 0; i < 60; ++i) engine.submit(1, q);
+  t.clock.run();
+
+  const EngineReport burst = engine.report();
+  EXPECT_GT(burst.shed, 0u);       // admission actually saturated
+  EXPECT_GT(burst.timed_out, 0u);  // stale queries timed out, not served
+  EXPECT_GT(burst.completed, 0u);
+  EXPECT_EQ(burst.completed + burst.degraded + burst.timed_out +
+                burst.failed + burst.shed,
+            burst.submitted);
+  // The overload signal fired at least once.
+  EXPECT_GE(engine.metrics().counter("engine.admit_decrease"), 1u);
+  EXPECT_EQ(engine.backlog(), 0u);
+  EXPECT_EQ(engine.in_flight(), 0u);
+  const std::size_t limit_after_burst = engine.in_flight_limit();
+  EXPECT_GE(limit_after_burst, cfg.adaptive.min_in_flight);
+
+  // Recovery: a light trickle, well spaced. Everything must complete and
+  // the limit must climb again (additive increase still alive).
+  const std::uint64_t first_trickle_id = burst.submitted + 1;
+  for (sim::Time k = 0; k < 24; ++k)
+    t.clock.schedule_at(t.clock.now() + 1 + k * 3 * kL,
+                        [&] { engine.submit(1, q); });
+  t.clock.run();
+
+  const EngineReport after = engine.report();
+  EXPECT_EQ(after.submitted, burst.submitted + 24);
+  EXPECT_EQ(after.shed, burst.shed);            // shedding stopped
+  EXPECT_EQ(after.timed_out, burst.timed_out);  // no lingering timeouts
+  EXPECT_EQ(engine.backlog(), 0u);              // backlog drained
+  for (const auto& rec : engine.records())
+    if (rec.id >= first_trickle_id)
+      EXPECT_EQ(rec.outcome, QueryOutcome::kCompleted);
+  EXPECT_GT(engine.in_flight_limit(), limit_after_burst);
 }
 
 // --- Trace records -----------------------------------------------------------

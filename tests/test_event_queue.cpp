@@ -142,5 +142,120 @@ TEST(EventQueue, TimersMayRescheduleThemselves) {
   EXPECT_EQ(q.now(), 30u);
 }
 
+// Same-tick timers and plain events interleave strictly in schedule order
+// even though consecutive same-expiry timers share one heap entry.
+TEST(EventQueue, SameTickTimersAndEventsKeepScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.set_timer(5, [&] { order.push_back(0); });
+  q.set_timer(5, [&] { order.push_back(1); });   // batched with 0
+  q.schedule_in(5, [&] { order.push_back(2); }); // closes the batch
+  q.set_timer(5, [&] { order.push_back(3); });   // new batch
+  q.set_timer(5, [&] { order.push_back(4); });
+  q.set_timer(7, [&] { order.push_back(5); });   // different expiry
+  EXPECT_EQ(q.run(), 6u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+// step() fires exactly one member of a batched timer group per call.
+TEST(EventQueue, StepFiresOneBatchedTimerAtATime) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 4; ++i) q.set_timer(3, [&] { ++fired; });
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 3u);
+  EXPECT_TRUE(q.step());
+  EXPECT_TRUE(q.step());
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+  EXPECT_EQ(fired, 4);
+}
+
+// Cancelling some members of a batch must not fire them, advance time for
+// them, or disturb the survivors' order.
+TEST(EventQueue, CancelInsideBatchSkipsOnlyTheCancelled) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventQueue::TimerId> ids;
+  for (int i = 0; i < 6; ++i)
+    ids.push_back(q.set_timer(10, [&order, i] { order.push_back(i); }));
+  q.cancel_timer(ids[0]);
+  q.cancel_timer(ids[2]);
+  q.cancel_timer(ids[5]);
+  EXPECT_EQ(q.pending(), 3u);
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 4}));
+  EXPECT_EQ(q.now(), 10u);
+}
+
+// A timer firing may cancel later members of its own (already re-heaped)
+// batch; the cancelled members must not run.
+TEST(EventQueue, BatchMemberMayCancelItsSiblings) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventQueue::TimerId> ids(3, 0);
+  ids[0] = q.set_timer(4, [&] {
+    order.push_back(0);
+    q.cancel_timer(ids[2]);
+  });
+  ids[1] = q.set_timer(4, [&] { order.push_back(1); });
+  ids[2] = q.set_timer(4, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(q.live_timer_count(), 0u);
+}
+
+// Retransmission-style churn: arm-and-cancel cycles at a scale that used to
+// leave every tombstone (closure included) in the heap until its expiry came
+// up. Storage must stay bounded by compaction, cancelled closures must be
+// released immediately, and no cancelled callback may ever fire.
+TEST(EventQueue, CancelChurnKeepsHeapBoundedAndSilent) {
+  EventQueue q;
+  int cancelled_fired = 0;
+  int live_fired = 0;
+  std::size_t max_entries = 0;
+  std::size_t max_tombstones = 0;
+  // Shared payload: instrument release so we can prove cancel frees the
+  // closure's captures immediately rather than at pop time.
+  auto payload = std::make_shared<std::vector<int>>(64, 7);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<EventQueue::TimerId> ids;
+    for (int i = 0; i < 50; ++i)
+      ids.push_back(q.set_timer(1000, [&cancelled_fired, payload] {
+        ++cancelled_fired;
+      }));
+    for (const auto id : ids) EXPECT_TRUE(q.cancel_timer(id));
+    max_entries = std::max(max_entries, q.heap_entries());
+    max_tombstones = std::max(max_tombstones, q.cancelled_in_heap());
+    // A sprinkle of live work so time advances like a real run.
+    q.set_timer(1, [&live_fired] { ++live_fired; });
+    q.run_until(q.now() + 1);
+  }
+  // 10000 arm/cancel cycles; the old heap would hold every one of them.
+  EXPECT_LT(max_entries, 500u);
+  EXPECT_LT(max_tombstones, 200u);
+  EXPECT_EQ(q.live_timer_count(), 0u);
+  // Only our instrumented handle remains: every cancelled closure's capture
+  // was released at cancel time.
+  EXPECT_EQ(payload.use_count(), 1);
+  q.run();
+  EXPECT_EQ(cancelled_fired, 0);
+  EXPECT_EQ(live_fired, 200);
+}
+
+// pending()/empty() stay exact while tombstones await compaction.
+TEST(EventQueue, CountsIgnoreTombstones) {
+  EventQueue q;
+  std::vector<EventQueue::TimerId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(q.set_timer(50, [] {}));
+  q.schedule_in(60, [] {});
+  for (const auto id : ids) q.cancel_timer(id);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.run(), 1u);
+  EXPECT_TRUE(q.empty());
+}
+
 }  // namespace
 }  // namespace hkws::sim
