@@ -23,6 +23,12 @@
 //     load (plus one no-heal control). Every run reports availability
 //     (= served/submitted, served = completed + degraded) and the
 //     completeness rate among served queries (= completed/served).
+//  E. Hot-spot pair: the middle rate on a log whose Zipf head is sharpened
+//     so ~85% of queries hit its 3 most frequent keyword sets, once with
+//     hot-cell replication off and once with the maintenance plane's
+//     replication ticker promoting hot cells mid-run. The headline is the
+//     max/mean scan-skew cut (and the CI gate pins the replicated run's
+//     skew in bench/baselines/ci_perf.json).
 //
 // Scale knobs (independent of the generic HYPERKWS_* ones so CI reduction
 // does not void the acceptance criteria):
@@ -42,6 +48,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/rng.hpp"
 #include "dht/chord_network.hpp"
 #include "engine/load_driver.hpp"
 #include "engine/query_engine.hpp"
@@ -369,6 +376,123 @@ RunResult churn_run(const std::string& name, const workload::Corpus& corpus,
   return result;
 }
 
+/// Part E workload: sharpen the log's Zipf head so ~85% of queries hit its
+/// three most frequent keyword sets — the skew profile PR-7's serving runs
+/// exposed (one peer scanning ~50x the mean).
+workload::QueryLog sharpen_hot_head(const workload::QueryLog& log) {
+  const auto freq = log.frequencies();
+  std::vector<KeywordSet> head;
+  for (std::size_t i = 0; i < freq.size() && head.size() < 3; ++i)
+    head.push_back(freq[i].first);
+  Rng rng(0x407c311);
+  std::vector<workload::Query> out = log.queries();
+  if (!head.empty())
+    for (auto& q : out)
+      if (rng.next_bool(0.85))
+        q.keywords = head[rng.next_below(head.size())];
+  return workload::QueryLog(std::move(out));
+}
+
+/// Part E: the hot-head workload under open-loop load, with the
+/// maintenance plane's always-on replication ticker promoting hot cells in
+/// the background (or idling, for the control). The runs differ ONLY in
+/// Options::hot_cells.enabled, so the skew cut and the message overhead of
+/// replication read off the off/on pair directly. Query cache off: cached
+/// answers would absorb exactly the recurring head the skew measurement
+/// needs on the wire.
+RunResult hotspot_run(const std::string& name, const workload::Corpus& corpus,
+                      const workload::QueryLog& log, double qps,
+                      bool replication) {
+  obs::WindowedMetrics windows(kWindowWidth);  // shared: engine+plane+index
+  index::KeywordSearchService::Options opts;
+  opts.r = 10;
+  opts.cache_capacity = 0;
+  opts.step_timeout = 800;  // >> p99 round trip at median 30
+  opts.max_retries = 4;
+  opts.failover_after = 2;
+  opts.hot_cells.enabled = replication;
+  // Level-parallel head queries touch hundreds of cells each, so the hot
+  // set is wide and moderately hot rather than narrow and extreme: promote
+  // early (low min_scans) and cap generously, and use enough replicas that
+  // the owner's 1/(replicas+1) residual share sits near the mean.
+  opts.hot_cells.replicas = 7;
+  opts.hot_cells.window = 20000;  // sliding: a scan counts for 20-40 s
+  opts.hot_cells.min_scans = 8;
+  opts.hot_cells.max_hot = 768;
+  opts.windows = &windows;
+  Setup setup(opts, 0x407 + (replication ? 1 : 0));
+  setup.publish(corpus);
+
+  dht::ChordNetwork* chord = setup.dht.get();
+  index::KeywordSearchService* svc = setup.service.get();
+  maint::MaintenancePlane::Config mcfg;
+  mcfg.detector.period = 500;  // WAN-ish latency: see churn_run
+  mcfg.detector.timeout = 400;
+  // Promote fast: at 160 qps the whole replay fits in ~7500 ticks, so a
+  // lazy ticker would leave most of the load unspread.
+  mcfg.replication_interval = 250;
+  mcfg.replica_entries_per_tick = 8192;
+  maint::MaintenancePlane plane(
+      *setup.net, mcfg, [chord] { chord->stabilize_all(); },
+      [svc](std::size_t entries, std::size_t refs) {
+        return svc->repair_step(entries, refs);
+      },
+      [svc] { return svc->repair_backlog(); });
+  plane.set_replication(
+      [svc](std::size_t n) { return svc->replication_step(n); });
+  plane.set_windows(&windows);
+  {
+    std::vector<sim::EndpointId> members;
+    for (dht::RingId id : chord->live_ids())
+      members.push_back(chord->endpoint_of(id));
+    plane.start(members);
+  }
+
+  engine::EngineConfig cfg;
+  cfg.max_in_flight = 64;
+  cfg.max_backlog = 2000;
+  cfg.adaptive.enabled = true;
+  cfg.adaptive.latency_target = 4000;
+  cfg.search.limit = 64;
+  cfg.search.strategy = index::SearchStrategy::kLevelParallel;
+  cfg.latency_reservoir = 4096;
+  cfg.record_traces = false;
+  cfg.windows = &windows;
+  engine::QueryEngine engine(*setup.service, setup.clock, cfg);
+
+  workload::PoissonArrivals arrivals(qps,
+                                     0x407a + static_cast<std::uint64_t>(qps));
+  engine::LoadDriver driver(engine, setup.clock, searcher_pool());
+  driver.start(log, arrivals);
+  // run() would never return while the plane's timers are armed; drive the
+  // clock in windows until the replay drains (bounded).
+  const sim::Time horizon = static_cast<sim::Time>(
+      1000.0 * static_cast<double>(log.size()) / qps);
+  const sim::Time load_deadline = setup.clock.now() + horizon + 400000;
+  while ((!driver.done() || engine.in_flight() != 0 ||
+          engine.backlog() != 0) &&
+         setup.clock.now() < load_deadline)
+    setup.clock.run_until(setup.clock.now() + kWindowWidth);
+  plane.stop();
+  setup.clock.run();
+
+  RunResult result;
+  result.name = name;
+  result.offered_qps = qps;
+  result.r = opts.r;
+  result.cache = false;
+  result.report = engine.report();
+  result.timeseries = windows.to_json();
+  steady_state_view(engine, result);
+
+  std::printf("\n--- %s (offered %.0f qps, replication=%s) ---\n",
+              name.c_str(), qps, replication ? "on" : "off");
+  std::fputs(result.report.to_string().c_str(), stdout);
+  std::printf("steady: p50=%.0f p99=%.0f qps=%.1f\n", result.steady_p50,
+              result.steady_p99, result.steady_qps);
+  return result;
+}
+
 std::set<ObjectId> id_set(const std::vector<index::Hit>& hits) {
   std::set<ObjectId> ids;
   for (const auto& h : hits) ids.insert(h.object);
@@ -526,6 +650,11 @@ int main() {
   for (std::size_t kills : {4u, 8u})
     runs.push_back(churn_run("churn", corpus, log, 160.0, kills, true));
   runs.push_back(churn_run("churn-noheal", corpus, log, 160.0, 8, false));
+  // Part E: hot-head workload at the middle rate, replication off and on.
+  const workload::QueryLog hot_log = sharpen_hot_head(log);
+  runs.push_back(
+      hotspot_run("hotspot-noreplication", corpus, hot_log, 160.0, false));
+  runs.push_back(hotspot_run("hotspot", corpus, hot_log, 160.0, true));
 
   // Part C: loss correctness on a truncated log.
   std::vector<workload::Query> head(
@@ -543,10 +672,22 @@ int main() {
               "<= %.0f)\n",
               sustained, kSloP99);
 
+  // Hot-spot headline: max/mean scan skew without and with replication.
+  double skew_off = 0.0, skew_on = 0.0;
+  for (const RunResult& run : runs) {
+    if (run.name == "hotspot-noreplication")
+      skew_off = run.report.scan_skew_max_over_mean;
+    if (run.name == "hotspot") skew_on = run.report.scan_skew_max_over_mean;
+  }
+  std::printf("hot-spot scan skew: off=%.1fx on=%.1fx (%.1fx reduction)\n",
+              skew_off, skew_on, skew_on > 0 ? skew_off / skew_on : 0.0);
+
   std::ofstream json("BENCH_serving.json");
   json << "{\"objects\":" << objects << ",\"queries\":" << queries
        << ",\"peers\":" << kPeers
        << ",\"sustained_qps_at_slo\":" << sustained
+       << ",\"hot_spot\":{\"scan_skew_noreplication\":" << skew_off
+       << ",\"scan_skew_replication\":" << skew_on << "}"
        << ",\"slo\":{\"p99_max\":" << kSloP99
        << ",\"warmup_fraction\":" << kWarmupFraction << "},\"runs\":[";
   for (std::size_t i = 0; i < runs.size(); ++i) {

@@ -445,6 +445,17 @@ EngineReport QueryEngine::report() const {
   r.failovers = net_metrics.counter("kws.failover");
   r.mirror_failovers = net_metrics.counter("kws.mirror_failover");
   r.scans_per_peer = scans_per_peer_;
+  r.live_peers =
+      service_.primary_index().dolr().overlay().live_ids().size();
+  if (r.live_peers > 0 && !scans_per_peer_.empty()) {
+    std::uint64_t max_load = 0;
+    for (const auto& [peer, n] : scans_per_peer_.bins())
+      max_load = std::max(max_load, n);
+    const double mean = static_cast<double>(scans_per_peer_.total()) /
+                        static_cast<double>(r.live_peers);
+    if (mean > 0.0)
+      r.scan_skew_max_over_mean = static_cast<double>(max_load) / mean;
+  }
   return r;
 }
 
@@ -462,15 +473,20 @@ std::string EngineReport::to_string() const {
      << " retransmits=" << retransmits << " failovers=" << failovers
      << " mirror_failovers=" << mirror_failovers << "\n";
   if (!scans_per_peer.empty()) {
-    os << "scan load: peers=" << scans_per_peer.bins().size()
-       << " scans=" << scans_per_peer.total()
-       << " mean=" << (static_cast<double>(scans_per_peer.total()) /
-                       static_cast<double>(scans_per_peer.bins().size()))
-       << " max_per_peer=";
+    // Mean over every live peer, not just the ones that served a scan —
+    // idle peers are exactly what a load-imbalance number must count.
+    const std::size_t peers =
+        live_peers > 0 ? live_peers : scans_per_peer.bins().size();
     std::uint64_t max_load = 0;
     for (const auto& [peer, n] : scans_per_peer.bins())
       max_load = std::max(max_load, n);
-    os << max_load << "\n";
+    os << "scan load: peers=" << peers
+       << " serving=" << scans_per_peer.bins().size()
+       << " scans=" << scans_per_peer.total()
+       << " mean=" << (static_cast<double>(scans_per_peer.total()) /
+                       static_cast<double>(peers))
+       << " max_per_peer=" << max_load
+       << " skew_max_over_mean=" << scan_skew_max_over_mean << "\n";
   }
   return os.str();
 }
@@ -494,6 +510,8 @@ std::string EngineReport::to_json() const {
      << ",\"retransmits\":" << retransmits
      << ",\"failovers\":" << failovers
      << ",\"mirror_failovers\":" << mirror_failovers
+     << ",\"live_peers\":" << live_peers
+     << ",\"scan_skew_max_over_mean\":" << scan_skew_max_over_mean
      << ",\"scans_per_peer\":{";
   bool first = true;
   for (const auto& [peer, n] : scans_per_peer.bins()) {

@@ -194,7 +194,17 @@ struct EngineReport {
   /// alone (primary-miss -> mirror-hit and converse).
   std::uint64_t mirror_failovers = 0;
   /// T_QUERY scans served per peer (the per-node serving-load histogram).
+  /// Peers that served nothing do not appear as bins but still count in
+  /// `live_peers` and the skew denominator below.
   Histogram scans_per_peer;
+  /// Live peers in the overlay at report time — the denominator for the
+  /// scan-load mean. The histogram alone under-reports imbalance: idle
+  /// peers never get a bin, so a mean over bins flattens the very skew
+  /// this report exists to expose.
+  std::size_t live_peers = 0;
+  /// Serving-load imbalance: max scans on any one peer over the mean across
+  /// *all* live peers (1.0 = perfectly balanced). 0 when nothing scanned.
+  double scan_skew_max_over_mean = 0.0;
 
   std::string to_string() const;
   std::string to_json() const;  ///< single JSON object, machine-readable

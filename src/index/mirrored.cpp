@@ -10,6 +10,10 @@ namespace hkws::index {
 OverlayIndex::Config MirroredIndex::mirror_config(OverlayIndex::Config cfg) {
   cfg.hash_seed = mix64(cfg.hash_seed ^ 0x5ec0dc0beULL);
   cfg.ring_salt = mix64(cfg.ring_salt ^ 0x5ec0dc0beULL);
+  // Hot-cell replication is a primary-cube concern: mirror traffic exists
+  // to cover primary failures, and replicating it too would double the
+  // replica footprint for cells that are only hot on one salt anyway.
+  cfg.hot.enabled = false;
   return cfg;
 }
 

@@ -1,6 +1,8 @@
 #include "index/overlay_index.hpp"
 
+#include <algorithm>
 #include <limits>
+#include <map>
 #include <stdexcept>
 #include <string>
 
@@ -74,6 +76,7 @@ void OverlayIndex::publish(sim::EndpointId publisher, ObjectId object,
                 const dht::Overlay::RouteResult& rr) {
               PeerState& ps = peer_state(overlay_.endpoint_of(rr.owner));
               if (ps.tables[u].add(keywords, object)) ++mutation_epoch_;
+              replica_add(u, keywords, object);
               if (const auto cit = ps.caches.find(u); cit != ps.caches.end()) {
                 cit->second.erase_if([&](const KeywordSet& q) {
                   return q.subset_of(keywords);
@@ -106,6 +109,7 @@ void OverlayIndex::withdraw(sim::EndpointId publisher, ObjectId object,
                 if (it->second.remove(keywords, object)) ++mutation_epoch_;
                 if (it->second.empty()) ps.tables.erase(it);
               }
+              replica_remove(u, keywords, object);
               if (const auto cit = ps.caches.find(u); cit != ps.caches.end()) {
                 cit->second.erase_if([&](const KeywordSet& q) {
                   return q.subset_of(keywords);
@@ -127,6 +131,7 @@ void OverlayIndex::reindex(sim::EndpointId from, ObjectId object,
                      const dht::Overlay::RouteResult& rr) {
                    PeerState& ps = peer_state(overlay_.endpoint_of(rr.owner));
                    if (ps.tables[u].add(keywords, object)) ++mutation_epoch_;
+                   replica_add(u, keywords, object);
                    if (const auto cit = ps.caches.find(u);
                        cit != ps.caches.end()) {
                      cit->second.erase_if([&](const KeywordSet& q) {
@@ -149,6 +154,7 @@ void OverlayIndex::deindex(sim::EndpointId from, ObjectId object,
                        ++mutation_epoch_;
                      if (it->second.empty()) ps.tables.erase(it);
                    }
+                   replica_remove(u, keywords, object);
                    if (const auto cit = ps.caches.find(u);
                        cit != ps.caches.end()) {
                      cit->second.erase_if([&](const KeywordSet& q) {
@@ -314,6 +320,30 @@ void OverlayIndex::begin_root_route(std::uint64_t req_id) {
         r->stats.messages += static_cast<std::size_t>(rr.hops);
         r->stats.nodes_contacted = 1;
         emit(req_id, "root", r->root_peer, static_cast<std::uint64_t>(rr.hops));
+        // Hot root cell: hand the coordinator role to a replica holder so
+        // root scans (one per query) spread across owner + replicas. One
+        // extra forwarding hop; all subsequent protocol runs at the replica.
+        // failover_root re-resolves to the true owner on repeated timeouts.
+        if (const sim::EndpointId rep = pick_replica(r->root_cube); rep != 0) {
+          const sim::EndpointId owner = r->root_peer;
+          r->root_peer = rep;
+          ++r->stats.messages;
+          ++replica_spread_visits_;
+          net_.metrics().count("kws.replica_spread");
+          emit(req_id, "spread", r->root_cube, rep);
+          net_.send(owner, rep, "kws.t_query", kCtrlBytes,
+                    [this, req_id, owner] {
+                      Request* r2 = find(req_id);
+                      if (!r2) return;
+                      // Demoted while the handoff was in flight: the replica
+                      // can no longer scan the root cell — run the
+                      // coordinator at the owner after all.
+                      if (!can_serve(r2->root_peer, r2->root_cube))
+                        r2->root_peer = owner;
+                      start_top_down(*r2);
+                    });
+          return;
+        }
         start_top_down(*r);
       });
   if (cfg_.step_timeout == 0) return;
@@ -450,12 +480,15 @@ OverlayIndex::Visit& OverlayIndex::ensure_scan(Request& req, cube::CubeId w,
   Visit& v = it->second;
   if (fresh) {
     v.peer = peer;
+    if (cfg_.hot.enabled) popularity_.note(net_.now(), w);
     PeerState& ps = peer_state(peer);
-    if (const auto tit = ps.tables.find(w); tit != ps.tables.end()) {
+    // Replica holders scan their write-through copy; the ordered entry map
+    // makes the batch byte-identical to the primary's scan.
+    if (const IndexTable* table = table_at(ps, w)) {
       const std::size_t want = room(req);
       HitBatchPool::Batch batch = hit_pool_.acquire();
-      tit->second.supersets_into(req.query, want == kUnlimited ? 0 : want,
-                                 &v.truncated, *batch);
+      table->supersets_into(req.query, want == kUnlimited ? 0 : want,
+                            &v.truncated, *batch);
       // An empty buffer goes straight back to the pool.
       if (!batch->empty()) v.batch = std::move(batch);
     }
@@ -516,6 +549,19 @@ void OverlayIndex::on_query_arrived(std::uint64_t req_id, cube::CubeId w,
                                     sim::EndpointId peer) {
   Request* req = find(req_id);
   if (!req) return;
+  // Demoted while the spread visit was in flight: drop the arrival and let
+  // the step timer retransmit through a fresh pick (only when timers exist
+  // to recover — without them a drop would hang the search). Un-learn the
+  // contact if it pointed here, so the retransmit re-resolves instead of
+  // repeating the drop forever.
+  if (cfg_.hot.enabled && cfg_.step_timeout != 0 &&
+      !req->visits.contains(w) && !can_serve(peer, w)) {
+    PeerState& ps = peer_state(req->root_peer);
+    if (const auto it = ps.contacts.find(w);
+        it != ps.contacts.end() && it->second == peer)
+      ps.contacts.erase(it);
+    return;
+  }
   if (!req->visits.contains(w)) ++req->stats.nodes_contacted;
   const Visit& v = ensure_scan(*req, w, peer);
   // T_CONT carries the child list L; T_STOP ends the search. Either way one
@@ -531,6 +577,13 @@ void OverlayIndex::on_query_arrived(std::uint64_t req_id, cube::CubeId w,
 void OverlayIndex::visit_node(std::uint64_t req_id, cube::CubeId w) {
   Request* req = find(req_id);
   if (!req) return;
+  // Hot cell: rotate the visit across owner + replica holders. A lost
+  // spread visit re-enters here via the step timer and re-picks, so loss
+  // degrades to the usual individual retransmission.
+  if (const sim::EndpointId rep = pick_replica(w); rep != 0) {
+    visit_replica(req_id, w, rep);
+    return;
+  }
   send_to_cube_node(
       req->root_peer, w, "kws.t_query", kCtrlBytes,
       [this, req_id](std::size_t n) {
@@ -663,9 +716,19 @@ void OverlayIndex::start_level(std::uint64_t req_id) {
     // visit_node, which handles DHT routing and surrogate failover.
     std::unordered_map<sim::EndpointId, std::vector<cube::CubeId>> groups;
     std::unordered_map<cube::CubeId, sim::EndpointId> co_host;
+    // Hot cells in this round rotate onto a replica holder; the holder
+    // joins the co-host grouping like any contact, so a replicated node
+    // still coalesces with whatever else that peer serves this round.
+    std::unordered_map<cube::CubeId, sim::EndpointId> replica_dest;
     {
       const PeerState& ps = peer_state(req->root_peer);
       for (const cube::CubeId w : nodes) {
+        if (const sim::EndpointId rep = pick_replica(w); rep != 0) {
+          replica_dest.emplace(w, rep);
+          groups[rep].push_back(w);
+          co_host.emplace(w, rep);
+          continue;
+        }
         const auto it = ps.contacts.find(w);
         if (it != ps.contacts.end() && net_.is_registered(it->second)) {
           groups[it->second].push_back(w);
@@ -679,8 +742,18 @@ void OverlayIndex::start_level(std::uint64_t req_id) {
     for (const cube::CubeId w : nodes) {
       const auto cit = co_host.find(w);
       if (cit == co_host.end() || groups[cit->second].size() < 2) {
-        visit_node(req_id, w);
+        // Already-picked replica singles go out directly — re-picking in
+        // visit_node would advance the rotation cursor a second time.
+        if (const auto rit = replica_dest.find(w); rit != replica_dest.end())
+          visit_replica(req_id, w, rit->second);
+        else
+          visit_node(req_id, w);
         continue;
+      }
+      if (replica_dest.contains(w)) {
+        ++replica_spread_visits_;
+        net_.metrics().count("kws.replica_spread");
+        emit(req_id, "spread", w, cit->second);
       }
       if (batched.insert(cit->second).second)
         send_visit_batch(req_id, cit->second, groups[cit->second]);
@@ -723,6 +796,17 @@ void OverlayIndex::on_visit_batch_arrived(
   std::vector<std::pair<cube::CubeId, std::size_t>> verdicts;
   std::size_t total_hits = 0;
   for (const cube::CubeId w : nodes) {
+    // Same demotion race as on_query_arrived: leave the node out of the
+    // reply (its step timer retransmits it individually) and un-learn the
+    // stale contact so the retransmit re-resolves.
+    if (cfg_.hot.enabled && cfg_.step_timeout != 0 &&
+        !req->visits.contains(w) && !can_serve(peer, w)) {
+      PeerState& ps = peer_state(req->root_peer);
+      if (const auto it = ps.contacts.find(w);
+          it != ps.contacts.end() && it->second == peer)
+        ps.contacts.erase(it);
+      continue;
+    }
     if (!req->visits.contains(w)) ++req->stats.nodes_contacted;
     const Visit& v = ensure_scan(*req, w, peer, /*ship=*/false);
     verdicts.emplace_back(w, v.c1);
@@ -767,7 +851,13 @@ void OverlayIndex::on_node_answered(std::uint64_t req_id, cube::CubeId w,
   req->collected += c1;
   if (c1 > 0)
     req->contributors.emplace_back(w, static_cast<std::uint32_t>(c1));
-  if (cfg_.cache_contacts)
+  // Only learn the node's *current owner* as its contact. A replica holder
+  // must never be cached (the contact would pin all future traffic onto one
+  // replica, defeating the rotation) — and checking "is it a holder?"
+  // instead is not enough, because a holder demoted while its reply was in
+  // flight would pass that check and poison the contact cache with a peer
+  // that can no longer serve the node.
+  if (cfg_.cache_contacts && peer == peer_of(w))
     peer_state(req->root_peer).contacts[w] = peer;
 
   switch (req->mode) {
@@ -1187,6 +1277,7 @@ std::uint64_t OverlayIndex::repair_placement() {
     for (const auto& [k, objects] : table.entries()) {
       for (ObjectId o : objects) {
         dst.tables[u].add(k, o);
+        replica_add(u, k, o);
         ++moved;
       }
     }
@@ -1233,6 +1324,8 @@ std::uint64_t OverlayIndex::repair_placement(std::size_t max_entries) {
       if (it->second.empty()) src.tables.erase(it);
     }
     peer_state(peer_of(m.u)).tables[m.u].add(m.keywords, m.object);
+    // A placement move is not a deletion: replicas keep (or gain) the entry.
+    replica_add(m.u, m.keywords, m.object);
   }
   if (!moves.empty()) {
     net_.metrics().count("kws.repair_entries", moves.size());
@@ -1283,6 +1376,365 @@ void OverlayIndex::purge_dead() {
       ++it;
     }
   }
+}
+
+// --- Hot-cell replication ----------------------------------------------------
+
+void OverlayIndex::replica_add(cube::CubeId u, const KeywordSet& keywords,
+                               ObjectId o) {
+  if (!cfg_.hot.enabled) return;
+  const auto it = replicas_.find(u);
+  if (it == replicas_.end()) return;
+  for (const sim::EndpointId h : it->second.holders) {
+    if (!net_.is_registered(h)) continue;
+    const auto pit = peers_.find(h);
+    if (pit == peers_.end()) continue;
+    pit->second.replica_tables[u].add(keywords, o);
+  }
+}
+
+void OverlayIndex::replica_remove(cube::CubeId u, const KeywordSet& keywords,
+                                  ObjectId o) {
+  if (!cfg_.hot.enabled) return;
+  const auto it = replicas_.find(u);
+  if (it == replicas_.end()) return;
+  for (const sim::EndpointId h : it->second.holders) {
+    const auto pit = peers_.find(h);
+    if (pit == peers_.end()) continue;
+    const auto tit = pit->second.replica_tables.find(u);
+    if (tit == pit->second.replica_tables.end()) continue;
+    tit->second.remove(keywords, o);
+    if (tit->second.empty()) pit->second.replica_tables.erase(tit);
+  }
+}
+
+bool OverlayIndex::is_replica_holder(cube::CubeId u,
+                                     sim::EndpointId peer) const {
+  if (!cfg_.hot.enabled) return false;
+  const auto it = replicas_.find(u);
+  if (it == replicas_.end()) return false;
+  const auto& holders = it->second.holders;
+  return std::find(holders.begin(), holders.end(), peer) != holders.end();
+}
+
+sim::EndpointId OverlayIndex::pick_replica(cube::CubeId w) {
+  if (!cfg_.hot.enabled) return 0;
+  const auto it = replicas_.find(w);
+  if (it == replicas_.end()) return 0;
+  ReplicaSet& rs = it->second;
+  if (rs.holders.empty()) return 0;
+  // Deterministic round-robin over 1 + holders slots; slot 0 is the owner.
+  // Dead holders are skipped (their slot falls through to the next), so a
+  // kill degrades the rotation instead of stalling it.
+  const std::size_t slots = rs.holders.size() + 1;
+  for (std::size_t i = 0; i < slots; ++i) {
+    const std::size_t slot = rs.rr++ % slots;
+    if (slot == 0) return 0;
+    const sim::EndpointId peer = rs.holders[slot - 1];
+    if (net_.is_registered(peer)) return peer;
+  }
+  return 0;
+}
+
+void OverlayIndex::visit_replica(std::uint64_t req_id, cube::CubeId w,
+                                 sim::EndpointId peer) {
+  Request* req = find(req_id);
+  if (!req) return;
+  ++req->stats.messages;
+  ++replica_spread_visits_;
+  net_.metrics().count("kws.replica_spread");
+  emit(req_id, "spread", w, peer);
+  net_.send(req->root_peer, peer, "kws.t_query", kCtrlBytes,
+            [this, req_id, w, peer] { on_query_arrived(req_id, w, peer); });
+  arm_step_timer(req_id, w);
+}
+
+bool OverlayIndex::can_serve(sim::EndpointId peer, cube::CubeId w) const {
+  if (peer == peer_of(w)) return true;
+  const auto pit = peers_.find(peer);
+  return pit != peers_.end() && pit->second.replica_tables.contains(w);
+}
+
+const IndexTable* OverlayIndex::table_at(const PeerState& ps,
+                                         cube::CubeId w) const {
+  if (const auto it = ps.tables.find(w); it != ps.tables.end())
+    return &it->second;
+  if (cfg_.hot.enabled)
+    if (const auto it = ps.replica_tables.find(w);
+        it != ps.replica_tables.end())
+      return &it->second;
+  return nullptr;
+}
+
+std::uint64_t OverlayIndex::replication_step(std::size_t max_entries) {
+  if (!cfg_.hot.enabled) return 0;
+  const sim::Time now = net_.now();
+  popularity_.rotate_to(now);
+
+  // (1) The hot set: cells above the scan threshold, hottest first.
+  std::unordered_map<cube::CubeId, std::uint64_t> counts = popularity_.cur;
+  for (const auto& [u, n] : popularity_.prev) counts[u] += n;
+  std::vector<std::pair<std::uint64_t, cube::CubeId>> ranked;
+  for (const auto& [u, n] : counts)
+    if (n >= cfg_.hot.min_scans) ranked.emplace_back(n, u);
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (ranked.size() > cfg_.hot.max_hot) ranked.resize(cfg_.hot.max_hot);
+  std::unordered_set<cube::CubeId> hot;
+  for (const auto& [n, u] : ranked) hot.insert(u);
+
+  // (2) Demote cells that cooled off: drop their replica copies.
+  for (auto it = replicas_.begin(); it != replicas_.end();) {
+    if (hot.contains(it->first)) {
+      ++it;
+      continue;
+    }
+    for (const sim::EndpointId h : it->second.holders) {
+      const auto pit = peers_.find(h);
+      if (pit != peers_.end()) pit->second.replica_tables.erase(it->first);
+    }
+    ++replica_demotions_;
+    net_.metrics().count("kws.replica_demotion");
+    it = replicas_.erase(it);
+  }
+
+  std::uint64_t copied = 0;
+
+  // (3) Restore: a hot cell's owner died and took the primary table with
+  // it — re-seed the (surrogate) owner from a surviving replica before the
+  // promote pass resyncs holders from the owner.
+  bool restored = false;
+  for (auto& [u, rs] : replicas_) {
+    std::erase_if(rs.holders, [this](sim::EndpointId h) {
+      return !net_.is_registered(h);
+    });
+    if (rs.holders.empty() || copied >= max_entries) continue;
+    const auto hit = peers_.find(rs.holders.front());
+    if (hit == peers_.end()) continue;
+    const auto rtit = hit->second.replica_tables.find(u);
+    if (rtit == hit->second.replica_tables.end()) continue;
+    PeerState& owner_ps = peer_state(peer_of(u));
+    const auto primary_has = [&owner_ps, u](const KeywordSet& k, ObjectId o) {
+      const auto tit = owner_ps.tables.find(u);
+      if (tit == owner_ps.tables.end()) return false;
+      const auto& entries = tit->second.entries();
+      const auto eit = entries.find(k);
+      return eit != entries.end() && eit->second.contains(o);
+    };
+    for (const auto& [k, objects] : rtit->second.entries()) {
+      if (copied >= max_entries) break;
+      for (const ObjectId o : objects) {
+        if (copied >= max_entries) break;
+        if (primary_has(k, o)) continue;
+        owner_ps.tables[u].add(k, o);
+        ++copied;
+        restored = true;
+        net_.metrics().count("kws.replica_restore");
+      }
+    }
+  }
+  // Restored entries change what searches can see: stale traversal
+  // summaries must not outlive them.
+  if (restored) ++mutation_epoch_;
+
+  // (4) Promote / resync: full-table copies from the owner onto the least
+  // loaded live peers. Placement is a greedy bin-pack: each assignment
+  // charges the chosen peer the cell's per-slot scan share, so one
+  // replication round spreads the whole hot set instead of piling every
+  // cell's replicas onto the same few idle peers (or, worse, onto the
+  // owner's ring successors — a hot ring arc would just shift one arc
+  // over). Already-synced holders keep their slot: placement churn would
+  // re-copy tables for no load benefit. Copies are all-or-nothing per
+  // holder within the budget (the first copy of a round always goes
+  // through, so progress is guaranteed).
+  std::map<sim::EndpointId, std::uint64_t> load_est;
+  for (const dht::RingId rid : overlay_.live_ids())
+    load_est.emplace(overlay_.endpoint_of(rid), 0);
+  for (const auto& [u, n] : counts) {
+    const auto rit = replicas_.find(u);
+    const std::uint64_t slots =
+        1 + (rit != replicas_.end() ? rit->second.holders.size() : 0);
+    const std::uint64_t share = n / slots;
+    if (const auto oit = load_est.find(peer_of(u)); oit != load_est.end())
+      oit->second += share;
+    if (rit != replicas_.end())
+      for (const sim::EndpointId h : rit->second.holders)
+        if (const auto hit2 = load_est.find(h); hit2 != load_est.end())
+          hit2->second += share;
+  }
+  for (const auto& [n, u] : ranked) {
+    const dht::RingId owner_ring = overlay_.owner_of(ring_key_of(u));
+    const sim::EndpointId owner_ep = overlay_.endpoint_of(owner_ring);
+    const IndexTable* src = nullptr;
+    if (const auto oit = peers_.find(owner_ep); oit != peers_.end())
+      if (const auto tit = oit->second.tables.find(u);
+          tit != oit->second.tables.end())
+        src = &tit->second;
+    const auto rit = replicas_.find(u);
+    const std::vector<sim::EndpointId> prior =
+        rit != replicas_.end() ? rit->second.holders
+                               : std::vector<sim::EndpointId>{};
+    const auto want = static_cast<std::size_t>(cfg_.hot.replicas);
+    const std::uint64_t share =
+        n / (static_cast<std::uint64_t>(cfg_.hot.replicas) + 1);
+    std::vector<sim::EndpointId> holders;
+    for (const sim::EndpointId ep : prior) {
+      if (holders.size() >= want) break;
+      if (ep == owner_ep || !net_.is_registered(ep)) continue;
+      if (peers_.contains(ep) && peers_.at(ep).replica_tables.contains(u))
+        holders.push_back(ep);  // synced: already charged in load_est
+    }
+    bool budget_hit = false;
+    while (holders.size() < want && !budget_hit) {
+      const auto best = std::min_element(
+          load_est.begin(), load_est.end(),
+          [&](const auto& a, const auto& b) {
+            const bool a_ok =
+                a.first != owner_ep &&
+                std::find(holders.begin(), holders.end(), a.first) ==
+                    holders.end();
+            const bool b_ok =
+                b.first != owner_ep &&
+                std::find(holders.begin(), holders.end(), b.first) ==
+                    holders.end();
+            if (a_ok != b_ok) return a_ok;
+            return a.second < b.second;  // ties: smallest endpoint id wins
+          });
+      if (best == load_est.end() || best->first == owner_ep ||
+          std::find(holders.begin(), holders.end(), best->first) !=
+              holders.end())
+        break;  // no eligible peer left
+      const sim::EndpointId ep = best->first;
+      const std::size_t size = src != nullptr ? src->object_count() : 0;
+      if (copied > 0 && copied + size > max_entries) {
+        budget_hit = true;
+        break;
+      }
+      PeerState& hp = peer_state(ep);
+      // Full copy into a fresh table: a leftover copy from an earlier
+      // holder stint would otherwise keep entries withdrawn since.
+      hp.replica_tables.erase(u);
+      IndexTable& dst = hp.replica_tables[u];
+      if (src != nullptr)
+        for (const auto& [k, objects] : src->entries())
+          for (const ObjectId o : objects) dst.add(k, o);
+      copied += size;
+      replica_entries_copied_ += size;
+      net_.metrics().count("kws.replica_entries", size);
+      holders.push_back(ep);
+      best->second += share == 0 ? 1 : share;
+    }
+    // A prior holder that lost its slot stops getting write-through
+    // updates; drop its copy so it cannot serve stale scans.
+    for (const sim::EndpointId ep : prior) {
+      if (std::find(holders.begin(), holders.end(), ep) != holders.end())
+        continue;
+      const auto pit = peers_.find(ep);
+      if (pit != peers_.end()) pit->second.replica_tables.erase(u);
+    }
+    if (holders.empty()) {
+      if (rit != replicas_.end()) replicas_.erase(u);
+      continue;
+    }
+    ReplicaSet& rs = replicas_[u];
+    const bool was_replicated = !rs.holders.empty();
+    rs.holders = std::move(holders);
+    if (!was_replicated) {
+      ++replica_promotions_;
+      net_.metrics().count("kws.replica_promotion");
+    }
+  }
+
+  // (5) Popularity-proportional cache sizing rides the same window.
+  rebalance_caches();
+  return copied;
+}
+
+std::size_t OverlayIndex::replication_backlog() const {
+  if (!cfg_.hot.enabled) return 0;
+  std::size_t backlog = 0;
+  for (const auto& [u, rs] : replicas_) {
+    const IndexTable* primary = table_of(u);
+    const auto contains = [](const IndexTable* t, const KeywordSet& k,
+                             ObjectId o) {
+      if (t == nullptr) return false;
+      const auto eit = t->entries().find(k);
+      return eit != t->entries().end() && eit->second.contains(o);
+    };
+    for (const sim::EndpointId h : rs.holders) {
+      if (!net_.is_registered(h)) continue;
+      const IndexTable* rep = nullptr;
+      if (const auto pit = peers_.find(h); pit != peers_.end())
+        if (const auto tit = pit->second.replica_tables.find(u);
+            tit != pit->second.replica_tables.end())
+          rep = &tit->second;
+      // Owner entries the holder still misses (resync direction) ...
+      if (primary != nullptr)
+        for (const auto& [k, objects] : primary->entries())
+          for (const ObjectId o : objects)
+            if (!contains(rep, k, o)) ++backlog;
+      // ... and replica entries the owner misses (restore direction).
+      if (rep != nullptr)
+        for (const auto& [k, objects] : rep->entries())
+          for (const ObjectId o : objects)
+            if (!contains(primary, k, o)) ++backlog;
+    }
+  }
+  return backlog;
+}
+
+void OverlayIndex::rebalance_caches() {
+  if (!cfg_.hot.size_caches || cfg_.cache_capacity == 0) return;
+  const sim::Time now = net_.now();
+  struct Slot {
+    QueryCache* cache;
+    std::uint64_t scans;
+  };
+  std::vector<Slot> slots;
+  std::uint64_t total_scans = 0;
+  for (auto& [ep, ps] : peers_) {
+    for (auto& [u, cache] : ps.caches) {
+      const std::uint64_t n = popularity_.count(now, u);
+      slots.push_back(Slot{&cache, n});
+      total_scans += n;
+    }
+  }
+  if (slots.empty()) return;
+  if (total_scans == 0) {
+    // No popularity signal: fall back to the uniform configured size.
+    for (const Slot& s : slots) s.cache->set_capacity(cfg_.cache_capacity);
+    return;
+  }
+  // Keep the total records budget constant: every cache gets the floor,
+  // the remainder is split in proportion to windowed scan counts (floor
+  // rounding, so the sum never exceeds the budget).
+  const std::size_t floor_each =
+      std::min(cfg_.hot.min_cache_records, cfg_.cache_capacity);
+  const std::size_t budget = cfg_.cache_capacity * slots.size();
+  const std::size_t spare = budget - floor_each * slots.size();
+  for (const Slot& s : slots) {
+    const std::size_t cap =
+        floor_each +
+        static_cast<std::size_t>(static_cast<double>(spare) *
+                                 static_cast<double>(s.scans) /
+                                 static_cast<double>(total_scans));
+    s.cache->set_capacity(cap);
+  }
+}
+
+OverlayIndex::HotCellStats OverlayIndex::hot_cell_stats() const {
+  HotCellStats s;
+  s.replicated_cells = replicas_.size();
+  for (const auto& [u, rs] : replicas_)
+    for (const sim::EndpointId h : rs.holders)
+      if (net_.is_registered(h)) ++s.replica_holders;
+  s.promotions = replica_promotions_;
+  s.demotions = replica_demotions_;
+  s.spread_visits = replica_spread_visits_;
+  s.entries_copied = replica_entries_copied_;
+  return s;
 }
 
 const IndexTable* OverlayIndex::table_of(cube::CubeId u) const {

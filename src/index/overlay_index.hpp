@@ -95,6 +95,35 @@ class OverlayIndex {
     /// 0 disables failover (legacy behaviour: retries then failure). Also
     /// gates the loss-guarded pin path.
     int failover_after = 0;
+    /// Popularity-aware hot-cell replication (docs/ROBUSTNESS.md). Query
+    /// traffic recreates load skew even though keyword-fusion placement
+    /// balances storage: a few logical nodes absorb most T_QUERY scans.
+    /// When enabled, replication_step() detects hot cube nodes from a
+    /// sliding scan-count window, copies their IndexTables to `replicas`
+    /// extra peers (the owner's DHT successor set), and the coordinator
+    /// round-robins visits across owner + replicas. Replica tables are
+    /// write-through (every index mutation applies to them immediately), so
+    /// a replica's scan is byte-identical to the primary's. The same window
+    /// drives popularity-proportional query-cache sizing.
+    struct HotCellConfig {
+      bool enabled = false;
+      /// Replica holders per hot cell (extra copies beyond the owner).
+      int replicas = 2;
+      /// Sliding popularity-window width in ticks (two buckets: a scan
+      /// counts for between one and two window widths).
+      sim::Time window = 1000;
+      /// Windowed scan count at which a cell qualifies as hot.
+      std::uint64_t min_scans = 32;
+      /// Most-scanned cells replicated per replication_step (cap on the
+      /// replicated set, not per-call work — the budget handles that).
+      std::size_t max_hot = 8;
+      /// Re-target per-cell query-cache capacities in proportion to the
+      /// popularity window (total records budget held constant).
+      bool size_caches = true;
+      /// Per-cache floor when size_caches redistributes capacity.
+      std::size_t min_cache_records = 2;
+    };
+    HotCellConfig hot = {};
   };
 
   OverlayIndex(dht::Dolr& dolr, Config cfg);
@@ -185,7 +214,8 @@ class OverlayIndex {
   /// node, b = peer that served it), "level" (a = level index, b = width),
   /// "coalesce" (a = co-host peer, b = visits merged into the batch),
   /// "retransmit" (a = cube node or root cube), "failed" (budget
-  /// exhausted). See docs/ENGINE.md for the schema.
+  /// exhausted), "spread" (a = cube node, b = replica holder serving the
+  /// visit instead of the owner). See docs/ENGINE.md for the schema.
   struct Trace {
     std::uint64_t request = 0;
     const char* point = "";
@@ -241,6 +271,35 @@ class OverlayIndex {
   /// entries are lost until republished — the paper's fault model).
   void purge_dead();
 
+  // --- Hot-cell replication (Config::hot) ------------------------------------
+
+  /// One round of popularity-aware replication (no-op unless hot.enabled):
+  /// refreshes the hot set from the popularity window, demotes cells that
+  /// cooled off, restores primary entries lost with a dead owner from
+  /// surviving replicas, promotes/resyncs hot cells to their replica
+  /// holders (full-table copies, at most `max_entries` entries per call so
+  /// the maintenance plane can rate-limit it), and re-targets query-cache
+  /// capacities in proportion to popularity. Synchronous bookkeeping — no
+  /// wire messages. Returns entries copied or restored this round.
+  std::uint64_t replication_step(std::size_t max_entries);
+
+  /// Outstanding replication work: entries a registered live holder should
+  /// mirror but does not yet, plus primary entries recoverable from a
+  /// replica but missing at the owner. Zero once replication_step has
+  /// converged for the current hot set.
+  std::size_t replication_backlog() const;
+
+  /// Replication counters (see docs/OBSERVABILITY.md).
+  struct HotCellStats {
+    std::size_t replicated_cells = 0;   ///< cells currently replicated
+    std::size_t replica_holders = 0;    ///< live (cell, holder) pairs
+    std::uint64_t promotions = 0;       ///< cells promoted to hot
+    std::uint64_t demotions = 0;        ///< cells demoted (cooled off)
+    std::uint64_t spread_visits = 0;    ///< visits served by a replica
+    std::uint64_t entries_copied = 0;   ///< entries copied or restored
+  };
+  HotCellStats hot_cell_stats() const;
+
   // --- Introspection ---------------------------------------------------------
 
   const cube::Hypercube& cube() const noexcept { return cube_; }
@@ -260,6 +319,18 @@ class OverlayIndex {
   void for_each_entry(Fn&& fn) const {
     for (const auto& [ep, ps] : peers_)
       for (const auto& [u, table] : ps.tables)
+        for (const auto& [k, objects] : table.entries())
+          for (ObjectId o : objects) fn(u, k, o, ep);
+  }
+
+  /// Invokes fn(cube_node, keywords, object, holder_endpoint) for every
+  /// *replica* index entry (hot-cell copies held beside the primaries).
+  /// Together with for_each_entry this enumerates every copy of every
+  /// entry anywhere — the survivor set a churn oracle must credit.
+  template <typename Fn>
+  void for_each_replica_entry(Fn&& fn) const {
+    for (const auto& [ep, ps] : peers_)
+      for (const auto& [u, table] : ps.replica_tables)
         for (const auto& [k, objects] : table.entries())
           for (ObjectId o : objects) fn(u, k, o, ep);
   }
@@ -288,6 +359,56 @@ class OverlayIndex {
     std::unordered_map<cube::CubeId, IndexTable> tables;
     std::unordered_map<cube::CubeId, QueryCache> caches;
     std::unordered_map<cube::CubeId, sim::EndpointId> contacts;
+    /// Hot-cell replica copies held at this peer, keyed by cube node. Kept
+    /// strictly apart from `tables` so placement accounting (misplaced
+    /// entries, repair, occupancy, loads) never counts a copy twice.
+    std::unordered_map<cube::CubeId, IndexTable> replica_tables;
+  };
+
+  /// Replication state of one hot cube node.
+  struct ReplicaSet {
+    std::vector<sim::EndpointId> holders;  ///< replica peers (never the owner)
+    std::size_t rr = 0;                    ///< round-robin spread cursor
+  };
+
+  /// Two-bucket sliding scan-count window: a scan stays visible for
+  /// between one and two window widths, then ages out with its bucket.
+  struct PopularityWindow {
+    sim::Time width = 0;
+    std::uint64_t cur_index = 0;
+    std::unordered_map<cube::CubeId, std::uint64_t> cur;
+    std::unordered_map<cube::CubeId, std::uint64_t> prev;
+
+    void rotate_to(sim::Time at) {
+      if (width == 0) return;
+      const std::uint64_t idx =
+          static_cast<std::uint64_t>(at) / static_cast<std::uint64_t>(width);
+      if (idx == cur_index) return;
+      if (idx == cur_index + 1) {
+        prev = std::move(cur);
+      } else {
+        prev.clear();
+      }
+      cur.clear();
+      cur_index = idx;
+    }
+    void note(sim::Time at, cube::CubeId u) {
+      rotate_to(at);
+      ++cur[u];
+    }
+    std::uint64_t count(sim::Time at, cube::CubeId u) const {
+      if (width == 0) return 0;
+      const std::uint64_t idx =
+          static_cast<std::uint64_t>(at) / static_cast<std::uint64_t>(width);
+      std::uint64_t n = 0;
+      if (idx == cur_index) {
+        if (const auto it = cur.find(u); it != cur.end()) n += it->second;
+        if (const auto it = prev.find(u); it != prev.end()) n += it->second;
+      } else if (idx == cur_index + 1) {
+        if (const auto it = cur.find(u); it != cur.end()) n += it->second;
+      }
+      return n;
+    }
   };
 
   enum class Mode { kTopDown, kPlan, kLevels };
@@ -416,6 +537,43 @@ class OverlayIndex {
 
   PeerState& peer_state(sim::EndpointId ep) { return peers_[ep]; }
 
+  // --- Hot-cell replication helpers (all no-ops unless cfg_.hot.enabled) ----
+
+  /// Write-through: mirrors an index mutation into every live holder's
+  /// replica table for `u`, keeping replicas byte-identical to the primary.
+  void replica_add(cube::CubeId u, const KeywordSet& keywords, ObjectId o);
+  void replica_remove(cube::CubeId u, const KeywordSet& keywords, ObjectId o);
+
+  /// Whether `peer` currently holds a replica of cube node `u`.
+  bool is_replica_holder(cube::CubeId u, sim::EndpointId peer) const;
+
+  /// Round-robin spread: the replica holder that should serve the next
+  /// visit of `w`, or 0 when the owner should (not replicated, or the
+  /// cursor landed on the owner's slot). Skips unregistered holders.
+  sim::EndpointId pick_replica(cube::CubeId w);
+
+  /// Sends the T_QUERY for `w` directly to replica holder `peer` (the
+  /// spread path of visit_node); the usual step timer covers loss, and a
+  /// retransmission goes back through visit_node/pick_replica.
+  void visit_replica(std::uint64_t req_id, cube::CubeId w,
+                     sim::EndpointId peer);
+
+  /// The table to scan for cube node `w` at `ps`: the primary table if
+  /// present, else (hot replication only) the peer's replica copy.
+  const IndexTable* table_at(const PeerState& ps, cube::CubeId w) const;
+
+  /// Whether a T_QUERY for `w` arriving at `peer` can be answered there:
+  /// true for the current owner (an empty table is then a real answer) and
+  /// for a holder that still has a replica copy. False means the cell was
+  /// demoted (or ownership moved) while the spread visit was in flight —
+  /// the arrival must be dropped so the step timer re-picks a serving peer
+  /// instead of memoizing a bogus empty scan.
+  bool can_serve(sim::EndpointId peer, cube::CubeId w) const;
+
+  /// Re-targets per-cell query-cache capacities in proportion to the
+  /// popularity window, holding the total records budget constant.
+  void rebalance_caches();
+
   /// Message-cost sink: invoked with the number of network messages a
   /// protocol step spent, routed to whichever stats object owns the
   /// operation (a Request or a CumulativeState) if it still exists.
@@ -513,6 +671,13 @@ class OverlayIndex {
   std::uint64_t next_pin_ = 1;
   std::uint64_t mutation_epoch_ = 0;
   TraceFn trace_;
+  // Hot-cell replication state (empty unless cfg_.hot.enabled).
+  std::unordered_map<cube::CubeId, ReplicaSet> replicas_;
+  PopularityWindow popularity_;
+  std::uint64_t replica_promotions_ = 0;
+  std::uint64_t replica_demotions_ = 0;
+  std::uint64_t replica_spread_visits_ = 0;
+  std::uint64_t replica_entries_copied_ = 0;
 };
 
 }  // namespace hkws::index

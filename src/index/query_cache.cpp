@@ -32,10 +32,15 @@ void QueryCache::insert(const KeywordSet& query, CachedTraversal summary,
                         std::uint64_t epoch) {
   if (capacity_ == 0) return;
   const std::size_t need = summary.records();
-  if (need > capacity_) {
-    // Can never fit — but the refresh supersedes whatever we had cached for
-    // this query, so the old entry must go too: serving it later would
-    // replay a summary we know is out of date.
+  // A summary that fills the whole cache would evict every other entry for
+  // a single query's benefit, so it is rejected along with the truly
+  // oversized ones. The exception is a capacity-1 cache, whose only useful
+  // admission *is* the exact-fit one-record summary (replacing whatever
+  // single entry it holds).
+  if (need > capacity_ || (need == capacity_ && capacity_ > 1)) {
+    // Can never fit (or would wipe the cache) — but the refresh supersedes
+    // whatever we had cached for this query, so the old entry must go too:
+    // serving it later would replay a summary we know is out of date.
     if (!debug_legacy_staleness_) erase(query);
     return;
   }
@@ -57,11 +62,21 @@ void QueryCache::insert(const KeywordSet& query, CachedTraversal summary,
   while (occupancy_ > capacity_) evict_oldest();
 }
 
+void QueryCache::set_capacity(std::size_t capacity_records) {
+  capacity_ = capacity_records;
+  if (capacity_ == 0) {
+    clear();
+    return;
+  }
+  while (occupancy_ > capacity_) evict_oldest();
+}
+
 void QueryCache::evict_oldest() {
   // FIFO by last write: the front is the least recently written entry, and
-  // the entry just written sits at the back, so it is only evicted if it is
-  // the sole entry left and still over capacity (impossible: oversized
-  // summaries are rejected up front).
+  // the entry just written sits at the back. The just-written entry can
+  // only reach the front when a capacity shrink leaves it as the sole
+  // survivor — insert() rejects summaries at or above capacity (capacity-1
+  // exact fits aside), so admission alone never gets it there.
   const KeywordSet victim = fifo_.front();
   fifo_.pop_front();
   const auto it = map_.find(victim);

@@ -62,11 +62,14 @@ class QueryCache {
                                 std::uint64_t epoch = 0);
 
   /// Caches `summary` under `query` stamped with `epoch`, evicting oldest
-  /// entries as needed. A summary larger than the whole capacity is not
-  /// cached — and any previously cached summary for the same query is
-  /// erased, since serving it after the refresh would be stale. Re-inserting
-  /// an existing key replaces the value and moves the entry to the back of
-  /// the FIFO queue: eviction is strictly FIFO by last write.
+  /// entries as needed. A summary that would not leave room for any other
+  /// entry (records >= capacity) is not cached — admitting it would evict
+  /// every prior record for one query's benefit — and any previously cached
+  /// summary for the same query is erased, since serving it after the
+  /// refresh would be stale. Exception: a capacity-1 cache admits exact-fit
+  /// one-record summaries, replacing its single entry. Re-inserting an
+  /// existing key replaces the value and moves the entry to the back of the
+  /// FIFO queue: eviction is strictly FIFO by last write.
   void insert(const KeywordSet& query, CachedTraversal summary,
               std::uint64_t epoch = 0);
 
@@ -90,6 +93,12 @@ class QueryCache {
   }
 
   void clear();
+
+  /// Re-sizes the cache in place (popularity-proportional sizing re-targets
+  /// capacities between rebalance rounds). Shrinking evicts oldest entries
+  /// until occupancy fits; 0 clears and disables. Hit/miss counters are
+  /// preserved across the change.
+  void set_capacity(std::size_t capacity_records);
 
   std::size_t capacity() const noexcept { return capacity_; }
   std::size_t occupancy() const noexcept { return occupancy_; }

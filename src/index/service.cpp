@@ -16,6 +16,7 @@ KeywordSearchService::KeywordSearchService(dht::Overlay& overlay,
   cfg.step_timeout = options.step_timeout;
   cfg.max_retries = options.max_retries;
   cfg.failover_after = options.failover_after;
+  cfg.hot = options.hot_cells;
   if (options.mirror_index) {
     mirrored_ = std::make_unique<MirroredIndex>(dolr_, cfg);
     mirrored_->set_windows(options.windows);
@@ -26,6 +27,18 @@ KeywordSearchService::KeywordSearchService(dht::Overlay& overlay,
 
 OverlayIndex& KeywordSearchService::primary_index() {
   return mirrored_ ? mirrored_->primary() : *plain_;
+}
+
+const OverlayIndex& KeywordSearchService::primary_index() const {
+  return mirrored_ ? mirrored_->primary() : *plain_;
+}
+
+std::uint64_t KeywordSearchService::replication_step(std::size_t max_entries) {
+  return primary_index().replication_step(max_entries);
+}
+
+std::size_t KeywordSearchService::replication_backlog() const {
+  return primary_index().replication_backlog();
 }
 
 void KeywordSearchService::publish(sim::EndpointId peer, ObjectId object,
@@ -162,7 +175,7 @@ std::size_t KeywordSearchService::repair_backlog() const {
   if (mirrored_)
     backlog += mirrored_->misplaced_entries() + mirrored_->resync_backlog();
   else
-    backlog += plain_->misplaced_entries();
+    backlog += plain_->misplaced_entries() + plain_->replication_backlog();
   return backlog;
 }
 

@@ -46,6 +46,11 @@ class KeywordSearchService {
     /// Windowed-metrics sink for mirror-failover observability (optional;
     /// not owned, must outlive the service).
     obs::WindowedMetrics* windows = nullptr;
+    /// Popularity-aware hot-cell replication + cache sizing, forwarded to
+    /// the primary cube (disabled by default; the mirror cube never
+    /// replicates hot cells — its traffic share is already a failover
+    /// artifact). See OverlayIndex::Config::HotCellConfig.
+    OverlayIndex::Config::HotCellConfig hot_cells;
   };
 
   KeywordSearchService(dht::Overlay& overlay, Options options);
@@ -118,13 +123,23 @@ class KeywordSearchService {
   std::uint64_t repair_step(std::size_t entry_budget, std::size_t ref_budget);
 
   /// Known outstanding repair work: misplaced index entries + entries one
-  /// cube lost (mirrored only) + missing replica copies.
+  /// cube lost (mirrored only) + missing replica copies + out-of-sync
+  /// hot-cell replicas.
   std::size_t repair_backlog() const;
+
+  /// One rate-limited hot-cell replication round on the primary cube (see
+  /// OverlayIndex::replication_step); the maintenance plane's replication
+  /// ticker calls this. No-op returning 0 unless Options::hot_cells.enabled.
+  std::uint64_t replication_step(std::size_t max_entries);
+
+  /// Outstanding hot-cell replication work on the primary cube.
+  std::size_t replication_backlog() const;
 
   // --- Escape hatches ---------------------------------------------------------
 
   dht::Dolr& dolr() noexcept { return dolr_; }
   OverlayIndex& primary_index();
+  const OverlayIndex& primary_index() const;
   const Options& options() const noexcept { return options_; }
 
  private:

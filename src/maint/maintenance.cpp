@@ -18,6 +18,7 @@ MaintenancePlane::MaintenancePlane(net::Transport& net, Config cfg,
 
 void MaintenancePlane::start(const std::vector<sim::EndpointId>& members) {
   detector_.start(members);
+  arm_replication_ticker();
 }
 
 void MaintenancePlane::stop() {
@@ -25,6 +26,10 @@ void MaintenancePlane::stop() {
   if (repair_timer_ != 0) {
     net_.cancel_timer(repair_timer_);
     repair_timer_ = 0;
+  }
+  if (replication_timer_ != 0) {
+    net_.cancel_timer(replication_timer_);
+    replication_timer_ = 0;
   }
   if (burst_open_ && tracer_ != nullptr) {
     tracer_->end(net_.now(), 0);
@@ -59,6 +64,24 @@ void MaintenancePlane::arm_ticker() {
   if (repair_timer_ != 0 || !detector_.running()) return;
   repair_timer_ = net_.set_timer(cfg_.repair_interval,
                                          [this] { tick(); });
+}
+
+void MaintenancePlane::arm_replication_ticker() {
+  if (replication_timer_ != 0 || !detector_.running()) return;
+  if (!replicate_ || cfg_.replication_interval == 0) return;
+  replication_timer_ =
+      net_.set_timer(cfg_.replication_interval, [this] { replication_tick(); });
+}
+
+void MaintenancePlane::replication_tick() {
+  replication_timer_ = 0;
+  const std::uint64_t copied = replicate_(cfg_.replica_entries_per_tick);
+  if (copied > 0) net_.metrics().count("maint.replica_entries", copied);
+  if (windows_ != nullptr && copied > 0)
+    windows_->count(net_.now(), "replica.entries_copied", copied);
+  // Always-on while the plane runs: demand can shift a cell hot (or cold)
+  // at any time, so there is no idle-disarm here.
+  arm_replication_ticker();
 }
 
 void MaintenancePlane::stabilize_once() {

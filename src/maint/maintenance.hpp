@@ -48,6 +48,13 @@ class MaintenancePlane {
     /// Stabilization rounds queued per confirmed death (Chord fixes one
     /// finger per node per round, so routing heal needs a batch of them).
     int stabilize_rounds_per_death = 30;
+    /// Hot-cell replication cadence (0 = ticker off). Unlike the repair
+    /// ticker — armed by confirmed deaths, disarmed when idle — the
+    /// replication ticker runs for the plane's whole lifetime: popularity
+    /// shifts without anyone dying.
+    sim::Time replication_interval = 0;
+    /// Index entries copied to hot-cell replicas per replication round.
+    std::size_t replica_entries_per_tick = 64;
   };
 
   /// One overlay stabilization round (e.g. ChordNetwork::stabilize_all).
@@ -59,12 +66,21 @@ class MaintenancePlane {
   using RepairStepFn = std::function<std::uint64_t(std::size_t, std::size_t)>;
   /// Outstanding repair work (e.g. KeywordSearchService::repair_backlog).
   using BacklogFn = std::function<std::size_t()>;
+  /// One budgeted hot-cell replication round: max_entries -> entries copied
+  /// (e.g. KeywordSearchService::replication_step).
+  using ReplicationFn = std::function<std::uint64_t(std::size_t)>;
 
   MaintenancePlane(net::Transport& net, Config cfg, StabilizeFn stabilize,
                    RepairStepFn repair_step, BacklogFn backlog);
 
+  /// Installs the hot-cell replication hook. Call before start(); the
+  /// ticker only arms when both the hook and Config::replication_interval
+  /// are set.
+  void set_replication(ReplicationFn fn) { replicate_ = std::move(fn); }
+
   /// Starts the failure detector over `members`. The repair ticker stays
-  /// dormant until the first confirmed death.
+  /// dormant until the first confirmed death; the replication ticker (if
+  /// configured) arms immediately.
   void start(const std::vector<sim::EndpointId>& members);
 
   /// Stops detector and ticker, cancelling every armed timer.
@@ -91,9 +107,11 @@ class MaintenancePlane {
   /// Total units of repair work (entries moved + copies pushed) so far.
   std::uint64_t repair_work_done() const noexcept { return work_done_; }
 
-  /// Timers currently armed by the plane (detector's + the repair ticker).
+  /// Timers currently armed by the plane (detector's + the repair and
+  /// replication tickers).
   std::size_t armed_timers() const noexcept {
-    return detector_.armed_timers() + (repair_timer_ != 0 ? 1 : 0);
+    return detector_.armed_timers() + (repair_timer_ != 0 ? 1 : 0) +
+           (replication_timer_ != 0 ? 1 : 0);
   }
 
   FailureDetector& detector() noexcept { return detector_; }
@@ -108,6 +126,8 @@ class MaintenancePlane {
   void on_death(sim::EndpointId ep);
   void tick();
   void arm_ticker();
+  void replication_tick();
+  void arm_replication_ticker();
   /// Runs one stabilize round, charging its synchronous lookup hops to
   /// synthetic_.
   void stabilize_once();
@@ -117,11 +137,13 @@ class MaintenancePlane {
   StabilizeFn stabilize_;
   RepairStepFn repair_step_;
   BacklogFn backlog_;
+  ReplicationFn replicate_;
   FailureDetector detector_;
   obs::WindowedMetrics* windows_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
 
   net::Transport::TimerId repair_timer_ = 0;
+  net::Transport::TimerId replication_timer_ = 0;
   int pending_stabilize_ = 0;
   int idle_ticks_ = 0;
   /// Idle slices (no work, empty backlog) before the ticker disarms.

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
 #include <set>
 #include <sstream>
+#include <string_view>
 #include <vector>
 
 #include "common/hash.hpp"
@@ -242,12 +244,17 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
   };
 
   // Recurring queries hit the query caches repeatedly across mutation
-  // rounds — the sequence that flushes out cache-staleness bugs.
+  // rounds — the sequence that flushes out cache-staleness bugs. Under the
+  // hot-spot workload they dominate (zipf-like head), hammering the same
+  // few cube cells so the load-balance invariant has something to measure.
   std::vector<KeywordSet> recurring;
-  for (int i = 0; i < 3; ++i) recurring.push_back(make_kws(1, 2));
+  for (int i = 0; i < 3; ++i)
+    recurring.push_back(cfg.hot_spot ? make_kws(2, 3) : make_kws(1, 2));
+  const double recurring_share = cfg.hot_spot ? 0.85 : 0.4;
 
   auto pick_query = [&]() -> KeywordSet {
-    if (wl.next_bool(0.4)) return recurring[wl.next_below(recurring.size())];
+    if (wl.next_bool(recurring_share))
+      return recurring[wl.next_below(recurring.size())];
     if (!oracle.live.empty() && wl.next_bool(0.8)) {
       auto it = oracle.live.begin();
       std::advance(it, wl.next_below(oracle.live.size()));
@@ -330,22 +337,24 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
           withdraw_safe = false;
           continue;
         }
-        std::uint64_t m0 = 0, d0 = 0, l0 = 0;
-        if (ops.net != nullptr) {
-          m0 = ops.net->messages_sent();
-          d0 = ops.net->messages_delivered();
-          l0 = ops.net->messages_lost();
-        }
         const std::vector<ObjectId> lost =
             ops.fail_peer(ev.arg, oracle.live);
         for (ObjectId id : lost) oracle.live.erase(id);
         withdraw_safe = false;
         if (ops.net != nullptr) {
-          // fail_peer drains the queue, so any message imbalance across the
-          // window is exactly the synthetic maintenance charge.
-          synthetic_messages += (ops.net->messages_sent() - m0) -
-                                (ops.net->messages_delivered() - d0) -
-                                (ops.net->messages_lost() - l0);
+          // fail_peer returns with the queue drained, so the *cumulative*
+          // sent/delivered/lost imbalance at this instant is exactly the
+          // synthetic maintenance charge so far. (A windowed delta would
+          // misattribute messages that were in flight when the window
+          // opened — the hot-spot plane's heartbeats, for instance.)
+          // Charges the plane already accounts for via synthetic_messages()
+          // — delay-induced false confirmations trigger stabilize rounds
+          // between kills — are subtracted here, because the final identity
+          // adds the plane's total separately.
+          synthetic_messages =
+              ops.net->messages_sent() - ops.net->messages_delivered() -
+              ops.net->messages_lost() -
+              (ops.plane != nullptr ? ops.plane->synthetic_messages() : 0);
         }
       }
     }
@@ -788,23 +797,68 @@ void run_overlay(const ScenarioConfig& cfg, const FaultPlan& plan,
         dht::PastryNetwork::build(net, cfg.peers, {}));
   }
   dht::Dolr dolr(*overlay);
-  index::OverlayIndex oi(dolr, {.r = cfg.r,
-                                .cache_capacity = cfg.cache_capacity,
-                                // Exercise the VisitBatch path under faults:
-                                // the conservation and soundness invariants
-                                // must hold with coalesced rounds too.
-                                .coalesce_visits = true,
-                                .step_timeout = 80,
-                                .max_retries = 8});
+  index::OverlayIndex::Config oicfg;
+  oicfg.r = cfg.r;
+  oicfg.cache_capacity = cfg.cache_capacity;
+  // Exercise the VisitBatch path under faults: the conservation and
+  // soundness invariants must hold with coalesced rounds too.
+  oicfg.coalesce_visits = true;
+  oicfg.step_timeout = 80;
+  oicfg.max_retries = 8;
+  if (cfg.hot_spot) {
+    // One popularity window covers the whole run, so the recurring-query
+    // head accumulates scans fast enough to cross the hot threshold within
+    // the first rounds.
+    oicfg.hot.enabled = cfg.hot_replication;
+    oicfg.hot.replicas = 3;
+    oicfg.hot.window = 1 << 20;
+    oicfg.hot.min_scans = 4;
+    oicfg.hot.max_hot = 16;
+  }
+  index::OverlayIndex oi(dolr, oicfg);
   // Faults start only now: overlay construction traffic stays pristine.
   net.set_fault_model(std::move(injector));
   if (tracer != nullptr) obs::attach_network(*tracer, net);
 
+  // Load-balance invariant input: scan counts per serving peer, straight
+  // from the protocol trace (replica holders show up as servers here —
+  // that is the point).
+  std::map<sim::EndpointId, std::uint64_t> scan_loads;
+  if (cfg.max_scan_skew > 0.0)
+    oi.set_trace([&scan_loads](const index::OverlayIndex::Trace& t) {
+      if (std::string_view(t.point) == "scan") ++scan_loads[t.b];
+    });
+
   constexpr sim::EndpointId kHome = 1;  // publisher/searcher; never fails
+
+  // Hot-spot runs drive replication the way production does: the plane's
+  // always-on replication ticker promotes/demotes/resyncs in the
+  // background while the workload races it.
+  std::unique_ptr<maint::MaintenancePlane> plane;
+  if (cfg.hot_spot && cfg.hot_replication && chord != nullptr) {
+    maint::MaintenancePlane::Config pc;
+    pc.replication_interval = 40;
+    pc.replica_entries_per_tick = 512;
+    plane = std::make_unique<maint::MaintenancePlane>(
+        net, pc, [chord] { chord->stabilize_all(); },
+        [&oi](std::size_t entries, std::size_t) {
+          oi.purge_dead();
+          return oi.repair_placement(entries);
+        },
+        [&oi] { return oi.misplaced_entries() + oi.replication_backlog(); });
+    plane->set_replication(
+        [&oi](std::size_t n) { return oi.replication_step(n); });
+    if (tracer != nullptr) plane->set_tracer(tracer);
+    std::vector<sim::EndpointId> members;
+    for (const dht::RingId id : chord->live_ids())
+      members.push_back(chord->endpoint_of(id));
+    plane->start(members);
+  }
 
   Ops ops;
   ops.clock = &clock;
   ops.net = &net;
+  ops.plane = plane.get();
   ops.overshoot_ok = cfg.strategy == SearchStrategy::kLevelParallel;
   ops.publish = [&](ObjectId id, const KeywordSet& k,
                     std::function<void()> done) {
@@ -868,6 +922,40 @@ void run_overlay(const ScenarioConfig& cfg, const FaultPlan& plan,
       if (candidates.size() < 4) return std::vector<ObjectId>{};
       const sim::EndpointId victim =
           candidates[ordinal % candidates.size()];
+      if (cfg.hot_spot) {
+        // Hot-spot kill: the plane is parked around the (synchronous)
+        // repair so its detector never double-heals, the queue is drained,
+        // and a full replication round restores owner tables from any
+        // surviving replica copies — entries are only truly lost when no
+        // live peer holds them in either a primary or a replica table.
+        if (plane != nullptr) plane->stop();
+        chord->fail(victim);
+        std::set<ObjectId> survivors;
+        oi.for_each_entry([&](cube::CubeId, const KeywordSet&, ObjectId id,
+                              sim::EndpointId ep) {
+          if (chord->is_live(ep)) survivors.insert(id);
+        });
+        oi.for_each_replica_entry([&](cube::CubeId, const KeywordSet&,
+                                      ObjectId id, sim::EndpointId ep) {
+          if (chord->is_live(ep)) survivors.insert(id);
+        });
+        std::vector<ObjectId> lost;
+        for (const auto& [id, k] : live)
+          if (!survivors.contains(id)) lost.push_back(id);
+        for (int i = 0; i < 30; ++i) chord->stabilize_all();
+        clock.run();
+        oi.purge_dead();
+        oi.repair_placement();
+        oi.replication_step(std::numeric_limits<std::size_t>::max());
+        clock.run();
+        if (plane != nullptr) {
+          std::vector<sim::EndpointId> members;
+          for (const dht::RingId id : chord->live_ids())
+            members.push_back(chord->endpoint_of(id));
+          plane->start(members);
+        }
+        return lost;
+      }
       // Entries that die with the victim, per current (canonical after the
       // previous round's repair) placement.
       std::vector<ObjectId> lost;
@@ -883,6 +971,31 @@ void run_overlay(const ScenarioConfig& cfg, const FaultPlan& plan,
     };
   }
   execute(cfg, ops, rep, tracer);
+  if (plane != nullptr) plane->stop();  // idempotent; covers early exits
+
+  // Load-balance invariant: the busiest peer's scan count vs the mean over
+  // all live peers (idle peers count — that is what the skew is about).
+  if (cfg.max_scan_skew > 0.0 && rep.ok()) {
+    std::uint64_t total = 0;
+    std::uint64_t max_load = 0;
+    for (const auto& [ep, n] : scan_loads) {
+      total += n;
+      max_load = std::max(max_load, n);
+    }
+    const std::size_t live = overlay->live_ids().size();
+    if (total > 0 && live > 0) {
+      const double mean =
+          static_cast<double>(total) / static_cast<double>(live);
+      const double skew = static_cast<double>(max_load) / mean;
+      if (skew > cfg.max_scan_skew) {
+        std::ostringstream detail;
+        detail << "max/mean scans per peer " << skew << " exceeds "
+               << cfg.max_scan_skew << " (max=" << max_load
+               << " total=" << total << " live_peers=" << live << ")";
+        rep.violations.push_back({"load_balance", detail.str()});
+      }
+    }
+  }
   rep.faults_applied = inj->applied();
 }
 
@@ -1111,6 +1224,32 @@ ScenarioConfig ScenarioConfig::from_seed(std::uint64_t seed, Deployment d,
   return cfg;
 }
 
+ScenarioConfig ScenarioConfig::hot_spot_preset(std::uint64_t seed) {
+  ScenarioConfig cfg = from_seed(seed, Deployment::kChord,
+                                 index::SearchStrategy::kTopDownSequential);
+  cfg.hot_spot = true;
+  cfg.hot_replication = true;
+  // Measured over seeds 1-8: replication-off runs land at 3.6-8.0,
+  // replication-on runs at 1.5-3.0. The bound sits between the two bands.
+  cfg.max_scan_skew = 4.0;
+  // The query cache would absorb the recurring queries the workload relies
+  // on to heat cells; the skew measurement wants every scan on the wire.
+  cfg.cache_capacity = 0;
+  cfg.peers = std::max<std::size_t>(cfg.peers, 16);
+  // Enough post-promotion traffic that the spread (not the warm-up before
+  // the hot threshold trips) dominates the per-peer scan totals.
+  cfg.rounds = std::max<std::size_t>(cfg.rounds, 6);
+  cfg.searches_per_round = std::max<std::size_t>(cfg.searches_per_round, 24);
+  cfg.churn = true;
+  cfg.faults.rounds = cfg.rounds;
+  cfg.faults.peer_failures = 1 + seed % 2;
+  // Lossless on purpose: the owner->replica root handoff is a single
+  // unguarded hop (see hot_spot_preset doc). Delays stay in play.
+  cfg.faults.allow_drops = false;
+  cfg.faults.allow_dups = false;
+  return cfg;
+}
+
 ScenarioConfig ScenarioConfig::churn_preset(std::uint64_t seed) {
   ScenarioConfig cfg = from_seed(seed, Deployment::kMirrored,
                                  index::SearchStrategy::kTopDownSequential);
@@ -1134,6 +1273,11 @@ std::string ScenarioConfig::to_string() const {
   if (continuous_churn)
     out << " continuous-churn"
         << (self_healing ? " self-healing" : " no-self-healing");
+  if (hot_spot) {
+    out << " hot-spot"
+        << (hot_replication ? " hot-replication" : " no-hot-replication");
+    if (max_scan_skew > 0.0) out << " max-skew=" << max_scan_skew;
+  }
   return out.str();
 }
 

@@ -85,6 +85,17 @@ struct ScenarioConfig {
   /// Convergence invariant: after the last fault, the plane must report
   /// converged() within this many 100-tick repair windows.
   std::size_t convergence_budget = 80;
+  /// Hot-spot workload: the recurring-query share rises to 0.85, so a few
+  /// keyword cells absorb most T_QUERY scans — the query-side load skew
+  /// the hot-cell replication machinery exists to flatten (Chord only).
+  bool hot_spot = false;
+  /// With hot_spot: run popularity-aware hot-cell replication (true), or
+  /// leave it off (false — the control that shows the load-balance
+  /// invariant break without the feature).
+  bool hot_replication = true;
+  /// Load-balance invariant (0 = off): max per-peer scan count divided by
+  /// the mean over all live peers must stay at or below this after the run.
+  double max_scan_skew = 0.0;
   FaultPlanConfig faults;
 
   /// Fills the size knobs from the seed and adapts the fault envelope to
@@ -99,6 +110,14 @@ struct ScenarioConfig {
   /// (occupancy, replication, search completeness, conservation) within
   /// the convergence budget.
   static ScenarioConfig churn_preset(std::uint64_t seed);
+
+  /// Hot-spot preset: Chord deployment, zipf-like recurring-query skew,
+  /// mid-run peer kills, hot-cell replication on, and the load-balance
+  /// invariant armed. Lossless by construction: the owner->replica root
+  /// handoff is a single unguarded hop, so drop/dup faults are excluded
+  /// (delays stay). The replication-off control run must trip the
+  /// load_balance invariant; the feature run must pass everything.
+  static ScenarioConfig hot_spot_preset(std::uint64_t seed);
 
   std::string to_string() const;
 };

@@ -132,6 +132,49 @@ TEST(QueryEngine, ConcurrentInterleavedSearchesAreExact) {
   EXPECT_FALSE(report.scans_per_peer.empty());
 }
 
+// The skew denominator must be the mean over ALL live peers — idle peers
+// are exactly what a load-imbalance number has to count. (The old report
+// divided by the number of peers that happened to serve a scan, which
+// understates the skew whenever part of the ring sits idle.)
+TEST(QueryEngine, ScanSkewCountsIdlePeersInTheMean) {
+  EngineNet t({.r = 6});
+  const auto sets = catalogue_sets();
+  publish_catalogue(t, sets);
+
+  EngineConfig cfg;
+  cfg.search.limit = 0;
+  QueryEngine engine(*t.service, t.clock, cfg);
+
+  // A narrow repeated query touches only its own subtree's owners, so most
+  // of the 24-peer ring serves nothing.
+  for (int i = 0; i < 4; ++i)
+    engine.submit(1, KeywordSet{"alpha", "beta", "gamma"});
+  t.clock.run();
+
+  const EngineReport report = engine.report();
+  ASSERT_FALSE(report.scans_per_peer.empty());
+  ASSERT_EQ(report.live_peers, 24u);
+  const std::size_t serving = report.scans_per_peer.bins().size();
+  ASSERT_LT(serving, report.live_peers);
+
+  std::uint64_t max_load = 0;
+  for (const auto& [peer, n] : report.scans_per_peer.bins())
+    max_load = std::max(max_load, n);
+  const double total = static_cast<double>(report.scans_per_peer.total());
+  EXPECT_DOUBLE_EQ(
+      report.scan_skew_max_over_mean,
+      static_cast<double>(max_load) /
+          (total / static_cast<double>(report.live_peers)));
+  // Strictly larger than the serving-only mean would make it — the exact
+  // regression the all-peers denominator fixes.
+  EXPECT_GT(report.scan_skew_max_over_mean,
+            static_cast<double>(max_load) /
+                (total / static_cast<double>(serving)));
+  // And the field is exported for the bench/CI gate.
+  EXPECT_NE(report.to_json().find("\"scan_skew_max_over_mean\":"),
+            std::string::npos);
+}
+
 // --- Loss + retransmission --------------------------------------------------
 
 TEST(QueryEngine, LossyNetworkYieldsExactResultsViaRetransmission) {

@@ -248,6 +248,44 @@ TEST(WindowedMetrics, BucketsBySimTime) {
   ASSERT_EQ(w1.samples.at("latency").size(), 2u);
 }
 
+// Windows are half-open [k*width, (k+1)*width): the last tick of window k
+// and the first tick of window k+1 must never share a bucket, and window
+// indices are computed in 64 bits (a long-horizon serving run overflows
+// 32-bit index arithmetic).
+TEST(WindowedMetrics, WindowBoundariesAreHalfOpenAndSixtyFourBit) {
+  WindowedMetrics w(100);
+  w.count(199, "x");  // last tick of window 1
+  w.count(200, "x");  // first tick of window 2
+  w.count(200, "x");
+  w.gauge(299, "g", 9);  // last tick of window 2
+  w.gauge(300, "g", 2);  // first tick of window 3: no max-carryover
+  ASSERT_EQ(w.windows().size(), 3u);
+  EXPECT_EQ(w.windows().at(1).start, 100u);
+  EXPECT_EQ(w.windows().at(2).start, 200u);
+  EXPECT_EQ(w.windows().at(3).start, 300u);
+  EXPECT_EQ(w.windows().at(1).counters.at("x"), 1u);
+  EXPECT_EQ(w.windows().at(2).counters.at("x"), 2u);
+  EXPECT_DOUBLE_EQ(w.windows().at(2).gauges.at("g"), 9.0);
+  EXPECT_DOUBLE_EQ(w.windows().at(3).gauges.at("g"), 2.0);
+
+  // Width 1: every tick is its own window.
+  WindowedMetrics fine(1);
+  fine.count(0, "x");
+  fine.count(1, "x");
+  ASSERT_EQ(fine.windows().size(), 2u);
+  EXPECT_EQ(fine.windows().at(0).counters.at("x"), 1u);
+  EXPECT_EQ(fine.windows().at(1).counters.at("x"), 1u);
+
+  // Past 2^32 ticks the index and start must still be exact.
+  WindowedMetrics wide(100);
+  const sim::Time far = 10'000'000'001ULL;
+  wide.count(far, "x");
+  ASSERT_EQ(wide.windows().size(), 1u);
+  const auto& [idx, win] = *wide.windows().begin();
+  EXPECT_EQ(idx, 100'000'000u);
+  EXPECT_EQ(win.start, 10'000'000'000ULL);
+}
+
 TEST(WindowedMetrics, RejectsZeroWidth) {
   EXPECT_THROW(WindowedMetrics(0), std::invalid_argument);
 }

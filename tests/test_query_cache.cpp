@@ -92,13 +92,71 @@ TEST(QueryCache, OversizedSummaryIsNotCached) {
 TEST(QueryCache, OversizedRefreshErasesStaleEntry) {
   // Regression: an oversized refresh used to early-return and leave the
   // previous (now stale) summary in the cache, to be served forever after.
-  QueryCache c(2);
+  QueryCache c(3);
   c.insert(KeywordSet({"q"}), summary_of({1, 2}));
   ASSERT_NE(c.lookup(KeywordSet({"q"})), nullptr);
-  c.insert(KeywordSet({"q"}), summary_of({1, 2, 3}));  // refresh grew past cap
+  c.insert(KeywordSet({"q"}), summary_of({1, 2, 3}));  // refresh grew to cap
   EXPECT_EQ(c.lookup(KeywordSet({"q"})), nullptr);
   EXPECT_EQ(c.occupancy(), 0u);
   EXPECT_EQ(c.entry_count(), 0u);
+}
+
+TEST(QueryCache, ExactCapacitySummaryDoesNotWipeCache) {
+  // Regression: a summary of exactly `capacity` records used to be
+  // admitted, evicting every prior entry for one query's benefit — a whole
+  // cache wiped by a single popular query. It must be rejected like the
+  // strictly oversized ones, leaving the existing entries alone.
+  QueryCache c(4);
+  c.insert(KeywordSet({"a"}), summary_of({1}));
+  c.insert(KeywordSet({"b"}), summary_of({2}));
+  c.insert(KeywordSet({"big"}), summary_of({1, 2, 3, 4}));
+  EXPECT_EQ(c.lookup(KeywordSet({"big"})), nullptr);
+  EXPECT_NE(c.lookup(KeywordSet({"a"})), nullptr);
+  EXPECT_NE(c.lookup(KeywordSet({"b"})), nullptr);
+  EXPECT_EQ(c.occupancy(), 2u);
+  EXPECT_EQ(c.evictions(), 0u);
+}
+
+TEST(QueryCache, CapacityOneCacheStillAdmitsExactFit) {
+  // The one useful admission a capacity-1 cache has *is* the exact fit; the
+  // whole-capacity rejection must not brick minimum-size caches (which
+  // popularity-proportional sizing now produces routinely).
+  QueryCache c(1);
+  c.insert(KeywordSet({"a"}), summary_of({7}));
+  ASSERT_NE(c.lookup(KeywordSet({"a"})), nullptr);
+  c.insert(KeywordSet({"b"}), summary_of({9}));  // replaces via eviction
+  EXPECT_EQ(c.lookup(KeywordSet({"a"})), nullptr);
+  EXPECT_NE(c.lookup(KeywordSet({"b"})), nullptr);
+  EXPECT_EQ(c.occupancy(), 1u);
+}
+
+TEST(QueryCache, SetCapacityShrinkEvictsOldestFirst) {
+  QueryCache c(6);
+  c.insert(KeywordSet({"a"}), summary_of({1, 2}));
+  c.insert(KeywordSet({"b"}), summary_of({3, 4}));
+  c.insert(KeywordSet({"c"}), summary_of({5, 6}));
+  c.set_capacity(3);
+  EXPECT_EQ(c.lookup(KeywordSet({"a"})), nullptr);
+  EXPECT_EQ(c.lookup(KeywordSet({"b"})), nullptr);
+  EXPECT_NE(c.lookup(KeywordSet({"c"})), nullptr);
+  EXPECT_EQ(c.occupancy(), 2u);
+  EXPECT_EQ(c.evictions(), 2u);
+  // Growing back does not resurrect anything but re-opens admission.
+  c.set_capacity(6);
+  c.insert(KeywordSet({"d"}), summary_of({7, 8}));
+  EXPECT_NE(c.lookup(KeywordSet({"d"})), nullptr);
+}
+
+TEST(QueryCache, SetCapacityZeroClearsAndDisables) {
+  QueryCache c(4);
+  c.insert(KeywordSet({"a"}), summary_of({1}));
+  c.lookup(KeywordSet({"a"}));
+  c.set_capacity(0);
+  EXPECT_EQ(c.entry_count(), 0u);
+  EXPECT_EQ(c.occupancy(), 0u);
+  c.insert(KeywordSet({"b"}), summary_of({2}));
+  EXPECT_EQ(c.lookup(KeywordSet({"b"})), nullptr);
+  EXPECT_EQ(c.hits(), 1u);  // statistics survive the resize
 }
 
 TEST(QueryCache, ReinsertReplacesValueMovesToBack) {
@@ -137,7 +195,7 @@ TEST(QueryCache, StaleEpochEntryIsDroppedOnLookup) {
 
 TEST(QueryCache, LegacyStalenessDebugFlagRestoresOldBehavior) {
   QueryCache::set_debug_legacy_staleness(true);
-  QueryCache c(2);
+  QueryCache c(3);
   c.insert(KeywordSet({"q"}), summary_of({1, 2}), 1);
   c.insert(KeywordSet({"q"}), summary_of({1, 2, 3}), 2);  // oversized refresh
   // Pre-fix behavior: the stale 2-record entry survives and epoch checks
@@ -202,21 +260,22 @@ TEST_P(QueryCacheFuzz, MatchesReferenceModel) {
   for (int step = 0; step < 2000; ++step) {
     const KeywordSet key({"k" + std::to_string(rng.next_below(8))});
     switch (rng.next_below(3)) {
-      case 0: {  // insert with 1..5 records
-        const auto records = 1 + rng.next_below(5);
+      case 0: {  // insert with 1..13 records (straddles the capacity edge)
+        const auto records = 1 + rng.next_below(13);
         CachedTraversal t;
         for (std::uint64_t i = 0; i < records; ++i)
           t.contributors.emplace_back(i, 1u);
         t.complete = true;
         cache.insert(key, t);
-        if (records <= kCapacity) {
+        if (records < kCapacity) {
           // Replace or insert; either way the entry moves to the back
           // (eviction is strictly FIFO by last write).
           if (auto it = model_find(key); it != model.end()) model.erase(it);
           model.emplace_back(key, records);
           while (model_occupancy() > kCapacity) model.erase(model.begin());
         } else {
-          // Oversized refresh: the old entry must be gone too.
+          // At-or-over-capacity refresh: rejected, and the old entry must
+          // be gone too.
           if (auto it = model_find(key); it != model.end()) model.erase(it);
         }
         break;

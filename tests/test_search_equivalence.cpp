@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -259,6 +260,69 @@ TEST(SearchEquivalence, ThresholdedLevelParallelHonorsContract) {
       }
     }
   }
+}
+
+// Hot-cell replication is a pure load optimization: replica tables are
+// write-through copies of the owner's, and the coordinator round-robins
+// visits across owner + replicas. So a warmed-up deployment with
+// replication promoted must keep returning the LogicalIndex reference
+// sequence byte for byte no matter which replica serves each visit — even
+// for entries published AFTER promotion.
+TEST(SearchEquivalence, ReplicaSpreadKeepsHitSequencesByteIdentical) {
+  constexpr int kReplicas = 2;
+  LogicalIndex logical({.r = kR});
+  for (const auto& [id, k] : corpus(0xc0ffee)) logical.insert(id, k);
+
+  sim::EventQueue clock;
+  sim::Network net(clock, nullptr);
+  auto dht = dht::ChordNetwork::build(net, kPeers, {});
+  dht::Dolr dolr(dht);
+  OverlayIndex::Config cfg;
+  cfg.r = kR;
+  cfg.cache_capacity = 0;  // every search must reach the (replica) tables
+  cfg.hot.enabled = true;
+  cfg.hot.replicas = kReplicas;
+  cfg.hot.window = 1 << 20;  // one popularity window covers the whole test
+  cfg.hot.min_scans = 2;
+  OverlayIndex index(dolr, cfg);
+  for (const auto& [id, k] : corpus(0xc0ffee)) index.publish(1, id, k);
+  clock.run();
+
+  const auto run_search = [&](const KeywordSet& q) {
+    std::optional<SearchResult> result;
+    index.superset_search(2, q, 0, SearchStrategy::kTopDownSequential,
+                          [&](const SearchResult& r) { result = r; });
+    clock.run();
+    EXPECT_TRUE(result.has_value());
+    return result.value_or(SearchResult{});
+  };
+
+  const KeywordSet q({"w1", "w4"});
+  // Heat the query's cells past min_scans, then promote.
+  for (int i = 0; i < 4; ++i) run_search(q);
+  index.replication_step(std::numeric_limits<std::size_t>::max());
+  const auto promoted = index.hot_cell_stats();
+  ASSERT_GT(promoted.promotions, 0u);
+  ASSERT_GT(promoted.replica_holders, 0u);
+
+  // Write-through: a publish AFTER promotion lands in the replica tables
+  // immediately — the next replication round finds nothing left to copy.
+  const ObjectId extra = kObjects + 1;
+  logical.insert(extra, q);
+  index.publish(1, extra, q);
+  clock.run();
+  EXPECT_EQ(index.replication_step(std::numeric_limits<std::size_t>::max()),
+            0u);
+  EXPECT_EQ(index.replication_backlog(), 0u);
+
+  // 2*(k+1) searches cycle the round-robin through every replica slot
+  // twice; each sequence must match the reference byte for byte.
+  const std::vector<Hit> ref =
+      reference_hits(logical, q, 0, SearchStrategy::kTopDownSequential);
+  ASSERT_FALSE(ref.empty());
+  for (int i = 0; i < 2 * (kReplicas + 1); ++i)
+    expect_identical(run_search(q).hits, ref, q, "replica spread");
+  EXPECT_GT(index.hot_cell_stats().spread_visits, 0u);
 }
 
 // --- The same state machines on the real-socket backend ---------------------

@@ -190,6 +190,40 @@ TEST(Torture, ContinuousChurnPresetSweepIsGreen) {
   }
 }
 
+// The hot-spot preset's 0.85 recurring-query share hammers a handful of
+// cube cells. With hot-cell replication the scan load spreads across the
+// replica sets and every invariant (including load_balance) holds; with
+// the feature off the same workload must trip load_balance — and nothing
+// else, since replication is a pure load optimization.
+TEST(Torture, HotSpotReplicationFlattensScanSkewAndControlIsCaught) {
+  ScenarioRunner runner;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const ScenarioConfig cfg = ScenarioConfig::hot_spot_preset(seed);
+    ASSERT_TRUE(cfg.hot_spot);
+    ASSERT_TRUE(cfg.hot_replication);
+    ASSERT_GT(cfg.max_scan_skew, 0.0);
+    const ScenarioReport rep = runner.run(cfg);
+    EXPECT_TRUE(rep.ok()) << rep.to_string();
+    EXPECT_GT(rep.searches, 0u);
+  }
+
+  // Seeds 2 and 3 sit well above the skew bound without replication
+  // (max/mean ~8.0 and ~6.4 against the 4.0 limit).
+  for (std::uint64_t seed : {2, 3}) {
+    ScenarioConfig control = ScenarioConfig::hot_spot_preset(seed);
+    control.hot_replication = false;
+    const ScenarioReport caught = runner.run(control);
+    ASSERT_FALSE(caught.ok()) << "seed " << seed;
+    for (const Violation& v : caught.violations)
+      EXPECT_EQ(v.invariant, "load_balance") << v.detail;
+
+    // Reproduced bit-identically from the same seed.
+    const ScenarioReport again = runner.run(control);
+    ASSERT_EQ(again.violations.size(), caught.violations.size());
+    EXPECT_EQ(again.violations[0].detail, caught.violations[0].detail);
+  }
+}
+
 TEST(Shrink, ChurnFailureShrinksToThePeerFailures) {
   // The no-plane control fails because of the kills, not the message
   // faults: shrinking must keep at least one kFailPeer event and strip the
