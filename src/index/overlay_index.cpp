@@ -26,11 +26,23 @@ OverlayIndex::OverlayIndex(dht::Dolr& dolr, Config cfg)
       net_(dolr.overlay().transport()),
       cfg_(cfg),
       cube_(cfg.r),
-      hasher_(cfg.r, cfg.hash_seed) {
+      hasher_(cfg.r, cfg.hash_seed),
+      backoff_rng_(cfg.backoff_seed) {
   // loads_by_cube_node() materializes a 2^r vector; protocols themselves
   // would work for larger r, but nothing in the paper's regime needs it.
   if (cfg.r > 24)
     throw std::invalid_argument("OverlayIndex: r must be <= 24");
+}
+
+sim::Time OverlayIndex::resend_delay(int attempt) {
+  if (cfg_.backoff_cap == 0 || attempt <= 1) return cfg_.step_timeout;
+  sim::Time d = cfg_.step_timeout;
+  for (int i = 1; i < attempt && d < cfg_.backoff_cap; ++i) d *= 2;
+  d = std::min(d, cfg_.backoff_cap);
+  if (cfg_.backoff_jitter != 0)
+    d += static_cast<sim::Time>(backoff_rng_.next_below(
+        static_cast<std::uint64_t>(cfg_.backoff_jitter) + 1));
+  return d;
 }
 
 dht::RingId OverlayIndex::ring_key_of(cube::CubeId u) const {
@@ -255,7 +267,7 @@ void OverlayIndex::pin_attempt(std::uint64_t pin_id) {
       });
   PinState* p = find_pin(pin_id);
   if (!p) return;  // the route may complete in place
-  p->timer = net_.set_timer(cfg_.step_timeout, [this, pin_id] {
+  p->timer = net_.set_timer(resend_delay(p->attempts), [this, pin_id] {
     PinState* p2 = find_pin(pin_id);
     if (!p2) return;
     p2->timer = 0;
@@ -349,7 +361,8 @@ void OverlayIndex::begin_root_route(std::uint64_t req_id) {
   if (cfg_.step_timeout == 0) return;
   Request* r = find(req_id);  // re-find: the route may complete in place
   if (r == nullptr || r->root_resolved) return;
-  r->root_timer = net_.set_timer(cfg_.step_timeout, [this, req_id] {
+  r->root_timer = net_.set_timer(resend_delay(r->root_attempts),
+                                 [this, req_id] {
     Request* r2 = find(req_id);
     if (!r2 || r2->root_resolved) return;
     r2->root_timer = 0;
@@ -612,8 +625,11 @@ void OverlayIndex::arm_step_timer(std::uint64_t req_id, cube::CubeId w) {
   if (!req || req->answered.contains(w)) return;
   if (const auto it = req->step_timers.find(w); it != req->step_timers.end())
     net_.cancel_timer(it->second);
+  const auto attempts_it = req->step_attempts.find(w);
+  const int attempt =
+      (attempts_it == req->step_attempts.end() ? 0 : attempts_it->second) + 1;
   req->step_timers[w] =
-      net_.set_timer(cfg_.step_timeout, [this, req_id, w] {
+      net_.set_timer(resend_delay(attempt), [this, req_id, w] {
         Request* r = find(req_id);
         if (!r || r->answered.contains(w)) return;
         r->step_timers.erase(w);
@@ -946,7 +962,8 @@ void OverlayIndex::send_done(std::uint64_t req_id) {
               maybe_complete(req_id);
             });
   if (cfg_.step_timeout == 0) return;
-  req->done_timer = net_.set_timer(cfg_.step_timeout, [this, req_id] {
+  req->done_timer = net_.set_timer(resend_delay(req->done_attempts),
+                                   [this, req_id] {
     Request* r = find(req_id);
     if (!r || r->done_received) return;
     r->done_timer = 0;
@@ -969,7 +986,8 @@ void OverlayIndex::arm_repair_timer(std::uint64_t req_id) {
     return;
   }
   ++req->repair_attempts;
-  req->repair_timer = net_.set_timer(cfg_.step_timeout, [this, req_id] {
+  req->repair_timer = net_.set_timer(resend_delay(req->repair_attempts),
+                                     [this, req_id] {
     Request* r = find(req_id);
     if (!r) return;
     r->repair_timer = 0;

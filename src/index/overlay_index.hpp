@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "common/keyword.hpp"
+#include "common/rng.hpp"
 #include "cube/hypercube.hpp"
 #include "cube/sbt.hpp"
 #include "dht/dolr.hpp"
@@ -87,6 +88,18 @@ class OverlayIndex {
     sim::Time step_timeout = 0;
     /// Retransmissions per protocol step before the request is failed.
     int max_retries = 3;
+    /// Retransmission backoff (partition-aware resend pacing): the k-th
+    /// retransmit of a step waits min(step_timeout * 2^k, backoff_cap)
+    /// plus a seeded jitter draw in [0, backoff_jitter] — during a
+    /// partition the survivors stop hammering the cut at a fixed cadence,
+    /// and the jitter de-synchronizes the retry thundering herd when it
+    /// heals. The *first* arm of every step waits exactly step_timeout and
+    /// draws no randomness, so fault-free runs are bit-identical to the
+    /// legacy fixed resend. backoff_cap == 0 disables backoff entirely
+    /// (legacy: every retransmit waits step_timeout).
+    sim::Time backoff_cap = 0;
+    sim::Time backoff_jitter = 0;   ///< jitter bound per backed-off resend
+    std::uint64_t backoff_seed = 1; ///< seed of the jitter stream
     /// Degraded-mode serving: after this many consecutive timeouts on one
     /// protocol step, the coordinator re-resolves the root through the DHT
     /// and re-aims the request at the surrogate owner instead of burning
@@ -652,6 +665,11 @@ class OverlayIndex {
 
   std::size_t room(const Request& req) const;
 
+  /// Delay before the timer guarding attempt `attempt` (1-based) of a
+  /// protocol step fires. Attempt 1 = step_timeout exactly, no RNG draw;
+  /// later attempts back off exponentially to backoff_cap plus jitter.
+  sim::Time resend_delay(int attempt);
+
   dht::Dolr& dolr_;
   dht::Overlay& overlay_;
   net::Transport& net_;
@@ -671,6 +689,10 @@ class OverlayIndex {
   std::uint64_t next_pin_ = 1;
   std::uint64_t mutation_epoch_ = 0;
   TraceFn trace_;
+  /// Jitter stream for backed-off retransmissions. Dedicated (never shared
+  /// with hashing or the fabric's latency stream) so enabling backoff
+  /// cannot perturb any other seeded draw sequence.
+  Rng backoff_rng_;
   // Hot-cell replication state (empty unless cfg_.hot.enabled).
   std::unordered_map<cube::CubeId, ReplicaSet> replicas_;
   PopularityWindow popularity_;

@@ -34,6 +34,20 @@ void FailureDetector::note_true_failure(sim::EndpointId ep) {
   true_failures_.emplace(ep, net_.now());
 }
 
+void FailureDetector::note_transport_down(sim::EndpointId ep) {
+  if (!running_) return;
+  const auto it = members_.find(ep);
+  if (it == members_.end() || it->second.confirmed) return;
+  Member& m = it->second;
+  if (m.ack_timer != 0) {
+    net_.cancel_timer(m.ack_timer);
+    ack_timers_.erase(m.ack_timer);
+    m.ack_timer = 0;
+  }
+  net_.metrics().count("maint.transport_down");
+  confirm(ep);
+}
+
 std::size_t FailureDetector::suspected_count() const {
   std::size_t suspected = 0;
   for (const auto& [ep, m] : members_)

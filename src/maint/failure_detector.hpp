@@ -70,6 +70,15 @@ class FailureDetector {
   /// Never consulted by the detection logic itself.
   void note_true_failure(sim::EndpointId ep);
 
+  /// Fast-path liveness signal from the transport: the wire to `ep`
+  /// positively died (TcpTransport's peer-down observer). Confirms the
+  /// death immediately — no heartbeat misses to wait out — cancelling any
+  /// outstanding ack timer first. Counted "maint.transport_down". No-op if
+  /// not running, `ep` is not a monitored member, or already confirmed.
+  /// Must be invoked strand/event-loop-serialized like every other entry
+  /// point (TcpTransport marshals its observer onto the dispatch strand).
+  void note_transport_down(sim::EndpointId ep);
+
   /// Members with >= 1 consecutive missed ack, not yet confirmed dead.
   std::size_t suspected_count() const;
   /// Members confirmed dead so far.

@@ -1,0 +1,145 @@
+#include "net/fault_transport.hpp"
+
+#include <utility>
+
+namespace hkws::net {
+
+FaultTransport::FaultTransport(Transport& inner,
+                               std::unique_ptr<sim::FaultModel> model,
+                               std::uint64_t seed)
+    : inner_(inner), model_(std::move(model)), rng_(seed) {}
+
+void FaultTransport::arm() {
+  std::lock_guard<std::mutex> lk(mu_);
+  armed_ = true;
+}
+
+bool FaultTransport::armed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return armed_;
+}
+
+void FaultTransport::set_fault_model(std::unique_ptr<sim::FaultModel> model) {
+  std::lock_guard<std::mutex> lk(mu_);
+  model_ = std::move(model);
+}
+
+std::uint64_t FaultTransport::wire_seq() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return seq_;
+}
+
+void FaultTransport::register_endpoint(EndpointId id) {
+  inner_.register_endpoint(id);
+}
+
+void FaultTransport::unregister_endpoint(EndpointId id) {
+  inner_.unregister_endpoint(id);
+}
+
+bool FaultTransport::is_registered(EndpointId id) const {
+  return inner_.is_registered(id);
+}
+
+void FaultTransport::send(EndpointId from, EndpointId to, std::string kind,
+                          std::size_t payload_bytes, Handler deliver) {
+  // Local and unregistered-destination sends are not wire messages: pass
+  // them straight down (the inner transport counts net.local /
+  // net.dropped.unregistered) without numbering or inspection — mirroring
+  // the simulator, which numbers only real wire traffic.
+  if (from == to || !inner_.is_registered(to)) {
+    inner_.send(from, to, std::move(kind), payload_bytes, std::move(deliver));
+    return;
+  }
+
+  sim::FaultActions fault;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (armed_) {
+      if (model_ != nullptr)
+        fault = model_->inspect(from, to, kind, seq_, rng_);
+      ++seq_;
+    }
+  }
+
+  if (fault.drop) {
+    // The inner transport never sees a dropped message, so the decorator
+    // supplies the simulator's accounting itself: the message counts as
+    // sent (the protocol paid for it) and as lost, attributed to fault
+    // injection. The observer sees lost = true so traces and the torture
+    // conservation identity stay truthful.
+    sim::Metrics& m = inner_.metrics();
+    m.count("net.messages");
+    m.count("net.bytes", payload_bytes);
+    m.count("msg." + kind);
+    m.count("net.lost");
+    m.count("net.lost." + kind);
+    m.count("net.dropped.fault");
+    SendObserver observer;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      observer = observer_;
+    }
+    if (observer) {
+      const Time at = inner_.now();
+      observer(kind, SendRecord{at, from, to, payload_bytes, true, at});
+    }
+    return;
+  }
+
+  const std::uint32_t copies = 1 + fault.duplicates;
+  if (fault.duplicates != 0)
+    inner_.metrics().count("net.dup", fault.duplicates);
+
+  if (fault.extra_delay != 0) {
+    inner_.metrics().count("net.delayed");
+    // Defer through the inner transport's own scheduler so the delay is
+    // tracked by its idle/drain accounting (the TCP dispatch strand's
+    // pending-event count; the sim event queue).
+    Transport* inner = &inner_;
+    inner_.schedule_in(
+        fault.extra_delay,
+        [inner, from, to, kind = std::move(kind), payload_bytes,
+         deliver = std::move(deliver), copies]() mutable {
+          for (std::uint32_t i = 0; i + 1 < copies; ++i)
+            inner->send(from, to, kind, payload_bytes, deliver);
+          inner->send(from, to, std::move(kind), payload_bytes,
+                      std::move(deliver));
+        });
+    return;
+  }
+
+  for (std::uint32_t i = 0; i + 1 < copies; ++i)
+    inner_.send(from, to, kind, payload_bytes, deliver);
+  inner_.send(from, to, std::move(kind), payload_bytes, std::move(deliver));
+}
+
+Time FaultTransport::now() const { return inner_.now(); }
+
+void FaultTransport::schedule_in(Time delay, Handler fn) {
+  inner_.schedule_in(delay, std::move(fn));
+}
+
+Transport::TimerId FaultTransport::set_timer(Time delay, Handler fn) {
+  return inner_.set_timer(delay, std::move(fn));
+}
+
+bool FaultTransport::cancel_timer(TimerId id) {
+  return inner_.cancel_timer(id);
+}
+
+sim::Metrics& FaultTransport::metrics() { return inner_.metrics(); }
+
+const sim::Metrics& FaultTransport::metrics() const {
+  return inner_.metrics();
+}
+
+void FaultTransport::set_send_observer(SendObserver fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    observer_ = fn;
+  }
+  inner_.set_send_observer(std::move(fn));
+}
+
+}  // namespace hkws::net

@@ -1,0 +1,103 @@
+// FaultTransport: deterministic fault injection at the transport narrow
+// waist, as a composable decorator over any net::Transport.
+//
+// The simulator injects faults inside sim::Network::send(); the real TCP
+// backend has no such hook — its sockets only ever lose frames when a
+// connection actually dies. FaultTransport closes that gap: it wraps an
+// inner transport and consults a sim::FaultModel (in practice the torture
+// harness's seeded FaultInjector) on every armed wire send, applying the
+// same drop / duplicate / delay / partition semantics the simulator
+// applies, with the same accounting:
+//
+//  * drop       — the message never reaches the inner transport. Counted
+//                 net.messages / net.bytes / msg.<kind> (it was "put on the
+//                 wire" as far as the protocol is concerned) plus net.lost /
+//                 net.lost.<kind> / net.dropped.fault, and reported to the
+//                 send observer with SendRecord.lost = true.
+//  * duplicate  — N extra inner sends, each a full wire message on the
+//                 inner backend, plus net.dup per extra copy.
+//  * delay      — the inner send is deferred via inner.schedule_in(), and
+//                 net.delayed is counted. On the TCP backend the deferral
+//                 rides the dispatch strand's timer queue, so wait_idle()
+//                 still accounts for in-flight delayed messages.
+//
+// Injection sits *below* the protocol layers and *above* the codec: a
+// dropped message is dropped whole (the inner transport never serializes
+// it) and a duplicate is a complete independent frame. Partial-frame
+// corruption is the codec corpus's job (tests/test_wire.cpp), not ours.
+//
+// Sequencing: faults target wire sequence numbers. The decorator numbers
+// armed, non-local sends to registered endpoints 0,1,2,... — local sends
+// and sends to unregistered endpoints pass through unnumbered and
+// uninspected, exactly like the simulator. arm() starts the numbering: the
+// torture harness builds the overlay first and arms afterwards, so seq 0
+// is the first workload message on both backends.
+//
+// Threading: the decorator's own state (model, rng, seq counter) is guarded
+// by a mutex, so sends may arrive from any thread the inner transport
+// allows. Counter updates go into the inner transport's Metrics registry
+// from the caller's context — same discipline as the protocol layers,
+// which count into metrics() from transport-serialized handlers.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "common/rng.hpp"
+#include "net/transport.hpp"
+#include "sim/network.hpp"
+
+namespace hkws::net {
+
+class FaultTransport final : public Transport {
+ public:
+  /// @param inner  the transport actually moving messages (not owned)
+  /// @param model  fault schedule consulted per armed wire send (owned);
+  ///               nullptr = pass-through
+  /// @param seed   seed for the Rng handed to the model's inspect()
+  FaultTransport(Transport& inner, std::unique_ptr<sim::FaultModel> model,
+                 std::uint64_t seed = 1);
+
+  /// Starts fault injection. Before arm(), every send passes through
+  /// uninspected and unnumbered (overlay construction traffic stays
+  /// pristine, and seq 0 lands on the first post-arm message).
+  void arm();
+  bool armed() const;
+
+  /// Replaces the fault model (nullptr = pass-through). Keeps the wire
+  /// sequence counter — swapping models mid-run continues the numbering.
+  void set_fault_model(std::unique_ptr<sim::FaultModel> model);
+
+  /// Armed wire sends inspected so far (== next relative sequence number).
+  std::uint64_t wire_seq() const;
+
+  // --- Transport interface (decorated) -------------------------------------
+
+  void register_endpoint(EndpointId id) override;
+  void unregister_endpoint(EndpointId id) override;
+  bool is_registered(EndpointId id) const override;
+
+  void send(EndpointId from, EndpointId to, std::string kind,
+            std::size_t payload_bytes, Handler deliver) override;
+
+  Time now() const override;
+  void schedule_in(Time delay, Handler fn) override;
+  TimerId set_timer(Time delay, Handler fn) override;
+  bool cancel_timer(TimerId id) override;
+
+  sim::Metrics& metrics() override;
+  const sim::Metrics& metrics() const override;
+
+  void set_send_observer(SendObserver fn) override;
+
+ private:
+  Transport& inner_;
+  mutable std::mutex mu_;
+  std::unique_ptr<sim::FaultModel> model_;
+  Rng rng_;
+  std::uint64_t seq_ = 0;
+  bool armed_ = false;
+  SendObserver observer_;  ///< copy for drop records (inner never sees them)
+};
+
+}  // namespace hkws::net

@@ -139,6 +139,7 @@ void TcpTransport::stop() {
 void TcpTransport::register_endpoint(EndpointId id) {
   std::unique_lock<std::shared_mutex> lk(peers_mu_);
   peers_[id].registered = true;
+  down_reported_[id] = false;  // a re-registered peer may be reported again
 }
 
 void TcpTransport::unregister_endpoint(EndpointId id) {
@@ -171,6 +172,7 @@ void TcpTransport::send(EndpointId from, EndpointId to, std::string kind,
     std::lock_guard<std::mutex> lk(metrics_mu_);
     metrics_.count("net.dropped");
     metrics_.count("net.dropped." + kind);
+    metrics_.count("net.dropped.unregistered");
     return;
   }
 
@@ -212,10 +214,6 @@ void TcpTransport::send(EndpointId from, EndpointId to, std::string kind,
     metrics_.count("net.bytes", payload_bytes);
     metrics_.count("net.wire_bytes", frame.size());
     metrics_.count("msg." + kind);
-    if (observer_) {
-      const Time at = now();
-      observer_(kind, SendRecord{at, from, to, payload_bytes, false, at});
-    }
   }
 
   const std::size_t lane =
@@ -226,19 +224,56 @@ void TcpTransport::send(EndpointId from, EndpointId to, std::string kind,
     ok = write_all(out_fds_[lane], frame.data(), frame.size());
   }
   if (!ok) {
-    // Connection torn down (stop() racing a late send): the message is
-    // lost; account it and release the parked handler.
+    // The connection died under the frame (peer teardown, sever_wire, or
+    // stop() racing a late send): the message is lost, not delivered.
+    // Release the parked handler, attribute the loss (net.dropped.conn),
+    // and report the destination down — connection death is a positive
+    // liveness signal the failure detector can act on immediately.
     {
       std::lock_guard<std::mutex> lk(handlers_mu_);
       parked_.erase(msg_id);
     }
-    std::lock_guard<std::mutex> lk(strand_mu_);
-    --inflight_;
+    {
+      std::lock_guard<std::mutex> lk(strand_mu_);
+      --inflight_;
+    }
     idle_cv_.notify_all();
-    std::lock_guard<std::mutex> mlk(metrics_mu_);
-    metrics_.count("net.lost");
-    metrics_.count("net.lost." + kind);
+    {
+      std::lock_guard<std::mutex> mlk(metrics_mu_);
+      metrics_.count("net.lost");
+      metrics_.count("net.lost." + kind);
+      metrics_.count("net.dropped." + kind);
+      metrics_.count("net.dropped.conn");
+    }
+    report_peer_down(to);
   }
+  // Observe after the wire has decided the frame's fate, so SendRecord.lost
+  // is truthful — a frame the connection swallowed is never reported
+  // delivered.
+  std::lock_guard<std::mutex> lk(metrics_mu_);
+  if (observer_) {
+    const Time at = now();
+    observer_(kind, SendRecord{at, from, to, payload_bytes, !ok, at});
+  }
+}
+
+void TcpTransport::report_peer_down(EndpointId to) {
+  {
+    // At most one report per endpoint per registration: many frames can
+    // hit the same dead wire.
+    std::unique_lock<std::shared_mutex> lk(peers_mu_);
+    if (down_reported_[to]) return;
+    down_reported_[to] = true;
+  }
+  PeerDownObserver cb;
+  {
+    std::lock_guard<std::mutex> lk(metrics_mu_);
+    cb = peer_down_;
+  }
+  if (!cb) return;
+  // Marshal onto the dispatch strand: the consumer is protocol code
+  // (FailureDetector) that must only ever run strand-serialized.
+  schedule_in(0, [cb = std::move(cb), to] { cb(to); });
 }
 
 void TcpTransport::enqueue_ready(Handler fn, EndpointId at,
@@ -450,6 +485,29 @@ bool TcpTransport::cancel_timer(TimerId id) {
 void TcpTransport::set_send_observer(SendObserver fn) {
   std::lock_guard<std::mutex> lk(metrics_mu_);
   observer_ = std::move(fn);
+}
+
+void TcpTransport::set_peer_down_observer(PeerDownObserver fn) {
+  std::lock_guard<std::mutex> lk(metrics_mu_);
+  peer_down_ = std::move(fn);
+}
+
+void TcpTransport::sever_wire() {
+  for (std::size_t lane = 0; lane < out_fds_.size(); ++lane) {
+    std::lock_guard<std::mutex> lk(out_mu_[lane]);
+    if (out_fds_[lane] >= 0) ::shutdown(out_fds_[lane], SHUT_RDWR);
+  }
+}
+
+std::size_t TcpTransport::live_timer_count() const {
+  std::lock_guard<std::mutex> lk(strand_mu_);
+  return timer_keys_.size();
+}
+
+bool TcpTransport::drain_and_stop(std::chrono::milliseconds timeout) {
+  const bool idle = wait_idle(timeout);
+  stop();
+  return idle;
 }
 
 bool TcpTransport::wait_idle(std::chrono::milliseconds timeout) {

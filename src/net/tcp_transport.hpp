@@ -36,7 +36,11 @@
 // Accounting parity: the same counters as the simulator — net.messages,
 // net.bytes, msg.<kind>, net.local, net.dropped[.kind], net.delivered —
 // and the same per-send observer hook, so obs tracing and per-kind metrics
-// stay truthful on the socket path.
+// stay truthful on the socket path. Drop causes are attributed:
+// net.dropped.unregistered (absent peer), net.dropped.conn (the wire died
+// under a frame — also counted net.lost, and reported to the observer with
+// SendRecord.lost = true), and net.dropped.fault (injected, by the
+// FaultTransport decorator; this class never counts it itself).
 //
 // Time: now() counts ticks of Config::tick wall-clock duration since
 // construction; set_timer/schedule_in deadlines are wall-clock. The sim
@@ -118,6 +122,8 @@ class TcpTransport final : public Transport {
   /// construction).
   std::uint16_t port() const noexcept { return port_; }
 
+  const Config& config() const noexcept { return cfg_; }
+
   /// Blocks until no message is in flight, the dispatch queue is empty, and
   /// no plain scheduled event (schedule_in) is pending — cancelable timers
   /// (retransmission guards) do not count. Returns false on timeout.
@@ -126,6 +132,33 @@ class TcpTransport final : public Transport {
   /// Stops the runtime: closes sockets, joins threads, drops queued work.
   /// Idempotent; the destructor calls it.
   void stop();
+
+  /// Graceful shutdown: waits (up to `timeout`) for in-flight messages and
+  /// plain scheduled events to drain, then stops. Returns whether the
+  /// runtime actually went idle before stopping — false means queued work
+  /// was dropped, exactly what stop() alone always does. peerd's SIGTERM
+  /// path: stop initiating work, then drain_and_stop().
+  bool drain_and_stop(std::chrono::milliseconds timeout);
+
+  /// Peer-down hook: invoked on the dispatch strand when the transport
+  /// positively observes a destination's connection die under a frame (a
+  /// wire write fails). Fires at most once per endpoint between
+  /// registrations. This is the fast-path liveness signal the maintenance
+  /// plane's FailureDetector consumes instead of waiting out heartbeat
+  /// misses. Install before traffic starts; nullptr removes.
+  using PeerDownObserver = std::function<void(EndpointId)>;
+  void set_peer_down_observer(PeerDownObserver fn);
+
+  /// Test/fault hook: shuts down every outbound wire connection, so each
+  /// subsequent wire send fails deterministically (and is accounted
+  /// net.dropped.conn, SendRecord.lost = true). Frames already written
+  /// still drain to the reader — the cut is clean at a frame boundary,
+  /// never mid-frame.
+  void sever_wire();
+
+  /// Cancelable timers currently pending (the torture harness's timer
+  /// invariant reads this; parity with sim::EventQueue::live_timer_count).
+  std::size_t live_timer_count() const;
 
   /// Wire frames that failed envelope decode (0 in a healthy runtime; the
   /// connection that produced one is dropped).
@@ -152,6 +185,9 @@ class TcpTransport final : public Transport {
 
   void io_loop();
   void dispatch_loop();
+  /// Fires the peer-down observer for `to` (once per registration),
+  /// marshaled onto the dispatch strand.
+  void report_peer_down(EndpointId to);
   /// Parses complete frames out of a connection's read buffer; returns
   /// false when the connection must be dropped (decode error).
   bool drain_buffer(std::vector<std::uint8_t>& buf);
@@ -185,7 +221,7 @@ class TcpTransport final : public Transport {
   std::uint64_t next_msg_ = 1;
 
   // Dispatch strand state.
-  std::mutex strand_mu_;
+  mutable std::mutex strand_mu_;
   std::condition_variable strand_cv_;
   std::condition_variable idle_cv_;
   std::deque<std::pair<Handler, EndpointId>> ready_;  ///< delivered, FIFO
@@ -202,7 +238,12 @@ class TcpTransport final : public Transport {
   mutable std::mutex metrics_mu_;
   sim::Metrics metrics_;
   SendObserver observer_;
+  PeerDownObserver peer_down_;
   std::uint64_t decode_errors_ = 0;
+
+  // Endpoints already reported down (avoids a storm of peer-down callbacks
+  // when many frames hit the same dead connection). Guarded by peers_mu_.
+  std::unordered_map<EndpointId, bool> down_reported_;
 
   Rng backoff_rng_;
 

@@ -29,6 +29,14 @@
 //    counted as network messages ("net.local").
 //  * Sends to unregistered endpoints are silently discarded and counted as
 //    "net.dropped" / "net.dropped.<kind>" (models absent peers).
+//  * Every discarded or lost message is attributed to exactly one cause
+//    counter: "net.dropped.unregistered" (absent peer),
+//    "net.dropped.fault" (a drop/fault model or the FaultTransport
+//    decorator lost it), or "net.dropped.conn" (TCP backend only: the
+//    connection died under the frame). Fault and conn losses also count
+//    "net.lost" / "net.lost.<kind>" — they were on the wire — so the
+//    conservation identity net.messages == net.delivered + net.lost holds
+//    per backend once traffic drains.
 //  * Handlers run one at a time, in delivery order, never re-entrantly
 //    inside send() — protocol state machines are single-threaded with
 //    respect to their transport (the sim's event loop; the TCP backend's

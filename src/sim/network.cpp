@@ -62,6 +62,7 @@ void Network::send(EndpointId from, EndpointId to, std::string kind,
   if (!endpoints_.contains(to)) {
     metrics_.count("net.dropped");
     metrics_.count("net.dropped." + kind);
+    metrics_.count("net.dropped.unregistered");
     return;
   }
   metrics_.count("net.messages");
@@ -76,6 +77,7 @@ void Network::send(EndpointId from, EndpointId to, std::string kind,
   if (drop_ != nullptr && drop_->drop(from, to, kind, rng_)) {
     metrics_.count("net.lost");
     metrics_.count("net.lost." + kind);
+    metrics_.count("net.dropped.fault");
     observe(true, 0);
     return;
   }
@@ -86,6 +88,7 @@ void Network::send(EndpointId from, EndpointId to, std::string kind,
   if (fault.drop) {
     metrics_.count("net.lost");
     metrics_.count("net.lost." + kind);
+    metrics_.count("net.dropped.fault");
     observe(true, 0);
     return;
   }

@@ -19,6 +19,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kDuplicate: return "dup";
     case FaultKind::kDelay: return "delay";
     case FaultKind::kFailPeer: return "fail-peer";
+    case FaultKind::kPartition: return "partition";
   }
   return "?";
 }
@@ -37,8 +38,36 @@ std::string FaultEvent::to_string() const {
     case FaultKind::kFailPeer:
       out << " @round " << target << " victim#" << arg;
       break;
+    case FaultKind::kPartition:
+      out << " @wire " << target << " span " << partition_span(arg)
+          << " bit " << partition_bit(arg);
+      break;
   }
   return out.str();
+}
+
+namespace {
+constexpr std::uint64_t kSpanMask = (1ULL << 48) - 1;
+constexpr unsigned kBitShift = 48;
+constexpr unsigned kBitMask = 0x3f;
+}  // namespace
+
+std::uint64_t FaultEvent::pack_partition(std::uint64_t span, unsigned bit) {
+  return (span & kSpanMask) |
+         (static_cast<std::uint64_t>(bit & kBitMask) << kBitShift);
+}
+
+std::uint64_t FaultEvent::partition_span(std::uint64_t arg) {
+  return arg & kSpanMask;
+}
+
+unsigned FaultEvent::partition_bit(std::uint64_t arg) {
+  return static_cast<unsigned>((arg >> kBitShift) & kBitMask);
+}
+
+bool partition_side(sim::EndpointId ep, unsigned bit) {
+  return ((mix64(static_cast<std::uint64_t>(ep)) >> (bit & kBitMask)) & 1) !=
+         0;
 }
 
 FaultPlan FaultPlan::from_seed(std::uint64_t seed,
@@ -68,6 +97,18 @@ FaultPlan FaultPlan::from_seed(std::uint64_t seed,
     ev.kind = FaultKind::kFailPeer;
     ev.target = rng.next_below(cfg.rounds == 0 ? 1 : cfg.rounds);
     ev.arg = rng.next_below(64);
+    plan.events.push_back(ev);
+  }
+  for (std::size_t i = 0; i < cfg.partitions; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultKind::kPartition;
+    ev.target = rng.next_below(cfg.horizon);
+    const std::uint64_t span =
+        1 + rng.next_below(cfg.max_partition_span == 0
+                               ? 1
+                               : cfg.max_partition_span);
+    const unsigned bit = static_cast<unsigned>(rng.next_below(8));
+    ev.arg = FaultEvent::pack_partition(span, bit);
     plan.events.push_back(ev);
   }
   return plan;
@@ -123,11 +164,17 @@ FaultInjector::FaultInjector(const FaultPlan& plan) {
         break;
       case FaultKind::kFailPeer:
         break;  // executed by the ScenarioRunner, not on the wire
+      case FaultKind::kPartition:
+        partitions_.push_back(
+            {ev.target, ev.target + FaultEvent::partition_span(ev.arg),
+             FaultEvent::partition_bit(ev.arg)});
+        break;
     }
   }
 }
 
-sim::FaultActions FaultInjector::inspect(sim::EndpointId, sim::EndpointId,
+sim::FaultActions FaultInjector::inspect(sim::EndpointId from,
+                                         sim::EndpointId to,
                                          const std::string& kind,
                                          std::uint64_t seq, Rng&) {
   sim::FaultActions actions;
@@ -135,10 +182,26 @@ sim::FaultActions FaultInjector::inspect(sim::EndpointId, sim::EndpointId,
     seen_any_ = true;
     base_seq_ = seq;
   }
-  const auto it = by_seq_.find(seq - base_seq_);
+  const std::uint64_t rel = seq - base_seq_;
+  const bool tolerant = lossable(kind);
+  // Partition windows: while `rel` sits inside an active cut, every
+  // loss-tolerant message crossing the bisection is dropped, in both
+  // directions. Non-tolerant kinds pass: the protocol's availability
+  // claim is that loss-tolerant steps survive partitions, not that
+  // un-guarded traffic does.
+  if (tolerant) {
+    for (const Partition& p : partitions_) {
+      if (rel < p.start || rel >= p.end) continue;
+      if (partition_side(from, p.bit) == partition_side(to, p.bit)) continue;
+      actions.drop = true;
+      ++partition_cuts_;
+      ++applied_;
+      break;
+    }
+  }
+  const auto it = by_seq_.find(rel);
   if (it == by_seq_.end()) return actions;
   const Planned& p = it->second;
-  const bool tolerant = lossable(kind);
   if (p.drop && tolerant) actions.drop = true;
   if (p.duplicates != 0 && tolerant) actions.duplicates = p.duplicates;
   actions.extra_delay = p.extra_delay;

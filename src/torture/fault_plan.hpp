@@ -31,6 +31,7 @@ enum class FaultKind : std::uint8_t {
   kDuplicate,  ///< deliver one extra copy (loss-tolerant kinds only)
   kDelay,      ///< add a latency spike (any kind; reorders traffic)
   kFailPeer,   ///< abrupt peer failure at a workload round boundary
+  kPartition,  ///< bidirectional endpoint-set cut over a wire-seq window
 };
 
 const char* to_string(FaultKind kind);
@@ -39,13 +40,29 @@ struct FaultEvent {
   FaultKind kind = FaultKind::kDrop;
   /// kDrop/kDuplicate/kDelay: the wire sequence number to hit.
   /// kFailPeer: the 0-based workload round before which the peer dies.
+  /// kPartition: the wire sequence number at which the cut starts.
   std::uint64_t target = 0;
   /// kDelay: extra one-way latency in ticks. kFailPeer: victim ordinal
-  /// (mapped onto the live peer set at execution time). Unused otherwise.
+  /// (mapped onto the live peer set at execution time). kPartition: cut
+  /// span in wire sequence numbers (low 48 bits) plus the bisection bit
+  /// index (bits 48..53) — see partition_sides(). Unused otherwise.
   std::uint64_t arg = 0;
 
   std::string to_string() const;
+
+  /// Packs / unpacks a kPartition arg. `span` is how many wire sequence
+  /// numbers the cut stays up for (the cut heals at target + span); `bit`
+  /// selects which bit of the endpoint-id hash bisects the network.
+  static std::uint64_t pack_partition(std::uint64_t span, unsigned bit);
+  static std::uint64_t partition_span(std::uint64_t arg);
+  static unsigned partition_bit(std::uint64_t arg);
 };
+
+/// Which side of a partition an endpoint falls on: bit `bit` of the mixed
+/// endpoint id. Hashing (rather than raw id parity) makes the two sides a
+/// pseudo-random bisection that is still a pure function of the endpoint,
+/// so sim and TCP backends cut the identical sets for the same plan.
+bool partition_side(sim::EndpointId ep, unsigned bit);
 
 /// Knobs for seed-derived plan generation. The defaults suit the DHT
 /// deployments; delay-only plans (HyperCuP, cumulative-heavy runs) switch
@@ -56,6 +73,11 @@ struct FaultPlanConfig {
   bool allow_delays = true;
   std::size_t peer_failures = 0;  ///< kFailPeer events to schedule
   std::size_t max_events = 24;    ///< message-fault events per plan
+  /// kPartition events to schedule. Each cuts the endpoint set in two for
+  /// a window of wire sequence numbers, dropping every loss-tolerant
+  /// message that crosses the cut in either direction, then heals.
+  std::size_t partitions = 0;
+  std::uint64_t max_partition_span = 800;  ///< cut length upper bound
   /// Wire-sequence horizon message faults are drawn from. Targets past the
   /// run's actual traffic simply never fire — harmless.
   std::uint64_t horizon = 6000;
@@ -101,14 +123,24 @@ class FaultInjector final : public sim::FaultModel {
   /// Message-fault events that actually hit a message this run.
   std::uint64_t applied() const noexcept { return applied_; }
 
+  /// Messages dropped because they crossed an active partition cut.
+  std::uint64_t partition_cuts() const noexcept { return partition_cuts_; }
+
  private:
   struct Planned {
     bool drop = false;
     std::uint32_t duplicates = 0;
     sim::Time extra_delay = 0;
   };
+  struct Partition {
+    std::uint64_t start = 0;  ///< relative wire seq the cut begins at
+    std::uint64_t end = 0;    ///< relative wire seq the cut heals at
+    unsigned bit = 0;         ///< endpoint-hash bisection bit
+  };
   std::unordered_map<std::uint64_t, Planned> by_seq_;
+  std::vector<Partition> partitions_;
   std::uint64_t applied_ = 0;
+  std::uint64_t partition_cuts_ = 0;
   bool seen_any_ = false;
   std::uint64_t base_seq_ = 0;  ///< wire seq of the first inspected message
 };

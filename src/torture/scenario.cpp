@@ -1,14 +1,19 @@
 #include "torture/scenario.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <sstream>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/hash.hpp"
@@ -24,6 +29,8 @@
 #include "index/overlay_index.hpp"
 #include "index/ranking.hpp"
 #include "maint/maintenance.hpp"
+#include "net/fault_transport.hpp"
+#include "net/tcp_transport.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
@@ -61,6 +68,153 @@ struct Oracle {
   }
 };
 
+/// Execution substrate the workload engine pumps against. Exactly one of
+/// the three modes is active:
+///
+///  * sim  — `clock` set: the deterministic event queue. Every method is a
+///           thin alias for the exact calls the engine made before the TCP
+///           backend existed (post_sync is a plain direct call, step() is
+///           clock->step(), ...), so simulator runs stay bit-identical.
+///  * tcp  — `tcp` set: the real runtime. Protocol state machines are
+///           strand-confined, so anything that touches them (op initiation,
+///           registry/occupancy reads, plane control) is marshaled onto the
+///           dispatch strand via post_sync; "pumping" is wall-clock sleep in
+///           transport ticks; draining is wait_idle.
+///  * in-process — neither set: synchronous deployments; async methods are
+///           no-ops.
+///
+/// Thread-safety protocol for tcp mode, relied on throughout execute():
+/// completion callbacks run on the strand and write into the report; the
+/// main thread reads the report only after observing the (atomic)
+/// outstanding-operation count hit zero, and every callback decrements the
+/// count *after* its report writes — the release/acquire pair that makes
+/// those writes visible. post_sync is the fence for everything else.
+struct Runtime {
+  sim::EventQueue* clock = nullptr;  ///< sim mode
+  net::TcpTransport* tcp = nullptr;  ///< tcp mode
+  /// Wire-accounting source (the conservation counters); null in-process.
+  net::Transport* transport = nullptr;
+  /// The tcp dispatch strand's thread id (post_sync re-entrancy guard),
+  /// captured by capture_strand().
+  std::thread::id strand{};
+  /// Set once the transport has been stopped (hang bail-out): the strand is
+  /// gone, every handler already ran or never will, direct calls are safe.
+  bool halted = false;
+
+  bool is_sim() const { return clock != nullptr; }
+  bool is_tcp() const { return tcp != nullptr; }
+  bool has_async() const { return is_sim() || is_tcp(); }
+
+  sim::Time now() const {
+    if (clock != nullptr) return clock->now();
+    if (tcp != nullptr) return tcp->now();
+    return 0;
+  }
+
+  /// Runs `fn` serialized with protocol handlers and waits for completion.
+  /// Sim/in-process: a direct call (the event loop never runs concurrently
+  /// with the engine). Tcp: marshaled onto the dispatch strand; re-entrant
+  /// when already on it.
+  void post_sync(const std::function<void()>& fn) {
+    if (tcp == nullptr || halted ||
+        std::this_thread::get_id() == strand) {
+      fn();
+      return;
+    }
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    tcp->schedule_in(0, [&] {
+      fn();
+      std::lock_guard<std::mutex> lk(mu);
+      done = true;
+      cv.notify_all();
+    });
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return done; });
+  }
+
+  /// Learns the dispatch strand's thread id (tcp mode; call before traffic).
+  void capture_strand() {
+    if (tcp == nullptr) return;
+    std::thread::id id{};
+    post_sync([&id] { id = std::this_thread::get_id(); });
+    strand = id;
+  }
+
+  /// Happens-before barrier with the strand (no-op off tcp).
+  void fence() {
+    if (tcp != nullptr) post_sync([] {});
+  }
+
+  /// One pump unit: one sim event, or one wall-clock transport tick.
+  /// Returns false when a sim queue is exhausted.
+  bool step() {
+    if (clock != nullptr) return clock->step();
+    if (tcp != nullptr && !halted) {
+      std::this_thread::sleep_for(tcp->config().tick);
+      return true;
+    }
+    return false;
+  }
+
+  /// Advances `ticks` of transport time (sim: run_until; tcp: wall sleep).
+  void run_window(sim::Time ticks) {
+    if (clock != nullptr) {
+      clock->run_until(clock->now() + ticks);
+    } else if (tcp != nullptr && !halted) {
+      std::this_thread::sleep_for(tcp->config().tick * ticks);
+    }
+  }
+
+  /// Bounded drain: lets a burst land without requiring full quiescence
+  /// (the maintenance plane's perpetual timers never let the wire go idle
+  /// for long). Sim: run a `ticks` window. Tcp: wait for idle up to the
+  /// wall-clock equivalent, settling for whatever landed.
+  void drain_window(sim::Time ticks) {
+    if (clock != nullptr) {
+      clock->run_until(clock->now() + ticks);
+    } else if (tcp != nullptr && !halted) {
+      tcp->wait_idle(std::chrono::duration_cast<std::chrono::milliseconds>(
+                         tcp->config().tick * ticks) +
+                     std::chrono::milliseconds(1));
+    }
+  }
+
+  /// Full drain to a quiet wire. Sim: run the queue dry. Tcp: wait_idle
+  /// with a generous bound (in-flight frames, queued handlers and plain
+  /// scheduled events — including FaultTransport's delayed redeliveries —
+  /// all count toward idleness; cancelable timers do not).
+  void drain_full() {
+    if (clock != nullptr) {
+      clock->run();
+    } else if (tcp != nullptr && !halted) {
+      tcp->wait_idle(std::chrono::seconds(30));
+    }
+  }
+
+  /// Stops the tcp runtime in place (hang bail-out: outstanding callbacks
+  /// reference engine stack frames, so the strand must die before the
+  /// engine returns). No-op off tcp.
+  void halt() {
+    if (tcp != nullptr && !halted) {
+      tcp->stop();
+      halted = true;
+    }
+  }
+
+  /// Live cancelable timers (the timer-leak invariant's left-hand side).
+  std::size_t live_timer_count() const {
+    if (clock != nullptr) return clock->live_timer_count();
+    if (tcp != nullptr) return tcp->live_timer_count();
+    return 0;
+  }
+
+  std::uint64_t counter(const char* name) const {
+    return transport != nullptr ? transport->metrics().counter(name) : 0;
+  }
+};
+
 /// Deployment-specific operations the generic workload drives. Optional
 /// hooks are null when a deployment lacks the capability.
 struct Ops {
@@ -93,6 +247,9 @@ struct Ops {
       fail_peer;
   sim::EventQueue* clock = nullptr;  ///< null for in-process deployments
   sim::Network* net = nullptr;
+  /// Execution substrate. Drivers that support the tcp backend supply one;
+  /// when null, execute() builds a sim/in-process Runtime from clock/net.
+  Runtime* rt = nullptr;
   /// Continuous churn: the self-healing plane racing the workload (null
   /// when disabled — the control run). Not owned.
   maint::MaintenancePlane* plane = nullptr;
@@ -224,9 +381,12 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
   Oracle oracle;
   ObjectId next_id = 1;
 
-  const auto ts = [&ops]() -> sim::Time {
-    return ops.clock != nullptr ? ops.clock->now() : 0;
-  };
+  Runtime local_rt;
+  local_rt.clock = ops.clock;
+  local_rt.transport = ops.net;
+  Runtime& rt = ops.rt != nullptr ? *ops.rt : local_rt;
+
+  const auto ts = [&rt]() -> sim::Time { return rt.now(); };
   if (tracer != nullptr)
     tracer->instant(ts(), 0, "scenario", "torture", cfg.seed);
 
@@ -272,13 +432,13 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
   const bool continuous = cfg.continuous_churn && ops.fail_peer != nullptr;
 
   auto drain = [&] {
-    if (ops.clock == nullptr) return;
+    if (!rt.has_async()) return;
     if (ops.plane != nullptr && ops.plane->running()) {
       // The plane's perpetual timers keep the queue non-empty, so drain a
       // bounded window instead (ample for any mutation burst to land).
-      ops.clock->run_until(ops.clock->now() + 400);
+      rt.drain_window(400);
     } else {
-      ops.clock->run();
+      rt.drain_full();
     }
   };
 
@@ -341,7 +501,7 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
             ops.fail_peer(ev.arg, oracle.live);
         for (ObjectId id : lost) oracle.live.erase(id);
         withdraw_safe = false;
-        if (ops.net != nullptr) {
+        if (rt.transport != nullptr) {
           // fail_peer returns with the queue drained, so the *cumulative*
           // sent/delivered/lost imbalance at this instant is exactly the
           // synthetic maintenance charge so far. (A windowed delta would
@@ -351,10 +511,12 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
           // — delay-induced false confirmations trigger stabilize rounds
           // between kills — are subtracted here, because the final identity
           // adds the plane's total separately.
-          synthetic_messages =
-              ops.net->messages_sent() - ops.net->messages_delivered() -
-              ops.net->messages_lost() -
-              (ops.plane != nullptr ? ops.plane->synthetic_messages() : 0);
+          rt.post_sync([&] {
+            synthetic_messages =
+                rt.counter("net.messages") - rt.counter("net.delivered") -
+                rt.counter("net.lost") -
+                (ops.plane != nullptr ? ops.plane->synthetic_messages() : 0);
+          });
         }
       }
     }
@@ -370,7 +532,10 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
     drain();
 
     // --- Overlapping search burst ----------------------------------------
-    std::size_t outstanding = 0;
+    // Atomic (tcp: decremented on the strand, polled by the engine); every
+    // callback decrements it only after its report writes are done, so
+    // outstanding == 0 implies those writes are visible here.
+    std::atomic<std::size_t> outstanding{0};
 
     for (std::size_t s = 0; s < cfg.searches_per_round; ++s) {
       const double roll = wl.next_double();
@@ -387,7 +552,6 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
         if (tracer != nullptr) tracer->instant(ts(), 0, "pin", "torture");
         ops.pin(k, [&rep, &outstanding, k, expected,
                     continuous](const SearchResult& r) {
-          --outstanding;
           const std::set<ObjectId> got = ids_of(r.hits);
           if (continuous) {
             // Mid-churn pins may under-deliver, never fabricate.
@@ -396,11 +560,11 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
               rep.violations.push_back(
                   {"oracle",
                    "pin search false positive; query=" + k.to_string()});
-            return;
-          }
-          if (got != expected)
+          } else if (got != expected) {
             rep.violations.push_back(
                 {"oracle", "pin search mismatch; query=" + k.to_string()});
+          }
+          --outstanding;  // last: publishes the report writes above
         });
       } else if (roll < 0.3 && ops.browse != nullptr) {
         // Cumulative browse: page through the whole subhypercube.
@@ -414,22 +578,22 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
         ops.browse(q, page,
                    [&rep, &outstanding, q, expected](
                        const std::vector<Hit>& all, bool clean) {
-                     --outstanding;
                      if (!clean) {
                        rep.violations.push_back(
                            {"hang", "cumulative session never exhausted; "
                                     "query=" + q.to_string()});
-                       return;
+                     } else {
+                       std::set<ObjectId> want;
+                       for (const auto& [id, k] : expected) want.insert(id);
+                       if (ids_of(all) != want)
+                         rep.violations.push_back(
+                             {"oracle",
+                              "cumulative browse set differs from oracle (" +
+                                  std::to_string(all.size()) + " vs " +
+                                  std::to_string(want.size()) +
+                                  "); query=" + q.to_string()});
                      }
-                     std::set<ObjectId> want;
-                     for (const auto& [id, k] : expected) want.insert(id);
-                     if (ids_of(all) != want)
-                       rep.violations.push_back(
-                           {"oracle",
-                            "cumulative browse set differs from oracle (" +
-                                std::to_string(all.size()) + " vs " +
-                                std::to_string(want.size()) +
-                                "); query=" + q.to_string()});
+                     --outstanding;  // last: publishes the report writes
                    });
       } else {
         const KeywordSet q = pick_query();
@@ -457,14 +621,16 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
                                    describe_query(q, threshold)});
                 return;
               }
-              --outstanding;
               check_search_result(r, q, threshold, expected, overshoot_ok,
                                   rep, continuous);
+              --outstanding;  // last: publishes the report writes above
             });
-        if (try_cancel && ops.clock != nullptr) {
+        if (try_cancel && rt.has_async()) {
           // Let the request make some progress, then abandon it.
           for (std::size_t i = 0; i < cancel_after && outstanding > 0; ++i)
-            if (!ops.clock->step()) break;
+            if (!rt.step()) break;
+          // A true cancel means the callback will never run (the request
+          // is gone), so writing the flag afterwards cannot race it.
           if (ops.cancel(handle)) {
             *cancelled = true;
             --outstanding;
@@ -477,41 +643,57 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
     }
 
     // --- Pump to completion; invariants at the quiescence instant ---------
-    if (ops.clock != nullptr) {
-      // With the plane running the queue never empties, so a stuck search
-      // is caught by a generous sim-time bound instead of queue exhaustion.
-      const sim::Time hang_deadline = ops.clock->now() + 60000;
-      while (outstanding > 0 &&
-             (ops.plane == nullptr || ops.clock->now() < hang_deadline) &&
-             ops.clock->step()) {
+    if (rt.has_async()) {
+      // With the plane running the (sim) queue never empties, so a stuck
+      // search is caught by a generous time bound instead of queue
+      // exhaustion; on tcp there is no queue to exhaust and the bound — in
+      // wall-clock transport ticks — is the only hang detector.
+      const sim::Time hang_deadline = rt.now() + 60000;
+      if (rt.is_sim()) {
+        while (outstanding > 0 &&
+               (ops.plane == nullptr || ops.clock->now() < hang_deadline) &&
+               ops.clock->step()) {
+        }
+      } else {
+        while (outstanding > 0 && rt.now() < hang_deadline) rt.step();
       }
       if (outstanding > 0) {
         rep.violations.push_back(
             {"hang", "event queue drained with " +
-                         std::to_string(outstanding) +
+                         std::to_string(outstanding.load()) +
                          " operations still outstanding (round " +
                          std::to_string(round) + ")"});
         if (tracer != nullptr) tracer->close_open(ts(), 0);
+        // Pending strand callbacks capture this frame; kill the runtime
+        // before unwinding (sim queues just get destroyed unrun).
+        rt.halt();
         return;
       }
       // The last operation just completed: every terminal transition must
       // have cancelled its timers and dropped its request state. The
       // maintenance plane's own timers (heartbeats, repair ticker) are the
-      // one allowed residue.
-      const std::size_t allowed =
-          ops.plane != nullptr ? ops.plane->armed_timers() : 0;
-      if (ops.clock->live_timer_count() != allowed)
-        rep.violations.push_back(
-            {"timers", std::to_string(ops.clock->live_timer_count()) +
-                           " timer(s) still live after all operations "
-                           "completed, " + std::to_string(allowed) +
-                           " allowed for the maintenance plane (round " +
-                           std::to_string(round) + ")"});
-      if (ops.in_flight != nullptr && ops.in_flight() != 0)
-        rep.violations.push_back(
-            {"timers", std::to_string(ops.in_flight()) +
-                           " request(s) leaked in the coordinator registry "
-                           "(round " + std::to_string(round) + ")"});
+      // one allowed residue. On tcp the "instant" is unobservable from
+      // outside the strand — late duplicate deliveries may still be in
+      // flight — so quiesce the wire first and take the readings in one
+      // strand-serialized block (a consistent snapshot: timers are only
+      // armed and cancelled on the strand).
+      if (rt.is_tcp()) rt.drain_full();
+      rt.post_sync([&] {
+        const std::size_t allowed =
+            ops.plane != nullptr ? ops.plane->armed_timers() : 0;
+        if (rt.live_timer_count() != allowed)
+          rep.violations.push_back(
+              {"timers", std::to_string(rt.live_timer_count()) +
+                             " timer(s) still live after all operations "
+                             "completed, " + std::to_string(allowed) +
+                             " allowed for the maintenance plane (round " +
+                             std::to_string(round) + ")"});
+        if (ops.in_flight != nullptr && ops.in_flight() != 0)
+          rep.violations.push_back(
+              {"timers", std::to_string(ops.in_flight()) +
+                             " request(s) leaked in the coordinator registry "
+                             "(round " + std::to_string(round) + ")"});
+      });
       // Drain stragglers (duplicate copies, cancelled-timer husks).
       drain();
     } else if (outstanding != 0) {
@@ -529,15 +711,20 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
   // oracle's exact live set again — complete, not failed. Without the plane
   // (self_healing off) the same verification runs immediately and shows
   // what breaks: that asymmetry is the invariant this mode exists to pin.
-  if (continuous && ops.clock != nullptr && rep.ok()) {
+  if (continuous && rt.has_async() && rep.ok()) {
     if (ops.plane != nullptr) {
       constexpr sim::Time kWindow = 100;
+      const auto converged = [&] {
+        bool c = false;
+        rt.post_sync([&] { c = ops.plane->converged(); });
+        return c;
+      };
       std::size_t w = 0;
-      while (!ops.plane->converged() && w < cfg.convergence_budget) {
-        ops.clock->run_until(ops.clock->now() + kWindow);
+      while (!converged() && w < cfg.convergence_budget) {
+        rt.run_window(kWindow);
         ++w;
       }
-      if (!ops.plane->converged())
+      if (!converged())
         rep.violations.push_back(
             {"convergence",
              "maintenance plane not converged within " +
@@ -553,25 +740,29 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
       }
       for (const KeywordSet& q : probes) {
         const auto expected = oracle.matches(q);
-        auto done = std::make_shared<bool>(false);
-        ops.search(q, 0,
-                   [&rep, q, expected, done](const SearchResult& r) {
-                     *done = true;
-                     if (r.stats.failed || !r.stats.complete) {
-                       rep.violations.push_back(
-                           {"convergence",
-                            "post-churn verification search " +
-                                std::string(r.stats.failed ? "failed"
-                                                           : "incomplete") +
-                                "; " + describe_query(q, 0)});
-                       return;
-                     }
-                     check_search_result(r, q, 0, expected, false, rep);
-                   });
-        const sim::Time deadline = ops.clock->now() + 20000;
-        while (!*done && ops.clock->now() < deadline && ops.clock->step()) {
+        auto done = std::make_shared<std::atomic<bool>>(false);
+        const std::uint64_t handle = ops.search(
+            q, 0, [&rep, q, expected, done](const SearchResult& r) {
+              if (r.stats.failed || !r.stats.complete) {
+                rep.violations.push_back(
+                    {"convergence",
+                     "post-churn verification search " +
+                         std::string(r.stats.failed ? "failed"
+                                                    : "incomplete") +
+                         "; " + describe_query(q, 0)});
+              } else {
+                check_search_result(r, q, 0, expected, false, rep);
+              }
+              done->store(true);  // last: publishes the report writes
+            });
+        const sim::Time deadline = rt.now() + 20000;
+        while (!done->load() && rt.now() < deadline && rt.step()) {
         }
-        if (!*done) {
+        if (!done->load()) {
+          // Silence the straggler before writing the report from this
+          // thread (a true cancel guarantees the callback never runs; a
+          // failed one means it already did).
+          if (rt.is_tcp() && ops.cancel != nullptr) ops.cancel(handle);
           rep.violations.push_back(
               {"convergence", "post-churn verification search never "
                               "completed; " + describe_query(q, 0)});
@@ -581,22 +772,35 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
     }
   }
   if (ops.plane != nullptr) {
-    synthetic_messages += ops.plane->synthetic_messages();
-    ops.plane->stop();
+    rt.post_sync([&] {
+      synthetic_messages += ops.plane->synthetic_messages();
+      ops.plane->stop();
+    });
   }
   // Final drain so the whole-run invariants see a quiet wire (the
   // verification pumps above stop at first answer, not at empty queue).
-  if (ops.clock != nullptr) ops.clock->run();
+  if (rt.has_async()) rt.drain_full();
 
   // --- Final whole-run invariants ----------------------------------------
   if (ops.check_occupancy != nullptr) {
-    if (auto err = ops.check_occupancy(oracle.live))
-      rep.violations.push_back({"occupancy", *err});
+    rt.post_sync([&] {
+      if (auto err = ops.check_occupancy(oracle.live))
+        rep.violations.push_back({"occupancy", *err});
+    });
   }
-  if (ops.net != nullptr) {
-    const std::uint64_t sent = ops.net->messages_sent();
-    const std::uint64_t delivered = ops.net->messages_delivered();
-    const std::uint64_t lost = ops.net->messages_lost();
+  if (rt.transport != nullptr) {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t fault = 0;
+    std::uint64_t conn = 0;
+    rt.post_sync([&] {
+      sent = rt.counter("net.messages");
+      delivered = rt.counter("net.delivered");
+      lost = rt.counter("net.lost");
+      fault = rt.counter("net.dropped.fault");
+      conn = rt.counter("net.dropped.conn");
+    });
     if (sent != delivered + lost + synthetic_messages)
       rep.violations.push_back(
           {"conservation",
@@ -604,6 +808,15 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
                std::to_string(delivered) + ") + net.lost (" +
                std::to_string(lost) + ") + maintenance charges (" +
                std::to_string(synthetic_messages) + ")"});
+    // Loss attribution: every lost wire message carries exactly one cause
+    // (injected fault or connection death) — an unattributed loss is an
+    // accounting hole, a double-attributed one an overcount.
+    if (lost != fault + conn)
+      rep.violations.push_back(
+          {"conservation",
+           "net.lost (" + std::to_string(lost) +
+               ") != net.dropped.fault (" + std::to_string(fault) +
+               ") + net.dropped.conn (" + std::to_string(conn) + ")"});
   }
 }
 
@@ -779,22 +992,47 @@ void run_hypercup(const ScenarioConfig& cfg, const FaultPlan& plan,
 /// the Chord deployment (whose stabilize recipe enables churn).
 void run_overlay(const ScenarioConfig& cfg, const FaultPlan& plan,
                  ScenarioReport& rep, obs::Tracer* tracer) {
+  const bool tcp_mode = cfg.backend == Backend::kTcp;
   sim::EventQueue clock;
-  sim::Network net(clock, std::make_unique<sim::UniformLatency>(1, 12),
-                   mix64(cfg.seed ^ kNetSalt));
   auto injector = std::make_unique<FaultInjector>(plan);
   FaultInjector* inj = injector.get();
+
+  // Substrate: the sim fabric, or a real TcpTransport wrapped in the
+  // FaultTransport decorator so the same plan injects below the protocol.
+  std::unique_ptr<sim::Network> simnet;
+  std::unique_ptr<net::TcpTransport> tcp;
+  std::unique_ptr<net::FaultTransport> faulted;
+  net::Transport* transport = nullptr;
+  if (tcp_mode) {
+    net::TcpTransport::Config tc;
+    tc.seed = mix64(cfg.seed ^ kNetSalt);
+    tcp = std::make_unique<net::TcpTransport>(tc);
+    faulted = std::make_unique<net::FaultTransport>(
+        *tcp, std::move(injector), mix64(cfg.seed ^ kNetSalt ^ 2));
+    transport = faulted.get();
+  } else {
+    simnet = std::make_unique<sim::Network>(
+        clock, std::make_unique<sim::UniformLatency>(1, 12),
+        mix64(cfg.seed ^ kNetSalt));
+    transport = simnet.get();
+  }
+
+  Runtime rt;
+  rt.clock = tcp_mode ? nullptr : &clock;
+  rt.tcp = tcp.get();
+  rt.transport = transport;
+  rt.capture_strand();
 
   std::unique_ptr<dht::Overlay> overlay;
   dht::ChordNetwork* chord = nullptr;
   if (cfg.deployment == Deployment::kChord) {
     auto c = std::make_unique<dht::ChordNetwork>(
-        dht::ChordNetwork::build(net, cfg.peers, {}));
+        dht::ChordNetwork::build(*transport, cfg.peers, {}));
     chord = c.get();
     overlay = std::move(c);
   } else {
     overlay = std::make_unique<dht::PastryNetwork>(
-        dht::PastryNetwork::build(net, cfg.peers, {}));
+        dht::PastryNetwork::build(*transport, cfg.peers, {}));
   }
   dht::Dolr dolr(*overlay);
   index::OverlayIndex::Config oicfg;
@@ -803,8 +1041,14 @@ void run_overlay(const ScenarioConfig& cfg, const FaultPlan& plan,
   // Exercise the VisitBatch path under faults: the conservation and
   // soundness invariants must hold with coalesced rounds too.
   oicfg.coalesce_visits = true;
-  oicfg.step_timeout = 80;
+  oicfg.step_timeout = cfg.retransmission ? 80 : 0;
   oicfg.max_retries = 8;
+  // Exponential backoff with seeded jitter on the retries: under a
+  // partition window, blind fixed-period retransmission would burn the
+  // retry budget into the cut; backoff stretches the schedule across it.
+  oicfg.backoff_cap = 640;
+  oicfg.backoff_jitter = 40;
+  oicfg.backoff_seed = mix64(cfg.seed ^ kNetSalt ^ 3);
   if (cfg.hot_spot) {
     // One popularity window covers the whole run, so the recurring-query
     // head accumulates scans fast enough to cross the hot threshold within
@@ -817,8 +1061,14 @@ void run_overlay(const ScenarioConfig& cfg, const FaultPlan& plan,
   }
   index::OverlayIndex oi(dolr, oicfg);
   // Faults start only now: overlay construction traffic stays pristine.
-  net.set_fault_model(std::move(injector));
-  if (tracer != nullptr) obs::attach_network(*tracer, net);
+  // (Same discipline on both substrates — the sim installs the model, the
+  // decorator arms; either way wire numbering starts at the next message.)
+  if (tcp_mode)
+    faulted->arm();
+  else
+    simnet->set_fault_model(std::move(injector));
+  if (tracer != nullptr && simnet != nullptr)
+    obs::attach_network(*tracer, *simnet);
 
   // Load-balance invariant input: scan counts per serving peer, straight
   // from the protocol trace (replica holders show up as servers here —
@@ -840,7 +1090,7 @@ void run_overlay(const ScenarioConfig& cfg, const FaultPlan& plan,
     pc.replication_interval = 40;
     pc.replica_entries_per_tick = 512;
     plane = std::make_unique<maint::MaintenancePlane>(
-        net, pc, [chord] { chord->stabilize_all(); },
+        *transport, pc, [chord] { chord->stabilize_all(); },
         [&oi](std::size_t entries, std::size_t) {
           oi.purge_dead();
           return oi.repair_placement(entries);
@@ -852,61 +1102,79 @@ void run_overlay(const ScenarioConfig& cfg, const FaultPlan& plan,
     std::vector<sim::EndpointId> members;
     for (const dht::RingId id : chord->live_ids())
       members.push_back(chord->endpoint_of(id));
-    plane->start(members);
+    rt.post_sync([&] { plane->start(members); });
   }
 
+  // Every op initiation below is strand-marshaled through rt.post_sync —
+  // a direct call on the simulator, the thread-safety boundary on tcp.
   Ops ops;
-  ops.clock = &clock;
-  ops.net = &net;
+  ops.clock = rt.clock;
+  ops.net = simnet.get();
+  ops.rt = &rt;
   ops.plane = plane.get();
   ops.overshoot_ok = cfg.strategy == SearchStrategy::kLevelParallel;
   ops.publish = [&](ObjectId id, const KeywordSet& k,
                     std::function<void()> done) {
-    oi.publish(kHome, id, k,
-               [done](const index::OverlayIndex::PublishResult&) { done(); });
+    rt.post_sync([&] {
+      oi.publish(
+          kHome, id, k,
+          [done](const index::OverlayIndex::PublishResult&) { done(); });
+    });
   };
   ops.withdraw = [&](ObjectId id, const KeywordSet& k,
                      std::function<void()> done) {
-    oi.withdraw(kHome, id, k,
-                [done](const index::OverlayIndex::WithdrawResult&) {
-                  done();
-                });
+    rt.post_sync([&] {
+      oi.withdraw(kHome, id, k,
+                  [done](const index::OverlayIndex::WithdrawResult&) {
+                    done();
+                  });
+    });
   };
   ops.pin = [&](const KeywordSet& q,
                 std::function<void(const SearchResult&)> cb) {
-    oi.pin_search(kHome, q, std::move(cb));
+    rt.post_sync([&] { oi.pin_search(kHome, q, std::move(cb)); });
   };
   ops.search = [&](const KeywordSet& q, std::size_t t,
                    std::function<void(const SearchResult&)> cb) {
-    return oi.superset_search(kHome, q, t, cfg.strategy, std::move(cb));
+    std::uint64_t handle = 0;
+    rt.post_sync([&] {
+      handle = oi.superset_search(kHome, q, t, cfg.strategy, std::move(cb));
+    });
+    return handle;
   };
-  ops.cancel = [&](std::uint64_t id) { return oi.cancel(id); };
+  ops.cancel = [&](std::uint64_t id) {
+    bool cancelled = false;
+    rt.post_sync([&] { cancelled = oi.cancel(id); });
+    return cancelled;
+  };
   ops.browse = [&](const KeywordSet& q, std::size_t page,
                    std::function<void(const std::vector<Hit>&, bool)> cb) {
-    const std::uint64_t sess = oi.open_cumulative(kHome, q);
-    auto all = std::make_shared<std::vector<Hit>>();
-    auto pages = std::make_shared<std::size_t>(0);
-    auto step = std::make_shared<std::function<void()>>();
-    *step = [&oi, sess, page, all, pages, cb, step] {
-      if (++*pages > 100000) {
-        oi.close_cumulative(sess);
-        cb(*all, false);
-        *step = nullptr;
-        return;
-      }
-      oi.cumulative_next(
-          sess, page, [&oi, sess, all, cb, step](const SearchResult& r) {
-            all->insert(all->end(), r.hits.begin(), r.hits.end());
-            if (r.stats.complete) {
-              oi.close_cumulative(sess);
-              cb(*all, true);
-              *step = nullptr;  // break the self-reference cycle
-            } else {
-              (*step)();
-            }
-          });
-    };
-    (*step)();
+    rt.post_sync([&] {
+      const std::uint64_t sess = oi.open_cumulative(kHome, q);
+      auto all = std::make_shared<std::vector<Hit>>();
+      auto pages = std::make_shared<std::size_t>(0);
+      auto step = std::make_shared<std::function<void()>>();
+      *step = [&oi, sess, page, all, pages, cb, step] {
+        if (++*pages > 100000) {
+          oi.close_cumulative(sess);
+          cb(*all, false);
+          *step = nullptr;
+          return;
+        }
+        oi.cumulative_next(
+            sess, page, [&oi, sess, all, cb, step](const SearchResult& r) {
+              all->insert(all->end(), r.hits.begin(), r.hits.end());
+              if (r.stats.complete) {
+                oi.close_cumulative(sess);
+                cb(*all, true);
+                *step = nullptr;  // break the self-reference cycle
+              } else {
+                (*step)();
+              }
+            });
+      };
+      (*step)();
+    });
   };
   ops.in_flight = [&] { return oi.in_flight_requests(); };
   ops.check_occupancy =
@@ -916,62 +1184,77 @@ void run_overlay(const ScenarioConfig& cfg, const FaultPlan& plan,
   if (chord != nullptr) {
     ops.fail_peer = [&, chord](std::uint64_t ordinal,
                                const std::map<ObjectId, KeywordSet>& live) {
-      std::vector<sim::EndpointId> candidates;
-      for (sim::EndpointId ep = 2; ep <= cfg.peers; ++ep)
-        if (chord->is_live(ep)) candidates.push_back(ep);
-      if (candidates.size() < 4) return std::vector<ObjectId>{};
-      const sim::EndpointId victim =
-          candidates[ordinal % candidates.size()];
-      if (cfg.hot_spot) {
-        // Hot-spot kill: the plane is parked around the (synchronous)
-        // repair so its detector never double-heals, the queue is drained,
-        // and a full replication round restores owner tables from any
-        // surviving replica copies — entries are only truly lost when no
-        // live peer holds them in either a primary or a replica table.
-        if (plane != nullptr) plane->stop();
-        chord->fail(victim);
-        std::set<ObjectId> survivors;
-        oi.for_each_entry([&](cube::CubeId, const KeywordSet&, ObjectId id,
-                              sim::EndpointId ep) {
-          if (chord->is_live(ep)) survivors.insert(id);
-        });
-        oi.for_each_replica_entry([&](cube::CubeId, const KeywordSet&,
-                                      ObjectId id, sim::EndpointId ep) {
-          if (chord->is_live(ep)) survivors.insert(id);
-        });
-        std::vector<ObjectId> lost;
+      // Kill, survivor scan and stabilization touch protocol state, so each
+      // burst runs strand-serialized; the drains between them must run from
+      // the engine thread (on tcp the strand cannot wait for itself).
+      std::vector<ObjectId> lost;
+      bool no_quorum = false;
+      rt.post_sync([&] {
+        std::vector<sim::EndpointId> candidates;
+        for (sim::EndpointId ep = 2; ep <= cfg.peers; ++ep)
+          if (chord->is_live(ep)) candidates.push_back(ep);
+        if (candidates.size() < 4) {
+          no_quorum = true;
+          return;
+        }
+        const sim::EndpointId victim =
+            candidates[ordinal % candidates.size()];
+        if (cfg.hot_spot) {
+          // Hot-spot kill: the plane is parked around the (synchronous)
+          // repair so its detector never double-heals, the queue is
+          // drained, and a full replication round restores owner tables
+          // from any surviving replica copies — entries are only truly
+          // lost when no live peer holds them in either a primary or a
+          // replica table.
+          if (plane != nullptr) plane->stop();
+          chord->fail(victim);
+          std::set<ObjectId> survivors;
+          oi.for_each_entry([&](cube::CubeId, const KeywordSet&, ObjectId id,
+                                sim::EndpointId ep) {
+            if (chord->is_live(ep)) survivors.insert(id);
+          });
+          oi.for_each_replica_entry([&](cube::CubeId, const KeywordSet&,
+                                        ObjectId id, sim::EndpointId ep) {
+            if (chord->is_live(ep)) survivors.insert(id);
+          });
+          for (const auto& [id, k] : live)
+            if (!survivors.contains(id)) lost.push_back(id);
+          for (int i = 0; i < 30; ++i) chord->stabilize_all();
+          return;
+        }
+        // Entries that die with the victim, per current (canonical after
+        // the previous round's repair) placement.
         for (const auto& [id, k] : live)
-          if (!survivors.contains(id)) lost.push_back(id);
+          if (oi.peer_of(oi.responsible_node(k)) == victim)
+            lost.push_back(id);
+        chord->fail(victim);
         for (int i = 0; i < 30; ++i) chord->stabilize_all();
-        clock.run();
+      });
+      if (no_quorum) return std::vector<ObjectId>{};
+      rt.drain_full();
+      rt.post_sync([&] {
         oi.purge_dead();
         oi.repair_placement();
-        oi.replication_step(std::numeric_limits<std::size_t>::max());
-        clock.run();
-        if (plane != nullptr) {
-          std::vector<sim::EndpointId> members;
+        if (cfg.hot_spot)
+          oi.replication_step(std::numeric_limits<std::size_t>::max());
+      });
+      rt.drain_full();
+      if (cfg.hot_spot && plane != nullptr) {
+        std::vector<sim::EndpointId> members;
+        rt.post_sync([&] {
           for (const dht::RingId id : chord->live_ids())
             members.push_back(chord->endpoint_of(id));
           plane->start(members);
-        }
-        return lost;
+        });
       }
-      // Entries that die with the victim, per current (canonical after the
-      // previous round's repair) placement.
-      std::vector<ObjectId> lost;
-      for (const auto& [id, k] : live)
-        if (oi.peer_of(oi.responsible_node(k)) == victim) lost.push_back(id);
-      chord->fail(victim);
-      for (int i = 0; i < 30; ++i) chord->stabilize_all();
-      clock.run();
-      oi.purge_dead();
-      oi.repair_placement();
-      clock.run();
       return lost;
     };
   }
   execute(cfg, ops, rep, tracer);
-  if (plane != nullptr) plane->stop();  // idempotent; covers early exits
+  rt.fence();
+  rt.post_sync([&] {
+    if (plane != nullptr) plane->stop();  // idempotent; covers early exits
+  });
 
   // Load-balance invariant: the busiest peer's scan count vs the mean over
   // all live peers (idle peers count — that is what the skew is about).
@@ -1001,24 +1284,56 @@ void run_overlay(const ScenarioConfig& cfg, const FaultPlan& plan,
 
 void run_mirrored(const ScenarioConfig& cfg, const FaultPlan& plan,
                   ScenarioReport& rep, obs::Tracer* tracer) {
+  const bool tcp_mode = cfg.backend == Backend::kTcp;
   sim::EventQueue clock;
-  sim::Network net(clock, std::make_unique<sim::UniformLatency>(1, 12),
-                   mix64(cfg.seed ^ kNetSalt));
   auto injector = std::make_unique<FaultInjector>(plan);
   FaultInjector* inj = injector.get();
+
+  std::unique_ptr<sim::Network> simnet;
+  std::unique_ptr<net::TcpTransport> tcp;
+  std::unique_ptr<net::FaultTransport> faulted;
+  net::Transport* transport = nullptr;
+  if (tcp_mode) {
+    net::TcpTransport::Config tc;
+    tc.seed = mix64(cfg.seed ^ kNetSalt);
+    tcp = std::make_unique<net::TcpTransport>(tc);
+    faulted = std::make_unique<net::FaultTransport>(
+        *tcp, std::move(injector), mix64(cfg.seed ^ kNetSalt ^ 2));
+    transport = faulted.get();
+  } else {
+    simnet = std::make_unique<sim::Network>(
+        clock, std::make_unique<sim::UniformLatency>(1, 12),
+        mix64(cfg.seed ^ kNetSalt));
+    transport = simnet.get();
+  }
+
+  Runtime rt;
+  rt.clock = tcp_mode ? nullptr : &clock;
+  rt.tcp = tcp.get();
+  rt.transport = transport;
+  rt.capture_strand();
+
   auto chord = std::make_unique<dht::ChordNetwork>(
-      dht::ChordNetwork::build(net, cfg.peers, {}));
+      dht::ChordNetwork::build(*transport, cfg.peers, {}));
   // Continuous churn keeps references replicated so the DOLR layer has
   // something to repair from; the plain scenario stays unreplicated.
   dht::Dolr dolr(*chord,
                  {.replication_factor = cfg.continuous_churn ? 3 : 1});
-  index::MirroredIndex mi(dolr, {.r = cfg.r,
-                                 .cache_capacity = cfg.cache_capacity,
-                                 .coalesce_visits = true,
-                                 .step_timeout = 80,
-                                 .max_retries = 8});
-  net.set_fault_model(std::move(injector));
-  if (tracer != nullptr) obs::attach_network(*tracer, net);
+  index::MirroredIndex mi(
+      dolr, {.r = cfg.r,
+             .cache_capacity = cfg.cache_capacity,
+             .coalesce_visits = true,
+             .step_timeout = cfg.retransmission ? sim::Time{80} : sim::Time{0},
+             .max_retries = 8,
+             .backoff_cap = 640,
+             .backoff_jitter = 40,
+             .backoff_seed = mix64(cfg.seed ^ kNetSalt ^ 3)});
+  if (tcp_mode)
+    faulted->arm();
+  else
+    simnet->set_fault_model(std::move(injector));
+  if (tracer != nullptr && simnet != nullptr)
+    obs::attach_network(*tracer, *simnet);
 
   constexpr sim::EndpointId kHome = 1;
   dht::ChordNetwork* c = chord.get();
@@ -1028,7 +1343,7 @@ void run_mirrored(const ScenarioConfig& cfg, const FaultPlan& plan,
   std::unique_ptr<maint::MaintenancePlane> plane;
   if (cfg.continuous_churn && cfg.self_healing) {
     plane = std::make_unique<maint::MaintenancePlane>(
-        net, maint::MaintenancePlane::Config{},
+        *transport, maint::MaintenancePlane::Config{},
         [c] { c->stabilize_all(); },
         [&mi, &dolr](std::size_t entries, std::size_t refs) {
           mi.purge_dead();
@@ -1050,37 +1365,60 @@ void run_mirrored(const ScenarioConfig& cfg, const FaultPlan& plan,
     std::vector<sim::EndpointId> members;
     for (dht::RingId id : c->live_ids())
       members.push_back(c->endpoint_of(id));
-    plane->start(members);
+    rt.post_sync([&] { plane->start(members); });
+    // Real-runtime composition: connection-death reports from the socket
+    // layer feed the failure detector's fast path (the observer already
+    // runs on the dispatch strand, the detector's serialization domain).
+    if (tcp != nullptr) {
+      maint::MaintenancePlane* p = plane.get();
+      tcp->set_peer_down_observer(
+          [p](sim::EndpointId ep) { p->detector().note_transport_down(ep); });
+    }
   }
 
+  // Op initiations marshal through rt.post_sync (direct calls on the sim).
   Ops ops;
-  ops.clock = &clock;
-  ops.net = &net;
+  ops.clock = rt.clock;
+  ops.net = simnet.get();
+  ops.rt = &rt;
   ops.plane = plane.get();
   // Each cube may overshoot under kLevelParallel but the merge truncates
   // to the threshold, so the merged result never overshoots.
   ops.overshoot_ok = false;
   ops.publish = [&](ObjectId id, const KeywordSet& k,
                     std::function<void()> done) {
-    mi.publish(kHome, id, k,
-               [done](const index::OverlayIndex::PublishResult&) { done(); });
+    rt.post_sync([&] {
+      mi.publish(
+          kHome, id, k,
+          [done](const index::OverlayIndex::PublishResult&) { done(); });
+    });
   };
   ops.withdraw = [&](ObjectId id, const KeywordSet& k,
                      std::function<void()> done) {
-    mi.withdraw(kHome, id, k,
-                [done](const index::OverlayIndex::WithdrawResult&) {
-                  done();
-                });
+    rt.post_sync([&] {
+      mi.withdraw(kHome, id, k,
+                  [done](const index::OverlayIndex::WithdrawResult&) {
+                    done();
+                  });
+    });
   };
   ops.pin = [&](const KeywordSet& q,
                 std::function<void(const SearchResult&)> cb) {
-    mi.pin_search(kHome, q, std::move(cb));
+    rt.post_sync([&] { mi.pin_search(kHome, q, std::move(cb)); });
   };
   ops.search = [&](const KeywordSet& q, std::size_t t,
                    std::function<void(const SearchResult&)> cb) {
-    return mi.superset_search(kHome, q, t, cfg.strategy, std::move(cb));
+    std::uint64_t ticket = 0;
+    rt.post_sync([&] {
+      ticket = mi.superset_search(kHome, q, t, cfg.strategy, std::move(cb));
+    });
+    return ticket;
   };
-  ops.cancel = [&](std::uint64_t ticket) { return mi.cancel(ticket); };
+  ops.cancel = [&](std::uint64_t ticket) {
+    bool cancelled = false;
+    rt.post_sync([&] { cancelled = mi.cancel(ticket); });
+    return cancelled;
+  };
   ops.in_flight = [&] {
     return mi.primary().in_flight_requests() +
            mi.mirror().in_flight_requests();
@@ -1098,37 +1436,49 @@ void run_mirrored(const ScenarioConfig& cfg, const FaultPlan& plan,
     // self-healing control is off). Returns the objects that are gone for
     // good: both cube placements sat on the victim, so no copy survives to
     // repair from.
-    ops.fail_peer = [&mi, c, &plane, peers = cfg.peers](
+    ops.fail_peer = [&mi, c, &plane, &rt, peers = cfg.peers](
                         std::uint64_t ordinal,
                         const std::map<ObjectId, KeywordSet>& live) {
-      std::vector<sim::EndpointId> candidates;
-      for (sim::EndpointId ep = 2; ep <= peers; ++ep)
-        if (c->is_live(ep)) candidates.push_back(ep);
-      if (candidates.size() < 6) return std::vector<ObjectId>{};
-      const sim::EndpointId victim = candidates[ordinal % candidates.size()];
-      if (plane != nullptr) plane->note_true_failure(victim);
-      c->fail(victim);
-      // An object is gone for good only when *neither* cube still holds
-      // its entry at a live peer (back-to-back kills in one round can take
-      // the primary and mirror copies with different victims before the
-      // plane has had any time to heal).
-      std::set<ObjectId> survivors;
-      const auto collect = [&](index::OverlayIndex& cube) {
-        cube.for_each_entry([&](cube::CubeId, const KeywordSet&, ObjectId id,
-                                sim::EndpointId ep) {
-          if (c->is_live(ep)) survivors.insert(id);
-        });
-      };
-      collect(mi.primary());
-      collect(mi.mirror());
+      // One strand-serialized block: the kill and the survivor scan are a
+      // single recipe with no drain in the middle (detection and healing
+      // belong to the plane, racing this from its own timers).
       std::vector<ObjectId> lost;
-      for (const auto& [id, k] : live)
-        if (!survivors.contains(id)) lost.push_back(id);
+      rt.post_sync([&] {
+        std::vector<sim::EndpointId> candidates;
+        for (sim::EndpointId ep = 2; ep <= peers; ++ep)
+          if (c->is_live(ep)) candidates.push_back(ep);
+        if (candidates.size() < 6) return;
+        const sim::EndpointId victim =
+            candidates[ordinal % candidates.size()];
+        if (plane != nullptr) plane->note_true_failure(victim);
+        c->fail(victim);
+        // An object is gone for good only when *neither* cube still holds
+        // its entry at a live peer (back-to-back kills in one round can
+        // take the primary and mirror copies with different victims before
+        // the plane has had any time to heal).
+        std::set<ObjectId> survivors;
+        const auto collect = [&](index::OverlayIndex& cube) {
+          cube.for_each_entry([&](cube::CubeId, const KeywordSet&,
+                                  ObjectId id, sim::EndpointId ep) {
+            if (c->is_live(ep)) survivors.insert(id);
+          });
+        };
+        collect(mi.primary());
+        collect(mi.mirror());
+        for (const auto& [id, k] : live)
+          if (!survivors.contains(id)) lost.push_back(id);
+      });
       return lost;
     };
   }
   execute(cfg, ops, rep, tracer);
-  if (plane != nullptr) plane->stop();  // idempotent; covers early exits
+  rt.fence();
+  rt.post_sync([&] {
+    if (plane != nullptr) plane->stop();  // idempotent; covers early exits
+  });
+  // The observer closes over the plane, which is destroyed before the
+  // transport: detach it before teardown.
+  if (tcp != nullptr) tcp->set_peer_down_observer(nullptr);
   rep.faults_applied = inj->applied();
 }
 
@@ -1151,6 +1501,14 @@ const char* to_string(index::SearchStrategy s) {
     case SearchStrategy::kTopDownSequential: return "top-down";
     case SearchStrategy::kBottomUpSequential: return "bottom-up";
     case SearchStrategy::kLevelParallel: return "level-parallel";
+  }
+  return "?";
+}
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kSim: return "sim";
+    case Backend::kTcp: return "tcp";
   }
   return "?";
 }
@@ -1270,6 +1628,9 @@ std::string ScenarioConfig::to_string() const {
       << " peers=" << peers << " objects=" << objects
       << " rounds=" << rounds << " cache=" << cache_capacity
       << (churn ? " churn" : "");
+  if (backend != Backend::kSim)
+    out << " backend=" << torture::to_string(backend);
+  if (!retransmission) out << " no-retransmission";
   if (continuous_churn)
     out << " continuous-churn"
         << (self_healing ? " self-healing" : " no-self-healing");

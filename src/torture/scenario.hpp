@@ -49,8 +49,25 @@ enum class Deployment : std::uint8_t {
   kDecomposed,  ///< DecomposedIndex (grouped cubes), in-process
 };
 
+/// Execution substrate the scenario runs on. kSim is the deterministic
+/// discrete-event simulator (sim::Network); kTcp is the real runtime:
+/// net::TcpTransport over loopback sockets, wrapped in net::FaultTransport
+/// so the same seeded FaultPlan (drops, dups, delays, partitions) applies
+/// below the protocol. The invariant battery is identical on both; on kTcp
+/// the fault schedule still derives from the seed but message *order* is
+/// wall-clock real, so the invariants are exercised against genuine
+/// concurrency rather than replayed event order. Supported for the chord,
+/// pastry and mirrored deployments; the others ignore the field and run on
+/// the simulator (direct/decomposed have no wire at all, hypercup's
+/// delay-only envelope adds nothing over the sim run).
+enum class Backend : std::uint8_t {
+  kSim,
+  kTcp,
+};
+
 const char* to_string(Deployment d);
 const char* to_string(index::SearchStrategy s);
+const char* to_string(Backend b);
 
 /// True if the deployment exchanges simulated network messages (and can
 /// therefore be fault-injected at all).
@@ -96,6 +113,15 @@ struct ScenarioConfig {
   /// Load-balance invariant (0 = off): max per-peer scan count divided by
   /// the mean over all live peers must stay at or below this after the run.
   double max_scan_skew = 0.0;
+  /// Execution substrate (see Backend). Only chord/pastry/mirrored honor
+  /// kTcp; the rest always run on the simulator.
+  Backend backend = Backend::kSim;
+  /// Overlay step retransmission (chord/pastry/mirrored). Off, a single
+  /// dropped step message strands its search forever — which is precisely
+  /// what the harness's hang invariant must catch. The meta-test that
+  /// proves FaultTransport-injected loss over real sockets is *observable*
+  /// runs with this off; every normal scenario keeps it on.
+  bool retransmission = true;
   FaultPlanConfig faults;
 
   /// Fills the size knobs from the seed and adapts the fault envelope to

@@ -101,6 +101,33 @@ TEST(FailureDetector, ConfirmsDeadPeerWithinDetectionWindow) {
   t.clock.run();
 }
 
+// The transport fast path: a positive connection-death signal from
+// TcpTransport (wired through its peer-down observer) confirms the member
+// immediately — no heartbeat rounds, no suspicion ladder — and counts
+// maint.transport_down. Unknown endpoints and repeat signals are no-ops.
+TEST(FailureDetector, TransportDownConfirmsImmediately) {
+  Plant t;
+  t.seed_corpus();
+  t.plane->start(t.members());
+  const sim::Time before = t.clock.now();
+  const sim::EndpointId victim = t.kill_one_entry_holder();
+  auto& det = t.plane->detector();
+  det.note_transport_down(victim);
+  EXPECT_EQ(det.confirmed_count(), 1u);
+  EXPECT_EQ(t.clock.now(), before);  // zero detection latency
+  EXPECT_EQ(t.net->metrics().counter("maint.transport_down"), 1u);
+  // Already confirmed: a second signal (more frames on the dead wire)
+  // changes nothing; neither does a never-monitored endpoint.
+  det.note_transport_down(victim);
+  det.note_transport_down(9999);
+  EXPECT_EQ(det.confirmed_count(), 1u);
+  EXPECT_EQ(t.net->metrics().counter("maint.transport_down"), 1u);
+  // The plane still heals to convergence off the fast-path confirmation.
+  ASSERT_TRUE(t.pump_until([&] { return t.plane->converged(); }));
+  t.plane->stop();
+  t.clock.run();
+}
+
 TEST(FailureDetector, NoFalsePositivesOnHealthyNetwork) {
   Plant t;
   t.plane->start(t.members());

@@ -224,6 +224,70 @@ TEST(Torture, HotSpotReplicationFlattensScanSkewAndControlIsCaught) {
   }
 }
 
+// The same invariant battery over the real runtime: every wire message
+// crosses a loopback TCP socket (net::TcpTransport) with the seeded fault
+// schedule injected by net::FaultTransport below the codec. Message order
+// is wall-clock real, so this exercises the protocol against genuine
+// concurrency — the invariants must hold anyway.
+TEST(TortureTcp, ChordAndChurnScenariosGreenOverRealSockets) {
+  ScenarioRunner runner;
+  for (std::uint64_t seed : {1ULL, 2ULL}) {
+    ScenarioConfig cfg = ScenarioConfig::from_seed(
+        seed, Deployment::kChord, SearchStrategy::kLevelParallel);
+    cfg.backend = Backend::kTcp;
+    const ScenarioReport rep = runner.run(cfg);
+    EXPECT_TRUE(rep.ok()) << rep.to_string();
+    EXPECT_GT(rep.searches, 0u);
+  }
+  ScenarioConfig churn = ScenarioConfig::churn_preset(1);
+  churn.backend = Backend::kTcp;
+  const ScenarioReport rep = runner.run(churn);
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+}
+
+// The acceptance meta-test for FaultTransport: loss injected over real
+// sockets must be *observable*. With step retransmission disabled, a
+// single dropped step message strands its operation forever, and the
+// harness's hang invariant must catch it; the identical drop-heavy
+// schedule with retransmission on must be survived. If FaultTransport
+// silently failed to drop (or dropped where the protocol never noticed),
+// the first run would go green and this test would fail.
+TEST(TortureTcp, InjectedLossIsCaughtWhenRetransmissionIsOff) {
+  ScenarioRunner runner;
+  ScenarioConfig cfg = ScenarioConfig::from_seed(
+      1, Deployment::kChord, SearchStrategy::kTopDownSequential);
+  cfg.backend = Backend::kTcp;
+  // Dense drop-only schedule: with ~1 drop per 12 wire messages, some
+  // loss-guarded step (t_query / t_cont / results / done) is hit with
+  // near-certainty in every run.
+  cfg.faults.allow_drops = true;
+  cfg.faults.allow_dups = false;
+  cfg.faults.allow_delays = false;
+  cfg.faults.max_events = 120;
+  cfg.faults.horizon = 1500;
+
+  // Control: same config, faults off entirely — proves the no-retransmission
+  // mode itself is clean over TCP (no spurious hang).
+  ScenarioConfig clean = cfg;
+  clean.retransmission = false;
+  clean.faults.allow_drops = false;
+  clean.faults.max_events = 0;
+  const ScenarioReport quiet = runner.run(clean);
+  EXPECT_TRUE(quiet.ok()) << quiet.to_string();
+
+  // Retransmission on: the drops are absorbed, everything green.
+  const ScenarioReport healed = runner.run(cfg);
+  EXPECT_TRUE(healed.ok()) << healed.to_string();
+  EXPECT_GT(healed.faults_applied, 0u);
+
+  // Retransmission off: the loss must surface as a caught violation.
+  ScenarioConfig exposed = cfg;
+  exposed.retransmission = false;
+  const ScenarioReport caught = runner.run(exposed);
+  ASSERT_FALSE(caught.ok()) << "FaultTransport drops were not observable";
+  EXPECT_GT(caught.faults_applied, 0u);
+}
+
 TEST(Shrink, ChurnFailureShrinksToThePeerFailures) {
   // The no-plane control fails because of the kills, not the message
   // faults: shrinking must keep at least one kFailPeer event and strip the

@@ -7,6 +7,7 @@
 // binary under ThreadSanitizer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -195,6 +196,134 @@ TEST(TcpTransport, StopIsIdempotentAndJoins) {
   t->stop();
   t->stop();
   t.reset();  // destructor stops again: no crash, no double close
+}
+
+// The connection-death accounting fix. Before it, a frame hitting a dead
+// wire vanished silently: counted sent, never delivered, never lost — the
+// conservation identity net.messages == net.delivered + net.lost broke, and
+// no liveness signal fired. Now the loss is positive: net.dropped.conn +
+// net.lost(.kind), the observer sees SendRecord.lost = true, and the
+// peer-down hook fires (once per endpoint) for the failure detector.
+TEST(TcpTransport, ConnectionDeathIsAccountedAsLoss) {
+  TcpTransport t(fast_config());
+  t.register_endpoint(1);
+  t.register_endpoint(2);
+  std::mutex mu;
+  std::vector<SendRecord> seen;
+  t.set_send_observer([&](const std::string& kind, const SendRecord& rec) {
+    std::lock_guard<std::mutex> lk(mu);
+    EXPECT_EQ(kind, "kws.t_query");
+    seen.push_back(rec);
+  });
+  t.send(1, 2, "kws.t_query", 64, [] {});
+  ASSERT_TRUE(t.wait_idle(kIdle));
+
+  t.sever_wire();
+  std::atomic<int> ran{0};
+  t.send(1, 2, "kws.t_query", 64, [&] { ++ran; });
+  t.send(2, 1, "kws.t_query", 64, [&] { ++ran; });
+  ASSERT_TRUE(t.wait_idle(kIdle));
+
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(t.metrics().counter("net.messages"), 3u);
+  EXPECT_EQ(t.metrics().counter("net.delivered"), 1u);
+  EXPECT_EQ(t.metrics().counter("net.lost"), 2u);
+  EXPECT_EQ(t.metrics().counter("net.lost.kws.t_query"), 2u);
+  EXPECT_EQ(t.metrics().counter("net.dropped.conn"), 2u);
+  // Conservation closes even across the wire's death.
+  EXPECT_EQ(t.metrics().counter("net.messages"),
+            t.metrics().counter("net.delivered") +
+                t.metrics().counter("net.lost"));
+  std::lock_guard<std::mutex> lk(mu);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_FALSE(seen[0].lost);
+  EXPECT_TRUE(seen[1].lost);
+  EXPECT_TRUE(seen[2].lost);
+}
+
+TEST(TcpTransport, PeerDownObserverFiresOncePerEndpoint) {
+  TcpTransport t(fast_config());
+  t.register_endpoint(1);
+  t.register_endpoint(2);
+  t.register_endpoint(3);
+  std::mutex mu;
+  std::vector<EndpointId> down;
+  t.set_peer_down_observer([&](EndpointId ep) {
+    std::lock_guard<std::mutex> lk(mu);
+    down.push_back(ep);
+  });
+  t.sever_wire();
+  // Several frames into the same dead connection: one report per endpoint,
+  // not a storm.
+  for (int i = 0; i < 4; ++i) t.send(1, 2, "kws.t_query", 16, [] {});
+  t.send(1, 3, "kws.t_query", 16, [] {});
+  ASSERT_TRUE(t.wait_idle(kIdle));
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    std::vector<EndpointId> sorted = down;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<EndpointId>{2, 3}));
+  }
+  // Re-registration resets the once-latch: the peer "came back", so a new
+  // death must be reported again.
+  t.register_endpoint(2);
+  t.send(1, 2, "kws.t_query", 16, [] {});
+  ASSERT_TRUE(t.wait_idle(kIdle));
+  std::lock_guard<std::mutex> lk(mu);
+  EXPECT_EQ(down.size(), 3u);
+  EXPECT_EQ(down.back(), 2u);
+}
+
+TEST(TcpTransport, DrainAndStopCompletesPendingWorkThenStops) {
+  TcpTransport t(fast_config());
+  t.register_endpoint(1);
+  t.register_endpoint(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 20; ++i) t.send(1, 2, "kws.t_query", 64, [&] { ++ran; });
+  t.schedule_in(3, [&] { ++ran; });
+  EXPECT_TRUE(t.drain_and_stop(std::chrono::milliseconds{5000}));
+  EXPECT_EQ(ran.load(), 21);
+  // After stop, the runtime refuses new timers instead of leaking them.
+  EXPECT_EQ(t.set_timer(10, [] {}), 0u);
+  EXPECT_FALSE(t.cancel_timer(1));
+}
+
+// TSan stress for the timer table: concurrent set/cancel/schedule from many
+// threads racing the dispatch strand that fires them, plus live_timer_count
+// reads — every shared-state path in the scheduler under contention.
+TEST(TcpTransport, TimerStressConcurrentSetCancelFire) {
+  TcpTransport t(fast_config());
+  std::atomic<int> fired{0};
+  std::atomic<int> cancelled{0};
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> workers;
+  for (int th = 0; th < kThreads; ++th) {
+    workers.emplace_back([&, th] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Mix near-immediate timers (race the strand's firing) with far
+        // ones that the same thread cancels; every other iteration also
+        // posts a plain event and polls the live count.
+        const auto id = t.set_timer(1 + (i % 7), [&] { ++fired; });
+        if (i % 2 == 0) {
+          const auto far = t.set_timer(1000000, [] {});
+          if (t.cancel_timer(far)) ++cancelled;
+        }
+        if (i % 3 == 0) t.schedule_in(0, [&] { ++fired; });
+        if (i % 5 == 0) (void)t.live_timer_count();
+        if (i % 11 == th) (void)t.cancel_timer(id);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  ASSERT_TRUE(t.wait_idle(kIdle));
+  // Every far timer the loop armed was cancelled; nothing may still be
+  // pending except near timers that already fired.
+  EXPECT_EQ(cancelled, kThreads * (kPerThread / 2));
+  EXPECT_GT(fired.load(), 0);
+  // Let any last near-deadline timers fire, then the count must be zero.
+  std::this_thread::sleep_for(std::chrono::milliseconds{50});
+  EXPECT_EQ(t.live_timer_count(), 0u);
 }
 
 // The parity oracle: the exact send sequence, replayed against both

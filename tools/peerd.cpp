@@ -22,8 +22,17 @@
 //
 // The corpus is generated, not loaded: seeded, so every process derives the
 // same objects independently and the query side can reconstruct ground
-// truth without any shared files.
+// truth without any shared files. That also makes crash-restart trivial:
+// a shard killed outright (SIGKILL) is relaunched with the same flags,
+// re-derives and re-publishes its slice, and announces a fresh PORT= —
+// examples/multiprocess_demo.sh --restart exercises exactly that and
+// re-checks the answers byte-for-byte.
+//
+// Shutdown: SIGTERM/SIGINT stop the front-end loop and drain the transport
+// gracefully (drain_and_stop — in-flight protocol work completes before the
+// sockets close); "DRAIN=clean" on stdout confirms nothing was dropped.
 #include <arpa/inet.h>
+#include <csignal>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -55,6 +64,17 @@ namespace {
 using namespace hkws;
 
 constexpr int kR = 6;
+
+// SIGTERM/SIGINT → graceful drain. The handler is async-signal-safe: it
+// flips the flag and shuts down the listen socket, which pops the accept
+// loop out of its block; everything orderly happens on the main thread.
+volatile std::sig_atomic_t g_stop = 0;
+std::sig_atomic_t g_listen_fd = -1;
+
+void on_terminate(int) {
+  g_stop = 1;
+  if (g_listen_fd >= 0) ::shutdown(g_listen_fd, SHUT_RDWR);
+}
 
 struct Options {
   std::size_t shard = 0;
@@ -186,10 +206,14 @@ int run_serve(const Options& opt) {
   std::printf("PORT=%u\n", static_cast<unsigned>(ntohs(addr.sin_port)));
   std::fflush(stdout);
 
-  while (true) {
+  g_listen_fd = lfd;
+  std::signal(SIGTERM, on_terminate);
+  std::signal(SIGINT, on_terminate);
+
+  while (g_stop == 0) {
     const int cfd = ::accept(lfd, nullptr, nullptr);
     if (cfd < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR && g_stop == 0) continue;
       break;
     }
     std::vector<std::uint8_t> buf;
@@ -230,7 +254,15 @@ int run_serve(const Options& opt) {
     transport.wait_idle(std::chrono::seconds(60));
   }
   ::close(lfd);
-  return 0;
+
+  // Graceful shutdown: no new work is being initiated (the accept loop is
+  // done), so drain whatever protocol traffic is still in flight before
+  // tearing the runtime down. DRAIN=clean is the launcher's assertion that
+  // the stop lost nothing.
+  const bool clean = transport.drain_and_stop(std::chrono::seconds(10));
+  std::printf("DRAIN=%s\n", clean ? "clean" : "dirty");
+  std::fflush(stdout);
+  return clean ? 0 : 1;
 }
 
 // --- query ------------------------------------------------------------------

@@ -53,12 +53,22 @@ void usage(const char* argv0) {
       "          [--deployment direct|chord|pastry|hypercup|mirrored|"
       "decomposed]\n"
       "          [--strategy top-down|bottom-up|level-parallel]\n"
+      "          [--transport sim|tcp]\n"
       "          [--churn] [--no-heal] [--no-shrink] [--verbose]\n"
       "\n"
       "Without --seed: sweeps COUNT seeds (default 15) starting at --start\n"
       "(default 1) over every strategy x deployment combination. With\n"
       "--seed: replays that single seed (optionally filtered), shrinking\n"
       "the fault schedule of any failure.\n"
+      "\n"
+      "--transport tcp: runs the battery on the real runtime — every wire\n"
+      "message crosses a loopback TCP socket via net::TcpTransport, with\n"
+      "net::FaultTransport injecting the same seeded fault schedule below\n"
+      "the protocol. Per seed: chord (top-down + level-parallel), pastry,\n"
+      "the hot-spot preset, and the continuous-churn preset (the tcp-capable\n"
+      "deployments; default 8 seeds). Schedule shrinking is skipped —\n"
+      "message order is wall-clock real, so a minimized schedule would not\n"
+      "replay deterministically anyway.\n"
       "\n"
       "--churn: continuous-churn preset (mirrored deployment, kill-only\n"
       "peer failures, self-healing maintenance plane racing the workload).\n"
@@ -96,14 +106,16 @@ bool run_one(ScenarioRunner& runner, const ScenarioConfig& cfg, bool shrink,
     rep = min.report;
   }
   std::printf("%s", rep.to_string().c_str());
+  const char* transport =
+      cfg.backend == Backend::kTcp ? " --transport tcp" : "";
   if (cfg.continuous_churn)
-    std::printf("reproduce: tools/torture --churn%s --seed %llu\n",
-                cfg.self_healing ? "" : " --no-heal",
+    std::printf("reproduce: tools/torture --churn%s%s --seed %llu\n",
+                cfg.self_healing ? "" : " --no-heal", transport,
                 static_cast<unsigned long long>(cfg.seed));
   else
-    std::printf("reproduce: tools/torture --seed %llu --deployment %s "
+    std::printf("reproduce: tools/torture%s --seed %llu --deployment %s "
                 "--strategy %s\n",
-                static_cast<unsigned long long>(cfg.seed),
+                transport, static_cast<unsigned long long>(cfg.seed),
                 to_string(cfg.deployment), to_string(cfg.strategy));
   return false;
 }
@@ -113,13 +125,14 @@ bool run_one(ScenarioRunner& runner, const ScenarioConfig& cfg, bool shrink,
 int main(int argc, char** argv) {
   std::optional<std::uint64_t> single_seed;
   std::uint64_t start = 1;
-  std::size_t count = 15;
+  std::optional<std::size_t> count;
   std::optional<Deployment> only_deployment;
   std::optional<SearchStrategy> only_strategy;
   bool shrink = true;
   bool verbose = false;
   bool churn = false;
   bool heal = true;
+  bool tcp = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -148,6 +161,14 @@ int main(int argc, char** argv) {
         usage(argv[0]);
         return 2;
       }
+    } else if (arg == "--transport") {
+      const std::string t = next();
+      if (t == "tcp") {
+        tcp = true;
+      } else if (t != "sim") {
+        usage(argv[0]);
+        return 2;
+      }
     } else if (arg == "--churn") {
       churn = true;
     } else if (arg == "--no-heal") {
@@ -162,6 +183,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Schedule shrinking re-runs the scenario with event subsets and relies
+  // on deterministic replay; over real sockets message order is wall-clock,
+  // so a minimized schedule would not reproduce the failure. Skip it.
+  if (tcp) shrink = false;
+
   ScenarioRunner runner;
   std::size_t scenarios = 0;
   std::size_t failures = 0;
@@ -172,7 +198,33 @@ int main(int argc, char** argv) {
       // self-healing plane racing kill-only failures (unless --no-heal).
       ScenarioConfig cfg = ScenarioConfig::churn_preset(seed);
       cfg.self_healing = heal;
+      if (tcp) cfg.backend = Backend::kTcp;
       if (!run_one(runner, cfg, shrink, verbose, scenarios)) ++failures;
+      return;
+    }
+    if (tcp) {
+      // Real-runtime battery: the tcp-capable deployments, each scenario
+      // over loopback sockets with the seeded fault schedule injected by
+      // net::FaultTransport. Reduced relative to the sim sweep (each
+      // scenario costs real wall-clock), but it covers both overlay
+      // routers, the strategy extremes, the hot-spot replication path and
+      // the continuous-churn maintenance plane per seed.
+      ScenarioConfig battery[] = {
+          ScenarioConfig::from_seed(seed, Deployment::kChord,
+                                    SearchStrategy::kTopDownSequential),
+          ScenarioConfig::from_seed(seed, Deployment::kChord,
+                                    SearchStrategy::kLevelParallel),
+          ScenarioConfig::from_seed(seed, Deployment::kPastry,
+                                    SearchStrategy::kBottomUpSequential),
+          ScenarioConfig::hot_spot_preset(seed),
+          ScenarioConfig::churn_preset(seed),
+      };
+      for (ScenarioConfig& cfg : battery) {
+        if (only_deployment && cfg.deployment != *only_deployment) continue;
+        if (only_strategy && cfg.strategy != *only_strategy) continue;
+        cfg.backend = Backend::kTcp;
+        if (!run_one(runner, cfg, shrink, verbose, scenarios)) ++failures;
+      }
       return;
     }
     for (Deployment d : kDeployments) {
@@ -193,7 +245,8 @@ int main(int argc, char** argv) {
   if (single_seed) {
     sweep_seed(*single_seed);
   } else {
-    for (std::uint64_t seed = start; seed < start + count; ++seed)
+    const std::size_t n = count.value_or(tcp ? 8 : 15);
+    for (std::uint64_t seed = start; seed < start + n; ++seed)
       sweep_seed(seed);
   }
 
