@@ -17,10 +17,26 @@
 # pre-crash run. Finally a SIGTERM to shard 0 must produce a graceful drain
 # (DRAIN=clean in its log).
 #
+# With --split the script instead runs the split-overlay deployment: PROCS
+# `peerd peer` processes sharing ONE overlay (each owns a slice of its
+# peers, every cross-slice protocol step crosses a real process boundary),
+# rendezvousing through a mesh directory. Queries go to rank 0's front-end
+# and are --check-verified against LogicalIndex ground truth. With
+# `--split N udp RATE` the mesh runs over UDP datagrams with seeded loss,
+# recovered by per-step retransmission — the answers must still be exact.
+#
 # Usage: multiprocess_demo.sh /path/to/peerd [shards] [--restart]
+#        multiprocess_demo.sh /path/to/peerd --split [procs] [tcp|udp] [drop]
 set -euo pipefail
 
-PEERD=${1:?usage: multiprocess_demo.sh /path/to/peerd [shards] [--restart]}
+PEERD=${1:?usage: multiprocess_demo.sh /path/to/peerd [shards|--split] ...}
+SPLIT=0
+if [[ "${2:-}" == "--split" ]]; then
+  SPLIT=1
+  PROCS=${3:-3}
+  TRANSPORT=${4:-tcp}
+  DROP=${5:-0}
+fi
 SHARDS=${2:-3}
 RESTART=0
 [[ "${3:-}" == "--restart" ]] && RESTART=1
@@ -41,7 +57,7 @@ trap cleanup EXIT
 wait_port() { # shard-index log-file pid -> sets PORT
   local i=$1 log=$2 pid=$3 t port=""
   for ((t = 0; t < 300; t++)); do
-    if port=$(grep -o 'PORT=[0-9]*' "$log" 2>/dev/null); then
+    if port=$(grep -om1 '^PORT=[0-9]*' "$log" 2>/dev/null); then
       break
     fi
     if ! kill -0 "$pid" 2>/dev/null; then
@@ -58,6 +74,42 @@ wait_port() { # shard-index log-file pid -> sets PORT
   fi
   PORT=$port
 }
+
+if [[ "$SPLIT" == 1 ]]; then
+  # --- split-overlay mode: PROCS processes, ONE overlay --------------------
+  MESH="$WORKDIR/mesh"
+  mkdir -p "$MESH"
+  echo "== launching $PROCS split-overlay peers (transport=$TRANSPORT drop=$DROP) =="
+  for ((i = PROCS - 1; i >= 0; i--)); do
+    "$PEERD" peer --rank "$i" --procs "$PROCS" --mesh-dir "$MESH" \
+      --transport "$TRANSPORT" --drop "$DROP" \
+      >"$WORKDIR/rank$i.log" 2>&1 &
+    PIDS+=($!)
+  done
+  # PIDS[k] is rank PROCS-1-k; rank 0 (the front-end) was launched last.
+  RANK0_PID=${PIDS[$((PROCS - 1))]}
+  wait_port 0 "$WORKDIR/rank0.log" "$RANK0_PID"
+  echo "  rank 0 front-end on port $PORT (corpus settled)"
+
+  echo "== querying the split overlay =="
+  "$PEERD" query --ports "$PORT" --check -- w3
+  "$PEERD" query --ports "$PORT" --check --threshold 2 -- w1 w4
+  "$PEERD" query --ports "$PORT" --check -- w0
+
+  echo "== graceful stop (SIGTERM) of all ranks =="
+  for pid in "${PIDS[@]}"; do kill -TERM "$pid" 2>/dev/null || true; done
+  for pid in "${PIDS[@]}"; do wait "$pid" 2>/dev/null || true; done
+  for ((i = 0; i < PROCS; i++)); do
+    if ! grep -q 'DRAIN=clean' "$WORKDIR/rank$i.log"; then
+      echo "rank $i did not drain cleanly:" >&2
+      cat "$WORKDIR/rank$i.log" >&2
+      exit 1
+    fi
+  done
+  echo "  all ranks drained cleanly"
+  echo "== split demo ok =="
+  exit 0
+fi
 
 echo "== launching $SHARDS shard processes =="
 for ((i = 0; i < SHARDS; i++)); do

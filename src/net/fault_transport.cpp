@@ -114,6 +114,84 @@ void FaultTransport::send(EndpointId from, EndpointId to, std::string kind,
   inner_.send(from, to, std::move(kind), payload_bytes, std::move(deliver));
 }
 
+bool FaultTransport::set_peer_address(EndpointId id, const PeerAddr& addr) {
+  return inner_.set_peer_address(id, addr);
+}
+
+bool FaultTransport::has_peer_address(EndpointId id) const {
+  return inner_.has_peer_address(id);
+}
+
+void FaultTransport::set_payload_handler(PayloadHandler fn) {
+  inner_.set_payload_handler(std::move(fn));
+}
+
+void FaultTransport::send_payload(EndpointId from, EndpointId to,
+                                  MsgKind kind, const WireMessage& msg) {
+  // Same pass-through rule as send(): only real wire traffic is numbered
+  // and inspected. A payload send is wire traffic when its destination is
+  // deliverable — locally registered or owned by another process.
+  if (from == to ||
+      (!inner_.is_registered(to) && !inner_.has_peer_address(to))) {
+    inner_.send_payload(from, to, kind, msg);
+    return;
+  }
+
+  const std::string kind_label = kind_name(kind);
+  sim::FaultActions fault;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (armed_) {
+      if (model_ != nullptr)
+        fault = model_->inspect(from, to, kind_label, seq_, rng_);
+      ++seq_;
+    }
+  }
+
+  if (fault.drop) {
+    // The inner transport never sees the message; supply the accounting
+    // here, with the encoded inner frame as the byte cost (what the wire
+    // would have carried).
+    const std::size_t bytes = encode_frame(kind, msg).size();
+    sim::Metrics& m = inner_.metrics();
+    m.count("net.messages");
+    m.count("net.bytes", bytes);
+    m.count("msg." + kind_label);
+    m.count("net.lost");
+    m.count("net.lost." + kind_label);
+    m.count("net.dropped." + kind_label);
+    m.count("net.dropped.fault");
+    SendObserver observer;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      observer = observer_;
+    }
+    if (observer) {
+      const Time at = inner_.now();
+      observer(kind_label, SendRecord{at, from, to, bytes, true, at});
+    }
+    return;
+  }
+
+  const std::uint32_t copies = 1 + fault.duplicates;
+  if (fault.duplicates != 0)
+    inner_.metrics().count("net.dup", fault.duplicates);
+
+  if (fault.extra_delay != 0) {
+    inner_.metrics().count("net.delayed");
+    Transport* inner = &inner_;
+    inner_.schedule_in(fault.extra_delay,
+                       [inner, from, to, kind, msg, copies] {
+                         for (std::uint32_t i = 0; i < copies; ++i)
+                           inner->send_payload(from, to, kind, msg);
+                       });
+    return;
+  }
+
+  for (std::uint32_t i = 0; i < copies; ++i)
+    inner_.send_payload(from, to, kind, msg);
+}
+
 Time FaultTransport::now() const { return inner_.now(); }
 
 void FaultTransport::schedule_in(Time delay, Handler fn) {

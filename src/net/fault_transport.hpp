@@ -80,6 +80,15 @@ class FaultTransport final : public Transport {
   void send(EndpointId from, EndpointId to, std::string kind,
             std::size_t payload_bytes, Handler deliver) override;
 
+  // Cross-process plumbing forwards to the inner backend; payload sends go
+  // through the same armed inspection as closure sends (one wire sequence,
+  // whichever path the protocol uses).
+  bool set_peer_address(EndpointId id, const PeerAddr& addr) override;
+  bool has_peer_address(EndpointId id) const override;
+  void set_payload_handler(PayloadHandler fn) override;
+  void send_payload(EndpointId from, EndpointId to, MsgKind kind,
+                    const WireMessage& msg) override;
+
   Time now() const override;
   void schedule_in(Time delay, Handler fn) override;
   TimerId set_timer(Time delay, Handler fn) override;

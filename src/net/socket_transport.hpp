@@ -1,0 +1,268 @@
+// Shared machinery of the socket Transport backends (TcpTransport,
+// UdpTransport): everything between the Transport interface and the actual
+// sockets lives here, so both backends carry identical semantics —
+//
+//   * the dispatch strand: one thread executing delivered handlers and due
+//     timers serialized, the simulator's single-event-loop discipline;
+//   * the parked-handler table: closure-based send() parks the delivery
+//     handler, ships an addressed envelope through the backend's wire, and
+//     redeems the handler by message id when the envelope returns. Entries
+//     carry a deadline; a periodic sweep (driven from the backend's io
+//     loop) releases entries whose envelope died on the wire — counted
+//     net.dropped.conn, net.lost — so a read-side frame death can never
+//     leak an in-flight slot and wedge drain_and_stop();
+//   * the peer-address table: endpoints owned by other processes, mapped
+//     to their socket addresses. send_payload() to an addressed endpoint
+//     serializes the real message (wire codec frame inside the envelope's
+//     payload field) and routes it to the owning process, which decodes it
+//     and dispatches to its payload handler on its own strand;
+//   * accounting: the simulator's counters and conservation identity
+//     (net.messages == net.delivered + net.lost) per process, with every
+//     loss attributed to exactly one cause counter. Outbound cross-process
+//     messages count net.delivered at the sender once the wire accepts the
+//     frame (plus net.remote.out); the receiving process counts only
+//     net.remote.in — so each process's identity closes over traffic it
+//     originated.
+//
+// Backends implement the wire: wire_send() writes one encoded envelope
+// frame either to the loopback self-wire (remote == nullptr) or to a
+// remote process's address, and their io threads feed received envelopes
+// back through on_envelope() and call sweep_parked() periodically.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+
+namespace hkws::net {
+
+class SocketTransport : public Transport {
+ public:
+  /// Knobs every socket backend shares (each backend's Config embeds one).
+  struct CommonConfig {
+    /// Wall-clock duration of one transport tick. Protocol timeout
+    /// constants are written in ticks (sim convention: ~1ms); the default
+    /// compresses them 10x so loss-recovery tests stay fast.
+    std::chrono::microseconds tick{100};
+    /// Cap on per-frame padding bytes (real serialization cost tracks the
+    /// declared payload size up to this bound).
+    std::uint32_t max_pad = 64 * 1024;
+    /// How long a parked delivery handler may wait for its envelope before
+    /// the sweep declares the frame dead on the wire (net.dropped.conn).
+    /// Generous vs loopback latency; tests shrink it to exercise the sweep.
+    std::chrono::milliseconds parked_ttl{3000};
+  };
+
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  // --- Transport interface ------------------------------------------------
+
+  void register_endpoint(EndpointId id) override;
+  void unregister_endpoint(EndpointId id) override;
+  bool is_registered(EndpointId id) const override;
+
+  void send(EndpointId from, EndpointId to, std::string kind,
+            std::size_t payload_bytes, Handler deliver) override;
+
+  bool set_peer_address(EndpointId id, const PeerAddr& addr) override;
+  bool has_peer_address(EndpointId id) const override;
+  void send_payload(EndpointId from, EndpointId to, MsgKind kind,
+                    const WireMessage& msg) override;
+
+  Time now() const override;
+  void schedule_in(Time delay, Handler fn) override;
+  TimerId set_timer(Time delay, Handler fn) override;
+  bool cancel_timer(TimerId id) override;
+
+  sim::Metrics& metrics() override { return metrics_; }
+  const sim::Metrics& metrics() const override { return metrics_; }
+  void set_send_observer(SendObserver fn) override;
+
+  // --- Runtime control ----------------------------------------------------
+
+  /// Blocks until no message is in flight, the dispatch queue is empty, and
+  /// no plain scheduled event (schedule_in) is pending — cancelable timers
+  /// (retransmission guards) do not count. Returns false on timeout.
+  bool wait_idle(std::chrono::milliseconds timeout);
+
+  /// Stops the runtime: closes sockets, joins threads, drops queued work.
+  /// Idempotent; the destructor calls it.
+  virtual void stop() = 0;
+
+  /// Graceful shutdown: waits (up to `timeout`) for in-flight messages and
+  /// plain scheduled events to drain, then stops. Returns whether the
+  /// runtime actually went idle before stopping — false means queued work
+  /// was dropped, exactly what stop() alone always does.
+  bool drain_and_stop(std::chrono::milliseconds timeout);
+
+  /// Peer-down hook: invoked on the dispatch strand when the transport
+  /// positively observes a destination's connection die under a frame (a
+  /// wire write fails). Fires at most once per endpoint between
+  /// registrations. This is the fast-path liveness signal the maintenance
+  /// plane's FailureDetector consumes instead of waiting out heartbeat
+  /// misses. Install before traffic starts; nullptr removes.
+  using PeerDownObserver = std::function<void(EndpointId)>;
+  void set_peer_down_observer(PeerDownObserver fn);
+
+  /// Cancelable timers currently pending (the torture harness's timer
+  /// invariant reads this; parity with sim::EventQueue::live_timer_count).
+  std::size_t live_timer_count() const;
+
+  /// Wall-clock duration of one transport tick (backend-configured).
+  std::chrono::microseconds tick() const noexcept { return common_.tick; }
+
+  /// Wire frames that failed envelope (or inner payload) decode — 0 in a
+  /// healthy runtime.
+  std::uint64_t decode_errors() const;
+
+  /// Test/fault hook: the io thread silently discards the next `n` inbound
+  /// envelopes, exactly as if the frames had died on the read side of the
+  /// wire. Parked senders then wait on the deadline sweep — this is how the
+  /// parked-leak regression test kills frames deterministically.
+  void drop_inbound(std::uint64_t n);
+
+ protected:
+  using Clock = std::chrono::steady_clock;
+
+  explicit SocketTransport(CommonConfig common);
+
+  /// How the wire disposed of one envelope frame.
+  enum class WireResult {
+    kOk,        ///< accepted by the socket
+    kConnDead,  ///< connection dead / socket gone (net.dropped.conn)
+    kDropped,   ///< backend drop model discarded it (net.dropped.fault)
+  };
+
+  /// Writes one encoded envelope frame. `remote` is nullptr for the
+  /// loopback self-wire (parked-handler mode) or the owning process's
+  /// address for cross-process payload frames.
+  virtual WireResult wire_send(const std::vector<std::uint8_t>& frame,
+                               const sockaddr_in* remote) = 0;
+
+  /// Launches the dispatch thread (call once sockets are up).
+  void start_dispatch();
+
+  /// Flags the runtime stopping and wakes every waiter. Returns false if
+  /// already stopping (stop() must then return without re-joining).
+  bool begin_stop();
+  void join_dispatch();
+  bool stopping() const { return halted_.load(std::memory_order_acquire); }
+
+  /// Inbound envelope from the backend's io thread: redeems a parked
+  /// handler (empty payload) or decodes + dispatches a cross-process
+  /// payload message (non-empty payload).
+  void on_envelope(const EnvelopeMsg& env);
+
+  /// Releases parked entries past their deadline as net.dropped.conn.
+  /// Backends call this from their io loop (each poll timeout tick).
+  void sweep_parked();
+
+  /// Looks up `id` in the peer-address table. False if it has no address
+  /// (the endpoint is local or unknown).
+  bool lookup_addr(EndpointId id, sockaddr_in* out) const;
+
+  /// Counts one failed envelope/payload decode (decode_errors()).
+  void note_decode_error();
+
+  const CommonConfig& common() const noexcept { return common_; }
+
+ private:
+  /// Per-peer node state. Counters are atomic: sends bump them under the
+  /// shared (reader) side of peers_mu_, concurrently.
+  struct PeerState {
+    bool registered = false;
+    std::atomic<std::uint64_t> sent{0};       ///< wire messages originated
+    std::atomic<std::uint64_t> delivered{0};  ///< handlers executed here
+  };
+
+  /// A parked delivery handler waiting for its envelope to return.
+  struct ParkedEntry {
+    Handler fn;
+    EndpointId to = 0;
+    std::string kind;             ///< for loss attribution if swept
+    Clock::time_point deadline;   ///< sweep releases past this
+  };
+
+  /// Schedule key: (deadline, insertion seq) — FIFO among equal deadlines,
+  /// the simulator's tie-break discipline.
+  using ScheduleKey = std::pair<Clock::time_point, std::uint64_t>;
+
+  struct TimerEntry {
+    TimerId id = 0;  ///< 0 = plain event (schedule_in, not cancelable)
+    Handler fn;
+  };
+
+  void dispatch_loop();
+  void enqueue_ready(Handler fn, EndpointId at, bool counts_delivery);
+  void report_peer_down(EndpointId to);
+  /// Counts one wire loss: net.lost[.kind], net.dropped[.kind], plus the
+  /// cause counter (net.dropped.conn or net.dropped.fault).
+  void count_loss(const std::string& kind, WireResult why);
+
+  CommonConfig common_;
+  Clock::time_point start_;
+
+  // Per-peer endpoint state: reader-writer lock, sends read, membership
+  // writes.
+  mutable std::shared_mutex peers_mu_;
+  std::unordered_map<EndpointId, PeerState> peers_;
+
+  // Endpoints owned by other processes, keyed to their socket address.
+  mutable std::shared_mutex addrs_mu_;
+  std::unordered_map<EndpointId, sockaddr_in> addrs_;
+
+  // Parked delivery handlers keyed by envelope message id.
+  std::mutex handlers_mu_;
+  std::unordered_map<std::uint64_t, ParkedEntry> parked_;
+  std::uint64_t next_msg_ = 1;
+
+  // Dispatch strand state.
+  mutable std::mutex strand_mu_;
+  std::condition_variable strand_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::pair<Handler, EndpointId>> ready_;  ///< delivered, FIFO
+  std::map<ScheduleKey, TimerEntry> schedule_;  ///< timers + plain events
+  std::unordered_map<TimerId, ScheduleKey> timer_keys_;  ///< cancel index
+  std::uint64_t pending_events_ = 0;  ///< schedule_ entries with id == 0
+  std::uint64_t next_timer_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t inflight_ = 0;  ///< sent-not-yet-executed messages
+  bool stopping_ = false;
+  std::atomic<bool> halted_{false};  ///< lock-free mirror of stopping_
+
+  // Accounting (metrics_mu_ also serializes the observer, matching the
+  // sim's synchronous-from-send() contract).
+  mutable std::mutex metrics_mu_;
+  sim::Metrics metrics_;
+  SendObserver observer_;
+  PeerDownObserver peer_down_;
+  std::uint64_t decode_errors_ = 0;
+
+  // Endpoints already reported down (avoids a storm of peer-down callbacks
+  // when many frames hit the same dead connection). Guarded by peers_mu_.
+  std::unordered_map<EndpointId, bool> down_reported_;
+
+  std::atomic<std::uint64_t> drop_inbound_{0};
+
+  std::thread dispatch_thread_;
+};
+
+}  // namespace hkws::net

@@ -31,10 +31,17 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
   return true;
 }
 
+std::uint64_t addr_key(const sockaddr_in& sa) {
+  return (static_cast<std::uint64_t>(sa.sin_addr.s_addr) << 16) |
+         ntohs(sa.sin_port);
+}
+
 }  // namespace
 
 TcpTransport::TcpTransport(Config cfg)
-    : cfg_(cfg), start_(Clock::now()), backoff_rng_(cfg.seed) {
+    : SocketTransport(CommonConfig{cfg.tick, cfg.max_pad, cfg.parked_ttl}),
+      cfg_(cfg),
+      backoff_rng_(cfg.seed) {
   if (cfg_.wire_connections < 1) cfg_.wire_connections = 1;
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -60,11 +67,11 @@ TcpTransport::TcpTransport(Config cfg)
     throw std::runtime_error("TcpTransport: pipe failed");
   }
 
-  // The wire: a small pool of loopback connections the senders round-robin
-  // across. connect() succeeds against the listen backlog even before the
-  // io thread accepts, but retry with seeded exponential backoff anyway —
-  // the same policy a cross-process front-end uses against a peer that is
-  // still starting up.
+  // The self-wire: a small pool of loopback connections the senders
+  // round-robin across. connect() succeeds against the listen backlog even
+  // before the io thread accepts, but retry with seeded exponential backoff
+  // anyway — the same policy a cross-process sender uses against a peer
+  // that is still starting up.
   out_mu_ = std::make_unique<std::mutex[]>(
       static_cast<std::size_t>(cfg_.wire_connections));
   for (int i = 0; i < cfg_.wire_connections; ++i) {
@@ -77,30 +84,39 @@ TcpTransport::TcpTransport(Config cfg)
   }
 
   io_thread_ = std::thread([this] { io_loop(); });
-  dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+  start_dispatch();
 }
 
 TcpTransport::~TcpTransport() { stop(); }
 
 int TcpTransport::connect_loopback() {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  return connect_to(addr);
+}
+
+int TcpTransport::connect_to(const sockaddr_in& addr) {
   auto backoff = cfg_.connect_backoff;
   for (int attempt = 0; attempt < cfg_.connect_attempts; ++attempt) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) return -1;
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port_);
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    sockaddr_in a = addr;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&a), sizeof(a)) == 0) {
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       return fd;
     }
     ::close(fd);
+    if (stopping()) return -1;
     // Exponential backoff with seeded jitter, capped.
-    const auto jitter = std::chrono::milliseconds(
-        backoff_rng_.next_below(static_cast<std::uint64_t>(
-            backoff.count() / 2 + 1)));
+    std::chrono::milliseconds jitter;
+    {
+      std::lock_guard<std::mutex> lk(rng_mu_);
+      jitter = std::chrono::milliseconds(backoff_rng_.next_below(
+          static_cast<std::uint64_t>(backoff.count() / 2 + 1)));
+    }
     std::this_thread::sleep_for(backoff + jitter);
     backoff = std::min(backoff * 2, cfg_.connect_backoff_cap);
   }
@@ -115,212 +131,83 @@ void TcpTransport::close_fd(int& fd) {
 }
 
 void TcpTransport::stop() {
-  {
-    std::lock_guard<std::mutex> lk(strand_mu_);
-    if (stopping_) return;
-    stopping_ = true;
-  }
-  strand_cv_.notify_all();
-  idle_cv_.notify_all();
+  if (!begin_stop()) return;
   if (wake_pipe_[1] >= 0) {
     const char b = 'x';
     [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
   }
-  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  join_dispatch();
   if (io_thread_.joinable()) io_thread_.join();
-  for (int& fd : out_fds_) close_fd(fd);
+  // Tear the out-fds down under their lane locks: a racing late send sees
+  // fd == -1 and counts a connection loss instead of writing a dead fd.
+  for (std::size_t lane = 0; lane < out_fds_.size(); ++lane) {
+    std::lock_guard<std::mutex> lk(out_mu_[lane]);
+    close_fd(out_fds_[lane]);
+  }
+  {
+    std::lock_guard<std::mutex> lk(remotes_mu_);
+    for (auto& [key, rc] : remotes_) {
+      std::lock_guard<std::mutex> clk(rc->mu);
+      close_fd(rc->fd);
+    }
+  }
   close_fd(listen_fd_);
   close_fd(wake_pipe_[0]);
   close_fd(wake_pipe_[1]);
 }
 
-// --- Endpoints (reader-writer-locked per-peer state) ------------------------
+// --- The wire ---------------------------------------------------------------
 
-void TcpTransport::register_endpoint(EndpointId id) {
-  std::unique_lock<std::shared_mutex> lk(peers_mu_);
-  peers_[id].registered = true;
-  down_reported_[id] = false;  // a re-registered peer may be reported again
-}
-
-void TcpTransport::unregister_endpoint(EndpointId id) {
-  std::unique_lock<std::shared_mutex> lk(peers_mu_);
-  const auto it = peers_.find(id);
-  if (it != peers_.end()) it->second.registered = false;
-}
-
-bool TcpTransport::is_registered(EndpointId id) const {
-  std::shared_lock<std::shared_mutex> lk(peers_mu_);
-  const auto it = peers_.find(id);
-  return it != peers_.end() && it->second.registered;
-}
-
-// --- Send -------------------------------------------------------------------
-
-void TcpTransport::send(EndpointId from, EndpointId to, std::string kind,
-                        std::size_t payload_bytes, Handler deliver) {
-  if (from == to) {
-    // Local call: no wire traffic, async delivery — the simulator's
-    // contract, preserved so protocol code behaves identically.
-    {
-      std::lock_guard<std::mutex> lk(metrics_mu_);
-      metrics_.count("net.local");
-    }
-    enqueue_ready(std::move(deliver), to, /*counts_delivery=*/false);
-    return;
-  }
-  if (!is_registered(to)) {
-    std::lock_guard<std::mutex> lk(metrics_mu_);
-    metrics_.count("net.dropped");
-    metrics_.count("net.dropped." + kind);
-    metrics_.count("net.dropped.unregistered");
-    return;
-  }
-
-  // Park the delivery handler; the io thread redeems it by message id when
-  // the envelope comes back off the socket.
-  std::uint64_t msg_id;
-  {
-    std::lock_guard<std::mutex> lk(handlers_mu_);
-    msg_id = next_msg_++;
-    parked_.emplace(msg_id, std::make_pair(std::move(deliver), to));
-  }
-  {
-    std::lock_guard<std::mutex> lk(strand_mu_);
-    ++inflight_;
-  }
-  {
-    std::shared_lock<std::shared_mutex> lk(peers_mu_);
-    const auto it = peers_.find(from);
-    if (it != peers_.end())
-      ++const_cast<PeerState&>(it->second).sent;
-  }
-
-  EnvelopeMsg env;
-  const std::optional<MsgKind> known = kind_of(kind);
-  env.inner_kind = known.value_or(MsgKind::kOpaque);
-  if (!known.has_value()) env.label = kind;
-  env.msg_id = msg_id;
-  env.from = from;
-  env.to = to;
-  env.declared_bytes = payload_bytes;
-  env.pad = static_cast<std::uint32_t>(
-      std::min<std::size_t>(payload_bytes, cfg_.max_pad));
-  const std::vector<std::uint8_t> frame =
-      encode_frame(MsgKind::kEnvelope, WireMessage{env});
-
-  {
-    std::lock_guard<std::mutex> lk(metrics_mu_);
-    metrics_.count("net.messages");
-    metrics_.count("net.bytes", payload_bytes);
-    metrics_.count("net.wire_bytes", frame.size());
-    metrics_.count("msg." + kind);
-  }
-
-  const std::size_t lane =
-      round_robin_.fetch_add(1, std::memory_order_relaxed) % out_fds_.size();
-  bool ok;
-  {
+SocketTransport::WireResult TcpTransport::wire_send(
+    const std::vector<std::uint8_t>& frame, const sockaddr_in* remote) {
+  if (stopping()) return WireResult::kConnDead;
+  if (remote == nullptr) {
+    // Self-wire: round-robin over the loopback lanes. Guard the lane math —
+    // a send racing stop() (or a constructor that never built lanes) must
+    // count a loss, not divide by zero.
+    const std::size_t lanes = out_fds_.size();
+    if (lanes == 0) return WireResult::kConnDead;
+    const std::size_t lane =
+        round_robin_.fetch_add(1, std::memory_order_relaxed) % lanes;
     std::lock_guard<std::mutex> lk(out_mu_[lane]);
-    ok = write_all(out_fds_[lane], frame.data(), frame.size());
+    if (out_fds_[lane] < 0) return WireResult::kConnDead;
+    return write_all(out_fds_[lane], frame.data(), frame.size())
+               ? WireResult::kOk
+               : WireResult::kConnDead;
   }
-  if (!ok) {
-    // The connection died under the frame (peer teardown, sever_wire, or
-    // stop() racing a late send): the message is lost, not delivered.
-    // Release the parked handler, attribute the loss (net.dropped.conn),
-    // and report the destination down — connection death is a positive
-    // liveness signal the failure detector can act on immediately.
-    {
-      std::lock_guard<std::mutex> lk(handlers_mu_);
-      parked_.erase(msg_id);
-    }
-    {
-      std::lock_guard<std::mutex> lk(strand_mu_);
-      --inflight_;
-    }
-    idle_cv_.notify_all();
-    {
-      std::lock_guard<std::mutex> mlk(metrics_mu_);
-      metrics_.count("net.lost");
-      metrics_.count("net.lost." + kind);
-      metrics_.count("net.dropped." + kind);
-      metrics_.count("net.dropped.conn");
-    }
-    report_peer_down(to);
+  // Cross-process: one ordered stream per destination address, established
+  // lazily and re-established after failure (a restarted process gets a
+  // fresh connection on the next frame).
+  RemoteConn* rc;
+  {
+    std::lock_guard<std::mutex> lk(remotes_mu_);
+    auto& slot = remotes_[addr_key(*remote)];
+    if (!slot) slot = std::make_unique<RemoteConn>();
+    rc = slot.get();
   }
-  // Observe after the wire has decided the frame's fate, so SendRecord.lost
-  // is truthful — a frame the connection swallowed is never reported
-  // delivered.
-  std::lock_guard<std::mutex> lk(metrics_mu_);
-  if (observer_) {
-    const Time at = now();
-    observer_(kind, SendRecord{at, from, to, payload_bytes, !ok, at});
+  std::lock_guard<std::mutex> lk(rc->mu);
+  if (rc->fd < 0) rc->fd = connect_to(*remote);
+  if (rc->fd < 0) return WireResult::kConnDead;
+  if (!write_all(rc->fd, frame.data(), frame.size())) {
+    close_fd(rc->fd);
+    return WireResult::kConnDead;
   }
+  return WireResult::kOk;
 }
 
-void TcpTransport::report_peer_down(EndpointId to) {
-  {
-    // At most one report per endpoint per registration: many frames can
-    // hit the same dead wire.
-    std::unique_lock<std::shared_mutex> lk(peers_mu_);
-    if (down_reported_[to]) return;
-    down_reported_[to] = true;
+void TcpTransport::sever_wire() {
+  for (std::size_t lane = 0; lane < out_fds_.size(); ++lane) {
+    std::lock_guard<std::mutex> lk(out_mu_[lane]);
+    if (out_fds_[lane] >= 0) ::shutdown(out_fds_[lane], SHUT_RDWR);
   }
-  PeerDownObserver cb;
-  {
-    std::lock_guard<std::mutex> lk(metrics_mu_);
-    cb = peer_down_;
+  std::lock_guard<std::mutex> lk(remotes_mu_);
+  for (auto& [key, rc] : remotes_) {
+    std::lock_guard<std::mutex> clk(rc->mu);
+    if (rc->fd >= 0) ::shutdown(rc->fd, SHUT_RDWR);
   }
-  if (!cb) return;
-  // Marshal onto the dispatch strand: the consumer is protocol code
-  // (FailureDetector) that must only ever run strand-serialized.
-  schedule_in(0, [cb = std::move(cb), to] { cb(to); });
-}
-
-void TcpTransport::enqueue_ready(Handler fn, EndpointId at,
-                                 bool counts_delivery) {
-  {
-    std::lock_guard<std::mutex> lk(strand_mu_);
-    if (stopping_) return;
-    if (!counts_delivery) ++inflight_;  // wire sends already counted
-    ready_.emplace_back(
-        [this, fn = std::move(fn), at, counts_delivery] {
-          if (counts_delivery) {
-            std::lock_guard<std::mutex> lk2(metrics_mu_);
-            metrics_.count("net.delivered");
-          }
-          {
-            std::shared_lock<std::shared_mutex> lk2(peers_mu_);
-            const auto it = peers_.find(at);
-            if (it != peers_.end())
-              ++const_cast<PeerState&>(it->second).delivered;
-          }
-          fn();
-        },
-        at);
-  }
-  strand_cv_.notify_one();
 }
 
 // --- IO thread --------------------------------------------------------------
-
-void TcpTransport::on_envelope(const EnvelopeMsg& env) {
-  Handler h;
-  EndpointId at = 0;
-  {
-    std::lock_guard<std::mutex> lk(handlers_mu_);
-    const auto it = parked_.find(env.msg_id);
-    if (it == parked_.end()) {
-      // Unknown message id: a duplicate or stray frame. Count and drop.
-      std::lock_guard<std::mutex> mlk(metrics_mu_);
-      metrics_.count("net.stray");
-      return;
-    }
-    h = std::move(it->second.first);
-    at = it->second.second;
-    parked_.erase(it);
-  }
-  enqueue_ready(std::move(h), at, /*counts_delivery=*/true);
-}
 
 bool TcpTransport::drain_buffer(std::vector<std::uint8_t>& buf) {
   std::size_t off = 0;
@@ -328,16 +215,14 @@ bool TcpTransport::drain_buffer(std::vector<std::uint8_t>& buf) {
     const std::optional<std::size_t> need =
         frame_size(buf.data() + off, buf.size() - off);
     if (!need.has_value()) {
-      std::lock_guard<std::mutex> lk(metrics_mu_);
-      ++decode_errors_;
+      note_decode_error();
       return false;  // malformed header: drop the connection
     }
     if (*need == 0 || *need > buf.size() - off) break;  // incomplete frame
     const std::optional<DecodedFrame> frame =
         decode_frame(buf.data() + off, *need);
     if (!frame.has_value() || frame->kind != MsgKind::kEnvelope) {
-      std::lock_guard<std::mutex> lk(metrics_mu_);
-      ++decode_errors_;
+      note_decode_error();
       return false;
     }
     on_envelope(std::get<EnvelopeMsg>(frame->msg));
@@ -355,10 +240,8 @@ void TcpTransport::io_loop() {
   std::vector<Conn> conns;
 
   while (true) {
-    {
-      std::lock_guard<std::mutex> lk(strand_mu_);
-      if (stopping_) break;
-    }
+    if (stopping()) break;
+    sweep_parked();
     std::vector<pollfd> fds;
     fds.push_back({listen_fd_, POLLIN, 0});
     fds.push_back({wake_pipe_[0], POLLIN, 0});
@@ -383,8 +266,12 @@ void TcpTransport::io_loop() {
       const ssize_t n = ::recv(c.fd, chunk, sizeof(chunk), 0);
       if (n > 0) {
         c.buf.insert(c.buf.end(), chunk, chunk + n);
-        if (!drain_buffer(c.buf)) c.fd = -1;  // decode error: drop below
+        if (!drain_buffer(c.buf)) {
+          ::close(c.fd);
+          c.fd = -1;  // decode error: drop below
+        }
       } else if (n == 0 || (n < 0 && errno != EINTR)) {
+        ::close(c.fd);
         c.fd = -1;  // closed or errored
       }
     }
@@ -395,132 +282,6 @@ void TcpTransport::io_loop() {
     }
   }
   for (Conn& c : conns) ::close(c.fd);
-}
-
-// --- Dispatch strand --------------------------------------------------------
-
-void TcpTransport::dispatch_loop() {
-  std::unique_lock<std::mutex> lk(strand_mu_);
-  while (true) {
-    if (stopping_) break;
-    const Clock::time_point now_tp = Clock::now();
-
-    if (!ready_.empty()) {
-      auto [fn, at] = std::move(ready_.front());
-      ready_.pop_front();
-      lk.unlock();
-      fn();
-      lk.lock();
-      --inflight_;
-      idle_cv_.notify_all();
-      continue;
-    }
-    if (!schedule_.empty() && schedule_.begin()->first.first <= now_tp) {
-      auto it = schedule_.begin();
-      TimerEntry entry = std::move(it->second);
-      if (entry.id != 0) timer_keys_.erase(entry.id);
-      schedule_.erase(it);
-      lk.unlock();
-      entry.fn();
-      lk.lock();
-      // Plain events count toward idleness until their handler has run.
-      if (entry.id == 0) --pending_events_;
-      idle_cv_.notify_all();
-      continue;
-    }
-    if (!schedule_.empty()) {
-      // Copy the deadline out of the map node: cancel_timer may erase that
-      // node (freeing the key) while this thread is blocked on it.
-      const Clock::time_point deadline = schedule_.begin()->first.first;
-      strand_cv_.wait_until(lk, deadline);
-    } else {
-      strand_cv_.wait(lk);
-    }
-  }
-}
-
-// --- Time and timers --------------------------------------------------------
-
-Time TcpTransport::now() const {
-  const auto elapsed = Clock::now() - start_;
-  return static_cast<Time>(elapsed / cfg_.tick);
-}
-
-void TcpTransport::schedule_in(Time delay, Handler fn) {
-  {
-    std::lock_guard<std::mutex> lk(strand_mu_);
-    if (stopping_) return;
-    const ScheduleKey key{Clock::now() + cfg_.tick * delay, next_seq_++};
-    schedule_.emplace(key, TimerEntry{0, std::move(fn)});
-    ++pending_events_;
-  }
-  strand_cv_.notify_one();
-}
-
-Transport::TimerId TcpTransport::set_timer(Time delay, Handler fn) {
-  TimerId id;
-  {
-    std::lock_guard<std::mutex> lk(strand_mu_);
-    if (stopping_) return 0;
-    id = next_timer_++;
-    const ScheduleKey key{Clock::now() + cfg_.tick * delay, next_seq_++};
-    schedule_.emplace(key, TimerEntry{id, std::move(fn)});
-    timer_keys_.emplace(id, key);
-  }
-  strand_cv_.notify_one();
-  return id;
-}
-
-bool TcpTransport::cancel_timer(TimerId id) {
-  std::lock_guard<std::mutex> lk(strand_mu_);
-  const auto it = timer_keys_.find(id);
-  if (it == timer_keys_.end()) return false;
-  schedule_.erase(it->second);
-  timer_keys_.erase(it);
-  return true;
-}
-
-// --- Accounting / control ---------------------------------------------------
-
-void TcpTransport::set_send_observer(SendObserver fn) {
-  std::lock_guard<std::mutex> lk(metrics_mu_);
-  observer_ = std::move(fn);
-}
-
-void TcpTransport::set_peer_down_observer(PeerDownObserver fn) {
-  std::lock_guard<std::mutex> lk(metrics_mu_);
-  peer_down_ = std::move(fn);
-}
-
-void TcpTransport::sever_wire() {
-  for (std::size_t lane = 0; lane < out_fds_.size(); ++lane) {
-    std::lock_guard<std::mutex> lk(out_mu_[lane]);
-    if (out_fds_[lane] >= 0) ::shutdown(out_fds_[lane], SHUT_RDWR);
-  }
-}
-
-std::size_t TcpTransport::live_timer_count() const {
-  std::lock_guard<std::mutex> lk(strand_mu_);
-  return timer_keys_.size();
-}
-
-bool TcpTransport::drain_and_stop(std::chrono::milliseconds timeout) {
-  const bool idle = wait_idle(timeout);
-  stop();
-  return idle;
-}
-
-bool TcpTransport::wait_idle(std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lk(strand_mu_);
-  return idle_cv_.wait_for(lk, timeout, [this] {
-    return stopping_ ||
-           (inflight_ == 0 && ready_.empty() && pending_events_ == 0);
-  });
-}
-
-std::uint64_t TcpTransport::decode_errors() const {
-  std::lock_guard<std::mutex> lk(metrics_mu_);
-  return decode_errors_;
 }
 
 }  // namespace hkws::net

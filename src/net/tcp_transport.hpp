@@ -1,75 +1,49 @@
-// The real-socket Transport backend: the same protocol state machines that
-// run on the simulator, carried over loopback TCP with real serialization,
-// real syscalls, and real threads.
+// The TCP Transport backend: the same protocol state machines that run on
+// the simulator, carried over loopback TCP with real serialization, real
+// syscalls, and real threads.
 //
 // Architecture (per instance):
 //
 //   caller threads ──send()──► envelope codec ──write──► loopback TCP ─┐
 //                                                                      │
 //   io thread: poll() over the listen socket + accepted connections ◄──┘
-//     reads byte streams, reassembles frames (net/wire.hpp), looks up the
-//     parked delivery handler by message id, enqueues it for dispatch
+//     reads byte streams, reassembles frames (net/wire.hpp), redeems the
+//     parked delivery handler by message id — or, for frames carrying a
+//     payload, decodes the inner message — and enqueues for dispatch
 //
 //   dispatch thread ("the strand"): executes delivered handlers and due
 //     timers one at a time, in arrival/deadline order
 //
-// Every send() serializes a real EnvelopeMsg frame — version byte, kind id,
-// endpoints, declared payload size — plus payload-sized padding (capped by
-// Config::max_pad), so serialization and socket cost track the protocol's
-// byte accounting. The frame crosses a real kernel socket even though
-// sender and receiver share an address space: this backend gives the state
-// machines a real concurrent runtime while the closure-based handler model
-// keeps them unchanged. (Cross-process deployment composes these instances
-// per process and speaks codec frames between processes: see tools/peerd.)
+// Two kinds of traffic share the wire (see net/socket_transport.hpp and
+// docs/PROTOCOL.md "Addressing & delivery"):
+//  * closure sends (send()) park the delivery handler and loop an
+//    addressed envelope through this instance's own listen socket — a real
+//    kernel socket even though sender and receiver share an address space;
+//  * payload sends (send_payload()) to endpoints in the peer-address table
+//    serialize the real message through the wire codec and write it on a
+//    per-address outbound connection to the owning process, whose io
+//    thread decodes and dispatches it on its own strand.
 //
-// Threading contract: protocol state machines are NOT thread-safe — they
-// were written against the simulator's single event loop. The dispatch
-// strand preserves exactly that discipline: all handlers and timers run on
-// one thread, serialized. Code that *initiates* protocol operations from
-// another thread (a test's main thread, peerd's front-end accept loop) must
-// marshal onto the strand with schedule_in(0, ...). The transport's own
-// shared state is what real threads contend on, and it is locked for real:
-// per-peer endpoint state behind a reader-writer lock (sends take the read
-// side, membership changes the write side), the in-flight handler table and
-// metrics behind mutexes.
-//
-// Accounting parity: the same counters as the simulator — net.messages,
-// net.bytes, msg.<kind>, net.local, net.dropped[.kind], net.delivered —
-// and the same per-send observer hook, so obs tracing and per-kind metrics
-// stay truthful on the socket path. Drop causes are attributed:
-// net.dropped.unregistered (absent peer), net.dropped.conn (the wire died
-// under a frame — also counted net.lost, and reported to the observer with
-// SendRecord.lost = true), and net.dropped.fault (injected, by the
-// FaultTransport decorator; this class never counts it itself).
-//
-// Time: now() counts ticks of Config::tick wall-clock duration since
-// construction; set_timer/schedule_in deadlines are wall-clock. The sim
-// backend stays bit-identical because nothing here touches it — determinism
-// on this backend is the protocol's order-independence (visit-order hit
-// assembly), not event-order reproduction.
+// Threading contract, accounting parity, and time semantics are the
+// SocketTransport base contract. This class owns only the sockets: the
+// listen socket + self-wire lanes, lazily-connected per-address remote
+// connections, and the io thread that feeds frames back to the base.
 #pragma once
 
-#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <thread>
-#include <unordered_map>
-#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
-#include "net/transport.hpp"
-#include "net/wire.hpp"
+#include "net/socket_transport.hpp"
 
 namespace hkws::net {
 
-class TcpTransport final : public Transport {
+class TcpTransport final : public SocketTransport {
  public:
   struct Config {
     /// Wall-clock duration of one transport tick. Protocol timeout
@@ -86,6 +60,8 @@ class TcpTransport final : public Transport {
     /// Cap on per-frame padding bytes (real serialization cost tracks the
     /// declared payload size up to this bound).
     std::uint32_t max_pad = 64 * 1024;
+    /// Deadline for parked delivery handlers (see CommonConfig::parked_ttl).
+    std::chrono::milliseconds parked_ttl{3000};
     /// Seed for the backoff jitter RNG (determinism discipline: every
     /// random draw in the runtime is seeded).
     std::uint64_t seed = 1;
@@ -95,114 +71,50 @@ class TcpTransport final : public Transport {
   TcpTransport() : TcpTransport(Config{}) {}
   ~TcpTransport() override;
 
-  TcpTransport(const TcpTransport&) = delete;
-  TcpTransport& operator=(const TcpTransport&) = delete;
-
-  // --- Transport interface ------------------------------------------------
-
-  void register_endpoint(EndpointId id) override;
-  void unregister_endpoint(EndpointId id) override;
-  bool is_registered(EndpointId id) const override;
-
-  void send(EndpointId from, EndpointId to, std::string kind,
-            std::size_t payload_bytes, Handler deliver) override;
-
-  Time now() const override;
-  void schedule_in(Time delay, Handler fn) override;
-  TimerId set_timer(Time delay, Handler fn) override;
-  bool cancel_timer(TimerId id) override;
-
-  sim::Metrics& metrics() override { return metrics_; }
-  const sim::Metrics& metrics() const override { return metrics_; }
-  void set_send_observer(SendObserver fn) override;
-
   // --- Runtime control ----------------------------------------------------
 
   /// The loopback port this instance listens on (ephemeral, bound at
-  /// construction).
+  /// construction). Other processes route payload frames here once it is
+  /// in their peer-address tables.
   std::uint16_t port() const noexcept { return port_; }
 
   const Config& config() const noexcept { return cfg_; }
 
-  /// Blocks until no message is in flight, the dispatch queue is empty, and
-  /// no plain scheduled event (schedule_in) is pending — cancelable timers
-  /// (retransmission guards) do not count. Returns false on timeout.
-  bool wait_idle(std::chrono::milliseconds timeout);
+  void stop() override;
 
-  /// Stops the runtime: closes sockets, joins threads, drops queued work.
-  /// Idempotent; the destructor calls it.
-  void stop();
-
-  /// Graceful shutdown: waits (up to `timeout`) for in-flight messages and
-  /// plain scheduled events to drain, then stops. Returns whether the
-  /// runtime actually went idle before stopping — false means queued work
-  /// was dropped, exactly what stop() alone always does. peerd's SIGTERM
-  /// path: stop initiating work, then drain_and_stop().
-  bool drain_and_stop(std::chrono::milliseconds timeout);
-
-  /// Peer-down hook: invoked on the dispatch strand when the transport
-  /// positively observes a destination's connection die under a frame (a
-  /// wire write fails). Fires at most once per endpoint between
-  /// registrations. This is the fast-path liveness signal the maintenance
-  /// plane's FailureDetector consumes instead of waiting out heartbeat
-  /// misses. Install before traffic starts; nullptr removes.
-  using PeerDownObserver = std::function<void(EndpointId)>;
-  void set_peer_down_observer(PeerDownObserver fn);
-
-  /// Test/fault hook: shuts down every outbound wire connection, so each
-  /// subsequent wire send fails deterministically (and is accounted
-  /// net.dropped.conn, SendRecord.lost = true). Frames already written
-  /// still drain to the reader — the cut is clean at a frame boundary,
-  /// never mid-frame.
+  /// Test/fault hook: shuts down every outbound wire connection (self-wire
+  /// lanes and remote connections), so each subsequent wire send fails
+  /// deterministically (and is accounted net.dropped.conn,
+  /// SendRecord.lost = true). Frames already written still drain to the
+  /// reader — the cut is clean at a frame boundary, never mid-frame.
   void sever_wire();
 
-  /// Cancelable timers currently pending (the torture harness's timer
-  /// invariant reads this; parity with sim::EventQueue::live_timer_count).
-  std::size_t live_timer_count() const;
-
-  /// Wire frames that failed envelope decode (0 in a healthy runtime; the
-  /// connection that produced one is dropped).
-  std::uint64_t decode_errors() const;
-
  private:
-  using Clock = std::chrono::steady_clock;
-
-  /// Schedule key: (deadline, insertion seq) — FIFO among equal deadlines,
-  /// the simulator's tie-break discipline.
-  using ScheduleKey = std::pair<Clock::time_point, std::uint64_t>;
-
-  struct TimerEntry {
-    TimerId id = 0;  ///< 0 = plain event (schedule_in, not cancelable)
-    Handler fn;
-  };
-
-  /// Per-peer node state (reader-writer locked: see peers_mu_).
-  struct PeerState {
-    bool registered = false;
-    std::uint64_t sent = 0;       ///< wire messages originated by this peer
-    std::uint64_t delivered = 0;  ///< handlers executed at this peer
-  };
+  WireResult wire_send(const std::vector<std::uint8_t>& frame,
+                       const sockaddr_in* remote) override;
 
   void io_loop();
-  void dispatch_loop();
-  /// Fires the peer-down observer for `to` (once per registration),
-  /// marshaled onto the dispatch strand.
-  void report_peer_down(EndpointId to);
   /// Parses complete frames out of a connection's read buffer; returns
   /// false when the connection must be dropped (decode error).
   bool drain_buffer(std::vector<std::uint8_t>& buf);
-  void on_envelope(const EnvelopeMsg& env);
-  void enqueue_ready(Handler fn, EndpointId at, bool counts_delivery);
   int connect_loopback();
+  int connect_to(const sockaddr_in& addr);
   void close_fd(int& fd);
 
-  Config cfg_;
-  Clock::time_point start_;
+  /// One lazily-established outbound connection to a remote process.
+  /// A single ordered stream per address: frames to the same process
+  /// arrive FIFO (publish-before-query ordering for the split overlay).
+  struct RemoteConn {
+    int fd = -1;
+    std::mutex mu;
+  };
 
-  // Sockets. listen_fd_ accepts; out_fds_ are the client ends sends write
-  // to (each guarded by its own write mutex so concurrent senders can use
-  // distinct streams in parallel); accepted connections live in the io
-  // thread only.
+  Config cfg_;
+
+  // Sockets. listen_fd_ accepts; out_fds_ are the self-wire client ends
+  // sends write to (each guarded by its own write mutex so concurrent
+  // senders can use distinct streams in parallel); accepted connections
+  // live in the io thread only.
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  ///< unblocks the io thread's poll on stop
   std::uint16_t port_ = 0;
@@ -210,45 +122,14 @@ class TcpTransport final : public Transport {
   std::unique_ptr<std::mutex[]> out_mu_;
   std::atomic<std::uint64_t> round_robin_{0};
 
-  // Per-peer endpoint state: reader-writer lock, sends read, membership
-  // writes.
-  mutable std::shared_mutex peers_mu_;
-  std::unordered_map<EndpointId, PeerState> peers_;
+  // Outbound connections to other processes, keyed by (ip, port).
+  std::mutex remotes_mu_;
+  std::map<std::uint64_t, std::unique_ptr<RemoteConn>> remotes_;
 
-  // Parked delivery handlers keyed by envelope message id.
-  std::mutex handlers_mu_;
-  std::unordered_map<std::uint64_t, std::pair<Handler, EndpointId>> parked_;
-  std::uint64_t next_msg_ = 1;
-
-  // Dispatch strand state.
-  mutable std::mutex strand_mu_;
-  std::condition_variable strand_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::pair<Handler, EndpointId>> ready_;  ///< delivered, FIFO
-  std::map<ScheduleKey, TimerEntry> schedule_;  ///< timers + plain events
-  std::unordered_map<TimerId, ScheduleKey> timer_keys_;  ///< cancel index
-  std::uint64_t pending_events_ = 0;  ///< schedule_ entries with id == 0
-  std::uint64_t next_timer_ = 1;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t inflight_ = 0;  ///< sent-not-yet-executed messages
-  bool stopping_ = false;
-
-  // Accounting (metrics_mu_ also serializes the observer, matching the
-  // sim's synchronous-from-send() contract).
-  mutable std::mutex metrics_mu_;
-  sim::Metrics metrics_;
-  SendObserver observer_;
-  PeerDownObserver peer_down_;
-  std::uint64_t decode_errors_ = 0;
-
-  // Endpoints already reported down (avoids a storm of peer-down callbacks
-  // when many frames hit the same dead connection). Guarded by peers_mu_.
-  std::unordered_map<EndpointId, bool> down_reported_;
-
+  std::mutex rng_mu_;  ///< connect_to runs on concurrent sender threads
   Rng backoff_rng_;
 
   std::thread io_thread_;
-  std::thread dispatch_thread_;
 };
 
 }  // namespace hkws::net

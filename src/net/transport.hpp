@@ -14,7 +14,7 @@
 //    per-send observer for the tracing subsystem, so per-kind counters and
 //    hop traces stay truthful whichever backend carries the traffic.
 //
-// Two implementations ship today:
+// Three implementations ship today:
 //  * sim::Network — the deterministic discrete-event simulator (see
 //    src/sim/network.hpp). It *is* the SimTransport: the event queue
 //    supplies virtual time, latency/drop/fault models shape the fabric, and
@@ -22,6 +22,12 @@
 //  * net::TcpTransport — the real runtime (see src/net/tcp_transport.hpp):
 //    loopback TCP sockets, an I/O thread pool, wall-clock timers, and the
 //    binary envelope codec of src/net/wire.hpp on every wire message.
+//  * net::UdpTransport — the lossy datagram runtime (see
+//    src/net/udp_transport.hpp): one socket per process, every envelope a
+//    datagram, with a seeded drop model standing in for real packet loss.
+// The TCP/UDP backends share net::SocketTransport (strand, timers, parked
+// handlers, peer-address routing); both deliver cross-process payload
+// messages to other processes listed in the peer-address table.
 //
 // Contract notes shared by all implementations (inherited from the
 // simulator's semantics, which the protocol layers were written against):
@@ -47,6 +53,7 @@
 #include <functional>
 #include <string>
 
+#include "net/wire.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 
@@ -71,6 +78,14 @@ struct SendRecord {
   std::size_t bytes = 0;
   bool lost = false;   ///< dropped by a drop or fault model
   Time deliver_at = 0; ///< arrival time (== at when lost)
+};
+
+/// Where a remote endpoint's owning process listens. Socket backends route
+/// sends to endpoints with a registered address across process boundaries;
+/// everything else stays in-process.
+struct PeerAddr {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
 };
 
 class Transport {
@@ -104,6 +119,60 @@ class Transport {
   virtual void send(EndpointId from, EndpointId to, std::string kind,
                     std::size_t payload_bytes, Handler deliver) = 0;
 
+  // --- Cross-process addressing & payload delivery ------------------------
+  //
+  // send() carries a closure, which cannot cross a process boundary. The
+  // payload path carries the message itself: a wire-codec frame addressed
+  // (from, to) that the destination process decodes and hands to its
+  // payload handler on the dispatch strand. Backends without cross-process
+  // support (the simulator) loop the encoded frame back through send(), so
+  // the codec is exercised and accounting is identical either way.
+
+  /// Delivery hook for payload messages. Runs on the dispatch strand (or
+  /// the sim event loop), one at a time, like send() handlers.
+  using PayloadHandler = std::function<void(
+      EndpointId from, EndpointId to, MsgKind kind, const WireMessage& msg)>;
+
+  /// Declares that `id` lives in the process listening at `addr`. Sends to
+  /// `id` are then serialized and routed there instead of delivered
+  /// in-process. Returns false if the backend cannot route cross-process
+  /// (the simulator, decorators over it).
+  virtual bool set_peer_address(EndpointId id, const PeerAddr& addr) {
+    (void)id;
+    (void)addr;
+    return false;
+  }
+
+  /// True if `id` has a peer address (lives in another process).
+  virtual bool has_peer_address(EndpointId id) const {
+    (void)id;
+    return false;
+  }
+
+  /// Installs the handler payload messages are dispatched to. Install it
+  /// before traffic starts; one handler per transport.
+  virtual void set_payload_handler(PayloadHandler fn) {
+    payload_handler_ = std::move(fn);
+  }
+
+  /// Sends `msg` (layout must match `kind`) from `from` to `to` through the
+  /// wire codec. Local and sim deliveries decode the frame back and invoke
+  /// the payload handler; remote deliveries ship it to the owning process.
+  /// Accounting matches send(): same counters, same conservation identity.
+  virtual void send_payload(EndpointId from, EndpointId to, MsgKind kind,
+                            const WireMessage& msg) {
+    std::vector<std::uint8_t> frame = encode_frame(kind, msg);
+    if (frame.empty()) return;  // layout mismatch: programming error upstream
+    const std::size_t bytes = frame.size();
+    send(from, to, kind_name(kind), bytes,
+         [this, from, to, frame = std::move(frame)]() {
+           if (!payload_handler_) return;
+           std::optional<DecodedFrame> d =
+               decode_frame(frame.data(), frame.size());
+           if (d.has_value()) payload_handler_(from, to, d->kind, d->msg);
+         });
+  }
+
   // --- Time and timers ----------------------------------------------------
 
   /// Current transport time in ticks.
@@ -128,6 +197,10 @@ class Transport {
   /// hook (see src/obs). Invoked synchronously from send(); keep it cheap.
   /// The observer must outlive the transport or be removed first.
   virtual void set_send_observer(SendObserver fn) = 0;
+
+ protected:
+  /// Installed by set_payload_handler(); read by delivery paths.
+  PayloadHandler payload_handler_;
 };
 
 }  // namespace hkws::net

@@ -35,6 +35,10 @@ class Writer {
     u32(static_cast<std::uint32_t>(v.size()));
     for (std::uint64_t x : v) u64(x);
   }
+  void bytes(const std::vector<std::uint8_t>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    out_.insert(out_.end(), v.begin(), v.end());
+  }
   std::vector<std::uint8_t> take() { return std::move(out_); }
 
  private:
@@ -107,6 +111,16 @@ class Reader {
     for (std::uint32_t i = 0; i < n && ok(); ++i) v.push_back(u64());
     return v;
   }
+  std::vector<std::uint8_t> bytes() {
+    const std::uint32_t n = u32();
+    if (n > kMaxBody || !need(n)) {
+      fail();
+      return {};
+    }
+    std::vector<std::uint8_t> v(p_, p_ + n);
+    p_ += n;
+    return v;
+  }
   void skip(std::size_t n) {
     if (need(n)) p_ += n;
   }
@@ -177,6 +191,8 @@ void put(Writer& w, const HoldersMsg& m) {
 void put(Writer& w, const EntryMsg& m) {
   w.u64(m.object);
   w.strings(m.keywords);
+  w.u64(m.request);
+  w.u64(m.publisher);
 }
 void put(Writer& w, const PinMsg& m) {
   w.u64(m.request);
@@ -205,6 +221,16 @@ void put(Writer& w, const ControlMsg& m) {
 void put(Writer& w, const DoneMsg& m) {
   w.u64(m.request);
   w.u64(m.results_expected);
+}
+void put(Writer& w, const SearchReplyMsg& m) {
+  w.u64(m.request);
+  w.u64(m.nodes_contacted);
+  w.u64(m.messages);
+  w.u64(m.rounds);
+  w.u64(m.retransmits);
+  w.u8(m.complete ? 1 : 0);
+  w.u8(m.failed ? 1 : 0);
+  put_hits(w, m.hits);
 }
 void put(Writer& w, const VisitBatchMsg& m) {
   w.u64(m.request);
@@ -263,6 +289,7 @@ void put(Writer& w, const EnvelopeMsg& m) {
   w.u64(m.from);
   w.u64(m.to);
   w.u64(m.declared_bytes);
+  w.bytes(m.payload);
   w.u32(m.pad);
   for (std::uint32_t i = 0; i < m.pad; ++i) w.u8(0);
 }
@@ -304,6 +331,8 @@ std::optional<WireMessage> decode_body(MsgKind kind, Reader& r) {
       EntryMsg m;
       m.object = r.u64();
       m.keywords = r.strings();
+      m.request = r.u64();
+      m.publisher = r.u64();
       return finish(r, m);
     }
     case MsgKind::kKwsPin:
@@ -354,6 +383,18 @@ std::optional<WireMessage> decode_body(MsgKind kind, Reader& r) {
       DoneMsg m;
       m.request = r.u64();
       m.results_expected = r.u64();
+      return finish(r, m);
+    }
+    case MsgKind::kKwsSReply: {
+      SearchReplyMsg m;
+      m.request = r.u64();
+      m.nodes_contacted = r.u64();
+      m.messages = r.u64();
+      m.rounds = r.u64();
+      m.retransmits = r.u64();
+      m.complete = r.u8() != 0;
+      m.failed = r.u8() != 0;
+      m.hits = get_hits(r);
       return finish(r, m);
     }
     case MsgKind::kKwsVisitBatch: {
@@ -444,6 +485,7 @@ std::optional<WireMessage> decode_body(MsgKind kind, Reader& r) {
       m.from = r.u64();
       m.to = r.u64();
       m.declared_bytes = r.u64();
+      m.payload = r.bytes();
       m.pad = r.u32();
       if (m.pad > r.remaining()) return std::nullopt;
       r.skip(m.pad);
@@ -482,6 +524,7 @@ const KindEntry kKinds[] = {
     {MsgKind::kKwsTStop, "kws.t_stop", layout_of<ControlMsg>()},
     {MsgKind::kKwsResults, "kws.results", layout_of<HitsMsg>()},
     {MsgKind::kKwsDone, "kws.done", layout_of<DoneMsg>()},
+    {MsgKind::kKwsSReply, "kws.s_reply", layout_of<SearchReplyMsg>()},
     {MsgKind::kKwsVisitBatch, "kws.visit_batch", layout_of<VisitBatchMsg>()},
     {MsgKind::kKwsBatchResults, "kws.batch_results",
      layout_of<BatchResultsMsg>()},

@@ -72,6 +72,7 @@ enum class MsgKind : std::uint16_t {
   kKwsTStop = 34,
   kKwsResults = 35,
   kKwsDone = 36,
+  kKwsSReply = 37,
 
   // Co-host visit coalescing (level-parallel fast path).
   kKwsVisitBatch = 40,
@@ -155,10 +156,14 @@ struct HoldersMsg {
 };
 
 /// kws.insert / kws.delete / hc.insert / hc.delete: one index entry
-/// <keywords, object>.
+/// <keywords, object>. `request`/`publisher` are 0 for fire-and-forget
+/// inserts; a guarded publish (PeerSlice over a lossy wire) sets both so
+/// the owner can acknowledge with kws.done back to the publisher.
 struct EntryMsg {
   std::uint64_t object = 0;
   std::vector<std::string> keywords;
+  std::uint64_t request = 0;    ///< publish-ack correlation id (0 = no ack)
+  std::uint64_t publisher = 0;  ///< endpoint the ack goes to
   bool operator==(const EntryMsg&) const = default;
 };
 
@@ -208,6 +213,24 @@ struct DoneMsg {
   std::uint64_t request = 0;
   std::uint64_t results_expected = 0;
   bool operator==(const DoneMsg&) const = default;
+};
+
+/// kws.s_reply: a split-overlay search completion, coordinator -> searcher.
+/// Carries the assembled deterministic hit sequence (concatenated in visit
+/// order at the coordinator, so it is byte-identical to the LogicalIndex
+/// traversal regardless of message arrival order) plus the paper-unit cost
+/// accounting of the traversal. Acknowledged by the searcher with kws.done
+/// so the coordinator can retire its state under loss.
+struct SearchReplyMsg {
+  std::uint64_t request = 0;
+  std::uint64_t nodes_contacted = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t retransmits = 0;
+  bool complete = false;
+  bool failed = false;  ///< a protocol step exhausted its retry budget
+  std::vector<WireHit> hits;
+  bool operator==(const SearchReplyMsg&) const = default;
 };
 
 /// kws.visit_batch: visit these co-hosted cube nodes (one wire message
@@ -292,12 +315,22 @@ struct FeReplyMsg {
   bool operator==(const FeReplyMsg&) const = default;
 };
 
-/// net.envelope: the TcpTransport frame wrapped around every in-flight
+/// net.envelope: the socket-transport frame wrapped around every in-flight
 /// protocol message. `inner_kind`/`label` identify the protocol kind for
 /// accounting; `declared_bytes` is the protocol-level payload size (the
-/// byte accounting of the cost model); `pad` bytes of that size (capped by
-/// the transport) follow the fields in the body, so serialization cost on
-/// the socket tracks the modeled message size.
+/// byte accounting of the cost model).
+///
+/// Two delivery modes share this frame (docs/PROTOCOL.md "Addressing &
+/// delivery"):
+///  * `payload` empty — legacy parked-handler mode: the envelope is an
+///    addressed receipt; the delivery closure waits at the sender and is
+///    redeemed by `msg_id` when the envelope returns off the socket. `pad`
+///    zero bytes (capped by the transport) follow the fields so
+///    serialization cost tracks the modeled message size.
+///  * `payload` non-empty — cross-process mode: the bytes are a complete
+///    encoded inner frame (header + body of `inner_kind`), decoded and
+///    dispatched to the destination process's payload handler. No handler
+///    is parked; `pad` is 0 (the payload itself is the serialization cost).
 struct EnvelopeMsg {
   MsgKind inner_kind = MsgKind::kOpaque;
   std::string label;  ///< set when inner_kind == kOpaque
@@ -305,15 +338,16 @@ struct EnvelopeMsg {
   std::uint64_t from = 0;
   std::uint64_t to = 0;
   std::uint64_t declared_bytes = 0;
+  std::vector<std::uint8_t> payload;  ///< encoded inner frame ("" = parked)
   std::uint32_t pad = 0;  ///< padding bytes appended to the body
   bool operator==(const EnvelopeMsg&) const = default;
 };
 
 using WireMessage =
     std::variant<RefMsg, ReadMsg, HoldersMsg, EntryMsg, PinMsg, HitsMsg,
-                 QueryMsg, ControlMsg, DoneMsg, VisitBatchMsg, BatchResultsMsg,
-                 BatchReplyMsg, COpenMsg, CNextMsg, JoinMsg, FixFingerMsg,
-                 FeQueryMsg, FeReplyMsg, EnvelopeMsg>;
+                 QueryMsg, ControlMsg, DoneMsg, SearchReplyMsg, VisitBatchMsg,
+                 BatchResultsMsg, BatchReplyMsg, COpenMsg, CNextMsg, JoinMsg,
+                 FixFingerMsg, FeQueryMsg, FeReplyMsg, EnvelopeMsg>;
 
 // --- Encode / decode --------------------------------------------------------
 

@@ -31,6 +31,7 @@
 #include "maint/maintenance.hpp"
 #include "net/fault_transport.hpp"
 #include "net/tcp_transport.hpp"
+#include "net/udp_transport.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
@@ -75,26 +76,27 @@ struct Oracle {
 ///           thin alias for the exact calls the engine made before the TCP
 ///           backend existed (post_sync is a plain direct call, step() is
 ///           clock->step(), ...), so simulator runs stay bit-identical.
-///  * tcp  — `tcp` set: the real runtime. Protocol state machines are
-///           strand-confined, so anything that touches them (op initiation,
-///           registry/occupancy reads, plane control) is marshaled onto the
-///           dispatch strand via post_sync; "pumping" is wall-clock sleep in
-///           transport ticks; draining is wait_idle.
+///  * socket — `sock` set: the real runtime (TCP streams or UDP
+///           datagrams, both net::SocketTransport). Protocol state machines
+///           are strand-confined, so anything that touches them (op
+///           initiation, registry/occupancy reads, plane control) is
+///           marshaled onto the dispatch strand via post_sync; "pumping" is
+///           wall-clock sleep in transport ticks; draining is wait_idle.
 ///  * in-process — neither set: synchronous deployments; async methods are
 ///           no-ops.
 ///
-/// Thread-safety protocol for tcp mode, relied on throughout execute():
+/// Thread-safety protocol for socket mode, relied on throughout execute():
 /// completion callbacks run on the strand and write into the report; the
 /// main thread reads the report only after observing the (atomic)
 /// outstanding-operation count hit zero, and every callback decrements the
 /// count *after* its report writes — the release/acquire pair that makes
 /// those writes visible. post_sync is the fence for everything else.
 struct Runtime {
-  sim::EventQueue* clock = nullptr;  ///< sim mode
-  net::TcpTransport* tcp = nullptr;  ///< tcp mode
+  sim::EventQueue* clock = nullptr;     ///< sim mode
+  net::SocketTransport* sock = nullptr; ///< socket mode (tcp or udp)
   /// Wire-accounting source (the conservation counters); null in-process.
   net::Transport* transport = nullptr;
-  /// The tcp dispatch strand's thread id (post_sync re-entrancy guard),
+  /// The dispatch strand's thread id (post_sync re-entrancy guard),
   /// captured by capture_strand().
   std::thread::id strand{};
   /// Set once the transport has been stopped (hang bail-out): the strand is
@@ -102,21 +104,21 @@ struct Runtime {
   bool halted = false;
 
   bool is_sim() const { return clock != nullptr; }
-  bool is_tcp() const { return tcp != nullptr; }
-  bool has_async() const { return is_sim() || is_tcp(); }
+  bool is_socket() const { return sock != nullptr; }
+  bool has_async() const { return is_sim() || is_socket(); }
 
   sim::Time now() const {
     if (clock != nullptr) return clock->now();
-    if (tcp != nullptr) return tcp->now();
+    if (sock != nullptr) return sock->now();
     return 0;
   }
 
   /// Runs `fn` serialized with protocol handlers and waits for completion.
   /// Sim/in-process: a direct call (the event loop never runs concurrently
-  /// with the engine). Tcp: marshaled onto the dispatch strand; re-entrant
-  /// when already on it.
+  /// with the engine). Socket: marshaled onto the dispatch strand;
+  /// re-entrant when already on it.
   void post_sync(const std::function<void()>& fn) {
-    if (tcp == nullptr || halted ||
+    if (sock == nullptr || halted ||
         std::this_thread::get_id() == strand) {
       fn();
       return;
@@ -124,7 +126,7 @@ struct Runtime {
     std::mutex mu;
     std::condition_variable cv;
     bool done = false;
-    tcp->schedule_in(0, [&] {
+    sock->schedule_in(0, [&] {
       fn();
       std::lock_guard<std::mutex> lk(mu);
       done = true;
@@ -134,71 +136,73 @@ struct Runtime {
     cv.wait(lk, [&] { return done; });
   }
 
-  /// Learns the dispatch strand's thread id (tcp mode; call before traffic).
+  /// Learns the dispatch strand's thread id (socket mode; call before
+  /// traffic).
   void capture_strand() {
-    if (tcp == nullptr) return;
+    if (sock == nullptr) return;
     std::thread::id id{};
     post_sync([&id] { id = std::this_thread::get_id(); });
     strand = id;
   }
 
-  /// Happens-before barrier with the strand (no-op off tcp).
+  /// Happens-before barrier with the strand (no-op off socket mode).
   void fence() {
-    if (tcp != nullptr) post_sync([] {});
+    if (sock != nullptr) post_sync([] {});
   }
 
   /// One pump unit: one sim event, or one wall-clock transport tick.
   /// Returns false when a sim queue is exhausted.
   bool step() {
     if (clock != nullptr) return clock->step();
-    if (tcp != nullptr && !halted) {
-      std::this_thread::sleep_for(tcp->config().tick);
+    if (sock != nullptr && !halted) {
+      std::this_thread::sleep_for(sock->tick());
       return true;
     }
     return false;
   }
 
-  /// Advances `ticks` of transport time (sim: run_until; tcp: wall sleep).
+  /// Advances `ticks` of transport time (sim: run_until; sockets: wall
+  /// sleep).
   void run_window(sim::Time ticks) {
     if (clock != nullptr) {
       clock->run_until(clock->now() + ticks);
-    } else if (tcp != nullptr && !halted) {
-      std::this_thread::sleep_for(tcp->config().tick * ticks);
+    } else if (sock != nullptr && !halted) {
+      std::this_thread::sleep_for(sock->tick() * ticks);
     }
   }
 
   /// Bounded drain: lets a burst land without requiring full quiescence
   /// (the maintenance plane's perpetual timers never let the wire go idle
-  /// for long). Sim: run a `ticks` window. Tcp: wait for idle up to the
-  /// wall-clock equivalent, settling for whatever landed.
+  /// for long). Sim: run a `ticks` window. Sockets: wait for idle up to
+  /// the wall-clock equivalent, settling for whatever landed.
   void drain_window(sim::Time ticks) {
     if (clock != nullptr) {
       clock->run_until(clock->now() + ticks);
-    } else if (tcp != nullptr && !halted) {
-      tcp->wait_idle(std::chrono::duration_cast<std::chrono::milliseconds>(
-                         tcp->config().tick * ticks) +
-                     std::chrono::milliseconds(1));
+    } else if (sock != nullptr && !halted) {
+      sock->wait_idle(std::chrono::duration_cast<std::chrono::milliseconds>(
+                          sock->tick() * ticks) +
+                      std::chrono::milliseconds(1));
     }
   }
 
-  /// Full drain to a quiet wire. Sim: run the queue dry. Tcp: wait_idle
-  /// with a generous bound (in-flight frames, queued handlers and plain
-  /// scheduled events — including FaultTransport's delayed redeliveries —
-  /// all count toward idleness; cancelable timers do not).
+  /// Full drain to a quiet wire. Sim: run the queue dry. Sockets:
+  /// wait_idle with a generous bound (in-flight frames, queued handlers and
+  /// plain scheduled events — including FaultTransport's delayed
+  /// redeliveries — all count toward idleness; cancelable timers do not).
   void drain_full() {
     if (clock != nullptr) {
       clock->run();
-    } else if (tcp != nullptr && !halted) {
-      tcp->wait_idle(std::chrono::seconds(30));
+    } else if (sock != nullptr && !halted) {
+      sock->wait_idle(std::chrono::seconds(30));
     }
   }
 
-  /// Stops the tcp runtime in place (hang bail-out: outstanding callbacks
-  /// reference engine stack frames, so the strand must die before the
-  /// engine returns). No-op off tcp.
+  /// Stops the socket runtime in place (hang bail-out: outstanding
+  /// callbacks reference engine stack frames, so the strand must die before
+  /// the engine returns). No-op off socket mode.
   void halt() {
-    if (tcp != nullptr && !halted) {
-      tcp->stop();
+    if (sock != nullptr && !halted) {
+      sock->stop();
       halted = true;
     }
   }
@@ -206,7 +210,7 @@ struct Runtime {
   /// Live cancelable timers (the timer-leak invariant's left-hand side).
   std::size_t live_timer_count() const {
     if (clock != nullptr) return clock->live_timer_count();
-    if (tcp != nullptr) return tcp->live_timer_count();
+    if (sock != nullptr) return sock->live_timer_count();
     return 0;
   }
 
@@ -677,7 +681,7 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
       // flight — so quiesce the wire first and take the readings in one
       // strand-serialized block (a consistent snapshot: timers are only
       // armed and cancelled on the strand).
-      if (rt.is_tcp()) rt.drain_full();
+      if (rt.is_socket()) rt.drain_full();
       rt.post_sync([&] {
         const std::size_t allowed =
             ops.plane != nullptr ? ops.plane->armed_timers() : 0;
@@ -762,7 +766,7 @@ void execute(const ScenarioConfig& cfg, Ops& ops, ScenarioReport& rep,
           // Silence the straggler before writing the report from this
           // thread (a true cancel guarantees the callback never runs; a
           // failed one means it already did).
-          if (rt.is_tcp() && ops.cancel != nullptr) ops.cancel(handle);
+          if (rt.is_socket() && ops.cancel != nullptr) ops.cancel(handle);
           rep.violations.push_back(
               {"convergence", "post-churn verification search never "
                               "completed; " + describe_query(q, 0)});
@@ -988,27 +992,39 @@ void run_hypercup(const ScenarioConfig& cfg, const FaultPlan& plan,
   rep.faults_applied = inj->applied();
 }
 
+/// Builds the socket substrate for a non-sim backend: TCP streams or UDP
+/// datagrams (one envelope frame per datagram), seeded from the scenario.
+std::unique_ptr<net::SocketTransport> make_socket(const ScenarioConfig& cfg) {
+  if (cfg.backend == Backend::kUdp) {
+    net::UdpTransport::Config uc;
+    uc.seed = mix64(cfg.seed ^ kNetSalt);
+    return std::make_unique<net::UdpTransport>(uc);
+  }
+  net::TcpTransport::Config tc;
+  tc.seed = mix64(cfg.seed ^ kNetSalt);
+  return std::make_unique<net::TcpTransport>(tc);
+}
+
 /// Shared driver for OverlayIndex over either DHT. `chord` is non-null for
 /// the Chord deployment (whose stabilize recipe enables churn).
 void run_overlay(const ScenarioConfig& cfg, const FaultPlan& plan,
                  ScenarioReport& rep, obs::Tracer* tracer) {
-  const bool tcp_mode = cfg.backend == Backend::kTcp;
+  const bool sock_mode = cfg.backend != Backend::kSim;
   sim::EventQueue clock;
   auto injector = std::make_unique<FaultInjector>(plan);
   FaultInjector* inj = injector.get();
 
-  // Substrate: the sim fabric, or a real TcpTransport wrapped in the
-  // FaultTransport decorator so the same plan injects below the protocol.
+  // Substrate: the sim fabric, or a real SocketTransport (TCP or UDP)
+  // wrapped in the FaultTransport decorator so the same plan injects below
+  // the protocol.
   std::unique_ptr<sim::Network> simnet;
-  std::unique_ptr<net::TcpTransport> tcp;
+  std::unique_ptr<net::SocketTransport> sock;
   std::unique_ptr<net::FaultTransport> faulted;
   net::Transport* transport = nullptr;
-  if (tcp_mode) {
-    net::TcpTransport::Config tc;
-    tc.seed = mix64(cfg.seed ^ kNetSalt);
-    tcp = std::make_unique<net::TcpTransport>(tc);
+  if (sock_mode) {
+    sock = make_socket(cfg);
     faulted = std::make_unique<net::FaultTransport>(
-        *tcp, std::move(injector), mix64(cfg.seed ^ kNetSalt ^ 2));
+        *sock, std::move(injector), mix64(cfg.seed ^ kNetSalt ^ 2));
     transport = faulted.get();
   } else {
     simnet = std::make_unique<sim::Network>(
@@ -1018,8 +1034,8 @@ void run_overlay(const ScenarioConfig& cfg, const FaultPlan& plan,
   }
 
   Runtime rt;
-  rt.clock = tcp_mode ? nullptr : &clock;
-  rt.tcp = tcp.get();
+  rt.clock = sock_mode ? nullptr : &clock;
+  rt.sock = sock.get();
   rt.transport = transport;
   rt.capture_strand();
 
@@ -1063,7 +1079,7 @@ void run_overlay(const ScenarioConfig& cfg, const FaultPlan& plan,
   // Faults start only now: overlay construction traffic stays pristine.
   // (Same discipline on both substrates — the sim installs the model, the
   // decorator arms; either way wire numbering starts at the next message.)
-  if (tcp_mode)
+  if (sock_mode)
     faulted->arm();
   else
     simnet->set_fault_model(std::move(injector));
@@ -1284,21 +1300,19 @@ void run_overlay(const ScenarioConfig& cfg, const FaultPlan& plan,
 
 void run_mirrored(const ScenarioConfig& cfg, const FaultPlan& plan,
                   ScenarioReport& rep, obs::Tracer* tracer) {
-  const bool tcp_mode = cfg.backend == Backend::kTcp;
+  const bool sock_mode = cfg.backend != Backend::kSim;
   sim::EventQueue clock;
   auto injector = std::make_unique<FaultInjector>(plan);
   FaultInjector* inj = injector.get();
 
   std::unique_ptr<sim::Network> simnet;
-  std::unique_ptr<net::TcpTransport> tcp;
+  std::unique_ptr<net::SocketTransport> sock;
   std::unique_ptr<net::FaultTransport> faulted;
   net::Transport* transport = nullptr;
-  if (tcp_mode) {
-    net::TcpTransport::Config tc;
-    tc.seed = mix64(cfg.seed ^ kNetSalt);
-    tcp = std::make_unique<net::TcpTransport>(tc);
+  if (sock_mode) {
+    sock = make_socket(cfg);
     faulted = std::make_unique<net::FaultTransport>(
-        *tcp, std::move(injector), mix64(cfg.seed ^ kNetSalt ^ 2));
+        *sock, std::move(injector), mix64(cfg.seed ^ kNetSalt ^ 2));
     transport = faulted.get();
   } else {
     simnet = std::make_unique<sim::Network>(
@@ -1308,8 +1322,8 @@ void run_mirrored(const ScenarioConfig& cfg, const FaultPlan& plan,
   }
 
   Runtime rt;
-  rt.clock = tcp_mode ? nullptr : &clock;
-  rt.tcp = tcp.get();
+  rt.clock = sock_mode ? nullptr : &clock;
+  rt.sock = sock.get();
   rt.transport = transport;
   rt.capture_strand();
 
@@ -1328,7 +1342,7 @@ void run_mirrored(const ScenarioConfig& cfg, const FaultPlan& plan,
              .backoff_cap = 640,
              .backoff_jitter = 40,
              .backoff_seed = mix64(cfg.seed ^ kNetSalt ^ 3)});
-  if (tcp_mode)
+  if (sock_mode)
     faulted->arm();
   else
     simnet->set_fault_model(std::move(injector));
@@ -1369,9 +1383,9 @@ void run_mirrored(const ScenarioConfig& cfg, const FaultPlan& plan,
     // Real-runtime composition: connection-death reports from the socket
     // layer feed the failure detector's fast path (the observer already
     // runs on the dispatch strand, the detector's serialization domain).
-    if (tcp != nullptr) {
+    if (sock != nullptr) {
       maint::MaintenancePlane* p = plane.get();
-      tcp->set_peer_down_observer(
+      sock->set_peer_down_observer(
           [p](sim::EndpointId ep) { p->detector().note_transport_down(ep); });
     }
   }
@@ -1478,7 +1492,7 @@ void run_mirrored(const ScenarioConfig& cfg, const FaultPlan& plan,
   });
   // The observer closes over the plane, which is destroyed before the
   // transport: detach it before teardown.
-  if (tcp != nullptr) tcp->set_peer_down_observer(nullptr);
+  if (sock != nullptr) sock->set_peer_down_observer(nullptr);
   rep.faults_applied = inj->applied();
 }
 
@@ -1509,6 +1523,7 @@ const char* to_string(Backend b) {
   switch (b) {
     case Backend::kSim: return "sim";
     case Backend::kTcp: return "tcp";
+    case Backend::kUdp: return "udp";
   }
   return "?";
 }

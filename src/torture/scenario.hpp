@@ -50,19 +50,22 @@ enum class Deployment : std::uint8_t {
 };
 
 /// Execution substrate the scenario runs on. kSim is the deterministic
-/// discrete-event simulator (sim::Network); kTcp is the real runtime:
-/// net::TcpTransport over loopback sockets, wrapped in net::FaultTransport
-/// so the same seeded FaultPlan (drops, dups, delays, partitions) applies
-/// below the protocol. The invariant battery is identical on both; on kTcp
-/// the fault schedule still derives from the seed but message *order* is
-/// wall-clock real, so the invariants are exercised against genuine
-/// concurrency rather than replayed event order. Supported for the chord,
-/// pastry and mirrored deployments; the others ignore the field and run on
-/// the simulator (direct/decomposed have no wire at all, hypercup's
-/// delay-only envelope adds nothing over the sim run).
+/// discrete-event simulator (sim::Network); kTcp and kUdp are the real
+/// runtime: a net::SocketTransport over loopback sockets — TCP streams or
+/// UDP datagrams (one envelope frame per datagram, where a frame can
+/// genuinely vanish on the wire) — wrapped in net::FaultTransport so the
+/// same seeded FaultPlan (drops, dups, delays, partitions) applies below
+/// the protocol. The invariant battery is identical on all three; on the
+/// socket backends the fault schedule still derives from the seed but
+/// message *order* is wall-clock real, so the invariants are exercised
+/// against genuine concurrency rather than replayed event order. Supported
+/// for the chord, pastry and mirrored deployments; the others ignore the
+/// field and run on the simulator (direct/decomposed have no wire at all,
+/// hypercup's delay-only envelope adds nothing over the sim run).
 enum class Backend : std::uint8_t {
   kSim,
   kTcp,
+  kUdp,
 };
 
 const char* to_string(Deployment d);
@@ -114,7 +117,7 @@ struct ScenarioConfig {
   /// the mean over all live peers must stay at or below this after the run.
   double max_scan_skew = 0.0;
   /// Execution substrate (see Backend). Only chord/pastry/mirrored honor
-  /// kTcp; the rest always run on the simulator.
+  /// the socket backends; the rest always run on the simulator.
   Backend backend = Backend::kSim;
   /// Overlay step retransmission (chord/pastry/mirrored). Off, a single
   /// dropped step message strands its search forever — which is precisely

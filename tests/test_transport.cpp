@@ -411,5 +411,208 @@ TEST(TransportParity, ObsTracingAttachesToBothBackends) {
   EXPECT_EQ(tcp.metrics().counter("msg.kws.results"), 1u);
 }
 
+// --- Satellite regressions --------------------------------------------------
+
+// Regression for the per-peer counter data race: sends bump PeerState
+// counters under the shared (reader) side of peers_mu_, so two threads
+// sending from the same endpoint raced on `++sent` before the counters
+// became atomic. Run under TSan (the CI tsan job builds this binary) this
+// test fails on the pre-fix code.
+TEST(TcpTransport, ConcurrentSendsFromManyThreadsAreRaceFree) {
+  TcpTransport t(fast_config());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  for (EndpointId id = 1; id <= kThreads + 1; ++id) t.register_endpoint(id);
+  std::atomic<int> ran{0};
+  std::vector<std::thread> senders;
+  senders.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    senders.emplace_back([&t, &ran, i] {
+      // Half the sends share endpoint 1 as the source — the exact shape of
+      // the original race — and all target the same destination.
+      const EndpointId from = (i % 2 == 0) ? 1 : static_cast<EndpointId>(i + 1);
+      for (int j = 0; j < kPerThread; ++j)
+        t.send(from, kThreads + 1, "kws.t_query", 32, [&ran] { ++ran; });
+    });
+  }
+  for (std::thread& th : senders) th.join();
+  ASSERT_TRUE(t.wait_idle(kIdle));
+  EXPECT_EQ(ran.load(), kThreads * kPerThread);
+  EXPECT_EQ(t.metrics().counter("net.messages"),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(t.metrics().counter("net.delivered"),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(t.metrics().counter("net.lost"), 0u);
+}
+
+// Regression for the parked-handler leak: a frame that dies on the read
+// side of the wire used to strand its parked entry forever — inflight_
+// never decremented, so drain_and_stop() wedged until its timeout. The
+// deadline sweep now reclaims the entry as a connection loss. Pre-fix,
+// this test fails: wait_idle times out and net.dropped.conn stays 0.
+TEST(TcpTransport, ParkedHandlerSweepReclaimsFramesDeadOnTheWire) {
+  TcpTransport::Config cfg = fast_config();
+  cfg.parked_ttl = std::chrono::milliseconds{100};  // fast sweep for the test
+  TcpTransport t(cfg);
+  t.register_endpoint(1);
+  t.register_endpoint(2);
+  t.drop_inbound(1);  // the io thread kills the next inbound frame
+  std::atomic<int> ran{0};
+  t.send(1, 2, "kws.t_query", 64, [&ran] { ++ran; });
+  // The sweep must release the stranded slot well within the idle budget.
+  ASSERT_TRUE(t.wait_idle(kIdle));
+  EXPECT_EQ(ran.load(), 0);  // the handler was released, never executed
+  EXPECT_EQ(t.metrics().counter("net.messages"), 1u);
+  EXPECT_EQ(t.metrics().counter("net.delivered"), 0u);
+  EXPECT_EQ(t.metrics().counter("net.lost"), 1u);
+  EXPECT_EQ(t.metrics().counter("net.lost.kws.t_query"), 1u);
+  EXPECT_EQ(t.metrics().counter("net.dropped.conn"), 1u);
+  EXPECT_EQ(t.metrics().counter("net.dropped.fault"), 0u);
+  // Conservation closes: the swallowed frame is attributed, not leaked.
+  EXPECT_EQ(t.metrics().counter("net.messages"),
+            t.metrics().counter("net.delivered") +
+                t.metrics().counter("net.lost"));
+  // A lost frame is packet death, not peer death: drain still succeeds.
+  EXPECT_TRUE(t.drain_and_stop(std::chrono::milliseconds{2000}));
+}
+
+// Regression for the lane-selection division by zero: send() racing stop()
+// used to compute `round_robin_ % out_fds_.size()` after the lanes were
+// torn down. Sends after stop must be counted losses, not crashes.
+TEST(TcpTransport, SendAfterStopIsCountedLossNotCrash) {
+  TcpTransport t(fast_config());
+  t.register_endpoint(1);
+  t.register_endpoint(2);
+  t.send(1, 2, "kws.t_query", 16, [] {});
+  ASSERT_TRUE(t.wait_idle(kIdle));
+  t.stop();
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i)
+    t.send(1, 2, "kws.t_query", 16, [&ran] { ++ran; });
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(t.metrics().counter("net.messages"), 9u);
+  EXPECT_EQ(t.metrics().counter("net.delivered"), 1u);
+  EXPECT_EQ(t.metrics().counter("net.lost"), 8u);
+  EXPECT_EQ(t.metrics().counter("net.dropped.conn"), 8u);
+  EXPECT_EQ(t.metrics().counter("net.messages"),
+            t.metrics().counter("net.delivered") +
+                t.metrics().counter("net.lost"));
+}
+
+// --- Cross-process payload delivery -----------------------------------------
+
+// Two transport instances, each owning endpoints of one overlay, exchange
+// real serialized messages: the peer-address table routes send_payload() to
+// the owning instance, which decodes the inner frame and dispatches it to
+// its payload handler. Accounting closes per instance: the sender counts
+// net.messages + net.delivered + net.remote.out; the receiver counts only
+// net.remote.in.
+TEST(TcpTransport, PayloadCrossesBetweenInstancesBothDirections) {
+  TcpTransport a(fast_config());
+  TcpTransport b(fast_config());
+  a.register_endpoint(1);
+  b.register_endpoint(2);
+  ASSERT_TRUE(a.set_peer_address(2, PeerAddr{"127.0.0.1", b.port()}));
+  ASSERT_TRUE(b.set_peer_address(1, PeerAddr{"127.0.0.1", a.port()}));
+  EXPECT_TRUE(a.has_peer_address(2));
+  EXPECT_FALSE(a.has_peer_address(1));
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<QueryMsg> at_b;
+  std::vector<HitsMsg> at_a;
+  b.set_payload_handler([&](EndpointId from, EndpointId to, MsgKind kind,
+                            const WireMessage& msg) {
+    std::lock_guard<std::mutex> lk(mu);
+    EXPECT_EQ(from, 1u);
+    EXPECT_EQ(to, 2u);
+    EXPECT_EQ(kind, MsgKind::kKwsTQuery);
+    at_b.push_back(std::get<QueryMsg>(msg));
+    cv.notify_all();
+  });
+  a.set_payload_handler([&](EndpointId from, EndpointId to, MsgKind kind,
+                            const WireMessage& msg) {
+    std::lock_guard<std::mutex> lk(mu);
+    EXPECT_EQ(from, 2u);
+    EXPECT_EQ(to, 1u);
+    EXPECT_EQ(kind, MsgKind::kKwsResults);
+    at_a.push_back(std::get<HitsMsg>(msg));
+    cv.notify_all();
+  });
+
+  const QueryMsg query{7, 3, 1, 10, 0, {"keyword", "search"}};
+  a.send_payload(1, 2, MsgKind::kKwsTQuery, WireMessage{query});
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    ASSERT_TRUE(cv.wait_for(lk, kIdle, [&] { return !at_b.empty(); }));
+    EXPECT_EQ(at_b.front(), query);
+  }
+
+  HitsMsg hits;
+  hits.request = 7;
+  hits.node = 3;
+  hits.hits.push_back(WireHit{99, {"keyword", "search", "extra"}});
+  b.send_payload(2, 1, MsgKind::kKwsResults, WireMessage{hits});
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    ASSERT_TRUE(cv.wait_for(lk, kIdle, [&] { return !at_a.empty(); }));
+    EXPECT_EQ(at_a.front(), hits);
+  }
+  ASSERT_TRUE(a.wait_idle(kIdle));
+  ASSERT_TRUE(b.wait_idle(kIdle));
+
+  // Sender-side conservation: a originated one wire message and the wire
+  // accepted it; the receiving process does not count it delivered again.
+  EXPECT_EQ(a.metrics().counter("net.messages"), 1u);
+  EXPECT_EQ(a.metrics().counter("net.delivered"), 1u);
+  EXPECT_EQ(a.metrics().counter("net.remote.out"), 1u);
+  EXPECT_EQ(a.metrics().counter("net.remote.in"), 1u);
+  EXPECT_EQ(a.metrics().counter("net.remote.in.kws.results"), 1u);
+  EXPECT_EQ(a.metrics().counter("msg.kws.t_query"), 1u);
+  EXPECT_EQ(b.metrics().counter("net.messages"), 1u);
+  EXPECT_EQ(b.metrics().counter("net.delivered"), 1u);
+  EXPECT_EQ(b.metrics().counter("net.remote.out"), 1u);
+  EXPECT_EQ(b.metrics().counter("net.remote.in"), 1u);
+  EXPECT_EQ(b.metrics().counter("net.remote.in.kws.t_query"), 1u);
+  EXPECT_EQ(b.metrics().counter("msg.kws.results"), 1u);
+  EXPECT_EQ(a.decode_errors(), 0u);
+  EXPECT_EQ(b.decode_errors(), 0u);
+}
+
+// send_payload() to an endpoint with no peer address serializes through the
+// local self-wire instead: same codec coverage, local accounting (no
+// net.remote.*), handler dispatched on this instance's strand.
+TEST(TcpTransport, PayloadWithoutAddressLoopsThroughLocalWire) {
+  TcpTransport t(fast_config());
+  t.register_endpoint(1);
+  t.register_endpoint(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<ControlMsg> got;
+  t.set_payload_handler([&](EndpointId from, EndpointId to, MsgKind kind,
+                            const WireMessage& msg) {
+    std::lock_guard<std::mutex> lk(mu);
+    EXPECT_EQ(from, 1u);
+    EXPECT_EQ(to, 2u);
+    EXPECT_EQ(kind, MsgKind::kKwsTCont);
+    got.push_back(std::get<ControlMsg>(msg));
+    cv.notify_all();
+  });
+  const ControlMsg cont{5, 9, 2, false};
+  t.send_payload(1, 2, MsgKind::kKwsTCont, WireMessage{cont});
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    ASSERT_TRUE(cv.wait_for(lk, kIdle, [&] { return !got.empty(); }));
+    EXPECT_EQ(got.front(), cont);
+  }
+  ASSERT_TRUE(t.wait_idle(kIdle));
+  EXPECT_EQ(t.metrics().counter("net.messages"), 1u);
+  EXPECT_EQ(t.metrics().counter("net.delivered"), 1u);
+  EXPECT_EQ(t.metrics().counter("msg.kws.t_cont"), 1u);
+  EXPECT_EQ(t.metrics().counter("net.remote.out"), 0u);
+  EXPECT_EQ(t.metrics().counter("net.remote.in"), 0u);
+  EXPECT_EQ(t.decode_errors(), 0u);
+}
+
 }  // namespace
 }  // namespace hkws::net

@@ -32,7 +32,7 @@ std::vector<std::pair<MsgKind, WireMessage>> sample_frames() {
     out.emplace_back(k, ref);
   out.emplace_back(MsgKind::kDolrRead, ReadMsg{42, 9});
   out.emplace_back(MsgKind::kDolrReply, HoldersMsg{42, {1, 2, 0xffffffffull}});
-  const EntryMsg entry{42, {"keyword", "search", "dht"}};
+  const EntryMsg entry{42, {"keyword", "search", "dht"}, 0x9001, 3};
   for (const MsgKind k : {MsgKind::kKwsInsert, MsgKind::kKwsDelete,
                           MsgKind::kHcInsert, MsgKind::kHcDelete})
     out.emplace_back(k, entry);
@@ -56,6 +56,8 @@ std::vector<std::pair<MsgKind, WireMessage>> sample_frames() {
   for (const MsgKind k :
        {MsgKind::kKwsDone, MsgKind::kKwsCDone, MsgKind::kHcDone})
     out.emplace_back(k, done);
+  out.emplace_back(MsgKind::kKwsSReply,
+                   SearchReplyMsg{5, 4, 9, 3, 1, true, false, sample_hits()});
   out.emplace_back(MsgKind::kKwsVisitBatch,
                    VisitBatchMsg{5, 10, {3, 9, 12}, {"a", "bb"}});
   out.emplace_back(
@@ -90,6 +92,14 @@ std::vector<std::pair<MsgKind, WireMessage>> sample_frames() {
   opaque.declared_bytes = 8;
   opaque.pad = 8;
   out.emplace_back(MsgKind::kEnvelope, opaque);
+  EnvelopeMsg addressed;  // cross-process mode: payload carries inner frame
+  addressed.inner_kind = MsgKind::kKwsTQuery;
+  addressed.msg_id = 101;
+  addressed.from = 3;
+  addressed.to = 7;
+  addressed.payload = encode_frame(MsgKind::kKwsTQuery, WireMessage{query});
+  addressed.declared_bytes = addressed.payload.size();
+  out.emplace_back(MsgKind::kEnvelope, addressed);
   return out;
 }
 
@@ -233,12 +243,74 @@ TEST(Wire, EnvelopePadMustFitBody) {
   env.pad = 32;
   auto frame = encode_frame(MsgKind::kEnvelope, WireMessage{env});
   ASSERT_FALSE(frame.empty());
-  // Corrupt the pad count upward without providing the bytes.
-  // Body layout: inner_kind(2) msg_id(8) from(8) to(8) declared(8) pad(4).
-  const std::size_t pad_off = kWireHeaderSize + 2 + 8 * 4;
+  // Corrupt the pad count upward without providing the bytes. Body layout:
+  // inner_kind(2) msg_id(8) from(8) to(8) declared(8) payload_len(4) pad(4).
+  const std::size_t pad_off = kWireHeaderSize + 2 + 8 * 4 + 4;
   frame[pad_off] = 0xFF;
   frame[pad_off + 1] = 0xFF;
   EXPECT_FALSE(decode_frame(frame.data(), frame.size()).has_value());
+}
+
+TEST(Wire, AddressedEnvelopeRoundTripsPayloadBytes) {
+  // The cross-process delivery frame: from/to endpoints plus a complete
+  // encoded inner frame in the payload field, decodable after the hop.
+  const QueryMsg inner{9, 0b1010, 3, 5, 0, {"peer", "network"}};
+  EnvelopeMsg env;
+  env.inner_kind = MsgKind::kKwsTQuery;
+  env.msg_id = 424242;
+  env.from = 11;
+  env.to = 205;
+  env.payload = encode_frame(MsgKind::kKwsTQuery, WireMessage{inner});
+  env.declared_bytes = env.payload.size();
+  ASSERT_FALSE(env.payload.empty());
+
+  const auto frame = encode_frame(MsgKind::kEnvelope, WireMessage{env});
+  ASSERT_FALSE(frame.empty());
+  const auto decoded = decode_frame(frame.data(), frame.size());
+  ASSERT_TRUE(decoded.has_value());
+  const auto& got = std::get<EnvelopeMsg>(decoded->msg);
+  EXPECT_EQ(got, env);
+  EXPECT_EQ(got.from, 11u);
+  EXPECT_EQ(got.to, 205u);
+
+  // The payload is itself a valid frame for the declared inner kind.
+  const auto inner_decoded = decode_frame(got.payload.data(),
+                                          got.payload.size());
+  ASSERT_TRUE(inner_decoded.has_value());
+  EXPECT_EQ(inner_decoded->kind, MsgKind::kKwsTQuery);
+  EXPECT_EQ(std::get<QueryMsg>(inner_decoded->msg), inner);
+}
+
+TEST(Wire, EnvelopePayloadLengthMustFitBody) {
+  EnvelopeMsg env;
+  env.inner_kind = MsgKind::kKwsDone;
+  env.msg_id = 1;
+  env.payload = {1, 2, 3, 4};
+  auto frame = encode_frame(MsgKind::kEnvelope, WireMessage{env});
+  ASSERT_FALSE(frame.empty());
+  // Inflate the payload length prefix beyond the bytes present.
+  const std::size_t len_off = kWireHeaderSize + 2 + 8 * 4;
+  frame[len_off] = 0xFF;
+  frame[len_off + 1] = 0xFF;
+  frame[len_off + 2] = 0xFF;
+  EXPECT_FALSE(decode_frame(frame.data(), frame.size()).has_value());
+}
+
+TEST(Wire, TruncatedAddressedEnvelopeIsRejected) {
+  EnvelopeMsg env;
+  env.inner_kind = MsgKind::kKwsInsert;
+  env.msg_id = 77;
+  env.from = 1;
+  env.to = 2;
+  env.payload = encode_frame(
+      MsgKind::kKwsInsert, WireMessage{EntryMsg{42, {"truncate", "me"}}});
+  env.declared_bytes = env.payload.size();
+  const auto frame = encode_frame(MsgKind::kEnvelope, WireMessage{env});
+  ASSERT_FALSE(frame.empty());
+  // Every truncation point: either "need more bytes" (frame_size bigger
+  // than what's offered) or a hard reject — never a successful decode.
+  for (std::size_t len = 0; len < frame.size(); ++len)
+    EXPECT_FALSE(decode_frame(frame.data(), len).has_value()) << len;
 }
 
 // The fuzz-ish corpus: seeded random corruptions of valid frames. Every

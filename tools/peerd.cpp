@@ -20,6 +20,22 @@
 //     the distributed answer matches object-for-object, keywords and all —
 //     the end-to-end assertion examples/multiprocess_demo.sh runs in CI.
 //
+//   peerd peer --rank I --procs N --mesh-dir D [--peers P] [--objects M]
+//              [--seed S] [--transport tcp|udp] [--drop RATE]
+//     The split-overlay deployment (index::PeerSlice): N processes share
+//     ONE overlay — each owns the index tables of the peers hashing into
+//     its slice, and every cross-slice protocol step (kws.insert,
+//     kws.t_query, kws.results, kws.s_reply, ...) crosses a real process
+//     boundary as a serialized frame, over TCP streams or UDP datagrams
+//     (--transport udp adds seeded loss via --drop, recovered by the
+//     slice's per-step retransmission). Processes rendezvous through
+//     --mesh-dir: each writes rank.<I> with its transport port (announced
+//     as NETPORT=<n>) and polls for the others. Rank 0 publishes the whole
+//     seeded corpus (acknowledged, so the index settles before queries),
+//     then serves the same fe.query front-end as `serve` — so `peerd query
+//     --ports <rank0> --check` asserts the split overlay's answers against
+//     LogicalIndex ground truth end to end.
+//
 // The corpus is generated, not loaded: seeded, so every process derives the
 // same objects independently and the query side can reconstruct ground
 // truth without any shared files. That also makes crash-restart trivial:
@@ -43,6 +59,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -51,12 +68,16 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+
 #include "common/rng.hpp"
 #include "dht/chord_network.hpp"
 #include "dht/dolr.hpp"
 #include "index/logical_index.hpp"
 #include "index/overlay_index.hpp"
+#include "index/peer_slice.hpp"
 #include "net/tcp_transport.hpp"
+#include "net/udp_transport.hpp"
 #include "net/wire.hpp"
 
 namespace {
@@ -88,6 +109,12 @@ struct Options {
   bool check = false;
   std::vector<std::uint16_t> ports;
   std::vector<std::string> keywords;
+  // peer (split-overlay) mode
+  int rank = 0;
+  int procs = 1;
+  std::string transport = "tcp";
+  std::string mesh_dir;
+  double drop = 0.0;
 };
 
 /// The full demo corpus; every process derives it identically from the
@@ -155,6 +182,56 @@ std::vector<net::WireHit> to_wire(const std::vector<index::Hit>& hits) {
   return out;
 }
 
+// --- front-end listener -----------------------------------------------------
+
+/// Binds an ephemeral loopback listener, announces "PORT=<n>", and answers
+/// fe.query frames with `answer`'s fe.reply until SIGTERM/SIGINT. Returns
+/// false only if the listener could not be set up.
+bool serve_front_end(
+    const std::function<net::FeReplyMsg(const net::FeQueryMsg&)>& answer) {
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd < 0) return false;
+  const int one = 1;
+  ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(lfd, 16) != 0) {
+    ::close(lfd);
+    return false;
+  }
+  socklen_t alen = sizeof(addr);
+  ::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen);
+  std::printf("PORT=%u\n", static_cast<unsigned>(ntohs(addr.sin_port)));
+  std::fflush(stdout);
+
+  g_listen_fd = lfd;
+  std::signal(SIGTERM, on_terminate);
+  std::signal(SIGINT, on_terminate);
+
+  while (g_stop == 0) {
+    const int cfd = ::accept(lfd, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR && g_stop == 0) continue;
+      break;
+    }
+    std::vector<std::uint8_t> buf;
+    std::optional<net::DecodedFrame> frame;
+    if (!read_frame(cfd, buf, frame) || frame->kind != net::MsgKind::kFeQuery) {
+      ::close(cfd);
+      continue;  // malformed request: drop, keep serving
+    }
+    const net::FeReplyMsg reply = answer(std::get<net::FeQueryMsg>(frame->msg));
+    write_frame(cfd, net::encode_frame(net::MsgKind::kFeReply,
+                                       net::WireMessage{reply}));
+    ::close(cfd);
+  }
+  ::close(lfd);
+  return true;
+}
+
 // --- serve ------------------------------------------------------------------
 
 int run_serve(const Options& opt) {
@@ -188,43 +265,8 @@ int run_serve(const Options& opt) {
 
   // Front-end listener: ephemeral port, announced on stdout for the
   // launcher script.
-  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (lfd < 0) return 1;
-  const int one = 1;
-  ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;
-  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(lfd, 16) != 0) {
-    ::close(lfd);
-    return 1;
-  }
-  socklen_t alen = sizeof(addr);
-  ::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen);
-  std::printf("PORT=%u\n", static_cast<unsigned>(ntohs(addr.sin_port)));
-  std::fflush(stdout);
-
-  g_listen_fd = lfd;
-  std::signal(SIGTERM, on_terminate);
-  std::signal(SIGINT, on_terminate);
-
-  while (g_stop == 0) {
-    const int cfd = ::accept(lfd, nullptr, nullptr);
-    if (cfd < 0) {
-      if (errno == EINTR && g_stop == 0) continue;
-      break;
-    }
-    std::vector<std::uint8_t> buf;
-    std::optional<net::DecodedFrame> frame;
-    if (!read_frame(cfd, buf, frame) || frame->kind != net::MsgKind::kFeQuery) {
-      ::close(cfd);
-      continue;  // malformed request: drop, keep serving
-    }
-    const auto& q = std::get<net::FeQueryMsg>(frame->msg);
+  const bool served = serve_front_end([&](const net::FeQueryMsg& q) {
     const auto strategy = static_cast<index::SearchStrategy>(q.strategy);
-
     std::mutex mu;
     std::condition_variable cv;
     std::optional<index::SearchResult> result;
@@ -248,12 +290,10 @@ int run_serve(const Options& opt) {
       reply.messages = result->stats.messages;
       reply.hits = to_wire(result->hits);
     }
-    write_frame(cfd, net::encode_frame(net::MsgKind::kFeReply,
-                                       net::WireMessage{reply}));
-    ::close(cfd);
     transport.wait_idle(std::chrono::seconds(60));
-  }
-  ::close(lfd);
+    return reply;
+  });
+  if (!served) return 1;
 
   // Graceful shutdown: no new work is being initiated (the accept loop is
   // done), so drain whatever protocol traffic is still in flight before
@@ -263,6 +303,208 @@ int run_serve(const Options& opt) {
   std::printf("DRAIN=%s\n", clean ? "clean" : "dirty");
   std::fflush(stdout);
   return clean ? 0 : 1;
+}
+
+// --- peer (split overlay) ---------------------------------------------------
+
+// Mesh rendezvous: each process publishes "rank.<I>" in --mesh-dir holding
+// its transport port. Written tmp-then-rename so a polling reader never
+// sees a partial file.
+bool write_mesh_entry(const std::string& dir, int rank, std::uint16_t port) {
+  const std::string tmp = dir + "/.rank." + std::to_string(rank) + ".tmp";
+  const std::string path = dir + "/rank." + std::to_string(rank);
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << port << "\n";
+    out.flush();
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::optional<std::uint16_t> read_mesh_entry(const std::string& dir, int rank) {
+  std::ifstream in(dir + "/rank." + std::to_string(rank));
+  unsigned port = 0;
+  if (!(in >> port) || port == 0 || port > 65535) return std::nullopt;
+  return static_cast<std::uint16_t>(port);
+}
+
+bool touch_mesh_marker(const std::string& dir, const std::string& name) {
+  const std::string tmp = dir + "/." + name + ".tmp";
+  const std::string path = dir + "/" + name;
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << "1\n";
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool mesh_marker_present(const std::string& dir, const std::string& name) {
+  return std::ifstream(dir + "/" + name).good();
+}
+
+int run_peer(const Options& opt) {
+  const bool udp = opt.transport == "udp";
+  std::unique_ptr<net::SocketTransport> transport;
+  net::UdpTransport* udp_t = nullptr;
+  std::uint16_t net_port = 0;
+  if (udp) {
+    net::UdpTransport::Config cfg;
+    cfg.seed = opt.seed + 0x517 * static_cast<std::uint64_t>(opt.rank + 1);
+    auto t = std::make_unique<net::UdpTransport>(cfg);
+    net_port = t->port();
+    udp_t = t.get();
+    transport = std::move(t);
+  } else {
+    auto t = std::make_unique<net::TcpTransport>();
+    net_port = t->port();
+    transport = std::move(t);
+  }
+
+  index::PeerSlice slice(
+      *transport,
+      index::PeerSlice::Config{
+          .r = kR,
+          .n_peers = static_cast<net::EndpointId>(opt.peers),
+          .procs = opt.procs,
+          .rank = opt.rank,
+          // UDP datagrams get lost; give every guarded step a generous
+          // retransmission budget. TCP delivers or fails loudly — leave
+          // retransmission off like the in-process tests do.
+          .step_timeout = udp ? net::Time{300} : net::Time{0},
+          .max_retries = 10,
+      });
+
+  if (!write_mesh_entry(opt.mesh_dir, opt.rank, net_port)) {
+    std::fprintf(stderr, "peerd peer: cannot write mesh entry in %s\n",
+                 opt.mesh_dir.c_str());
+    return 1;
+  }
+  std::printf("NETPORT=%u\n", static_cast<unsigned>(net_port));
+  std::fflush(stdout);
+
+  // Wait for every other rank's entry, then wire the peer-address table:
+  // each remote peer endpoint routes to its owner's transport port.
+  std::vector<std::uint16_t> mesh(static_cast<std::size_t>(opt.procs), 0);
+  mesh[static_cast<std::size_t>(opt.rank)] = net_port;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (int j = 0; j < opt.procs; ++j) {
+    if (j == opt.rank) continue;
+    while (true) {
+      if (const auto p = read_mesh_entry(opt.mesh_dir, j)) {
+        mesh[static_cast<std::size_t>(j)] = *p;
+        break;
+      }
+      if (std::chrono::steady_clock::now() > deadline) {
+        std::fprintf(stderr, "peerd peer: rank %d never joined the mesh\n", j);
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  for (net::EndpointId ep = 1; ep <= opt.peers; ++ep) {
+    const int owner = slice.rank_of(ep);
+    if (owner != opt.rank)
+      transport->set_peer_address(ep, {"127.0.0.1", mesh[owner]});
+  }
+
+  // Second rendezvous phase: nobody may emit protocol traffic until EVERY
+  // rank has wired its peer-address table — a frame arriving earlier would
+  // provoke a reply toward an endpoint whose route is not yet installed,
+  // an unregistered drop that a reliable wire (step_timeout 0) never
+  // repairs. Rank 0 is the only traffic initiator, so it alone waits.
+  if (!touch_mesh_marker(opt.mesh_dir, "wired." + std::to_string(opt.rank))) {
+    std::fprintf(stderr, "peerd peer: cannot write wired marker\n");
+    return 1;
+  }
+  if (opt.rank == 0) {
+    for (int j = 1; j < opt.procs; ++j) {
+      while (!mesh_marker_present(opt.mesh_dir, "wired." + std::to_string(j))) {
+        if (std::chrono::steady_clock::now() > deadline) {
+          std::fprintf(stderr, "peerd peer: rank %d never wired\n", j);
+          return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+  }
+
+  // Loss is armed only once the mesh is wired. The publishes below run
+  // through it — they are acknowledged and retransmitted, so the index
+  // still settles exactly.
+  if (udp_t != nullptr && opt.drop > 0.0) udp_t->set_drop_rate(opt.drop);
+
+  int rc = 0;
+  if (opt.rank == 0) {
+    // Rank 0 drives the demo: publish the whole seeded corpus (every
+    // entry lands on its owning slice via the wire), wait for all acks,
+    // then serve the fe.query front-end against the split overlay.
+    const std::map<ObjectId, KeywordSet> corpus = make_corpus(opt);
+    {
+      std::mutex mu;
+      std::condition_variable cv;
+      std::size_t acked = 0;
+      for (const auto& [id, k] : corpus)
+        slice.publish(id, k, [&] {
+          std::lock_guard<std::mutex> lk(mu);
+          ++acked;
+          cv.notify_all();
+        });
+      std::unique_lock<std::mutex> lk(mu);
+      if (!cv.wait_for(lk, std::chrono::seconds(60),
+                       [&] { return acked == corpus.size(); })) {
+        std::fprintf(stderr, "peerd peer: corpus failed to settle\n");
+        return 1;
+      }
+    }
+
+    const bool served = serve_front_end([&](const net::FeQueryMsg& q) {
+      // The split overlay runs the paper's main algorithm; the strategy
+      // field is accepted but only top-down is served.
+      std::mutex mu;
+      std::condition_variable cv;
+      std::optional<index::SearchResult> result;
+      std::vector<Keyword> words(q.keywords.begin(), q.keywords.end());
+      slice.superset_search(KeywordSet(std::move(words)), q.threshold,
+                            [&](index::SearchResult r) {
+                              std::lock_guard<std::mutex> lk(mu);
+                              result = std::move(r);
+                              cv.notify_all();
+                            });
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait_for(lk, std::chrono::seconds(60),
+                    [&] { return result.has_value(); });
+      }
+      net::FeReplyMsg reply;
+      if (result.has_value() && !result->stats.failed) {
+        reply.complete = result->stats.complete;
+        reply.messages = result->stats.messages;
+        reply.hits = to_wire(result->hits);
+      }
+      return reply;
+    });
+    if (!served) rc = 1;
+  } else {
+    // Follower ranks serve their slice of the overlay until told to stop.
+    std::signal(SIGTERM, on_terminate);
+    std::signal(SIGINT, on_terminate);
+    std::printf("READY=1\n");
+    std::fflush(stdout);
+    while (g_stop == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // A lossy mesh never goes fully quiet (retransmits of steps whose acks
+  // died with the remote peer); give the drain a bounded window and report
+  // honestly.
+  const bool clean = transport->drain_and_stop(std::chrono::seconds(10));
+  std::printf("DRAIN=%s\n", clean ? "clean" : "dirty");
+  std::fflush(stdout);
+  return rc != 0 ? rc : (clean ? 0 : 1);
 }
 
 // --- query ------------------------------------------------------------------
@@ -392,6 +634,19 @@ std::optional<Options> parse(int argc, char** argv, std::string& mode) {
       const auto s = strategy_of(next());
       if (!s.has_value()) return std::nullopt;
       opt.strategy = *s;
+    } else if (arg == "--rank") {
+      opt.rank = std::stoi(next());
+    } else if (arg == "--procs") {
+      opt.procs = std::stoi(next());
+    } else if (arg == "--transport") {
+      opt.transport = next();
+      if (opt.transport != "tcp" && opt.transport != "udp")
+        return std::nullopt;
+    } else if (arg == "--mesh-dir") {
+      opt.mesh_dir = next();
+    } else if (arg == "--drop") {
+      opt.drop = std::stod(next());
+      if (opt.drop < 0.0 || opt.drop >= 1.0) return std::nullopt;
     } else if (arg == "--ports") {
       std::string list = next();
       std::size_t pos = 0;
@@ -421,11 +676,18 @@ int main(int argc, char** argv) {
   if (opt.has_value() && mode == "query" && !opt->ports.empty() &&
       !opt->keywords.empty())
     return run_query(*opt);
+  if (opt.has_value() && mode == "peer" && !opt->mesh_dir.empty() &&
+      opt->procs >= 1 && opt->rank >= 0 && opt->rank < opt->procs &&
+      opt->peers >= static_cast<std::size_t>(opt->procs))
+    return run_peer(*opt);
   std::fprintf(
       stderr,
       "usage:\n"
       "  peerd serve --shard I --shards N [--peers P] [--objects M] "
       "[--seed S]\n"
+      "  peerd peer --rank I --procs N --mesh-dir D [--peers P] "
+      "[--objects M]\n"
+      "             [--seed S] [--transport tcp|udp] [--drop RATE]\n"
       "  peerd query --ports P1,P2,... [--threshold T]\n"
       "              [--strategy top-down|bottom-up|level-parallel]\n"
       "              [--check] [--shards N] [--objects M] [--seed S] -- kw "

@@ -53,7 +53,7 @@ void usage(const char* argv0) {
       "          [--deployment direct|chord|pastry|hypercup|mirrored|"
       "decomposed]\n"
       "          [--strategy top-down|bottom-up|level-parallel]\n"
-      "          [--transport sim|tcp]\n"
+      "          [--transport sim|tcp|udp]\n"
       "          [--churn] [--no-heal] [--no-shrink] [--verbose]\n"
       "\n"
       "Without --seed: sweeps COUNT seeds (default 15) starting at --start\n"
@@ -61,14 +61,15 @@ void usage(const char* argv0) {
       "--seed: replays that single seed (optionally filtered), shrinking\n"
       "the fault schedule of any failure.\n"
       "\n"
-      "--transport tcp: runs the battery on the real runtime — every wire\n"
-      "message crosses a loopback TCP socket via net::TcpTransport, with\n"
-      "net::FaultTransport injecting the same seeded fault schedule below\n"
-      "the protocol. Per seed: chord (top-down + level-parallel), pastry,\n"
-      "the hot-spot preset, and the continuous-churn preset (the tcp-capable\n"
-      "deployments; default 8 seeds). Schedule shrinking is skipped —\n"
-      "message order is wall-clock real, so a minimized schedule would not\n"
-      "replay deterministically anyway.\n"
+      "--transport tcp|udp: runs the battery on the real runtime — every\n"
+      "wire message crosses a loopback socket (TCP streams, or one UDP\n"
+      "datagram per frame) with net::FaultTransport injecting the same\n"
+      "seeded fault schedule below the protocol. Per seed: chord (top-down\n"
+      "+ level-parallel), pastry, the hot-spot preset, and the\n"
+      "continuous-churn preset (the socket-capable deployments; default 8\n"
+      "seeds). Schedule shrinking is skipped — message order is wall-clock\n"
+      "real, so a minimized schedule would not replay deterministically\n"
+      "anyway.\n"
       "\n"
       "--churn: continuous-churn preset (mirrored deployment, kill-only\n"
       "peer failures, self-healing maintenance plane racing the workload).\n"
@@ -106,8 +107,9 @@ bool run_one(ScenarioRunner& runner, const ScenarioConfig& cfg, bool shrink,
     rep = min.report;
   }
   std::printf("%s", rep.to_string().c_str());
-  const char* transport =
-      cfg.backend == Backend::kTcp ? " --transport tcp" : "";
+  const char* transport = "";
+  if (cfg.backend == Backend::kTcp) transport = " --transport tcp";
+  if (cfg.backend == Backend::kUdp) transport = " --transport udp";
   if (cfg.continuous_churn)
     std::printf("reproduce: tools/torture --churn%s%s --seed %llu\n",
                 cfg.self_healing ? "" : " --no-heal", transport,
@@ -132,7 +134,7 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool churn = false;
   bool heal = true;
-  bool tcp = false;
+  Backend backend = Backend::kSim;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -164,7 +166,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--transport") {
       const std::string t = next();
       if (t == "tcp") {
-        tcp = true;
+        backend = Backend::kTcp;
+      } else if (t == "udp") {
+        backend = Backend::kUdp;
       } else if (t != "sim") {
         usage(argv[0]);
         return 2;
@@ -186,7 +190,8 @@ int main(int argc, char** argv) {
   // Schedule shrinking re-runs the scenario with event subsets and relies
   // on deterministic replay; over real sockets message order is wall-clock,
   // so a minimized schedule would not reproduce the failure. Skip it.
-  if (tcp) shrink = false;
+  const bool sock = backend != Backend::kSim;
+  if (sock) shrink = false;
 
   ScenarioRunner runner;
   std::size_t scenarios = 0;
@@ -198,17 +203,18 @@ int main(int argc, char** argv) {
       // self-healing plane racing kill-only failures (unless --no-heal).
       ScenarioConfig cfg = ScenarioConfig::churn_preset(seed);
       cfg.self_healing = heal;
-      if (tcp) cfg.backend = Backend::kTcp;
+      cfg.backend = backend;
       if (!run_one(runner, cfg, shrink, verbose, scenarios)) ++failures;
       return;
     }
-    if (tcp) {
-      // Real-runtime battery: the tcp-capable deployments, each scenario
-      // over loopback sockets with the seeded fault schedule injected by
-      // net::FaultTransport. Reduced relative to the sim sweep (each
-      // scenario costs real wall-clock), but it covers both overlay
-      // routers, the strategy extremes, the hot-spot replication path and
-      // the continuous-churn maintenance plane per seed.
+    if (sock) {
+      // Real-runtime battery: the socket-capable deployments, each
+      // scenario over loopback sockets (TCP streams or UDP datagrams) with
+      // the seeded fault schedule injected by net::FaultTransport. Reduced
+      // relative to the sim sweep (each scenario costs real wall-clock),
+      // but it covers both overlay routers, the strategy extremes, the
+      // hot-spot replication path and the continuous-churn maintenance
+      // plane per seed.
       ScenarioConfig battery[] = {
           ScenarioConfig::from_seed(seed, Deployment::kChord,
                                     SearchStrategy::kTopDownSequential),
@@ -222,7 +228,7 @@ int main(int argc, char** argv) {
       for (ScenarioConfig& cfg : battery) {
         if (only_deployment && cfg.deployment != *only_deployment) continue;
         if (only_strategy && cfg.strategy != *only_strategy) continue;
-        cfg.backend = Backend::kTcp;
+        cfg.backend = backend;
         if (!run_one(runner, cfg, shrink, verbose, scenarios)) ++failures;
       }
       return;
@@ -245,7 +251,7 @@ int main(int argc, char** argv) {
   if (single_seed) {
     sweep_seed(*single_seed);
   } else {
-    const std::size_t n = count.value_or(tcp ? 8 : 15);
+    const std::size_t n = count.value_or(sock ? 8 : 15);
     for (std::uint64_t seed = start; seed < start + n; ++seed)
       sweep_seed(seed);
   }
